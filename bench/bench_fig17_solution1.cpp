@@ -1,0 +1,47 @@
+// F14-F17: solution 1 on example 1 (bus, K=1). Reproduces the intermediate
+// checkpoints the paper states in prose (Figures 14-16) and the final
+// fault-tolerant schedule of Figure 17, then compares against the paper's
+// anchors: B completes at 4.5 on P2 / 5 on P3 / would be 6 on P1; final
+// makespan 9.4.
+#include <cstdio>
+
+#include "bench/common.hpp"
+#include "sched/gantt.hpp"
+#include "sched/heuristics.hpp"
+#include "sched/metrics.hpp"
+#include "sched/validate.hpp"
+#include "workload/paper_examples.hpp"
+
+using namespace ftsched;
+
+int main() {
+  bench::header("F17", "solution 1 fault-tolerant schedule, example 1");
+
+  const workload::OwnedProblem ex = workload::paper_example1();
+  const Schedule schedule = schedule_solution1(ex.problem).value();
+  const bool valid = validate(schedule).empty();
+
+  bench::section("final schedule (Figure 17)");
+  std::fputs(to_text(schedule).c_str(), stdout);
+  bench::section("gantt");
+  std::fputs(to_gantt(schedule).c_str(), stdout);
+
+  bench::section("paper-vs-measured");
+  const AlgorithmGraph& graph = *ex.problem.algorithm;
+  const ProcessorId p2 = ex.problem.architecture->find_processor("P2");
+  const ProcessorId p3 = ex.problem.architecture->find_processor("P3");
+  const OperationId b = graph.find_operation("B");
+  bench::compare("makespan (Fig. 17)", 9.4, schedule.makespan());
+  bench::compare("B main completion on P2 (Fig. 15)", 4.5,
+                 schedule.replica_on(b, p2)->end);
+  bench::compare("B backup completion on P3 (Fig. 15)", 5.0,
+                 schedule.replica_on(b, p3)->end);
+  const ScheduleMetrics metrics = compute_metrics(schedule);
+  bench::value("replicas", std::to_string(metrics.replicas) + " (7 ops x 2)");
+  bench::value("active inter-processor comms",
+               std::to_string(metrics.inter_processor_comms));
+  bench::value("passive backup comms (OpComm)",
+               std::to_string(metrics.passive_comms));
+  bench::value("validator", valid ? "clean" : "VIOLATIONS");
+  return valid ? 0 : 1;
+}

@@ -1,0 +1,75 @@
+// F18: execution of the solution-1 schedule when P2 crashes (example 1).
+// (a) the transient iteration in which the failure occurs: backups detect
+//     the silence through their timeout chains, elections follow, the
+//     response time stretches by the accumulated waits;
+// (b) the subsequent iterations: every healthy processor knows P2 is dead,
+//     nothing waits, and — per §6.4 — the number of inter-processor
+//     transfers does not exceed the failure-free count.
+#include <cstdio>
+
+#include "bench/common.hpp"
+#include "sched/heuristics.hpp"
+#include "sim/simulator.hpp"
+#include "workload/paper_examples.hpp"
+
+using namespace ftsched;
+
+int main() {
+  bench::header("F18", "solution 1 under a P2 crash, example 1");
+
+  const workload::OwnedProblem ex = workload::paper_example1();
+  const Schedule schedule = schedule_solution1(ex.problem).value();
+  const Simulator simulator(schedule);
+  const ProcessorId p2 = ex.problem.architecture->find_processor("P2");
+
+  const IterationResult nominal = simulator.run();
+  // P2 crashes right after computing A (it finishes A at t=3).
+  const IterationResult transient =
+      simulator.run(FailureScenario::crash(p2, 3.2));
+  const IterationResult subsequent =
+      simulator.run(FailureScenario::dead_from_start({p2}));
+
+  bench::section("(a) transient iteration trace (P2 crashes at t=3.2)");
+  std::fputs(transient.trace
+                 .to_text(*ex.problem.algorithm, *ex.problem.architecture)
+                 .c_str(),
+             stdout);
+
+  bench::section("(b) subsequent iteration trace (P2 known dead)");
+  std::fputs(subsequent.trace
+                 .to_text(*ex.problem.algorithm, *ex.problem.architecture)
+                 .c_str(),
+             stdout);
+
+  bench::section("paper-vs-measured");
+  bench::value("outputs produced (transient)",
+               transient.all_outputs_produced ? "yes" : "NO");
+  bench::value("outputs produced (subsequent)",
+               subsequent.all_outputs_produced ? "yes" : "NO");
+  bench::compare("failure-free response time", 8.1, nominal.response_time);
+  bench::value("transient response time",
+               time_to_string(transient.response_time) +
+                   "  (waiting delay for the faulty processor, Fig. 18a)");
+  bench::value("subsequent response time",
+               time_to_string(subsequent.response_time) +
+                   "  (no timeouts once detected, Fig. 18b)");
+  bench::value("timeouts fired (transient)",
+               std::to_string(transient.trace.count(TraceEvent::Kind::kTimeout)));
+  bench::value("timeouts fired (subsequent)",
+               std::to_string(subsequent.trace.count(TraceEvent::Kind::kTimeout)));
+  bench::value(
+      "transfers nominal/transient/subseq",
+      std::to_string(nominal.trace.count(TraceEvent::Kind::kTransferStart)) +
+          "/" +
+          std::to_string(
+              transient.trace.count(TraceEvent::Kind::kTransferStart)) +
+          "/" +
+          std::to_string(
+              subsequent.trace.count(TraceEvent::Kind::kTransferStart)) +
+          "  (§6.4: no growth after failure)");
+  const bool ok = transient.all_outputs_produced &&
+                  subsequent.all_outputs_produced &&
+                  subsequent.trace.count(TraceEvent::Kind::kTransferStart) <=
+                      nominal.trace.count(TraceEvent::Kind::kTransferStart);
+  return ok ? 0 : 1;
+}

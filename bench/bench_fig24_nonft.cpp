@@ -1,0 +1,40 @@
+// F24: the non-fault-tolerant baseline on example 2 and the §7.4 overhead.
+// Paper: baseline 8.0, overhead 8.9 - 8.0 = 0.9; ours: 8.3 and 1.1.
+#include <cstdio>
+
+#include "bench/common.hpp"
+#include "sched/gantt.hpp"
+#include "sched/heuristics.hpp"
+#include "sched/metrics.hpp"
+#include "sched/validate.hpp"
+#include "workload/paper_examples.hpp"
+
+using namespace ftsched;
+
+int main() {
+  bench::header("F24", "non fault-tolerant schedule, example 2");
+
+  const workload::OwnedProblem ex = workload::paper_example2();
+  const Schedule base = schedule_base(ex.problem).value();
+  const Schedule ft = schedule_solution2(ex.problem).value();
+  const bool valid = validate(base).empty();
+
+  bench::section("baseline schedule (Figure 24)");
+  std::fputs(to_text(base).c_str(), stdout);
+  bench::section("gantt");
+  std::fputs(to_gantt(base).c_str(), stdout);
+
+  bench::section("paper-vs-measured");
+  bench::compare("baseline makespan (Fig. 24)", 8.0, base.makespan(),
+                 "deterministic tie-breaks, see EXPERIMENTS.md");
+  bench::compare("FT overhead (§7.4)", 0.9, overhead(ft, base),
+                 "positive, around one time unit: shape holds");
+  const ScheduleMetrics base_m = compute_metrics(base);
+  const ScheduleMetrics ft_m = compute_metrics(ft);
+  bench::value("comms baseline vs solution 2",
+               std::to_string(base_m.inter_processor_comms) + " vs " +
+                   std::to_string(ft_m.inter_processor_comms) +
+                   "  (comm overhead is maximal, §7.4)");
+  bench::value("validator", valid ? "clean" : "VIOLATIONS");
+  return valid ? 0 : 1;
+}

@@ -1,0 +1,78 @@
+// P1: throughput of the scheduling heuristics themselves (google-benchmark)
+// versus graph size, processor count, and K — the compile-time cost a
+// SynDEx-style tool pays per design iteration.
+#include <benchmark/benchmark.h>
+
+#include "sched/heuristics.hpp"
+#include "workload/random_arch.hpp"
+
+namespace ftsched {
+namespace {
+
+workload::OwnedProblem make_problem(std::size_t operations,
+                                    std::size_t processors, int k,
+                                    workload::ArchKind arch) {
+  workload::RandomProblemParams params;
+  params.dag.operations = operations;
+  params.dag.width = 6;
+  params.arch_kind = arch;
+  params.processors = processors;
+  params.failures_to_tolerate = k;
+  params.ccr = 0.5;
+  params.seed = 97;
+  return workload::random_problem(params);
+}
+
+void BM_Solution1_Bus(benchmark::State& state) {
+  const auto ex = make_problem(static_cast<std::size_t>(state.range(0)),
+                               static_cast<std::size_t>(state.range(1)),
+                               static_cast<int>(state.range(2)),
+                               workload::ArchKind::kBus);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(schedule_solution1(ex.problem));
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_Solution1_Bus)
+    ->Args({20, 4, 1})
+    ->Args({50, 4, 1})
+    ->Args({100, 4, 1})
+    ->Args({200, 4, 1})
+    ->Args({100, 8, 1})
+    ->Args({100, 8, 3})
+    ->Unit(benchmark::kMicrosecond);
+
+void BM_Solution2_P2P(benchmark::State& state) {
+  const auto ex = make_problem(static_cast<std::size_t>(state.range(0)),
+                               static_cast<std::size_t>(state.range(1)),
+                               static_cast<int>(state.range(2)),
+                               workload::ArchKind::kFullyConnected);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(schedule_solution2(ex.problem));
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_Solution2_P2P)
+    ->Args({20, 4, 1})
+    ->Args({50, 4, 1})
+    ->Args({100, 4, 1})
+    ->Args({200, 4, 1})
+    ->Args({100, 8, 1})
+    ->Args({100, 8, 3})
+    ->Unit(benchmark::kMicrosecond);
+
+void BM_Baseline(benchmark::State& state) {
+  const auto ex = make_problem(static_cast<std::size_t>(state.range(0)), 6,
+                               0, workload::ArchKind::kBus);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(schedule_base(ex.problem));
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_Baseline)->Arg(50)->Arg(200)->Arg(500)
+    ->Unit(benchmark::kMicrosecond);
+
+}  // namespace
+}  // namespace ftsched
+
+BENCHMARK_MAIN();

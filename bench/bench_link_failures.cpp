@@ -1,0 +1,105 @@
+// X2 (extension — the paper's §8 future work): communication link
+// failures. Measures, across topologies, (a) how many single-link deaths a
+// schedule survives, (b) what the disjoint-routing hardening of solution 2
+// buys and costs. Every cell: 15 seeds, K=1, 15-operation DAGs.
+#include <cstdio>
+#include <vector>
+
+#include "bench/common.hpp"
+#include "core/text.hpp"
+#include "sched/heuristics.hpp"
+#include "sim/simulator.hpp"
+#include "workload/random_arch.hpp"
+
+using namespace ftsched;
+using workload::ArchKind;
+using workload::RandomProblemParams;
+
+namespace {
+
+constexpr int kSeeds = 15;
+
+struct Cell {
+  int masked = 0;        // single-link deaths masked
+  int total = 0;         // links tested
+  double makespan = 0;   // mean
+  int feasible = 0;
+};
+
+Cell survey(ArchKind arch, std::size_t processors, HeuristicKind kind,
+            bool disjoint) {
+  Cell cell;
+  for (int seed = 1; seed <= kSeeds; ++seed) {
+    RandomProblemParams params;
+    params.dag.operations = 15;
+    params.dag.width = 4;
+    params.arch_kind = arch;
+    params.processors = processors;
+    params.failures_to_tolerate = 1;
+    params.ccr = 0.6;
+    params.seed = static_cast<std::uint64_t>(seed) * 977;
+    const workload::OwnedProblem ex = workload::random_problem(params);
+    SchedulerOptions options;
+    options.disjoint_comm_routes = disjoint;
+    const auto result = schedule(ex.problem, kind, options);
+    if (!result.has_value()) continue;
+    ++cell.feasible;
+    cell.makespan += result->makespan();
+    const Simulator simulator(result.value());
+    for (const Link& link : ex.problem.architecture->links()) {
+      FailureScenario scenario;
+      scenario.failed_links_at_start = {link.id};
+      ++cell.total;
+      cell.masked +=
+          simulator.run(scenario).all_outputs_produced ? 1 : 0;
+    }
+  }
+  if (cell.feasible > 0) cell.makespan /= cell.feasible;
+  return cell;
+}
+
+void row(std::vector<std::vector<std::string>>& table, const char* label,
+         ArchKind arch, std::size_t processors, HeuristicKind kind,
+         bool disjoint) {
+  const Cell cell = survey(arch, processors, kind, disjoint);
+  char pct[32];
+  std::snprintf(pct, sizeof pct, "%.0f%%",
+                cell.total ? 100.0 * cell.masked / cell.total : 0.0);
+  table.push_back({label,
+                   std::to_string(cell.masked) + "/" +
+                       std::to_string(cell.total),
+                   pct, time_to_string(cell.makespan)});
+}
+
+}  // namespace
+
+int main() {
+  bench::header("X2", "single link failures (K=1, 15 seeds per row)");
+
+  bench::section("masking rate of one dead link, by strategy");
+  std::vector<std::vector<std::string>> table;
+  table.push_back({"strategy / topology", "masked", "rate", "mean makespan"});
+  row(table, "sol1, single bus (5p)", ArchKind::kBus, 5,
+      HeuristicKind::kSolution1, false);
+  row(table, "sol2, full P2P (4p)", ArchKind::kFullyConnected, 4,
+      HeuristicKind::kSolution2, false);
+  row(table, "sol2, ring (5p), shortest", ArchKind::kRing, 5,
+      HeuristicKind::kSolution2, false);
+  row(table, "sol2, ring (5p), disjoint", ArchKind::kRing, 5,
+      HeuristicKind::kSolution2, true);
+  row(table, "sol2, star (5p), shortest", ArchKind::kStar, 5,
+      HeuristicKind::kSolution2, false);
+  row(table, "sol2, star (5p), disjoint", ArchKind::kStar, 5,
+      HeuristicKind::kSolution2, true);
+  std::fputs(render_table(table).c_str(), stdout);
+
+  bench::section("expectation");
+  bench::value("shape",
+               "a single bus is a single point of failure (0%); a full mesh "
+               "masks everything for free; on a ring, disjoint routing lifts "
+               "masking from ~80% to 100% at a few percent makespan cost; a "
+               "star masks single link deaths even with shortest routing, "
+               "because cutting a leaf's only link is equivalent to that "
+               "leaf failing — which K=1 already covers");
+  return 0;
+}

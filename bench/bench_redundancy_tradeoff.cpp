@@ -1,0 +1,91 @@
+// X3 (extension — §5.3's open question): the software/time redundancy
+// trade-off curve. For each strategy we report both sides of the paper's
+// tension: the failure-free makespan (what replicated comms cost every
+// iteration) and the worst single-failure transient response (what timeout
+// chains cost when a processor dies). The hybrid search walks between the
+// two extremes under a failure-free budget.
+#include <cstdio>
+#include <vector>
+
+#include "bench/common.hpp"
+#include "core/text.hpp"
+#include "sched/heuristics.hpp"
+#include "sched/metrics.hpp"
+#include "tuning/hybrid.hpp"
+#include "workload/random_arch.hpp"
+#include "workload/paper_examples.hpp"
+
+using namespace ftsched;
+
+namespace {
+
+void add_row(std::vector<std::vector<std::string>>& table, const char* name,
+             const Schedule& schedule) {
+  const TransientReport transient = analyze_transient(schedule);
+  const ScheduleMetrics metrics = compute_metrics(schedule);
+  char stretch[32];
+  std::snprintf(stretch, sizeof stretch, "%.2fx",
+                transient.worst_stretch());
+  table.push_back(
+      {name, time_to_string(schedule.makespan()),
+       time_to_string(transient.worst_response), stretch,
+       std::to_string(schedule.active_comm_dep_count()) + "/" +
+           std::to_string(
+               schedule.problem().algorithm->dependency_count()),
+       std::to_string(metrics.inter_processor_comms)});
+}
+
+void run_case(const char* title, const Problem& problem) {
+  bench::section(title);
+  std::vector<std::vector<std::string>> table;
+  table.push_back({"strategy", "makespan", "worst transient",
+                   "worst stretch", "active deps", "transfers"});
+
+  add_row(table, "solution 1 (all passive)",
+          schedule_solution1(problem).value());
+  for (const double budget : {1.05, 1.15, 1.30}) {
+    HybridOptions options;
+    options.max_overhead_factor = budget;
+    const auto hybrid = schedule_hybrid(problem, options);
+    if (hybrid.has_value()) {
+      char name[48];
+      std::snprintf(name, sizeof name, "hybrid (budget %.0f%%)",
+                    100 * (budget - 1));
+      add_row(table, name, hybrid->schedule);
+    }
+  }
+  add_row(table, "solution 2 (all active)",
+          schedule_solution2(problem).value());
+  std::fputs(render_table(table).c_str(), stdout);
+}
+
+}  // namespace
+
+int main() {
+  bench::header("X3", "software vs time redundancy trade-off (§5.3)");
+
+  const workload::OwnedProblem ex2 = workload::paper_example2();
+  run_case("paper example 2 (P2P, K=1)", ex2.problem);
+
+  workload::RandomProblemParams params;
+  params.dag.operations = 16;
+  params.dag.width = 4;
+  params.arch_kind = workload::ArchKind::kFullyConnected;
+  params.processors = 4;
+  params.failures_to_tolerate = 1;
+  params.ccr = 0.8;
+  params.seed = 42;
+  const workload::OwnedProblem synthetic = workload::random_problem(params);
+  run_case("synthetic 16-op DAG (full P2P, K=1, ccr 0.8)",
+           synthetic.problem);
+
+  bench::section("expectation");
+  bench::value("shape",
+               "solution 1 anchors the worst transient column, solution 2 "
+               "the best; the hybrid buys back part of the gap by flipping "
+               "the bottleneck dependencies to active replication, then "
+               "plateaus once the residual worst case is the degraded "
+               "critical path itself — which no per-dependency comm policy "
+               "can shorten, only solution 2's different placements can");
+  return 0;
+}

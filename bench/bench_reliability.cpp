@@ -1,0 +1,74 @@
+// X1 (extension): iteration reliability under independent fail-stop
+// processor failures — the dependability number behind the paper's §2.3
+// framing, computed by exhaustive subset injection. Compares the baseline
+// against both solutions on the paper's examples and on the 5-ECU CyCAB-
+// style bus, across a sweep of per-processor failure probabilities.
+#include <cstdio>
+#include <vector>
+
+#include "bench/common.hpp"
+#include "core/text.hpp"
+#include "sched/heuristics.hpp"
+#include "sim/reliability.hpp"
+#include "workload/paper_examples.hpp"
+#include "workload/random_arch.hpp"
+
+using namespace ftsched;
+
+namespace {
+
+void run_table(const char* title, const Problem& problem,
+               HeuristicKind ft_kind) {
+  bench::section(title);
+  const Schedule base = schedule_base(problem).value();
+  const Schedule ft = schedule(problem, ft_kind).value();
+
+  std::vector<std::vector<std::string>> table;
+  table.push_back({"p(fail)", "baseline R", "fault-tolerant R",
+                   "guaranteed bound", "unreliability ratio"});
+  for (const double p : {0.001, 0.01, 0.05, 0.1, 0.2}) {
+    const double r_base =
+        analyze_reliability(base, p).iteration_reliability;
+    const ReliabilityReport ft_report = analyze_reliability(ft, p);
+    char cells[4][32];
+    std::snprintf(cells[0], 32, "%.6f", r_base);
+    std::snprintf(cells[1], 32, "%.6f", ft_report.iteration_reliability);
+    std::snprintf(cells[2], 32, "%.6f", ft_report.lower_bound);
+    std::snprintf(cells[3], 32, "%.1fx",
+                  (1 - r_base) / (1 - ft_report.iteration_reliability));
+    table.push_back({time_to_string(p), cells[0], cells[1], cells[2],
+                     cells[3]});
+  }
+  std::fputs(render_table(table).c_str(), stdout);
+}
+
+}  // namespace
+
+int main() {
+  bench::header("X1", "iteration reliability vs processor failure rate");
+
+  const workload::OwnedProblem ex1 = workload::paper_example1();
+  run_table("example 1 (bus, K=1, solution 1)", ex1.problem,
+            HeuristicKind::kSolution1);
+
+  const workload::OwnedProblem ex2 = workload::paper_example2();
+  run_table("example 2 (P2P, K=1, solution 2)", ex2.problem,
+            HeuristicKind::kSolution2);
+
+  workload::RandomProblemParams params;
+  params.dag.operations = 14;
+  params.arch_kind = workload::ArchKind::kBus;
+  params.processors = 5;
+  params.failures_to_tolerate = 2;
+  params.seed = 3;
+  const workload::OwnedProblem cycab = workload::random_problem(params);
+  run_table("synthetic 5-processor bus (K=2, solution 1)", cycab.problem,
+            HeuristicKind::kSolution1);
+
+  bench::section("expectation");
+  bench::value("shape",
+               "fault tolerance cuts the per-iteration loss probability by "
+               "one to three orders of magnitude at realistic p; the "
+               "guaranteed bound tracks the exact figure from below");
+  return 0;
+}

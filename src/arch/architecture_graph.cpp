@@ -1,0 +1,146 @@
+#include "arch/architecture_graph.hpp"
+
+#include <algorithm>
+
+namespace ftsched {
+
+std::string to_string(LinkKind kind) {
+  switch (kind) {
+    case LinkKind::kPointToPoint:
+      return "point-to-point";
+    case LinkKind::kBus:
+      return "bus";
+  }
+  return "unknown";
+}
+
+bool Link::connects(ProcessorId p) const {
+  return std::binary_search(endpoints.begin(), endpoints.end(), p);
+}
+
+ProcessorId ArchitectureGraph::add_processor(std::string name) {
+  FTSCHED_REQUIRE(!name.empty(), "processor name must not be empty");
+  FTSCHED_REQUIRE(!find_processor(name).valid(),
+                  "duplicate processor name: " + name);
+  const ProcessorId id{static_cast<ProcessorId::underlying_type>(
+      processors_.size())};
+  processors_.push_back(Processor{id, std::move(name)});
+  links_of_.emplace_back();
+  return id;
+}
+
+LinkId ArchitectureGraph::add_link(std::string name, ProcessorId a,
+                                   ProcessorId b) {
+  FTSCHED_REQUIRE(a != b, "a point-to-point link needs two distinct endpoints");
+  std::vector<ProcessorId> endpoints{a, b};
+  std::sort(endpoints.begin(), endpoints.end());
+  FTSCHED_REQUIRE(!name.empty(), "link name must not be empty");
+  FTSCHED_REQUIRE(!find_link(name).valid(), "duplicate link name: " + name);
+  for (ProcessorId p : endpoints) {
+    FTSCHED_REQUIRE(p.valid() && p.index() < processors_.size(),
+                    "link endpoint is not a processor of this graph");
+  }
+  const LinkId id{static_cast<LinkId::underlying_type>(links_.size())};
+  links_.push_back(
+      Link{id, std::move(name), LinkKind::kPointToPoint, std::move(endpoints)});
+  for (ProcessorId p : links_.back().endpoints) {
+    links_of_[p.index()].push_back(id);
+  }
+  return id;
+}
+
+LinkId ArchitectureGraph::add_bus(std::string name,
+                                  std::vector<ProcessorId> endpoints) {
+  std::sort(endpoints.begin(), endpoints.end());
+  endpoints.erase(std::unique(endpoints.begin(), endpoints.end()),
+                  endpoints.end());
+  FTSCHED_REQUIRE(endpoints.size() >= 2, "a bus needs at least two endpoints");
+  FTSCHED_REQUIRE(!name.empty(), "link name must not be empty");
+  FTSCHED_REQUIRE(!find_link(name).valid(), "duplicate link name: " + name);
+  for (ProcessorId p : endpoints) {
+    FTSCHED_REQUIRE(p.valid() && p.index() < processors_.size(),
+                    "bus endpoint is not a processor of this graph");
+  }
+  const LinkId id{static_cast<LinkId::underlying_type>(links_.size())};
+  links_.push_back(Link{id, std::move(name), LinkKind::kBus,
+                        std::move(endpoints)});
+  for (ProcessorId p : links_.back().endpoints) {
+    links_of_[p.index()].push_back(id);
+  }
+  return id;
+}
+
+const Processor& ArchitectureGraph::processor(ProcessorId id) const {
+  FTSCHED_REQUIRE(id.valid() && id.index() < processors_.size(),
+                  "unknown processor id");
+  return processors_[id.index()];
+}
+
+const Link& ArchitectureGraph::link(LinkId id) const {
+  FTSCHED_REQUIRE(id.valid() && id.index() < links_.size(), "unknown link id");
+  return links_[id.index()];
+}
+
+ProcessorId ArchitectureGraph::find_processor(std::string_view name) const {
+  for (const Processor& p : processors_) {
+    if (p.name == name) return p.id;
+  }
+  return ProcessorId{};
+}
+
+LinkId ArchitectureGraph::find_link(std::string_view name) const {
+  for (const Link& l : links_) {
+    if (l.name == name) return l.id;
+  }
+  return LinkId{};
+}
+
+const std::vector<LinkId>& ArchitectureGraph::links_of(ProcessorId p) const {
+  FTSCHED_REQUIRE(p.valid() && p.index() < processors_.size(),
+                  "unknown processor id");
+  return links_of_[p.index()];
+}
+
+bool ArchitectureGraph::adjacent(ProcessorId a, ProcessorId b) const {
+  for (LinkId l : links_of(a)) {
+    if (links_[l.index()].connects(b)) return true;
+  }
+  return false;
+}
+
+bool ArchitectureGraph::is_connected() const {
+  if (processors_.empty()) return true;
+  std::vector<bool> seen(processors_.size(), false);
+  std::vector<ProcessorId> stack{processors_.front().id};
+  seen[0] = true;
+  std::size_t count = 1;
+  while (!stack.empty()) {
+    const ProcessorId p = stack.back();
+    stack.pop_back();
+    for (LinkId l : links_of_[p.index()]) {
+      for (ProcessorId q : links_[l.index()].endpoints) {
+        if (!seen[q.index()]) {
+          seen[q.index()] = true;
+          ++count;
+          stack.push_back(q);
+        }
+      }
+    }
+  }
+  return count == processors_.size();
+}
+
+std::vector<std::string> ArchitectureGraph::check() const {
+  std::vector<std::string> issues;
+  if (!is_connected()) {
+    issues.push_back("architecture graph is not connected");
+  }
+  for (const Processor& p : processors_) {
+    if (links_of_[p.id.index()].empty() && processors_.size() > 1) {
+      issues.push_back("processor '" + p.name + "' has no link");
+    }
+  }
+  return issues;
+}
+
+}  // namespace ftsched

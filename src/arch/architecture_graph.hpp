@@ -1,0 +1,92 @@
+// The architecture graph: processors connected by communication links
+// (paper §4.3). Each processor owns one computation unit plus one
+// communication unit per link it is attached to; links are either
+// point-to-point (exactly two endpoints) or multi-point buses (two or more
+// endpoints, transfers serialized by the bus arbiter, broadcast capable).
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "core/error.hpp"
+#include "core/ids.hpp"
+
+namespace ftsched {
+
+enum class LinkKind {
+  /// Connects exactly two processors; independent links transfer in parallel.
+  kPointToPoint,
+  /// Shared medium connecting >= 2 processors; transfers are serialized and
+  /// every attached processor observes every transfer (broadcast), which is
+  /// what solution 1's passive-backup detection relies on (§6.1 item 1).
+  kBus,
+};
+
+[[nodiscard]] std::string to_string(LinkKind kind);
+
+struct Processor {
+  ProcessorId id;
+  std::string name;
+};
+
+struct Link {
+  LinkId id;
+  std::string name;
+  LinkKind kind = LinkKind::kPointToPoint;
+  /// Attached processors, ascending id.
+  std::vector<ProcessorId> endpoints;
+
+  [[nodiscard]] bool connects(ProcessorId p) const;
+};
+
+class ArchitectureGraph {
+ public:
+  ProcessorId add_processor(std::string name);
+
+  /// Adds a point-to-point link between `a` and `b`.
+  LinkId add_link(std::string name, ProcessorId a, ProcessorId b);
+
+  /// Adds a bus attached to `endpoints` (>= 2 distinct processors).
+  LinkId add_bus(std::string name, std::vector<ProcessorId> endpoints);
+
+  [[nodiscard]] std::size_t processor_count() const noexcept {
+    return processors_.size();
+  }
+  [[nodiscard]] std::size_t link_count() const noexcept {
+    return links_.size();
+  }
+
+  [[nodiscard]] const Processor& processor(ProcessorId id) const;
+  [[nodiscard]] const Link& link(LinkId id) const;
+  [[nodiscard]] const std::vector<Processor>& processors() const noexcept {
+    return processors_;
+  }
+  [[nodiscard]] const std::vector<Link>& links() const noexcept {
+    return links_;
+  }
+
+  [[nodiscard]] ProcessorId find_processor(std::string_view name) const;
+  [[nodiscard]] LinkId find_link(std::string_view name) const;
+
+  /// Links whose endpoint set includes `p` (= the processor's communication
+  /// units), ascending link id.
+  [[nodiscard]] const std::vector<LinkId>& links_of(ProcessorId p) const;
+
+  /// True if some link directly connects `a` and `b`.
+  [[nodiscard]] bool adjacent(ProcessorId a, ProcessorId b) const;
+
+  /// True if every processor can reach every other through links.
+  [[nodiscard]] bool is_connected() const;
+
+  /// Structural diagnostics; empty means well-formed.
+  [[nodiscard]] std::vector<std::string> check() const;
+
+ private:
+  std::vector<Processor> processors_;
+  std::vector<Link> links_;
+  std::vector<std::vector<LinkId>> links_of_;  // per processor
+};
+
+}  // namespace ftsched

@@ -1,0 +1,148 @@
+#include "arch/characteristics.hpp"
+
+#include <algorithm>
+
+namespace ftsched {
+
+ExecTable::ExecTable(const AlgorithmGraph& algorithm,
+                     const ArchitectureGraph& arch)
+    : ops_(algorithm.operation_count()),
+      procs_(arch.processor_count()),
+      wcet_(ops_ * procs_, kInfinite),
+      algorithm_(&algorithm),
+      arch_(&arch) {}
+
+void ExecTable::set(OperationId op, ProcessorId proc, Time duration) {
+  FTSCHED_REQUIRE(op.valid() && op.index() < ops_, "unknown operation id");
+  FTSCHED_REQUIRE(proc.valid() && proc.index() < procs_,
+                  "unknown processor id");
+  FTSCHED_REQUIRE(is_infinite(duration) || time_gt(duration, 0),
+                  "execution duration must be positive");
+  wcet_[op.index() * procs_ + proc.index()] = duration;
+}
+
+void ExecTable::set_uniform(OperationId op, Time duration) {
+  for (std::size_t p = 0; p < procs_; ++p) {
+    set(op, ProcessorId{static_cast<ProcessorId::underlying_type>(p)},
+        duration);
+  }
+}
+
+Time ExecTable::duration(OperationId op, ProcessorId proc) const {
+  FTSCHED_REQUIRE(op.valid() && op.index() < ops_, "unknown operation id");
+  FTSCHED_REQUIRE(proc.valid() && proc.index() < procs_,
+                  "unknown processor id");
+  return wcet_[op.index() * procs_ + proc.index()];
+}
+
+std::vector<ProcessorId> ExecTable::allowed_processors(OperationId op) const {
+  std::vector<ProcessorId> result;
+  for (std::size_t p = 0; p < procs_; ++p) {
+    const ProcessorId proc{static_cast<ProcessorId::underlying_type>(p)};
+    if (allowed(op, proc)) result.push_back(proc);
+  }
+  return result;
+}
+
+Time ExecTable::min_duration(OperationId op) const {
+  Time best = kInfinite;
+  for (std::size_t p = 0; p < procs_; ++p) {
+    best = std::min(best, wcet_[op.index() * procs_ + p]);
+  }
+  return best;
+}
+
+std::vector<std::string> ExecTable::check(std::size_t replicas) const {
+  std::vector<std::string> issues;
+  for (const Operation& op : algorithm_->operations()) {
+    const std::size_t allowed = allowed_processors(op.id).size();
+    if (allowed == 0) {
+      issues.push_back("operation '" + op.name +
+                       "' has no allowed processor");
+    } else if (allowed < replicas) {
+      issues.push_back("operation '" + op.name + "' allows only " +
+                       std::to_string(allowed) + " processor(s), but " +
+                       std::to_string(replicas) +
+                       " replicas are required (insufficient redundancy)");
+    }
+  }
+  return issues;
+}
+
+CommTable::CommTable(const AlgorithmGraph& algorithm,
+                     const ArchitectureGraph& arch)
+    : deps_(algorithm.dependency_count()),
+      links_(arch.link_count()),
+      cost_(deps_ * links_, kInfinite),
+      algorithm_(&algorithm),
+      arch_(&arch) {}
+
+void CommTable::set(DependencyId dep, LinkId link, Time duration) {
+  FTSCHED_REQUIRE(dep.valid() && dep.index() < deps_, "unknown dependency id");
+  FTSCHED_REQUIRE(link.valid() && link.index() < links_, "unknown link id");
+  FTSCHED_REQUIRE(time_gt(duration, 0) && !is_infinite(duration),
+                  "communication duration must be positive and finite");
+  cost_[dep.index() * links_ + link.index()] = duration;
+}
+
+void CommTable::set_uniform(DependencyId dep, Time duration) {
+  for (std::size_t l = 0; l < links_; ++l) {
+    set(dep, LinkId{static_cast<LinkId::underlying_type>(l)}, duration);
+  }
+}
+
+Time CommTable::duration(DependencyId dep, LinkId link) const {
+  FTSCHED_REQUIRE(dep.valid() && dep.index() < deps_, "unknown dependency id");
+  FTSCHED_REQUIRE(link.valid() && link.index() < links_, "unknown link id");
+  return cost_[dep.index() * links_ + link.index()];
+}
+
+Time CommTable::route_duration(DependencyId dep, const Route& route) const {
+  Time total = 0;
+  for (LinkId link : route.links) {
+    const Time d = duration(dep, link);
+    if (is_infinite(d)) return kInfinite;
+    total += d;
+  }
+  return total;
+}
+
+std::vector<std::string> CommTable::check() const {
+  std::vector<std::string> issues;
+  for (const Dependency& dep : algorithm_->dependencies()) {
+    for (const Link& link : arch_->links()) {
+      if (is_infinite(duration(dep.id, link.id))) {
+        issues.push_back("dependency '" + dep.name +
+                         "' has no duration on link '" + link.name + "'");
+      }
+    }
+  }
+  return issues;
+}
+
+std::vector<std::string> Problem::check() const {
+  std::vector<std::string> issues;
+  FTSCHED_REQUIRE(algorithm && architecture && exec && comm,
+                  "Problem has unset components");
+  FTSCHED_REQUIRE(failures_to_tolerate >= 0,
+                  "failures_to_tolerate must be non-negative");
+  for (std::string& s : algorithm->check()) issues.push_back(std::move(s));
+  for (std::string& s : architecture->check()) issues.push_back(std::move(s));
+  if (architecture->processor_count() <
+      static_cast<std::size_t>(replication_factor())) {
+    issues.push_back("architecture has " +
+                     std::to_string(architecture->processor_count()) +
+                     " processor(s); tolerating " +
+                     std::to_string(failures_to_tolerate) +
+                     " failure(s) requires at least " +
+                     std::to_string(replication_factor()));
+  }
+  for (std::string& s :
+       exec->check(static_cast<std::size_t>(replication_factor()))) {
+    issues.push_back(std::move(s));
+  }
+  for (std::string& s : comm->check()) issues.push_back(std::move(s));
+  return issues;
+}
+
+}  // namespace ftsched

@@ -1,0 +1,112 @@
+// Distribution constraints (paper §4.1, §5.4): the two lookup tables that
+// characterize an algorithm against an architecture.
+//
+//  * ExecTable — worst-case execution time of each operation on each
+//    processor; kInfinite means the operation may not run there (the user's
+//    allowed-processor sets, which encode extio placement constraints).
+//  * CommTable — transfer duration of each data-dependency over each link.
+//
+// Together with the two graphs these tables are the complete input of every
+// scheduling heuristic in this library.
+#pragma once
+
+#include <vector>
+
+#include "arch/architecture_graph.hpp"
+#include "arch/routing.hpp"
+#include "core/time.hpp"
+#include "graph/algorithm_graph.hpp"
+
+namespace ftsched {
+
+class ExecTable {
+ public:
+  /// All entries start at kInfinite ("not allowed").
+  ExecTable(const AlgorithmGraph& algorithm, const ArchitectureGraph& arch);
+
+  /// Sets the WCET of `op` on `proc`. Pass kInfinite to disallow.
+  void set(OperationId op, ProcessorId proc, Time duration);
+
+  /// Convenience: one WCET for `op` on every processor.
+  void set_uniform(OperationId op, Time duration);
+
+  [[nodiscard]] Time duration(OperationId op, ProcessorId proc) const;
+  [[nodiscard]] bool allowed(OperationId op, ProcessorId proc) const {
+    return !is_infinite(duration(op, proc));
+  }
+
+  /// Processors able to execute `op`, ascending id.
+  [[nodiscard]] std::vector<ProcessorId> allowed_processors(
+      OperationId op) const;
+
+  /// Cheapest WCET of `op` over all processors (the optimistic duration used
+  /// by the schedule-pressure bound); kInfinite if nowhere allowed.
+  [[nodiscard]] Time min_duration(OperationId op) const;
+
+  /// Diagnostics: operations with no allowed processor, or with fewer than
+  /// `replicas` allowed processors (infeasible for K = replicas-1 failures).
+  [[nodiscard]] std::vector<std::string> check(std::size_t replicas) const;
+
+  [[nodiscard]] std::size_t operation_count() const noexcept { return ops_; }
+  [[nodiscard]] std::size_t processor_count() const noexcept { return procs_; }
+
+ private:
+  std::size_t ops_ = 0;
+  std::size_t procs_ = 0;
+  std::vector<Time> wcet_;  // ops x procs, row-major
+  const AlgorithmGraph* algorithm_;
+  const ArchitectureGraph* arch_;
+};
+
+class CommTable {
+ public:
+  /// All entries start at kInfinite ("duration not specified").
+  CommTable(const AlgorithmGraph& algorithm, const ArchitectureGraph& arch);
+
+  void set(DependencyId dep, LinkId link, Time duration);
+
+  /// Convenience: one duration for `dep` on every link (the shape of the
+  /// paper's tables).
+  void set_uniform(DependencyId dep, Time duration);
+
+  /// Duration of `dep` over a single `link`.
+  [[nodiscard]] Time duration(DependencyId dep, LinkId link) const;
+
+  /// Store-and-forward duration of `dep` over `route` (sum over its links);
+  /// zero for the intra-processor route.
+  [[nodiscard]] Time route_duration(DependencyId dep, const Route& route) const;
+
+  /// Diagnostics: dependencies with an unspecified duration on some link.
+  [[nodiscard]] std::vector<std::string> check() const;
+
+ private:
+  std::size_t deps_ = 0;
+  std::size_t links_ = 0;
+  std::vector<Time> cost_;  // deps x links, row-major
+  const AlgorithmGraph* algorithm_;
+  const ArchitectureGraph* arch_;
+};
+
+/// The complete scheduling problem: both graphs, both tables, and the number
+/// K of fail-stop processor failures to tolerate (§5.6).
+struct Problem {
+  const AlgorithmGraph* algorithm = nullptr;
+  const ArchitectureGraph* architecture = nullptr;
+  const ExecTable* exec = nullptr;
+  const CommTable* comm = nullptr;
+  /// Number of permanent fail-stop processor failures to tolerate.
+  int failures_to_tolerate = 0;
+  /// Real-time constraint: latest admissible completion date of one
+  /// iteration's failure-free schedule. kInfinite means unconstrained.
+  Time deadline = kInfinite;
+
+  [[nodiscard]] int replication_factor() const noexcept {
+    return failures_to_tolerate + 1;
+  }
+
+  /// Full-input diagnostics (graph checks + table checks + redundancy);
+  /// empty means the problem is well-formed and potentially feasible.
+  [[nodiscard]] std::vector<std::string> check() const;
+};
+
+}  // namespace ftsched

@@ -1,0 +1,152 @@
+#include "arch/routing.hpp"
+
+#include <algorithm>
+#include <optional>
+#include <queue>
+
+namespace ftsched {
+
+namespace {
+
+/// BFS shortest route avoiding `banned` links and, when provided, banned
+/// intermediate processors (the destination is always admissible); empty
+/// optional if unreachable. Neighbors expand in ascending (link, processor)
+/// order for determinism.
+std::optional<Route> bfs_route(const ArchitectureGraph& arch,
+                               ProcessorId src, ProcessorId dst,
+                               const std::vector<bool>& banned,
+                               const std::vector<bool>* banned_procs =
+                                   nullptr) {
+  const std::size_t n = arch.processor_count();
+  std::vector<LinkId> via_link(n);
+  std::vector<ProcessorId> parent(n);
+  std::vector<bool> seen(n, false);
+  seen[src.index()] = true;
+  std::queue<ProcessorId> frontier;
+  frontier.push(src);
+  while (!frontier.empty()) {
+    const ProcessorId p = frontier.front();
+    frontier.pop();
+    for (LinkId l : arch.links_of(p)) {
+      if (banned[l.index()]) continue;
+      for (ProcessorId q : arch.link(l).endpoints) {
+        if (q == p || seen[q.index()]) continue;
+        if (banned_procs != nullptr && (*banned_procs)[q.index()] &&
+            q != dst) {
+          continue;
+        }
+        seen[q.index()] = true;
+        via_link[q.index()] = l;
+        parent[q.index()] = p;
+        frontier.push(q);
+      }
+    }
+  }
+  if (!seen[dst.index()]) return std::nullopt;
+  Route route;
+  std::vector<LinkId> links;
+  std::vector<ProcessorId> hops{dst};
+  ProcessorId cur = dst;
+  while (cur != src) {
+    links.push_back(via_link[cur.index()]);
+    cur = parent[cur.index()];
+    hops.push_back(cur);
+  }
+  std::reverse(links.begin(), links.end());
+  std::reverse(hops.begin(), hops.end());
+  route.links = std::move(links);
+  route.hops = std::move(hops);
+  return route;
+}
+
+}  // namespace
+
+RoutingTable::RoutingTable(const ArchitectureGraph& arch)
+    : n_(arch.processor_count()), arch_(&arch), routes_(n_ * n_) {
+  FTSCHED_REQUIRE(arch.is_connected(),
+                  "routing requires a connected architecture");
+
+  for (const Processor& src : arch.processors()) {
+    // BFS from src. Neighbors are expanded in ascending (link, processor)
+    // order, and a vertex keeps its first discovery, which yields the
+    // lexicographically smallest link sequence among min-hop routes.
+    std::vector<LinkId> via_link(n_);
+    std::vector<ProcessorId> parent(n_);
+    std::vector<bool> seen(n_, false);
+    seen[src.id.index()] = true;
+    std::queue<ProcessorId> frontier;
+    frontier.push(src.id);
+    while (!frontier.empty()) {
+      const ProcessorId p = frontier.front();
+      frontier.pop();
+      for (LinkId l : arch.links_of(p)) {
+        for (ProcessorId q : arch.link(l).endpoints) {
+          if (q == p || seen[q.index()]) continue;
+          seen[q.index()] = true;
+          via_link[q.index()] = l;
+          parent[q.index()] = p;
+          frontier.push(q);
+        }
+      }
+    }
+
+    for (const Processor& dst : arch.processors()) {
+      Route& r = routes_[src.id.index() * n_ + dst.id.index()];
+      if (dst.id == src.id) {
+        r.hops = {src.id};
+        continue;
+      }
+      // Walk parents back from dst and reverse.
+      std::vector<LinkId> links;
+      std::vector<ProcessorId> hops{dst.id};
+      ProcessorId cur = dst.id;
+      while (cur != src.id) {
+        links.push_back(via_link[cur.index()]);
+        cur = parent[cur.index()];
+        hops.push_back(cur);
+      }
+      std::reverse(links.begin(), links.end());
+      std::reverse(hops.begin(), hops.end());
+      r.links = std::move(links);
+      r.hops = std::move(hops);
+      diameter_ = std::max(diameter_, r.links.size());
+    }
+  }
+}
+
+std::vector<Route> RoutingTable::disjoint_routes(ProcessorId src,
+                                                 ProcessorId dst,
+                                                 std::size_t count) const {
+  FTSCHED_REQUIRE(count >= 1, "disjoint_routes needs count >= 1");
+  std::vector<Route> result{route(src, dst)};
+  if (src == dst) return result;
+  std::vector<bool> banned(arch_->link_count(), false);
+  for (LinkId link : result.front().links) banned[link.index()] = true;
+  while (result.size() < count) {
+    const std::optional<Route> next = bfs_route(*arch_, src, dst, banned);
+    if (!next.has_value()) break;
+    for (LinkId link : next->links) banned[link.index()] = true;
+    result.push_back(std::move(*next));
+  }
+  return result;
+}
+
+std::optional<Route> RoutingTable::route_avoiding(
+    ProcessorId src, ProcessorId dst, const std::vector<bool>& banned_links,
+    const std::vector<bool>* banned_processors) const {
+  FTSCHED_REQUIRE(banned_links.size() == arch_->link_count(),
+                  "banned_links must have one entry per link");
+  FTSCHED_REQUIRE(banned_processors == nullptr ||
+                      banned_processors->size() == n_,
+                  "banned_processors must have one entry per processor");
+  return bfs_route(*arch_, src, dst, banned_links, banned_processors);
+}
+
+const Route& RoutingTable::route(ProcessorId src, ProcessorId dst) const {
+  FTSCHED_REQUIRE(src.valid() && src.index() < n_ && dst.valid() &&
+                      dst.index() < n_,
+                  "route endpoints must belong to the architecture");
+  return routes_[src.index() * n_ + dst.index()];
+}
+
+}  // namespace ftsched

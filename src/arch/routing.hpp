@@ -1,0 +1,73 @@
+// Static routing (paper §5.5 item 2: static routing is preferred because it
+// yields a worst-case upper bound on every communication).
+//
+// A route between two processors is the ordered sequence of links a value
+// crosses, store-and-forward through intermediate processors (the paper's
+// Figure 8 example routes P1<->P3 through P2). Routes are computed once,
+// off-line: minimum hop count, ties broken by the lexicographically smallest
+// link-id sequence, so every component of the system — heuristics, executive
+// generation, simulator — agrees on the same deterministic route table.
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "arch/architecture_graph.hpp"
+#include "core/error.hpp"
+
+namespace ftsched {
+
+/// One inter-processor route.
+struct Route {
+  /// Links crossed, in order, from source to destination. Empty for the
+  /// degenerate source == destination route.
+  std::vector<LinkId> links;
+  /// Processors visited, in order, including source and destination; always
+  /// links.size() + 1 entries (one entry when source == destination).
+  std::vector<ProcessorId> hops;
+
+  [[nodiscard]] std::size_t hop_count() const noexcept { return links.size(); }
+};
+
+class RoutingTable {
+ public:
+  /// Builds all-pairs routes by breadth-first search over the link graph.
+  /// Throws if the architecture is not connected (no route exists).
+  explicit RoutingTable(const ArchitectureGraph& arch);
+
+  /// Route from `src` to `dst`. Precondition: both ids belong to the
+  /// architecture the table was built from.
+  [[nodiscard]] const Route& route(ProcessorId src, ProcessorId dst) const;
+
+  /// Up to `count` pairwise link-disjoint routes from `src` to `dst`,
+  /// shortest first (greedy: repeat the BFS with previously used links
+  /// removed). At least one route is always returned (the primary); fewer
+  /// than `count` when the topology lacks disjoint paths — a single bus
+  /// yields exactly one. Replicated communications routed over disjoint
+  /// paths survive individual link failures (the paper's §8 future work).
+  [[nodiscard]] std::vector<Route> disjoint_routes(ProcessorId src,
+                                                   ProcessorId dst,
+                                                   std::size_t count) const;
+
+  /// Shortest route from `src` to `dst` that crosses no banned link and
+  /// relays through no banned processor (`dst` itself is always
+  /// admissible); nullopt when the bans disconnect the pair. Used to give
+  /// each replicated transfer of one value a route that avoids its
+  /// siblings' links and relays, and the other replica hosts — so neither
+  /// a link death nor a processor death can sever every copy.
+  [[nodiscard]] std::optional<Route> route_avoiding(
+      ProcessorId src, ProcessorId dst,
+      const std::vector<bool>& banned_links,
+      const std::vector<bool>* banned_processors = nullptr) const;
+
+  /// Largest hop count in the table (the network diameter).
+  [[nodiscard]] std::size_t diameter() const noexcept { return diameter_; }
+
+ private:
+  std::size_t n_ = 0;
+  std::size_t diameter_ = 0;
+  const ArchitectureGraph* arch_ = nullptr;
+  std::vector<Route> routes_;  // n*n, row-major [src][dst]
+};
+
+}  // namespace ftsched

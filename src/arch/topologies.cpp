@@ -1,0 +1,79 @@
+#include "arch/topologies.hpp"
+
+#include <string>
+#include <vector>
+
+#include "core/error.hpp"
+
+namespace ftsched::topologies {
+
+namespace {
+
+std::vector<ProcessorId> add_processors(ArchitectureGraph& arch,
+                                        std::size_t n) {
+  std::vector<ProcessorId> procs;
+  procs.reserve(n);
+  for (std::size_t i = 1; i <= n; ++i) {
+    procs.push_back(arch.add_processor("P" + std::to_string(i)));
+  }
+  return procs;
+}
+
+std::string link_name(std::size_t i, std::size_t j) {
+  return "L" + std::to_string(i + 1) + "." + std::to_string(j + 1);
+}
+
+}  // namespace
+
+ArchitectureGraph single_bus(std::size_t n) {
+  FTSCHED_REQUIRE(n >= 2, "a bus topology needs at least two processors");
+  ArchitectureGraph arch;
+  const auto procs = add_processors(arch, n);
+  arch.add_bus("bus", procs);
+  return arch;
+}
+
+ArchitectureGraph fully_connected(std::size_t n) {
+  FTSCHED_REQUIRE(n >= 2, "a network needs at least two processors");
+  ArchitectureGraph arch;
+  const auto procs = add_processors(arch, n);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = i + 1; j < n; ++j) {
+      arch.add_link(link_name(i, j), procs[i], procs[j]);
+    }
+  }
+  return arch;
+}
+
+ArchitectureGraph chain(std::size_t n) {
+  FTSCHED_REQUIRE(n >= 2, "a chain needs at least two processors");
+  ArchitectureGraph arch;
+  const auto procs = add_processors(arch, n);
+  for (std::size_t i = 0; i + 1 < n; ++i) {
+    arch.add_link(link_name(i, i + 1), procs[i], procs[i + 1]);
+  }
+  return arch;
+}
+
+ArchitectureGraph ring(std::size_t n) {
+  FTSCHED_REQUIRE(n >= 3, "a ring needs at least three processors");
+  ArchitectureGraph arch;
+  const auto procs = add_processors(arch, n);
+  for (std::size_t i = 0; i + 1 < n; ++i) {
+    arch.add_link(link_name(i, i + 1), procs[i], procs[i + 1]);
+  }
+  arch.add_link(link_name(0, n - 1), procs[0], procs[n - 1]);
+  return arch;
+}
+
+ArchitectureGraph star(std::size_t n) {
+  FTSCHED_REQUIRE(n >= 2, "a star needs at least two processors");
+  ArchitectureGraph arch;
+  const auto procs = add_processors(arch, n);
+  for (std::size_t i = 1; i < n; ++i) {
+    arch.add_link(link_name(0, i), procs[0], procs[i]);
+  }
+  return arch;
+}
+
+}  // namespace ftsched::topologies

@@ -1,0 +1,28 @@
+// Factory functions for the architecture shapes used throughout the paper
+// and the benchmarks: a single shared bus (example 1, CAN-style), a fully
+// connected point-to-point network (example 2), and the chain of Figure 8.
+#pragma once
+
+#include <cstddef>
+
+#include "arch/architecture_graph.hpp"
+
+namespace ftsched::topologies {
+
+/// `n` processors P1..Pn on one bus named "bus".
+[[nodiscard]] ArchitectureGraph single_bus(std::size_t n);
+
+/// `n` processors, one point-to-point link "Li.j" per pair (i < j).
+[[nodiscard]] ArchitectureGraph fully_connected(std::size_t n);
+
+/// `n` processors in a line: P1—P2—...—Pn (communications between distant
+/// processors are routed through the intermediates, as in Figure 8).
+[[nodiscard]] ArchitectureGraph chain(std::size_t n);
+
+/// `n` processors in a cycle (two disjoint routes between any pair).
+[[nodiscard]] ArchitectureGraph ring(std::size_t n);
+
+/// Star: P1 is the hub, P2..Pn are leaves linked to it.
+[[nodiscard]] ArchitectureGraph star(std::size_t n);
+
+}  // namespace ftsched::topologies

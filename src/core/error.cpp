@@ -1,0 +1,19 @@
+#include "core/error.hpp"
+
+namespace ftsched {
+
+std::string to_string(Error::Code code) {
+  switch (code) {
+    case Error::Code::kInsufficientRedundancy:
+      return "insufficient-redundancy";
+    case Error::Code::kInvalidInput:
+      return "invalid-input";
+    case Error::Code::kDeadlineMissed:
+      return "deadline-missed";
+    case Error::Code::kNoRoute:
+      return "no-route";
+  }
+  return "unknown";
+}
+
+}  // namespace ftsched

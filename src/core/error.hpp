@@ -1,0 +1,97 @@
+// Error handling for ftsched.
+//
+// Two regimes, following the C++ Core Guidelines split between contract
+// violations and recoverable domain failures:
+//
+//  * Programming/contract errors (out-of-range id, malformed graph fed to an
+//    API that documents a precondition) throw `std::invalid_argument` /
+//    `std::out_of_range` via the FTSCHED_REQUIRE macro below.
+//
+//  * Domain failures that a correct caller must be able to observe — above
+//    all "no K-fault-tolerant schedule exists for this input" (paper §5.5
+//    item 1 and §8) — are reported as values through `Expected<T>`.
+#pragma once
+
+#include <optional>
+#include <stdexcept>
+#include <string>
+#include <utility>
+
+namespace ftsched {
+
+/// Reason a scheduling/analysis request could not be satisfied.
+/// `message` is always human-readable and names the offending entity.
+struct Error {
+  enum class Code {
+    /// An operation's allowed-processor set has fewer than K+1 members, or
+    /// the architecture has fewer than K+1 processors (paper §5.5 item 1).
+    kInsufficientRedundancy,
+    /// Graph/table inconsistency detected while solving (e.g. a dependency
+    /// whose communication duration is missing for a required link).
+    kInvalidInput,
+    /// The produced schedule violates the caller's real-time bound.
+    kDeadlineMissed,
+    /// Architecture is not connected / no route between two processors.
+    kNoRoute,
+  };
+
+  Code code = Code::kInvalidInput;
+  std::string message;
+};
+
+[[nodiscard]] std::string to_string(Error::Code code);
+
+/// Minimal expected-like result carrier (std::expected is C++23).
+template <class T>
+class Expected {
+ public:
+  Expected(T value) : value_(std::move(value)) {}        // NOLINT(runtime/explicit)
+  Expected(Error error) : error_(std::move(error)) {}    // NOLINT(runtime/explicit)
+
+  [[nodiscard]] bool has_value() const noexcept { return value_.has_value(); }
+  explicit operator bool() const noexcept { return has_value(); }
+
+  /// Precondition: has_value(). Throws std::logic_error otherwise so tests
+  /// fail loudly instead of dereferencing an empty optional.
+  [[nodiscard]] T& value() & {
+    require_value();
+    return *value_;
+  }
+  [[nodiscard]] const T& value() const& {
+    require_value();
+    return *value_;
+  }
+  [[nodiscard]] T&& value() && {
+    require_value();
+    return std::move(*value_);
+  }
+
+  [[nodiscard]] const T* operator->() const { return &value(); }
+  [[nodiscard]] T* operator->() { return &value(); }
+  [[nodiscard]] const T& operator*() const& { return value(); }
+  [[nodiscard]] T& operator*() & { return value(); }
+
+  /// Precondition: !has_value().
+  [[nodiscard]] const Error& error() const {
+    if (has_value()) throw std::logic_error("Expected holds a value, not an error");
+    return *error_;
+  }
+
+ private:
+  void require_value() const {
+    if (!value_.has_value()) {
+      throw std::logic_error("Expected holds an error: " + error_->message);
+    }
+  }
+
+  std::optional<T> value_;
+  std::optional<Error> error_;
+};
+
+/// Contract check used at public API boundaries.
+#define FTSCHED_REQUIRE(cond, msg)                     \
+  do {                                                 \
+    if (!(cond)) throw std::invalid_argument((msg));   \
+  } while (false)
+
+}  // namespace ftsched

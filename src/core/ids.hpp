@@ -1,0 +1,70 @@
+// Strongly typed identifiers.
+//
+// Every entity in ftsched (operation, data-dependency, processor, link, ...)
+// is identified by a dense index into its owning container. Raw `int` indices
+// are easy to mix up across containers, so each entity gets its own Id type:
+// `OperationId`, `ProcessorId`, ... They convert explicitly, compare, hash,
+// and can key std::vector-based lookup tables through `value()`.
+#pragma once
+
+#include <compare>
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <string>
+
+namespace ftsched {
+
+/// CRTP-free strong index. `Tag` makes distinct instantiations incompatible.
+template <class Tag>
+class Id {
+ public:
+  using underlying_type = std::int32_t;
+
+  constexpr Id() = default;
+  constexpr explicit Id(underlying_type v) noexcept : value_(v) {}
+
+  /// Dense index for vector-backed tables; negative means invalid.
+  [[nodiscard]] constexpr underlying_type value() const noexcept {
+    return value_;
+  }
+  [[nodiscard]] constexpr bool valid() const noexcept { return value_ >= 0; }
+
+  /// Convenience for indexing: `table[id.index()]`.
+  [[nodiscard]] constexpr std::size_t index() const noexcept {
+    return static_cast<std::size_t>(value_);
+  }
+
+  friend constexpr auto operator<=>(Id, Id) = default;
+
+ private:
+  underlying_type value_ = -1;
+};
+
+struct OperationTag {};
+struct DependencyTag {};
+struct ProcessorTag {};
+struct LinkTag {};
+
+/// Vertex of the algorithm graph (comp / mem / extio).
+using OperationId = Id<OperationTag>;
+/// Edge of the algorithm graph (a data-dependency).
+using DependencyId = Id<DependencyTag>;
+/// Vertex of the architecture graph (one computation unit per processor).
+using ProcessorId = Id<ProcessorTag>;
+/// Hyper-edge of the architecture graph (point-to-point link or bus).
+using LinkId = Id<LinkTag>;
+
+template <class Tag>
+[[nodiscard]] std::string to_string(Id<Tag> id) {
+  return id.valid() ? std::to_string(id.value()) : std::string("<invalid>");
+}
+
+}  // namespace ftsched
+
+template <class Tag>
+struct std::hash<ftsched::Id<Tag>> {
+  std::size_t operator()(ftsched::Id<Tag> id) const noexcept {
+    return std::hash<std::int32_t>{}(id.value());
+  }
+};

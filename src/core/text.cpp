@@ -1,0 +1,59 @@
+#include "core/text.hpp"
+
+#include <algorithm>
+
+namespace ftsched {
+
+std::string pad_left(std::string_view s, std::size_t width) {
+  std::string out;
+  if (s.size() < width) out.assign(width - s.size(), ' ');
+  out += s;
+  return out;
+}
+
+std::string pad_right(std::string_view s, std::size_t width) {
+  std::string out{s};
+  if (out.size() < width) out.append(width - out.size(), ' ');
+  return out;
+}
+
+std::string join(const std::vector<std::string>& parts, std::string_view sep) {
+  std::string out;
+  for (std::size_t i = 0; i < parts.size(); ++i) {
+    if (i != 0) out += sep;
+    out += parts[i];
+  }
+  return out;
+}
+
+std::string render_table(const std::vector<std::vector<std::string>>& rows) {
+  if (rows.empty()) return {};
+  std::vector<std::size_t> widths;
+  for (const auto& row : rows) {
+    if (row.size() > widths.size()) widths.resize(row.size(), 0);
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+  std::string out;
+  auto emit_row = [&](const std::vector<std::string>& row) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      if (c != 0) out += "  ";
+      out += pad_right(row[c], widths[c]);
+    }
+    // Trim trailing spaces introduced by padding the last column.
+    while (!out.empty() && out.back() == ' ') out.pop_back();
+    out += '\n';
+  };
+  emit_row(rows.front());
+  std::size_t total = 0;
+  for (std::size_t c = 0; c < widths.size(); ++c) {
+    total += widths[c] + (c != 0 ? 2 : 0);
+  }
+  out.append(total, '-');
+  out += '\n';
+  for (std::size_t r = 1; r < rows.size(); ++r) emit_row(rows[r]);
+  return out;
+}
+
+}  // namespace ftsched

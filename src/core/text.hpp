@@ -1,0 +1,27 @@
+// Small text-formatting helpers shared by the Gantt renderer, the DOT
+// exporter, benchmark tables, and diagnostics. Kept dependency-free.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace ftsched {
+
+/// Left-pads `s` with spaces to at least `width` characters.
+[[nodiscard]] std::string pad_left(std::string_view s, std::size_t width);
+
+/// Right-pads `s` with spaces to at least `width` characters.
+[[nodiscard]] std::string pad_right(std::string_view s, std::size_t width);
+
+/// Joins `parts` with `sep` ("a, b, c").
+[[nodiscard]] std::string join(const std::vector<std::string>& parts,
+                               std::string_view sep);
+
+/// Renders a fixed-width text table: first row is the header, a rule is
+/// drawn under it, and every column is sized to its widest cell. Used by the
+/// benchmark binaries to print the paper's tables.
+[[nodiscard]] std::string render_table(
+    const std::vector<std::vector<std::string>>& rows);
+
+}  // namespace ftsched

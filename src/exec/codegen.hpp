@@ -1,0 +1,28 @@
+// Executive generation: static schedule -> per-unit macro-instruction
+// programs (paper §4.1 step 2). The result is checked against the schedule
+// by the test suite and rendered to pseudo-C by emit_c().
+#pragma once
+
+#include <string>
+
+#include "exec/program.hpp"
+#include "sched/schedule.hpp"
+
+namespace ftsched {
+
+/// Derives the executive:
+///  * every replica becomes a kExec on its processor's computation unit, in
+///    start-date order;
+///  * every active transfer hop becomes a kSend on the feeding processor's
+///    communication unit for that link, and a kRecv on each receiving
+///    endpoint that consumes the value, in link-occupation order;
+///  * under solution 1, kRecv instructions carry the receiver's watch chain
+///    and every passive comm becomes a kOpComm on its backup's unit.
+[[nodiscard]] Executive generate_executive(const Schedule& schedule);
+
+/// Renders the executive as human-readable pseudo-C, one function per unit
+/// (the shape of SynDEx's m4-macro output).
+[[nodiscard]] std::string emit_c(const Executive& executive,
+                                 const Schedule& schedule);
+
+}  // namespace ftsched

@@ -1,0 +1,68 @@
+// The distributed executive (paper §4.1 step 2): the static schedule
+// translated into one macro-instruction program per computation unit and
+// per communication unit, exactly what SynDEx's executive generator emits
+// before macro-expansion into compilable code.
+//
+// Instruction kinds:
+//   kExec   — run one replica of an operation (computation units);
+//   kSend   — transmit a dependency's value over one link hop;
+//   kRecv   — wait for a dependency's value on one link, guarded by the
+//             solution-1 watch chain (Figure 10's receive with timeout);
+//   kOpComm — a backup replica's conditional send: watch the better-ranked
+//             senders and transmit if they all time out (Figure 12).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/ids.hpp"
+#include "core/time.hpp"
+#include "sched/timeouts.hpp"
+
+namespace ftsched {
+
+struct Instruction {
+  enum class Kind { kExec, kSend, kRecv, kOpComm };
+
+  Kind kind = Kind::kExec;
+  /// kExec: the operation and its replica rank.
+  OperationId op;
+  int rank = -1;
+  /// Comm kinds: the dependency carried.
+  DependencyId dep;
+  /// kSend/kRecv: the link crossed by this hop.
+  LinkId link;
+  /// kSend: destination processor of the transfer. kRecv: sending hop.
+  ProcessorId peer;
+  /// Nominal (failure-free) dates from the static schedule; an OpComm has
+  /// no nominal dates (it acts only after a failure).
+  Time planned_start = 0;
+  Time planned_end = 0;
+  /// kRecv / kOpComm: the watch chain (empty outside solution 1).
+  std::vector<TimeoutEntry> chain;
+};
+
+/// The instruction sequence of one sequential unit.
+struct UnitProgram {
+  std::string name;
+  std::vector<Instruction> instructions;
+};
+
+/// All programs of one processor: its computation unit plus one
+/// communication unit per attached link.
+struct ProcessorPrograms {
+  ProcessorId processor;
+  UnitProgram computation;
+  std::vector<std::pair<LinkId, UnitProgram>> comm_units;
+};
+
+struct Executive {
+  HeuristicKind kind = HeuristicKind::kBase;
+  std::vector<ProcessorPrograms> processors;
+
+  [[nodiscard]] const ProcessorPrograms& of(ProcessorId proc) const {
+    return processors.at(proc.index());
+  }
+};
+
+}  // namespace ftsched

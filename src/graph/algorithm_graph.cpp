@@ -1,0 +1,172 @@
+#include "graph/algorithm_graph.hpp"
+
+#include <algorithm>
+#include <queue>
+#include <unordered_set>
+
+namespace ftsched {
+
+OperationId AlgorithmGraph::add_operation(std::string name,
+                                          OperationKind kind) {
+  FTSCHED_REQUIRE(!name.empty(), "operation name must not be empty");
+  FTSCHED_REQUIRE(!find_operation(name).valid(),
+                  "duplicate operation name: " + name);
+  const OperationId id{static_cast<OperationId::underlying_type>(
+      operations_.size())};
+  operations_.push_back(Operation{id, std::move(name), kind});
+  in_.emplace_back();
+  out_.emplace_back();
+  return id;
+}
+
+DependencyId AlgorithmGraph::add_dependency(OperationId src, OperationId dst,
+                                            std::string name) {
+  FTSCHED_REQUIRE(src.valid() && src.index() < operations_.size(),
+                  "dependency source is not a vertex of this graph");
+  FTSCHED_REQUIRE(dst.valid() && dst.index() < operations_.size(),
+                  "dependency destination is not a vertex of this graph");
+  FTSCHED_REQUIRE(src != dst, "self-dependency is not allowed");
+  const DependencyId id{static_cast<DependencyId::underlying_type>(
+      dependencies_.size())};
+  if (name.empty()) {
+    name = operations_[src.index()].name + "->" + operations_[dst.index()].name;
+  }
+  dependencies_.push_back(Dependency{id, src, dst, std::move(name)});
+  out_[src.index()].push_back(id);
+  in_[dst.index()].push_back(id);
+  return id;
+}
+
+const Operation& AlgorithmGraph::operation(OperationId id) const {
+  FTSCHED_REQUIRE(id.valid() && id.index() < operations_.size(),
+                  "unknown operation id");
+  return operations_[id.index()];
+}
+
+const Dependency& AlgorithmGraph::dependency(DependencyId id) const {
+  FTSCHED_REQUIRE(id.valid() && id.index() < dependencies_.size(),
+                  "unknown dependency id");
+  return dependencies_[id.index()];
+}
+
+OperationId AlgorithmGraph::find_operation(std::string_view name) const {
+  for (const Operation& op : operations_) {
+    if (op.name == name) return op.id;
+  }
+  return OperationId{};
+}
+
+const std::vector<DependencyId>& AlgorithmGraph::in_dependencies(
+    OperationId op) const {
+  FTSCHED_REQUIRE(op.valid() && op.index() < operations_.size(),
+                  "unknown operation id");
+  return in_[op.index()];
+}
+
+const std::vector<DependencyId>& AlgorithmGraph::out_dependencies(
+    OperationId op) const {
+  FTSCHED_REQUIRE(op.valid() && op.index() < operations_.size(),
+                  "unknown operation id");
+  return out_[op.index()];
+}
+
+bool AlgorithmGraph::is_precedence(DependencyId dep) const {
+  const Dependency& d = dependency(dep);
+  return operations_[d.dst.index()].kind != OperationKind::kMem;
+}
+
+std::vector<DependencyId> AlgorithmGraph::precedence_in(OperationId op) const {
+  std::vector<DependencyId> result;
+  if (operation(op).kind == OperationKind::kMem) return result;
+  result = in_[op.index()];
+  return result;
+}
+
+std::vector<DependencyId> AlgorithmGraph::precedence_out(OperationId op) const {
+  std::vector<DependencyId> result;
+  for (DependencyId dep : out_dependencies(op)) {
+    if (is_precedence(dep)) result.push_back(dep);
+  }
+  return result;
+}
+
+std::vector<OperationId> AlgorithmGraph::predecessors(OperationId op) const {
+  std::vector<OperationId> result;
+  for (DependencyId dep : precedence_in(op)) {
+    result.push_back(dependencies_[dep.index()].src);
+  }
+  std::sort(result.begin(), result.end());
+  result.erase(std::unique(result.begin(), result.end()), result.end());
+  return result;
+}
+
+std::vector<OperationId> AlgorithmGraph::successors(OperationId op) const {
+  std::vector<OperationId> result;
+  for (DependencyId dep : precedence_out(op)) {
+    result.push_back(dependencies_[dep.index()].dst);
+  }
+  std::sort(result.begin(), result.end());
+  result.erase(std::unique(result.begin(), result.end()), result.end());
+  return result;
+}
+
+std::vector<OperationId> AlgorithmGraph::sources() const {
+  std::vector<OperationId> result;
+  for (const Operation& op : operations_) {
+    if (precedence_in(op.id).empty()) result.push_back(op.id);
+  }
+  return result;
+}
+
+std::vector<OperationId> AlgorithmGraph::sinks() const {
+  std::vector<OperationId> result;
+  for (const Operation& op : operations_) {
+    if (precedence_out(op.id).empty()) result.push_back(op.id);
+  }
+  return result;
+}
+
+std::vector<OperationId> AlgorithmGraph::topological_order() const {
+  std::vector<int> in_degree(operations_.size(), 0);
+  for (const Operation& op : operations_) {
+    in_degree[op.id.index()] = static_cast<int>(precedence_in(op.id).size());
+  }
+  // Min-heap on id for deterministic tie-breaking.
+  std::priority_queue<OperationId, std::vector<OperationId>,
+                      std::greater<OperationId>>
+      ready;
+  for (const Operation& op : operations_) {
+    if (in_degree[op.id.index()] == 0) ready.push(op.id);
+  }
+  std::vector<OperationId> order;
+  order.reserve(operations_.size());
+  while (!ready.empty()) {
+    const OperationId op = ready.top();
+    ready.pop();
+    order.push_back(op);
+    for (DependencyId dep : precedence_out(op)) {
+      const OperationId dst = dependencies_[dep.index()].dst;
+      if (--in_degree[dst.index()] == 0) ready.push(dst);
+    }
+  }
+  if (order.size() != operations_.size()) return {};  // cycle
+  return order;
+}
+
+std::vector<std::string> AlgorithmGraph::check() const {
+  std::vector<std::string> issues;
+  if (!is_acyclic()) {
+    issues.push_back("precedence relation has a cycle");
+  }
+  for (const Operation& op : operations_) {
+    if (op.kind == OperationKind::kExtioIn && !in_[op.id.index()].empty()) {
+      issues.push_back("extio input '" + op.name + "' has a predecessor");
+    }
+    if (op.kind == OperationKind::kExtioOut && !out_[op.id.index()].empty()) {
+      issues.push_back("extio output '" + op.name + "' has a successor");
+    }
+  }
+  return issues;
+}
+
+}  // namespace ftsched

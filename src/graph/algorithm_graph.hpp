@@ -1,0 +1,99 @@
+// The algorithm graph: a factorized, infinitely repeated data-flow DAG
+// (paper §4.2). One instance describes the work of a single iteration.
+//
+// Precedence semantics: a data-dependency src->dst constrains dst to start
+// after src's value is available, EXCEPT when dst is a `mem` operation — a
+// mem consumes its input at the *end* of the iteration (its output precedes
+// its input, like a register), so edges into a mem do not constrain the mem's
+// start within the iteration. `predecessors()`/`successors()` and the DAG
+// check use this precedence relation; `in_dependencies()` always returns the
+// raw data-flow edges.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "core/error.hpp"
+#include "core/ids.hpp"
+#include "graph/operation.hpp"
+
+namespace ftsched {
+
+class AlgorithmGraph {
+ public:
+  /// Adds a vertex. `name` must be unique and non-empty.
+  OperationId add_operation(std::string name,
+                            OperationKind kind = OperationKind::kComp);
+
+  /// Adds a data-flow edge. Self-loops are rejected; parallel edges between
+  /// the same pair are allowed (distinct data channels).
+  DependencyId add_dependency(OperationId src, OperationId dst,
+                              std::string name = {});
+
+  [[nodiscard]] std::size_t operation_count() const noexcept {
+    return operations_.size();
+  }
+  [[nodiscard]] std::size_t dependency_count() const noexcept {
+    return dependencies_.size();
+  }
+
+  [[nodiscard]] const Operation& operation(OperationId id) const;
+  [[nodiscard]] const Dependency& dependency(DependencyId id) const;
+  [[nodiscard]] const std::vector<Operation>& operations() const noexcept {
+    return operations_;
+  }
+  [[nodiscard]] const std::vector<Dependency>& dependencies() const noexcept {
+    return dependencies_;
+  }
+
+  /// Lookup by unique name; invalid id if absent.
+  [[nodiscard]] OperationId find_operation(std::string_view name) const;
+
+  /// Raw data-flow edges into / out of `op`.
+  [[nodiscard]] const std::vector<DependencyId>& in_dependencies(
+      OperationId op) const;
+  [[nodiscard]] const std::vector<DependencyId>& out_dependencies(
+      OperationId op) const;
+
+  /// Edges that impose an intra-iteration precedence constraint on their
+  /// destination: all edges except those whose destination is a mem.
+  [[nodiscard]] std::vector<DependencyId> precedence_in(OperationId op) const;
+  [[nodiscard]] std::vector<DependencyId> precedence_out(OperationId op) const;
+
+  /// Distinct operations preceding / following `op` in the precedence
+  /// relation (deduplicated, ordered by id).
+  [[nodiscard]] std::vector<OperationId> predecessors(OperationId op) const;
+  [[nodiscard]] std::vector<OperationId> successors(OperationId op) const;
+
+  /// True if the edge imposes a precedence constraint (dst is not a mem).
+  [[nodiscard]] bool is_precedence(DependencyId dep) const;
+
+  /// Operations with no precedence predecessor (iteration sources): extio
+  /// inputs, mems, and orphan comps.
+  [[nodiscard]] std::vector<OperationId> sources() const;
+  /// Operations with no precedence successor (iteration sinks).
+  [[nodiscard]] std::vector<OperationId> sinks() const;
+
+  /// Kahn topological order of the precedence relation, ties broken by
+  /// ascending operation id (deterministic). Empty when the precedence
+  /// relation has a cycle.
+  [[nodiscard]] std::vector<OperationId> topological_order() const;
+
+  [[nodiscard]] bool is_acyclic() const {
+    return operations_.empty() || !topological_order().empty();
+  }
+
+  /// Structural diagnostics: cyclic precedence, extio-in with inputs,
+  /// extio-out with outputs, unnamed duplicates. Empty means well-formed.
+  [[nodiscard]] std::vector<std::string> check() const;
+
+ private:
+  std::vector<Operation> operations_;
+  std::vector<Dependency> dependencies_;
+  std::vector<std::vector<DependencyId>> in_;   // per operation
+  std::vector<std::vector<DependencyId>> out_;  // per operation
+};
+
+}  // namespace ftsched

@@ -1,0 +1,119 @@
+// Longest-path machinery on the algorithm graph's precedence relation.
+//
+// These are the quantities behind the schedule-pressure cost function
+// (paper §6.2, first phase): the critical path length R and, per operation,
+// the longest "head" (work strictly before the operation starts) and "tail"
+// (work strictly after the operation completes), all measured with a
+// caller-supplied duration model and, optionally, a per-edge communication
+// cost model.
+#pragma once
+
+#include <concepts>
+#include <vector>
+
+#include "core/error.hpp"
+#include "core/time.hpp"
+#include "graph/algorithm_graph.hpp"
+
+namespace ftsched {
+
+template <class F>
+concept OperationDuration = std::invocable<F, OperationId> &&
+    std::convertible_to<std::invoke_result_t<F, OperationId>, Time>;
+
+template <class F>
+concept DependencyCost = std::invocable<F, DependencyId> &&
+    std::convertible_to<std::invoke_result_t<F, DependencyId>, Time>;
+
+/// Per-operation longest-path data for a fixed duration model.
+struct DagTiming {
+  /// head[o]: longest sum of durations on any precedence path ending just
+  /// before o starts (0 for sources).
+  std::vector<Time> head;
+  /// tail[o]: longest sum of durations on any precedence path starting just
+  /// after o completes (0 for sinks). This is the paper's E(o) measured from
+  /// the end of the critical path.
+  std::vector<Time> tail;
+  /// Critical path length R = max over o of head[o] + dur(o) + tail[o].
+  Time critical_path = 0;
+};
+
+/// Computes heads/tails/critical path. `dur` gives each operation's duration
+/// (use the minimum WCET over allowed processors for the paper's optimistic
+/// bound); `comm` gives each precedence edge's cost (zero functor for the
+/// paper's communication-free bound). Throws if the graph is cyclic.
+template <OperationDuration Dur, DependencyCost Comm>
+[[nodiscard]] DagTiming compute_dag_timing(const AlgorithmGraph& graph,
+                                           Dur&& dur, Comm&& comm) {
+  const std::vector<OperationId> order = graph.topological_order();
+  FTSCHED_REQUIRE(order.size() == graph.operation_count() ||
+                      graph.operation_count() == 0,
+                  "compute_dag_timing requires an acyclic precedence graph");
+
+  DagTiming timing;
+  timing.head.assign(graph.operation_count(), 0);
+  timing.tail.assign(graph.operation_count(), 0);
+
+  for (OperationId op : order) {
+    for (DependencyId dep_id : graph.precedence_in(op)) {
+      const Dependency& dep = graph.dependency(dep_id);
+      const Time candidate =
+          timing.head[dep.src.index()] + dur(dep.src) + comm(dep_id);
+      if (time_lt(timing.head[op.index()], candidate)) {
+        timing.head[op.index()] = candidate;
+      }
+    }
+  }
+  for (auto it = order.rbegin(); it != order.rend(); ++it) {
+    const OperationId op = *it;
+    for (DependencyId dep_id : graph.precedence_out(op)) {
+      const Dependency& dep = graph.dependency(dep_id);
+      const Time candidate =
+          comm(dep_id) + dur(dep.dst) + timing.tail[dep.dst.index()];
+      if (time_lt(timing.tail[op.index()], candidate)) {
+        timing.tail[op.index()] = candidate;
+      }
+    }
+  }
+  for (OperationId op : order) {
+    const Time through = timing.head[op.index()] + dur(op) +
+                         timing.tail[op.index()];
+    if (time_lt(timing.critical_path, through)) {
+      timing.critical_path = through;
+    }
+  }
+  return timing;
+}
+
+/// Communication-free variant (the paper's first-phase bound).
+template <OperationDuration Dur>
+[[nodiscard]] DagTiming compute_dag_timing(const AlgorithmGraph& graph,
+                                           Dur&& dur) {
+  return compute_dag_timing(graph, std::forward<Dur>(dur),
+                            [](DependencyId) -> Time { return 0; });
+}
+
+/// Operations reachable from `from` through precedence edges (excluding
+/// `from` itself), ordered by id. Used by tests and schedule analysis.
+[[nodiscard]] inline std::vector<OperationId> reachable_from(
+    const AlgorithmGraph& graph, OperationId from) {
+  std::vector<bool> seen(graph.operation_count(), false);
+  std::vector<OperationId> stack{from};
+  while (!stack.empty()) {
+    const OperationId op = stack.back();
+    stack.pop_back();
+    for (OperationId succ : graph.successors(op)) {
+      if (!seen[succ.index()]) {
+        seen[succ.index()] = true;
+        stack.push_back(succ);
+      }
+    }
+  }
+  std::vector<OperationId> result;
+  for (const Operation& op : graph.operations()) {
+    if (seen[op.id.index()]) result.push_back(op.id);
+  }
+  return result;
+}
+
+}  // namespace ftsched

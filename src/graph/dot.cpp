@@ -1,0 +1,38 @@
+#include "graph/dot.hpp"
+
+namespace ftsched {
+
+namespace {
+
+const char* shape_for(OperationKind kind) {
+  switch (kind) {
+    case OperationKind::kComp:
+      return "ellipse";
+    case OperationKind::kMem:
+      return "box";
+    case OperationKind::kExtioIn:
+      return "invhouse";
+    case OperationKind::kExtioOut:
+      return "house";
+  }
+  return "ellipse";
+}
+
+}  // namespace
+
+std::string to_dot(const AlgorithmGraph& graph, const std::string& title) {
+  std::string out = "digraph \"" + title + "\" {\n  rankdir=LR;\n";
+  for (const Operation& op : graph.operations()) {
+    out += "  \"" + op.name + "\" [shape=" + shape_for(op.kind) + "];\n";
+  }
+  for (const Dependency& dep : graph.dependencies()) {
+    out += "  \"" + graph.operation(dep.src).name + "\" -> \"" +
+           graph.operation(dep.dst).name + "\"";
+    if (!graph.is_precedence(dep.id)) out += " [style=dashed]";
+    out += ";\n";
+  }
+  out += "}\n";
+  return out;
+}
+
+}  // namespace ftsched

@@ -1,0 +1,17 @@
+// Graphviz DOT export of an algorithm graph, for documentation and for the
+// figure-reproduction benchmarks (the paper's Figures 7, 13, 21).
+#pragma once
+
+#include <string>
+
+#include "graph/algorithm_graph.hpp"
+
+namespace ftsched {
+
+/// Renders the graph in DOT syntax. Operation kinds get distinct shapes
+/// (extio: house/invhouse, mem: box, comp: ellipse); mem input edges are
+/// drawn dashed to show they carry no intra-iteration precedence.
+[[nodiscard]] std::string to_dot(const AlgorithmGraph& graph,
+                                 const std::string& title = "algorithm");
+
+}  // namespace ftsched

@@ -1,0 +1,19 @@
+#include "graph/operation.hpp"
+
+namespace ftsched {
+
+std::string to_string(OperationKind kind) {
+  switch (kind) {
+    case OperationKind::kComp:
+      return "comp";
+    case OperationKind::kMem:
+      return "mem";
+    case OperationKind::kExtioIn:
+      return "extio-in";
+    case OperationKind::kExtioOut:
+      return "extio-out";
+  }
+  return "unknown";
+}
+
+}  // namespace ftsched

@@ -1,0 +1,51 @@
+// Vertices and edges of the algorithm (data-flow) graph, paper §4.2.
+#pragma once
+
+#include <string>
+
+#include "core/ids.hpp"
+
+namespace ftsched {
+
+/// The three operation kinds of the AAA algorithm model.
+enum class OperationKind {
+  /// Pure computation: outputs depend only on inputs, no internal state, no
+  /// side effect ("safe"). May be replicated at will.
+  kComp,
+  /// Inter-iteration register: holds data between iterations; its *output*
+  /// precedes its *input* within an iteration ("memory-safe"). Replicas must
+  /// share the initial value.
+  kMem,
+  /// External input interface (sensor side). No predecessor; "unsafe" (side
+  /// effects), but two executions within one iteration yield the same value.
+  kExtioIn,
+  /// External output interface (actuator side). No successor; "unsafe".
+  kExtioOut,
+};
+
+[[nodiscard]] std::string to_string(OperationKind kind);
+
+/// True for kinds with side effects, whose replication is tied to the
+/// replication of the sensor/actuator hardware they control (§5.4 item 3).
+[[nodiscard]] constexpr bool is_extio(OperationKind kind) noexcept {
+  return kind == OperationKind::kExtioIn || kind == OperationKind::kExtioOut;
+}
+
+/// A vertex of the algorithm graph.
+struct Operation {
+  OperationId id;
+  std::string name;
+  OperationKind kind = OperationKind::kComp;
+};
+
+/// An edge of the algorithm graph: a data-flow channel carrying the value
+/// produced by `src` to `dst` once per iteration.
+struct Dependency {
+  DependencyId id;
+  OperationId src;
+  OperationId dst;
+  /// Diagnostic label, "src->dst" by default.
+  std::string name;
+};
+
+}  // namespace ftsched

@@ -1,0 +1,50 @@
+// Text format for complete scheduling problems — the role SynDEx's input
+// files play (§4.1): an algorithm graph, an architecture graph, the two
+// characteristics tables, and the fault-tolerance requirement, in one
+// human-editable file.
+//
+//   # comment (blank lines ignored; indentation optional)
+//   algorithm
+//     operation I extio-in        # kinds: comp | mem | extio-in | extio-out
+//     operation A                 # comp is the default
+//     dependency I A              # edges by operation name
+//   architecture
+//     processor P1
+//     processor P2
+//     processor P3
+//     bus can P1 P2 P3            # multi-point link
+//     link L1.2 P1 P2             # point-to-point link
+//   exec
+//     I P1 1                      # WCET of I on P1
+//     I P2 1                      # unlisted pairs stay disallowed
+//     A * 2                       # '*' = same WCET on every processor
+//   comm
+//     I->A * 1.25                 # duration of the edge, '*' = every link
+//     A->B can 0.5                # or one specific link
+//   problem
+//     tolerate 1                  # K
+//     deadline 12.5               # optional real-time constraint
+//
+// Sections may appear in any order except that `exec`/`comm` need the
+// graphs they reference; the canonical order above is what write_problem
+// emits. Dependencies are named "src->dst" (first edge between a pair) for
+// the `comm` section.
+#pragma once
+
+#include <string>
+#include <string_view>
+
+#include "core/error.hpp"
+#include "workload/paper_examples.hpp"
+
+namespace ftsched::io {
+
+/// Parses the format above. Errors carry a line number and explanation.
+[[nodiscard]] Expected<workload::OwnedProblem> read_problem(
+    std::string_view text);
+
+/// Serializes a problem to the same format (round-trips through
+/// read_problem).
+[[nodiscard]] std::string write_problem(const Problem& problem);
+
+}  // namespace ftsched::io

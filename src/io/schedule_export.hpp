@@ -1,0 +1,20 @@
+// Machine-readable schedule exports for external tooling (plotting the
+// Gantt charts, diffing schedules across revisions):
+//  * JSON — one object with placements, transfers, and headline metrics;
+//  * CSV — one row per replica placement and per transfer segment.
+#pragma once
+
+#include <string>
+
+#include "sched/schedule.hpp"
+
+namespace ftsched::io {
+
+[[nodiscard]] std::string to_json(const Schedule& schedule);
+
+/// Columns: kind,entity,rank,resource,start,end,extra
+///   op rows:   op,<name>,<rank>,<processor>,<start>,<end>,main|backup
+///   comm rows: comm,<dependency>,<sender rank>,<link>,<start>,<end>,<to>
+[[nodiscard]] std::string to_csv(const Schedule& schedule);
+
+}  // namespace ftsched::io

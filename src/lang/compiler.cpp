@@ -1,0 +1,399 @@
+#include "lang/compiler.hpp"
+
+#include <cctype>
+#include <map>
+#include <vector>
+
+namespace ftsched::lang {
+
+namespace {
+
+// ---------------------------------------------------------------- lexer --
+
+struct Token {
+  enum class Kind { kIdent, kPunct, kEnd };
+  Kind kind = Kind::kEnd;
+  std::string text;
+  int line = 0;
+};
+
+class Lexer {
+ public:
+  explicit Lexer(std::string_view source) : source_(source) {}
+
+  Token next() {
+    skip_space_and_comments();
+    Token token;
+    token.line = line_;
+    if (pos_ >= source_.size()) return token;
+    const char c = source_[pos_];
+    if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
+      std::size_t start = pos_;
+      while (pos_ < source_.size() &&
+             (std::isalnum(static_cast<unsigned char>(source_[pos_])) ||
+              source_[pos_] == '_')) {
+        ++pos_;
+      }
+      token.kind = Token::Kind::kIdent;
+      token.text = std::string(source_.substr(start, pos_ - start));
+      return token;
+    }
+    if (std::string_view("();:,=").find(c) != std::string_view::npos) {
+      token.kind = Token::Kind::kPunct;
+      token.text = std::string(1, c);
+      ++pos_;
+      return token;
+    }
+    token.kind = Token::Kind::kPunct;
+    token.text = std::string(1, c);
+    ++pos_;
+    return token;  // unknown punctuation surfaces as a parse error later
+  }
+
+ private:
+  void skip_space_and_comments() {
+    while (pos_ < source_.size()) {
+      const char c = source_[pos_];
+      if (c == '\n') {
+        ++line_;
+        ++pos_;
+      } else if (std::isspace(static_cast<unsigned char>(c))) {
+        ++pos_;
+      } else if (c == '-' && pos_ + 1 < source_.size() &&
+                 source_[pos_ + 1] == '-') {
+        while (pos_ < source_.size() && source_[pos_] != '\n') ++pos_;
+      } else {
+        break;
+      }
+    }
+  }
+
+  std::string_view source_;
+  std::size_t pos_ = 0;
+  int line_ = 1;
+};
+
+// ------------------------------------------------------------------ AST --
+
+struct Expr {
+  enum class Kind { kRef, kPre, kCall };
+  Kind kind = Kind::kRef;
+  std::string name;  // variable (kRef/kPre) or function (kCall)
+  std::vector<Expr> args;
+  int line = 0;
+};
+
+struct Equation {
+  std::string lhs;
+  Expr rhs;
+  int line = 0;
+};
+
+struct Param {
+  std::string name;
+  bool is_sensor = false;
+  int line = 0;
+};
+
+struct Ast {
+  std::string node_name;
+  std::vector<Param> inputs;
+  std::vector<Param> outputs;
+  std::vector<Equation> equations;
+};
+
+Error at(int line, const std::string& message) {
+  return Error{Error::Code::kInvalidInput,
+               "line " + std::to_string(line) + ": " + message};
+}
+
+// ---------------------------------------------------------------- parser --
+
+class Parser {
+ public:
+  explicit Parser(std::string_view source) : lexer_(source) { advance(); }
+
+  Expected<Ast> parse() {
+    Ast ast;
+    if (auto err = expect_ident("node")) return *err;
+    if (current_.kind != Token::Kind::kIdent) {
+      return at(current_.line, "expected the node's name");
+    }
+    ast.node_name = current_.text;
+    advance();
+
+    if (auto err = parse_params(ast.inputs, /*inputs=*/true)) return *err;
+    if (auto err = expect_ident("returns")) return *err;
+    if (auto err = parse_params(ast.outputs, /*inputs=*/false)) return *err;
+    if (auto err = expect_ident("let")) return *err;
+
+    while (!(current_.kind == Token::Kind::kIdent &&
+             current_.text == "tel")) {
+      if (current_.kind == Token::Kind::kEnd) {
+        return at(current_.line, "missing 'tel'");
+      }
+      Equation eq;
+      eq.line = current_.line;
+      if (current_.kind != Token::Kind::kIdent || reserved(current_.text)) {
+        return at(current_.line, "expected an equation 'name = expr;'");
+      }
+      eq.lhs = current_.text;
+      advance();
+      if (auto err = expect_punct("=")) return *err;
+      Expected<Expr> rhs = parse_expr();
+      if (!rhs) return rhs.error();
+      eq.rhs = std::move(rhs).value();
+      if (auto err = expect_punct(";")) return *err;
+      ast.equations.push_back(std::move(eq));
+    }
+    return ast;
+  }
+
+ private:
+  static bool reserved(const std::string& word) {
+    return word == "node" || word == "returns" || word == "let" ||
+           word == "tel" || word == "sensor" || word == "actuator" ||
+           word == "pre";
+  }
+
+  void advance() { current_ = lexer_.next(); }
+
+  std::optional<Error> expect_punct(const char* text) {
+    if (current_.kind != Token::Kind::kPunct || current_.text != text) {
+      return at(current_.line, std::string("expected '") + text + "', got '" +
+                                   current_.text + "'");
+    }
+    advance();
+    return std::nullopt;
+  }
+
+  std::optional<Error> expect_ident(const char* word) {
+    if (current_.kind != Token::Kind::kIdent || current_.text != word) {
+      return at(current_.line, std::string("expected '") + word + "'");
+    }
+    advance();
+    return std::nullopt;
+  }
+
+  std::optional<Error> parse_params(std::vector<Param>& params, bool inputs) {
+    if (auto err = expect_punct("(")) return *err;
+    while (true) {
+      if (current_.kind != Token::Kind::kIdent || reserved(current_.text)) {
+        return at(current_.line, "expected a parameter name");
+      }
+      Param param;
+      param.name = current_.text;
+      param.line = current_.line;
+      advance();
+      if (auto err = expect_punct(":")) return *err;
+      if (current_.kind != Token::Kind::kIdent ||
+          (current_.text != "sensor" && current_.text != "actuator")) {
+        return at(current_.line, "expected 'sensor' or 'actuator'");
+      }
+      param.is_sensor = current_.text == "sensor";
+      if (inputs && !param.is_sensor) {
+        return at(current_.line, "inputs must be sensors");
+      }
+      if (!inputs && param.is_sensor) {
+        return at(current_.line, "outputs must be actuators");
+      }
+      advance();
+      params.push_back(std::move(param));
+      if (current_.kind == Token::Kind::kPunct &&
+          (current_.text == "," || current_.text == ";")) {
+        advance();
+        continue;
+      }
+      break;
+    }
+    return expect_punct(")");
+  }
+
+  Expected<Expr> parse_expr() {
+    if (current_.kind != Token::Kind::kIdent) {
+      return at(current_.line, "expected an expression");
+    }
+    Expr expr;
+    expr.line = current_.line;
+    expr.name = current_.text;
+    const bool is_pre = current_.text == "pre";
+    if (!is_pre && reserved(current_.text)) {
+      return at(current_.line, "'" + current_.text + "' is reserved");
+    }
+    advance();
+    if (current_.kind == Token::Kind::kPunct && current_.text == "(") {
+      advance();
+      if (is_pre) {
+        // pre(variable) only: a unit-delay on a named flow.
+        if (current_.kind != Token::Kind::kIdent || reserved(current_.text)) {
+          return at(current_.line, "pre() takes a variable name");
+        }
+        expr.kind = Expr::Kind::kPre;
+        expr.name = current_.text;
+        advance();
+        if (auto err = expect_punct(")")) return *err;
+        return expr;
+      }
+      expr.kind = Expr::Kind::kCall;
+      while (true) {
+        Expected<Expr> arg = parse_expr();
+        if (!arg) return arg.error();
+        expr.args.push_back(std::move(arg).value());
+        if (current_.kind == Token::Kind::kPunct && current_.text == ",") {
+          advance();
+          continue;
+        }
+        break;
+      }
+      if (auto err = expect_punct(")")) return *err;
+      return expr;
+    }
+    if (is_pre) return at(expr.line, "pre needs parentheses: pre(x)");
+    expr.kind = Expr::Kind::kRef;
+    return expr;
+  }
+
+  Lexer lexer_;
+  Token current_;
+};
+
+// --------------------------------------------------------------- codegen --
+
+class Codegen {
+ public:
+  Expected<CompiledNode> run(Ast ast) {
+    CompiledNode node;
+    node.name = std::move(ast.node_name);
+    node.graph = std::make_unique<AlgorithmGraph>();
+    graph_ = node.graph.get();
+
+    // Declarations first, so equations can reference in any order.
+    for (const Param& input : ast.inputs) {
+      if (producer_.count(input.name) != 0) {
+        return at(input.line, "duplicate parameter " + input.name);
+      }
+      const OperationId op =
+          graph_->add_operation(input.name, OperationKind::kExtioIn);
+      producer_[input.name] = op;
+      node.inputs.push_back(op);
+    }
+    for (const Equation& eq : ast.equations) {
+      if (producer_.count(eq.lhs) != 0) {
+        return at(eq.line, eq.lhs + " is defined twice (or shadows an "
+                                    "input)");
+      }
+      // Outputs get a distinct comp for the computation; the actuator
+      // extio itself is added below.
+      producer_[eq.lhs] = graph_->add_operation(
+          is_output(ast, eq.lhs) ? eq.lhs + "$val" : eq.lhs);
+    }
+
+    // Wire the right-hand sides.
+    for (const Equation& eq : ast.equations) {
+      const Expected<OperationId> value = value_of(eq.rhs, eq.lhs);
+      if (!value) return value.error();
+      const OperationId target = producer_.at(eq.lhs);
+      if (value.value() != target) {
+        // Alias equation (x = y; or x = pre(y);): identity comp.
+        graph_->add_dependency(value.value(), target);
+      }
+    }
+
+    // Actuators.
+    for (const Param& output : ast.outputs) {
+      const auto it = producer_.find(output.name);
+      if (it == producer_.end()) {
+        return at(output.line,
+                  "output " + output.name + " has no defining equation");
+      }
+      const OperationId actuator =
+          graph_->add_operation(output.name, OperationKind::kExtioOut);
+      graph_->add_dependency(it->second, actuator);
+      node.outputs.push_back(actuator);
+    }
+
+    if (!graph_->is_acyclic()) {
+      return Error{Error::Code::kInvalidInput,
+                   "instantaneous cycle: every feedback loop must go "
+                   "through pre()"};
+    }
+    for (const std::string& issue : graph_->check()) {
+      return Error{Error::Code::kInvalidInput, issue};
+    }
+    return node;
+  }
+
+ private:
+  static bool is_output(const Ast& ast, const std::string& name) {
+    for (const Param& output : ast.outputs) {
+      if (output.name == name) return true;
+    }
+    return false;
+  }
+
+  /// The operation producing `expr`'s value; nested calls synthesize
+  /// `scope$N` comps.
+  Expected<OperationId> value_of(const Expr& expr, const std::string& scope) {
+    switch (expr.kind) {
+      case Expr::Kind::kRef: {
+        const auto it = producer_.find(expr.name);
+        if (it == producer_.end()) {
+          return at(expr.line, "undefined variable " + expr.name);
+        }
+        return it->second;
+      }
+      case Expr::Kind::kPre: {
+        const auto source = producer_.find(expr.name);
+        if (source == producer_.end()) {
+          return at(expr.line, "undefined variable " + expr.name);
+        }
+        const std::string mem_name = "pre$" + expr.name;
+        auto [it, inserted] = producer_.try_emplace(mem_name);
+        if (inserted) {
+          it->second = graph_->add_operation(mem_name, OperationKind::kMem);
+          // The value written for the next iteration: non-precedence edge.
+          graph_->add_dependency(source->second, it->second);
+        }
+        return it->second;
+      }
+      case Expr::Kind::kCall: {
+        // Scope equations' top-level calls onto the lhs comp itself; nested
+        // calls get fresh synthesized operations.
+        OperationId op;
+        if (depth_ == 0) {
+          op = producer_.at(scope);
+        } else {
+          op = graph_->add_operation(scope + "$" +
+                                     std::to_string(++synth_counter_));
+        }
+        ++depth_;
+        for (const Expr& arg : expr.args) {
+          const Expected<OperationId> value = value_of(arg, scope);
+          if (!value) {
+            --depth_;
+            return value.error();
+          }
+          graph_->add_dependency(value.value(), op);
+        }
+        --depth_;
+        return op;
+      }
+    }
+    return at(expr.line, "unreachable expression kind");
+  }
+
+  AlgorithmGraph* graph_ = nullptr;
+  std::map<std::string, OperationId> producer_;
+  int depth_ = 0;
+  int synth_counter_ = 0;
+};
+
+}  // namespace
+
+Expected<CompiledNode> compile_node(std::string_view source) {
+  Expected<Ast> ast = Parser(source).parse();
+  if (!ast) return ast.error();
+  return Codegen{}.run(std::move(ast).value());
+}
+
+}  // namespace ftsched::lang

@@ -1,0 +1,51 @@
+// A miniature synchronous dataflow language compiling to AlgorithmGraph —
+// the front-end role the paper delegates to ESTEREL/LUSTRE/SIGNAL through
+// the DC common format (§4.1: "the [algorithm] graph can also be imported
+// from a file which is the result of the compilation of a source program
+// written in synchronous languages"). One node per program:
+//
+//   -- comments run to end of line
+//   node cruise(speed: sensor; setpoint: sensor)
+//   returns (throttle: actuator; brake: actuator)
+//   let
+//     err      = sub(setpoint, speed);
+//     acc      = add(pre(acc), err);   -- pre() reads last iteration (mem)
+//     throttle = gain(acc);
+//     brake    = brake_map(err);
+//   tel
+//
+// Semantics (matching §4.2's operation kinds):
+//  * each sensor parameter becomes an extio-in operation;
+//  * each actuator parameter becomes an extio-out operation fed by its
+//    defining equation;
+//  * each equation x = f(...) becomes a comp operation named x (nested
+//    calls get synthesized names x$1, x$2, ...);
+//  * pre(v) becomes a mem operation pre_v: its input edge from v carries no
+//    intra-iteration precedence, which is exactly how feedback loops stay
+//    schedulable (§4.2 item 2). pre() of an input is allowed.
+//
+// The compiler rejects undefined or doubly-defined variables, outputs
+// without equations, and instantaneous cycles (cycles not broken by pre),
+// each with a line number.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <string_view>
+
+#include "core/error.hpp"
+#include "graph/algorithm_graph.hpp"
+
+namespace ftsched::lang {
+
+struct CompiledNode {
+  std::string name;
+  std::unique_ptr<AlgorithmGraph> graph;
+  /// Declared parameter order, for tooling.
+  std::vector<OperationId> inputs;
+  std::vector<OperationId> outputs;
+};
+
+[[nodiscard]] Expected<CompiledNode> compile_node(std::string_view source);
+
+}  // namespace ftsched::lang

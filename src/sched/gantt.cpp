@@ -1,0 +1,107 @@
+#include "sched/gantt.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "core/text.hpp"
+
+namespace ftsched {
+
+std::string to_text(const Schedule& schedule) {
+  const Problem& problem = schedule.problem();
+  std::string out;
+  std::size_t label_width = 0;
+  for (const Processor& proc : problem.architecture->processors()) {
+    label_width = std::max(label_width, proc.name.size());
+  }
+  for (const Link& link : problem.architecture->links()) {
+    label_width = std::max(label_width, link.name.size());
+  }
+
+  for (const Processor& proc : problem.architecture->processors()) {
+    out += pad_right(proc.name, label_width) + " |";
+    for (const ScheduledOperation* placement :
+         schedule.operations_on(proc.id)) {
+      out += ' ' + problem.algorithm->operation(placement->op).name + ':' +
+             std::to_string(placement->rank) + '[' +
+             time_to_string(placement->start) + ',' +
+             time_to_string(placement->end) + ']';
+    }
+    out += '\n';
+  }
+  for (const Link& link : problem.architecture->links()) {
+    out += pad_right(link.name, label_width) + " |";
+    for (const auto& [comm, segment] : schedule.segments_on(link.id)) {
+      out += ' ' + problem.algorithm->dependency(comm->dep).name + '[' +
+             time_to_string(segment->start) + ',' +
+             time_to_string(segment->end) + ']';
+    }
+    out += '\n';
+  }
+  out += "makespan = " + time_to_string(schedule.makespan()) + '\n';
+  return out;
+}
+
+namespace {
+
+/// Writes `label` into cells [first, last) of `row`, clipped and centred.
+void stamp(std::string& row, std::size_t first, std::size_t last,
+           const std::string& label) {
+  if (last > row.size()) last = row.size();
+  if (first >= last) return;
+  for (std::size_t i = first; i < last; ++i) row[i] = '=';
+  if (first < row.size()) row[first] = '|';
+  if (last - 1 < row.size() && last - 1 > first) row[last - 1] = '|';
+  const std::size_t room = last - first;
+  const std::size_t len = std::min(label.size(), room);
+  const std::size_t offset = first + (room - len) / 2;
+  for (std::size_t i = 0; i < len; ++i) row[offset + i] = label[i];
+}
+
+}  // namespace
+
+std::string to_gantt(const Schedule& schedule, std::size_t columns) {
+  const Problem& problem = schedule.problem();
+  const Time makespan = schedule.makespan();
+  if (time_le(makespan, 0) || columns < 8) return to_text(schedule);
+  const double scale = static_cast<double>(columns) / makespan;
+  auto cell = [&](Time t) {
+    return static_cast<std::size_t>(std::lround(t * scale));
+  };
+
+  std::size_t label_width = 0;
+  for (const Processor& proc : problem.architecture->processors()) {
+    label_width = std::max(label_width, proc.name.size());
+  }
+  for (const Link& link : problem.architecture->links()) {
+    label_width = std::max(label_width, link.name.size());
+  }
+
+  std::string out;
+  for (const Processor& proc : problem.architecture->processors()) {
+    std::string row(columns + 1, ' ');
+    for (const ScheduledOperation* placement :
+         schedule.operations_on(proc.id)) {
+      std::string label = problem.algorithm->operation(placement->op).name;
+      if (placement->is_main() &&
+          schedule.kind() != HeuristicKind::kBase) {
+        label += '*';
+      }
+      stamp(row, cell(placement->start), cell(placement->end), label);
+    }
+    out += pad_right(proc.name, label_width) + " |" + row + '\n';
+  }
+  for (const Link& link : problem.architecture->links()) {
+    std::string row(columns + 1, ' ');
+    for (const auto& [comm, segment] : schedule.segments_on(link.id)) {
+      stamp(row, cell(segment->start), cell(segment->end),
+            problem.algorithm->dependency(comm->dep).name);
+    }
+    out += pad_right(link.name, label_width) + " |" + row + '\n';
+  }
+  out += pad_right("", label_width) + " 0" +
+         pad_left("t=" + time_to_string(makespan), columns) + '\n';
+  return out;
+}
+
+}  // namespace ftsched

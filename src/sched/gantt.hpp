@@ -1,0 +1,24 @@
+// Text renderings of a schedule, in the spirit of the paper's timing
+// diagrams (Figures 14-19, 22-24): one row per processor and per link.
+#pragma once
+
+#include <string>
+
+#include "sched/schedule.hpp"
+
+namespace ftsched {
+
+/// Compact listing, one line per resource:
+///   P1   | I:0[0,1] A:0[1,3] C:0[3,5]
+///   bus  | I->A[3,3.5] ...
+/// Operations print as name:rank[start,end] with the main replica marked
+/// by rank 0; comms as depname[start,end].
+[[nodiscard]] std::string to_text(const Schedule& schedule);
+
+/// Scaled ASCII Gantt chart; `columns` is the width of the time axis. Each
+/// resource gets one row of cells; an operation covers round(length/scale)
+/// cells labelled with its name (main replicas in upper case marker '*').
+[[nodiscard]] std::string to_gantt(const Schedule& schedule,
+                                   std::size_t columns = 72);
+
+}  // namespace ftsched

@@ -1,0 +1,492 @@
+// The greedy list-scheduling engine behind all three heuristics
+// (paper Figures 11 and 20). One engine, two communication policies:
+//
+//  * kBase / kSolution1 — only the main replica of a producer sends; a value
+//    delivered to a processor (directly, by bus broadcast, or while being
+//    relayed) is reused by every later consumer on that processor.
+//  * kSolution2 — every replica of the producer sends to every consumer
+//    processor that lacks a local replica of the producer; the consumer
+//    starts on the first arrival.
+//
+// The engine is deterministic: all the paper's random tie-breaks are
+// replaced by ascending (pressure, completion date, processor id) and
+// ascending operation id.
+#include <algorithm>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "arch/routing.hpp"
+#include "core/text.hpp"
+#include "graph/dag_algorithms.hpp"
+#include "sched/heuristics.hpp"
+#include "sched/pressure.hpp"
+
+namespace ftsched {
+
+namespace {
+
+class Engine {
+ public:
+  Engine(const Problem& problem, HeuristicKind kind, SchedulerOptions options)
+      : problem_(problem),
+        kind_(kind),
+        options_(options),
+        replicas_(kind == HeuristicKind::kBase
+                      ? 1
+                      : problem.failures_to_tolerate + 1),
+        routing_(*problem.architecture),
+        schedule_(problem, kind) {}
+
+  Expected<Schedule> run() {
+    if (auto error = check_input()) return *error;
+    for (const Dependency& dep : graph().dependencies()) {
+      if (dep_active(dep.id)) schedule_.set_active_comms(dep.id);
+    }
+    timing_ = optimistic_timing(problem_);
+    init_state();
+    if (auto error = main_loop()) return *error;
+    schedule_mem_inputs();
+    if (kind_ == HeuristicKind::kSolution1 ||
+        kind_ == HeuristicKind::kHybrid) {
+      schedule_liveness_comms();
+      add_passive_comms();
+    }
+    if (time_gt(schedule_.makespan(), problem_.deadline)) {
+      return Error{Error::Code::kDeadlineMissed,
+                   "schedule completes at " +
+                       time_to_string(schedule_.makespan()) +
+                       ", after the deadline " +
+                       time_to_string(problem_.deadline)};
+    }
+    return std::move(schedule_);
+  }
+
+ private:
+  /// One tentative placement of a candidate operation on a processor.
+  struct Assignment {
+    ProcessorId proc;
+    Time start = 0;
+    Time end = 0;
+    Time sigma = 0;
+  };
+
+  /// Does this dependency's value travel by actively replicated transfers?
+  bool dep_active(DependencyId dep) const {
+    if (kind_ == HeuristicKind::kSolution2) return true;
+    if (kind_ != HeuristicKind::kHybrid) return false;
+    return dep.index() < options_.active_comm_deps.size() &&
+           options_.active_comm_deps[dep.index()];
+  }
+
+  const AlgorithmGraph& graph() const { return *problem_.algorithm; }
+  const ArchitectureGraph& arch() const { return *problem_.architecture; }
+  const ExecTable& exec() const { return *problem_.exec; }
+  const CommTable& comm() const { return *problem_.comm; }
+
+  std::optional<Error> check_input() const {
+    std::vector<std::string> issues = graph().check();
+    for (std::string& s : arch().check()) issues.push_back(std::move(s));
+    for (std::string& s : comm().check()) issues.push_back(std::move(s));
+    if (!issues.empty()) {
+      return Error{Error::Code::kInvalidInput, join(issues, "; ")};
+    }
+    if (arch().processor_count() < static_cast<std::size_t>(replicas_)) {
+      return Error{Error::Code::kInsufficientRedundancy,
+                   "architecture has " +
+                       std::to_string(arch().processor_count()) +
+                       " processor(s); " + std::to_string(replicas_) +
+                       " replicas are required"};
+    }
+    std::vector<std::string> redundancy =
+        exec().check(static_cast<std::size_t>(replicas_));
+    if (!redundancy.empty()) {
+      return Error{Error::Code::kInsufficientRedundancy,
+                   join(redundancy, "; ")};
+    }
+    return std::nullopt;
+  }
+
+  void init_state() {
+    proc_ready_.assign(arch().processor_count(), 0);
+    link_ready_.assign(arch().link_count(), 0);
+    avail_.assign(graph().dependency_count(),
+                  std::vector<std::vector<Time>>(
+                      static_cast<std::size_t>(replicas_),
+                      std::vector<Time>(arch().processor_count(), kInfinite)));
+  }
+
+  /// mSn loop of Figures 11/20.
+  std::optional<Error> main_loop() {
+    std::vector<bool> is_candidate(graph().operation_count(), false);
+    std::vector<bool> done(graph().operation_count(), false);
+    std::vector<int> missing(graph().operation_count(), 0);
+    for (const Operation& op : graph().operations()) {
+      missing[op.id.index()] =
+          static_cast<int>(graph().predecessors(op.id).size());
+      if (missing[op.id.index()] == 0) is_candidate[op.id.index()] = true;
+    }
+
+    for (std::size_t scheduled = 0; scheduled < graph().operation_count();
+         ++scheduled) {
+      // mSn.1 + mSn.2: evaluate every candidate on its K+1 best processors
+      // and select the candidate whose kept set holds the largest pressure.
+      OperationId best_op;
+      std::vector<Assignment> best_kept;
+      Time best_urgency = -kInfinite;
+      for (const Operation& op : graph().operations()) {
+        if (!is_candidate[op.id.index()] || done[op.id.index()]) continue;
+        std::vector<Assignment> kept = keep_best(op.id);
+        const Time urgency = kept.back().sigma;
+        if (time_gt(urgency, best_urgency)) {
+          best_urgency = urgency;
+          best_op = op.id;
+          best_kept = std::move(kept);
+        }
+      }
+      FTSCHED_REQUIRE(best_op.valid(),
+                      "candidate list empty before all operations scheduled "
+                      "(cyclic precedence?)");
+
+      // mSn.3: implement the operation and the communications it implies.
+      commit(best_op, best_kept);
+
+      // mSn.4: update the candidate list.
+      done[best_op.index()] = true;
+      is_candidate[best_op.index()] = false;
+      for (OperationId succ : graph().successors(best_op)) {
+        if (--missing[succ.index()] == 0) is_candidate[succ.index()] = true;
+      }
+    }
+    return std::nullopt;
+  }
+
+  /// The K+1 assignments of `op` minimizing sigma, ascending
+  /// (sigma, completion, processor id). check_input() guarantees enough
+  /// allowed processors exist.
+  std::vector<Assignment> keep_best(OperationId op) {
+    std::vector<Assignment> all;
+    for (const Processor& proc : arch().processors()) {
+      if (!exec().allowed(op, proc.id)) continue;
+      all.push_back(evaluate(op, proc.id));
+    }
+    std::sort(all.begin(), all.end(), [](const Assignment& a,
+                                         const Assignment& b) {
+      if (!time_eq(a.sigma, b.sigma)) return a.sigma < b.sigma;
+      if (!time_eq(a.end, b.end)) return a.end < b.end;
+      return a.proc < b.proc;
+    });
+    all.resize(static_cast<std::size_t>(replicas_));
+    return all;
+  }
+
+  /// Tentative evaluation of (op, proc): earliest start given the committed
+  /// partial schedule, scheduling the implied communications on a scratch
+  /// copy of the link timelines.
+  Assignment evaluate(OperationId op, ProcessorId proc) {
+    std::vector<Time> links = link_ready_;
+    const Time data = data_ready(op, proc, links, nullptr);
+    const Time start = std::max(data, proc_ready_[proc.index()]);
+    const Time duration = exec().duration(op, proc);
+    Assignment a;
+    a.proc = proc;
+    a.start = start;
+    a.end = start + duration;
+    a.sigma = schedule_pressure(timing_, op, start, duration) +
+              successor_penalty(op, proc);
+    return a;
+  }
+
+  /// Static lower bound on the communications forced by placing `op` on a
+  /// processor its successor cannot execute on (see SchedulerOptions).
+  Time successor_penalty(OperationId op, ProcessorId proc) const {
+    if (!options_.successor_placement_penalty) return 0;
+    Time penalty = 0;
+    for (DependencyId dep : graph().precedence_out(op)) {
+      const OperationId dst = graph().dependency(dep).dst;
+      if (exec().allowed(dst, proc)) continue;
+      Time cheapest = kInfinite;
+      for (const Link& link : arch().links()) {
+        cheapest = std::min(cheapest, comm().duration(dep, link.id));
+      }
+      if (!is_infinite(cheapest)) penalty = std::max(penalty, cheapest);
+    }
+    return penalty;
+  }
+
+  /// Earliest date all of op's inputs are available on `proc`, scheduling
+  /// missing transfers on `links` (scratch copy when `out` is null,
+  /// the real timeline when committing, in which case created comms are
+  /// appended to the schedule and the availability table is updated).
+  Time data_ready(OperationId op, ProcessorId proc, std::vector<Time>& links,
+                  Schedule* out) {
+    Time ready = 0;
+    for (DependencyId dep_id : graph().precedence_in(op)) {
+      ready = std::max(ready, dependency_arrival(dep_id, proc, links, out));
+    }
+    return ready;
+  }
+
+  /// Earliest date the value of `dep` is available on `proc`.
+  Time dependency_arrival(DependencyId dep_id, ProcessorId proc,
+                          std::vector<Time>& links, Schedule* out) {
+    const Dependency& dep = graph().dependency(dep_id);
+    // Intra-processor: a local replica of the producer makes the value
+    // available at its completion; no transfer is created (§6.1, §7.1).
+    if (const ScheduledOperation* local =
+            schedule_.replica_on(dep.src, proc)) {
+      return local->end;
+    }
+    if (dep_active(dep_id)) {
+      // Every producer replica sends; the consumer keeps the first arrival.
+      // Under disjoint routing each transfer takes a route that avoids its
+      // siblings' links AND relays, and never relays through another
+      // replica's host — so no single link or processor death severs every
+      // copy (§8 future work). When the bans disconnect a pair we fall back
+      // to the shortest route (overlap accepted, reported by the
+      // link-failure benchmarks).
+      std::vector<bool> banned_links;
+      std::vector<bool> banned_procs;
+      if (options_.disjoint_comm_routes) {
+        banned_links.assign(arch().link_count(), false);
+        banned_procs.assign(arch().processor_count(), false);
+        for (const ScheduledOperation* host : schedule_.replicas(dep.src)) {
+          banned_procs[host->processor.index()] = true;
+        }
+      }
+      Time first = kInfinite;
+      for (const ScheduledOperation* sender : schedule_.replicas(dep.src)) {
+        Time arrival = avail_[dep_id.index()][sender->rank][proc.index()];
+        if (is_infinite(arrival)) {
+          const Route* forced = nullptr;
+          std::optional<Route> detour;
+          if (options_.disjoint_comm_routes) {
+            // The sender itself is of course allowed to originate.
+            banned_procs[sender->processor.index()] = false;
+            detour = routing_.route_avoiding(sender->processor, proc,
+                                             banned_links, &banned_procs);
+            banned_procs[sender->processor.index()] = true;
+            if (detour.has_value()) forced = &*detour;
+          }
+          arrival = transfer(dep_id, *sender, proc, links, out, 0, false,
+                             forced);
+          if (options_.disjoint_comm_routes) {
+            const Route& used =
+                forced != nullptr ? *forced
+                                  : routing_.route(sender->processor, proc);
+            for (LinkId link : used.links) banned_links[link.index()] = true;
+            for (ProcessorId hop : used.hops) {
+              if (hop != sender->processor && hop != proc) {
+                banned_procs[hop.index()] = true;
+              }
+            }
+          }
+        }
+        first = std::min(first, arrival);
+      }
+      return first;
+    }
+    // Base / solution 1: only the main replica sends; reuse any committed
+    // delivery (bus broadcast or relay) observed by `proc`.
+    const Time seen = avail_[dep_id.index()][0][proc.index()];
+    if (!is_infinite(seen)) return seen;
+    return transfer(dep_id, *schedule_.main(dep.src), proc, links, out);
+  }
+
+  /// Schedules the store-and-forward transfer of `dep` from `sender` to
+  /// `proc`, returns its arrival date. The shortest route is used unless
+  /// the caller forces a detour (disjoint routing). With `out`, commits the
+  /// transfer and marks every processor that observes the value (link
+  /// endpoints: bus broadcast / relay hops) in the availability table.
+  Time transfer(DependencyId dep_id, const ScheduledOperation& sender,
+                ProcessorId proc, std::vector<Time>& links, Schedule* out,
+                Time not_before = 0, bool liveness = false,
+                const Route* forced_route = nullptr) {
+    const Route& route = forced_route != nullptr
+                             ? *forced_route
+                             : routing_.route(sender.processor, proc);
+    ScheduledComm record;
+    record.dep = dep_id;
+    record.sender_rank = sender.rank;
+    record.from = sender.processor;
+    record.to = proc;
+    record.liveness = liveness;
+    Time at = std::max(sender.end, not_before);
+    for (LinkId link : route.links) {
+      const Time start = std::max(links[link.index()], at);
+      const Time end = start + comm().duration(dep_id, link);
+      links[link.index()] = end;
+      at = end;
+      if (out) record.segments.push_back(CommSegment{link, start, end});
+    }
+    if (out) {
+      for (const CommSegment& seg : record.segments) {
+        for (ProcessorId endpoint : arch().link(seg.link).endpoints) {
+          Time& slot =
+              avail_[dep_id.index()][sender.rank][endpoint.index()];
+          slot = std::min(slot, seg.end);
+          record.delivered_to.push_back(endpoint);
+        }
+      }
+      out->add_comm(std::move(record));
+    }
+    return at;
+  }
+
+  /// mSn.3: commits the chosen operation on its K+1 processors, main first.
+  /// Ranks are re-derived from the actual completion dates, which can differ
+  /// from the evaluated ones once the replicas' transfers interact on links.
+  void commit(OperationId op, const std::vector<Assignment>& kept) {
+    std::vector<ScheduledOperation> placements;
+    for (const Assignment& assignment : kept) {
+      const ProcessorId proc = assignment.proc;
+      const Time data = data_ready(op, proc, link_ready_, &schedule_);
+      const Time start = std::max(data, proc_ready_[proc.index()]);
+      const Time end = start + exec().duration(op, proc);
+      proc_ready_[proc.index()] = end;
+      placements.push_back(ScheduledOperation{op, 0, proc, start, end});
+    }
+    std::stable_sort(placements.begin(), placements.end(),
+                     [](const ScheduledOperation& a,
+                        const ScheduledOperation& b) {
+                       return time_lt(a.end, b.end);
+                     });
+    for (std::size_t rank = 0; rank < placements.size(); ++rank) {
+      placements[rank].rank = static_cast<int>(rank);
+      schedule_.add_operation(placements[rank]);
+    }
+  }
+
+  /// Dependencies into mem operations carry no intra-iteration precedence
+  /// but their values must still reach every mem replica before the next
+  /// iteration; transfer them once everything is placed (§4.2 item 2).
+  void schedule_mem_inputs() {
+    for (const Dependency& dep : graph().dependencies()) {
+      if (graph().is_precedence(dep.id)) continue;
+      for (const ScheduledOperation* replica : schedule_.replicas(dep.dst)) {
+        dependency_arrival(dep.id, replica->processor, link_ready_,
+                           &schedule_);
+      }
+    }
+  }
+
+  /// Solution 1: the main replica sends its result "to all the processors
+  /// executing a replica of each successor operation ... and to all the
+  /// backup processors of o" (§6.1). The second half is a liveness signal:
+  /// a backup that never observes the main's transfer cannot tell a healthy
+  /// main from a dead one. On a bus the consumer broadcast covers every
+  /// backup for free; on point-to-point links explicit transfers must be
+  /// added — this is precisely the extra cost that makes solution 1
+  /// ill-suited to point-to-point architectures (§6.1 item 1).
+  void schedule_liveness_comms() {
+    for (const Dependency& dep : graph().dependencies()) {
+      if (dep_active(dep.id)) continue;
+      bool remote_consumer = false;
+      for (const ScheduledOperation* consumer : schedule_.replicas(dep.dst)) {
+        if (schedule_.replica_on(dep.src, consumer->processor) == nullptr) {
+          remote_consumer = true;
+          break;
+        }
+      }
+      if (!remote_consumer) continue;
+      // The transfer that certifies the main finished distributing: the
+      // latest-ending consumer delivery of this dependency.
+      Time final_end = 0;
+      const ScheduledComm* final_comm = nullptr;
+      for (const ScheduledComm* comm : schedule_.comms_of(dep.id)) {
+        if (comm->liveness || comm->segments.empty()) continue;
+        if (time_ge(comm->segments.back().end, final_end)) {
+          final_end = comm->segments.back().end;
+          final_comm = comm;
+        }
+      }
+      for (const ScheduledOperation* backup : schedule_.replicas(dep.src)) {
+        if (backup->is_main()) continue;
+        // A backup that observes the final consumer delivery on one of its
+        // own links (always the case on a bus) needs no extra signal.
+        bool observes_final = false;
+        if (final_comm != nullptr) {
+          for (const CommSegment& seg : final_comm->segments) {
+            if (arch().link(seg.link).connects(backup->processor)) {
+              observes_final = true;
+              break;
+            }
+          }
+        }
+        if (observes_final) continue;
+        transfer(dep.id, *schedule_.main(dep.src), backup->processor,
+                 link_ready_, &schedule_, /*not_before=*/final_end,
+                 /*liveness=*/true);
+      }
+    }
+  }
+
+  /// Solution 1's backup OpComm procedures (Figure 12): for every
+  /// dependency that has at least one remote consumer, each backup replica
+  /// of the producer holds an election position and sends only on failure.
+  void add_passive_comms() {
+    for (const Dependency& dep : graph().dependencies()) {
+      if (dep_active(dep.id)) continue;
+      std::vector<ProcessorId> consumers;
+      for (const ScheduledOperation* replica : schedule_.replicas(dep.dst)) {
+        if (schedule_.replica_on(dep.src, replica->processor) == nullptr) {
+          consumers.push_back(replica->processor);
+        }
+      }
+      if (consumers.empty()) continue;
+      for (const ScheduledOperation* sender : schedule_.replicas(dep.src)) {
+        if (sender->is_main()) continue;
+        ScheduledComm passive;
+        passive.dep = dep.id;
+        passive.sender_rank = sender->rank;
+        passive.from = sender->processor;
+        passive.to = consumers.front();
+        passive.delivered_to = consumers;
+        passive.active = false;
+        schedule_.add_comm(std::move(passive));
+      }
+    }
+  }
+
+  const Problem& problem_;
+  HeuristicKind kind_;
+  SchedulerOptions options_;
+  int replicas_;
+  RoutingTable routing_;
+  Schedule schedule_;
+  DagTiming timing_;
+  std::vector<Time> proc_ready_;
+  std::vector<Time> link_ready_;
+  /// avail_[dep][sender rank][proc]: earliest committed availability of the
+  /// dependency's value on the processor, kInfinite if never delivered.
+  std::vector<std::vector<std::vector<Time>>> avail_;
+};
+
+}  // namespace
+
+Expected<Schedule> schedule_base(const Problem& problem,
+                                 SchedulerOptions options) {
+  return Engine(problem, HeuristicKind::kBase, options).run();
+}
+
+Expected<Schedule> schedule_solution1(const Problem& problem,
+                                      SchedulerOptions options) {
+  return Engine(problem, HeuristicKind::kSolution1, options).run();
+}
+
+Expected<Schedule> schedule_solution2(const Problem& problem,
+                                      SchedulerOptions options) {
+  return Engine(problem, HeuristicKind::kSolution2, options).run();
+}
+
+Expected<Schedule> schedule_hybrid_with_policy(const Problem& problem,
+                                               SchedulerOptions options) {
+  return Engine(problem, HeuristicKind::kHybrid, options).run();
+}
+
+Expected<Schedule> schedule(const Problem& problem, HeuristicKind kind,
+                            SchedulerOptions options) {
+  return Engine(problem, kind, options).run();
+}
+
+}  // namespace ftsched

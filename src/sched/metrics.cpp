@@ -1,0 +1,61 @@
+#include "sched/metrics.hpp"
+
+#include <vector>
+
+namespace ftsched {
+
+ScheduleMetrics compute_metrics(const Schedule& schedule) {
+  ScheduleMetrics metrics;
+  metrics.makespan = schedule.makespan();
+  metrics.replicas = schedule.operations().size();
+
+  std::vector<Time> proc_busy_by(
+      schedule.problem().architecture->processor_count(), 0);
+  Time proc_busy = 0;
+  for (const ScheduledOperation& placement : schedule.operations()) {
+    proc_busy += placement.end - placement.start;
+    proc_busy_by[placement.processor.index()] +=
+        placement.end - placement.start;
+  }
+  std::vector<Time> link_busy_by(
+      schedule.problem().architecture->link_count(), 0);
+  Time link_busy = 0;
+  for (const ScheduledComm& comm : schedule.comms()) {
+    if (!comm.active) {
+      ++metrics.passive_comms;
+      continue;
+    }
+    ++metrics.inter_processor_comms;
+    for (const CommSegment& segment : comm.segments) {
+      link_busy += segment.end - segment.start;
+      link_busy_by[segment.link.index()] += segment.end - segment.start;
+    }
+  }
+  for (const Time busy : proc_busy_by) {
+    metrics.min_period = std::max(metrics.min_period, busy);
+  }
+  for (const Time busy : link_busy_by) {
+    metrics.min_period = std::max(metrics.min_period, busy);
+  }
+
+  const Problem& problem = schedule.problem();
+  if (time_gt(metrics.makespan, 0)) {
+    const std::size_t procs = problem.architecture->processor_count();
+    const std::size_t links = problem.architecture->link_count();
+    if (procs > 0) {
+      metrics.processor_utilisation =
+          proc_busy / (static_cast<double>(procs) * metrics.makespan);
+    }
+    if (links > 0) {
+      metrics.link_utilisation =
+          link_busy / (static_cast<double>(links) * metrics.makespan);
+    }
+  }
+  return metrics;
+}
+
+Time overhead(const Schedule& fault_tolerant, const Schedule& baseline) {
+  return fault_tolerant.makespan() - baseline.makespan();
+}
+
+}  // namespace ftsched

@@ -1,0 +1,38 @@
+// Comparison metrics between schedules: the paper's evaluation criteria
+// (§5.6): fault-tolerance overhead, message counts, resource utilisation.
+#pragma once
+
+#include <cstddef>
+
+#include "core/time.hpp"
+#include "sched/schedule.hpp"
+
+namespace ftsched {
+
+struct ScheduleMetrics {
+  Time makespan = 0;
+  /// Active inter-processor transfers in the failure-free run.
+  std::size_t inter_processor_comms = 0;
+  /// Passive (failure-only) transfer slots (solution 1 backups).
+  std::size_t passive_comms = 0;
+  /// Total replica placements.
+  std::size_t replicas = 0;
+  /// Sum of busy time across computation units divided by
+  /// (#processors * makespan); 0 when makespan is 0.
+  double processor_utilisation = 0;
+  /// Sum of busy time across links divided by (#links * makespan).
+  double link_utilisation = 0;
+  /// Throughput bound for the repeated reactive execution (§4.2): the next
+  /// iteration cannot start faster than the busiest resource can drain, so
+  /// the minimum iteration period is the largest per-resource busy time
+  /// (computation units and links). Always <= makespan.
+  Time min_period = 0;
+};
+
+[[nodiscard]] ScheduleMetrics compute_metrics(const Schedule& schedule);
+
+/// Fault-tolerance overhead (§6.6 / §7.4): ft.makespan - baseline.makespan.
+[[nodiscard]] Time overhead(const Schedule& fault_tolerant,
+                            const Schedule& baseline);
+
+}  // namespace ftsched

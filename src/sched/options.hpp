@@ -1,0 +1,38 @@
+// Tunables of the list-scheduling engine, exposed for ablation studies.
+#pragma once
+
+#include <vector>
+
+namespace ftsched {
+
+struct SchedulerOptions {
+  /// Adds to sigma(o, p) the cheapest communication duration of every
+  /// outgoing dependency whose destination operation cannot execute on p.
+  /// The paper's S(n) "takes into account the communication times between
+  /// o_i and the main processor of its predecessors and successors" (§6.2);
+  /// successors are unscheduled when o_i is a candidate, so this term is our
+  /// static approximation of the successor part: placing an operation on a
+  /// processor its successor is barred from provably costs at least one
+  /// transfer. The ablation benchmark bench_overhead_sweep measures its
+  /// effect; disabling it makes the baseline place the last computation of
+  /// example 1 on P3, where the output extio cannot run (makespan 9.6
+  /// instead of 8.8).
+  bool successor_placement_penalty = true;
+
+  /// Solution 2 only: route the K+1 replicated transfers of a dependency
+  /// over pairwise link-disjoint paths (replica rank r takes the r-th
+  /// disjoint route, wrapping when the topology offers fewer). With
+  /// link-disjoint routes, the redundancy that masks processor failures
+  /// also masks individual link failures — the paper's §8 future work.
+  /// Costs longer detours on sparse topologies; no effect on a single bus.
+  bool disjoint_comm_routes = false;
+
+  /// Hybrid heuristic only: dependencies whose transfers are actively
+  /// replicated (solution-2 semantics); every other dependency keeps
+  /// solution 1's time-redundant protocol. Indexed by dependency id; an
+  /// empty vector means all-passive. schedule_hybrid() drives this knob
+  /// automatically; expose it here for manual ablations.
+  std::vector<bool> active_comm_deps;
+};
+
+}  // namespace ftsched

@@ -1,0 +1,15 @@
+#include "sched/pressure.hpp"
+
+namespace ftsched {
+
+DagTiming optimistic_timing(const Problem& problem) {
+  return compute_dag_timing(*problem.algorithm, [&](OperationId op) {
+    const Time d = problem.exec->min_duration(op);
+    FTSCHED_REQUIRE(!is_infinite(d),
+                    "operation '" + problem.algorithm->operation(op).name +
+                        "' has no allowed processor");
+    return d;
+  });
+}
+
+}  // namespace ftsched

@@ -1,0 +1,32 @@
+// Schedule-pressure ingredients (paper §6.2, first phase).
+//
+// The pressure of scheduling candidate operation o on processor p at step n:
+//
+//     sigma(n)(o, p) = S(n)(o, p) + Delta(o, p) + E(o) - R
+//
+// where S is the earliest start date given the partial schedule, Delta the
+// WCET of o on p, E(o) the longest tail from o's completion to the sinks
+// (durations taken as the minimum WCET over allowed processors, zero
+// communication cost), and R the critical path under the same optimistic
+// model. sigma measures how much the assignment lengthens the critical path.
+// This header exposes the static (step-independent) part.
+#pragma once
+
+#include "arch/characteristics.hpp"
+#include "graph/dag_algorithms.hpp"
+
+namespace ftsched {
+
+/// E(o) tails and R computed with the optimistic per-operation duration
+/// min_p Delta(o, p). Precondition: every operation has at least one allowed
+/// processor (check via problem.check()).
+[[nodiscard]] DagTiming optimistic_timing(const Problem& problem);
+
+/// sigma for a concrete (start, duration) choice given precomputed timing.
+[[nodiscard]] inline Time schedule_pressure(const DagTiming& timing,
+                                            OperationId op, Time start,
+                                            Time duration) {
+  return start + duration + timing.tail[op.index()] - timing.critical_path;
+}
+
+}  // namespace ftsched

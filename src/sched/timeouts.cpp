@@ -1,0 +1,167 @@
+#include "sched/timeouts.hpp"
+
+#include <algorithm>
+
+namespace ftsched {
+
+namespace {
+
+/// Worst-case transfer bound of `dep` from `from` to `to` over the static
+/// route (§6.1 item 2: "the worst case upper-bound of the message
+/// transmission delay").
+Time transfer_bound(const Schedule& schedule, const RoutingTable& routing,
+                    DependencyId dep, ProcessorId from, ProcessorId to) {
+  const Route& route = routing.route(from, to);
+  return schedule.problem().comm->route_duration(dep, route);
+}
+
+/// Date at which `proc` observes the main replica's statically scheduled
+/// transfer of `dep` — the earliest end of a segment crossing a link `proc`
+/// is attached to (bus snooping / relayed or direct delivery); kInfinite if
+/// the static schedule gives `proc` nothing to observe.
+Time static_observation(const Schedule& schedule, DependencyId dep,
+                        ProcessorId proc) {
+  const ArchitectureGraph& arch = *schedule.problem().architecture;
+  Time best = kInfinite;
+  for (const ScheduledComm* comm : schedule.comms_of(dep)) {
+    if (comm->sender_rank != 0) continue;
+    for (const CommSegment& seg : comm->segments) {
+      if (arch.link(seg.link).connects(proc)) {
+        best = std::min(best, seg.end);
+      }
+    }
+  }
+  return best;
+}
+
+/// Date at which `proc` observes a transfer that *certifies* the main
+/// replica finished distributing `dep`: a liveness send, or the final
+/// consumer delivery. A backup must watch for the certificate, not the
+/// first send — on point-to-point links the main serves consumers one by
+/// one, and observing an early send proves nothing about the rest.
+Time certifying_observation(const Schedule& schedule, DependencyId dep,
+                            ProcessorId proc) {
+  const ArchitectureGraph& arch = *schedule.problem().architecture;
+  Time final_end = 0;
+  const ScheduledComm* final_comm = nullptr;
+  for (const ScheduledComm* comm : schedule.comms_of(dep)) {
+    if (comm->liveness || comm->segments.empty()) continue;
+    if (time_ge(comm->segments.back().end, final_end)) {
+      final_end = comm->segments.back().end;
+      final_comm = comm;
+    }
+  }
+  Time best = kInfinite;
+  for (const ScheduledComm* comm : schedule.comms_of(dep)) {
+    if (comm->sender_rank != 0) continue;
+    if (!comm->liveness && comm != final_comm) continue;
+    for (const CommSegment& seg : comm->segments) {
+      if (arch.link(seg.link).connects(proc)) {
+        best = std::min(best, seg.end);
+      }
+    }
+  }
+  return best;
+}
+
+}  // namespace
+
+TimeoutTable::TimeoutTable(const Schedule& schedule,
+                           const RoutingTable& routing) {
+  const AlgorithmGraph& graph = *schedule.problem().algorithm;
+  send_dates_.resize(graph.dependency_count());
+
+  for (const Dependency& dep : graph.dependencies()) {
+    // Actively replicated dependencies (solution 2 / hybrid) need no watch
+    // chains: every replica sends and the first arrival wins.
+    if (schedule.uses_active_comms(dep.id)) continue;
+    const auto senders = schedule.replicas(dep.src);
+    if (senders.empty()) continue;
+
+    // Send decision dates d_m, in election order.
+    std::vector<Time>& d = send_dates_[dep.id.index()];
+    d.resize(senders.size());
+    d[0] = senders[0]->end;
+    for (std::size_t m = 1; m < senders.size(); ++m) {
+      // Backup m has watched ranks 0..m-1; its last deadline is for m-1:
+      // the later of the naive bound and the statically scheduled
+      // observation date on m's own links.
+      Time watch_end =
+          d[m - 1] + transfer_bound(schedule, routing, dep.id,
+                                    senders[m - 1]->processor,
+                                    senders[m]->processor);
+      if (m == 1) {
+        const Time observed = certifying_observation(schedule, dep.id,
+                                                     senders[m]->processor);
+        if (!is_infinite(observed)) watch_end = std::max(watch_end, observed);
+      }
+      d[m] = std::max(senders[m]->end, watch_end);
+    }
+
+    // `backup` selects the watch semantics: a backup replica watches for
+    // the main's end-of-distribution certificate; a consumer watches for
+    // its own delivery.
+    auto make_chain = [&](ProcessorId receiver, std::size_t watched_ranks,
+                          bool backup) {
+      TimeoutChain chain;
+      chain.dep = dep.id;
+      chain.receiver = receiver;
+      for (std::size_t m = 0; m < watched_ranks; ++m) {
+        TimeoutEntry entry;
+        entry.rank = static_cast<int>(m);
+        entry.sender = senders[m]->processor;
+        entry.send_date = d[m];
+        entry.deadline = d[m] + transfer_bound(schedule, routing, dep.id,
+                                               senders[m]->processor,
+                                               receiver);
+        if (m == 0) {
+          const Time observed =
+              backup ? certifying_observation(schedule, dep.id, receiver)
+                     : static_observation(schedule, dep.id, receiver);
+          if (!is_infinite(observed)) {
+            entry.deadline = std::max(entry.deadline, observed);
+          }
+        }
+        chain.entries.push_back(entry);
+      }
+      chains_.push_back(std::move(chain));
+    };
+
+    // Consumers without a local producer replica watch the full chain.
+    std::vector<ProcessorId> consumers;
+    for (const ScheduledOperation* replica : schedule.replicas(dep.dst)) {
+      if (schedule.replica_on(dep.src, replica->processor) == nullptr) {
+        consumers.push_back(replica->processor);
+      }
+    }
+    for (ProcessorId receiver : consumers) {
+      make_chain(receiver, senders.size(), /*backup=*/false);
+    }
+    // Backup senders watch only the ranks before them — but only when the
+    // value actually has remote consumers (otherwise there is nothing to
+    // relay and no OpComm is generated).
+    if (!consumers.empty()) {
+      for (std::size_t m = 1; m < senders.size(); ++m) {
+        make_chain(senders[m]->processor, m, /*backup=*/true);
+      }
+    }
+  }
+}
+
+const TimeoutChain* TimeoutTable::chain(DependencyId dep,
+                                        ProcessorId receiver) const {
+  for (const TimeoutChain& chain : chains_) {
+    if (chain.dep == dep && chain.receiver == receiver) return &chain;
+  }
+  return nullptr;
+}
+
+Time TimeoutTable::send_date(DependencyId dep, int rank) const {
+  const auto& d = send_dates_[dep.index()];
+  if (rank < 0 || static_cast<std::size_t>(rank) >= d.size()) {
+    return kInfinite;
+  }
+  return d[static_cast<std::size_t>(rank)];
+}
+
+}  // namespace ftsched

@@ -1,0 +1,86 @@
+// Static timeout computation for solution 1 (paper §6.1 item 2 and §6.3).
+//
+// Under time-redundant communications only the main replica of a producer
+// sends. Every processor that waits for the value — consumers without a
+// local replica, and the producer's own backup replicas — watches the
+// senders in election order with statically computed deadlines:
+//
+//   c_m        completion date of the producer's rank-m replica (static,
+//              replicas execute actively whether or not failures occur);
+//   d_0 = c_0  the main replica sends as soon as it completes;
+//   d_m = max(c_m, t_{m-1}^{(m)})   for m >= 1: a backup sends once it has
+//              both computed the value and exhausted its own watch chain;
+//   t_m^{(i)} = d_m + delta(p_m -> p_i)   deadline by which p_i must have
+//              received rank m's message, where delta is the worst-case
+//              transfer bound over the static route.
+//
+// When t_m^{(i)} expires without a message, p_i marks p_m's communication
+// unit faulty (Figure 10's fail flags) and watches rank m+1.
+//
+// Contention refinement: the paper's bound is the route transfer time, which
+// excludes medium contention. The static schedule, however, fixes the exact
+// date the main replica's transfer completes — including every queueing
+// delay on the shared links — so for rank 0 we take
+// max(formula, static observation date at the receiver). Without this a
+// failure-free run would fire spurious timeouts (e.g. example 1's A->D
+// broadcast is queued behind A->B and A->C on the bus and lands after the
+// naive bound). Backup ranks have no static transfer, so their deadlines
+// keep the formula bound; a late message is still accepted (a mistake can
+// only mean an unnecessary backup send, §6.1 item 3).
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "arch/routing.hpp"
+#include "sched/schedule.hpp"
+
+namespace ftsched {
+
+/// One sender position in a receiver's watch chain.
+struct TimeoutEntry {
+  /// Election rank of the watched sender (0 = main).
+  int rank = 0;
+  ProcessorId sender;
+  /// d_m: earliest date this sender decides to transmit, assuming all
+  /// better-ranked senders failed.
+  Time send_date = 0;
+  /// t_m^{(i)}: date by which the receiver must have the value if this
+  /// sender is alive.
+  Time deadline = 0;
+};
+
+/// The watch chain of one (dependency, receiving processor) pair.
+struct TimeoutChain {
+  DependencyId dep;
+  ProcessorId receiver;
+  /// Ascending rank. A consumer watches every rank; the producer's rank-m
+  /// backup watches ranks 0..m-1 only (Figure 12's OpComm).
+  std::vector<TimeoutEntry> entries;
+};
+
+/// All watch chains of a solution-1 schedule. Also useful on the baseline
+/// (chains of length one: pure failure detection without recovery).
+class TimeoutTable {
+ public:
+  TimeoutTable(const Schedule& schedule, const RoutingTable& routing);
+
+  /// Chain for `dep` observed at `receiver`; nullptr when the receiver
+  /// hosts a replica of the producer or never consumes the value.
+  [[nodiscard]] const TimeoutChain* chain(DependencyId dep,
+                                          ProcessorId receiver) const;
+
+  [[nodiscard]] const std::vector<TimeoutChain>& chains() const noexcept {
+    return chains_;
+  }
+
+  /// d_m of the rank-m replica of `dep`'s producer; kInfinite for ranks
+  /// beyond K.
+  [[nodiscard]] Time send_date(DependencyId dep, int rank) const;
+
+ private:
+  std::vector<std::vector<Time>> send_dates_;  // per dep, per rank
+  std::vector<TimeoutChain> chains_;
+};
+
+}  // namespace ftsched

@@ -1,0 +1,279 @@
+#include "sched/validate.hpp"
+
+#include <algorithm>
+#include <map>
+
+#include "arch/routing.hpp"
+#include "core/text.hpp"
+
+namespace ftsched {
+
+namespace {
+
+class Validator {
+ public:
+  explicit Validator(const Schedule& schedule)
+      : schedule_(schedule), problem_(schedule.problem()) {}
+
+  std::vector<std::string> run() {
+    check_replication();
+    check_processor_exclusivity();
+    check_link_exclusivity();
+    check_comms();
+    check_precedence();
+    if (schedule_.kind() != HeuristicKind::kBase) {
+      check_active_comm_redundancy();
+    }
+    if (time_gt(schedule_.makespan(), problem_.deadline)) {
+      issue("makespan " + time_to_string(schedule_.makespan()) +
+            " exceeds deadline " + time_to_string(problem_.deadline));
+    }
+    return std::move(issues_);
+  }
+
+ private:
+  const AlgorithmGraph& graph() const { return *problem_.algorithm; }
+  const ArchitectureGraph& arch() const { return *problem_.architecture; }
+
+  void issue(std::string text) { issues_.push_back(std::move(text)); }
+
+  std::string op_name(OperationId id) const {
+    return graph().operation(id).name;
+  }
+  std::string proc_name(ProcessorId id) const {
+    return arch().processor(id).name;
+  }
+
+  int expected_replicas() const {
+    return schedule_.kind() == HeuristicKind::kBase
+               ? 1
+               : problem_.failures_to_tolerate + 1;
+  }
+
+  void check_replication() {
+    for (const Operation& op : graph().operations()) {
+      const auto replicas = schedule_.replicas(op.id);
+      if (replicas.size() != static_cast<std::size_t>(expected_replicas())) {
+        issue("operation '" + op.name + "' has " +
+              std::to_string(replicas.size()) + " replicas, expected " +
+              std::to_string(expected_replicas()));
+        continue;
+      }
+      for (std::size_t rank = 0; rank < replicas.size(); ++rank) {
+        const ScheduledOperation& r = *replicas[rank];
+        if (r.rank != static_cast<int>(rank)) {
+          issue("operation '" + op.name + "' replica ranks are not 0..K");
+        }
+        if (!problem_.exec->allowed(op.id, r.processor)) {
+          issue("operation '" + op.name + "' placed on disallowed processor " +
+                proc_name(r.processor));
+        } else {
+          const Time wcet = problem_.exec->duration(op.id, r.processor);
+          if (!time_eq(r.end - r.start, wcet)) {
+            issue("operation '" + op.name + "' on " + proc_name(r.processor) +
+                  " lasts " + time_to_string(r.end - r.start) +
+                  ", table says " + time_to_string(wcet));
+          }
+        }
+        for (std::size_t other = rank + 1; other < replicas.size(); ++other) {
+          if (replicas[other]->processor == r.processor) {
+            issue("two replicas of '" + op.name + "' share processor " +
+                  proc_name(r.processor));
+          }
+        }
+      }
+    }
+  }
+
+  void check_processor_exclusivity() {
+    for (const Processor& proc : arch().processors()) {
+      const auto ops = schedule_.operations_on(proc.id);
+      for (std::size_t i = 0; i + 1 < ops.size(); ++i) {
+        if (ops[i]->interval().overlaps(ops[i + 1]->interval())) {
+          issue("replicas of '" + op_name(ops[i]->op) + "' and '" +
+                op_name(ops[i + 1]->op) + "' overlap on " + proc.name);
+        }
+      }
+    }
+  }
+
+  void check_link_exclusivity() {
+    for (const Link& link : arch().links()) {
+      const auto segments = schedule_.segments_on(link.id);
+      for (std::size_t i = 0; i + 1 < segments.size(); ++i) {
+        if (segments[i].second->interval().overlaps(
+                segments[i + 1].second->interval())) {
+          issue("transfers of '" +
+                graph().dependency(segments[i].first->dep).name + "' and '" +
+                graph().dependency(segments[i + 1].first->dep).name +
+                "' overlap on link " + link.name);
+        }
+      }
+    }
+  }
+
+  void check_comms() {
+    for (const ScheduledComm& comm : schedule_.comms()) {
+      const Dependency& dep = graph().dependency(comm.dep);
+      const ScheduledOperation* sender =
+          schedule_.replica_on(dep.src, comm.from);
+      if (sender == nullptr || sender->rank != comm.sender_rank) {
+        issue("comm of '" + dep.name + "' claims sender rank " +
+              std::to_string(comm.sender_rank) + " on " +
+              proc_name(comm.from) + ", but no such replica exists");
+        continue;
+      }
+      if (!schedule_.uses_active_comms(comm.dep) && comm.active &&
+          comm.sender_rank != 0) {
+        issue("active comm of '" + dep.name +
+              "' sent by a backup replica under time-redundant comms");
+      }
+      if (!comm.active) continue;
+      if (comm.segments.empty()) {
+        issue("active comm of '" + dep.name + "' has no segments");
+        continue;
+      }
+      if (time_lt(comm.segments.front().start, sender->end)) {
+        issue("comm of '" + dep.name + "' starts before its producer ends");
+      }
+      // Segments must follow a contiguous route from `from` to `to`: each
+      // segment's link must be attached to the current hop, and each
+      // intermediate hop is the endpoint the next segment departs from.
+      ProcessorId at = comm.from;
+      Time prev_end = -kInfinite;
+      bool route_ok = true;
+      for (std::size_t i = 0; i < comm.segments.size() && route_ok; ++i) {
+        const CommSegment& seg = comm.segments[i];
+        const Link& link = arch().link(seg.link);
+        if (!link.connects(at)) {
+          route_ok = false;
+          break;
+        }
+        if (time_lt(seg.start, prev_end)) {
+          issue("comm of '" + dep.name + "' has out-of-order segments");
+        }
+        prev_end = seg.end;
+        const Time duration = problem_.comm->duration(comm.dep, seg.link);
+        if (!time_eq(seg.end - seg.start, duration)) {
+          issue("comm of '" + dep.name + "' on link " + link.name +
+                " lasts " + time_to_string(seg.end - seg.start) +
+                ", table says " + time_to_string(duration));
+        }
+        if (i + 1 == comm.segments.size()) {
+          // Final hop must deliver to the destination.
+          route_ok = link.connects(comm.to);
+          at = comm.to;
+        } else {
+          // Relay hop: the endpoint (other than `at`) shared with the next
+          // segment's link.
+          const Link& next_link = arch().link(comm.segments[i + 1].link);
+          ProcessorId relay;
+          for (ProcessorId endpoint : link.endpoints) {
+            if (endpoint != at && next_link.connects(endpoint)) {
+              relay = endpoint;
+              break;
+            }
+          }
+          if (!relay.valid()) {
+            route_ok = false;
+            break;
+          }
+          at = relay;
+        }
+      }
+      if (!route_ok) {
+        issue("comm of '" + dep.name +
+              "' does not follow a contiguous route to " +
+              proc_name(comm.to));
+      }
+    }
+  }
+
+  /// Earliest availability of dep's value on `proc` according to the
+  /// schedule: local producer replica or delivered active comm.
+  Time arrival(DependencyId dep_id, ProcessorId proc) const {
+    const Dependency& dep = graph().dependency(dep_id);
+    if (const auto* local = schedule_.replica_on(dep.src, proc)) {
+      return local->end;
+    }
+    Time best = kInfinite;
+    for (const ScheduledComm* comm : schedule_.comms_of(dep_id)) {
+      for (const CommSegment& seg : comm->segments) {
+        if (arch().link(seg.link).connects(proc)) {
+          best = std::min(best, seg.end);
+        }
+      }
+    }
+    return best;
+  }
+
+  void check_precedence() {
+    for (const ScheduledOperation& placement : schedule_.operations()) {
+      for (DependencyId dep_id : graph().precedence_in(placement.op)) {
+        const Time at = arrival(dep_id, placement.processor);
+        if (time_gt(at, placement.start)) {
+          issue("replica of '" + op_name(placement.op) + "' on " +
+                proc_name(placement.processor) + " starts at " +
+                time_to_string(placement.start) + " but input '" +
+                graph().dependency(dep_id).name + "' arrives at " +
+                time_to_string(at));
+        }
+      }
+    }
+    // Mem inputs: the value must reach every mem replica's processor by the
+    // end of the iteration even though it does not gate the mem's start.
+    for (const Dependency& dep : graph().dependencies()) {
+      if (graph().is_precedence(dep.id)) continue;
+      for (const ScheduledOperation* replica : schedule_.replicas(dep.dst)) {
+        if (is_infinite(arrival(dep.id, replica->processor))) {
+          issue("mem input '" + dep.name + "' never reaches replica on " +
+                proc_name(replica->processor));
+        }
+      }
+    }
+  }
+
+  /// Every actively replicated dependency (all of solution 2's, the
+  /// hybrid's flagged ones) must deliver every producer replica's value to
+  /// every remote consumer.
+  void check_active_comm_redundancy() {
+    for (const Dependency& dep : graph().dependencies()) {
+      if (!schedule_.uses_active_comms(dep.id)) continue;
+      for (const ScheduledOperation* consumer :
+           schedule_.replicas(dep.dst)) {
+        const ProcessorId proc = consumer->processor;
+        if (schedule_.replica_on(dep.src, proc) != nullptr) continue;
+        for (const ScheduledOperation* sender :
+             schedule_.replicas(dep.src)) {
+          bool delivered = false;
+          for (const ScheduledComm* comm : schedule_.comms_of(dep.id)) {
+            if (comm->sender_rank != sender->rank) continue;
+            if (std::find(comm->delivered_to.begin(),
+                          comm->delivered_to.end(),
+                          proc) != comm->delivered_to.end()) {
+              delivered = true;
+              break;
+            }
+          }
+          if (!delivered) {
+            issue("active comms: value of '" + dep.name + "' from replica " +
+                  std::to_string(sender->rank) + " never delivered to " +
+                  proc_name(proc));
+          }
+        }
+      }
+    }
+  }
+
+  const Schedule& schedule_;
+  const Problem& problem_;
+  std::vector<std::string> issues_;
+};
+
+}  // namespace
+
+std::vector<std::string> validate(const Schedule& schedule) {
+  return Validator(schedule).run();
+}
+
+}  // namespace ftsched

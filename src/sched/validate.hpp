@@ -1,0 +1,33 @@
+// Structural validation of a schedule against its problem.
+//
+// The validator re-derives every invariant a correct static schedule must
+// satisfy (DESIGN.md §6 item 1) and reports violations as readable strings.
+// It is used by the test suite on every schedule any heuristic produces,
+// including randomized property sweeps.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "sched/schedule.hpp"
+
+namespace ftsched {
+
+/// Empty result == valid schedule. Checks:
+///  * replication: every operation has exactly K+1 replicas (1 for the
+///    baseline), ranks 0..K, on distinct processors allowed by the exec
+///    table, each with end - start equal to its WCET;
+///  * resource exclusivity: replicas on one processor never overlap; active
+///    segments on one link never overlap;
+///  * communication sanity: an active comm starts at or after its sending
+///    replica's completion, its segments follow a contiguous link route from
+///    the sender to `to`, and solution-1 schedules only main-replica sends;
+///  * precedence: every replica has every input value available on its
+///    processor (local replica or delivered comm) no later than its start;
+///  * solution 2 redundancy: for every dependency and every consumer
+///    processor without a local producer replica, every producer replica's
+///    value is delivered to that processor;
+///  * deadline: makespan within problem.deadline.
+[[nodiscard]] std::vector<std::string> validate(const Schedule& schedule);
+
+}  // namespace ftsched

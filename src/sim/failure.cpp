@@ -1,0 +1,22 @@
+#include "sim/failure.hpp"
+
+namespace ftsched {
+
+std::vector<std::vector<ProcessorId>> failure_subsets(
+    std::size_t processors, std::size_t max_failures) {
+  std::vector<std::vector<ProcessorId>> result;
+  const std::size_t total = std::size_t{1} << processors;
+  for (std::size_t mask = 1; mask < total; ++mask) {
+    std::vector<ProcessorId> subset;
+    for (std::size_t p = 0; p < processors; ++p) {
+      if (mask & (std::size_t{1} << p)) {
+        subset.push_back(
+            ProcessorId{static_cast<ProcessorId::underlying_type>(p)});
+      }
+    }
+    if (subset.size() <= max_failures) result.push_back(std::move(subset));
+  }
+  return result;
+}
+
+}  // namespace ftsched

@@ -1,0 +1,95 @@
+#include "sim/mission.hpp"
+
+#include <algorithm>
+
+#include "arch/architecture_graph.hpp"
+#include "core/text.hpp"
+
+namespace ftsched {
+
+MissionResult run_mission(const Schedule& schedule, int iterations,
+                          const std::vector<MissionFailure>& failures,
+                          const std::vector<MissionSilence>& silences) {
+  FTSCHED_REQUIRE(iterations > 0, "a mission needs at least one iteration");
+  const Simulator simulator(schedule);
+
+  std::vector<ProcessorId> dead;       // genuinely dead, in any iteration
+  std::vector<ProcessorId> known;     // dead AND known by the survivors
+  std::vector<ProcessorId> suspected;  // alive but flagged
+
+  MissionResult result;
+  for (int i = 0; i < iterations; ++i) {
+    FailureScenario scenario;
+    scenario.failed_at_start = known;
+    scenario.suspected_at_start = suspected;
+    // Dead-but-undetected processors are silent from the very start of this
+    // iteration; survivors rediscover them through their watch chains.
+    for (ProcessorId proc : dead) {
+      if (std::find(known.begin(), known.end(), proc) == known.end()) {
+        scenario.events.push_back(FailureEvent{proc, 0});
+      }
+    }
+    for (const MissionFailure& failure : failures) {
+      if (failure.iteration == i) scenario.events.push_back(failure.event);
+    }
+    for (const MissionSilence& silence : silences) {
+      if (silence.iteration == i) {
+        scenario.silent_windows.push_back(silence.window);
+      }
+    }
+
+    const IterationResult run = simulator.run(scenario);
+
+    MissionIteration summary;
+    summary.index = i;
+    summary.all_outputs_produced = run.all_outputs_produced;
+    summary.response_time = run.response_time;
+    summary.timeouts = run.trace.count(TraceEvent::Kind::kTimeout);
+    summary.elections = run.trace.count(TraceEvent::Kind::kElection);
+    summary.transfers = run.trace.count(TraceEvent::Kind::kTransferStart);
+    summary.known_failed = known;
+    summary.suspected = suspected;
+    result.iterations.push_back(std::move(summary));
+
+    // Update ground truth and knowledge for the next iteration.
+    for (const FailureEvent& event : scenario.events) {
+      if (std::find(dead.begin(), dead.end(), event.processor) ==
+          dead.end()) {
+        dead.push_back(event.processor);
+      }
+    }
+    known.clear();
+    suspected.clear();
+    for (ProcessorId accused : run.detected_failures) {
+      if (std::find(dead.begin(), dead.end(), accused) != dead.end()) {
+        known.push_back(accused);
+      } else {
+        suspected.push_back(accused);
+      }
+    }
+  }
+  return result;
+}
+
+std::string MissionResult::to_text(const ArchitectureGraph& arch) const {
+  std::vector<std::vector<std::string>> rows;
+  rows.push_back({"iter", "outputs", "response", "timeouts", "elections",
+                  "transfers", "known failed", "suspected"});
+  for (const MissionIteration& it : iterations) {
+    auto names = [&](const std::vector<ProcessorId>& procs) {
+      std::vector<std::string> parts;
+      for (ProcessorId proc : procs) parts.push_back(arch.processor(proc).name);
+      return parts.empty() ? std::string("-") : join(parts, ",");
+    };
+    rows.push_back({std::to_string(it.index),
+                    it.all_outputs_produced ? "ok" : "LOST",
+                    time_to_string(it.response_time),
+                    std::to_string(it.timeouts),
+                    std::to_string(it.elections),
+                    std::to_string(it.transfers), names(it.known_failed),
+                    names(it.suspected)});
+  }
+  return render_table(rows);
+}
+
+}  // namespace ftsched

@@ -1,0 +1,67 @@
+// Multi-iteration mission runner: the reactive system executes its schedule
+// once per input event, forever (§4.2). This driver chains consecutive
+// iterations, carrying the failure knowledge each iteration's survivors
+// accumulated into the next one — the transient-then-subsequent life cycle
+// of §5.6 criterion 3 — while injecting crashes and fail-silent episodes at
+// chosen iterations.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "sim/simulator.hpp"
+
+namespace ftsched {
+
+/// A crash of `event.processor` at `event.time` within iteration `iteration`.
+struct MissionFailure {
+  int iteration = 0;
+  FailureEvent event;
+};
+
+/// A fail-silent episode within one iteration.
+struct MissionSilence {
+  int iteration = 0;
+  SilentWindow window;
+};
+
+struct MissionIteration {
+  int index = 0;
+  bool all_outputs_produced = false;
+  Time response_time = kInfinite;
+  std::size_t timeouts = 0;
+  std::size_t elections = 0;
+  std::size_t transfers = 0;
+  /// Genuinely dead processors known when the iteration started.
+  std::vector<ProcessorId> known_failed;
+  /// Healthy processors wrongly suspected when the iteration started.
+  std::vector<ProcessorId> suspected;
+};
+
+struct MissionResult {
+  std::vector<MissionIteration> iterations;
+
+  [[nodiscard]] bool every_iteration_served() const {
+    for (const MissionIteration& it : iterations) {
+      if (!it.all_outputs_produced) return false;
+    }
+    return !iterations.empty();
+  }
+
+  /// One line per iteration, for examples and diagnostics.
+  [[nodiscard]] std::string to_text(
+      const class ArchitectureGraph& arch) const;
+};
+
+/// Runs `iterations` consecutive iterations of `schedule`. Failures take
+/// effect in their iteration and persist; detections propagate: a processor
+/// flagged by the survivors at the end of iteration i is treated as known
+/// (if genuinely dead) or suspected (if it was a detection mistake) at the
+/// start of iteration i+1.
+[[nodiscard]] MissionResult run_mission(
+    const Schedule& schedule, int iterations,
+    const std::vector<MissionFailure>& failures,
+    const std::vector<MissionSilence>& silences = {});
+
+}  // namespace ftsched

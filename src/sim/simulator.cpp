@@ -1,0 +1,586 @@
+#include "sim/simulator.hpp"
+
+#include <algorithm>
+#include <queue>
+
+#include "graph/algorithm_graph.hpp"
+
+namespace ftsched {
+
+namespace {
+
+/// Event kinds, in same-instant processing order: deliveries first (a value
+/// arriving exactly at a deadline satisfies the watcher), then completions,
+/// then failures (an operation finishing at the failure instant counts),
+/// then deadlines.
+enum class EventKind {
+  kHopDone = 0,
+  kOpDone = 1,
+  kFailure = 2,
+  kLinkFailure = 3,
+  kDeadline = 4,
+};
+
+struct Event {
+  Time time;
+  EventKind kind;
+  std::size_t seq;    // deterministic FIFO tie-break
+  std::size_t index;  // proc / transfer / watcher index, per kind
+
+  bool operator>(const Event& other) const {
+    if (time != other.time) return time > other.time;
+    if (kind != other.kind) return kind > other.kind;
+    return seq > other.seq;
+  }
+};
+
+class Run {
+ public:
+  Run(const Schedule& schedule, const RoutingTable& routing,
+      const TimeoutTable& timeouts, const FailureScenario& scenario)
+      : schedule_(schedule),
+        routing_(routing),
+        timeouts_(timeouts),
+        graph_(*schedule.problem().algorithm),
+        arch_(*schedule.problem().architecture) {
+    init(scenario);
+  }
+
+  IterationResult execute() {
+    advance(0);
+    while (!queue_.empty()) {
+      // Drain every event of this instant before re-evaluating the system,
+      // so that e.g. an operation completing at t and the link freeing at t
+      // are both visible when the arbiter picks the next transfer.
+      const Time now = queue_.top().time;
+      while (!queue_.empty() && queue_.top().time == now) {
+        const Event event = queue_.top();
+        queue_.pop();
+        dispatch(event);
+      }
+      advance(now);
+    }
+    return finish();
+  }
+
+ private:
+  struct Proc {
+    bool alive = true;
+    std::vector<const ScheduledOperation*> program;
+    std::size_t next = 0;
+    bool busy = false;
+    bool abort = false;  // the running operation died with the processor
+    std::vector<char> flags;  // flags[q]: believes processor q failed
+  };
+
+  struct LinkState {
+    bool busy = false;
+    bool alive = true;
+  };
+
+  struct Transfer {
+    DependencyId dep;
+    int sender_rank = 0;
+    ProcessorId from;
+    ProcessorId to;
+    /// The actual route (static transfers: reconstructed from the schedule
+    /// segments, which may follow a disjoint detour; dynamic transfers: the
+    /// shortest route). hops[i] feeds links[i].
+    Route route;
+    std::size_t hop = 0;
+    /// Static transfers are time-triggered: hop i never starts before its
+    /// scheduled slot. This makes the failure-free run replay the static
+    /// schedule exactly (each link's static total order is enforced by the
+    /// slots themselves, §4.4); under failures a late value simply starts
+    /// its hop late. Empty for runtime-created (backup) transfers.
+    std::vector<Time> slots;
+    bool dynamic = false;
+    /// Liveness notification to a later backup (cancelled once the
+    /// destination has certified the dependency's distribution).
+    bool liveness = false;
+    /// Observing this transfer certifies the sender finished distributing
+    /// the value: dynamic (elected-backup) sends, static liveness sends,
+    /// and the final static consumer delivery.
+    bool certifies = false;
+    bool in_flight = false;
+    bool done = false;
+    bool cancelled = false;
+    std::size_t wake_scheduled_hop = static_cast<std::size_t>(-1);
+  };
+
+  struct Watcher {
+    const TimeoutChain* chain = nullptr;
+    std::size_t pos = 0;
+    /// Rank of the local backup replica of the producer; -1 for a pure
+    /// consumer watcher.
+    int backup_rank = -1;
+    bool elected = false;
+    bool sent = false;
+    std::size_t scheduled_pos = static_cast<std::size_t>(-1);
+  };
+
+  void init(const FailureScenario& scenario) {
+    const std::size_t procs = arch_.processor_count();
+    procs_.resize(procs);
+    for (std::size_t p = 0; p < procs; ++p) {
+      procs_[p].flags.assign(procs, 0);
+      procs_[p].program = schedule_.operations_on(
+          ProcessorId{static_cast<ProcessorId::underlying_type>(p)});
+    }
+    links_.resize(arch_.link_count());
+    has_value_.assign(procs,
+                      std::vector<char>(graph_.dependency_count(), 0));
+    observed_.assign(procs,
+                     std::vector<char>(graph_.dependency_count(), 0));
+    certified_.assign(procs,
+                      std::vector<char>(graph_.dependency_count(), 0));
+
+    // Static transfers, in schedule order (their creation order). The
+    // latest-ending consumer delivery of each dependency certifies the
+    // main's end of distribution (see ScheduledComm::liveness).
+    std::vector<Time> final_end(graph_.dependency_count(), 0);
+    for (const ScheduledComm& comm : schedule_.comms()) {
+      if (!comm.active || comm.liveness || comm.segments.empty()) continue;
+      final_end[comm.dep.index()] =
+          std::max(final_end[comm.dep.index()], comm.segments.back().end);
+    }
+    for (const ScheduledComm& comm : schedule_.comms()) {
+      if (!comm.active) continue;
+      Transfer transfer;
+      transfer.dep = comm.dep;
+      transfer.sender_rank = comm.sender_rank;
+      transfer.from = comm.from;
+      transfer.to = comm.to;
+      transfer.liveness = comm.liveness;
+      transfer.certifies =
+          comm.liveness ||
+          (!comm.segments.empty() &&
+           time_ge(comm.segments.back().end, final_end[comm.dep.index()]));
+      transfer.route.hops = schedule_.comm_hops(comm);
+      for (const CommSegment& segment : comm.segments) {
+        transfer.route.links.push_back(segment.link);
+        transfer.slots.push_back(segment.start);
+      }
+      transfers_.push_back(transfer);
+    }
+
+    // Watch chains (solution 1 and the hybrid's passive dependencies; the
+    // TimeoutTable already excludes actively replicated ones).
+    if (schedule_.kind() == HeuristicKind::kSolution1 ||
+        schedule_.kind() == HeuristicKind::kHybrid) {
+      for (const TimeoutChain& chain : timeouts_.chains()) {
+        Watcher watcher;
+        watcher.chain = &chain;
+        const Dependency& dep = graph_.dependency(chain.dep);
+        if (const ScheduledOperation* local =
+                schedule_.replica_on(dep.src, chain.receiver)) {
+          watcher.backup_rank = local->rank;
+        }
+        watchers_.push_back(watcher);
+      }
+    }
+
+    // Failures known since a previous iteration: dead, and flagged by all.
+    for (ProcessorId dead : scenario.failed_at_start) {
+      procs_[dead.index()].alive = false;
+      for (Proc& proc : procs_) {
+        proc.flags[dead.index()] = 1;
+      }
+    }
+    // Detection mistakes carried over: flagged by everyone, yet alive.
+    for (ProcessorId suspect : scenario.suspected_at_start) {
+      for (Proc& proc : procs_) {
+        proc.flags[suspect.index()] = 1;
+      }
+      procs_[suspect.index()].flags[suspect.index()] = 0;
+    }
+    // Mid-iteration crashes.
+    for (const FailureEvent& failure : scenario.events) {
+      push(failure.time, EventKind::kFailure, failure.processor.index());
+    }
+    // Link failures.
+    for (LinkId link : scenario.failed_links_at_start) {
+      links_[link.index()].alive = false;
+    }
+    for (const LinkFailureEvent& failure : scenario.link_events) {
+      push(failure.time, EventKind::kLinkFailure, failure.link.index());
+    }
+    // Fail-silent windows: blocked sends must be retried when each window
+    // closes, so schedule a generic wake-up at every window end.
+    silent_windows_ = scenario.silent_windows;
+    for (const SilentWindow& window : silent_windows_) {
+      push(window.to, EventKind::kDeadline, 0);
+    }
+  }
+
+  /// True while `proc`'s communication units are omitting sends
+  /// (intermittent fail-silent episode, §6.1 item 3).
+  bool is_silent(ProcessorId proc, Time now) const {
+    for (const SilentWindow& window : silent_windows_) {
+      if (window.processor == proc && time_le(window.from, now) &&
+          time_lt(now, window.to)) {
+        return true;
+      }
+    }
+    return false;
+  }
+
+  void push(Time time, EventKind kind, std::size_t index) {
+    queue_.push(Event{time, kind, seq_++, index});
+  }
+
+  void record(TraceEvent event) { trace_.record(std::move(event)); }
+
+  ProcessorId pid(std::size_t index) const {
+    return ProcessorId{static_cast<ProcessorId::underlying_type>(index)};
+  }
+
+  void dispatch(const Event& event) {
+    switch (event.kind) {
+      case EventKind::kFailure:
+        on_failure(event.time, event.index);
+        break;
+      case EventKind::kOpDone:
+        on_op_done(event.time, event.index);
+        break;
+      case EventKind::kHopDone:
+        on_hop_done(event.time, event.index);
+        break;
+      case EventKind::kLinkFailure:
+        on_link_failure(event.time, event.index);
+        break;
+      case EventKind::kDeadline:
+        break;  // advance() re-examines watchers at this instant
+    }
+  }
+
+  void on_failure(Time now, std::size_t p) {
+    Proc& proc = procs_[p];
+    if (!proc.alive) return;
+    proc.alive = false;
+    if (proc.busy) proc.abort = true;
+    record({TraceEvent::Kind::kFailure, now, pid(p), {}, {}, -1, {}, {}});
+    // In-flight transfers fed by the dead processor are lost; the medium
+    // frees (a partial frame is discarded by the receivers).
+    for (std::size_t t = 0; t < transfers_.size(); ++t) {
+      Transfer& transfer = transfers_[t];
+      if (!transfer.in_flight) continue;
+      if (transfer.route.hops[transfer.hop].index() != p) continue;
+      transfer.in_flight = false;
+      transfer.cancelled = true;
+      links_[transfer.route.links[transfer.hop].index()].busy = false;
+      record({TraceEvent::Kind::kDrop, now, pid(p), transfer.to, {}, -1,
+              transfer.dep, transfer.route.links[transfer.hop]});
+    }
+  }
+
+  /// A communication link fails permanently: the frame in flight is lost
+  /// and nothing crosses the medium again (the paper's §8 future work; a
+  /// processor failure already silences that processor's units, this models
+  /// the medium itself dying).
+  void on_link_failure(Time now, std::size_t l) {
+    LinkState& link = links_[l];
+    if (!link.alive) return;
+    link.alive = false;
+    link.busy = false;
+    const LinkId link_id{static_cast<LinkId::underlying_type>(l)};
+    record({TraceEvent::Kind::kFailure, now, {}, {}, {}, -1, {}, link_id});
+    for (std::size_t t = 0; t < transfers_.size(); ++t) {
+      Transfer& transfer = transfers_[t];
+      if (!transfer.in_flight) continue;
+      if (transfer.route.links[transfer.hop] != link_id) continue;
+      transfer.in_flight = false;
+      transfer.cancelled = true;
+      record({TraceEvent::Kind::kDrop, now,
+              transfer.route.hops[transfer.hop], transfer.to, {}, -1,
+              transfer.dep, link_id});
+    }
+  }
+
+  void on_op_done(Time now, std::size_t p) {
+    Proc& proc = procs_[p];
+    if (!proc.alive) {
+      proc.abort = false;
+      return;
+    }
+    const ScheduledOperation* placement = proc.program[proc.next];
+    record({TraceEvent::Kind::kOpEnd, now, pid(p), {}, placement->op,
+            placement->rank, {}, {}});
+    for (DependencyId out : graph_.out_dependencies(placement->op)) {
+      has_value_[p][out.index()] = 1;
+    }
+    proc.busy = false;
+    ++proc.next;
+  }
+
+  void on_hop_done(Time now, std::size_t t) {
+    Transfer& transfer = transfers_[t];
+    if (transfer.cancelled || !transfer.in_flight) return;
+    transfer.in_flight = false;
+    const LinkId link = transfer.route.links[transfer.hop];
+    links_[link.index()].busy = false;
+    record({TraceEvent::Kind::kTransferEnd, now,
+            transfer.route.hops[transfer.hop], transfer.to, {}, -1,
+            transfer.dep, link});
+    // Every live processor attached to the medium observes the value: a bus
+    // delivers it to all endpoints (broadcast), a point-to-point link to the
+    // far endpoint. Observing a processor transmit is also proof of life:
+    // healthy processors keep scanning the medium and clear a fail flag that
+    // turns out to be a detection mistake or an intermittent fail-silent
+    // episode (§6.1 item 3).
+    const ProcessorId feeding = transfer.route.hops[transfer.hop];
+    for (ProcessorId endpoint : arch_.link(link).endpoints) {
+      if (!procs_[endpoint.index()].alive) continue;
+      has_value_[endpoint.index()][transfer.dep.index()] = 1;
+      observed_[endpoint.index()][transfer.dep.index()] = 1;
+      if (transfer.certifies) {
+        certified_[endpoint.index()][transfer.dep.index()] = 1;
+      }
+      procs_[endpoint.index()].flags[feeding.index()] = 0;
+    }
+    ++transfer.hop;
+    if (transfer.hop == transfer.route.links.size()) transfer.done = true;
+  }
+
+  /// Fixpoint: start everything that can start at `now`.
+  void advance(Time now) {
+    bool progress = true;
+    while (progress) {
+      progress = false;
+      progress |= progress_watchers(now);
+      progress |= start_operations(now);
+      progress |= start_transfers(now);
+    }
+  }
+
+  bool start_operations(Time now) {
+    bool progress = false;
+    for (std::size_t p = 0; p < procs_.size(); ++p) {
+      Proc& proc = procs_[p];
+      if (!proc.alive || proc.busy || proc.next >= proc.program.size()) {
+        continue;
+      }
+      const ScheduledOperation* placement = proc.program[proc.next];
+      bool ready = true;
+      for (DependencyId dep : graph_.precedence_in(placement->op)) {
+        if (!has_value_[p][dep.index()]) {
+          ready = false;
+          break;
+        }
+      }
+      if (!ready) continue;
+      const Time duration = placement->end - placement->start;
+      proc.busy = true;
+      record({TraceEvent::Kind::kOpStart, now, pid(p), {}, placement->op,
+              placement->rank, {}, {}});
+      push(now + duration, EventKind::kOpDone, p);
+      progress = true;
+    }
+    return progress;
+  }
+
+  bool start_transfers(Time now) {
+    bool progress = false;
+    for (std::size_t t = 0; t < transfers_.size(); ++t) {
+      Transfer& transfer = transfers_[t];
+      if (transfer.done || transfer.cancelled || transfer.in_flight) continue;
+      const ProcessorId feeding = transfer.route.hops[transfer.hop];
+      if (!procs_[feeding.index()].alive) continue;
+      if (is_silent(feeding, now)) continue;  // retried at the window end
+      if (!has_value_[feeding.index()][transfer.dep.index()]) continue;
+      if (!transfer.slots.empty() &&
+          time_lt(now, transfer.slots[transfer.hop])) {
+        if (transfer.wake_scheduled_hop != transfer.hop) {
+          transfer.wake_scheduled_hop = transfer.hop;
+          push(transfer.slots[transfer.hop], EventKind::kDeadline, t);
+        }
+        continue;
+      }
+      // Runtime-created transfers are pointless once the destination got or
+      // observed the value through another path.
+      if (transfer.dynamic) {
+        const auto& dest_seen = transfer.liveness
+                                    ? certified_[transfer.to.index()]
+                                    : has_value_[transfer.to.index()];
+        if (dest_seen[transfer.dep.index()]) {
+          transfer.cancelled = true;
+          record({TraceEvent::Kind::kDrop, now, feeding, transfer.to, {}, -1,
+                  transfer.dep, {}});
+          progress = true;
+          continue;
+        }
+      }
+      LinkState& link = links_[transfer.route.links[transfer.hop].index()];
+      if (!link.alive || link.busy) continue;
+      link.busy = true;
+      transfer.in_flight = true;
+      const LinkId link_id = transfer.route.links[transfer.hop];
+      record({TraceEvent::Kind::kTransferStart, now, feeding, transfer.to,
+              {}, -1, transfer.dep, link_id});
+      push(now + schedule_.problem().comm->duration(transfer.dep, link_id),
+           EventKind::kHopDone, t);
+      progress = true;
+    }
+    return progress;
+  }
+
+  bool progress_watchers(Time now) {
+    bool progress = false;
+    for (std::size_t w = 0; w < watchers_.size(); ++w) {
+      Watcher& watcher = watchers_[w];
+      const TimeoutChain& chain = *watcher.chain;
+      const std::size_t recv = chain.receiver.index();
+      Proc& proc = procs_[recv];
+      if (!proc.alive) continue;
+
+      const bool satisfied =
+          watcher.backup_rank >= 0
+              ? certified_[recv][chain.dep.index()] != 0
+              : has_value_[recv][chain.dep.index()] != 0;
+      if (satisfied) continue;
+
+      while (watcher.pos < chain.entries.size()) {
+        const TimeoutEntry& entry = chain.entries[watcher.pos];
+        if (proc.flags[entry.sender.index()]) {
+          // Already known faulty (Figure 12: skip without waiting).
+          ++watcher.pos;
+          progress = true;
+          continue;
+        }
+        if (time_ge(now, entry.deadline)) {
+          proc.flags[entry.sender.index()] = 1;
+          record({TraceEvent::Kind::kTimeout, now, chain.receiver,
+                  entry.sender, {}, entry.rank, chain.dep, {}});
+          ++watcher.pos;
+          progress = true;
+          continue;
+        }
+        if (watcher.scheduled_pos != watcher.pos) {
+          watcher.scheduled_pos = watcher.pos;
+          push(entry.deadline, EventKind::kDeadline, w);
+        }
+        break;
+      }
+
+      // Watch chain exhausted: a backup replica takes over the send
+      // (Figure 12's final `if m = i then send`); once it has computed the
+      // value itself, it transmits to everyone still waiting.
+      if (watcher.pos == chain.entries.size() && watcher.backup_rank >= 0 &&
+          !watcher.sent) {
+        if (!watcher.elected) {
+          watcher.elected = true;
+          record({TraceEvent::Kind::kElection, now, chain.receiver, {}, {},
+                  watcher.backup_rank, chain.dep, {}});
+          progress = true;
+        }
+        if (has_value_[recv][chain.dep.index()]) {
+          watcher.sent = true;
+          create_backup_sends(now, watcher);
+          progress = true;
+        }
+      }
+    }
+    return progress;
+  }
+
+  /// The elected backup sends the value to every consumer processor that
+  /// still needs it and a liveness notification to every later backup
+  /// (§6.1: "send the result to the units of successors and remainder
+  /// backup processors").
+  void create_backup_sends(Time now, const Watcher& watcher) {
+    (void)now;
+    const TimeoutChain& chain = *watcher.chain;
+    const Dependency& dep = graph_.dependency(chain.dep);
+
+    // Figure 12 sends unconditionally: a fail flag can be a detection
+    // mistake (late message under contention), so filtering destinations by
+    // flags could starve a healthy processor. A transfer to a dead
+    // processor merely wastes a slot; cancel-at-start already suppresses
+    // transfers whose destination got the value another way.
+    auto enqueue = [&](ProcessorId to, bool liveness) {
+      if (to == chain.receiver) return;
+      Transfer transfer;
+      transfer.dep = chain.dep;
+      transfer.sender_rank = watcher.backup_rank;
+      transfer.from = chain.receiver;
+      transfer.to = to;
+      transfer.route = routing_.route(chain.receiver, to);
+      transfer.dynamic = true;
+      transfer.liveness = liveness;
+      transfer.certifies = true;
+      transfers_.push_back(transfer);
+    };
+
+    for (const ScheduledOperation* consumer : schedule_.replicas(dep.dst)) {
+      if (schedule_.replica_on(dep.src, consumer->processor) != nullptr) {
+        continue;  // computes the producer locally
+      }
+      enqueue(consumer->processor, /*liveness=*/false);
+    }
+    for (const ScheduledOperation* later : schedule_.replicas(dep.src)) {
+      if (later->rank <= watcher.backup_rank) continue;
+      enqueue(later->processor, /*liveness=*/true);
+    }
+  }
+
+  IterationResult finish() {
+    IterationResult result;
+    result.all_outputs_produced = true;
+    Time response = 0;
+    for (const Operation& op : graph_.operations()) {
+      if (op.kind != OperationKind::kExtioOut) continue;
+      const Time earliest = trace_.earliest_op_end(op.id);
+      if (is_infinite(earliest)) {
+        result.all_outputs_produced = false;
+      } else {
+        response = std::max(response, earliest);
+      }
+    }
+    result.response_time =
+        result.all_outputs_produced ? response : kInfinite;
+
+    std::vector<char> flagged(procs_.size(), 0);
+    for (const Proc& proc : procs_) {
+      if (!proc.alive) continue;
+      for (std::size_t q = 0; q < procs_.size(); ++q) {
+        if (proc.flags[q]) flagged[q] = 1;
+      }
+    }
+    for (std::size_t q = 0; q < procs_.size(); ++q) {
+      if (flagged[q]) result.detected_failures.push_back(pid(q));
+    }
+    result.trace = std::move(trace_);
+    return result;
+  }
+
+  const Schedule& schedule_;
+  const RoutingTable& routing_;
+  const TimeoutTable& timeouts_;
+  const AlgorithmGraph& graph_;
+  const ArchitectureGraph& arch_;
+
+  std::priority_queue<Event, std::vector<Event>, std::greater<Event>> queue_;
+  std::size_t seq_ = 0;
+  Trace trace_;
+  std::vector<Proc> procs_;
+  std::vector<LinkState> links_;
+  std::vector<Transfer> transfers_;
+  std::vector<Watcher> watchers_;
+  std::vector<SilentWindow> silent_windows_;
+  std::vector<std::vector<char>> has_value_;  // [proc][dep]
+  std::vector<std::vector<char>> observed_;   // [proc][dep]
+  std::vector<std::vector<char>> certified_;  // [proc][dep]
+};
+
+}  // namespace
+
+Simulator::Simulator(const Schedule& schedule)
+    : schedule_(&schedule),
+      routing_(*schedule.problem().architecture),
+      timeouts_(schedule, routing_) {}
+
+IterationResult Simulator::run(const FailureScenario& scenario) const {
+  return Run(*schedule_, routing_, timeouts_, scenario).execute();
+}
+
+}  // namespace ftsched

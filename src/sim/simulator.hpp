@@ -1,0 +1,71 @@
+// Discrete-event simulator of a static distributed schedule under fail-stop
+// processor failures — the runtime half of AAA (§4.1 step 2 generates an
+// executive; this simulator executes its semantics).
+//
+// Faithful behaviours:
+//  * each computation unit runs its replicas in static order, a replica
+//    starting once all its input values are in local memory;
+//  * each link serves transfers one at a time (the bus arbiter of §4.3);
+//    statically scheduled transfers are served in schedule order, transfers
+//    created at runtime (solution-1 backup sends) queue behind ready ones;
+//  * a bus transfer is observed by every attached processor (broadcast,
+//    §6.1 item 1); point-to-point transfers store-and-forward along the
+//    static route (§5.5 item 2);
+//  * a failed processor halts mid-operation, its in-flight transfers are
+//    lost, and it never sends again (§5.1 fail-stop);
+//  * under solution 1, every waiting processor watches the producer's
+//    replicas in election order with the static deadlines of the
+//    TimeoutTable; an expired deadline sets the local fail flag (Figure 10)
+//    and a backup whose whole watch chain expired sends the value itself
+//    (Figure 12). Late messages are still accepted — a detection mistake
+//    causes at most an unnecessary send (§6.1 item 3);
+//  * under solution 2 (and the baseline) there are no timeouts: all
+//    scheduled transfers fire, receivers keep the first arrival and discard
+//    later ones (§7.1).
+//
+// Processors listed in FailureScenario::failed_at_start are dead AND known
+// dead by everyone (fail flags pre-set), which is the paper's "subsequent
+// iteration" regime; processors in FailureScenario::events crash mid-run,
+// giving the "transient iteration".
+#pragma once
+
+#include <vector>
+
+#include "sched/schedule.hpp"
+#include "sched/timeouts.hpp"
+#include "sim/failure.hpp"
+#include "sim/trace.hpp"
+
+namespace ftsched {
+
+struct IterationResult {
+  Trace trace;
+  /// True when every extio output of the algorithm was executed by at least
+  /// one processor alive at the end of the iteration.
+  bool all_outputs_produced = false;
+  /// max over extio outputs of the earliest completion on a processor alive
+  /// at the end of the iteration; kInfinite when an output is missing.
+  Time response_time = kInfinite;
+  /// Processors each healthy processor has flagged faulty by iteration end,
+  /// merged (feed these into the next iteration's failed_at_start).
+  std::vector<ProcessorId> detected_failures;
+};
+
+class Simulator {
+ public:
+  /// The schedule must outlive the simulator.
+  explicit Simulator(const Schedule& schedule);
+
+  /// Simulates one iteration under `scenario`. Deterministic.
+  [[nodiscard]] IterationResult run(const FailureScenario& scenario) const;
+
+  /// Convenience: failure-free run.
+  [[nodiscard]] IterationResult run() const { return run({}); }
+
+ private:
+  const Schedule* schedule_;
+  RoutingTable routing_;
+  TimeoutTable timeouts_;
+};
+
+}  // namespace ftsched

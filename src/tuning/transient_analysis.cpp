@@ -1,0 +1,60 @@
+#include "tuning/transient_analysis.hpp"
+
+#include <algorithm>
+
+#include "sim/simulator.hpp"
+
+namespace ftsched {
+
+TransientReport analyze_transient(const Schedule& schedule) {
+  const Simulator simulator(schedule);
+  const IterationResult nominal = simulator.run();
+
+  // Critical crash instants: every event date of the failure-free run, the
+  // midpoints between consecutive dates (a crash strictly inside an
+  // interval), and the start.
+  std::vector<Time> instants{0};
+  for (const TraceEvent& event : nominal.trace.events()) {
+    instants.push_back(event.time);
+  }
+  std::sort(instants.begin(), instants.end());
+  instants.erase(std::unique(instants.begin(), instants.end(),
+                             [](Time a, Time b) { return time_eq(a, b); }),
+                 instants.end());
+  const std::size_t distinct = instants.size();
+  for (std::size_t i = 0; i + 1 < distinct; ++i) {
+    instants.push_back((instants[i] + instants[i + 1]) / 2);
+  }
+
+  TransientReport report;
+  report.nominal_response = nominal.response_time;
+  const std::size_t procs =
+      schedule.problem().architecture->processor_count();
+  report.worst_by_victim.assign(procs, 0);
+
+  for (std::size_t p = 0; p < procs; ++p) {
+    const ProcessorId victim{static_cast<ProcessorId::underlying_type>(p)};
+    Time worst = 0;
+    auto consider = [&](const IterationResult& run) {
+      worst = std::max(worst, run.response_time);
+      report.worst_timeouts =
+          std::max(report.worst_timeouts,
+                   run.trace.count(TraceEvent::Kind::kTimeout));
+    };
+    consider(simulator.run(FailureScenario::dead_from_start({victim})));
+    for (const Time at : instants) {
+      consider(simulator.run(FailureScenario::crash(victim, at)));
+    }
+    report.worst_by_victim[p] = worst;
+    if (time_gt(worst, report.worst_response) ||
+        !report.worst_victim.valid()) {
+      report.worst_response = std::max(report.worst_response, worst);
+      if (time_eq(report.worst_response, worst)) {
+        report.worst_victim = victim;
+      }
+    }
+  }
+  return report;
+}
+
+}  // namespace ftsched

@@ -1,0 +1,119 @@
+#include "workload/paper_examples.hpp"
+
+#include <array>
+
+#include "arch/topologies.hpp"
+
+namespace ftsched::workload {
+
+OwnedProblem assemble(std::unique_ptr<AlgorithmGraph> algorithm,
+                      std::unique_ptr<ArchitectureGraph> architecture,
+                      std::unique_ptr<ExecTable> exec,
+                      std::unique_ptr<CommTable> comm,
+                      int failures_to_tolerate) {
+  OwnedProblem owned;
+  owned.algorithm = std::move(algorithm);
+  owned.architecture = std::move(architecture);
+  owned.exec = std::move(exec);
+  owned.comm = std::move(comm);
+  owned.problem.algorithm = owned.algorithm.get();
+  owned.problem.architecture = owned.architecture.get();
+  owned.problem.exec = owned.exec.get();
+  owned.problem.comm = owned.comm.get();
+  owned.problem.failures_to_tolerate = failures_to_tolerate;
+  return owned;
+}
+
+std::unique_ptr<AlgorithmGraph> paper_algorithm() {
+  auto graph = std::make_unique<AlgorithmGraph>();
+  const OperationId i = graph->add_operation("I", OperationKind::kExtioIn);
+  const OperationId a = graph->add_operation("A");
+  const OperationId b = graph->add_operation("B");
+  const OperationId c = graph->add_operation("C");
+  const OperationId d = graph->add_operation("D");
+  const OperationId e = graph->add_operation("E");
+  const OperationId o = graph->add_operation("O", OperationKind::kExtioOut);
+  graph->add_dependency(i, a);
+  graph->add_dependency(a, b);
+  graph->add_dependency(a, c);
+  graph->add_dependency(a, d);
+  graph->add_dependency(b, e);
+  graph->add_dependency(c, e);
+  graph->add_dependency(d, e);
+  graph->add_dependency(e, o);
+  return graph;
+}
+
+namespace {
+
+/// The shared duration tables of §5.4 / §6.5 / §7.3.
+void fill_paper_tables(const AlgorithmGraph& graph,
+                       const ArchitectureGraph& arch, ExecTable& exec,
+                       CommTable& comm) {
+  const ProcessorId p1 = arch.find_processor("P1");
+  const ProcessorId p2 = arch.find_processor("P2");
+  const ProcessorId p3 = arch.find_processor("P3");
+
+  struct Row {
+    const char* op;
+    Time on_p1, on_p2, on_p3;
+  };
+  constexpr std::array<Row, 7> wcet{{
+      {"I", 1, 1, kInfinite},
+      {"A", 2, 2, 2},
+      {"B", 3, 1.5, 1.5},
+      {"C", 2, 3, 1},
+      {"D", 3, 1, 1},
+      {"E", 1, 1, 1},
+      {"O", 1.5, 1.5, kInfinite},
+  }};
+  for (const Row& row : wcet) {
+    const OperationId op = graph.find_operation(row.op);
+    exec.set(op, p1, row.on_p1);
+    exec.set(op, p2, row.on_p2);
+    exec.set(op, p3, row.on_p3);
+  }
+
+  struct Edge {
+    const char* name;
+    Time duration;
+  };
+  constexpr std::array<Edge, 8> costs{{
+      {"I->A", 1.25},
+      {"A->B", 0.5},
+      {"A->C", 0.5},
+      {"A->D", 1},
+      {"B->E", 0.5},
+      {"C->E", 0.6},
+      {"D->E", 0.8},
+      {"E->O", 1},
+  }};
+  for (const Edge& edge : costs) {
+    for (const Dependency& dep : graph.dependencies()) {
+      if (dep.name == edge.name) comm.set_uniform(dep.id, edge.duration);
+    }
+  }
+}
+
+OwnedProblem paper_example(ArchitectureGraph&& topology) {
+  auto algorithm = paper_algorithm();
+  auto architecture = std::make_unique<ArchitectureGraph>(std::move(topology));
+  auto exec = std::make_unique<ExecTable>(*algorithm, *architecture);
+  auto comm = std::make_unique<CommTable>(*algorithm, *architecture);
+  fill_paper_tables(*algorithm, *architecture, *exec, *comm);
+  return assemble(std::move(algorithm), std::move(architecture),
+                  std::move(exec), std::move(comm),
+                  /*failures_to_tolerate=*/1);
+}
+
+}  // namespace
+
+OwnedProblem paper_example1() {
+  return paper_example(topologies::single_bus(3));
+}
+
+OwnedProblem paper_example2() {
+  return paper_example(topologies::fully_connected(3));
+}
+
+}  // namespace ftsched::workload

@@ -1,0 +1,89 @@
+#include "workload/random_arch.hpp"
+
+#include <algorithm>
+#include <numeric>
+#include <random>
+#include <vector>
+
+#include "arch/topologies.hpp"
+#include "core/error.hpp"
+
+namespace ftsched::workload {
+
+ArchitectureGraph make_architecture(ArchKind kind, std::size_t processors) {
+  switch (kind) {
+    case ArchKind::kBus:
+      return topologies::single_bus(processors);
+    case ArchKind::kFullyConnected:
+      return topologies::fully_connected(processors);
+    case ArchKind::kRing:
+      return topologies::ring(processors);
+    case ArchKind::kChain:
+      return topologies::chain(processors);
+    case ArchKind::kStar:
+      return topologies::star(processors);
+  }
+  throw std::invalid_argument("unknown architecture kind");
+}
+
+OwnedProblem random_problem(const RandomProblemParams& params) {
+  FTSCHED_REQUIRE(params.failures_to_tolerate >= 0, "K must be >= 0");
+  FTSCHED_REQUIRE(
+      params.processors >
+          static_cast<std::size_t>(params.failures_to_tolerate),
+      "need more processors than failures to tolerate");
+  FTSCHED_REQUIRE(params.ccr > 0, "ccr must be positive");
+
+  RandomDagParams dag_params = params.dag;
+  dag_params.seed = params.seed;
+  auto algorithm = random_dag(dag_params);
+  auto architecture = std::make_unique<ArchitectureGraph>(
+      make_architecture(params.arch_kind, params.processors));
+  auto exec = std::make_unique<ExecTable>(*algorithm, *architecture);
+  auto comm = std::make_unique<CommTable>(*algorithm, *architecture);
+
+  std::mt19937_64 rng(params.seed ^ 0x9e3779b97f4a7c15ULL);
+  std::uniform_real_distribution<double> spread(0.5, 1.5);
+  std::bernoulli_distribution restricted(params.restrict_probability);
+  const std::size_t replicas =
+      static_cast<std::size_t>(params.failures_to_tolerate) + 1;
+
+  std::vector<std::size_t> proc_order(architecture->processor_count());
+  std::iota(proc_order.begin(), proc_order.end(), 0);
+
+  for (const Operation& op : algorithm->operations()) {
+    // Choose the allowed set first, then sample durations for it.
+    std::vector<bool> allowed(architecture->processor_count(), true);
+    if (is_extio(op.kind)) {
+      // Pin extios to exactly K+1 random processors.
+      std::shuffle(proc_order.begin(), proc_order.end(), rng);
+      std::fill(allowed.begin(), allowed.end(), false);
+      for (std::size_t i = 0; i < replicas; ++i) {
+        allowed[proc_order[i]] = true;
+      }
+    } else if (params.restrict_probability > 0) {
+      std::size_t count = allowed.size();
+      for (std::size_t p = 0; p < allowed.size() && count > replicas; ++p) {
+        if (restricted(rng)) {
+          allowed[p] = false;
+          --count;
+        }
+      }
+    }
+    for (const Processor& proc : architecture->processors()) {
+      if (!allowed[proc.id.index()]) continue;
+      exec->set(op.id, proc.id, params.mean_exec * spread(rng));
+    }
+  }
+
+  const Time mean_comm = params.ccr * params.mean_exec;
+  for (const Dependency& dep : algorithm->dependencies()) {
+    comm->set_uniform(dep.id, mean_comm * spread(rng));
+  }
+
+  return assemble(std::move(algorithm), std::move(architecture),
+                  std::move(exec), std::move(comm),
+                  params.failures_to_tolerate);
+}
+
+}  // namespace ftsched::workload

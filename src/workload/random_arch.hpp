@@ -1,0 +1,41 @@
+// Seeded random architectures and characteristics tables, with CCR
+// (communication-to-computation ratio) control — the standard knob for
+// studying when communication-heavy strategies win (§5.6 criterion 4).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+
+#include "arch/architecture_graph.hpp"
+#include "workload/paper_examples.hpp"
+#include "workload/random_dag.hpp"
+
+namespace ftsched::workload {
+
+enum class ArchKind { kBus, kFullyConnected, kRing, kChain, kStar };
+
+[[nodiscard]] ArchitectureGraph make_architecture(ArchKind kind,
+                                                  std::size_t processors);
+
+struct RandomProblemParams {
+  RandomDagParams dag;
+  ArchKind arch_kind = ArchKind::kBus;
+  std::size_t processors = 4;
+  int failures_to_tolerate = 1;
+  /// Mean WCET; actual values are uniform in [0.5, 1.5] x mean.
+  Time mean_exec = 2.0;
+  /// Mean communication duration = ccr * mean_exec.
+  double ccr = 0.5;
+  /// Probability a comp is disallowed on a given processor (clamped so
+  /// every operation keeps at least K+1 allowed processors).
+  double restrict_probability = 0.0;
+  std::uint64_t seed = 1;
+};
+
+/// A complete random problem: DAG from `params.dag` (seeded by
+/// `params.seed`), architecture from `arch_kind`, uniform-random tables.
+/// Extio operations are pinned to exactly K+1 random processors, modelling
+/// sensors/actuators wired to a subset of nodes (§5.4 item 3).
+[[nodiscard]] OwnedProblem random_problem(const RandomProblemParams& params);
+
+}  // namespace ftsched::workload

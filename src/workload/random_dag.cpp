@@ -1,0 +1,91 @@
+#include "workload/random_dag.hpp"
+
+#include <random>
+#include <string>
+#include <vector>
+
+#include "core/error.hpp"
+
+namespace ftsched::workload {
+
+std::unique_ptr<AlgorithmGraph> random_dag(const RandomDagParams& params) {
+  FTSCHED_REQUIRE(params.operations >= 1, "random_dag needs >= 1 operation");
+  FTSCHED_REQUIRE(params.width >= 1, "random_dag needs width >= 1");
+  FTSCHED_REQUIRE(params.density >= 0 && params.density <= 1,
+                  "density must be within [0, 1]");
+
+  std::mt19937_64 rng(params.seed);
+  auto graph = std::make_unique<AlgorithmGraph>();
+  const OperationId in = graph->add_operation("in", OperationKind::kExtioIn);
+
+  // Partition `operations` comps into layers of random width.
+  std::vector<std::vector<OperationId>> layers;
+  std::size_t created = 0;
+  std::uniform_int_distribution<std::size_t> width_dist(1, params.width);
+  while (created < params.operations) {
+    const std::size_t take =
+        std::min(width_dist(rng), params.operations - created);
+    std::vector<OperationId> layer;
+    for (std::size_t i = 0; i < take; ++i) {
+      layer.push_back(graph->add_operation("n" + std::to_string(created++)));
+    }
+    layers.push_back(std::move(layer));
+  }
+
+  std::bernoulli_distribution edge(params.density);
+  std::bernoulli_distribution skip(params.skip_density);
+  // Forward edges between consecutive layers, with guarantees that keep the
+  // graph connected end to end.
+  for (std::size_t l = 0; l < layers.size(); ++l) {
+    for (std::size_t i = 0; i < layers[l].size(); ++i) {
+      const OperationId op = layers[l][i];
+      bool has_pred = false;
+      if (l == 0) {
+        graph->add_dependency(in, op);
+        has_pred = true;
+      } else {
+        for (OperationId prev : layers[l - 1]) {
+          if (edge(rng)) {
+            graph->add_dependency(prev, op);
+            has_pred = true;
+          }
+        }
+        // Skip edges from any strictly earlier layer.
+        if (l >= 2) {
+          std::uniform_int_distribution<std::size_t> layer_dist(0, l - 2);
+          if (skip(rng)) {
+            const auto& source_layer = layers[layer_dist(rng)];
+            std::uniform_int_distribution<std::size_t> pick(
+                0, source_layer.size() - 1);
+            graph->add_dependency(source_layer[pick(rng)], op);
+            has_pred = true;
+          }
+        }
+        if (!has_pred) {
+          std::uniform_int_distribution<std::size_t> pick(
+              0, layers[l - 1].size() - 1);
+          graph->add_dependency(layers[l - 1][pick(rng)], op);
+        }
+      }
+    }
+  }
+  // Every non-final op must reach the sink: ensure a successor in the next
+  // layer for ops that got none.
+  for (std::size_t l = 0; l + 1 < layers.size(); ++l) {
+    for (OperationId op : layers[l]) {
+      if (graph->successors(op).empty()) {
+        std::uniform_int_distribution<std::size_t> pick(
+            0, layers[l + 1].size() - 1);
+        graph->add_dependency(op, layers[l + 1][pick(rng)]);
+      }
+    }
+  }
+  const OperationId out =
+      graph->add_operation("out", OperationKind::kExtioOut);
+  for (OperationId op : layers.back()) {
+    graph->add_dependency(op, out);
+  }
+  return graph;
+}
+
+}  // namespace ftsched::workload

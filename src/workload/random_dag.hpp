@@ -1,0 +1,34 @@
+// Seeded random layered DAG generator for the synthetic evaluation
+// (reproduction bands: the paper's tool and testbed are unavailable, so the
+// sweeps run over synthetic workloads; every graph is reproducible from its
+// parameters + seed).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+
+#include "graph/algorithm_graph.hpp"
+
+namespace ftsched::workload {
+
+struct RandomDagParams {
+  /// Number of comp operations (extio source/sink added on top).
+  std::size_t operations = 20;
+  /// Maximum operations per layer (actual widths are sampled in [1, width]).
+  std::size_t width = 4;
+  /// Probability of an edge between ops in consecutive layers, in [0, 1].
+  double density = 0.5;
+  /// Additional probability of a "skip" edge jumping over >= 1 layer.
+  double skip_density = 0.1;
+  std::uint64_t seed = 1;
+};
+
+/// Layered random DAG: one extio input feeding layer 0, comp layers with
+/// random forward edges (every op is guaranteed at least one predecessor in
+/// an earlier layer and one successor in a later one, so the graph is
+/// connected), and one extio output fed by the last layer.
+[[nodiscard]] std::unique_ptr<AlgorithmGraph> random_dag(
+    const RandomDagParams& params);
+
+}  // namespace ftsched::workload

@@ -1,0 +1,164 @@
+#include "workload/shapes.hpp"
+
+#include <string>
+#include <vector>
+
+#include "core/error.hpp"
+
+namespace ftsched::workload {
+
+namespace {
+
+std::string numbered(const char* stem, std::size_t i) {
+  return std::string(stem) + std::to_string(i);
+}
+
+}  // namespace
+
+std::unique_ptr<AlgorithmGraph> fork_join(std::size_t width) {
+  FTSCHED_REQUIRE(width >= 1, "fork_join needs width >= 1");
+  auto graph = std::make_unique<AlgorithmGraph>();
+  const OperationId in = graph->add_operation("in", OperationKind::kExtioIn);
+  const OperationId out =
+      graph->add_operation("out", OperationKind::kExtioOut);
+  const OperationId join = graph->add_operation("join");
+  for (std::size_t i = 0; i < width; ++i) {
+    const OperationId f = graph->add_operation(numbered("f", i));
+    graph->add_dependency(in, f);
+    graph->add_dependency(f, join);
+  }
+  graph->add_dependency(join, out);
+  return graph;
+}
+
+std::unique_ptr<AlgorithmGraph> pipeline(std::size_t stages) {
+  FTSCHED_REQUIRE(stages >= 1, "pipeline needs stages >= 1");
+  auto graph = std::make_unique<AlgorithmGraph>();
+  OperationId prev = graph->add_operation("in", OperationKind::kExtioIn);
+  for (std::size_t i = 0; i < stages; ++i) {
+    const OperationId stage = graph->add_operation(numbered("s", i));
+    graph->add_dependency(prev, stage);
+    prev = stage;
+  }
+  const OperationId out =
+      graph->add_operation("out", OperationKind::kExtioOut);
+  graph->add_dependency(prev, out);
+  return graph;
+}
+
+std::unique_ptr<AlgorithmGraph> diamond(std::size_t stages,
+                                        std::size_t width) {
+  FTSCHED_REQUIRE(stages >= 1 && width >= 1,
+                  "diamond needs stages >= 1 and width >= 1");
+  auto graph = std::make_unique<AlgorithmGraph>();
+  const OperationId in = graph->add_operation("in", OperationKind::kExtioIn);
+  std::vector<OperationId> prev(width, in);
+  for (std::size_t s = 0; s < stages; ++s) {
+    std::vector<OperationId> current;
+    for (std::size_t w = 0; w < width; ++w) {
+      const OperationId node = graph->add_operation(
+          "d" + std::to_string(s) + "_" + std::to_string(w));
+      current.push_back(node);
+      graph->add_dependency(prev[w], node);
+      if (w > 0 && prev[w - 1] != in) {
+        graph->add_dependency(prev[w - 1], node);
+      }
+    }
+    prev = std::move(current);
+  }
+  const OperationId out =
+      graph->add_operation("out", OperationKind::kExtioOut);
+  for (std::size_t w = 0; w < width; ++w) {
+    graph->add_dependency(prev[w], out);
+  }
+  return graph;
+}
+
+std::unique_ptr<AlgorithmGraph> fft(std::size_t log2_size) {
+  FTSCHED_REQUIRE(log2_size >= 1 && log2_size <= 8,
+                  "fft needs 1 <= log2_size <= 8");
+  const std::size_t n = std::size_t{1} << log2_size;
+  auto graph = std::make_unique<AlgorithmGraph>();
+  std::vector<OperationId> prev;
+  for (std::size_t i = 0; i < n; ++i) {
+    prev.push_back(
+        graph->add_operation(numbered("x", i), OperationKind::kExtioIn));
+  }
+  for (std::size_t stage = 0; stage < log2_size; ++stage) {
+    const std::size_t stride = std::size_t{1} << stage;
+    std::vector<OperationId> current;
+    for (std::size_t i = 0; i < n; ++i) {
+      const OperationId node = graph->add_operation(
+          "b" + std::to_string(stage) + "_" + std::to_string(i));
+      current.push_back(node);
+      graph->add_dependency(prev[i], node);
+      graph->add_dependency(prev[i ^ stride], node);
+    }
+    prev = std::move(current);
+  }
+  for (std::size_t i = 0; i < n; ++i) {
+    const OperationId out =
+        graph->add_operation(numbered("y", i), OperationKind::kExtioOut);
+    graph->add_dependency(prev[i], out);
+  }
+  return graph;
+}
+
+std::unique_ptr<AlgorithmGraph> gaussian_elimination(std::size_t n) {
+  FTSCHED_REQUIRE(n >= 2 && n <= 32, "gaussian_elimination needs 2 <= n <= 32");
+  auto graph = std::make_unique<AlgorithmGraph>();
+  const OperationId in = graph->add_operation("in", OperationKind::kExtioIn);
+  const OperationId out =
+      graph->add_operation("out", OperationKind::kExtioOut);
+  // prev[j]: the task that last produced column j.
+  std::vector<OperationId> prev(n, in);
+  OperationId last_pivot;
+  for (std::size_t k = 0; k + 1 < n; ++k) {
+    const OperationId pivot = graph->add_operation(numbered("piv", k));
+    graph->add_dependency(prev[k], pivot);
+    last_pivot = pivot;
+    for (std::size_t j = k + 1; j < n; ++j) {
+      const OperationId update = graph->add_operation(
+          "upd" + std::to_string(k) + "_" + std::to_string(j));
+      graph->add_dependency(pivot, update);
+      graph->add_dependency(prev[j], update);
+      prev[j] = update;
+    }
+  }
+  graph->add_dependency(prev[n - 1], out);
+  (void)last_pivot;
+  return graph;
+}
+
+std::unique_ptr<AlgorithmGraph> control_loop(std::size_t sensors,
+                                             std::size_t laws,
+                                             std::size_t actuators) {
+  FTSCHED_REQUIRE(sensors >= 1 && laws >= 1 && actuators >= 1,
+                  "control_loop needs at least one of each");
+  auto graph = std::make_unique<AlgorithmGraph>();
+  const OperationId state = graph->add_operation("state", OperationKind::kMem);
+  const OperationId fuse = graph->add_operation("fusion");
+  for (std::size_t i = 0; i < sensors; ++i) {
+    const OperationId sensor = graph->add_operation(
+        numbered("sensor", i), OperationKind::kExtioIn);
+    graph->add_dependency(sensor, fuse);
+  }
+  graph->add_dependency(state, fuse);
+  const OperationId update = graph->add_operation("state_update");
+  std::vector<OperationId> law_ids;
+  for (std::size_t i = 0; i < laws; ++i) {
+    const OperationId law = graph->add_operation(numbered("law", i));
+    graph->add_dependency(fuse, law);
+    graph->add_dependency(law, update);
+    law_ids.push_back(law);
+  }
+  graph->add_dependency(update, state);  // written back for next iteration
+  for (std::size_t i = 0; i < actuators; ++i) {
+    const OperationId actuator = graph->add_operation(
+        numbered("actuator", i), OperationKind::kExtioOut);
+    graph->add_dependency(law_ids[i % laws], actuator);
+  }
+  return graph;
+}
+
+}  // namespace ftsched::workload

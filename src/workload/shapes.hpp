@@ -1,0 +1,39 @@
+// Deterministic classical task-graph shapes used by the synthetic
+// benchmarks: fork-join, pipeline, diamond lattice, FFT butterfly, and the
+// Gaussian-elimination task graph. All return pure algorithm graphs; pair
+// them with a characteristics model from random_arch.hpp.
+#pragma once
+
+#include <cstddef>
+#include <memory>
+
+#include "graph/algorithm_graph.hpp"
+
+namespace ftsched::workload {
+
+/// in -> f1..fN -> out.
+[[nodiscard]] std::unique_ptr<AlgorithmGraph> fork_join(std::size_t width);
+
+/// in -> s1 -> s2 -> ... -> sN -> out.
+[[nodiscard]] std::unique_ptr<AlgorithmGraph> pipeline(std::size_t stages);
+
+/// `stages` x `width` lattice where every node feeds the next stage's
+/// neighbours (a wide DAG with reconvergence).
+[[nodiscard]] std::unique_ptr<AlgorithmGraph> diamond(std::size_t stages,
+                                                      std::size_t width);
+
+/// Radix-2 FFT butterfly graph on 2^log2_size points: log2_size stages of
+/// 2^log2_size nodes, each with two predecessors.
+[[nodiscard]] std::unique_ptr<AlgorithmGraph> fft(std::size_t log2_size);
+
+/// Task graph of Gaussian elimination on an n x n matrix: per step k a
+/// pivot task feeding n-k-1 update tasks that feed step k+1.
+[[nodiscard]] std::unique_ptr<AlgorithmGraph> gaussian_elimination(
+    std::size_t n);
+
+/// A feedback control loop with a mem operation: sensors -> law -> actuator
+/// plus a state register read by the law and written back each iteration.
+[[nodiscard]] std::unique_ptr<AlgorithmGraph> control_loop(
+    std::size_t sensors, std::size_t laws, std::size_t actuators);
+
+}  // namespace ftsched::workload

@@ -1,0 +1,80 @@
+#include "arch/architecture_graph.hpp"
+
+#include <gtest/gtest.h>
+
+namespace ftsched {
+namespace {
+
+TEST(ArchitectureGraph, PointToPointConstruction) {
+  ArchitectureGraph arch;
+  const ProcessorId p1 = arch.add_processor("P1");
+  const ProcessorId p2 = arch.add_processor("P2");
+  const LinkId link = arch.add_link("L1.2", p1, p2);
+
+  EXPECT_EQ(arch.processor_count(), 2u);
+  EXPECT_EQ(arch.link_count(), 1u);
+  EXPECT_EQ(arch.link(link).kind, LinkKind::kPointToPoint);
+  EXPECT_TRUE(arch.link(link).connects(p1));
+  EXPECT_TRUE(arch.link(link).connects(p2));
+  EXPECT_TRUE(arch.adjacent(p1, p2));
+  EXPECT_TRUE(arch.is_connected());
+  EXPECT_TRUE(arch.check().empty());
+}
+
+TEST(ArchitectureGraph, BusConstruction) {
+  ArchitectureGraph arch;
+  const ProcessorId p1 = arch.add_processor("P1");
+  const ProcessorId p2 = arch.add_processor("P2");
+  const ProcessorId p3 = arch.add_processor("P3");
+  const LinkId bus = arch.add_bus("bus", {p3, p1, p2, p1});  // dup + order
+
+  EXPECT_EQ(arch.link(bus).kind, LinkKind::kBus);
+  EXPECT_EQ(arch.link(bus).endpoints.size(), 3u);  // deduplicated
+  EXPECT_EQ(arch.link(bus).endpoints.front(), p1);  // sorted
+  EXPECT_TRUE(arch.adjacent(p1, p3));
+}
+
+TEST(ArchitectureGraph, Lookup) {
+  ArchitectureGraph arch;
+  arch.add_processor("P1");
+  arch.add_processor("P2");
+  arch.add_link("wire", arch.find_processor("P1"), arch.find_processor("P2"));
+  EXPECT_TRUE(arch.find_processor("P2").valid());
+  EXPECT_FALSE(arch.find_processor("P9").valid());
+  EXPECT_TRUE(arch.find_link("wire").valid());
+  EXPECT_FALSE(arch.find_link("none").valid());
+}
+
+TEST(ArchitectureGraph, RejectsBadInput) {
+  ArchitectureGraph arch;
+  const ProcessorId p1 = arch.add_processor("P1");
+  EXPECT_THROW(arch.add_processor("P1"), std::invalid_argument);
+  EXPECT_THROW(arch.add_link("self", p1, p1), std::invalid_argument);
+  EXPECT_THROW(arch.add_bus("tiny", {p1}), std::invalid_argument);
+  EXPECT_THROW(arch.add_link("bad", p1, ProcessorId{9}),
+               std::invalid_argument);
+}
+
+TEST(ArchitectureGraph, DisconnectedDetected) {
+  ArchitectureGraph arch;
+  const ProcessorId p1 = arch.add_processor("P1");
+  const ProcessorId p2 = arch.add_processor("P2");
+  arch.add_processor("P3");  // island
+  arch.add_link("L1.2", p1, p2);
+  EXPECT_FALSE(arch.is_connected());
+  EXPECT_FALSE(arch.check().empty());
+}
+
+TEST(ArchitectureGraph, LinksOfProcessor) {
+  ArchitectureGraph arch;
+  const ProcessorId p1 = arch.add_processor("P1");
+  const ProcessorId p2 = arch.add_processor("P2");
+  const ProcessorId p3 = arch.add_processor("P3");
+  const LinkId a = arch.add_link("a", p1, p2);
+  const LinkId b = arch.add_link("b", p1, p3);
+  EXPECT_EQ(arch.links_of(p1), (std::vector<LinkId>{a, b}));
+  EXPECT_EQ(arch.links_of(p3), (std::vector<LinkId>{b}));
+}
+
+}  // namespace
+}  // namespace ftsched

@@ -1,0 +1,101 @@
+#include "arch/characteristics.hpp"
+
+#include <gtest/gtest.h>
+
+#include "arch/topologies.hpp"
+#include "workload/paper_examples.hpp"
+
+namespace ftsched {
+namespace {
+
+TEST(ExecTable, DefaultsToDisallowed) {
+  const auto graph = workload::paper_algorithm();
+  const ArchitectureGraph arch = topologies::single_bus(3);
+  const ExecTable table(*graph, arch);
+  EXPECT_FALSE(table.allowed(OperationId{0}, ProcessorId{0}));
+  EXPECT_TRUE(is_infinite(table.min_duration(OperationId{0})));
+}
+
+TEST(ExecTable, SetAndQuery) {
+  const auto graph = workload::paper_algorithm();
+  const ArchitectureGraph arch = topologies::single_bus(3);
+  ExecTable table(*graph, arch);
+  const OperationId a = graph->find_operation("A");
+  table.set(a, ProcessorId{0}, 2.0);
+  table.set(a, ProcessorId{1}, 3.0);
+  EXPECT_DOUBLE_EQ(table.duration(a, ProcessorId{0}), 2.0);
+  EXPECT_TRUE(table.allowed(a, ProcessorId{1}));
+  EXPECT_FALSE(table.allowed(a, ProcessorId{2}));
+  EXPECT_DOUBLE_EQ(table.min_duration(a), 2.0);
+  EXPECT_EQ(table.allowed_processors(a),
+            (std::vector<ProcessorId>{ProcessorId{0}, ProcessorId{1}}));
+}
+
+TEST(ExecTable, RejectsNonPositiveDurations) {
+  const auto graph = workload::paper_algorithm();
+  const ArchitectureGraph arch = topologies::single_bus(3);
+  ExecTable table(*graph, arch);
+  EXPECT_THROW(table.set(OperationId{0}, ProcessorId{0}, 0.0),
+               std::invalid_argument);
+  EXPECT_THROW(table.set(OperationId{0}, ProcessorId{0}, -1.0),
+               std::invalid_argument);
+  EXPECT_NO_THROW(table.set(OperationId{0}, ProcessorId{0}, kInfinite));
+}
+
+TEST(ExecTable, RedundancyCheck) {
+  const auto graph = workload::paper_algorithm();
+  const ArchitectureGraph arch = topologies::single_bus(3);
+  ExecTable table(*graph, arch);
+  for (const Operation& op : graph->operations()) {
+    table.set(op.id, ProcessorId{0}, 1.0);
+  }
+  // Each op runs on one processor: fine for K=0, infeasible for K=1.
+  EXPECT_TRUE(table.check(1).empty());
+  EXPECT_EQ(table.check(2).size(), graph->operation_count());
+}
+
+TEST(CommTable, RouteDuration) {
+  const workload::OwnedProblem ex = workload::paper_example1();
+  const RoutingTable routing(*ex.problem.architecture);
+  const AlgorithmGraph& graph = *ex.problem.algorithm;
+  const DependencyId i_a = graph.dependency(DependencyId{0}).id;
+  const Route& route =
+      routing.route(ex.problem.architecture->find_processor("P1"),
+                    ex.problem.architecture->find_processor("P2"));
+  EXPECT_DOUBLE_EQ(ex.problem.comm->route_duration(i_a, route), 1.25);
+  // Intra-processor route costs nothing.
+  const Route& self =
+      routing.route(ex.problem.architecture->find_processor("P1"),
+                    ex.problem.architecture->find_processor("P1"));
+  EXPECT_DOUBLE_EQ(ex.problem.comm->route_duration(i_a, self), 0.0);
+}
+
+TEST(CommTable, CheckReportsMissingDurations) {
+  const auto graph = workload::paper_algorithm();
+  const ArchitectureGraph arch = topologies::single_bus(3);
+  CommTable table(*graph, arch);
+  EXPECT_EQ(table.check().size(), graph->dependency_count());
+  for (const Dependency& dep : graph->dependencies()) {
+    table.set_uniform(dep.id, 0.5);
+  }
+  EXPECT_TRUE(table.check().empty());
+}
+
+TEST(Problem, CheckAggregatesIssues) {
+  const workload::OwnedProblem ex = workload::paper_example1();
+  EXPECT_TRUE(ex.problem.check().empty());
+
+  Problem bad = ex.problem;
+  bad.failures_to_tolerate = 2;  // I and O allow only 2 processors
+  const auto issues = bad.check();
+  EXPECT_FALSE(issues.empty());
+}
+
+TEST(Problem, DeadlineDefaultsUnconstrained) {
+  const workload::OwnedProblem ex = workload::paper_example1();
+  EXPECT_TRUE(is_infinite(ex.problem.deadline));
+  EXPECT_EQ(ex.problem.replication_factor(), 2);
+}
+
+}  // namespace
+}  // namespace ftsched

@@ -1,0 +1,146 @@
+#include "arch/routing.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "arch/topologies.hpp"
+
+namespace ftsched {
+namespace {
+
+TEST(Routing, ChainRoutesThroughIntermediates) {
+  // Figure 8: P1 - P2 - P3; a P1<->P3 transfer relays through P2.
+  const ArchitectureGraph arch = topologies::chain(3);
+  const RoutingTable routing(arch);
+  const ProcessorId p1 = arch.find_processor("P1");
+  const ProcessorId p3 = arch.find_processor("P3");
+
+  const Route& route = routing.route(p1, p3);
+  EXPECT_EQ(route.hop_count(), 2u);
+  ASSERT_EQ(route.hops.size(), 3u);
+  EXPECT_EQ(route.hops[0], p1);
+  EXPECT_EQ(route.hops[1], arch.find_processor("P2"));
+  EXPECT_EQ(route.hops[2], p3);
+  EXPECT_EQ(routing.diameter(), 2u);
+}
+
+TEST(Routing, SelfRouteIsEmpty) {
+  const ArchitectureGraph arch = topologies::chain(2);
+  const RoutingTable routing(arch);
+  const Route& route = routing.route(arch.find_processor("P1"),
+                                     arch.find_processor("P1"));
+  EXPECT_TRUE(route.links.empty());
+  ASSERT_EQ(route.hops.size(), 1u);
+}
+
+TEST(Routing, BusIsSingleHopForEveryPair) {
+  const ArchitectureGraph arch = topologies::single_bus(5);
+  const RoutingTable routing(arch);
+  for (const Processor& a : arch.processors()) {
+    for (const Processor& b : arch.processors()) {
+      if (a.id == b.id) continue;
+      EXPECT_EQ(routing.route(a.id, b.id).hop_count(), 1u);
+    }
+  }
+  EXPECT_EQ(routing.diameter(), 1u);
+}
+
+TEST(Routing, FullyConnectedUsesDirectLinks) {
+  const ArchitectureGraph arch = topologies::fully_connected(4);
+  const RoutingTable routing(arch);
+  for (const Processor& a : arch.processors()) {
+    for (const Processor& b : arch.processors()) {
+      if (a.id == b.id) continue;
+      const Route& route = routing.route(a.id, b.id);
+      ASSERT_EQ(route.hop_count(), 1u);
+      EXPECT_TRUE(arch.link(route.links.front()).connects(a.id));
+      EXPECT_TRUE(arch.link(route.links.front()).connects(b.id));
+    }
+  }
+}
+
+TEST(Routing, RingPicksMinHopDeterministically) {
+  const ArchitectureGraph arch = topologies::ring(5);
+  const RoutingTable routing(arch);
+  const ProcessorId p1 = arch.find_processor("P1");
+  const ProcessorId p3 = arch.find_processor("P3");
+  // P1->P3: two hops either way round; BFS from P1 reaches P3 via P2
+  // (links expanded in ascending id order).
+  const Route& route = routing.route(p1, p3);
+  EXPECT_EQ(route.hop_count(), 2u);
+  EXPECT_EQ(route.hops[1], arch.find_processor("P2"));
+}
+
+TEST(Routing, SymmetricHopCounts) {
+  const ArchitectureGraph arch = topologies::star(6);
+  const RoutingTable routing(arch);
+  for (const Processor& a : arch.processors()) {
+    for (const Processor& b : arch.processors()) {
+      EXPECT_EQ(routing.route(a.id, b.id).hop_count(),
+                routing.route(b.id, a.id).hop_count());
+    }
+  }
+  EXPECT_EQ(routing.diameter(), 2u);  // leaf -> hub -> leaf
+}
+
+TEST(Routing, DisjointRoutesOnFullMesh) {
+  // A full mesh of n processors offers the direct link plus n-2 two-hop
+  // detours, all pairwise link-disjoint.
+  const ArchitectureGraph arch = topologies::fully_connected(4);
+  const RoutingTable routing(arch);
+  const auto routes = routing.disjoint_routes(
+      arch.find_processor("P1"), arch.find_processor("P2"), 5);
+  ASSERT_EQ(routes.size(), 3u);
+  EXPECT_EQ(routes[0].hop_count(), 1u);  // direct, shortest first
+  EXPECT_EQ(routes[1].hop_count(), 2u);
+  EXPECT_EQ(routes[2].hop_count(), 2u);
+  std::vector<LinkId> seen;
+  for (const Route& route : routes) {
+    for (LinkId link : route.links) {
+      EXPECT_TRUE(std::find(seen.begin(), seen.end(), link) == seen.end());
+      seen.push_back(link);
+    }
+  }
+}
+
+TEST(Routing, RouteAvoidingRespectsBans) {
+  const ArchitectureGraph arch = topologies::ring(4);
+  const RoutingTable routing(arch);
+  const ProcessorId p1 = arch.find_processor("P1");
+  const ProcessorId p3 = arch.find_processor("P3");
+
+  // Ban the clockwise first hop: the route must go the other way round.
+  std::vector<bool> banned(arch.link_count(), false);
+  banned[arch.find_link("L1.2").index()] = true;
+  const auto detour = routing.route_avoiding(p1, p3, banned);
+  ASSERT_TRUE(detour.has_value());
+  EXPECT_EQ(detour->hop_count(), 2u);
+  for (LinkId link : detour->links) {
+    EXPECT_NE(link, arch.find_link("L1.2"));
+  }
+
+  // Ban a relay processor: same effect.
+  std::vector<bool> none(arch.link_count(), false);
+  std::vector<bool> banned_procs(arch.processor_count(), false);
+  banned_procs[arch.find_processor("P2").index()] = true;
+  const auto around = routing.route_avoiding(p1, p3, none, &banned_procs);
+  ASSERT_TRUE(around.has_value());
+  for (ProcessorId hop : around->hops) {
+    EXPECT_NE(hop, arch.find_processor("P2"));
+  }
+
+  // Banning everything disconnects the pair.
+  std::vector<bool> all(arch.link_count(), true);
+  EXPECT_FALSE(routing.route_avoiding(p1, p3, all).has_value());
+}
+
+TEST(Routing, RejectsDisconnectedArchitecture) {
+  ArchitectureGraph arch;
+  arch.add_processor("P1");
+  arch.add_processor("P2");
+  EXPECT_THROW(RoutingTable{arch}, std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace ftsched

@@ -1,0 +1,61 @@
+#include "arch/topologies.hpp"
+
+#include <gtest/gtest.h>
+
+namespace ftsched {
+namespace {
+
+TEST(Topologies, SingleBus) {
+  const ArchitectureGraph arch = topologies::single_bus(4);
+  EXPECT_EQ(arch.processor_count(), 4u);
+  EXPECT_EQ(arch.link_count(), 1u);
+  EXPECT_EQ(arch.link(LinkId{0}).kind, LinkKind::kBus);
+  EXPECT_TRUE(arch.is_connected());
+}
+
+TEST(Topologies, FullyConnected) {
+  const ArchitectureGraph arch = topologies::fully_connected(4);
+  EXPECT_EQ(arch.link_count(), 6u);  // n(n-1)/2
+  for (const Link& link : arch.links()) {
+    EXPECT_EQ(link.kind, LinkKind::kPointToPoint);
+  }
+  EXPECT_TRUE(arch.is_connected());
+  // Names follow the paper's Li.j convention.
+  EXPECT_TRUE(arch.find_link("L1.2").valid());
+  EXPECT_TRUE(arch.find_link("L3.4").valid());
+}
+
+TEST(Topologies, Chain) {
+  const ArchitectureGraph arch = topologies::chain(5);
+  EXPECT_EQ(arch.link_count(), 4u);
+  EXPECT_TRUE(arch.adjacent(arch.find_processor("P2"),
+                            arch.find_processor("P3")));
+  EXPECT_FALSE(arch.adjacent(arch.find_processor("P1"),
+                             arch.find_processor("P3")));
+}
+
+TEST(Topologies, Ring) {
+  const ArchitectureGraph arch = topologies::ring(5);
+  EXPECT_EQ(arch.link_count(), 5u);
+  EXPECT_TRUE(arch.adjacent(arch.find_processor("P1"),
+                            arch.find_processor("P5")));
+}
+
+TEST(Topologies, Star) {
+  const ArchitectureGraph arch = topologies::star(5);
+  EXPECT_EQ(arch.link_count(), 4u);
+  for (std::size_t i = 2; i <= 5; ++i) {
+    EXPECT_TRUE(arch.adjacent(
+        arch.find_processor("P1"),
+        arch.find_processor("P" + std::to_string(i))));
+  }
+}
+
+TEST(Topologies, RejectTooSmall) {
+  EXPECT_THROW(topologies::single_bus(1), std::invalid_argument);
+  EXPECT_THROW(topologies::ring(2), std::invalid_argument);
+  EXPECT_THROW(topologies::chain(1), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace ftsched

@@ -1,0 +1,45 @@
+#include "core/error.hpp"
+
+#include <gtest/gtest.h>
+
+namespace ftsched {
+namespace {
+
+TEST(Expected, HoldsValue) {
+  Expected<int> result{42};
+  ASSERT_TRUE(result.has_value());
+  EXPECT_EQ(result.value(), 42);
+  EXPECT_EQ(*result, 42);
+  EXPECT_THROW((void)result.error(), std::logic_error);
+}
+
+TEST(Expected, HoldsError) {
+  Expected<int> result{
+      Error{Error::Code::kInsufficientRedundancy, "only one processor"}};
+  ASSERT_FALSE(result.has_value());
+  EXPECT_EQ(result.error().code, Error::Code::kInsufficientRedundancy);
+  EXPECT_EQ(result.error().message, "only one processor");
+  EXPECT_THROW((void)result.value(), std::logic_error);
+}
+
+TEST(Expected, MoveOutValue) {
+  Expected<std::string> result{std::string("payload")};
+  const std::string taken = std::move(result).value();
+  EXPECT_EQ(taken, "payload");
+}
+
+TEST(ErrorCode, Names) {
+  EXPECT_EQ(to_string(Error::Code::kInsufficientRedundancy),
+            "insufficient-redundancy");
+  EXPECT_EQ(to_string(Error::Code::kInvalidInput), "invalid-input");
+  EXPECT_EQ(to_string(Error::Code::kDeadlineMissed), "deadline-missed");
+  EXPECT_EQ(to_string(Error::Code::kNoRoute), "no-route");
+}
+
+TEST(Require, ThrowsOnViolation) {
+  EXPECT_THROW(FTSCHED_REQUIRE(false, "boom"), std::invalid_argument);
+  EXPECT_NO_THROW(FTSCHED_REQUIRE(true, "fine"));
+}
+
+}  // namespace
+}  // namespace ftsched

@@ -1,0 +1,44 @@
+#include "core/ids.hpp"
+
+#include <gtest/gtest.h>
+
+#include <unordered_set>
+
+namespace ftsched {
+namespace {
+
+TEST(Ids, DefaultIsInvalid) {
+  const OperationId id;
+  EXPECT_FALSE(id.valid());
+  EXPECT_EQ(to_string(id), "<invalid>");
+}
+
+TEST(Ids, ValueRoundTrip) {
+  const ProcessorId id{3};
+  EXPECT_TRUE(id.valid());
+  EXPECT_EQ(id.value(), 3);
+  EXPECT_EQ(id.index(), 3u);
+  EXPECT_EQ(to_string(id), "3");
+}
+
+TEST(Ids, Ordering) {
+  EXPECT_LT(OperationId{1}, OperationId{2});
+  EXPECT_EQ(OperationId{5}, OperationId{5});
+  EXPECT_NE(OperationId{5}, OperationId{6});
+}
+
+TEST(Ids, DistinctTagsAreDistinctTypes) {
+  static_assert(!std::is_same_v<OperationId, ProcessorId>);
+  static_assert(!std::is_convertible_v<OperationId, ProcessorId>);
+}
+
+TEST(Ids, Hashable) {
+  std::unordered_set<LinkId> set;
+  set.insert(LinkId{1});
+  set.insert(LinkId{1});
+  set.insert(LinkId{2});
+  EXPECT_EQ(set.size(), 2u);
+}
+
+}  // namespace
+}  // namespace ftsched

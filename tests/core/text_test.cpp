@@ -1,0 +1,38 @@
+#include "core/text.hpp"
+
+#include <gtest/gtest.h>
+
+namespace ftsched {
+namespace {
+
+TEST(Text, Padding) {
+  EXPECT_EQ(pad_left("ab", 4), "  ab");
+  EXPECT_EQ(pad_right("ab", 4), "ab  ");
+  EXPECT_EQ(pad_left("abcd", 2), "abcd");
+  EXPECT_EQ(pad_right("abcd", 2), "abcd");
+}
+
+TEST(Text, Join) {
+  EXPECT_EQ(join({}, ", "), "");
+  EXPECT_EQ(join({"a"}, ", "), "a");
+  EXPECT_EQ(join({"a", "b", "c"}, " | "), "a | b | c");
+}
+
+TEST(Text, RenderTable) {
+  const std::string table = render_table({
+      {"name", "value"},
+      {"x", "1"},
+      {"longer", "2.5"},
+  });
+  EXPECT_NE(table.find("name"), std::string::npos);
+  EXPECT_NE(table.find("longer"), std::string::npos);
+  // Header separated from body by a rule.
+  EXPECT_NE(table.find("----"), std::string::npos);
+  // Columns aligned: every data row starts at column 0 with the key.
+  EXPECT_EQ(table.find("x "), table.find('x'));
+}
+
+TEST(Text, RenderTableEmpty) { EXPECT_EQ(render_table({}), ""); }
+
+}  // namespace
+}  // namespace ftsched

@@ -1,0 +1,63 @@
+#include "core/time.hpp"
+
+#include <gtest/gtest.h>
+
+namespace ftsched {
+namespace {
+
+TEST(Time, EpsilonComparisons) {
+  EXPECT_TRUE(time_eq(1.0, 1.0 + kTimeEpsilon / 2));
+  EXPECT_TRUE(time_eq(1.0, 1.0 - kTimeEpsilon / 2));
+  EXPECT_FALSE(time_eq(1.0, 1.0 + 2 * kTimeEpsilon));
+  EXPECT_TRUE(time_lt(1.0, 1.1));
+  EXPECT_FALSE(time_lt(1.0, 1.0 + kTimeEpsilon / 2));
+  EXPECT_TRUE(time_le(1.0, 1.0));
+  EXPECT_TRUE(time_ge(1.0, 1.0));
+  EXPECT_TRUE(time_gt(1.1, 1.0));
+}
+
+TEST(Time, AccumulatedRoundingStaysEqual) {
+  Time sum = 0;
+  for (int i = 0; i < 10; ++i) sum += 0.1;
+  EXPECT_TRUE(time_eq(sum, 1.0));
+}
+
+TEST(Time, InfinityHandling) {
+  EXPECT_TRUE(is_infinite(kInfinite));
+  EXPECT_FALSE(is_infinite(1e300));
+  EXPECT_TRUE(time_eq(kInfinite, kInfinite));
+  EXPECT_FALSE(time_eq(kInfinite, 1.0));
+  EXPECT_TRUE(time_lt(5.0, kInfinite));
+}
+
+TEST(Interval, Overlap) {
+  const Interval a{0, 2};
+  const Interval b{2, 4};
+  const Interval c{1, 3};
+  EXPECT_FALSE(a.overlaps(b));  // half-open: touching is not overlapping
+  EXPECT_FALSE(b.overlaps(a));
+  EXPECT_TRUE(a.overlaps(c));
+  EXPECT_TRUE(c.overlaps(b));
+  EXPECT_DOUBLE_EQ(a.length(), 2.0);
+}
+
+TEST(Interval, Contains) {
+  const Interval a{1, 2};
+  EXPECT_TRUE(a.contains(1.0));
+  EXPECT_TRUE(a.contains(1.5));
+  EXPECT_FALSE(a.contains(2.0));  // half-open
+  EXPECT_FALSE(a.contains(0.5));
+}
+
+TEST(TimeToString, Formats) {
+  EXPECT_EQ(time_to_string(3.0), "3");
+  EXPECT_EQ(time_to_string(4.5), "4.5");
+  EXPECT_EQ(time_to_string(1.25), "1.25");
+  EXPECT_EQ(time_to_string(0.0), "0");
+  EXPECT_EQ(time_to_string(kInfinite), "inf");
+  EXPECT_EQ(time_to_string(-2.0), "-2");
+  EXPECT_EQ(time_to_string(9.4), "9.4");
+}
+
+}  // namespace
+}  // namespace ftsched

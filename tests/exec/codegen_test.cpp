@@ -1,0 +1,267 @@
+// Executive generation: the per-unit programs must be a faithful
+// re-expression of the static schedule, and the pseudo-C emitter must list
+// every instruction.
+#include <gtest/gtest.h>
+
+#include "exec/codegen.hpp"
+#include "sched/heuristics.hpp"
+#include "sim/simulator.hpp"
+#include "workload/paper_examples.hpp"
+
+namespace ftsched {
+namespace {
+
+using workload::OwnedProblem;
+
+TEST(Codegen, ComputationUnitsMatchScheduleOrder) {
+  const OwnedProblem ex = workload::paper_example1();
+  const Schedule schedule = schedule_solution1(ex.problem).value();
+  const Executive executive = generate_executive(schedule);
+
+  ASSERT_EQ(executive.processors.size(), 3u);
+  for (const Processor& proc : ex.problem.architecture->processors()) {
+    const auto placements = schedule.operations_on(proc.id);
+    const UnitProgram& unit = executive.of(proc.id).computation;
+    ASSERT_EQ(unit.instructions.size(), placements.size());
+    for (std::size_t i = 0; i < placements.size(); ++i) {
+      const Instruction& instr = unit.instructions[i];
+      EXPECT_EQ(instr.kind, Instruction::Kind::kExec);
+      EXPECT_EQ(instr.op, placements[i]->op);
+      EXPECT_EQ(instr.rank, placements[i]->rank);
+      EXPECT_DOUBLE_EQ(instr.planned_start, placements[i]->start);
+    }
+  }
+}
+
+TEST(Codegen, EverySendHasAMatchingScheduleSegment) {
+  const OwnedProblem ex = workload::paper_example1();
+  const Schedule schedule = schedule_solution1(ex.problem).value();
+  const Executive executive = generate_executive(schedule);
+
+  std::size_t sends = 0;
+  for (const ProcessorPrograms& programs : executive.processors) {
+    for (const auto& [link, unit] : programs.comm_units) {
+      for (const Instruction& instr : unit.instructions) {
+        if (instr.kind != Instruction::Kind::kSend) continue;
+        ++sends;
+        bool matched = false;
+        for (const ScheduledComm& comm : schedule.comms()) {
+          if (!comm.active || comm.dep != instr.dep) continue;
+          for (const CommSegment& seg : comm.segments) {
+            matched |= seg.link == instr.link &&
+                       time_eq(seg.start, instr.planned_start) &&
+                       time_eq(seg.end, instr.planned_end);
+          }
+        }
+        EXPECT_TRUE(matched);
+      }
+    }
+  }
+  // One send per active segment.
+  std::size_t segments = 0;
+  for (const ScheduledComm& comm : schedule.comms()) {
+    if (comm.active) segments += comm.segments.size();
+  }
+  EXPECT_EQ(sends, segments);
+}
+
+TEST(Codegen, Solution1RecvsCarryWatchChains) {
+  const OwnedProblem ex = workload::paper_example1();
+  const Schedule schedule = schedule_solution1(ex.problem).value();
+  const Executive executive = generate_executive(schedule);
+
+  bool any_guarded_recv = false;
+  std::size_t opcomms = 0;
+  for (const ProcessorPrograms& programs : executive.processors) {
+    for (const auto& [link, unit] : programs.comm_units) {
+      for (const Instruction& instr : unit.instructions) {
+        if (instr.kind == Instruction::Kind::kRecv && !instr.chain.empty()) {
+          any_guarded_recv = true;
+        }
+        if (instr.kind == Instruction::Kind::kOpComm) {
+          ++opcomms;
+          EXPECT_FALSE(instr.chain.empty());
+        }
+      }
+    }
+  }
+  EXPECT_TRUE(any_guarded_recv);
+  std::size_t passive = 0;
+  for (const ScheduledComm& comm : schedule.comms()) {
+    passive += comm.active ? 0 : 1;
+  }
+  EXPECT_EQ(opcomms, passive);
+}
+
+TEST(Codegen, BaselineHasNoWatchMachinery) {
+  const OwnedProblem ex = workload::paper_example1();
+  const Schedule schedule = schedule_base(ex.problem).value();
+  const Executive executive = generate_executive(schedule);
+  for (const ProcessorPrograms& programs : executive.processors) {
+    for (const auto& [link, unit] : programs.comm_units) {
+      for (const Instruction& instr : unit.instructions) {
+        EXPECT_NE(instr.kind, Instruction::Kind::kOpComm);
+        EXPECT_TRUE(instr.chain.empty());
+      }
+    }
+  }
+}
+
+TEST(Codegen, CommUnitsSortedByPlannedStart) {
+  const OwnedProblem ex = workload::paper_example2();
+  const Schedule schedule = schedule_solution2(ex.problem).value();
+  const Executive executive = generate_executive(schedule);
+  for (const ProcessorPrograms& programs : executive.processors) {
+    for (const auto& [link, unit] : programs.comm_units) {
+      for (std::size_t i = 1; i < unit.instructions.size(); ++i) {
+        EXPECT_LE(unit.instructions[i - 1].planned_start,
+                  unit.instructions[i].planned_start);
+      }
+    }
+  }
+}
+
+TEST(Codegen, HybridGuardsOnlyPassiveDependencies) {
+  const OwnedProblem ex = workload::paper_example2();
+  SchedulerOptions options;
+  options.active_comm_deps.assign(ex.algorithm->dependency_count(), false);
+  options.active_comm_deps[1] = true;  // A->B actively replicated
+  options.active_comm_deps[4] = true;  // B->E actively replicated
+  const Schedule schedule =
+      schedule_hybrid_with_policy(ex.problem, options).value();
+  const Executive executive = generate_executive(schedule);
+
+  bool guarded_passive = false;
+  for (const ProcessorPrograms& programs : executive.processors) {
+    for (const auto& [link, unit] : programs.comm_units) {
+      for (const Instruction& instr : unit.instructions) {
+        if (instr.kind != Instruction::Kind::kRecv &&
+            instr.kind != Instruction::Kind::kOpComm) {
+          continue;
+        }
+        if (schedule.uses_active_comms(instr.dep)) {
+          // Actively replicated: no chains, no OpComm.
+          EXPECT_TRUE(instr.chain.empty());
+          EXPECT_NE(instr.kind, Instruction::Kind::kOpComm);
+        } else if (!instr.chain.empty()) {
+          guarded_passive = true;
+        }
+      }
+    }
+  }
+  EXPECT_TRUE(guarded_passive);
+}
+
+TEST(Codegen, RelayedTransfersEmitPerHopSends) {
+  // Chain P1-P2-P3 with endpoints pinned apart: the relay's comm unit must
+  // carry both a recv (inbound hop) and a send (outbound hop).
+  auto algorithm = workload::paper_algorithm();
+  auto arch = std::make_unique<ArchitectureGraph>();
+  const ProcessorId p1 = arch->add_processor("P1");
+  const ProcessorId p2 = arch->add_processor("P2");
+  const ProcessorId p3 = arch->add_processor("P3");
+  arch->add_link("L1.2", p1, p2);
+  arch->add_link("L2.3", p2, p3);
+  auto exec = std::make_unique<ExecTable>(*algorithm, *arch);
+  auto comm = std::make_unique<CommTable>(*algorithm, *arch);
+  for (const Operation& op : algorithm->operations()) {
+    exec->set_uniform(op.id, 1.0);
+  }
+  const OperationId a = algorithm->find_operation("A");
+  const OperationId b = algorithm->find_operation("B");
+  const OperationId i = algorithm->find_operation("I");
+  exec->set(a, p2, kInfinite);
+  exec->set(a, p3, kInfinite);
+  exec->set(i, p2, kInfinite);
+  exec->set(i, p3, kInfinite);
+  exec->set(b, p1, kInfinite);
+  exec->set(b, p2, kInfinite);
+  for (const Dependency& dep : algorithm->dependencies()) {
+    comm->set_uniform(dep.id, 0.5);
+  }
+  workload::OwnedProblem owned =
+      workload::assemble(std::move(algorithm), std::move(arch),
+                         std::move(exec), std::move(comm), 0);
+
+  const Schedule schedule = schedule_base(owned.problem).value();
+  const Executive executive = generate_executive(schedule);
+  const auto& relay = executive.of(p2);
+  bool inbound = false;
+  bool outbound = false;
+  for (const auto& [link, unit] : relay.comm_units) {
+    for (const Instruction& instr : unit.instructions) {
+      const std::string& name =
+          owned.algorithm->dependency(instr.dep).name;
+      if (name != "A->B") continue;
+      inbound |= instr.kind == Instruction::Kind::kRecv;
+      outbound |= instr.kind == Instruction::Kind::kSend;
+    }
+  }
+  EXPECT_TRUE(inbound);
+  EXPECT_TRUE(outbound);
+}
+
+TEST(Codegen, ExecutiveAgreesWithSimulatedExecution) {
+  // Cross-module conformance: every planned instruction date in the
+  // generated executive must coincide with an observed event of the
+  // failure-free simulation — the executive and the simulator are two
+  // views of the same run.
+  for (const bool p2p : {false, true}) {
+    const OwnedProblem ex =
+        p2p ? workload::paper_example2() : workload::paper_example1();
+    const Schedule schedule =
+        (p2p ? schedule_solution2(ex.problem)
+             : schedule_solution1(ex.problem))
+            .value();
+    const Executive executive = generate_executive(schedule);
+    const Simulator simulator(schedule);
+    const IterationResult run = simulator.run();
+
+    for (const ProcessorPrograms& programs : executive.processors) {
+      for (const Instruction& instr : programs.computation.instructions) {
+        EXPECT_DOUBLE_EQ(
+            run.trace.op_end(instr.op, programs.processor),
+            instr.planned_end);
+      }
+      for (const auto& [link, unit] : programs.comm_units) {
+        for (const Instruction& instr : unit.instructions) {
+          if (instr.kind != Instruction::Kind::kSend) continue;
+          bool matched = false;
+          for (const TraceEvent& event : run.trace.events()) {
+            matched |= event.kind == TraceEvent::Kind::kTransferStart &&
+                       event.dep == instr.dep && event.link == instr.link &&
+                       time_eq(event.time, instr.planned_start);
+          }
+          EXPECT_TRUE(matched)
+              << "send of "
+              << ex.problem.algorithm->dependency(instr.dep).name << " at "
+              << time_to_string(instr.planned_start);
+        }
+      }
+    }
+  }
+}
+
+TEST(EmitC, ListsEveryUnitAndOperation) {
+  const OwnedProblem ex = workload::paper_example1();
+  const Schedule schedule = schedule_solution1(ex.problem).value();
+  const Executive executive = generate_executive(schedule);
+  const std::string code = emit_c(executive, schedule);
+
+  EXPECT_NE(code.find("void compute_P1(void)"), std::string::npos);
+  EXPECT_NE(code.find("void compute_P2(void)"), std::string::npos);
+  EXPECT_NE(code.find("void compute_P3(void)"), std::string::npos);
+  EXPECT_NE(code.find("void comm_P1_bus(void)"), std::string::npos);
+  EXPECT_NE(code.find("exec_A();"), std::string::npos);
+  EXPECT_NE(code.find("send("), std::string::npos);
+  EXPECT_NE(code.find("recv("), std::string::npos);
+  EXPECT_NE(code.find("op_comm("), std::string::npos);
+  EXPECT_NE(code.find("watch:"), std::string::npos);
+  EXPECT_NE(code.find("makespan 9.4"), std::string::npos);
+  // Dependency identifiers are sanitized for C.
+  EXPECT_EQ(code.find("A->B,"), std::string::npos);
+  EXPECT_NE(code.find("A__B"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace ftsched

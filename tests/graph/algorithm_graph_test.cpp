@@ -1,0 +1,133 @@
+#include "graph/algorithm_graph.hpp"
+
+#include <gtest/gtest.h>
+
+namespace ftsched {
+namespace {
+
+AlgorithmGraph diamond() {
+  AlgorithmGraph graph;
+  const OperationId in = graph.add_operation("in", OperationKind::kExtioIn);
+  const OperationId left = graph.add_operation("left");
+  const OperationId right = graph.add_operation("right");
+  const OperationId out = graph.add_operation("out", OperationKind::kExtioOut);
+  graph.add_dependency(in, left);
+  graph.add_dependency(in, right);
+  graph.add_dependency(left, out);
+  graph.add_dependency(right, out);
+  return graph;
+}
+
+TEST(AlgorithmGraph, Construction) {
+  const AlgorithmGraph graph = diamond();
+  EXPECT_EQ(graph.operation_count(), 4u);
+  EXPECT_EQ(graph.dependency_count(), 4u);
+  EXPECT_TRUE(graph.find_operation("left").valid());
+  EXPECT_FALSE(graph.find_operation("nope").valid());
+  EXPECT_EQ(graph.operation(graph.find_operation("in")).kind,
+            OperationKind::kExtioIn);
+}
+
+TEST(AlgorithmGraph, DependencyNamesDefaultToEndpoints) {
+  const AlgorithmGraph graph = diamond();
+  EXPECT_EQ(graph.dependency(DependencyId{0}).name, "in->left");
+}
+
+TEST(AlgorithmGraph, RejectsDuplicatesAndSelfLoops) {
+  AlgorithmGraph graph;
+  const OperationId a = graph.add_operation("a");
+  EXPECT_THROW(graph.add_operation("a"), std::invalid_argument);
+  EXPECT_THROW(graph.add_operation(""), std::invalid_argument);
+  EXPECT_THROW(graph.add_dependency(a, a), std::invalid_argument);
+  EXPECT_THROW(graph.add_dependency(a, OperationId{7}),
+               std::invalid_argument);
+}
+
+TEST(AlgorithmGraph, NeighbourQueries) {
+  const AlgorithmGraph graph = diamond();
+  const OperationId in = graph.find_operation("in");
+  const OperationId out = graph.find_operation("out");
+  EXPECT_EQ(graph.successors(in).size(), 2u);
+  EXPECT_EQ(graph.predecessors(out).size(), 2u);
+  EXPECT_TRUE(graph.predecessors(in).empty());
+  EXPECT_TRUE(graph.successors(out).empty());
+  EXPECT_EQ(graph.sources(), std::vector<OperationId>{in});
+  EXPECT_EQ(graph.sinks(), std::vector<OperationId>{out});
+}
+
+TEST(AlgorithmGraph, TopologicalOrderIsDeterministicAndValid) {
+  const AlgorithmGraph graph = diamond();
+  const auto order = graph.topological_order();
+  ASSERT_EQ(order.size(), 4u);
+  // in before left/right before out; id tie-break puts left before right.
+  EXPECT_EQ(order[0], graph.find_operation("in"));
+  EXPECT_EQ(order[1], graph.find_operation("left"));
+  EXPECT_EQ(order[2], graph.find_operation("right"));
+  EXPECT_EQ(order[3], graph.find_operation("out"));
+  EXPECT_TRUE(graph.is_acyclic());
+}
+
+TEST(AlgorithmGraph, MemBreaksCycles) {
+  // law -> update -> state -> law is a data cycle, but the edge INTO the
+  // mem carries no intra-iteration precedence, so the graph is schedulable.
+  AlgorithmGraph graph;
+  const OperationId state = graph.add_operation("state", OperationKind::kMem);
+  const OperationId law = graph.add_operation("law");
+  const OperationId update = graph.add_operation("update");
+  graph.add_dependency(state, law);
+  graph.add_dependency(law, update);
+  graph.add_dependency(update, state);
+
+  EXPECT_TRUE(graph.is_acyclic());
+  EXPECT_TRUE(graph.check().empty());
+  // The mem is a source: no precedence predecessors.
+  EXPECT_TRUE(graph.predecessors(state).empty());
+  EXPECT_TRUE(graph.precedence_in(state).empty());
+  // But the raw data edge exists and is flagged non-precedence.
+  ASSERT_EQ(graph.in_dependencies(state).size(), 1u);
+  EXPECT_FALSE(graph.is_precedence(graph.in_dependencies(state).front()));
+  // The mem's outgoing edge is a normal precedence.
+  EXPECT_TRUE(graph.is_precedence(graph.out_dependencies(state).front()));
+}
+
+TEST(AlgorithmGraph, DetectsCycles) {
+  AlgorithmGraph graph;
+  const OperationId a = graph.add_operation("a");
+  const OperationId b = graph.add_operation("b");
+  graph.add_dependency(a, b);
+  graph.add_dependency(b, a);
+  EXPECT_FALSE(graph.is_acyclic());
+  EXPECT_TRUE(graph.topological_order().empty());
+  EXPECT_FALSE(graph.check().empty());
+}
+
+TEST(AlgorithmGraph, ChecksExtioConstraints) {
+  AlgorithmGraph graph;
+  const OperationId in = graph.add_operation("in", OperationKind::kExtioIn);
+  const OperationId a = graph.add_operation("a");
+  graph.add_dependency(a, in);  // extio input must not have a predecessor
+  EXPECT_EQ(graph.check().size(), 1u);
+}
+
+TEST(AlgorithmGraph, ParallelEdgesAllowed) {
+  AlgorithmGraph graph;
+  const OperationId a = graph.add_operation("a");
+  const OperationId b = graph.add_operation("b");
+  graph.add_dependency(a, b, "first");
+  graph.add_dependency(a, b, "second");
+  EXPECT_EQ(graph.dependency_count(), 2u);
+  EXPECT_EQ(graph.successors(a).size(), 1u);  // deduplicated
+  EXPECT_EQ(graph.precedence_out(a).size(), 2u);
+}
+
+TEST(OperationKind, Names) {
+  EXPECT_EQ(to_string(OperationKind::kComp), "comp");
+  EXPECT_EQ(to_string(OperationKind::kMem), "mem");
+  EXPECT_EQ(to_string(OperationKind::kExtioIn), "extio-in");
+  EXPECT_EQ(to_string(OperationKind::kExtioOut), "extio-out");
+  EXPECT_TRUE(is_extio(OperationKind::kExtioIn));
+  EXPECT_FALSE(is_extio(OperationKind::kMem));
+}
+
+}  // namespace
+}  // namespace ftsched

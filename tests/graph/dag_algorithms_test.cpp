@@ -1,0 +1,81 @@
+#include "graph/dag_algorithms.hpp"
+
+#include <gtest/gtest.h>
+
+#include "workload/paper_examples.hpp"
+
+namespace ftsched {
+namespace {
+
+TEST(DagTiming, PaperAlgorithmCriticalPath) {
+  // Minimum WCETs: I=1, A=2, B=1.5, C=1, D=1, E=1, O=1.5.
+  // Critical path I-A-B-E-O = 1+2+1.5+1+1.5 = 7.
+  const auto graph = workload::paper_algorithm();
+  auto min_wcet = [&](OperationId op) -> Time {
+    const std::string& name = graph->operation(op).name;
+    if (name == "I") return 1;
+    if (name == "A") return 2;
+    if (name == "B") return 1.5;
+    if (name == "E") return 1;
+    if (name == "O") return 1.5;
+    return 1;  // C, D
+  };
+  const DagTiming timing = compute_dag_timing(*graph, min_wcet);
+  EXPECT_DOUBLE_EQ(timing.critical_path, 7.0);
+
+  const auto tail = [&](const char* name) {
+    return timing.tail[graph->find_operation(name).index()];
+  };
+  const auto head = [&](const char* name) {
+    return timing.head[graph->find_operation(name).index()];
+  };
+  EXPECT_DOUBLE_EQ(tail("O"), 0.0);
+  EXPECT_DOUBLE_EQ(tail("E"), 1.5);
+  EXPECT_DOUBLE_EQ(tail("B"), 2.5);
+  EXPECT_DOUBLE_EQ(tail("C"), 2.5);
+  EXPECT_DOUBLE_EQ(tail("A"), 4.0);  // via B
+  EXPECT_DOUBLE_EQ(tail("I"), 6.0);
+  EXPECT_DOUBLE_EQ(head("I"), 0.0);
+  EXPECT_DOUBLE_EQ(head("A"), 1.0);
+  EXPECT_DOUBLE_EQ(head("E"), 4.5);  // I+A+B
+  EXPECT_DOUBLE_EQ(head("O"), 5.5);
+}
+
+TEST(DagTiming, CommunicationCostsExtendPaths) {
+  AlgorithmGraph graph;
+  const OperationId a = graph.add_operation("a");
+  const OperationId b = graph.add_operation("b");
+  graph.add_dependency(a, b);
+  const DagTiming timing = compute_dag_timing(
+      graph, [](OperationId) -> Time { return 2; },
+      [](DependencyId) -> Time { return 3; });
+  EXPECT_DOUBLE_EQ(timing.critical_path, 7.0);  // 2 + 3 + 2
+  EXPECT_DOUBLE_EQ(timing.tail[a.index()], 5.0);
+  EXPECT_DOUBLE_EQ(timing.head[b.index()], 5.0);
+}
+
+TEST(DagTiming, SingleOperation) {
+  AlgorithmGraph graph;
+  graph.add_operation("only");
+  const DagTiming timing =
+      compute_dag_timing(graph, [](OperationId) -> Time { return 4; });
+  EXPECT_DOUBLE_EQ(timing.critical_path, 4.0);
+}
+
+TEST(DagTiming, EmptyGraph) {
+  const AlgorithmGraph graph;
+  const DagTiming timing =
+      compute_dag_timing(graph, [](OperationId) -> Time { return 1; });
+  EXPECT_DOUBLE_EQ(timing.critical_path, 0.0);
+}
+
+TEST(ReachableFrom, TransitiveClosure) {
+  const auto graph = workload::paper_algorithm();
+  const auto from_a = reachable_from(*graph, graph->find_operation("A"));
+  EXPECT_EQ(from_a.size(), 5u);  // B C D E O
+  const auto from_o = reachable_from(*graph, graph->find_operation("O"));
+  EXPECT_TRUE(from_o.empty());
+}
+
+}  // namespace
+}  // namespace ftsched

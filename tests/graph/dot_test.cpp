@@ -1,0 +1,32 @@
+#include "graph/dot.hpp"
+
+#include <gtest/gtest.h>
+
+#include "workload/paper_examples.hpp"
+
+namespace ftsched {
+namespace {
+
+TEST(Dot, PaperAlgorithm) {
+  const auto graph = workload::paper_algorithm();
+  const std::string dot = to_dot(*graph, "figure7");
+  EXPECT_NE(dot.find("digraph \"figure7\""), std::string::npos);
+  EXPECT_NE(dot.find("\"I\" [shape=invhouse]"), std::string::npos);
+  EXPECT_NE(dot.find("\"O\" [shape=house]"), std::string::npos);
+  EXPECT_NE(dot.find("\"A\" [shape=ellipse]"), std::string::npos);
+  EXPECT_NE(dot.find("\"I\" -> \"A\""), std::string::npos);
+  EXPECT_NE(dot.find("\"E\" -> \"O\""), std::string::npos);
+}
+
+TEST(Dot, MemEdgesDashes) {
+  AlgorithmGraph graph;
+  const OperationId state = graph.add_operation("state", OperationKind::kMem);
+  const OperationId law = graph.add_operation("law");
+  graph.add_dependency(law, state);
+  const std::string dot = to_dot(graph);
+  EXPECT_NE(dot.find("\"state\" [shape=box]"), std::string::npos);
+  EXPECT_NE(dot.find("[style=dashed]"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace ftsched

@@ -1,0 +1,161 @@
+// End-to-end pipeline: model a CyCAB-like control application (the paper's
+// §8 target: 5 processors on a CAN bus), schedule it fault-tolerantly,
+// generate the executive, then drive it through consecutive iterations with
+// failures detected in one iteration feeding the next — the full AAA loop.
+#include <gtest/gtest.h>
+
+#include "exec/codegen.hpp"
+#include "sched/heuristics.hpp"
+#include "sched/metrics.hpp"
+#include "sched/validate.hpp"
+#include "sim/simulator.hpp"
+#include "workload/paper_examples.hpp"
+#include "workload/random_arch.hpp"
+#include "workload/shapes.hpp"
+
+namespace ftsched {
+namespace {
+
+workload::OwnedProblem cycab_like(int k) {
+  auto algorithm = workload::control_loop(/*sensors=*/4, /*laws=*/3,
+                                          /*actuators=*/2);
+  auto arch = std::make_unique<ArchitectureGraph>();
+  std::vector<ProcessorId> procs;
+  for (int i = 1; i <= 5; ++i) {
+    procs.push_back(arch->add_processor("P" + std::to_string(i)));
+  }
+  arch->add_bus("can", procs);
+
+  auto exec = std::make_unique<ExecTable>(*algorithm, *arch);
+  auto comm = std::make_unique<CommTable>(*algorithm, *arch);
+  int spread = 0;
+  for (const Operation& op : algorithm->operations()) {
+    if (is_extio(op.kind)) {
+      // Sensors/actuators wired to K+1 nodes each, rotating.
+      for (int r = 0; r <= k; ++r) {
+        exec->set(op.id, procs[(spread + r) % procs.size()], 0.4);
+      }
+      ++spread;
+    } else {
+      for (ProcessorId proc : procs) {
+        exec->set(op.id, proc, op.kind == OperationKind::kMem ? 0.2 : 1.0);
+      }
+    }
+  }
+  for (const Dependency& dep : algorithm->dependencies()) {
+    comm->set_uniform(dep.id, 0.3);
+  }
+  return workload::assemble(std::move(algorithm), std::move(arch),
+                            std::move(exec), std::move(comm), k);
+}
+
+TEST(EndToEnd, CycabControlLoopSurvivesCascadedFailures) {
+  const workload::OwnedProblem ex = cycab_like(/*k=*/2);
+  ASSERT_TRUE(ex.problem.check().empty());
+
+  const auto result = schedule_solution1(ex.problem);
+  ASSERT_TRUE(result.has_value()) << result.error().message;
+  const Schedule& schedule = result.value();
+  EXPECT_TRUE(validate(schedule).empty());
+
+  const Executive executive = generate_executive(schedule);
+  EXPECT_EQ(executive.processors.size(), 5u);
+  EXPECT_FALSE(emit_c(executive, schedule).empty());
+
+  // Iteration 1: P2 crashes mid-run.
+  const Simulator simulator(schedule);
+  FailureScenario first;
+  first.events.push_back(
+      FailureEvent{ex.problem.architecture->find_processor("P2"),
+                   schedule.makespan() / 3});
+  const IterationResult it1 = simulator.run(first);
+  EXPECT_TRUE(it1.all_outputs_produced);
+  ASSERT_FALSE(it1.detected_failures.empty());
+
+  // Iteration 2: the detection feeds forward; P4 crashes on top.
+  FailureScenario second;
+  second.failed_at_start = it1.detected_failures;
+  second.events.push_back(
+      FailureEvent{ex.problem.architecture->find_processor("P4"),
+                   schedule.makespan() / 2});
+  const IterationResult it2 = simulator.run(second);
+  EXPECT_TRUE(it2.all_outputs_produced);
+
+  // Iteration 3: both failures settled; still serving, without timeouts.
+  FailureScenario third;
+  third.failed_at_start = it2.detected_failures;
+  for (ProcessorId dead : it1.detected_failures) {
+    if (std::find(third.failed_at_start.begin(), third.failed_at_start.end(),
+                  dead) == third.failed_at_start.end()) {
+      third.failed_at_start.push_back(dead);
+    }
+  }
+  const IterationResult it3 = simulator.run(third);
+  EXPECT_TRUE(it3.all_outputs_produced);
+  // Detection mistakes (contention-late re-sends) may raise flags, but the
+  // bus-scanning rejoin logic must clear every flag on a live processor:
+  // only the genuinely dead ones remain detected.
+  for (ProcessorId accused : it3.detected_failures) {
+    EXPECT_TRUE(std::find(third.failed_at_start.begin(),
+                          third.failed_at_start.end(),
+                          accused) != third.failed_at_start.end())
+        << "live processor P" << accused.value() + 1 << " still flagged";
+  }
+}
+
+TEST(EndToEnd, SolutionsAgreeOnOutputsAcrossWorkloads) {
+  // Every shape generator, scheduled by both solutions on both example
+  // architectures, validates and survives a worst-instant single failure.
+  const auto shapes = [] {
+    std::vector<std::unique_ptr<AlgorithmGraph>> graphs;
+    graphs.push_back(workload::fork_join(4));
+    graphs.push_back(workload::pipeline(5));
+    graphs.push_back(workload::diamond(3, 3));
+    graphs.push_back(workload::gaussian_elimination(4));
+    return graphs;
+  }();
+
+  for (const auto& shape : shapes) {
+    auto arch = std::make_unique<ArchitectureGraph>(
+        workload::make_architecture(workload::ArchKind::kBus, 4));
+    auto exec = std::make_unique<ExecTable>(*shape, *arch);
+    auto comm = std::make_unique<CommTable>(*shape, *arch);
+    for (const Operation& op : shape->operations()) {
+      exec->set_uniform(op.id, 1.0);
+    }
+    for (const Dependency& dep : shape->dependencies()) {
+      comm->set_uniform(dep.id, 0.4);
+    }
+    auto algorithm_copy = std::make_unique<AlgorithmGraph>(*shape);
+    workload::OwnedProblem owned = workload::assemble(
+        std::move(algorithm_copy), std::move(arch), std::move(exec),
+        std::move(comm), 1);
+
+    for (const HeuristicKind kind :
+         {HeuristicKind::kSolution1, HeuristicKind::kSolution2}) {
+      const auto result = schedule(owned.problem, kind);
+      ASSERT_TRUE(result.has_value()) << result.error().message;
+      EXPECT_TRUE(validate(result.value()).empty());
+      const Simulator simulator(result.value());
+      for (std::size_t p = 0; p < 4; ++p) {
+        const IterationResult run = simulator.run(
+            FailureScenario::crash(ProcessorId{static_cast<int>(p)},
+                                   result->makespan() / 2));
+        EXPECT_TRUE(run.all_outputs_produced)
+            << to_string(kind) << " P" << p + 1;
+      }
+    }
+  }
+}
+
+TEST(EndToEnd, DeadlineGovernsFeasibility) {
+  workload::OwnedProblem ex = cycab_like(1);
+  const Time unconstrained = schedule_solution1(ex.problem)->makespan();
+  ex.problem.deadline = unconstrained * 0.9;
+  EXPECT_FALSE(schedule_solution1(ex.problem).has_value());
+  ex.problem.deadline = unconstrained;
+  EXPECT_TRUE(schedule_solution1(ex.problem).has_value());
+}
+
+}  // namespace
+}  // namespace ftsched

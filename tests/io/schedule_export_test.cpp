@@ -1,0 +1,46 @@
+#include "io/schedule_export.hpp"
+
+#include <gtest/gtest.h>
+
+#include "sched/heuristics.hpp"
+#include "workload/paper_examples.hpp"
+
+namespace ftsched {
+namespace {
+
+TEST(ScheduleExport, JsonContainsEveryPlacement) {
+  const workload::OwnedProblem ex = workload::paper_example1();
+  const Schedule schedule = schedule_solution1(ex.problem).value();
+  const std::string json = io::to_json(schedule);
+
+  EXPECT_NE(json.find("\"makespan\": 9.4"), std::string::npos);
+  EXPECT_NE(json.find("\"failures_tolerated\": 1"), std::string::npos);
+  for (const Operation& op : ex.problem.algorithm->operations()) {
+    EXPECT_NE(json.find("\"op\": \"" + op.name + "\""), std::string::npos);
+  }
+  EXPECT_NE(json.find("\"liveness\": false"), std::string::npos);
+  // Balanced braces/brackets (cheap well-formedness check).
+  EXPECT_EQ(std::count(json.begin(), json.end(), '{'),
+            std::count(json.begin(), json.end(), '}'));
+  EXPECT_EQ(std::count(json.begin(), json.end(), '['),
+            std::count(json.begin(), json.end(), ']'));
+}
+
+TEST(ScheduleExport, CsvRowsMatchScheduleContents) {
+  const workload::OwnedProblem ex = workload::paper_example1();
+  const Schedule schedule = schedule_solution1(ex.problem).value();
+  const std::string csv = io::to_csv(schedule);
+
+  std::size_t rows = 0;
+  for (char c : csv) rows += c == '\n';
+  std::size_t segments = 0;
+  for (const ScheduledComm& comm : schedule.comms()) {
+    segments += comm.segments.size();
+  }
+  EXPECT_EQ(rows, 1 + schedule.operations().size() + segments);
+  EXPECT_EQ(csv.rfind("kind,entity,rank,resource,start,end,extra", 0), 0u);
+  EXPECT_NE(csv.find("op,I,0,P1,0,1,main"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace ftsched

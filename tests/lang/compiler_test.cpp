@@ -1,0 +1,174 @@
+#include "lang/compiler.hpp"
+
+#include <gtest/gtest.h>
+
+#include "graph/dag_algorithms.hpp"
+
+namespace ftsched {
+namespace {
+
+constexpr const char* kCruise = R"(
+-- cruise control with an integrator state
+node cruise(speed: sensor; setpoint: sensor)
+returns (throttle: actuator; brake: actuator)
+let
+  err      = sub(setpoint, speed);
+  acc      = add(pre(acc), err);
+  throttle = gain(acc);
+  brake    = brake_map(err);
+tel
+)";
+
+TEST(LangCompiler, CruiseControlShape) {
+  const auto result = lang::compile_node(kCruise);
+  ASSERT_TRUE(result.has_value()) << result.error().message;
+  const lang::CompiledNode& node = result.value();
+  EXPECT_EQ(node.name, "cruise");
+  const AlgorithmGraph& graph = *node.graph;
+
+  // 2 sensors + 4 equation comps + 1 mem + 2 actuators.
+  EXPECT_EQ(graph.operation_count(), 9u);
+  EXPECT_TRUE(graph.is_acyclic());
+  EXPECT_TRUE(graph.check().empty());
+
+  ASSERT_EQ(node.inputs.size(), 2u);
+  ASSERT_EQ(node.outputs.size(), 2u);
+  EXPECT_EQ(graph.operation(node.inputs[0]).kind, OperationKind::kExtioIn);
+  EXPECT_EQ(graph.operation(node.outputs[0]).kind,
+            OperationKind::kExtioOut);
+
+  // The state register exists and its input edge carries no precedence.
+  const OperationId mem = graph.find_operation("pre$acc");
+  ASSERT_TRUE(mem.valid());
+  EXPECT_EQ(graph.operation(mem).kind, OperationKind::kMem);
+  ASSERT_EQ(graph.in_dependencies(mem).size(), 1u);
+  EXPECT_FALSE(graph.is_precedence(graph.in_dependencies(mem).front()));
+
+  // err feeds both acc and brake$val.
+  const OperationId err = graph.find_operation("err");
+  EXPECT_EQ(graph.successors(err).size(), 2u);
+  // Output comps are named <output>$val and feed their actuator.
+  const OperationId throttle_val = graph.find_operation("throttle$val");
+  ASSERT_TRUE(throttle_val.valid());
+  const OperationId throttle = graph.find_operation("throttle");
+  EXPECT_EQ(graph.successors(throttle_val),
+            std::vector<OperationId>{throttle});
+}
+
+TEST(LangCompiler, NestedCallsSynthesizeOperations) {
+  const auto result = lang::compile_node(R"(
+node f(x: sensor) returns (y: actuator)
+let
+  y = outer(inner(x), x);
+tel
+)");
+  ASSERT_TRUE(result.has_value()) << result.error().message;
+  const AlgorithmGraph& graph = *result->graph;
+  // x, y$val (outer), y$1 (inner), y.
+  EXPECT_EQ(graph.operation_count(), 4u);
+  const OperationId inner = graph.find_operation("y$1");
+  ASSERT_TRUE(inner.valid());
+  const OperationId outer = graph.find_operation("y$val");
+  EXPECT_EQ(graph.successors(inner), std::vector<OperationId>{outer});
+  // outer has two in-edges: inner and x.
+  EXPECT_EQ(graph.in_dependencies(outer).size(), 2u);
+}
+
+TEST(LangCompiler, AliasEquationsAndPreOfInput) {
+  const auto result = lang::compile_node(R"(
+node f(x: sensor) returns (y: actuator)
+let
+  held = pre(x);  -- unit delay on an input
+  y    = use(held);
+tel
+)");
+  ASSERT_TRUE(result.has_value()) << result.error().message;
+  const AlgorithmGraph& graph = *result->graph;
+  const OperationId mem = graph.find_operation("pre$x");
+  ASSERT_TRUE(mem.valid());
+  // held is an identity comp fed by the mem.
+  const OperationId held = graph.find_operation("held");
+  EXPECT_EQ(graph.predecessors(held), std::vector<OperationId>{mem});
+}
+
+TEST(LangCompiler, FeedbackThroughPreIsSchedulable) {
+  const auto result = lang::compile_node(R"(
+node counter(tick: sensor) returns (count: actuator)
+let
+  count = add(pre(count), tick);
+tel
+)");
+  ASSERT_TRUE(result.has_value()) << result.error().message;
+  EXPECT_TRUE(result->graph->is_acyclic());
+  EXPECT_FALSE(result->graph->topological_order().empty());
+}
+
+TEST(LangCompiler, RejectsInstantaneousCycle) {
+  const auto result = lang::compile_node(R"(
+node f(x: sensor) returns (y: actuator)
+let
+  a = g(b);
+  b = h(a);
+  y = out(a);
+tel
+)");
+  ASSERT_FALSE(result.has_value());
+  EXPECT_NE(result.error().message.find("instantaneous cycle"),
+            std::string::npos);
+}
+
+TEST(LangCompiler, RejectsBadPrograms) {
+  // Undefined variable, with line number.
+  const auto undefined = lang::compile_node(
+      "node f(x: sensor) returns (y: actuator)\nlet\n  y = g(z);\ntel\n");
+  ASSERT_FALSE(undefined.has_value());
+  EXPECT_NE(undefined.error().message.find("line 3"), std::string::npos);
+  EXPECT_NE(undefined.error().message.find("undefined variable z"),
+            std::string::npos);
+
+  // Output without an equation.
+  const auto no_eq = lang::compile_node(
+      "node f(x: sensor) returns (y: actuator)\nlet\n  a = g(x);\ntel\n");
+  ASSERT_FALSE(no_eq.has_value());
+  EXPECT_NE(no_eq.error().message.find("no defining equation"),
+            std::string::npos);
+
+  // Double definition.
+  const auto dup = lang::compile_node(
+      "node f(x: sensor) returns (y: actuator)\nlet\n  y = g(x);\n  "
+      "y = h(x);\ntel\n");
+  ASSERT_FALSE(dup.has_value());
+  EXPECT_NE(dup.error().message.find("defined twice"), std::string::npos);
+
+  // Equation shadowing an input.
+  const auto shadow = lang::compile_node(
+      "node f(x: sensor) returns (y: actuator)\nlet\n  x = g(x);\n  "
+      "y = h(x);\ntel\n");
+  ASSERT_FALSE(shadow.has_value());
+
+  // Syntax errors.
+  EXPECT_FALSE(lang::compile_node("node f() returns").has_value());
+  EXPECT_FALSE(lang::compile_node(
+                   "node f(x: actuator) returns (y: actuator)\nlet\ntel")
+                   .has_value());
+  EXPECT_FALSE(
+      lang::compile_node(
+          "node f(x: sensor) returns (y: actuator)\nlet\n  y = pre x;\ntel")
+          .has_value());
+  EXPECT_FALSE(lang::compile_node(
+                   "node f(x: sensor) returns (y: actuator)\nlet\n  "
+                   "y = g(x)\ntel")
+                   .has_value());  // missing semicolon
+  EXPECT_FALSE(lang::compile_node("").has_value());
+}
+
+TEST(LangCompiler, CommentsAndWhitespace) {
+  const auto result = lang::compile_node(
+      "-- header comment\nnode  f ( x : sensor )\n-- mid\nreturns(y: "
+      "actuator) let y = g(x); -- trailing\ntel");
+  ASSERT_TRUE(result.has_value()) << result.error().message;
+  EXPECT_EQ(result->graph->operation_count(), 3u);
+}
+
+}  // namespace
+}  // namespace ftsched

@@ -1,0 +1,152 @@
+// The headline property (paper §5.6): a K-fault-tolerant schedule keeps
+// producing every output under ANY combination of at most K fail-stop
+// processor failures. Verified by exhaustive subset injection on randomized
+// problems over the architectures the paper targets (bus for solution 1,
+// point-to-point for solution 2; both on both, since relay-free topologies
+// keep the network connected under processor loss).
+#include <gtest/gtest.h>
+
+#include "sched/heuristics.hpp"
+#include "sim/simulator.hpp"
+#include "workload/random_arch.hpp"
+
+namespace ftsched {
+namespace {
+
+using workload::ArchKind;
+using workload::OwnedProblem;
+using workload::RandomProblemParams;
+
+struct FtSweep {
+  HeuristicKind kind;
+  ArchKind arch;
+  std::size_t processors;
+  int k;
+  std::uint64_t seed;
+};
+
+std::string ft_name(const ::testing::TestParamInfo<FtSweep>& info) {
+  std::string name = info.param.kind == HeuristicKind::kSolution1
+                         ? "Sol1"
+                         : "Sol2";
+  name += info.param.arch == ArchKind::kBus ? "Bus" : "Full";
+  name += std::to_string(info.param.processors) + "K" +
+          std::to_string(info.param.k) + "Seed" +
+          std::to_string(info.param.seed);
+  return name;
+}
+
+class FaultToleranceProperties : public ::testing::TestWithParam<FtSweep> {};
+
+TEST_P(FaultToleranceProperties, AllFailurePatternsUpToKAreMasked) {
+  RandomProblemParams params;
+  params.dag.operations = 14;
+  params.dag.width = 4;
+  params.arch_kind = GetParam().arch;
+  params.processors = GetParam().processors;
+  params.failures_to_tolerate = GetParam().k;
+  params.ccr = 0.6;
+  params.restrict_probability = 0.1;
+  params.seed = GetParam().seed;
+  const OwnedProblem ex = workload::random_problem(params);
+
+  // Solution-1 sweeps also exercise the hybrid with a half-active policy:
+  // the masking guarantee must be insensitive to the per-dependency choice.
+  SchedulerOptions options;
+  HeuristicKind kind = GetParam().kind;
+  if (kind == HeuristicKind::kSolution1 && GetParam().seed % 2 == 1) {
+    kind = HeuristicKind::kHybrid;
+    options.active_comm_deps.assign(
+        ex.problem.algorithm->dependency_count(), false);
+    for (std::size_t d = 0; d < options.active_comm_deps.size(); d += 2) {
+      options.active_comm_deps[d] = true;
+    }
+  }
+  const auto result = schedule(ex.problem, kind, options);
+  ASSERT_TRUE(result.has_value()) << result.error().message;
+  const Simulator simulator(result.value());
+  const Time makespan = result->makespan();
+
+  for (const std::vector<ProcessorId>& subset :
+       failure_subsets(GetParam().processors,
+                       static_cast<std::size_t>(GetParam().k))) {
+    // Permanent regime.
+    const IterationResult settled =
+        simulator.run(FailureScenario::dead_from_start(subset));
+    EXPECT_TRUE(settled.all_outputs_produced)
+        << subset.size() << " dead from start, first P"
+        << subset.front().value() + 1;
+
+    // Transient regime: all members crash together at a sweep of instants.
+    for (const double fraction : {0.0, 0.25, 0.5, 0.75, 1.0}) {
+      FailureScenario scenario;
+      for (ProcessorId proc : subset) {
+        scenario.events.push_back(FailureEvent{proc, makespan * fraction});
+      }
+      const IterationResult transient = simulator.run(scenario);
+      EXPECT_TRUE(transient.all_outputs_produced)
+          << subset.size() << " crash at " << makespan * fraction;
+    }
+
+    // Staggered crashes.
+    if (subset.size() >= 2) {
+      FailureScenario scenario;
+      for (std::size_t i = 0; i < subset.size(); ++i) {
+        scenario.events.push_back(FailureEvent{
+            subset[i], makespan * (static_cast<double>(i) + 1) /
+                           (static_cast<double>(subset.size()) + 1)});
+      }
+      EXPECT_TRUE(simulator.run(scenario).all_outputs_produced);
+    }
+  }
+}
+
+TEST_P(FaultToleranceProperties, KPlusOneFailuresMayLoseOutputs) {
+  // Sanity check of the test harness itself: killing every processor that
+  // can run some output extio must lose that output.
+  RandomProblemParams params;
+  params.dag.operations = 10;
+  params.arch_kind = GetParam().arch;
+  params.processors = GetParam().processors;
+  params.failures_to_tolerate = GetParam().k;
+  params.seed = GetParam().seed;
+  const OwnedProblem ex = workload::random_problem(params);
+  const auto result = schedule(ex.problem, GetParam().kind);
+  ASSERT_TRUE(result.has_value());
+
+  // Kill every host of the first output's replicas (K+1 > K failures).
+  for (const Operation& op : ex.problem.algorithm->operations()) {
+    if (op.kind != OperationKind::kExtioOut) continue;
+    std::vector<ProcessorId> hosts;
+    for (const ScheduledOperation* replica : result->replicas(op.id)) {
+      hosts.push_back(replica->processor);
+    }
+    const Simulator simulator(result.value());
+    EXPECT_FALSE(simulator.run(FailureScenario::dead_from_start(hosts))
+                     .all_outputs_produced);
+    break;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, FaultToleranceProperties,
+    ::testing::Values(
+        FtSweep{HeuristicKind::kSolution1, ArchKind::kBus, 3, 1, 21},
+        FtSweep{HeuristicKind::kSolution1, ArchKind::kBus, 4, 1, 22},
+        FtSweep{HeuristicKind::kSolution1, ArchKind::kBus, 4, 2, 23},
+        FtSweep{HeuristicKind::kSolution1, ArchKind::kBus, 5, 2, 24},
+        FtSweep{HeuristicKind::kSolution1, ArchKind::kFullyConnected, 4, 1,
+                25},
+        FtSweep{HeuristicKind::kSolution2, ArchKind::kFullyConnected, 3, 1,
+                26},
+        FtSweep{HeuristicKind::kSolution2, ArchKind::kFullyConnected, 4, 1,
+                27},
+        FtSweep{HeuristicKind::kSolution2, ArchKind::kFullyConnected, 4, 2,
+                28},
+        FtSweep{HeuristicKind::kSolution2, ArchKind::kFullyConnected, 5, 2,
+                29},
+        FtSweep{HeuristicKind::kSolution2, ArchKind::kBus, 4, 1, 30}),
+    ft_name);
+
+}  // namespace
+}  // namespace ftsched

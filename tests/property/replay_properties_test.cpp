@@ -1,0 +1,134 @@
+// The executive-conformance property: on ANY problem, the failure-free
+// simulation of a schedule must replay it date for date — no timeouts, no
+// elections, no extra transfers. This pins the whole stack together: the
+// engine's link bookkeeping, the timeout tables' contention refinement, and
+// the simulator's time-triggered arbitration must all agree.
+#include <gtest/gtest.h>
+
+#include "sched/heuristics.hpp"
+#include "sim/simulator.hpp"
+#include "workload/random_arch.hpp"
+
+namespace ftsched {
+namespace {
+
+using workload::ArchKind;
+using workload::OwnedProblem;
+using workload::RandomProblemParams;
+
+struct ReplayCase {
+  ArchKind arch;
+  std::size_t processors;
+  int k;
+  double ccr;
+  std::uint64_t seed;
+};
+
+std::string replay_name(const ::testing::TestParamInfo<ReplayCase>& info) {
+  const char* arch = "";
+  switch (info.param.arch) {
+    case ArchKind::kBus:
+      arch = "Bus";
+      break;
+    case ArchKind::kFullyConnected:
+      arch = "Full";
+      break;
+    case ArchKind::kRing:
+      arch = "Ring";
+      break;
+    case ArchKind::kChain:
+      arch = "Chain";
+      break;
+    case ArchKind::kStar:
+      arch = "Star";
+      break;
+  }
+  return std::string(arch) + std::to_string(info.param.processors) + "K" +
+         std::to_string(info.param.k) + "Seed" +
+         std::to_string(info.param.seed);
+}
+
+class ReplayProperties : public ::testing::TestWithParam<ReplayCase> {};
+
+TEST_P(ReplayProperties, FailureFreeRunReplaysTheStaticSchedule) {
+  RandomProblemParams params;
+  params.dag.operations = 16;
+  params.dag.width = 4;
+  params.arch_kind = GetParam().arch;
+  params.processors = GetParam().processors;
+  params.failures_to_tolerate = GetParam().k;
+  params.ccr = GetParam().ccr;
+  params.restrict_probability = 0.1;
+  params.seed = GetParam().seed;
+  const OwnedProblem ex = workload::random_problem(params);
+
+  for (const HeuristicKind kind :
+       {HeuristicKind::kBase, HeuristicKind::kSolution1,
+        HeuristicKind::kSolution2}) {
+    const auto result = schedule(ex.problem, kind);
+    ASSERT_TRUE(result.has_value())
+        << to_string(kind) << ": " << result.error().message;
+    const Simulator simulator(result.value());
+    const IterationResult run = simulator.run();
+    SCOPED_TRACE(to_string(kind));
+    EXPECT_TRUE(run.all_outputs_produced);
+    EXPECT_EQ(run.trace.count(TraceEvent::Kind::kTimeout), 0u);
+    EXPECT_EQ(run.trace.count(TraceEvent::Kind::kElection), 0u);
+    EXPECT_EQ(run.trace.count(TraceEvent::Kind::kDrop), 0u);
+    // One transfer-start per hop of every active comm, none extra.
+    std::size_t segments = 0;
+    for (const ScheduledComm& comm : result->comms()) {
+      if (comm.active) segments += comm.segments.size();
+    }
+    EXPECT_EQ(run.trace.count(TraceEvent::Kind::kTransferStart), segments);
+    for (const ScheduledOperation& placement : result->operations()) {
+      EXPECT_DOUBLE_EQ(
+          run.trace.op_end(placement.op, placement.processor),
+          placement.end)
+          << ex.problem.algorithm->operation(placement.op).name << " on "
+          << ex.problem.architecture->processor(placement.processor).name;
+    }
+  }
+}
+
+TEST_P(ReplayProperties, SimulationIsDeterministic) {
+  RandomProblemParams params;
+  params.dag.operations = 14;
+  params.arch_kind = GetParam().arch;
+  params.processors = GetParam().processors;
+  params.failures_to_tolerate = GetParam().k;
+  params.seed = GetParam().seed;
+  const OwnedProblem ex = workload::random_problem(params);
+  const auto result = schedule_solution1(ex.problem);
+  ASSERT_TRUE(result.has_value());
+  const Simulator simulator(result.value());
+
+  const FailureScenario scenario =
+      FailureScenario::crash(ProcessorId{0}, result->makespan() / 3);
+  const IterationResult a = simulator.run(scenario);
+  const IterationResult b = simulator.run(scenario);
+  ASSERT_EQ(a.trace.events().size(), b.trace.events().size());
+  for (std::size_t i = 0; i < a.trace.events().size(); ++i) {
+    EXPECT_EQ(a.trace.events()[i].kind, b.trace.events()[i].kind);
+    EXPECT_DOUBLE_EQ(a.trace.events()[i].time, b.trace.events()[i].time);
+    EXPECT_EQ(a.trace.events()[i].proc, b.trace.events()[i].proc);
+  }
+  EXPECT_DOUBLE_EQ(a.response_time, b.response_time);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, ReplayProperties,
+    ::testing::Values(ReplayCase{ArchKind::kBus, 3, 1, 0.5, 31},
+                      ReplayCase{ArchKind::kBus, 5, 2, 1.0, 32},
+                      ReplayCase{ArchKind::kBus, 4, 0, 2.0, 33},
+                      ReplayCase{ArchKind::kFullyConnected, 4, 1, 0.5, 34},
+                      ReplayCase{ArchKind::kFullyConnected, 5, 2, 1.5, 35},
+                      ReplayCase{ArchKind::kRing, 4, 1, 0.5, 36},
+                      ReplayCase{ArchKind::kRing, 5, 1, 2.0, 37},
+                      ReplayCase{ArchKind::kChain, 4, 1, 0.8, 38},
+                      ReplayCase{ArchKind::kStar, 5, 1, 0.5, 39},
+                      ReplayCase{ArchKind::kStar, 6, 2, 1.0, 40}),
+    replay_name);
+
+}  // namespace
+}  // namespace ftsched

@@ -1,0 +1,147 @@
+// Property sweep: every schedule any heuristic produces on randomized
+// problems must satisfy the structural invariants (DESIGN.md §6), across
+// topologies, K, CCR, and seeds.
+#include <gtest/gtest.h>
+
+#include "graph/dag_algorithms.hpp"
+#include "sched/heuristics.hpp"
+#include "sched/metrics.hpp"
+#include "sched/pressure.hpp"
+#include "sched/validate.hpp"
+#include "workload/random_arch.hpp"
+
+namespace ftsched {
+namespace {
+
+using workload::ArchKind;
+using workload::OwnedProblem;
+using workload::RandomProblemParams;
+
+struct Sweep {
+  ArchKind arch;
+  std::size_t processors;
+  int k;
+  double ccr;
+  std::uint64_t seed;
+};
+
+std::string sweep_name(const ::testing::TestParamInfo<Sweep>& info) {
+  const char* arch = "";
+  switch (info.param.arch) {
+    case ArchKind::kBus:
+      arch = "Bus";
+      break;
+    case ArchKind::kFullyConnected:
+      arch = "Full";
+      break;
+    case ArchKind::kRing:
+      arch = "Ring";
+      break;
+    case ArchKind::kChain:
+      arch = "Chain";
+      break;
+    case ArchKind::kStar:
+      arch = "Star";
+      break;
+  }
+  return std::string(arch) + std::to_string(info.param.processors) + "K" +
+         std::to_string(info.param.k) + "Ccr" +
+         std::to_string(static_cast<int>(info.param.ccr * 10)) + "Seed" +
+         std::to_string(info.param.seed);
+}
+
+class ScheduleProperties : public ::testing::TestWithParam<Sweep> {
+ protected:
+  OwnedProblem make_problem() const {
+    RandomProblemParams params;
+    params.dag.operations = 18;
+    params.dag.width = 4;
+    params.arch_kind = GetParam().arch;
+    params.processors = GetParam().processors;
+    params.failures_to_tolerate = GetParam().k;
+    params.ccr = GetParam().ccr;
+    params.restrict_probability = 0.15;
+    params.seed = GetParam().seed;
+    return workload::random_problem(params);
+  }
+};
+
+TEST_P(ScheduleProperties, AllHeuristicsProduceValidSchedules) {
+  const OwnedProblem ex = make_problem();
+  const DagTiming bound = optimistic_timing(ex.problem);
+
+  for (const HeuristicKind kind :
+       {HeuristicKind::kBase, HeuristicKind::kSolution1,
+        HeuristicKind::kSolution2}) {
+    const auto result = schedule(ex.problem, kind);
+    ASSERT_TRUE(result.has_value())
+        << to_string(kind) << ": " << result.error().message;
+    const Schedule& s = result.value();
+    const auto issues = validate(s);
+    EXPECT_TRUE(issues.empty())
+        << to_string(kind) << ": " << issues.front();
+    // The communication-free critical path lower-bounds any makespan.
+    EXPECT_GE(s.makespan(), bound.critical_path - kTimeEpsilon);
+    // Replication degree.
+    const std::size_t expected =
+        kind == HeuristicKind::kBase
+            ? 1u
+            : static_cast<std::size_t>(GetParam().k) + 1u;
+    for (const Operation& op : ex.problem.algorithm->operations()) {
+      EXPECT_EQ(s.replicas(op.id).size(), expected);
+    }
+  }
+}
+
+TEST_P(ScheduleProperties, HybridWithAlternatingPolicyIsValid) {
+  // Hybrid with every other dependency actively replicated: the validator
+  // must accept it and the replication/redundancy invariants must hold for
+  // exactly the flagged dependencies.
+  const OwnedProblem ex = make_problem();
+  SchedulerOptions options;
+  options.active_comm_deps.assign(ex.problem.algorithm->dependency_count(),
+                                  false);
+  for (std::size_t d = 0; d < options.active_comm_deps.size(); d += 2) {
+    options.active_comm_deps[d] = true;
+  }
+  const auto result = schedule_hybrid_with_policy(ex.problem, options);
+  ASSERT_TRUE(result.has_value()) << result.error().message;
+  const auto issues = validate(result.value());
+  EXPECT_TRUE(issues.empty()) << issues.front();
+  EXPECT_EQ(result->active_comm_dep_count(),
+            (options.active_comm_deps.size() + 1) / 2);
+}
+
+TEST_P(ScheduleProperties, FaultToleranceNeverBeatsTheBaselineByMuch) {
+  // The FT schedules add work; they may occasionally tie the baseline but
+  // must never be meaningfully shorter (same engine, more constraints).
+  const OwnedProblem ex = make_problem();
+  const Time base = schedule_base(ex.problem)->makespan();
+  if (GetParam().k == 0) return;
+  EXPECT_GE(schedule_solution1(ex.problem)->makespan(),
+            base - kTimeEpsilon);
+  EXPECT_GE(schedule_solution2(ex.problem)->makespan(),
+            base - kTimeEpsilon);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, ScheduleProperties,
+    ::testing::Values(
+        Sweep{ArchKind::kBus, 3, 1, 0.5, 1}, Sweep{ArchKind::kBus, 4, 1, 1.0, 2},
+        Sweep{ArchKind::kBus, 5, 2, 0.3, 3}, Sweep{ArchKind::kBus, 4, 0, 0.5, 4},
+        Sweep{ArchKind::kFullyConnected, 3, 1, 0.5, 5},
+        Sweep{ArchKind::kFullyConnected, 4, 1, 2.0, 6},
+        Sweep{ArchKind::kFullyConnected, 5, 2, 0.8, 7},
+        Sweep{ArchKind::kFullyConnected, 4, 3, 0.5, 8},
+        Sweep{ArchKind::kRing, 4, 1, 0.5, 9},
+        Sweep{ArchKind::kRing, 5, 1, 1.5, 10},
+        Sweep{ArchKind::kChain, 4, 1, 0.4, 11},
+        Sweep{ArchKind::kChain, 5, 0, 1.0, 12},
+        Sweep{ArchKind::kStar, 4, 1, 0.5, 13},
+        Sweep{ArchKind::kStar, 6, 2, 0.7, 14},
+        Sweep{ArchKind::kBus, 6, 3, 0.5, 15},
+        Sweep{ArchKind::kFullyConnected, 6, 1, 0.2, 16}),
+    sweep_name);
+
+}  // namespace
+}  // namespace ftsched

@@ -1,0 +1,44 @@
+#include "sched/gantt.hpp"
+
+#include <gtest/gtest.h>
+
+#include "sched/heuristics.hpp"
+#include "workload/paper_examples.hpp"
+
+namespace ftsched {
+namespace {
+
+TEST(Gantt, TextListingContainsEveryResource) {
+  const workload::OwnedProblem ex = workload::paper_example1();
+  const Schedule schedule = schedule_solution1(ex.problem).value();
+  const std::string text = to_text(schedule);
+  EXPECT_NE(text.find("P1"), std::string::npos);
+  EXPECT_NE(text.find("P2"), std::string::npos);
+  EXPECT_NE(text.find("P3"), std::string::npos);
+  EXPECT_NE(text.find("bus"), std::string::npos);
+  EXPECT_NE(text.find("makespan = 9.4"), std::string::npos);
+  // Replica annotations name:rank[start,end].
+  EXPECT_NE(text.find("I:0[0,1]"), std::string::npos);
+}
+
+TEST(Gantt, BarChartScalesToColumns) {
+  const workload::OwnedProblem ex = workload::paper_example1();
+  const Schedule schedule = schedule_solution1(ex.problem).value();
+  const std::string chart = to_gantt(schedule, 60);
+  // One row per processor + link + axis.
+  std::size_t lines = 0;
+  for (char c : chart) lines += c == '\n';
+  EXPECT_EQ(lines, 3u + 1u + 1u);
+  EXPECT_NE(chart.find("t=9.4"), std::string::npos);
+  // Main replicas are starred.
+  EXPECT_NE(chart.find('*'), std::string::npos);
+}
+
+TEST(Gantt, EmptyScheduleFallsBack) {
+  const workload::OwnedProblem ex = workload::paper_example1();
+  const Schedule empty(ex.problem, HeuristicKind::kBase);
+  EXPECT_NE(to_gantt(empty).find("makespan = 0"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace ftsched

@@ -1,0 +1,67 @@
+#include "sched/metrics.hpp"
+
+#include <gtest/gtest.h>
+
+#include "sched/heuristics.hpp"
+#include "workload/paper_examples.hpp"
+
+namespace ftsched {
+namespace {
+
+TEST(Metrics, PaperExample1) {
+  const workload::OwnedProblem ex = workload::paper_example1();
+  const Schedule ft = schedule_solution1(ex.problem).value();
+  const Schedule base = schedule_base(ex.problem).value();
+
+  const ScheduleMetrics m = compute_metrics(ft);
+  EXPECT_DOUBLE_EQ(m.makespan, 9.4);
+  EXPECT_EQ(m.replicas, 14u);  // 7 operations x (K+1)
+  EXPECT_GT(m.inter_processor_comms, 0u);
+  EXPECT_GT(m.passive_comms, 0u);
+  EXPECT_GT(m.processor_utilisation, 0.0);
+  EXPECT_LE(m.processor_utilisation, 1.0);
+  EXPECT_GT(m.link_utilisation, 0.0);
+  EXPECT_LE(m.link_utilisation, 1.0);
+
+  EXPECT_NEAR(overhead(ft, base), 0.6, 1e-9);
+}
+
+TEST(Metrics, FaultToleranceCostsReplicasAndComms) {
+  const workload::OwnedProblem ex = workload::paper_example2();
+  const ScheduleMetrics ft =
+      compute_metrics(schedule_solution2(ex.problem).value());
+  const ScheduleMetrics base =
+      compute_metrics(schedule_base(ex.problem).value());
+  EXPECT_EQ(ft.replicas, 2 * base.replicas);
+  // Solution 2 replicates communications: strictly more transfers.
+  EXPECT_GT(ft.inter_processor_comms, base.inter_processor_comms);
+  EXPECT_EQ(ft.passive_comms, 0u);
+}
+
+TEST(Metrics, MinPeriodBoundsThroughput) {
+  const workload::OwnedProblem ex = workload::paper_example1();
+  for (const HeuristicKind kind :
+       {HeuristicKind::kBase, HeuristicKind::kSolution1,
+        HeuristicKind::kSolution2}) {
+    const Schedule s = schedule(ex.problem, kind).value();
+    const ScheduleMetrics m = compute_metrics(s);
+    EXPECT_GT(m.min_period, 0.0) << to_string(kind);
+    EXPECT_LE(m.min_period, m.makespan + kTimeEpsilon) << to_string(kind);
+  }
+  // Solution 1's busiest resource (P2 runs I,A,B,D,E,O back to back) is a
+  // hand-checkable bound: 1+2+1.5+1+1+1.5 = 8.
+  const Schedule sol1 = schedule_solution1(ex.problem).value();
+  EXPECT_DOUBLE_EQ(compute_metrics(sol1).min_period, 8.0);
+}
+
+TEST(Metrics, EmptySchedule) {
+  const workload::OwnedProblem ex = workload::paper_example1();
+  const Schedule empty(ex.problem, HeuristicKind::kBase);
+  const ScheduleMetrics m = compute_metrics(empty);
+  EXPECT_DOUBLE_EQ(m.makespan, 0.0);
+  EXPECT_EQ(m.replicas, 0u);
+  EXPECT_DOUBLE_EQ(m.processor_utilisation, 0.0);
+}
+
+}  // namespace
+}  // namespace ftsched

@@ -1,0 +1,43 @@
+#include "sched/pressure.hpp"
+
+#include <gtest/gtest.h>
+
+#include "workload/paper_examples.hpp"
+
+namespace ftsched {
+namespace {
+
+TEST(Pressure, OptimisticTimingUsesMinWcet) {
+  const workload::OwnedProblem ex = workload::paper_example1();
+  const DagTiming timing = optimistic_timing(ex.problem);
+  EXPECT_DOUBLE_EQ(timing.critical_path, 7.0);
+}
+
+TEST(Pressure, SigmaMeasuresCriticalPathLengthening) {
+  const workload::OwnedProblem ex = workload::paper_example1();
+  const DagTiming timing = optimistic_timing(ex.problem);
+  const OperationId b = ex.problem.algorithm->find_operation("B");
+  // B at its optimistic earliest (start 3 with duration 1.5) lies exactly on
+  // the critical path: sigma = 3 + 1.5 + tail(2.5) - 7 = 0.
+  EXPECT_DOUBLE_EQ(schedule_pressure(timing, b, 3.0, 1.5), 0.0);
+  // Delaying B by 1 or using a slower processor lengthens the path as much.
+  EXPECT_DOUBLE_EQ(schedule_pressure(timing, b, 4.0, 1.5), 1.0);
+  EXPECT_DOUBLE_EQ(schedule_pressure(timing, b, 3.0, 3.0), 1.5);
+}
+
+TEST(Pressure, ThrowsWhenOperationNowhereAllowed) {
+  const workload::OwnedProblem ex = workload::paper_example1();
+  AlgorithmGraph graph;
+  graph.add_operation("orphan");
+  ExecTable exec(graph, *ex.architecture);
+  CommTable comm(graph, *ex.architecture);
+  Problem problem;
+  problem.algorithm = &graph;
+  problem.architecture = ex.architecture.get();
+  problem.exec = &exec;
+  problem.comm = &comm;
+  EXPECT_THROW(optimistic_timing(problem), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace ftsched

@@ -1,0 +1,96 @@
+#include "sched/schedule.hpp"
+
+#include <gtest/gtest.h>
+
+#include "sched/heuristics.hpp"
+#include "workload/paper_examples.hpp"
+
+namespace ftsched {
+namespace {
+
+using workload::OwnedProblem;
+
+TEST(Schedule, ReplicaBookkeeping) {
+  const OwnedProblem ex = workload::paper_example1();
+  Schedule schedule(ex.problem, HeuristicKind::kSolution1);
+  const OperationId a = ex.problem.algorithm->find_operation("A");
+  const ProcessorId p1 = ProcessorId{0};
+  const ProcessorId p2 = ProcessorId{1};
+
+  schedule.add_operation({a, 0, p1, 1, 3});
+  schedule.add_operation({a, 1, p2, 1, 3});
+
+  ASSERT_EQ(schedule.replicas(a).size(), 2u);
+  EXPECT_TRUE(schedule.is_scheduled(a));
+  EXPECT_EQ(schedule.main(a)->processor, p1);
+  EXPECT_TRUE(schedule.main(a)->is_main());
+  EXPECT_EQ(schedule.replica_on(a, p2)->rank, 1);
+  EXPECT_EQ(schedule.replica_on(a, ProcessorId{2}), nullptr);
+  EXPECT_DOUBLE_EQ(schedule.makespan(), 3.0);
+}
+
+TEST(Schedule, RejectsRankGapsAndDuplicateProcessors) {
+  const OwnedProblem ex = workload::paper_example1();
+  Schedule schedule(ex.problem, HeuristicKind::kSolution1);
+  const OperationId a = ex.problem.algorithm->find_operation("A");
+  schedule.add_operation({a, 0, ProcessorId{0}, 1, 3});
+  // Rank must be consecutive.
+  EXPECT_THROW(schedule.add_operation({a, 2, ProcessorId{1}, 1, 3}),
+               std::invalid_argument);
+  // Same processor twice.
+  EXPECT_THROW(schedule.add_operation({a, 1, ProcessorId{0}, 4, 6}),
+               std::invalid_argument);
+}
+
+TEST(Schedule, OperationsOnSortsByStart) {
+  const OwnedProblem ex = workload::paper_example1();
+  const Schedule schedule = schedule_solution1(ex.problem).value();
+  for (const Processor& proc : ex.problem.architecture->processors()) {
+    const auto ops = schedule.operations_on(proc.id);
+    for (std::size_t i = 1; i < ops.size(); ++i) {
+      EXPECT_LE(ops[i - 1]->start, ops[i]->start);
+    }
+  }
+}
+
+TEST(Schedule, SegmentsOnSortsByStart) {
+  const OwnedProblem ex = workload::paper_example1();
+  const Schedule schedule = schedule_solution1(ex.problem).value();
+  const LinkId bus = ex.problem.architecture->find_link("bus");
+  const auto segments = schedule.segments_on(bus);
+  EXPECT_FALSE(segments.empty());
+  for (std::size_t i = 1; i < segments.size(); ++i) {
+    EXPECT_LE(segments[i - 1].second->start, segments[i].second->start);
+  }
+}
+
+TEST(Schedule, ActiveCommCountExcludesPassive) {
+  const OwnedProblem ex = workload::paper_example1();
+  const Schedule schedule = schedule_solution1(ex.problem).value();
+  std::size_t active = 0;
+  std::size_t passive = 0;
+  for (const ScheduledComm& comm : schedule.comms()) {
+    (comm.active ? active : passive)++;
+  }
+  EXPECT_EQ(schedule.active_comm_count(), active);
+  EXPECT_GT(passive, 0u);  // solution 1 always records backup OpComms
+}
+
+TEST(Schedule, KindNames) {
+  EXPECT_EQ(to_string(HeuristicKind::kBase), "base (non fault-tolerant)");
+  EXPECT_NE(to_string(HeuristicKind::kSolution1).find("solution 1"),
+            std::string::npos);
+  EXPECT_NE(to_string(HeuristicKind::kSolution2).find("solution 2"),
+            std::string::npos);
+}
+
+TEST(Schedule, CommArrivalHelper) {
+  ScheduledComm comm;
+  EXPECT_TRUE(is_infinite(comm.arrival()));
+  comm.segments.push_back(CommSegment{LinkId{0}, 1.0, 2.0});
+  comm.segments.push_back(CommSegment{LinkId{1}, 2.0, 3.5});
+  EXPECT_DOUBLE_EQ(comm.arrival(), 3.5);
+}
+
+}  // namespace
+}  // namespace ftsched

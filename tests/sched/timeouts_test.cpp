@@ -1,0 +1,127 @@
+// Static timeout chains (§6.3): election order, chain lengths, the d_m
+// recurrence, and the schedule-aware contention refinement.
+#include <gtest/gtest.h>
+
+#include "sched/heuristics.hpp"
+#include "sched/timeouts.hpp"
+#include "workload/paper_examples.hpp"
+
+namespace ftsched {
+namespace {
+
+using workload::OwnedProblem;
+
+class TimeoutsTest : public ::testing::Test {
+ protected:
+  TimeoutsTest()
+      : ex_(workload::paper_example1()),
+        schedule_(schedule_solution1(ex_.problem).value()),
+        routing_(*ex_.problem.architecture),
+        timeouts_(schedule_, routing_) {}
+
+  DependencyId dep(const char* name) const {
+    for (const Dependency& d : ex_.problem.algorithm->dependencies()) {
+      if (d.name == name) return d.id;
+    }
+    return DependencyId{};
+  }
+  ProcessorId proc(const char* name) const {
+    return ex_.problem.architecture->find_processor(name);
+  }
+
+  OwnedProblem ex_;
+  Schedule schedule_;
+  RoutingTable routing_;
+  TimeoutTable timeouts_;
+};
+
+TEST_F(TimeoutsTest, ConsumerChainWatchesAllRanks) {
+  // B's replicas: main on P2 (ends 4.5), backup on P3 (ends 5). E's backup
+  // replica on P1 consumes B->E remotely: it watches both.
+  const TimeoutChain* chain = timeouts_.chain(dep("B->E"), proc("P1"));
+  ASSERT_NE(chain, nullptr);
+  ASSERT_EQ(chain->entries.size(), 2u);
+  EXPECT_EQ(chain->entries[0].rank, 0);
+  EXPECT_EQ(chain->entries[0].sender, proc("P2"));
+  EXPECT_EQ(chain->entries[1].rank, 1);
+  EXPECT_EQ(chain->entries[1].sender, proc("P3"));
+  // Deadlines ascend along the chain... rank 0's deadline is the static bus
+  // delivery [5.6, 6.1].
+  EXPECT_DOUBLE_EQ(chain->entries[0].deadline, 6.1);
+  EXPECT_LE(chain->entries[0].send_date, chain->entries[1].send_date);
+}
+
+TEST_F(TimeoutsTest, NoChainWhenProducerIsLocal) {
+  // E's main replica on P2 has B locally (B main on P2): no watcher.
+  EXPECT_EQ(timeouts_.chain(dep("B->E"), proc("P2")), nullptr);
+  // I is on P1 and P2; A on P1 and P2: no I->A chains at all.
+  EXPECT_EQ(timeouts_.chain(dep("I->A"), proc("P1")), nullptr);
+  EXPECT_EQ(timeouts_.chain(dep("I->A"), proc("P2")), nullptr);
+}
+
+TEST_F(TimeoutsTest, BackupWatchesOnlyEarlierRanks) {
+  // B's backup on P3 watches only the main (rank 0).
+  const TimeoutChain* chain = timeouts_.chain(dep("B->E"), proc("P3"));
+  ASSERT_NE(chain, nullptr);
+  EXPECT_EQ(chain->entries.size(), 1u);
+  EXPECT_EQ(chain->entries[0].sender, proc("P2"));
+}
+
+TEST_F(TimeoutsTest, SendDateRecurrence) {
+  // d_0 = main completion; d_1 >= max(backup completion, d_0 + bound).
+  const DependencyId b_e = dep("B->E");
+  const Time d0 = timeouts_.send_date(b_e, 0);
+  const Time d1 = timeouts_.send_date(b_e, 1);
+  EXPECT_DOUBLE_EQ(d0, 4.5);  // B main ends at 4.5 on P2
+  EXPECT_GE(d1, 5.0);         // B backup ends at 5 on P3
+  EXPECT_GE(d1, d0 + 0.5);    // plus the transfer bound
+  EXPECT_TRUE(is_infinite(timeouts_.send_date(b_e, 2)));
+  EXPECT_TRUE(is_infinite(timeouts_.send_date(b_e, -1)));
+}
+
+TEST_F(TimeoutsTest, DeadlinesNeverPrecedeStaticArrivals) {
+  // The contention refinement: no deadline may fire before the statically
+  // scheduled delivery it guards (otherwise failure-free runs would raise
+  // spurious failure suspicions).
+  for (const TimeoutChain& chain : timeouts_.chains()) {
+    if (chain.entries.empty()) continue;
+    Time arrival = kInfinite;
+    for (const ScheduledComm* comm : schedule_.comms_of(chain.dep)) {
+      for (const CommSegment& seg : comm->segments) {
+        if (ex_.problem.architecture->link(seg.link)
+                .connects(chain.receiver)) {
+          arrival = std::min(arrival, seg.end);
+        }
+      }
+    }
+    if (!is_infinite(arrival)) {
+      EXPECT_GE(chain.entries[0].deadline, arrival);
+    }
+  }
+}
+
+TEST(TimeoutsP2P, BackupDeadlineWaitsForCertificate) {
+  // On the point-to-point example the main serves consumers one at a time;
+  // a backup's watch deadline must cover the LAST consumer delivery (or the
+  // explicit liveness send), not the first observable one.
+  const OwnedProblem ex = workload::paper_example2();
+  const Schedule schedule = schedule_solution1(ex.problem).value();
+  const RoutingTable routing(*ex.problem.architecture);
+  const TimeoutTable timeouts(schedule, routing);
+
+  for (const TimeoutChain& chain : timeouts.chains()) {
+    const Dependency& d = ex.problem.algorithm->dependency(chain.dep);
+    const ScheduledOperation* local =
+        schedule.replica_on(d.src, chain.receiver);
+    if (local == nullptr || chain.entries.empty()) continue;  // consumer
+    // Backup receiver: deadline >= every consumer delivery of the dep.
+    for (const ScheduledComm* comm : schedule.comms_of(chain.dep)) {
+      if (comm->liveness) continue;
+      EXPECT_GE(chain.entries[0].deadline, comm->segments.back().end)
+          << d.name;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace ftsched

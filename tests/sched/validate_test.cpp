@@ -1,0 +1,192 @@
+// The validator must accept every heuristic's output (covered elsewhere)
+// and reject hand-built schedules violating each invariant.
+#include <gtest/gtest.h>
+
+#include "sched/validate.hpp"
+#include "workload/paper_examples.hpp"
+
+namespace ftsched {
+namespace {
+
+using workload::OwnedProblem;
+
+class ValidateTest : public ::testing::Test {
+ protected:
+  ValidateTest() : ex_(workload::paper_example1()) {}
+
+  OperationId op(const char* name) const {
+    return ex_.problem.algorithm->find_operation(name);
+  }
+
+  OwnedProblem ex_;
+};
+
+TEST_F(ValidateTest, ReportsMissingReplicas) {
+  Schedule schedule(ex_.problem, HeuristicKind::kSolution1);
+  schedule.add_operation({op("I"), 0, ProcessorId{0}, 0, 1});  // K=1 needs 2
+  const auto issues = validate(schedule);
+  EXPECT_FALSE(issues.empty());
+}
+
+TEST_F(ValidateTest, ReportsDisallowedProcessor) {
+  Schedule schedule(ex_.problem, HeuristicKind::kBase);
+  // I cannot run on P3.
+  schedule.add_operation({op("I"), 0, ProcessorId{2}, 0, 1});
+  bool found = false;
+  for (const std::string& issue : validate(schedule)) {
+    found |= issue.find("disallowed") != std::string::npos;
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST_F(ValidateTest, ReportsWrongDuration) {
+  Schedule schedule(ex_.problem, HeuristicKind::kBase);
+  schedule.add_operation({op("I"), 0, ProcessorId{0}, 0, 2});  // WCET is 1
+  bool found = false;
+  for (const std::string& issue : validate(schedule)) {
+    found |= issue.find("table says") != std::string::npos;
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST_F(ValidateTest, ReportsProcessorOverlap) {
+  Schedule schedule(ex_.problem, HeuristicKind::kBase);
+  schedule.add_operation({op("I"), 0, ProcessorId{0}, 0, 1});
+  schedule.add_operation({op("A"), 0, ProcessorId{0}, 0.5, 2.5});
+  bool found = false;
+  for (const std::string& issue : validate(schedule)) {
+    found |= issue.find("overlap") != std::string::npos;
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST_F(ValidateTest, ReportsPrecedenceViolation) {
+  Schedule schedule(ex_.problem, HeuristicKind::kBase);
+  schedule.add_operation({op("I"), 0, ProcessorId{0}, 0, 1});
+  // A starts before I's value exists... on another processor with no comm.
+  schedule.add_operation({op("A"), 0, ProcessorId{1}, 0, 2});
+  bool found = false;
+  for (const std::string& issue : validate(schedule)) {
+    found |= issue.find("arrives") != std::string::npos;
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST_F(ValidateTest, ReportsLinkOverlapAndBadComms) {
+  Schedule schedule(ex_.problem, HeuristicKind::kBase);
+  schedule.add_operation({op("I"), 0, ProcessorId{0}, 0, 1});
+  schedule.add_operation({op("A"), 0, ProcessorId{1}, 3, 5});
+
+  const DependencyId i_a = DependencyId{0};
+  const LinkId bus = ex_.problem.architecture->find_link("bus");
+  ScheduledComm good;
+  good.dep = i_a;
+  good.from = ProcessorId{0};
+  good.to = ProcessorId{1};
+  good.segments = {CommSegment{bus, 1, 2.25}};
+  schedule.add_comm(good);
+
+  ScheduledComm overlapping = good;
+  overlapping.segments = {CommSegment{bus, 2, 3.25}};
+  schedule.add_comm(overlapping);
+
+  bool overlap = false;
+  for (const std::string& issue : validate(schedule)) {
+    overlap |= issue.find("overlap") != std::string::npos;
+  }
+  EXPECT_TRUE(overlap);
+}
+
+TEST_F(ValidateTest, ReportsCommBeforeProducerEnds) {
+  Schedule schedule(ex_.problem, HeuristicKind::kBase);
+  schedule.add_operation({op("I"), 0, ProcessorId{0}, 0, 1});
+  schedule.add_operation({op("A"), 0, ProcessorId{1}, 2.25, 4.25});
+  ScheduledComm early;
+  early.dep = DependencyId{0};
+  early.from = ProcessorId{0};
+  early.to = ProcessorId{1};
+  early.segments = {
+      CommSegment{ex_.problem.architecture->find_link("bus"), 0.5, 1.75}};
+  schedule.add_comm(early);
+  bool found = false;
+  for (const std::string& issue : validate(schedule)) {
+    found |= issue.find("before its producer") != std::string::npos;
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST_F(ValidateTest, ReportsUnknownSender) {
+  Schedule schedule(ex_.problem, HeuristicKind::kBase);
+  schedule.add_operation({op("I"), 0, ProcessorId{0}, 0, 1});
+  ScheduledComm phantom;
+  phantom.dep = DependencyId{0};
+  phantom.from = ProcessorId{2};  // no replica of I there
+  phantom.to = ProcessorId{1};
+  phantom.segments = {
+      CommSegment{ex_.problem.architecture->find_link("bus"), 1, 2.25}};
+  schedule.add_comm(phantom);
+  bool found = false;
+  for (const std::string& issue : validate(schedule)) {
+    found |= issue.find("no such replica") != std::string::npos;
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST_F(ValidateTest, ReportsDeadlineViolation) {
+  ex_.problem.deadline = 0.5;
+  Schedule schedule(ex_.problem, HeuristicKind::kBase);
+  schedule.add_operation({op("I"), 0, ProcessorId{0}, 0, 1});
+  bool found = false;
+  for (const std::string& issue : validate(schedule)) {
+    found |= issue.find("deadline") != std::string::npos;
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST_F(ValidateTest, MultiHopRouteAccepted) {
+  // Chain P1-P2-P3: a relayed comm must validate hop by hop.
+  const OwnedProblem ex2 = workload::paper_example2();
+  (void)ex2;
+  OwnedProblem chain_ex = [] {
+    auto algorithm = workload::paper_algorithm();
+    auto arch = std::make_unique<ArchitectureGraph>();
+    const ProcessorId p1 = arch->add_processor("P1");
+    const ProcessorId p2 = arch->add_processor("P2");
+    const ProcessorId p3 = arch->add_processor("P3");
+    arch->add_link("L1.2", p1, p2);
+    arch->add_link("L2.3", p2, p3);
+    auto exec = std::make_unique<ExecTable>(*algorithm, *arch);
+    auto comm = std::make_unique<CommTable>(*algorithm, *arch);
+    for (const Operation& op : algorithm->operations()) {
+      exec->set_uniform(op.id, 1.0);
+    }
+    for (const Dependency& dep : algorithm->dependencies()) {
+      comm->set_uniform(dep.id, 0.5);
+    }
+    return workload::assemble(std::move(algorithm), std::move(arch),
+                              std::move(exec), std::move(comm), 0);
+  }();
+
+  Schedule schedule(chain_ex.problem, HeuristicKind::kBase);
+  const AlgorithmGraph& graph = *chain_ex.problem.algorithm;
+  schedule.add_operation({graph.find_operation("I"), 0, ProcessorId{0}, 0, 1});
+  // A on P3, fed by a two-hop comm through P2.
+  ScheduledComm relayed;
+  relayed.dep = DependencyId{0};
+  relayed.from = ProcessorId{0};
+  relayed.to = ProcessorId{2};
+  relayed.segments = {CommSegment{LinkId{0}, 1, 1.5},
+                      CommSegment{LinkId{1}, 1.5, 2}};
+  schedule.add_comm(relayed);
+  schedule.add_operation({graph.find_operation("A"), 0, ProcessorId{2}, 2, 3});
+
+  for (const std::string& issue : validate(schedule)) {
+    // Only the missing replicas of B..O should be reported; nothing about
+    // routes or precedence.
+    EXPECT_EQ(issue.find("route"), std::string::npos) << issue;
+    EXPECT_EQ(issue.find("arrives"), std::string::npos) << issue;
+  }
+}
+
+}  // namespace
+}  // namespace ftsched

@@ -1,0 +1,65 @@
+// Exhaustive fault injection on the paper's examples: every K-subset of
+// processors, dead-from-start and crashing at a sweep of instants, must
+// leave every output produced (the paper's headline property, §5.6).
+#include <gtest/gtest.h>
+
+#include "sched/heuristics.hpp"
+#include "sim/simulator.hpp"
+#include "workload/paper_examples.hpp"
+
+namespace ftsched {
+namespace {
+
+struct Case {
+  HeuristicKind kind;
+  bool example1;  // else example 2
+};
+
+class FaultInjection : public ::testing::TestWithParam<Case> {};
+
+TEST_P(FaultInjection, EverySingleFailureIsMasked) {
+  const workload::OwnedProblem ex = GetParam().example1
+                                        ? workload::paper_example1()
+                                        : workload::paper_example2();
+  const Schedule sched =
+      ftsched::schedule(ex.problem, GetParam().kind).value();
+  const Simulator simulator(sched);
+  const Time makespan = sched.makespan();
+
+  for (const std::vector<ProcessorId>& subset :
+       failure_subsets(ex.problem.architecture->processor_count(), 1)) {
+    // Permanent, known from the iteration start.
+    const IterationResult settled =
+        simulator.run(FailureScenario::dead_from_start(subset));
+    EXPECT_TRUE(settled.all_outputs_produced)
+        << "dead from start: P" << subset.front().value() + 1;
+
+    // Crash at every tenth of the iteration (transient regime).
+    for (int step = 0; step <= 10; ++step) {
+      FailureScenario scenario;
+      scenario.events.push_back(
+          FailureEvent{subset.front(), makespan * step / 10.0});
+      const IterationResult transient = simulator.run(scenario);
+      EXPECT_TRUE(transient.all_outputs_produced)
+          << "crash of P" << subset.front().value() + 1 << " at t="
+          << makespan * step / 10.0;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    PaperExamples, FaultInjection,
+    ::testing::Values(Case{HeuristicKind::kSolution1, true},
+                      Case{HeuristicKind::kSolution2, false},
+                      Case{HeuristicKind::kSolution2, true},
+                      Case{HeuristicKind::kSolution1, false}),
+    [](const ::testing::TestParamInfo<Case>& info) {
+      std::string name = info.param.kind == HeuristicKind::kSolution1
+                             ? "Solution1"
+                             : "Solution2";
+      name += info.param.example1 ? "Bus" : "P2P";
+      return name;
+    });
+
+}  // namespace
+}  // namespace ftsched

@@ -1,0 +1,168 @@
+// Communication link failures — the paper's §8 future work, implemented:
+// the simulator injects dying links; solution 2's replicated transfers over
+// link-disjoint routes (SchedulerOptions::disjoint_comm_routes) mask single
+// link failures where plain shortest-path routing cannot.
+#include <gtest/gtest.h>
+
+#include "arch/topologies.hpp"
+#include "sched/heuristics.hpp"
+#include "sched/validate.hpp"
+#include "sim/simulator.hpp"
+#include "workload/paper_examples.hpp"
+#include "workload/random_arch.hpp"
+
+namespace ftsched {
+namespace {
+
+using workload::OwnedProblem;
+
+/// Links whose lone death (from the iteration start) loses outputs.
+std::vector<LinkId> fatal_links(const Schedule& schedule) {
+  const Simulator simulator(schedule);
+  std::vector<LinkId> fatal;
+  for (const Link& link : schedule.problem().architecture->links()) {
+    FailureScenario scenario;
+    scenario.failed_links_at_start = {link.id};
+    if (!simulator.run(scenario).all_outputs_produced) {
+      fatal.push_back(link.id);
+    }
+  }
+  return fatal;
+}
+
+TEST(LinkFailure, SingleBusIsASinglePointOfFailure) {
+  // Honest negative: with one shared medium, nothing masks its death.
+  const OwnedProblem ex = workload::paper_example1();
+  const Schedule schedule = schedule_solution1(ex.problem).value();
+  EXPECT_EQ(fatal_links(schedule).size(), 1u);
+}
+
+TEST(LinkFailure, Solution2OnFullMeshMasksAnySingleLink) {
+  // Fully connected: each consumer's K+1 transfers arrive over distinct
+  // direct links already, so every single link failure is masked even
+  // without explicit disjoint routing.
+  const OwnedProblem ex = workload::paper_example2();
+  const Schedule schedule = schedule_solution2(ex.problem).value();
+  EXPECT_TRUE(fatal_links(schedule).empty());
+}
+
+TEST(LinkFailure, MidIterationLinkCrashMasked) {
+  const OwnedProblem ex = workload::paper_example2();
+  const Schedule schedule = schedule_solution2(ex.problem).value();
+  const Simulator simulator(schedule);
+  for (const Link& link : ex.problem.architecture->links()) {
+    for (const double fraction : {0.25, 0.5, 0.75}) {
+      FailureScenario scenario;
+      scenario.link_events.push_back(
+          LinkFailureEvent{link.id, schedule.makespan() * fraction});
+      EXPECT_TRUE(simulator.run(scenario).all_outputs_produced)
+          << link.name << " at fraction " << fraction;
+    }
+  }
+}
+
+TEST(LinkFailure, DisjointRoutingMasksLinksOnSparseTopologies) {
+  // On a ring, shortest-path routing can funnel both replicas' transfers
+  // through a shared link; disjoint routing sends them opposite ways round.
+  workload::RandomProblemParams params;
+  params.dag.operations = 12;
+  params.dag.width = 3;
+  params.arch_kind = workload::ArchKind::kRing;
+  params.processors = 4;
+  params.failures_to_tolerate = 1;
+  params.ccr = 0.4;
+  params.seed = 9;
+  const OwnedProblem ex = workload::random_problem(params);
+
+  SchedulerOptions disjoint;
+  disjoint.disjoint_comm_routes = true;
+  const Schedule hardened =
+      schedule_solution2(ex.problem, disjoint).value();
+  EXPECT_TRUE(validate(hardened).empty());
+  EXPECT_TRUE(fatal_links(hardened).empty())
+      << "disjoint routing should mask every single link failure on a ring";
+}
+
+TEST(LinkFailure, DisjointRoutingStillMasksProcessorFailures) {
+  // Hardening against links must not cost the processor-failure guarantee.
+  workload::RandomProblemParams params;
+  params.dag.operations = 12;
+  params.arch_kind = workload::ArchKind::kRing;
+  params.processors = 5;
+  params.failures_to_tolerate = 1;
+  params.seed = 12;
+  const OwnedProblem ex = workload::random_problem(params);
+  SchedulerOptions disjoint;
+  disjoint.disjoint_comm_routes = true;
+  const Schedule schedule = schedule_solution2(ex.problem, disjoint).value();
+  const Simulator simulator(schedule);
+  for (const Processor& proc :
+       ex.problem.architecture->processors()) {
+    EXPECT_TRUE(simulator
+                    .run(FailureScenario::dead_from_start({proc.id}))
+                    .all_outputs_produced)
+        << proc.name;
+    EXPECT_TRUE(simulator
+                    .run(FailureScenario::crash(proc.id,
+                                                schedule.makespan() / 2))
+                    .all_outputs_produced)
+        << proc.name;
+  }
+}
+
+TEST(LinkFailure, DisjointRoutingNeverFatalWorseThanPlain) {
+  // The detours change greedy decisions, so the makespan can move either
+  // way — what must not regress is coverage: hardened schedules have no
+  // more fatal links than plain ones.
+  for (std::uint64_t seed = 1; seed <= 6; ++seed) {
+    workload::RandomProblemParams params;
+    params.dag.operations = 15;
+    params.arch_kind = workload::ArchKind::kRing;
+    params.processors = 5;
+    params.failures_to_tolerate = 1;
+    params.ccr = 1.0;
+    params.seed = seed;
+    const OwnedProblem ex = workload::random_problem(params);
+    SchedulerOptions disjoint;
+    disjoint.disjoint_comm_routes = true;
+    const Schedule plain = schedule_solution2(ex.problem).value();
+    const Schedule hardened =
+        schedule_solution2(ex.problem, disjoint).value();
+    EXPECT_TRUE(validate(hardened).empty());
+    EXPECT_LE(fatal_links(hardened).size(), fatal_links(plain).size())
+        << "seed " << seed;
+    EXPECT_TRUE(fatal_links(hardened).empty()) << "seed " << seed;
+  }
+}
+
+TEST(LinkFailure, DisjointOptionIsNoOpForSolution1AndBus) {
+  const OwnedProblem ex = workload::paper_example1();
+  SchedulerOptions disjoint;
+  disjoint.disjoint_comm_routes = true;
+  EXPECT_DOUBLE_EQ(schedule_solution1(ex.problem, disjoint)->makespan(),
+                   schedule_solution1(ex.problem)->makespan());
+}
+
+TEST(Routing, DisjointRoutesAreLinkDisjoint) {
+  const ArchitectureGraph arch = topologies::ring(5);
+  const RoutingTable routing(arch);
+  const auto routes = routing.disjoint_routes(
+      arch.find_processor("P1"), arch.find_processor("P3"), 3);
+  ASSERT_EQ(routes.size(), 2u);  // a ring offers exactly two
+  for (LinkId link : routes[0].links) {
+    for (LinkId other : routes[1].links) {
+      EXPECT_NE(link, other);
+    }
+  }
+  // A bus offers exactly one.
+  const ArchitectureGraph bus = topologies::single_bus(3);
+  const RoutingTable bus_routing(bus);
+  EXPECT_EQ(bus_routing
+                .disjoint_routes(bus.find_processor("P1"),
+                                 bus.find_processor("P2"), 4)
+                .size(),
+            1u);
+}
+
+}  // namespace
+}  // namespace ftsched

@@ -1,0 +1,136 @@
+// Multi-hop (store-and-forward) communication on a chain — the paper's
+// Figure 8 routing example: P1 and P3 share no link, so their transfers
+// relay through P2, and P2's failure must be handled like the §5.5 routed
+// send/receive procedures describe.
+#include <gtest/gtest.h>
+
+#include "sched/heuristics.hpp"
+#include "sched/validate.hpp"
+#include "sim/simulator.hpp"
+#include "workload/paper_examples.hpp"
+
+namespace ftsched {
+namespace {
+
+/// The paper's algorithm on the Figure-8 chain P1 - P2 - P3.
+workload::OwnedProblem chain_problem(int k) {
+  auto algorithm = workload::paper_algorithm();
+  auto arch = std::make_unique<ArchitectureGraph>();
+  const ProcessorId p1 = arch->add_processor("P1");
+  const ProcessorId p2 = arch->add_processor("P2");
+  const ProcessorId p3 = arch->add_processor("P3");
+  arch->add_link("L1.2", p1, p2);
+  arch->add_link("L2.3", p2, p3);
+  auto exec = std::make_unique<ExecTable>(*algorithm, *arch);
+  auto comm = std::make_unique<CommTable>(*algorithm, *arch);
+  for (const Operation& op : algorithm->operations()) {
+    exec->set_uniform(op.id, 1.0);
+  }
+  for (const Dependency& dep : algorithm->dependencies()) {
+    comm->set_uniform(dep.id, 0.5);
+  }
+  return workload::assemble(std::move(algorithm), std::move(arch),
+                            std::move(exec), std::move(comm), k);
+}
+
+TEST(Relay, SchedulesValidateOnChains) {
+  const workload::OwnedProblem ex = chain_problem(1);
+  for (const HeuristicKind kind :
+       {HeuristicKind::kBase, HeuristicKind::kSolution1,
+        HeuristicKind::kSolution2}) {
+    const auto result = schedule(ex.problem, kind);
+    ASSERT_TRUE(result.has_value()) << to_string(kind);
+    EXPECT_TRUE(validate(result.value()).empty()) << to_string(kind);
+  }
+}
+
+TEST(Relay, MultiHopTransfersAppearWhenEndsAreFar) {
+  // Force producers onto P1 and consumers onto P3: their transfers must
+  // occupy both links in sequence.
+  workload::OwnedProblem ex = chain_problem(0);
+  const OperationId a = ex.algorithm->find_operation("A");
+  const OperationId b = ex.algorithm->find_operation("B");
+  // Pin A to P1 and B to P3.
+  ex.exec->set(a, ProcessorId{1}, kInfinite);
+  ex.exec->set(a, ProcessorId{2}, kInfinite);
+  ex.exec->set(b, ProcessorId{0}, kInfinite);
+  ex.exec->set(b, ProcessorId{1}, kInfinite);
+  const Schedule schedule = schedule_base(ex.problem).value();
+  EXPECT_TRUE(validate(schedule).empty());
+
+  bool relayed = false;
+  for (const ScheduledComm& comm : schedule.comms()) {
+    if (ex.algorithm->dependency(comm.dep).name == "A->B") {
+      EXPECT_EQ(comm.segments.size(), 2u);
+      EXPECT_EQ(schedule.comm_hops(comm).size(), 3u);
+      // Store-and-forward: the second hop starts no earlier than the first
+      // ends.
+      EXPECT_GE(comm.segments[1].start, comm.segments[0].end);
+      relayed = true;
+    }
+  }
+  EXPECT_TRUE(relayed);
+
+  // The simulator replays the relayed schedule exactly.
+  const Simulator simulator(schedule);
+  const IterationResult run = simulator.run();
+  EXPECT_TRUE(run.all_outputs_produced);
+  for (const ScheduledOperation& placement : schedule.operations()) {
+    EXPECT_DOUBLE_EQ(run.trace.op_end(placement.op, placement.processor),
+                     placement.end);
+  }
+}
+
+TEST(Relay, EndpointFailureIsMaskedOnChain) {
+  // K = 1 on the chain: losing an END of the chain (P1 or P3) keeps the
+  // network of survivors connected, so outputs must survive. Losing the
+  // MIDDLE (P2) partitions P1 from P3 — whether outputs survive then
+  // depends on the placement, and no guarantee exists (the architecture's
+  // intrinsic parallelism is insufficient, §8).
+  const workload::OwnedProblem ex = chain_problem(1);
+  for (const HeuristicKind kind :
+       {HeuristicKind::kSolution1, HeuristicKind::kSolution2}) {
+    const auto result = schedule(ex.problem, kind);
+    ASSERT_TRUE(result.has_value());
+    const Simulator simulator(result.value());
+    for (const char* name : {"P1", "P3"}) {
+      const ProcessorId victim =
+          ex.problem.architecture->find_processor(name);
+      EXPECT_TRUE(simulator.run(FailureScenario::dead_from_start({victim}))
+                      .all_outputs_produced)
+          << to_string(kind) << " victim " << name;
+      EXPECT_TRUE(
+          simulator
+              .run(FailureScenario::crash(victim, result->makespan() / 2))
+              .all_outputs_produced)
+          << to_string(kind) << " victim " << name;
+    }
+  }
+}
+
+TEST(Relay, DeadRelayDropsDownstreamHops) {
+  // A transfer relaying through a processor that dies mid-route never
+  // completes; the value still reaches consumers that do not depend on the
+  // dead relay.
+  workload::OwnedProblem ex = chain_problem(0);
+  const OperationId a = ex.algorithm->find_operation("A");
+  const OperationId i = ex.algorithm->find_operation("I");
+  ex.exec->set(a, ProcessorId{1}, kInfinite);
+  ex.exec->set(a, ProcessorId{2}, kInfinite);  // A on P1
+  ex.exec->set(i, ProcessorId{1}, kInfinite);
+  ex.exec->set(i, ProcessorId{2}, kInfinite);  // I on P1
+  const OperationId b = ex.algorithm->find_operation("B");
+  ex.exec->set(b, ProcessorId{0}, kInfinite);
+  ex.exec->set(b, ProcessorId{1}, kInfinite);  // B on P3 (via relay P2)
+  const Schedule schedule = schedule_base(ex.problem).value();
+  const Simulator simulator(schedule);
+  // A ends at 2 on P1; A->B crosses L1.2 over [2, 2.5] and is forwarded by
+  // P2 over L2.3 during [2.5, 3]. Kill the relay mid-forward.
+  const IterationResult run =
+      simulator.run(FailureScenario::crash(ProcessorId{1}, 2.6));
+  EXPECT_FALSE(run.all_outputs_produced);
+  EXPECT_TRUE(is_infinite(run.trace.op_end(b, ProcessorId{2})));
+}
+
+}  // namespace
+}  // namespace ftsched

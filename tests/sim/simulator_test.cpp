@@ -1,0 +1,156 @@
+// Simulator semantics on the paper's examples: the failure-free run must
+// reproduce the static schedule date for date (no spurious timeouts, no
+// extra transfers), and the solution-1 machinery must reproduce the
+// Figure 18 behaviours when P2 crashes.
+#include <gtest/gtest.h>
+
+#include "sched/heuristics.hpp"
+#include "sim/simulator.hpp"
+#include "workload/paper_examples.hpp"
+
+namespace ftsched {
+namespace {
+
+using workload::OwnedProblem;
+
+/// Every replica's simulated completion equals its static date.
+void expect_matches_schedule(const Schedule& schedule, const Trace& trace) {
+  for (const ScheduledOperation& placement : schedule.operations()) {
+    EXPECT_DOUBLE_EQ(trace.op_end(placement.op, placement.processor),
+                     placement.end)
+        << schedule.problem().algorithm->operation(placement.op).name
+        << " on "
+        << schedule.problem().architecture->processor(placement.processor)
+               .name;
+  }
+}
+
+/// Failure-free response time: every output is produced first by its main
+/// replica, so the iteration responds at the latest main-output completion.
+Time nominal_response(const Schedule& schedule) {
+  Time response = 0;
+  for (const Operation& op : schedule.problem().algorithm->operations()) {
+    if (op.kind != OperationKind::kExtioOut) continue;
+    response = std::max(response, schedule.main(op.id)->end);
+  }
+  return response;
+}
+
+TEST(SimulatorFailureFree, Solution1ReplaysStaticSchedule) {
+  const OwnedProblem ex = workload::paper_example1();
+  const Schedule schedule = schedule_solution1(ex.problem).value();
+  const Simulator simulator(schedule);
+  const IterationResult result = simulator.run();
+  SCOPED_TRACE(result.trace.to_text(*ex.problem.algorithm,
+                                    *ex.problem.architecture));
+  expect_matches_schedule(schedule, result.trace);
+  EXPECT_TRUE(result.all_outputs_produced);
+  EXPECT_DOUBLE_EQ(result.response_time, nominal_response(schedule));
+  EXPECT_EQ(result.trace.count(TraceEvent::Kind::kTimeout), 0u);
+  EXPECT_EQ(result.trace.count(TraceEvent::Kind::kElection), 0u);
+  EXPECT_TRUE(result.detected_failures.empty());
+  // Failure-free transfer count equals the schedule's active comm count
+  // (no backup ever sends, §6.4's minimal-messages claim).
+  EXPECT_EQ(result.trace.count(TraceEvent::Kind::kTransferStart),
+            schedule.active_comm_count());
+}
+
+TEST(SimulatorFailureFree, Solution2ReplaysStaticSchedule) {
+  const OwnedProblem ex = workload::paper_example2();
+  const Schedule schedule = schedule_solution2(ex.problem).value();
+  const Simulator simulator(schedule);
+  const IterationResult result = simulator.run();
+  SCOPED_TRACE(result.trace.to_text(*ex.problem.algorithm,
+                                    *ex.problem.architecture));
+  expect_matches_schedule(schedule, result.trace);
+  EXPECT_TRUE(result.all_outputs_produced);
+  EXPECT_DOUBLE_EQ(result.response_time, nominal_response(schedule));
+  EXPECT_EQ(result.trace.count(TraceEvent::Kind::kTimeout), 0u);
+}
+
+TEST(SimulatorFailureFree, BaselineReplaysStaticSchedule) {
+  const OwnedProblem ex = workload::paper_example1();
+  const Schedule schedule = schedule_base(ex.problem).value();
+  const Simulator simulator(schedule);
+  const IterationResult result = simulator.run();
+  expect_matches_schedule(schedule, result.trace);
+  EXPECT_TRUE(result.all_outputs_produced);
+}
+
+TEST(SimulatorTransient, Solution1SurvivesP2Crash) {
+  // Figure 18(a): P2 crashes mid-iteration; outputs still produced, with
+  // the response time stretched by the accumulated watch timeouts.
+  const OwnedProblem ex = workload::paper_example1();
+  const Schedule schedule = schedule_solution1(ex.problem).value();
+  const Simulator simulator(schedule);
+  const ProcessorId p2 = ex.problem.architecture->find_processor("P2");
+
+  const IterationResult nominal = simulator.run();
+  const IterationResult faulty =
+      simulator.run(FailureScenario::crash(p2, 3.2));
+  SCOPED_TRACE(faulty.trace.to_text(*ex.problem.algorithm,
+                                    *ex.problem.architecture));
+  EXPECT_TRUE(faulty.all_outputs_produced);
+  EXPECT_GE(faulty.response_time, nominal.response_time);
+  // The crash is detected and the backups take over.
+  EXPECT_GT(faulty.trace.count(TraceEvent::Kind::kTimeout), 0u);
+  EXPECT_GT(faulty.trace.count(TraceEvent::Kind::kElection), 0u);
+  ASSERT_EQ(faulty.detected_failures.size(), 1u);
+  EXPECT_EQ(faulty.detected_failures.front(), p2);
+}
+
+TEST(SimulatorSubsequent, Solution1RunsWithoutTimeoutsOnceDetected) {
+  // Figure 18(b): in iterations after the detection, every healthy
+  // processor knows P2 is dead, so no time is spent waiting.
+  const OwnedProblem ex = workload::paper_example1();
+  const Schedule schedule = schedule_solution1(ex.problem).value();
+  const Simulator simulator(schedule);
+  const ProcessorId p2 = ex.problem.architecture->find_processor("P2");
+
+  const IterationResult transient =
+      simulator.run(FailureScenario::crash(p2, 3.2));
+  const IterationResult subsequent =
+      simulator.run(FailureScenario::dead_from_start({p2}));
+  SCOPED_TRACE(subsequent.trace.to_text(*ex.problem.algorithm,
+                                        *ex.problem.architecture));
+  EXPECT_TRUE(subsequent.all_outputs_produced);
+  EXPECT_EQ(subsequent.trace.count(TraceEvent::Kind::kTimeout), 0u);
+  // Known failures are skipped instantly, so the subsequent iteration is no
+  // slower than the transient one.
+  EXPECT_LE(subsequent.response_time, transient.response_time);
+}
+
+TEST(SimulatorTransient, Solution2SurvivesP2CrashWithoutTimeouts) {
+  // Figure 23: P2 crashes right after computing A; the parallel redundant
+  // comms mean nobody ever waits on a timeout.
+  const OwnedProblem ex = workload::paper_example2();
+  const Schedule schedule = schedule_solution2(ex.problem).value();
+  const Simulator simulator(schedule);
+  const ProcessorId p2 = ex.problem.architecture->find_processor("P2");
+
+  const IterationResult faulty =
+      simulator.run(FailureScenario::crash(p2, 3.0));
+  SCOPED_TRACE(faulty.trace.to_text(*ex.problem.algorithm,
+                                    *ex.problem.architecture));
+  EXPECT_TRUE(faulty.all_outputs_produced);
+  EXPECT_EQ(faulty.trace.count(TraceEvent::Kind::kTimeout), 0u);
+
+  const IterationResult subsequent =
+      simulator.run(FailureScenario::dead_from_start({p2}));
+  EXPECT_TRUE(subsequent.all_outputs_produced);
+}
+
+TEST(SimulatorBaseline, LosesOutputsWhenAProcessorDies) {
+  const OwnedProblem ex = workload::paper_example1();
+  const Schedule schedule = schedule_base(ex.problem).value();
+  const Simulator simulator(schedule);
+  // The baseline places work on P2; killing it at t=0 must lose outputs.
+  const ProcessorId p2 = ex.problem.architecture->find_processor("P2");
+  const IterationResult result =
+      simulator.run(FailureScenario::dead_from_start({p2}));
+  EXPECT_FALSE(result.all_outputs_produced);
+  EXPECT_TRUE(is_infinite(result.response_time));
+}
+
+}  // namespace
+}  // namespace ftsched

@@ -1,0 +1,126 @@
+#include "tuning/hybrid.hpp"
+
+#include <gtest/gtest.h>
+
+#include "sched/validate.hpp"
+#include "sim/simulator.hpp"
+#include "workload/paper_examples.hpp"
+#include "workload/random_arch.hpp"
+
+namespace ftsched {
+namespace {
+
+using workload::OwnedProblem;
+
+TEST(Hybrid, AllPassivePolicyEqualsSolution1) {
+  const OwnedProblem ex = workload::paper_example1();
+  SchedulerOptions options;
+  options.active_comm_deps.assign(ex.algorithm->dependency_count(), false);
+  const Schedule hybrid =
+      schedule_hybrid_with_policy(ex.problem, options).value();
+  const Schedule sol1 = schedule_solution1(ex.problem).value();
+  EXPECT_DOUBLE_EQ(hybrid.makespan(), sol1.makespan());
+  EXPECT_EQ(hybrid.active_comm_dep_count(), 0u);
+  EXPECT_EQ(hybrid.comms().size(), sol1.comms().size());
+}
+
+TEST(Hybrid, AllActivePolicyMatchesSolution2Comms) {
+  const OwnedProblem ex = workload::paper_example2();
+  SchedulerOptions options;
+  options.active_comm_deps.assign(ex.algorithm->dependency_count(), true);
+  const Schedule hybrid =
+      schedule_hybrid_with_policy(ex.problem, options).value();
+  const Schedule sol2 = schedule_solution2(ex.problem).value();
+  EXPECT_DOUBLE_EQ(hybrid.makespan(), sol2.makespan());
+  EXPECT_EQ(hybrid.active_comm_dep_count(),
+            ex.algorithm->dependency_count());
+  // No passive machinery anywhere.
+  for (const ScheduledComm& comm : hybrid.comms()) {
+    EXPECT_TRUE(comm.active);
+    EXPECT_FALSE(comm.liveness);
+  }
+}
+
+TEST(Hybrid, MixedPolicyValidatesAndMasksFailures) {
+  const OwnedProblem ex = workload::paper_example2();
+  SchedulerOptions options;
+  options.active_comm_deps.assign(ex.algorithm->dependency_count(), false);
+  // Flip the two dependencies feeding E's longest inputs.
+  options.active_comm_deps[4] = true;  // B->E
+  options.active_comm_deps[6] = true;  // D->E
+  const Schedule hybrid =
+      schedule_hybrid_with_policy(ex.problem, options).value();
+  EXPECT_TRUE(validate(hybrid).empty());
+  EXPECT_EQ(hybrid.active_comm_dep_count(), 2u);
+
+  const Simulator simulator(hybrid);
+  for (const Processor& proc : ex.problem.architecture->processors()) {
+    EXPECT_TRUE(simulator.run(FailureScenario::dead_from_start({proc.id}))
+                    .all_outputs_produced)
+        << proc.name;
+    for (const double fraction : {0.2, 0.5, 0.8}) {
+      EXPECT_TRUE(
+          simulator
+              .run(FailureScenario::crash(proc.id,
+                                          hybrid.makespan() * fraction))
+              .all_outputs_produced)
+          << proc.name << " at " << fraction;
+    }
+  }
+}
+
+TEST(Hybrid, AutomaticSearchImprovesTransientWithinBudget) {
+  const OwnedProblem ex = workload::paper_example2();
+  const Schedule sol1 = schedule_solution1(ex.problem).value();
+  const TransientReport sol1_report = analyze_transient(sol1);
+
+  HybridOptions options;
+  options.max_overhead_factor = 1.10;
+  const Expected<HybridResult> result = schedule_hybrid(ex.problem, options);
+  ASSERT_TRUE(result.has_value()) << result.error().message;
+
+  EXPECT_TRUE(validate(result->schedule).empty());
+  // Budget respected.
+  EXPECT_LE(result->schedule.makespan(),
+            sol1.makespan() * 1.10 + kTimeEpsilon);
+  // Transient never worse than pure solution 1, and if anything was
+  // flipped it is strictly better.
+  EXPECT_LE(result->transient.worst_response,
+            sol1_report.worst_response + kTimeEpsilon);
+  if (!result->flipped.empty()) {
+    EXPECT_LT(result->transient.worst_response,
+              sol1_report.worst_response);
+    EXPECT_EQ(result->schedule.active_comm_dep_count(),
+              result->flipped.size());
+  }
+}
+
+TEST(Hybrid, SearchStillMasksEverySingleFailure) {
+  workload::RandomProblemParams params;
+  params.dag.operations = 12;
+  params.arch_kind = workload::ArchKind::kFullyConnected;
+  params.processors = 4;
+  params.failures_to_tolerate = 1;
+  params.seed = 6;
+  const OwnedProblem ex = workload::random_problem(params);
+  const Expected<HybridResult> result = schedule_hybrid(ex.problem);
+  ASSERT_TRUE(result.has_value());
+  EXPECT_FALSE(is_infinite(result->transient.worst_response));
+
+  const Simulator simulator(result->schedule);
+  for (const auto& subset : failure_subsets(4, 1)) {
+    EXPECT_TRUE(simulator.run(FailureScenario::dead_from_start(subset))
+                    .all_outputs_produced);
+  }
+}
+
+TEST(Hybrid, InfeasibleProblemPropagatesError) {
+  OwnedProblem ex = workload::paper_example1();
+  ex.problem.failures_to_tolerate = 3;
+  const Expected<HybridResult> result = schedule_hybrid(ex.problem);
+  ASSERT_FALSE(result.has_value());
+  EXPECT_EQ(result.error().code, Error::Code::kInsufficientRedundancy);
+}
+
+}  // namespace
+}  // namespace ftsched

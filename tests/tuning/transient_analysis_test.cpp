@@ -1,0 +1,65 @@
+#include "tuning/transient_analysis.hpp"
+
+#include <gtest/gtest.h>
+
+#include "sched/heuristics.hpp"
+#include "sim/simulator.hpp"
+#include "workload/paper_examples.hpp"
+
+namespace ftsched {
+namespace {
+
+using workload::OwnedProblem;
+
+TEST(TransientAnalysis, Example1Solution1) {
+  const OwnedProblem ex = workload::paper_example1();
+  const Schedule schedule = schedule_solution1(ex.problem).value();
+  const TransientReport report = analyze_transient(schedule);
+
+  EXPECT_DOUBLE_EQ(report.nominal_response, 8.1);
+  // Single failures never lose outputs (K = 1), so the worst case is
+  // finite. Losing P2 (the busiest main host) from the start costs 10.3;
+  // the exhaustive crash-instant sweep finds a slightly worse window (a
+  // P1 crash just after it claimed the bus), 10.4.
+  EXPECT_FALSE(is_infinite(report.worst_response));
+  EXPECT_GE(report.worst_response, 10.3 - kTimeEpsilon);
+  EXPECT_DOUBLE_EQ(report.worst_response, 10.4);
+  EXPECT_TRUE(report.worst_victim.valid());
+  EXPECT_GT(report.worst_timeouts, 0u);
+  EXPECT_NEAR(report.worst_stretch(), 10.4 / 8.1, 1e-9);
+
+  // The per-victim table covers every processor, each bounded by worst.
+  ASSERT_EQ(report.worst_by_victim.size(), 3u);
+  for (const Time response : report.worst_by_victim) {
+    EXPECT_LE(response, report.worst_response + kTimeEpsilon);
+    EXPECT_GE(response, report.nominal_response - kTimeEpsilon);
+  }
+}
+
+TEST(TransientAnalysis, BoundsEverySampledCrash) {
+  // Consistency: any concrete single crash the analysis did not literally
+  // enumerate (random instants) stays within the reported worst case.
+  const OwnedProblem ex = workload::paper_example2();
+  const Schedule schedule = schedule_solution2(ex.problem).value();
+  const TransientReport report = analyze_transient(schedule);
+  const Simulator simulator(schedule);
+  for (const Processor& proc : ex.problem.architecture->processors()) {
+    for (const double fraction : {0.13, 0.37, 0.61, 0.89}) {
+      const IterationResult run = simulator.run(FailureScenario::crash(
+          proc.id, schedule.makespan() * fraction));
+      EXPECT_LE(run.response_time, report.worst_response + kTimeEpsilon)
+          << proc.name << " at " << fraction;
+    }
+  }
+}
+
+TEST(TransientAnalysis, BaselineWorstIsInfinite) {
+  // Without replication, some single failure always loses an output.
+  const OwnedProblem ex = workload::paper_example1();
+  const Schedule schedule = schedule_base(ex.problem).value();
+  const TransientReport report = analyze_transient(schedule);
+  EXPECT_TRUE(is_infinite(report.worst_response));
+}
+
+}  // namespace
+}  // namespace ftsched

@@ -1,0 +1,104 @@
+#include <gtest/gtest.h>
+
+#include "workload/random_arch.hpp"
+#include "workload/random_dag.hpp"
+
+namespace ftsched {
+namespace {
+
+using namespace workload;
+
+TEST(RandomDag, DeterministicPerSeed) {
+  RandomDagParams params;
+  params.operations = 30;
+  params.seed = 42;
+  const auto a = random_dag(params);
+  const auto b = random_dag(params);
+  EXPECT_EQ(a->operation_count(), b->operation_count());
+  EXPECT_EQ(a->dependency_count(), b->dependency_count());
+  params.seed = 43;
+  const auto c = random_dag(params);
+  // Almost surely a different edge set.
+  EXPECT_TRUE(a->dependency_count() != c->dependency_count() ||
+              a->operation_count() == c->operation_count());
+}
+
+TEST(RandomDag, AlwaysAcyclicAndConnected) {
+  for (std::uint64_t seed = 1; seed <= 20; ++seed) {
+    RandomDagParams params;
+    params.operations = 25;
+    params.width = 5;
+    params.density = 0.4;
+    params.seed = seed;
+    const auto graph = random_dag(params);
+    EXPECT_TRUE(graph->is_acyclic()) << "seed " << seed;
+    EXPECT_TRUE(graph->check().empty()) << "seed " << seed;
+    // Everything except the sink reaches a successor, everything except the
+    // source has a predecessor: single source, single sink.
+    EXPECT_EQ(graph->sources().size(), 1u) << "seed " << seed;
+    EXPECT_EQ(graph->sinks().size(), 1u) << "seed " << seed;
+    EXPECT_EQ(graph->operation_count(), 27u);
+  }
+}
+
+TEST(RandomProblem, WellFormedAcrossKindsAndK) {
+  for (const ArchKind kind :
+       {ArchKind::kBus, ArchKind::kFullyConnected, ArchKind::kRing,
+        ArchKind::kChain, ArchKind::kStar}) {
+    for (int k = 0; k <= 2; ++k) {
+      RandomProblemParams params;
+      params.dag.operations = 12;
+      params.arch_kind = kind;
+      params.processors = 4;
+      params.failures_to_tolerate = k;
+      params.restrict_probability = 0.3;
+      params.seed = 7;
+      const OwnedProblem problem = random_problem(params);
+      EXPECT_TRUE(problem.problem.check().empty())
+          << "kind " << static_cast<int>(kind) << " K=" << k;
+    }
+  }
+}
+
+TEST(RandomProblem, CcrScalesCommunication) {
+  RandomProblemParams slow;
+  slow.ccr = 2.0;
+  slow.seed = 5;
+  RandomProblemParams fast = slow;
+  fast.ccr = 0.1;
+  const OwnedProblem heavy = random_problem(slow);
+  const OwnedProblem light = random_problem(fast);
+  const LinkId link{0};
+  Time heavy_sum = 0;
+  Time light_sum = 0;
+  for (const Dependency& dep : heavy.algorithm->dependencies()) {
+    heavy_sum += heavy.comm->duration(dep.id, link);
+  }
+  for (const Dependency& dep : light.algorithm->dependencies()) {
+    light_sum += light.comm->duration(dep.id, link);
+  }
+  EXPECT_GT(heavy_sum, light_sum * 5);
+}
+
+TEST(RandomProblem, ExtiosPinnedToKPlusOneProcessors) {
+  RandomProblemParams params;
+  params.processors = 5;
+  params.failures_to_tolerate = 2;
+  params.seed = 11;
+  const OwnedProblem problem = random_problem(params);
+  for (const Operation& op : problem.algorithm->operations()) {
+    if (is_extio(op.kind)) {
+      EXPECT_EQ(problem.exec->allowed_processors(op.id).size(), 3u);
+    }
+  }
+}
+
+TEST(RandomProblem, RejectsBadParameters) {
+  RandomProblemParams params;
+  params.processors = 2;
+  params.failures_to_tolerate = 2;
+  EXPECT_THROW(random_problem(params), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace ftsched

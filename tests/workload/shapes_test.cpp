@@ -1,0 +1,78 @@
+#include "workload/shapes.hpp"
+
+#include <gtest/gtest.h>
+
+#include "graph/dag_algorithms.hpp"
+
+namespace ftsched {
+namespace {
+
+using namespace workload;
+
+TEST(Shapes, ForkJoin) {
+  const auto graph = fork_join(5);
+  EXPECT_EQ(graph->operation_count(), 5u + 3u);
+  EXPECT_TRUE(graph->is_acyclic());
+  EXPECT_TRUE(graph->check().empty());
+  const OperationId join = graph->find_operation("join");
+  EXPECT_EQ(graph->predecessors(join).size(), 5u);
+}
+
+TEST(Shapes, Pipeline) {
+  const auto graph = pipeline(7);
+  EXPECT_EQ(graph->operation_count(), 9u);
+  EXPECT_TRUE(graph->is_acyclic());
+  // A pipeline's critical path is the whole chain.
+  const DagTiming timing =
+      compute_dag_timing(*graph, [](OperationId) -> Time { return 1; });
+  EXPECT_DOUBLE_EQ(timing.critical_path, 9.0);
+}
+
+TEST(Shapes, Diamond) {
+  const auto graph = diamond(3, 4);
+  EXPECT_EQ(graph->operation_count(), 3u * 4u + 2u);
+  EXPECT_TRUE(graph->is_acyclic());
+  EXPECT_TRUE(graph->check().empty());
+}
+
+TEST(Shapes, Fft) {
+  const auto graph = fft(3);  // 8 points, 3 stages
+  EXPECT_EQ(graph->operation_count(), 8u + 3u * 8u + 8u);
+  EXPECT_TRUE(graph->is_acyclic());
+  // Every butterfly node has exactly two predecessors.
+  for (const Operation& op : graph->operations()) {
+    if (op.name[0] == 'b') {
+      EXPECT_EQ(graph->in_dependencies(op.id).size(), 2u) << op.name;
+    }
+  }
+}
+
+TEST(Shapes, GaussianElimination) {
+  const auto graph = gaussian_elimination(4);
+  // 3 pivots + (3+2+1) updates + in + out.
+  EXPECT_EQ(graph->operation_count(), 3u + 6u + 2u);
+  EXPECT_TRUE(graph->is_acyclic());
+  EXPECT_TRUE(graph->check().empty());
+  EXPECT_EQ(graph->sinks().size(), 1u);
+}
+
+TEST(Shapes, ControlLoopHasMem) {
+  const auto graph = control_loop(3, 2, 2);
+  EXPECT_TRUE(graph->is_acyclic());
+  EXPECT_TRUE(graph->check().empty());
+  const OperationId state = graph->find_operation("state");
+  ASSERT_TRUE(state.valid());
+  EXPECT_EQ(graph->operation(state).kind, OperationKind::kMem);
+  // The feedback edge into the mem carries no precedence.
+  EXPECT_TRUE(graph->precedence_in(state).empty());
+  EXPECT_FALSE(graph->in_dependencies(state).empty());
+}
+
+TEST(Shapes, RejectBadParameters) {
+  EXPECT_THROW(fork_join(0), std::invalid_argument);
+  EXPECT_THROW(fft(0), std::invalid_argument);
+  EXPECT_THROW(gaussian_elimination(1), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace ftsched
