@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_bus_vs_p2p"
+  "../bench/bench_bus_vs_p2p.pdb"
+  "CMakeFiles/bench_bus_vs_p2p.dir/bench_bus_vs_p2p.cpp.o"
+  "CMakeFiles/bench_bus_vs_p2p.dir/bench_bus_vs_p2p.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_bus_vs_p2p.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_faulty_timing"
+  "../bench/bench_faulty_timing.pdb"
+  "CMakeFiles/bench_faulty_timing.dir/bench_faulty_timing.cpp.o"
+  "CMakeFiles/bench_faulty_timing.dir/bench_faulty_timing.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_faulty_timing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

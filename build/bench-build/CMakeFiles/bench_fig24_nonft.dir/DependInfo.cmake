@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_fig24_nonft.cpp" "bench-build/CMakeFiles/bench_fig24_nonft.dir/bench_fig24_nonft.cpp.o" "gcc" "bench-build/CMakeFiles/bench_fig24_nonft.dir/bench_fig24_nonft.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/workload/CMakeFiles/ftsched_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/sched/CMakeFiles/ftsched_sched.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/ftsched_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/exec/CMakeFiles/ftsched_exec.dir/DependInfo.cmake"
+  "/root/repo/build/src/io/CMakeFiles/ftsched_io.dir/DependInfo.cmake"
+  "/root/repo/build/src/tuning/CMakeFiles/ftsched_tuning.dir/DependInfo.cmake"
+  "/root/repo/build/src/arch/CMakeFiles/ftsched_arch.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/ftsched_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/ftsched_core.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

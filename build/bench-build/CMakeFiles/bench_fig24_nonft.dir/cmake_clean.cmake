@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig24_nonft"
+  "../bench/bench_fig24_nonft.pdb"
+  "CMakeFiles/bench_fig24_nonft.dir/bench_fig24_nonft.cpp.o"
+  "CMakeFiles/bench_fig24_nonft.dir/bench_fig24_nonft.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig24_nonft.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_redundancy_tradeoff"
+  "../bench/bench_redundancy_tradeoff.pdb"
+  "CMakeFiles/bench_redundancy_tradeoff.dir/bench_redundancy_tradeoff.cpp.o"
+  "CMakeFiles/bench_redundancy_tradeoff.dir/bench_redundancy_tradeoff.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_redundancy_tradeoff.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/avionics_p2p.dir/avionics_p2p.cpp.o"
+  "CMakeFiles/avionics_p2p.dir/avionics_p2p.cpp.o.d"
+  "avionics_p2p"
+  "avionics_p2p.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/avionics_p2p.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

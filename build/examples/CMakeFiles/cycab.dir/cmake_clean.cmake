@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cycab.dir/cycab.cpp.o"
+  "CMakeFiles/cycab.dir/cycab.cpp.o.d"
+  "cycab"
+  "cycab.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cycab.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dataflow_compiler.dir/dataflow_compiler.cpp.o"
+  "CMakeFiles/dataflow_compiler.dir/dataflow_compiler.cpp.o.d"
+  "dataflow_compiler"
+  "dataflow_compiler.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dataflow_compiler.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/schedule_tool.cpp" "examples/CMakeFiles/schedule_tool.dir/schedule_tool.cpp.o" "gcc" "examples/CMakeFiles/schedule_tool.dir/schedule_tool.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/workload/CMakeFiles/ftsched_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/sched/CMakeFiles/ftsched_sched.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/ftsched_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/exec/CMakeFiles/ftsched_exec.dir/DependInfo.cmake"
+  "/root/repo/build/src/io/CMakeFiles/ftsched_io.dir/DependInfo.cmake"
+  "/root/repo/build/src/lang/CMakeFiles/ftsched_lang.dir/DependInfo.cmake"
+  "/root/repo/build/src/tuning/CMakeFiles/ftsched_tuning.dir/DependInfo.cmake"
+  "/root/repo/build/src/arch/CMakeFiles/ftsched_arch.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/ftsched_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/ftsched_core.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/arch/architecture_graph.cpp" "src/arch/CMakeFiles/ftsched_arch.dir/architecture_graph.cpp.o" "gcc" "src/arch/CMakeFiles/ftsched_arch.dir/architecture_graph.cpp.o.d"
+  "/root/repo/src/arch/characteristics.cpp" "src/arch/CMakeFiles/ftsched_arch.dir/characteristics.cpp.o" "gcc" "src/arch/CMakeFiles/ftsched_arch.dir/characteristics.cpp.o.d"
+  "/root/repo/src/arch/routing.cpp" "src/arch/CMakeFiles/ftsched_arch.dir/routing.cpp.o" "gcc" "src/arch/CMakeFiles/ftsched_arch.dir/routing.cpp.o.d"
+  "/root/repo/src/arch/topologies.cpp" "src/arch/CMakeFiles/ftsched_arch.dir/topologies.cpp.o" "gcc" "src/arch/CMakeFiles/ftsched_arch.dir/topologies.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/graph/CMakeFiles/ftsched_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/ftsched_core.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

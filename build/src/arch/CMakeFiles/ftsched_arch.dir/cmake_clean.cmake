@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ftsched_arch.dir/architecture_graph.cpp.o"
+  "CMakeFiles/ftsched_arch.dir/architecture_graph.cpp.o.d"
+  "CMakeFiles/ftsched_arch.dir/characteristics.cpp.o"
+  "CMakeFiles/ftsched_arch.dir/characteristics.cpp.o.d"
+  "CMakeFiles/ftsched_arch.dir/routing.cpp.o"
+  "CMakeFiles/ftsched_arch.dir/routing.cpp.o.d"
+  "CMakeFiles/ftsched_arch.dir/topologies.cpp.o"
+  "CMakeFiles/ftsched_arch.dir/topologies.cpp.o.d"
+  "libftsched_arch.a"
+  "libftsched_arch.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ftsched_arch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ftsched_core.dir/error.cpp.o"
+  "CMakeFiles/ftsched_core.dir/error.cpp.o.d"
+  "CMakeFiles/ftsched_core.dir/text.cpp.o"
+  "CMakeFiles/ftsched_core.dir/text.cpp.o.d"
+  "CMakeFiles/ftsched_core.dir/time.cpp.o"
+  "CMakeFiles/ftsched_core.dir/time.cpp.o.d"
+  "libftsched_core.a"
+  "libftsched_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ftsched_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ftsched_exec.dir/codegen.cpp.o"
+  "CMakeFiles/ftsched_exec.dir/codegen.cpp.o.d"
+  "libftsched_exec.a"
+  "libftsched_exec.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ftsched_exec.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/graph/algorithm_graph.cpp" "src/graph/CMakeFiles/ftsched_graph.dir/algorithm_graph.cpp.o" "gcc" "src/graph/CMakeFiles/ftsched_graph.dir/algorithm_graph.cpp.o.d"
+  "/root/repo/src/graph/dot.cpp" "src/graph/CMakeFiles/ftsched_graph.dir/dot.cpp.o" "gcc" "src/graph/CMakeFiles/ftsched_graph.dir/dot.cpp.o.d"
+  "/root/repo/src/graph/operation.cpp" "src/graph/CMakeFiles/ftsched_graph.dir/operation.cpp.o" "gcc" "src/graph/CMakeFiles/ftsched_graph.dir/operation.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/ftsched_core.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

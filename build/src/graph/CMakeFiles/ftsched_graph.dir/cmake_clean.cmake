@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ftsched_graph.dir/algorithm_graph.cpp.o"
+  "CMakeFiles/ftsched_graph.dir/algorithm_graph.cpp.o.d"
+  "CMakeFiles/ftsched_graph.dir/dot.cpp.o"
+  "CMakeFiles/ftsched_graph.dir/dot.cpp.o.d"
+  "CMakeFiles/ftsched_graph.dir/operation.cpp.o"
+  "CMakeFiles/ftsched_graph.dir/operation.cpp.o.d"
+  "libftsched_graph.a"
+  "libftsched_graph.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ftsched_graph.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

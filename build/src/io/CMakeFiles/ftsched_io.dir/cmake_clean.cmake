@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ftsched_io.dir/problem_format.cpp.o"
+  "CMakeFiles/ftsched_io.dir/problem_format.cpp.o.d"
+  "CMakeFiles/ftsched_io.dir/schedule_export.cpp.o"
+  "CMakeFiles/ftsched_io.dir/schedule_export.cpp.o.d"
+  "libftsched_io.a"
+  "libftsched_io.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ftsched_io.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ftsched_lang.dir/compiler.cpp.o"
+  "CMakeFiles/ftsched_lang.dir/compiler.cpp.o.d"
+  "libftsched_lang.a"
+  "libftsched_lang.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ftsched_lang.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sched/gantt.cpp" "src/sched/CMakeFiles/ftsched_sched.dir/gantt.cpp.o" "gcc" "src/sched/CMakeFiles/ftsched_sched.dir/gantt.cpp.o.d"
+  "/root/repo/src/sched/list_scheduler.cpp" "src/sched/CMakeFiles/ftsched_sched.dir/list_scheduler.cpp.o" "gcc" "src/sched/CMakeFiles/ftsched_sched.dir/list_scheduler.cpp.o.d"
+  "/root/repo/src/sched/metrics.cpp" "src/sched/CMakeFiles/ftsched_sched.dir/metrics.cpp.o" "gcc" "src/sched/CMakeFiles/ftsched_sched.dir/metrics.cpp.o.d"
+  "/root/repo/src/sched/pressure.cpp" "src/sched/CMakeFiles/ftsched_sched.dir/pressure.cpp.o" "gcc" "src/sched/CMakeFiles/ftsched_sched.dir/pressure.cpp.o.d"
+  "/root/repo/src/sched/schedule.cpp" "src/sched/CMakeFiles/ftsched_sched.dir/schedule.cpp.o" "gcc" "src/sched/CMakeFiles/ftsched_sched.dir/schedule.cpp.o.d"
+  "/root/repo/src/sched/timeouts.cpp" "src/sched/CMakeFiles/ftsched_sched.dir/timeouts.cpp.o" "gcc" "src/sched/CMakeFiles/ftsched_sched.dir/timeouts.cpp.o.d"
+  "/root/repo/src/sched/validate.cpp" "src/sched/CMakeFiles/ftsched_sched.dir/validate.cpp.o" "gcc" "src/sched/CMakeFiles/ftsched_sched.dir/validate.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/arch/CMakeFiles/ftsched_arch.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/ftsched_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/ftsched_core.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

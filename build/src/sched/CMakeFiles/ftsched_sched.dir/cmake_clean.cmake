@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ftsched_sched.dir/gantt.cpp.o"
+  "CMakeFiles/ftsched_sched.dir/gantt.cpp.o.d"
+  "CMakeFiles/ftsched_sched.dir/list_scheduler.cpp.o"
+  "CMakeFiles/ftsched_sched.dir/list_scheduler.cpp.o.d"
+  "CMakeFiles/ftsched_sched.dir/metrics.cpp.o"
+  "CMakeFiles/ftsched_sched.dir/metrics.cpp.o.d"
+  "CMakeFiles/ftsched_sched.dir/pressure.cpp.o"
+  "CMakeFiles/ftsched_sched.dir/pressure.cpp.o.d"
+  "CMakeFiles/ftsched_sched.dir/schedule.cpp.o"
+  "CMakeFiles/ftsched_sched.dir/schedule.cpp.o.d"
+  "CMakeFiles/ftsched_sched.dir/timeouts.cpp.o"
+  "CMakeFiles/ftsched_sched.dir/timeouts.cpp.o.d"
+  "CMakeFiles/ftsched_sched.dir/validate.cpp.o"
+  "CMakeFiles/ftsched_sched.dir/validate.cpp.o.d"
+  "libftsched_sched.a"
+  "libftsched_sched.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ftsched_sched.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libftsched_sched.a"
+)

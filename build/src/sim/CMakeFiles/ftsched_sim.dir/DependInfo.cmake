@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sim/failure.cpp" "src/sim/CMakeFiles/ftsched_sim.dir/failure.cpp.o" "gcc" "src/sim/CMakeFiles/ftsched_sim.dir/failure.cpp.o.d"
+  "/root/repo/src/sim/mission.cpp" "src/sim/CMakeFiles/ftsched_sim.dir/mission.cpp.o" "gcc" "src/sim/CMakeFiles/ftsched_sim.dir/mission.cpp.o.d"
+  "/root/repo/src/sim/reliability.cpp" "src/sim/CMakeFiles/ftsched_sim.dir/reliability.cpp.o" "gcc" "src/sim/CMakeFiles/ftsched_sim.dir/reliability.cpp.o.d"
+  "/root/repo/src/sim/simulator.cpp" "src/sim/CMakeFiles/ftsched_sim.dir/simulator.cpp.o" "gcc" "src/sim/CMakeFiles/ftsched_sim.dir/simulator.cpp.o.d"
+  "/root/repo/src/sim/trace.cpp" "src/sim/CMakeFiles/ftsched_sim.dir/trace.cpp.o" "gcc" "src/sim/CMakeFiles/ftsched_sim.dir/trace.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sched/CMakeFiles/ftsched_sched.dir/DependInfo.cmake"
+  "/root/repo/build/src/arch/CMakeFiles/ftsched_arch.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/ftsched_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/ftsched_core.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ftsched_sim.dir/failure.cpp.o"
+  "CMakeFiles/ftsched_sim.dir/failure.cpp.o.d"
+  "CMakeFiles/ftsched_sim.dir/mission.cpp.o"
+  "CMakeFiles/ftsched_sim.dir/mission.cpp.o.d"
+  "CMakeFiles/ftsched_sim.dir/reliability.cpp.o"
+  "CMakeFiles/ftsched_sim.dir/reliability.cpp.o.d"
+  "CMakeFiles/ftsched_sim.dir/simulator.cpp.o"
+  "CMakeFiles/ftsched_sim.dir/simulator.cpp.o.d"
+  "CMakeFiles/ftsched_sim.dir/trace.cpp.o"
+  "CMakeFiles/ftsched_sim.dir/trace.cpp.o.d"
+  "libftsched_sim.a"
+  "libftsched_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ftsched_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

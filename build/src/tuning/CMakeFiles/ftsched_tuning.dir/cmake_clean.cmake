@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ftsched_tuning.dir/hybrid.cpp.o"
+  "CMakeFiles/ftsched_tuning.dir/hybrid.cpp.o.d"
+  "CMakeFiles/ftsched_tuning.dir/transient_analysis.cpp.o"
+  "CMakeFiles/ftsched_tuning.dir/transient_analysis.cpp.o.d"
+  "libftsched_tuning.a"
+  "libftsched_tuning.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ftsched_tuning.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

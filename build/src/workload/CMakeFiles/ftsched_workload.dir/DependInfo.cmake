@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/workload/paper_examples.cpp" "src/workload/CMakeFiles/ftsched_workload.dir/paper_examples.cpp.o" "gcc" "src/workload/CMakeFiles/ftsched_workload.dir/paper_examples.cpp.o.d"
+  "/root/repo/src/workload/random_arch.cpp" "src/workload/CMakeFiles/ftsched_workload.dir/random_arch.cpp.o" "gcc" "src/workload/CMakeFiles/ftsched_workload.dir/random_arch.cpp.o.d"
+  "/root/repo/src/workload/random_dag.cpp" "src/workload/CMakeFiles/ftsched_workload.dir/random_dag.cpp.o" "gcc" "src/workload/CMakeFiles/ftsched_workload.dir/random_dag.cpp.o.d"
+  "/root/repo/src/workload/shapes.cpp" "src/workload/CMakeFiles/ftsched_workload.dir/shapes.cpp.o" "gcc" "src/workload/CMakeFiles/ftsched_workload.dir/shapes.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/arch/CMakeFiles/ftsched_arch.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/ftsched_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/ftsched_core.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ftsched_workload.dir/paper_examples.cpp.o"
+  "CMakeFiles/ftsched_workload.dir/paper_examples.cpp.o.d"
+  "CMakeFiles/ftsched_workload.dir/random_arch.cpp.o"
+  "CMakeFiles/ftsched_workload.dir/random_arch.cpp.o.d"
+  "CMakeFiles/ftsched_workload.dir/random_dag.cpp.o"
+  "CMakeFiles/ftsched_workload.dir/random_dag.cpp.o.d"
+  "CMakeFiles/ftsched_workload.dir/shapes.cpp.o"
+  "CMakeFiles/ftsched_workload.dir/shapes.cpp.o.d"
+  "libftsched_workload.a"
+  "libftsched_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ftsched_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,16 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/property_test.dir/property/fault_tolerance_properties_test.cpp.o"
+  "CMakeFiles/property_test.dir/property/fault_tolerance_properties_test.cpp.o.d"
+  "CMakeFiles/property_test.dir/property/replay_properties_test.cpp.o"
+  "CMakeFiles/property_test.dir/property/replay_properties_test.cpp.o.d"
+  "CMakeFiles/property_test.dir/property/schedule_properties_test.cpp.o"
+  "CMakeFiles/property_test.dir/property/schedule_properties_test.cpp.o.d"
+  "property_test"
+  "property_test.pdb"
+  "property_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/property_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sched_test.dir/sched/gantt_test.cpp.o"
+  "CMakeFiles/sched_test.dir/sched/gantt_test.cpp.o.d"
+  "CMakeFiles/sched_test.dir/sched/heuristics_test.cpp.o"
+  "CMakeFiles/sched_test.dir/sched/heuristics_test.cpp.o.d"
+  "CMakeFiles/sched_test.dir/sched/metrics_test.cpp.o"
+  "CMakeFiles/sched_test.dir/sched/metrics_test.cpp.o.d"
+  "CMakeFiles/sched_test.dir/sched/paper_examples_test.cpp.o"
+  "CMakeFiles/sched_test.dir/sched/paper_examples_test.cpp.o.d"
+  "CMakeFiles/sched_test.dir/sched/pressure_test.cpp.o"
+  "CMakeFiles/sched_test.dir/sched/pressure_test.cpp.o.d"
+  "CMakeFiles/sched_test.dir/sched/schedule_test.cpp.o"
+  "CMakeFiles/sched_test.dir/sched/schedule_test.cpp.o.d"
+  "CMakeFiles/sched_test.dir/sched/timeouts_test.cpp.o"
+  "CMakeFiles/sched_test.dir/sched/timeouts_test.cpp.o.d"
+  "CMakeFiles/sched_test.dir/sched/validate_test.cpp.o"
+  "CMakeFiles/sched_test.dir/sched/validate_test.cpp.o.d"
+  "sched_test"
+  "sched_test.pdb"
+  "sched_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sched_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
