@@ -1,0 +1,59 @@
+// Campaign engine throughput: scenarios/sec of the parallel fault-injection
+// runner over the paper's example-1 solution-1 schedule, swept across
+// thread counts — the scaling evidence for the work-stealing pool. Also
+// cross-checks that every thread count reproduces the single-thread
+// verdict and coverage bit-exactly (the determinism contract).
+#include <cstdio>
+#include <thread>
+#include <vector>
+
+#include "bench/common.hpp"
+#include "campaign/runner.hpp"
+#include "sched/heuristics.hpp"
+#include "workload/paper_examples.hpp"
+
+using namespace ftsched;
+
+int main() {
+  bench::header("C1", "fault-injection campaign throughput scaling");
+
+  const workload::OwnedProblem ex = workload::paper_example1();
+  const Schedule schedule = schedule_solution1(ex.problem).value();
+
+  campaign::CampaignOptions options;
+  options.scenarios = 4000;
+  options.seed = 42;
+  options.spec.max_iterations = 3;
+  options.spec.over_budget_fraction = 0.15;
+  options.spec.silence_probability = 0.10;
+  options.spec.suspect_probability = 0.10;
+
+  bench::value("hardware threads",
+               std::to_string(std::thread::hardware_concurrency()));
+  bench::value("scenarios", std::to_string(options.scenarios));
+
+  bench::section("scenarios/sec by thread count");
+  double base_rate = 0;
+  std::size_t reference_violations = 0;
+  std::size_t reference_contract = 0;
+  bool deterministic = true;
+  for (const unsigned threads : {1u, 2u, 4u, 8u}) {
+    options.threads = threads;
+    const campaign::CampaignReport report =
+        campaign::run_campaign(schedule, options);
+    if (threads == 1) {
+      base_rate = report.scenarios_per_second();
+      reference_violations = report.total_violations;
+      reference_contract = report.within_contract;
+    }
+    deterministic = deterministic &&
+                    report.total_violations == reference_violations &&
+                    report.within_contract == reference_contract;
+    std::printf("threads=%u %10.0f scenarios/s  speedup %.2fx  violations %zu\n",
+                threads, report.scenarios_per_second(),
+                base_rate > 0 ? report.scenarios_per_second() / base_rate : 0.0,
+                report.total_violations);
+  }
+  bench::value("thread-count deterministic", deterministic ? "yes" : "NO");
+  return deterministic ? 0 : 1;
+}

@@ -1,0 +1,221 @@
+// campaign_tool: the adversarial fault-injection campaign as a shell
+// command — load a problem, build a schedule, hammer it with seeded random
+// failure scenarios in parallel, and shrink any oracle violation to a
+// minimal serialized reproducer:
+//
+//   ./campaign_tool --example1 --solution1 --seed 42 --scenarios 5000
+//   ./campaign_tool --example1 --solution1 --scenarios 20000 --threads 8
+//   ./campaign_tool --example1 --base --claim-k 1 --shrink    # has to fail
+//   ./campaign_tool problem.ft --solution2 --links --iterations 4
+//   ./campaign_tool --example1 --solution1 --replay repro.scenario
+//
+// Exit status: 0 = campaign clean (or replay satisfied the oracle),
+// 1 = oracle violations, 2 = usage error.
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "campaign/runner.hpp"
+#include "campaign/shrink.hpp"
+#include "io/problem_format.hpp"
+#include "io/scenario_format.hpp"
+#include "sched/heuristics.hpp"
+#include "sim/mission.hpp"
+#include "sim/simulator.hpp"
+
+using namespace ftsched;
+
+namespace {
+
+int usage() {
+  std::fprintf(
+      stderr,
+      "usage: campaign_tool <file | --example1 | --example2>\n"
+      "                     [--base | --solution1 | --solution2]\n"
+      "                     [--seed N] [--scenarios N] [--threads N]\n"
+      "                     [--claim-k K] [--iterations MAX]\n"
+      "                     [--overbudget FRACTION] [--links] [--silence]\n"
+      "                     [--suspects] [--shrink] [--replay FILE]\n");
+  return 2;
+}
+
+bool parse_number(const char* text, long& out) {
+  char* end = nullptr;
+  out = std::strtol(text, &end, 10);
+  return end != text && *end == '\0' && out >= 0;
+}
+
+bool parse_fraction(const char* text, double& out) {
+  char* end = nullptr;
+  out = std::strtod(text, &end);
+  return end != text && *end == '\0' && out >= 0.0 && out <= 1.0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string input;
+  std::string replay_file;
+  HeuristicKind kind = HeuristicKind::kSolution1;
+  bool example1 = false;
+  bool example2 = false;
+  bool do_shrink = false;
+  campaign::CampaignOptions options;
+  // An interesting default mix: short missions, some over-budget attacks,
+  // occasional benign silences and wrong suspicions. Link faults stay
+  // opt-in (--links) — they are outside the paper's failure hypothesis.
+  options.spec.max_iterations = 3;
+  options.spec.over_budget_fraction = 0.15;
+  options.spec.silence_probability = 0.10;
+  options.spec.suspect_probability = 0.10;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    long number = 0;
+    double fraction = 0;
+    if (arg == "--example1") {
+      example1 = true;
+    } else if (arg == "--example2") {
+      example2 = true;
+    } else if (arg == "--base") {
+      kind = HeuristicKind::kBase;
+    } else if (arg == "--solution1") {
+      kind = HeuristicKind::kSolution1;
+    } else if (arg == "--solution2") {
+      kind = HeuristicKind::kSolution2;
+    } else if (arg == "--seed" && i + 1 < argc &&
+               parse_number(argv[++i], number)) {
+      options.seed = static_cast<std::uint64_t>(number);
+    } else if (arg == "--scenarios" && i + 1 < argc &&
+               parse_number(argv[++i], number)) {
+      options.scenarios = static_cast<std::size_t>(number);
+    } else if (arg == "--threads" && i + 1 < argc &&
+               parse_number(argv[++i], number)) {
+      options.threads = static_cast<unsigned>(number);
+    } else if (arg == "--claim-k" && i + 1 < argc &&
+               parse_number(argv[++i], number)) {
+      options.oracle.claimed_tolerance = static_cast<int>(number);
+      options.spec.max_processor_failures = static_cast<int>(number);
+    } else if (arg == "--iterations" && i + 1 < argc &&
+               parse_number(argv[++i], number) && number >= 1) {
+      options.spec.max_iterations = static_cast<int>(number);
+    } else if (arg == "--overbudget" && i + 1 < argc &&
+               parse_fraction(argv[++i], fraction)) {
+      options.spec.over_budget_fraction = fraction;
+    } else if (arg == "--links") {
+      options.spec.link_failure_probability = 0.25;
+    } else if (arg == "--silence") {
+      options.spec.silence_probability = 0.25;
+    } else if (arg == "--suspects") {
+      options.spec.suspect_probability = 0.25;
+    } else if (arg == "--shrink") {
+      do_shrink = true;
+    } else if (arg == "--replay" && i + 1 < argc) {
+      replay_file = argv[++i];
+    } else if (!arg.empty() && arg[0] != '-') {
+      input = arg;
+    } else {
+      return usage();
+    }
+  }
+
+  workload::OwnedProblem owned;
+  if (example1) {
+    owned = workload::paper_example1();
+  } else if (example2) {
+    owned = workload::paper_example2();
+  } else if (!input.empty()) {
+    std::ifstream file(input);
+    if (!file) {
+      std::fprintf(stderr, "cannot open %s\n", input.c_str());
+      return 2;
+    }
+    std::stringstream buffer;
+    buffer << file.rdbuf();
+    Expected<workload::OwnedProblem> parsed = io::read_problem(buffer.str());
+    if (!parsed) {
+      std::fprintf(stderr, "%s: %s\n", input.c_str(),
+                   parsed.error().message.c_str());
+      return 2;
+    }
+    owned = std::move(parsed).value();
+  } else {
+    return usage();
+  }
+
+  const Expected<Schedule> result = schedule(owned.problem, kind);
+  if (!result) {
+    std::fprintf(stderr, "scheduling failed (%s): %s\n",
+                 to_string(result.error().code).c_str(),
+                 result.error().message.c_str());
+    return 2;
+  }
+  const Schedule& sched = result.value();
+  const ArchitectureGraph& arch = *owned.problem.architecture;
+  std::printf("schedule: %s, K=%d, makespan %s\n",
+              to_string(sched.kind()).c_str(), sched.failures_tolerated(),
+              time_to_string(sched.makespan()).c_str());
+
+  if (!replay_file.empty()) {
+    std::ifstream file(replay_file);
+    if (!file) {
+      std::fprintf(stderr, "cannot open %s\n", replay_file.c_str());
+      return 2;
+    }
+    std::stringstream buffer;
+    buffer << file.rdbuf();
+    const Expected<MissionPlan> plan =
+        io::read_scenario(buffer.str(), arch);
+    if (!plan) {
+      std::fprintf(stderr, "%s: %s\n", replay_file.c_str(),
+                   plan.error().message.c_str());
+      return 2;
+    }
+    const campaign::Oracle oracle(sched, options.oracle);
+    const MissionResult mission = run_mission(sched, plan.value());
+    std::fputs(mission.to_text(arch).c_str(), stdout);
+    const campaign::Verdict verdict = oracle.judge(plan.value(), mission);
+    if (verdict.ok()) {
+      std::printf("replay: oracle satisfied (within contract: %s)\n",
+                  verdict.within_contract ? "yes" : "no");
+      return 0;
+    }
+    for (const std::string& violation : verdict.violations) {
+      std::printf("replay violation: %s\n", violation.c_str());
+    }
+    return 1;
+  }
+
+  const campaign::CampaignReport report =
+      campaign::run_campaign(sched, options);
+  std::fputs(report.to_text(arch).c_str(), stdout);
+  if (report.violations.empty()) return 0;
+
+  const campaign::CampaignViolation& first = report.violations.front();
+  std::printf("\nfirst violation: scenario %zu (seed %llu)\n", first.index,
+              static_cast<unsigned long long>(first.seed));
+  for (const std::string& detail : first.details) {
+    std::printf("  %s\n", detail.c_str());
+  }
+  if (first.plan.event_count() == 0) return 1;
+
+  std::printf("\n# original reproducer (%zu events)\n%s",
+              first.plan.event_count(),
+              io::write_scenario(first.plan, arch).c_str());
+  if (do_shrink) {
+    const Simulator simulator(sched);
+    const campaign::Oracle oracle(sched, options.oracle);
+    const campaign::ShrinkResult shrunk =
+        campaign::shrink(simulator, oracle, first.plan);
+    std::printf(
+        "\n# shrunk reproducer (%zu -> %zu events, %zu re-simulations)\n%s",
+        shrunk.initial_events, shrunk.final_events, shrunk.simulations,
+        io::write_scenario(shrunk.plan, arch).c_str());
+    for (const std::string& violation : shrunk.violations) {
+      std::printf("# still fails: %s\n", violation.c_str());
+    }
+  }
+  return 1;
+}

@@ -1,0 +1,155 @@
+#include "campaign/oracle.hpp"
+
+#include <algorithm>
+
+#include "arch/routing.hpp"
+#include "sched/timeouts.hpp"
+#include "sched/validate.hpp"
+
+namespace ftsched::campaign {
+
+namespace {
+
+std::size_t distinct_count(std::vector<int> values) {
+  std::sort(values.begin(), values.end());
+  values.erase(std::unique(values.begin(), values.end()), values.end());
+  return values.size();
+}
+
+}  // namespace
+
+std::size_t plan_processor_faults(const MissionPlan& plan) {
+  std::vector<int> procs;
+  for (const ProcessorId proc : plan.dead_at_start) {
+    procs.push_back(proc.value());
+  }
+  for (const MissionFailure& failure : plan.failures) {
+    procs.push_back(failure.event.processor.value());
+  }
+  return distinct_count(std::move(procs));
+}
+
+std::size_t plan_link_faults(const MissionPlan& plan) {
+  std::vector<int> links;
+  for (const LinkId link : plan.dead_links_at_start) {
+    links.push_back(link.value());
+  }
+  for (const MissionLinkFailure& failure : plan.link_failures) {
+    links.push_back(failure.event.link.value());
+  }
+  return distinct_count(std::move(links));
+}
+
+Time static_response_bound(const Schedule& schedule) {
+  const Problem& problem = schedule.problem();
+  const RoutingTable routing(*problem.architecture);
+  const TimeoutTable timeouts(schedule, routing);
+
+  Time last_trigger = schedule.makespan();
+  for (const TimeoutChain& chain : timeouts.chains()) {
+    for (const TimeoutEntry& entry : chain.entries) {
+      if (!is_infinite(entry.deadline)) {
+        last_trigger = std::max(last_trigger, entry.deadline);
+      }
+    }
+  }
+
+  Time tail = 0;
+  for (const Operation& op : problem.algorithm->operations()) {
+    Time worst = 0;
+    for (const Processor& proc : problem.architecture->processors()) {
+      const Time wcet = problem.exec->duration(op.id, proc.id);
+      if (!is_infinite(wcet)) worst = std::max(worst, wcet);
+    }
+    tail += worst;
+  }
+  for (const Dependency& dep : problem.algorithm->dependencies()) {
+    for (const Link& link : problem.architecture->links()) {
+      const Time cost = problem.comm->duration(dep.id, link.id);
+      if (!is_infinite(cost)) tail += cost;
+    }
+  }
+  return last_trigger + tail;
+}
+
+Oracle::Oracle(const Schedule& schedule, OracleSpec spec)
+    : schedule_(&schedule), spec_(spec) {
+  claimed_ = spec.claimed_tolerance >= 0 ? spec.claimed_tolerance
+                                         : schedule.failures_tolerated();
+  bound_ = is_infinite(spec.response_bound) ? static_response_bound(schedule)
+                                            : spec.response_bound;
+  static_violations_ = validate(schedule);
+  for (std::string& issue : static_violations_) {
+    issue.insert(0, "static validator: ");
+  }
+}
+
+Verdict Oracle::judge(const MissionPlan& plan,
+                      const MissionResult& result) const {
+  Verdict verdict;
+  const std::size_t proc_faults = plan_processor_faults(plan);
+  const std::size_t link_faults = plan_link_faults(plan);
+  verdict.within_contract =
+      proc_faults <= static_cast<std::size_t>(claimed_) && link_faults == 0;
+
+  auto violation = [&](int iteration, std::string message) {
+    if (verdict.first_violation_iteration < 0) {
+      verdict.first_violation_iteration = iteration;
+    }
+    verdict.violations.push_back(std::move(message));
+  };
+
+  if (result.iterations.size() !=
+      static_cast<std::size_t>(plan.iterations)) {
+    violation(0, "harness: mission produced " +
+                     std::to_string(result.iterations.size()) +
+                     " iteration records for a " +
+                     std::to_string(plan.iterations) + "-iteration plan");
+    return verdict;
+  }
+
+  for (const MissionIteration& iteration : result.iterations) {
+    if (!iteration.all_outputs_produced) verdict.outputs_lost = true;
+  }
+  if (!verdict.within_contract) {
+    // Over-budget (or link-faulted) missions carry no masking promise;
+    // losing outputs there is the expected observation, not a violation.
+    return verdict;
+  }
+
+  // A fail-silent window defers blocked sends to its closing edge, so the
+  // envelope of an iteration stretches by the latest window end (§6.1
+  // item 3 masks the window, it does not hide the delay).
+  std::vector<Time> silence_allowance(
+      static_cast<std::size_t>(plan.iterations), 0);
+  for (const MissionSilence& silence : plan.silences) {
+    if (silence.iteration >= 0 && silence.iteration < plan.iterations) {
+      Time& allowance =
+          silence_allowance[static_cast<std::size_t>(silence.iteration)];
+      allowance = std::max(allowance, silence.window.to);
+    }
+  }
+
+  for (const MissionIteration& iteration : result.iterations) {
+    if (!iteration.all_outputs_produced) {
+      violation(iteration.index,
+                "iteration " + std::to_string(iteration.index) +
+                    ": outputs lost under " + std::to_string(proc_faults) +
+                    " faults (<= claimed K=" + std::to_string(claimed_) +
+                    ")");
+      continue;
+    }
+    const Time allowed =
+        bound_ + silence_allowance[static_cast<std::size_t>(iteration.index)];
+    if (spec_.check_response && time_gt(iteration.response_time, allowed)) {
+      verdict.response_exceeded = true;
+      violation(iteration.index,
+                "iteration " + std::to_string(iteration.index) +
+                    ": response " + time_to_string(iteration.response_time) +
+                    " exceeds static bound " + time_to_string(allowed));
+    }
+  }
+  return verdict;
+}
+
+}  // namespace ftsched::campaign

@@ -1,0 +1,103 @@
+// The campaign's correctness oracle: judges one simulated mission against
+// the paper's headline contract (§5.6) — a schedule built for K failures
+// serves every extio output in every iteration under ANY combination of at
+// most K fail-stop processor failures — plus a static response-time
+// envelope and harness sanity checks.
+//
+// The claimed tolerance is separable from the schedule's own K on purpose:
+// attacking a K=0 baseline under a claim of K=1 is how the campaign (and
+// its tests) prove the oracle has teeth — the schedule is honestly
+// under-replicated for the claim, so the runner must find, and the
+// shrinker must minimize, a violation.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "sched/schedule.hpp"
+#include "sim/mission.hpp"
+
+namespace ftsched::campaign {
+
+/// Distinct processors genuinely faulted by `plan` (crashes + dead at
+/// start; silences and wrong suspicions are not failures, §6.1 item 3).
+[[nodiscard]] std::size_t plan_processor_faults(const MissionPlan& plan);
+
+/// Distinct links killed by `plan` (always outside the paper's §5.1
+/// failure hypothesis).
+[[nodiscard]] std::size_t plan_link_faults(const MissionPlan& plan);
+
+/// Conservative static envelope on any within-contract iteration's
+/// response time. Two pieces:
+///  * the last statically triggered instant — the failure-free makespan or
+///    the worst watch-chain deadline of the timeout table, whichever is
+///    later (nothing in the simulator fires later than these except as a
+///    data-driven consequence);
+///  * a serial tail — after that instant progress is purely data-driven,
+///    and in the worst case every replica executes once more in sequence
+///    and every value crosses every link once.
+/// Loose by design: its job is to catch runaway recoveries and hangs, not
+/// to re-derive the paper's tight per-solution bounds.
+[[nodiscard]] Time static_response_bound(const Schedule& schedule);
+
+struct OracleSpec {
+  /// Fault budget the schedule is claimed to mask; -1 derives the
+  /// schedule's own failures_tolerated().
+  int claimed_tolerance = -1;
+  /// Response envelope for within-contract iterations; kInfinite derives
+  /// static_response_bound(schedule).
+  Time response_bound = kInfinite;
+  bool check_response = true;
+};
+
+/// The oracle's judgement of one mission.
+struct Verdict {
+  /// True when the plan stays inside the claimed budget: distinct
+  /// processor faults <= claimed tolerance and no link faults.
+  bool within_contract = false;
+  /// Some iteration lost an extio output.
+  bool outputs_lost = false;
+  /// Some within-contract iteration exceeded the response envelope.
+  bool response_exceeded = false;
+  /// First iteration a violation was observed in; -1 when none.
+  int first_violation_iteration = -1;
+  /// Human-readable violations; empty == the mission satisfied the oracle.
+  std::vector<std::string> violations;
+
+  [[nodiscard]] bool ok() const noexcept { return violations.empty(); }
+};
+
+class Oracle {
+ public:
+  /// The schedule must outlive the oracle. Resolves spec defaults and runs
+  /// the static validator once — a structurally broken schedule poisons
+  /// every scenario, so validator issues surface through
+  /// static_violations(), not per judgement.
+  Oracle(const Schedule& schedule, OracleSpec spec = {});
+
+  /// Judges `result` (produced by run_mission over `plan`) against the
+  /// contract. Within-contract missions must serve every iteration within
+  /// the response envelope; every mission, contract or not, must produce
+  /// exactly plan.iterations iteration records (harness sanity).
+  [[nodiscard]] Verdict judge(const MissionPlan& plan,
+                              const MissionResult& result) const;
+
+  /// Schedule-level validator issues, found once at construction.
+  [[nodiscard]] const std::vector<std::string>& static_violations()
+      const noexcept {
+    return static_violations_;
+  }
+
+  [[nodiscard]] int claimed_tolerance() const noexcept { return claimed_; }
+  [[nodiscard]] Time response_bound() const noexcept { return bound_; }
+
+ private:
+  const Schedule* schedule_;
+  OracleSpec spec_;
+  int claimed_ = 0;
+  Time bound_ = kInfinite;
+  std::vector<std::string> static_violations_;
+};
+
+}  // namespace ftsched::campaign

@@ -1,0 +1,250 @@
+#include "campaign/runner.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+
+#include "campaign/work_pool.hpp"
+#include "core/text.hpp"
+#include "sim/simulator.hpp"
+
+namespace ftsched::campaign {
+
+namespace {
+
+/// Everything one chunk of scenario indices contributes; merged in index
+/// order so the report is independent of which thread ran which chunk.
+struct Partial {
+  std::size_t within_contract = 0;
+  std::size_t expected_losses = 0;
+  std::size_t total_violations = 0;
+  std::vector<CampaignViolation> violations;
+  CampaignCoverage coverage;
+};
+
+void count_coverage(const CampaignScenario& scenario, Time horizon,
+                    CampaignCoverage& coverage) {
+  const MissionPlan& plan = scenario.plan;
+  for (const ProcessorId proc : plan.dead_at_start) {
+    coverage.processor_faults[proc.index()] += 1;
+    coverage.dead_at_start_events += 1;
+  }
+  for (const MissionFailure& failure : plan.failures) {
+    coverage.processor_faults[failure.event.processor.index()] += 1;
+    coverage.crash_events += 1;
+    const double fraction =
+        horizon > 0 ? failure.event.time / horizon : 0.0;
+    std::size_t bucket = static_cast<std::size_t>(
+        fraction * static_cast<double>(kCrashTimeBuckets));
+    bucket = std::min(bucket, kCrashTimeBuckets - 1);
+    coverage.crash_time_buckets[bucket] += 1;
+  }
+  for (const LinkId link : plan.dead_links_at_start) {
+    coverage.link_faults[link.index()] += 1;
+  }
+  for (const MissionLinkFailure& failure : plan.link_failures) {
+    coverage.link_faults[failure.event.link.index()] += 1;
+  }
+  coverage.silence_events += plan.silences.size();
+  coverage.suspect_events += plan.suspected_at_start.size();
+  if (plan.iterations > 1) coverage.multi_iteration_missions += 1;
+}
+
+}  // namespace
+
+void CampaignCoverage::merge(const CampaignCoverage& other) {
+  auto add = [](std::vector<std::size_t>& into,
+                const std::vector<std::size_t>& from) {
+    into.resize(std::max(into.size(), from.size()), 0);
+    for (std::size_t i = 0; i < from.size(); ++i) into[i] += from[i];
+  };
+  add(processor_faults, other.processor_faults);
+  add(link_faults, other.link_faults);
+  add(crash_time_buckets, other.crash_time_buckets);
+  dead_at_start_events += other.dead_at_start_events;
+  crash_events += other.crash_events;
+  silence_events += other.silence_events;
+  suspect_events += other.suspect_events;
+  multi_iteration_missions += other.multi_iteration_missions;
+}
+
+CampaignReport run_campaign(const Schedule& schedule,
+                            const CampaignOptions& options) {
+  const auto wall_start = std::chrono::steady_clock::now();
+
+  const ScenarioGenerator generator(schedule, options.spec, options.seed);
+  const Oracle oracle(schedule, options.oracle);
+  const Simulator simulator(schedule);
+  const ArchitectureGraph& arch = *schedule.problem().architecture;
+
+  CampaignReport report;
+  report.claimed_tolerance = oracle.claimed_tolerance();
+  report.response_bound = oracle.response_bound();
+  report.horizon = generator.horizon();
+  report.scenarios_run = options.scenarios;
+
+  auto blank_coverage = [&] {
+    CampaignCoverage coverage;
+    coverage.processor_faults.assign(arch.processor_count(), 0);
+    coverage.link_faults.assign(arch.link_count(), 0);
+    coverage.crash_time_buckets.assign(kCrashTimeBuckets, 0);
+    return coverage;
+  };
+  report.coverage = blank_coverage();
+
+  // A structurally invalid schedule poisons every scenario; surface the
+  // validator findings once, as a violation at the front of the list.
+  if (!oracle.static_violations().empty()) {
+    CampaignViolation violation;
+    violation.index = 0;
+    violation.seed = options.seed;
+    violation.details = oracle.static_violations();
+    report.violations.push_back(std::move(violation));
+    report.total_violations += 1;
+  }
+
+  const unsigned threads = resolve_threads(options.threads);
+  report.threads_used = threads;
+  if (options.scenarios == 0) {
+    report.elapsed_seconds =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      wall_start)
+            .count();
+    return report;
+  }
+
+  // Chunky tasks amortize pool overhead; several chunks per worker give
+  // the stealing something to balance.
+  const std::size_t chunk =
+      std::max<std::size_t>(1, options.scenarios / (threads * 8));
+  const std::size_t chunks = (options.scenarios + chunk - 1) / chunk;
+  std::vector<Partial> partials(chunks);
+
+  auto evaluate = [&](std::size_t begin, std::size_t end, Partial& partial) {
+    partial.coverage = blank_coverage();
+    for (std::size_t i = begin; i < end; ++i) {
+      const CampaignScenario scenario = generator.scenario(i);
+      count_coverage(scenario, generator.horizon(), partial.coverage);
+      const MissionResult result = run_mission(simulator, scenario.plan);
+      const Verdict verdict = oracle.judge(scenario.plan, result);
+      if (verdict.within_contract) partial.within_contract += 1;
+      if (!verdict.within_contract && verdict.outputs_lost) {
+        partial.expected_losses += 1;
+      }
+      if (!verdict.ok()) {
+        partial.total_violations += 1;
+        CampaignViolation violation;
+        violation.index = scenario.index;
+        violation.seed = scenario.seed;
+        violation.plan = scenario.plan;
+        violation.details = verdict.violations;
+        partial.violations.push_back(std::move(violation));
+      }
+    }
+  };
+
+  if (threads == 1) {
+    for (std::size_t c = 0; c < chunks; ++c) {
+      evaluate(c * chunk, std::min(options.scenarios, (c + 1) * chunk),
+               partials[c]);
+    }
+  } else {
+    WorkPool pool(threads);
+    for (std::size_t c = 0; c < chunks; ++c) {
+      pool.submit([&, c] {
+        evaluate(c * chunk, std::min(options.scenarios, (c + 1) * chunk),
+                 partials[c]);
+      });
+    }
+    pool.wait();
+  }
+
+  // Merge in index order: identical report for any thread count.
+  for (Partial& partial : partials) {
+    report.within_contract += partial.within_contract;
+    report.expected_losses += partial.expected_losses;
+    report.total_violations += partial.total_violations;
+    report.coverage.merge(partial.coverage);
+    for (CampaignViolation& violation : partial.violations) {
+      if (report.violations.size() < options.max_recorded_violations) {
+        report.violations.push_back(std::move(violation));
+      } else {
+        CampaignViolation stub;
+        stub.index = violation.index;
+        stub.seed = violation.seed;
+        stub.details = std::move(violation.details);
+        report.violations.push_back(std::move(stub));
+      }
+    }
+  }
+
+  report.elapsed_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                    wall_start)
+          .count();
+  return report;
+}
+
+std::string CampaignReport::to_text(const ArchitectureGraph& arch) const {
+  std::string out;
+  out += "campaign: " + std::to_string(scenarios_run) + " scenarios, " +
+         std::to_string(within_contract) + " within claimed K=" +
+         std::to_string(claimed_tolerance) + ", " +
+         std::to_string(expected_losses) + " expected over-budget losses\n";
+  out += "verdict:  " +
+         (total_violations == 0
+              ? std::string("no oracle violations")
+              : std::to_string(total_violations) + " VIOLATIONS") +
+         "\n";
+  out += "bound:    response <= " + time_to_string(response_bound) +
+         ", crash horizon " + time_to_string(horizon) + "\n";
+  char rate[64];
+  std::snprintf(rate, sizeof rate, "%.0f scenarios/s on %u thread%s\n",
+                scenarios_per_second(), threads_used,
+                threads_used == 1 ? "" : "s");
+  out += "rate:     ";
+  out += rate;
+
+  std::vector<std::vector<std::string>> rows;
+  rows.push_back({"processor", "faulted"});
+  for (const Processor& proc : arch.processors()) {
+    rows.push_back({proc.name,
+                    std::to_string(coverage.processor_faults[proc.id.index()])});
+  }
+  out += render_table(rows);
+
+  if (arch.link_count() > 0) {
+    rows.clear();
+    rows.push_back({"link", "killed"});
+    for (const Link& link : arch.links()) {
+      rows.push_back(
+          {link.name, std::to_string(coverage.link_faults[link.id.index()])});
+    }
+    out += render_table(rows);
+  }
+
+  rows.clear();
+  rows.push_back({"crash bucket", "hits"});
+  for (std::size_t b = 0; b < coverage.crash_time_buckets.size(); ++b) {
+    const double lo = static_cast<double>(b) /
+                      static_cast<double>(kCrashTimeBuckets) * horizon;
+    const double hi = static_cast<double>(b + 1) /
+                      static_cast<double>(kCrashTimeBuckets) * horizon;
+    rows.push_back({"[" + time_to_string(lo) + ", " + time_to_string(hi) + ")",
+                    std::to_string(coverage.crash_time_buckets[b])});
+  }
+  out += render_table(rows);
+
+  rows.clear();
+  rows.push_back({"event class", "count"});
+  rows.push_back({"dead at start", std::to_string(coverage.dead_at_start_events)});
+  rows.push_back({"mid-run crashes", std::to_string(coverage.crash_events)});
+  rows.push_back({"silent windows", std::to_string(coverage.silence_events)});
+  rows.push_back({"wrong suspicions", std::to_string(coverage.suspect_events)});
+  rows.push_back({"multi-iteration missions",
+                  std::to_string(coverage.multi_iteration_missions)});
+  out += render_table(rows);
+  return out;
+}
+
+}  // namespace ftsched::campaign

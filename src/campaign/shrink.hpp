@@ -1,0 +1,52 @@
+// Counterexample shrinking: delta-debugging minimization of a violating
+// MissionPlan (Zeller/Hildebrandt's ddmin over the plan's event list,
+// followed by domain-specific canonicalization passes), re-simulating at
+// every step, until the plan is 1-minimal — removing any single remaining
+// event makes the violation disappear. A 40-event random cascade shrinks
+// to the two lines that actually matter, ready to be serialized
+// (io/scenario_format.hpp) and checked into tests/ as a permanent
+// regression.
+//
+// Passes, in order:
+//  1. ddmin over all injected events (crashes, dead-at-start, silences,
+//     link faults, suspicions);
+//  2. mission truncation to the first violating iteration;
+//  3. crash simplification: mid-run crashes become dead-at-start when the
+//     violation survives (the settled regime is the simpler reproducer);
+//  4. crash-instant snapping to the schedule's Gantt boundaries — replica
+//     start/finish dates on the crashed processor — preferring the
+//     earliest still-failing instant;
+//  5. silent-window narrowing by binary bisection of each edge;
+//  6. a final singles sweep re-establishing 1-minimality after the
+//     rewrites (a snapped crash can subsume another event).
+// Every pass is deterministic, so a shrunk reproducer is stable across
+// runs.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "campaign/oracle.hpp"
+#include "sim/simulator.hpp"
+
+namespace ftsched::campaign {
+
+struct ShrinkResult {
+  /// The minimized plan; still violating, 1-minimal w.r.t. event removal.
+  MissionPlan plan;
+  /// Oracle violations of the minimized plan.
+  std::vector<std::string> violations;
+  std::size_t initial_events = 0;
+  std::size_t final_events = 0;
+  /// Mission simulations spent shrinking.
+  std::size_t simulations = 0;
+};
+
+/// Minimizes `plan`. Precondition: the oracle rejects `plan` (judge over a
+/// fresh run_mission is not ok); throws std::invalid_argument otherwise.
+/// `simulator` must execute the same schedule the oracle judges.
+[[nodiscard]] ShrinkResult shrink(const Simulator& simulator,
+                                  const Oracle& oracle, MissionPlan plan);
+
+}  // namespace ftsched::campaign

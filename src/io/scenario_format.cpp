@@ -1,0 +1,231 @@
+#include "io/scenario_format.hpp"
+
+#include <cctype>
+#include <charconv>
+#include <optional>
+#include <vector>
+
+namespace ftsched::io {
+
+namespace {
+
+std::vector<std::string> tokenize(std::string_view line) {
+  std::vector<std::string> tokens;
+  std::size_t i = 0;
+  while (i < line.size()) {
+    while (i < line.size() &&
+           std::isspace(static_cast<unsigned char>(line[i]))) {
+      ++i;
+    }
+    if (i >= line.size() || line[i] == '#') break;
+    std::size_t start = i;
+    while (i < line.size() &&
+           !std::isspace(static_cast<unsigned char>(line[i]))) {
+      ++i;
+    }
+    tokens.emplace_back(line.substr(start, i - start));
+  }
+  return tokens;
+}
+
+Error parse_error(int line, const std::string& message) {
+  return Error{Error::Code::kInvalidInput,
+               "line " + std::to_string(line) + ": " + message};
+}
+
+bool parse_time(const std::string& token, Time& out) {
+  const char* begin = token.data();
+  const char* end = begin + token.size();
+  const auto [ptr, ec] = std::from_chars(begin, end, out);
+  return ec == std::errc{} && ptr == end && out >= 0;
+}
+
+bool parse_int(const std::string& token, int& out) {
+  const char* begin = token.data();
+  const char* end = begin + token.size();
+  const auto [ptr, ec] = std::from_chars(begin, end, out);
+  return ec == std::errc{} && ptr == end;
+}
+
+/// Shortest representation that round-trips bit-exactly.
+std::string time_exact(Time t) {
+  char buffer[64];
+  const auto [ptr, ec] =
+      std::to_chars(buffer, buffer + sizeof buffer, t);
+  return ec == std::errc{} ? std::string(buffer, ptr) : std::string("0");
+}
+
+/// Parses an optional trailing "@N" iteration token.
+std::optional<Error> parse_at(const std::vector<std::string>& tokens,
+                              std::size_t index, int line, int& iteration) {
+  iteration = 0;
+  if (index >= tokens.size()) return std::nullopt;
+  const std::string& token = tokens[index];
+  if (token.size() < 2 || token[0] != '@' ||
+      !parse_int(token.substr(1), iteration) || iteration < 0) {
+    return parse_error(line, "expected @<iteration>, got '" + token + "'");
+  }
+  return std::nullopt;
+}
+
+}  // namespace
+
+std::string write_scenario(const MissionPlan& plan,
+                           const ArchitectureGraph& arch) {
+  std::string out = "scenario\n";
+  out += "  iterations " + std::to_string(plan.iterations) + "\n";
+  for (const ProcessorId proc : plan.dead_at_start) {
+    out += "  dead " + arch.processor(proc).name + "\n";
+  }
+  for (const MissionFailure& failure : plan.failures) {
+    out += "  crash " + arch.processor(failure.event.processor).name + " " +
+           time_exact(failure.event.time) + " @" +
+           std::to_string(failure.iteration) + "\n";
+  }
+  for (const MissionSilence& silence : plan.silences) {
+    out += "  silent " + arch.processor(silence.window.processor).name + " " +
+           time_exact(silence.window.from) + " " +
+           time_exact(silence.window.to) + " @" +
+           std::to_string(silence.iteration) + "\n";
+  }
+  for (const LinkId link : plan.dead_links_at_start) {
+    out += "  link-dead " + arch.link(link).name + "\n";
+  }
+  for (const MissionLinkFailure& failure : plan.link_failures) {
+    out += "  link-crash " + arch.link(failure.event.link).name + " " +
+           time_exact(failure.event.time) + " @" +
+           std::to_string(failure.iteration) + "\n";
+  }
+  for (const ProcessorId proc : plan.suspected_at_start) {
+    out += "  suspected " + arch.processor(proc).name + "\n";
+  }
+  return out;
+}
+
+Expected<MissionPlan> read_scenario(std::string_view text,
+                                    const ArchitectureGraph& arch) {
+  MissionPlan plan;
+  bool in_scenario = false;
+  int line_number = 0;
+  std::size_t pos = 0;
+  // Every iteration an event targets; validated against plan.iterations at
+  // the end so directive order does not matter.
+  int max_iteration = 0;
+
+  auto processor = [&](const std::string& name) {
+    return arch.find_processor(name);
+  };
+  auto link = [&](const std::string& name) { return arch.find_link(name); };
+
+  while (pos <= text.size()) {
+    const std::size_t eol = text.find('\n', pos);
+    const std::string_view line =
+        text.substr(pos, eol == std::string_view::npos ? text.size() - pos
+                                                       : eol - pos);
+    pos = eol == std::string_view::npos ? text.size() + 1 : eol + 1;
+    ++line_number;
+    const std::vector<std::string> tokens = tokenize(line);
+    if (tokens.empty()) continue;
+
+    const std::string& head = tokens.front();
+    if (head == "scenario") {
+      in_scenario = true;
+      continue;
+    }
+    if (!in_scenario) {
+      return parse_error(line_number,
+                         "directive before 'scenario' header: " + head);
+    }
+
+    int iteration = 0;
+    if (head == "iterations") {
+      if (tokens.size() != 2 || !parse_int(tokens[1], plan.iterations) ||
+          plan.iterations < 1) {
+        return parse_error(line_number, "expected: iterations <count >= 1>");
+      }
+    } else if (head == "dead" || head == "suspected") {
+      if (tokens.size() != 2) {
+        return parse_error(line_number,
+                           "expected: " + head + " <processor>");
+      }
+      const ProcessorId proc = processor(tokens[1]);
+      if (!proc.valid()) {
+        return parse_error(line_number, "unknown processor " + tokens[1]);
+      }
+      (head == "dead" ? plan.dead_at_start : plan.suspected_at_start)
+          .push_back(proc);
+    } else if (head == "crash") {
+      Time time = 0;
+      if (tokens.size() < 3 || tokens.size() > 4 ||
+          !parse_time(tokens[2], time)) {
+        return parse_error(line_number,
+                           "expected: crash <processor> <time> [@iter]");
+      }
+      const ProcessorId proc = processor(tokens[1]);
+      if (!proc.valid()) {
+        return parse_error(line_number, "unknown processor " + tokens[1]);
+      }
+      if (auto err = parse_at(tokens, 3, line_number, iteration)) return *err;
+      max_iteration = std::max(max_iteration, iteration);
+      plan.failures.push_back(
+          MissionFailure{iteration, FailureEvent{proc, time}});
+    } else if (head == "silent") {
+      Time from = 0;
+      Time to = 0;
+      if (tokens.size() < 4 || tokens.size() > 5 ||
+          !parse_time(tokens[2], from) || !parse_time(tokens[3], to) ||
+          !time_lt(from, to)) {
+        return parse_error(
+            line_number,
+            "expected: silent <processor> <from> <to> [@iter] with from < to");
+      }
+      const ProcessorId proc = processor(tokens[1]);
+      if (!proc.valid()) {
+        return parse_error(line_number, "unknown processor " + tokens[1]);
+      }
+      if (auto err = parse_at(tokens, 4, line_number, iteration)) return *err;
+      max_iteration = std::max(max_iteration, iteration);
+      plan.silences.push_back(
+          MissionSilence{iteration, SilentWindow{proc, from, to}});
+    } else if (head == "link-dead") {
+      if (tokens.size() != 2) {
+        return parse_error(line_number, "expected: link-dead <link>");
+      }
+      const LinkId id = link(tokens[1]);
+      if (!id.valid()) {
+        return parse_error(line_number, "unknown link " + tokens[1]);
+      }
+      plan.dead_links_at_start.push_back(id);
+    } else if (head == "link-crash") {
+      Time time = 0;
+      if (tokens.size() < 3 || tokens.size() > 4 ||
+          !parse_time(tokens[2], time)) {
+        return parse_error(line_number,
+                           "expected: link-crash <link> <time> [@iter]");
+      }
+      const LinkId id = link(tokens[1]);
+      if (!id.valid()) {
+        return parse_error(line_number, "unknown link " + tokens[1]);
+      }
+      if (auto err = parse_at(tokens, 3, line_number, iteration)) return *err;
+      max_iteration = std::max(max_iteration, iteration);
+      plan.link_failures.push_back(
+          MissionLinkFailure{iteration, LinkFailureEvent{id, time}});
+    } else {
+      return parse_error(line_number, "unknown directive: " + head);
+    }
+  }
+
+  if (!in_scenario) {
+    return Error{Error::Code::kInvalidInput, "missing 'scenario' header"};
+  }
+  if (max_iteration >= plan.iterations) {
+    return Error{Error::Code::kInvalidInput,
+                 "an event targets iteration " +
+                     std::to_string(max_iteration) + " but the mission has " +
+                     std::to_string(plan.iterations) + " iteration(s)"};
+  }
+  return plan;
+}
+
+}  // namespace ftsched::io

@@ -1,0 +1,40 @@
+// Text reproducer format for fault-injection scenarios: the campaign's
+// shrunk counterexamples serialize to this, land in tests/ as permanent
+// regressions, and replay deterministically (campaign_tool --replay).
+// Entities are referenced by the names of the architecture the scenario
+// attacks, so a reproducer reads as documentation:
+//
+//   # comment (blank lines ignored; indentation optional)
+//   scenario
+//     iterations 3
+//     dead P2                  # dead & known before iteration 0
+//     crash P3 4.25 @1         # fail-stop at t=4.25 in iteration 1
+//     silent P1 2 4.5 @0       # send-omission window [2, 4.5)
+//     link-dead can            # link dead before iteration 0
+//     link-crash L1.2 3 @2     # link dies at t=3 in iteration 2
+//     suspected P2             # healthy but flagged at mission start
+//
+// The '@N' iteration suffix is optional and defaults to @0. Times are
+// written with full precision so a shrunk instant replays bit-exactly.
+#pragma once
+
+#include <string>
+#include <string_view>
+
+#include "arch/architecture_graph.hpp"
+#include "core/error.hpp"
+#include "sim/mission.hpp"
+
+namespace ftsched::io {
+
+/// Serializes `plan` against `arch` (round-trips through read_scenario).
+[[nodiscard]] std::string write_scenario(const MissionPlan& plan,
+                                         const ArchitectureGraph& arch);
+
+/// Parses the format above. Errors carry a line number and explanation;
+/// unknown processor/link names, malformed times, and events aimed past
+/// the mission's iteration count are all rejected.
+[[nodiscard]] Expected<MissionPlan> read_scenario(
+    std::string_view text, const ArchitectureGraph& arch);
+
+}  // namespace ftsched::io

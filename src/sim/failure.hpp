@@ -4,6 +4,7 @@
 // its communication units fall silent).
 #pragma once
 
+#include <algorithm>
 #include <cstddef>
 #include <vector>
 
@@ -70,8 +71,34 @@ struct FailureScenario {
     return scenario;
   }
 
-  [[nodiscard]] std::size_t failure_count() const noexcept {
-    return events.size() + failed_at_start.size();
+  /// Number of distinct processors genuinely faulted by this scenario
+  /// (mid-run crashes plus dead-from-start). Processors only: link faults
+  /// are outside the paper's failure hypothesis (§5.1) and are counted
+  /// separately by link_failure_count(). Silent windows and wrong
+  /// suspicions are not failures — the §6.1-item-3 machinery masks them
+  /// for free.
+  [[nodiscard]] std::size_t failure_count() const {
+    std::vector<ProcessorId> procs = failed_at_start;
+    for (const FailureEvent& event : events) procs.push_back(event.processor);
+    std::sort(procs.begin(), procs.end());
+    procs.erase(std::unique(procs.begin(), procs.end()), procs.end());
+    return procs.size();
+  }
+
+  /// Number of distinct links killed by this scenario (mid-run deaths plus
+  /// dead-from-start).
+  [[nodiscard]] std::size_t link_failure_count() const {
+    std::vector<LinkId> links = failed_links_at_start;
+    for (const LinkFailureEvent& event : link_events) links.push_back(event.link);
+    std::sort(links.begin(), links.end());
+    links.erase(std::unique(links.begin(), links.end()), links.end());
+    return links.size();
+  }
+
+  /// Faults of every class: the honest "how much did this scenario inject"
+  /// answer the campaign oracle budgets against.
+  [[nodiscard]] std::size_t total_fault_count() const {
+    return failure_count() + link_failure_count();
   }
 };
 

@@ -10,18 +10,36 @@ namespace ftsched {
 MissionResult run_mission(const Schedule& schedule, int iterations,
                           const std::vector<MissionFailure>& failures,
                           const std::vector<MissionSilence>& silences) {
-  FTSCHED_REQUIRE(iterations > 0, "a mission needs at least one iteration");
-  const Simulator simulator(schedule);
+  MissionPlan plan;
+  plan.iterations = iterations;
+  plan.failures = failures;
+  plan.silences = silences;
+  return run_mission(schedule, plan);
+}
 
-  std::vector<ProcessorId> dead;       // genuinely dead, in any iteration
-  std::vector<ProcessorId> known;     // dead AND known by the survivors
-  std::vector<ProcessorId> suspected;  // alive but flagged
+MissionResult run_mission(const Schedule& schedule, const MissionPlan& plan) {
+  return run_mission(Simulator(schedule), plan);
+}
+
+MissionResult run_mission(const Simulator& simulator,
+                          const MissionPlan& plan) {
+  FTSCHED_REQUIRE(plan.iterations > 0,
+                  "a mission needs at least one iteration");
+
+  std::vector<ProcessorId> dead =
+      plan.dead_at_start;                  // genuinely dead, in any iteration
+  std::vector<ProcessorId> known =
+      plan.dead_at_start;                  // dead AND known by the survivors
+  std::vector<ProcessorId> suspected =
+      plan.suspected_at_start;             // alive but flagged
+  std::vector<LinkId> dead_links = plan.dead_links_at_start;
 
   MissionResult result;
-  for (int i = 0; i < iterations; ++i) {
+  for (int i = 0; i < plan.iterations; ++i) {
     FailureScenario scenario;
     scenario.failed_at_start = known;
     scenario.suspected_at_start = suspected;
+    scenario.failed_links_at_start = dead_links;
     // Dead-but-undetected processors are silent from the very start of this
     // iteration; survivors rediscover them through their watch chains.
     for (ProcessorId proc : dead) {
@@ -29,12 +47,17 @@ MissionResult run_mission(const Schedule& schedule, int iterations,
         scenario.events.push_back(FailureEvent{proc, 0});
       }
     }
-    for (const MissionFailure& failure : failures) {
+    for (const MissionFailure& failure : plan.failures) {
       if (failure.iteration == i) scenario.events.push_back(failure.event);
     }
-    for (const MissionSilence& silence : silences) {
+    for (const MissionSilence& silence : plan.silences) {
       if (silence.iteration == i) {
         scenario.silent_windows.push_back(silence.window);
+      }
+    }
+    for (const MissionLinkFailure& failure : plan.link_failures) {
+      if (failure.iteration == i) {
+        scenario.link_events.push_back(failure.event);
       }
     }
 
@@ -56,6 +79,13 @@ MissionResult run_mission(const Schedule& schedule, int iterations,
       if (std::find(dead.begin(), dead.end(), event.processor) ==
           dead.end()) {
         dead.push_back(event.processor);
+      }
+    }
+    // A link that died stays dead for the rest of the mission.
+    for (const LinkFailureEvent& event : scenario.link_events) {
+      if (std::find(dead_links.begin(), dead_links.end(), event.link) ==
+          dead_links.end()) {
+        dead_links.push_back(event.link);
       }
     }
     known.clear();

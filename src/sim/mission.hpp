@@ -26,6 +26,42 @@ struct MissionSilence {
   SilentWindow window;
 };
 
+/// A link dying at `event.time` within iteration `iteration`; it stays dead
+/// for the rest of the mission.
+struct MissionLinkFailure {
+  int iteration = 0;
+  LinkFailureEvent event;
+};
+
+/// A complete multi-iteration adversarial plan: every fault class the
+/// simulator models, placed at chosen iterations, plus the mission's
+/// initial knowledge state. This is the unit the fault-injection campaign
+/// generates, replays, shrinks, and serializes (io/scenario_format.hpp).
+struct MissionPlan {
+  int iterations = 1;
+  /// Mid-run processor crashes.
+  std::vector<MissionFailure> failures;
+  /// Intermittent send-omission windows.
+  std::vector<MissionSilence> silences;
+  /// Link deaths (permanent from their instant on).
+  std::vector<MissionLinkFailure> link_failures;
+  /// Processors dead — and known dead — before iteration 0.
+  std::vector<ProcessorId> dead_at_start;
+  /// Links dead before iteration 0.
+  std::vector<LinkId> dead_links_at_start;
+  /// Healthy processors wrongly flagged faulty before iteration 0.
+  std::vector<ProcessorId> suspected_at_start;
+
+  /// Total number of injected events of every class (size of the
+  /// shrinker's search space, not a fault count — see
+  /// FailureScenario::failure_count for the budget semantics).
+  [[nodiscard]] std::size_t event_count() const noexcept {
+    return failures.size() + silences.size() + link_failures.size() +
+           dead_at_start.size() + dead_links_at_start.size() +
+           suspected_at_start.size();
+  }
+};
+
 struct MissionIteration {
   int index = 0;
   bool all_outputs_produced = false;
@@ -63,5 +99,15 @@ struct MissionResult {
     const Schedule& schedule, int iterations,
     const std::vector<MissionFailure>& failures,
     const std::vector<MissionSilence>& silences = {});
+
+/// Full-plan variant: link failures and a non-empty initial state in
+/// addition to crashes and silences. The simulator overload lets callers
+/// that replay thousands of plans against one schedule (the campaign
+/// runner, the shrinker) reuse one Simulator — construction builds routing
+/// and timeout tables, Simulator::run is const and reentrant.
+[[nodiscard]] MissionResult run_mission(const Simulator& simulator,
+                                        const MissionPlan& plan);
+[[nodiscard]] MissionResult run_mission(const Schedule& schedule,
+                                        const MissionPlan& plan);
 
 }  // namespace ftsched

@@ -62,6 +62,11 @@ class Simulator {
   /// Convenience: failure-free run.
   [[nodiscard]] IterationResult run() const { return run({}); }
 
+  /// The schedule this simulator executes.
+  [[nodiscard]] const Schedule& schedule() const noexcept {
+    return *schedule_;
+  }
+
  private:
   const Schedule* schedule_;
   RoutingTable routing_;

@@ -1,0 +1,72 @@
+// Checked-in campaign counterexamples. Every file under
+// tests/campaign/regressions/ is a shrunk reproducer the campaign once
+// found; replaying it must keep demonstrating the violation it captured.
+// To add one: run campaign_tool with --shrink, paste the shrunk scenario
+// into a new .scenario file, and register it below with the schedule and
+// claim it attacks.
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "campaign/oracle.hpp"
+#include "io/scenario_format.hpp"
+#include "sched/heuristics.hpp"
+#include "sim/mission.hpp"
+#include "workload/paper_examples.hpp"
+
+namespace ftsched::campaign {
+namespace {
+
+std::string read_file(const std::string& name) {
+  const std::string path =
+      std::string(FTSCHED_SOURCE_DIR) + "/tests/campaign/regressions/" + name;
+  std::ifstream file(path);
+  EXPECT_TRUE(file.is_open()) << "missing reproducer: " << path;
+  std::stringstream buffer;
+  buffer << file.rdbuf();
+  return buffer.str();
+}
+
+TEST(CampaignRegressions, Example1BaseClaimK1LosesOutputs) {
+  // The campaign's proof that a K=0 base schedule cannot honour a K=1
+  // claim: the shrunk one-event reproducer kills a single processor and
+  // an output is lost. Found by campaign_tool --example1 --base
+  // --claim-k 1 --shrink, seed 42.
+  const workload::OwnedProblem ex = workload::paper_example1();
+  const Schedule schedule = schedule_base(ex.problem).value();
+  ASSERT_EQ(schedule.failures_tolerated(), 0);
+
+  const Expected<MissionPlan> plan = io::read_scenario(
+      read_file("example1_base_claim1.scenario"), *ex.problem.architecture);
+  ASSERT_TRUE(plan.has_value()) << plan.error().message;
+  // The minimized reproducer is a single event.
+  EXPECT_EQ(plan->event_count(), 1u);
+
+  const Oracle oracle(schedule, OracleSpec{.claimed_tolerance = 1});
+  const Verdict verdict =
+      oracle.judge(plan.value(), run_mission(schedule, plan.value()));
+  EXPECT_TRUE(verdict.within_contract);
+  EXPECT_FALSE(verdict.ok());
+  EXPECT_TRUE(verdict.outputs_lost);
+}
+
+TEST(CampaignRegressions, ReproducerSurvivesSolution1) {
+  // The same single fault replayed against the solution-1 schedule for the
+  // identical problem is masked — the violation is the base schedule's
+  // missing redundancy, not a simulator artefact.
+  const workload::OwnedProblem ex = workload::paper_example1();
+  const Schedule schedule = schedule_solution1(ex.problem).value();
+  const Expected<MissionPlan> plan = io::read_scenario(
+      read_file("example1_base_claim1.scenario"), *ex.problem.architecture);
+  ASSERT_TRUE(plan.has_value()) << plan.error().message;
+
+  const Oracle oracle(schedule, OracleSpec{.claimed_tolerance = 1});
+  const Verdict verdict =
+      oracle.judge(plan.value(), run_mission(schedule, plan.value()));
+  EXPECT_TRUE(verdict.ok()) << verdict.violations.front();
+}
+
+}  // namespace
+}  // namespace ftsched::campaign

@@ -1,0 +1,143 @@
+// Determinism and shape of the campaign's scenario stream.
+#include <gtest/gtest.h>
+
+#include "campaign/oracle.hpp"
+#include "campaign/scenario_gen.hpp"
+#include "io/scenario_format.hpp"
+#include "sched/heuristics.hpp"
+#include "workload/paper_examples.hpp"
+
+namespace ftsched::campaign {
+namespace {
+
+Schedule example1_solution1() {
+  static const workload::OwnedProblem ex = workload::paper_example1();
+  return schedule_solution1(ex.problem).value();
+}
+
+const ArchitectureGraph& example1_arch() {
+  static const workload::OwnedProblem ex = workload::paper_example1();
+  return *ex.problem.architecture;
+}
+
+CampaignSpec rich_spec() {
+  CampaignSpec spec;
+  spec.max_iterations = 4;
+  spec.over_budget_fraction = 0.2;
+  spec.silence_probability = 0.3;
+  spec.suspect_probability = 0.3;
+  spec.link_failure_probability = 0.3;
+  return spec;
+}
+
+TEST(ScenarioGenerator, SameSeedSameSpecIdenticalStream) {
+  const Schedule schedule = example1_solution1();
+  const ScenarioGenerator a(schedule, rich_spec(), 1234);
+  const ScenarioGenerator b(schedule, rich_spec(), 1234);
+  for (std::size_t i = 0; i < 200; ++i) {
+    const CampaignScenario sa = a.scenario(i);
+    const CampaignScenario sb = b.scenario(i);
+    EXPECT_EQ(sa.seed, sb.seed);
+    EXPECT_EQ(io::write_scenario(sa.plan, example1_arch()),
+              io::write_scenario(sb.plan, example1_arch()))
+        << "scenario " << i;
+  }
+}
+
+TEST(ScenarioGenerator, RandomAccessIsPure) {
+  const Schedule schedule = example1_solution1();
+  const ScenarioGenerator gen(schedule, rich_spec(), 99);
+  // Out-of-order and repeated access must match in-order access.
+  const std::string forward = io::write_scenario(gen.scenario(7).plan,
+                                                 example1_arch());
+  (void)gen.scenario(100);
+  (void)gen.scenario(3);
+  EXPECT_EQ(io::write_scenario(gen.scenario(7).plan, example1_arch()),
+            forward);
+}
+
+TEST(ScenarioGenerator, DifferentSeedsDiverge) {
+  const Schedule schedule = example1_solution1();
+  const ScenarioGenerator a(schedule, rich_spec(), 1);
+  const ScenarioGenerator b(schedule, rich_spec(), 2);
+  std::size_t different = 0;
+  for (std::size_t i = 0; i < 50; ++i) {
+    if (io::write_scenario(a.scenario(i).plan, example1_arch()) !=
+        io::write_scenario(b.scenario(i).plan, example1_arch())) {
+      ++different;
+    }
+  }
+  EXPECT_GT(different, 25u);
+}
+
+TEST(ScenarioGenerator, RespectsBudgetAndHorizon) {
+  const Schedule schedule = example1_solution1();
+  CampaignSpec spec = rich_spec();
+  spec.over_budget_fraction = 0.0;
+  const ScenarioGenerator gen(schedule, spec, 7);
+  ASSERT_EQ(gen.budget(), schedule.failures_tolerated());
+  for (std::size_t i = 0; i < 300; ++i) {
+    const CampaignScenario scenario = gen.scenario(i);
+    EXPECT_LE(plan_processor_faults(scenario.plan),
+              static_cast<std::size_t>(gen.budget()));
+    EXPECT_GE(scenario.plan.iterations, 1);
+    EXPECT_LE(scenario.plan.iterations, 4);
+    for (const MissionFailure& failure : scenario.plan.failures) {
+      EXPECT_GE(failure.event.time, 0);
+      EXPECT_LT(failure.event.time, gen.horizon());
+      EXPECT_GE(failure.iteration, 0);
+      EXPECT_LT(failure.iteration, scenario.plan.iterations);
+    }
+    for (const MissionSilence& silence : scenario.plan.silences) {
+      EXPECT_LT(silence.window.from, silence.window.to);
+    }
+  }
+}
+
+TEST(ScenarioGenerator, OverBudgetScenariosExceedK) {
+  const Schedule schedule = example1_solution1();
+  CampaignSpec spec;
+  spec.over_budget_fraction = 1.0;
+  const ScenarioGenerator gen(schedule, spec, 11);
+  for (std::size_t i = 0; i < 50; ++i) {
+    EXPECT_GT(plan_processor_faults(gen.scenario(i).plan),
+              static_cast<std::size_t>(schedule.failures_tolerated()));
+  }
+}
+
+TEST(ScenarioGenerator, EveryFaultClassAppears) {
+  const Schedule schedule = example1_solution1();
+  const ScenarioGenerator gen(schedule, rich_spec(), 5);
+  std::size_t crashes = 0;
+  std::size_t dead = 0;
+  std::size_t silences = 0;
+  std::size_t suspects = 0;
+  std::size_t links = 0;
+  std::size_t missions = 0;
+  for (std::size_t i = 0; i < 400; ++i) {
+    const MissionPlan plan = gen.scenario(i).plan;
+    crashes += plan.failures.size();
+    dead += plan.dead_at_start.size();
+    silences += plan.silences.size();
+    suspects += plan.suspected_at_start.size();
+    links += plan.link_failures.size() + plan.dead_links_at_start.size();
+    missions += plan.iterations > 1 ? 1 : 0;
+  }
+  EXPECT_GT(crashes, 0u);
+  EXPECT_GT(dead, 0u);
+  EXPECT_GT(silences, 0u);
+  EXPECT_GT(suspects, 0u);
+  EXPECT_GT(links, 0u);
+  EXPECT_GT(missions, 0u);
+}
+
+TEST(ScenarioGenerator, MixSeedAvalanches) {
+  // Consecutive indices must not produce related seeds.
+  EXPECT_NE(mix_seed(0, 0), mix_seed(0, 1));
+  EXPECT_NE(mix_seed(1, 0), mix_seed(0, 0));
+  EXPECT_NE(mix_seed(42, 7) ^ mix_seed(42, 8),
+            mix_seed(42, 9) ^ mix_seed(42, 10));
+}
+
+}  // namespace
+}  // namespace ftsched::campaign
