@@ -2,7 +2,9 @@
 // runner over the paper's example-1 solution-1 schedule, swept across
 // thread counts — the scaling evidence for the work-stealing pool. Also
 // cross-checks that every thread count reproduces the single-thread
-// verdict and coverage bit-exactly (the determinism contract).
+// verdict and coverage bit-exactly (the determinism contract). Results are
+// additionally written to BENCH_campaign.json (override with
+// $FTSCHED_BENCH_OUT) for CI archiving.
 #include <cstdio>
 #include <thread>
 #include <vector>
@@ -37,6 +39,7 @@ int main() {
   std::size_t reference_violations = 0;
   std::size_t reference_contract = 0;
   bool deterministic = true;
+  std::vector<bench::BenchRecord> records;
   for (const unsigned threads : {1u, 2u, 4u, 8u}) {
     options.threads = threads;
     const campaign::CampaignReport report =
@@ -53,7 +56,15 @@ int main() {
                 threads, report.scenarios_per_second(),
                 base_rate > 0 ? report.scenarios_per_second() / base_rate : 0.0,
                 report.total_violations);
+    bench::BenchRecord record;
+    record.name = "campaign_throughput";
+    record.params = "threads=" + std::to_string(threads) +
+                    ";scenarios=" + std::to_string(options.scenarios);
+    record.wall_ms = report.elapsed_seconds * 1e3;
+    record.iters = options.scenarios;
+    records.push_back(std::move(record));
   }
   bench::value("thread-count deterministic", deterministic ? "yes" : "NO");
+  if (!bench::write_bench_json("BENCH_campaign.json", records)) return 1;
   return deterministic ? 0 : 1;
 }

@@ -1,8 +1,14 @@
 // P1: throughput of the scheduling heuristics themselves (google-benchmark)
 // versus graph size, processor count, and K — the compile-time cost a
-// SynDEx-style tool pays per design iteration.
+// SynDEx-style tool pays per design iteration. Besides the console table,
+// every run writes BENCH_sched.json (override with $FTSCHED_BENCH_OUT) so
+// CI can archive results and diff them across commits.
 #include <benchmark/benchmark.h>
 
+#include <string>
+#include <vector>
+
+#include "bench/common.hpp"
 #include "sched/heuristics.hpp"
 #include "workload/random_arch.hpp"
 
@@ -72,7 +78,43 @@ void BM_Baseline(benchmark::State& state) {
 BENCHMARK(BM_Baseline)->Arg(50)->Arg(200)->Arg(500)
     ->Unit(benchmark::kMicrosecond);
 
+/// Console output as usual, plus a BenchRecord per real (non-aggregate)
+/// run. google-benchmark encodes Args as "BM_Name/20/4/1"; the part after
+/// the first '/' becomes `params` verbatim.
+class JsonCaptureReporter : public benchmark::ConsoleReporter {
+ public:
+  void ReportRuns(const std::vector<Run>& runs) override {
+    for (const Run& run : runs) {
+      if (run.run_type == Run::RT_Aggregate) continue;
+      bench::BenchRecord record;
+      const std::string full = run.benchmark_name();
+      const std::size_t slash = full.find('/');
+      record.name = full.substr(0, slash);
+      if (slash != std::string::npos) record.params = full.substr(slash + 1);
+      record.iters = static_cast<std::uint64_t>(run.iterations);
+      record.wall_ms = run.iterations > 0
+                           ? run.real_accumulated_time * 1e3 /
+                                 static_cast<double>(run.iterations)
+                           : 0.0;
+      records.push_back(std::move(record));
+    }
+    ConsoleReporter::ReportRuns(runs);
+  }
+
+  std::vector<bench::BenchRecord> records;
+};
+
 }  // namespace
 }  // namespace ftsched
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  ftsched::JsonCaptureReporter reporter;
+  benchmark::RunSpecifiedBenchmarks(&reporter);
+  benchmark::Shutdown();
+  return ftsched::bench::write_bench_json("BENCH_sched.json",
+                                          reporter.records)
+             ? 0
+             : 1;
+}

@@ -21,6 +21,8 @@
 #include "campaign/shrink.hpp"
 #include "io/problem_format.hpp"
 #include "io/scenario_format.hpp"
+#include "obs/chrome_trace.hpp"
+#include "obs/span.hpp"
 #include "sched/heuristics.hpp"
 #include "sim/mission.hpp"
 #include "sim/simulator.hpp"
@@ -37,8 +39,24 @@ int usage() {
       "                     [--seed N] [--scenarios N] [--threads N]\n"
       "                     [--claim-k K] [--iterations MAX]\n"
       "                     [--overbudget FRACTION] [--links] [--silence]\n"
-      "                     [--suspects] [--shrink] [--replay FILE]\n");
+      "                     [--suspects] [--shrink] [--replay FILE]\n"
+      "                     [--metrics-out FILE] [--trace-out FILE]\n"
+      "\n"
+      "--metrics-out writes the campaign's merged domain metrics as JSON\n"
+      "(deterministic for a given seed, any thread count); --trace-out\n"
+      "writes the run's profiling spans as Chrome trace-event JSON (open\n"
+      "in chrome://tracing or https://ui.perfetto.dev).\n");
   return 2;
+}
+
+bool write_file(const std::string& path, const std::string& content) {
+  std::ofstream file(path);
+  if (!file) {
+    std::fprintf(stderr, "cannot write %s\n", path.c_str());
+    return false;
+  }
+  file << content;
+  return true;
 }
 
 bool parse_number(const char* text, long& out) {
@@ -58,6 +76,8 @@ bool parse_fraction(const char* text, double& out) {
 int main(int argc, char** argv) {
   std::string input;
   std::string replay_file;
+  std::string metrics_out;
+  std::string trace_out;
   HeuristicKind kind = HeuristicKind::kSolution1;
   bool example1 = false;
   bool example2 = false;
@@ -114,6 +134,10 @@ int main(int argc, char** argv) {
       do_shrink = true;
     } else if (arg == "--replay" && i + 1 < argc) {
       replay_file = argv[++i];
+    } else if (arg == "--metrics-out" && i + 1 < argc) {
+      metrics_out = argv[++i];
+    } else if (arg == "--trace-out" && i + 1 < argc) {
+      trace_out = argv[++i];
     } else if (!arg.empty() && arg[0] != '-') {
       input = arg;
     } else {
@@ -188,9 +212,20 @@ int main(int argc, char** argv) {
     return 1;
   }
 
+  if (!trace_out.empty()) obs::Profiler::global().enable(true);
   const campaign::CampaignReport report =
       campaign::run_campaign(sched, options);
   std::fputs(report.to_text(arch).c_str(), stdout);
+  if (!metrics_out.empty() &&
+      !write_file(metrics_out, report.metrics.to_json())) {
+    return 2;
+  }
+  if (!trace_out.empty()) {
+    obs::Profiler::global().enable(false);
+    const std::string trace =
+        obs::chrome_trace_from_spans(obs::Profiler::global().drain());
+    if (!write_file(trace_out, trace)) return 2;
+  }
   if (report.violations.empty()) return 0;
 
   const campaign::CampaignViolation& first = report.violations.front();

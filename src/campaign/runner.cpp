@@ -6,6 +6,8 @@
 
 #include "campaign/work_pool.hpp"
 #include "core/text.hpp"
+#include "obs/span.hpp"
+#include "sim/mission.hpp"
 #include "sim/simulator.hpp"
 
 namespace ftsched::campaign {
@@ -20,7 +22,57 @@ struct Partial {
   std::size_t total_violations = 0;
   std::vector<CampaignViolation> violations;
   CampaignCoverage coverage;
+  obs::MetricsSnapshot metrics;
 };
+
+/// Response times, relative to the oracle's static bound: everything at or
+/// under 1 honours the envelope, the 2+ overflow bucket is pathological.
+const std::vector<double>& response_ratio_bounds() {
+  static const std::vector<double> bounds = {0.25, 0.5, 0.75, 1.0,
+                                             1.25, 1.5,  2.0};
+  return bounds;
+}
+
+/// Injected events per mission plan (the shrinker's search-space size).
+const std::vector<double>& plan_event_bounds() {
+  static const std::vector<double> bounds = {0, 1, 2, 4, 8, 16};
+  return bounds;
+}
+
+void count_metrics(const CampaignScenario& scenario,
+                   const MissionResult& result, const Verdict& verdict,
+                   Time response_bound, obs::MetricsSnapshot& metrics) {
+  const MissionPlan& plan = scenario.plan;
+  metrics.add_counter("campaign.scenarios");
+  if (verdict.within_contract) metrics.add_counter("campaign.within_contract");
+  if (!verdict.within_contract && verdict.outputs_lost) {
+    metrics.add_counter("campaign.expected_losses");
+  }
+  if (!verdict.ok()) metrics.add_counter("campaign.violations");
+  metrics.add_counter("campaign.faults.crashes", plan.failures.size());
+  metrics.add_counter("campaign.faults.dead_at_start",
+                      plan.dead_at_start.size());
+  metrics.add_counter("campaign.faults.links",
+                      plan.link_failures.size() +
+                          plan.dead_links_at_start.size());
+  metrics.add_counter("campaign.faults.silences", plan.silences.size());
+  metrics.add_counter("campaign.faults.suspects",
+                      plan.suspected_at_start.size());
+  metrics.add_counter("campaign.iterations", result.iterations.size());
+  for (const MissionIteration& iteration : result.iterations) {
+    metrics.add_counter("campaign.timeouts", iteration.timeouts);
+    metrics.add_counter("campaign.elections", iteration.elections);
+    metrics.add_counter("campaign.transfers", iteration.transfers);
+    if (is_infinite(iteration.response_time)) {
+      metrics.add_counter("campaign.iterations_outputs_lost");
+    } else if (response_bound > 0) {
+      metrics.observe("campaign.response_ratio", response_ratio_bounds(),
+                      iteration.response_time / response_bound);
+    }
+  }
+  metrics.observe("campaign.plan_events", plan_event_bounds(),
+                  static_cast<double>(plan.event_count()));
+}
 
 void count_coverage(const CampaignScenario& scenario, Time horizon,
                     CampaignCoverage& coverage) {
@@ -70,6 +122,7 @@ void CampaignCoverage::merge(const CampaignCoverage& other) {
 
 CampaignReport run_campaign(const Schedule& schedule,
                             const CampaignOptions& options) {
+  FTSCHED_SPAN("campaign.run");
   const auto wall_start = std::chrono::steady_clock::now();
 
   const ScenarioGenerator generator(schedule, options.spec, options.seed);
@@ -114,19 +167,25 @@ CampaignReport run_campaign(const Schedule& schedule,
   }
 
   // Chunky tasks amortize pool overhead; several chunks per worker give
-  // the stealing something to balance.
-  const std::size_t chunk =
-      std::max<std::size_t>(1, options.scenarios / (threads * 8));
+  // the stealing something to balance. The partition is deliberately
+  // independent of the thread count: per-chunk metrics carry floating-point
+  // histogram sums, and addition order — fixed by (partition, index-order
+  // merge), not by which thread ran what — must not change with --threads
+  // for the merged snapshot to stay bit-identical.
+  const std::size_t chunk = std::max<std::size_t>(1, options.scenarios / 64);
   const std::size_t chunks = (options.scenarios + chunk - 1) / chunk;
   std::vector<Partial> partials(chunks);
 
   auto evaluate = [&](std::size_t begin, std::size_t end, Partial& partial) {
+    FTSCHED_SPAN("campaign.chunk");
     partial.coverage = blank_coverage();
     for (std::size_t i = begin; i < end; ++i) {
       const CampaignScenario scenario = generator.scenario(i);
       count_coverage(scenario, generator.horizon(), partial.coverage);
       const MissionResult result = run_mission(simulator, scenario.plan);
       const Verdict verdict = oracle.judge(scenario.plan, result);
+      count_metrics(scenario, result, verdict, oracle.response_bound(),
+                    partial.metrics);
       if (verdict.within_contract) partial.within_contract += 1;
       if (!verdict.within_contract && verdict.outputs_lost) {
         partial.expected_losses += 1;
@@ -160,11 +219,13 @@ CampaignReport run_campaign(const Schedule& schedule,
   }
 
   // Merge in index order: identical report for any thread count.
+  FTSCHED_SPAN("campaign.merge");
   for (Partial& partial : partials) {
     report.within_contract += partial.within_contract;
     report.expected_losses += partial.expected_losses;
     report.total_violations += partial.total_violations;
     report.coverage.merge(partial.coverage);
+    report.metrics.merge(partial.metrics);
     for (CampaignViolation& violation : partial.violations) {
       if (report.violations.size() < options.max_recorded_violations) {
         report.violations.push_back(std::move(violation));

@@ -16,6 +16,7 @@
 
 #include "campaign/oracle.hpp"
 #include "campaign/scenario_gen.hpp"
+#include "obs/metrics.hpp"
 
 namespace ftsched::campaign {
 
@@ -73,6 +74,15 @@ struct CampaignReport {
   std::vector<CampaignViolation> violations;
   std::size_t total_violations = 0;
   CampaignCoverage coverage;
+  /// Domain metrics of the whole campaign (verdict counters, injected
+  /// faults per class, per-iteration timeout/election/transfer counts,
+  /// response-time-vs-bound histogram). Accumulated per worker chunk and
+  /// merged in index order, so — like every other report field — it is a
+  /// pure function of (schedule, options), bit-identical for any thread
+  /// count. Deliberately excludes wall-clock data (that lives in
+  /// elapsed_seconds and the profiling spans). Export with
+  /// metrics.to_json() / campaign_tool --metrics-out.
+  obs::MetricsSnapshot metrics;
   /// Resolved oracle envelope, for the report header.
   int claimed_tolerance = 0;
   Time response_bound = 0;

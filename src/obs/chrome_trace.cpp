@@ -1,0 +1,303 @@
+#include "obs/chrome_trace.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <deque>
+#include <map>
+
+#include "arch/architecture_graph.hpp"
+#include "core/error.hpp"
+#include "graph/algorithm_graph.hpp"
+#include "obs/json_util.hpp"
+#include "sched/schedule.hpp"
+#include "sim/trace.hpp"
+
+namespace ftsched::obs {
+
+std::int64_t to_trace_us(Time t) {
+  FTSCHED_REQUIRE(!is_infinite(t), "cannot export an infinite date");
+  return static_cast<std::int64_t>(
+      std::llround(t * static_cast<double>(kTraceUsPerTimeUnit)));
+}
+
+void ChromeTraceBuilder::process_name(int pid, const std::string& name) {
+  Event event;
+  event.ph = 'M';
+  event.pid = pid;
+  event.tid = -1;
+  event.name = "process_name";
+  event.args = {{"name", json_string(name)}};
+  metadata_.push_back(std::move(event));
+}
+
+void ChromeTraceBuilder::thread_name(int pid, int tid,
+                                     const std::string& name) {
+  Event event;
+  event.ph = 'M';
+  event.pid = pid;
+  event.tid = tid;
+  event.name = "thread_name";
+  event.args = {{"name", json_string(name)}};
+  metadata_.push_back(std::move(event));
+}
+
+void ChromeTraceBuilder::complete(int pid, int tid, const std::string& name,
+                                  const std::string& cat, std::int64_t ts_us,
+                                  std::int64_t dur_us, Args args) {
+  Event event;
+  event.ph = 'X';
+  event.pid = pid;
+  event.tid = tid;
+  event.ts_us = ts_us;
+  event.dur_us = dur_us;
+  event.name = name;
+  event.cat = cat;
+  event.args = std::move(args);
+  events_.push_back(std::move(event));
+}
+
+void ChromeTraceBuilder::instant(int pid, int tid, const std::string& name,
+                                 const std::string& cat, std::int64_t ts_us,
+                                 Args args) {
+  Event event;
+  event.ph = 'i';
+  event.pid = pid;
+  event.tid = tid;
+  event.ts_us = ts_us;
+  event.name = name;
+  event.cat = cat;
+  event.args = std::move(args);
+  events_.push_back(std::move(event));
+}
+
+std::string ChromeTraceBuilder::to_json() const {
+  std::string out = "{\"traceEvents\": [";
+  bool first = true;
+  auto render = [&](const Event& event) {
+    out += first ? "\n" : ",\n";
+    first = false;
+    out += "  {\"ph\": \"";
+    out += event.ph;
+    out += "\", \"pid\": " + std::to_string(event.pid);
+    if (event.tid >= 0) out += ", \"tid\": " + std::to_string(event.tid);
+    if (event.ph != 'M') {
+      out += ", \"ts\": " + std::to_string(event.ts_us);
+      if (event.ph == 'X') {
+        out += ", \"dur\": " + std::to_string(event.dur_us);
+      }
+      if (event.ph == 'i') out += ", \"s\": \"t\"";
+    }
+    out += ", \"name\": " + json_string(event.name);
+    if (!event.cat.empty()) out += ", \"cat\": " + json_string(event.cat);
+    if (!event.args.empty()) {
+      out += ", \"args\": {";
+      for (std::size_t i = 0; i < event.args.size(); ++i) {
+        if (i > 0) out += ", ";
+        out += json_string(event.args[i].first) + ": " +
+               event.args[i].second;
+      }
+      out += "}";
+    }
+    out += "}";
+  };
+  for (const Event& event : metadata_) render(event);
+  for (const Event& event : events_) render(event);
+  out += "\n], \"displayTimeUnit\": \"ms\"}\n";
+  return out;
+}
+
+namespace {
+
+/// Shared row layout of the schedule and simulation views: tid 0..P-1 are
+/// the processors, P..P+L-1 the links, named after the architecture.
+void name_resource_rows(ChromeTraceBuilder& builder,
+                        const ArchitectureGraph& arch) {
+  for (const Processor& proc : arch.processors()) {
+    builder.thread_name(0, static_cast<int>(proc.id.index()), proc.name);
+  }
+  for (const Link& link : arch.links()) {
+    builder.thread_name(
+        0, static_cast<int>(arch.processor_count() + link.id.index()),
+        link.name);
+  }
+}
+
+int proc_row(ProcessorId proc) { return static_cast<int>(proc.index()); }
+
+int link_row(const ArchitectureGraph& arch, LinkId link) {
+  return static_cast<int>(arch.processor_count() + link.index());
+}
+
+}  // namespace
+
+std::string chrome_trace_from_schedule(const Schedule& schedule) {
+  const AlgorithmGraph& graph = *schedule.problem().algorithm;
+  const ArchitectureGraph& arch = *schedule.problem().architecture;
+
+  ChromeTraceBuilder builder;
+  builder.process_name(0, "schedule " + to_string(schedule.kind()) + " K=" +
+                              std::to_string(schedule.failures_tolerated()));
+  name_resource_rows(builder, arch);
+
+  for (const ScheduledOperation& placement : schedule.operations()) {
+    builder.complete(
+        0, proc_row(placement.processor), graph.operation(placement.op).name,
+        "op", to_trace_us(placement.start),
+        to_trace_us(placement.end) - to_trace_us(placement.start),
+        {{"rank", json_number(static_cast<std::int64_t>(placement.rank))},
+         {"main", placement.is_main() ? "true" : "false"}});
+  }
+  for (const ScheduledComm& comm : schedule.comms()) {
+    // Passive comms hold an election position but occupy no link time in
+    // the failure-free run this view renders.
+    if (!comm.active) continue;
+    for (const CommSegment& segment : comm.segments) {
+      builder.complete(
+          0, link_row(arch, segment.link), graph.dependency(comm.dep).name,
+          comm.liveness ? "liveness" : "comm", to_trace_us(segment.start),
+          to_trace_us(segment.end) - to_trace_us(segment.start),
+          {{"from", json_string(arch.processor(comm.from).name)},
+           {"to", json_string(arch.processor(comm.to).name)},
+           {"sender_rank",
+            json_number(static_cast<std::int64_t>(comm.sender_rank))}});
+    }
+  }
+  return builder.to_json();
+}
+
+std::string chrome_trace_from_sim_trace(const Trace& trace,
+                                        const AlgorithmGraph& graph,
+                                        const ArchitectureGraph& arch) {
+  ChromeTraceBuilder builder;
+  builder.process_name(0, "simulation");
+  name_resource_rows(builder, arch);
+
+  struct OpenOp {
+    Time start = 0;
+    int rank = -1;
+  };
+  // One replica of an operation per processor, so (op, proc) identifies an
+  // execution; transfers of one dependency can cross one link repeatedly
+  // (backup resends), but a link serves one frame at a time, so starts and
+  // ends of (dep, link) pair FIFO.
+  std::map<std::pair<std::size_t, std::size_t>, OpenOp> open_ops;
+  std::map<std::pair<std::size_t, std::size_t>, std::deque<Time>>
+      open_transfers;
+
+  for (const TraceEvent& event : trace.events()) {
+    switch (event.kind) {
+      case TraceEvent::Kind::kOpStart:
+        open_ops[{event.op.index(), event.proc.index()}] =
+            OpenOp{event.time, event.rank};
+        break;
+      case TraceEvent::Kind::kOpEnd: {
+        const auto key = std::make_pair(event.op.index(), event.proc.index());
+        const auto it = open_ops.find(key);
+        if (it == open_ops.end()) break;
+        builder.complete(
+            0, proc_row(event.proc), graph.operation(event.op).name, "op",
+            to_trace_us(it->second.start),
+            to_trace_us(event.time) - to_trace_us(it->second.start),
+            {{"rank",
+              json_number(static_cast<std::int64_t>(it->second.rank))}});
+        open_ops.erase(it);
+        break;
+      }
+      case TraceEvent::Kind::kTransferStart:
+        open_transfers[{event.dep.index(), event.link.index()}].push_back(
+            event.time);
+        break;
+      case TraceEvent::Kind::kTransferEnd: {
+        const auto key =
+            std::make_pair(event.dep.index(), event.link.index());
+        auto& queue = open_transfers[key];
+        if (queue.empty()) break;
+        const Time start = queue.front();
+        queue.pop_front();
+        builder.complete(
+            0, link_row(arch, event.link), graph.dependency(event.dep).name,
+            "transfer", to_trace_us(start),
+            to_trace_us(event.time) - to_trace_us(start),
+            {{"to", json_string(arch.processor(event.peer).name)}});
+        break;
+      }
+      case TraceEvent::Kind::kTimeout:
+        builder.instant(
+            0, proc_row(event.proc), "timeout", "timeout",
+            to_trace_us(event.time),
+            {{"dep", json_string(graph.dependency(event.dep).name)},
+             {"accused", json_string(arch.processor(event.peer).name)}});
+        break;
+      case TraceEvent::Kind::kElection:
+        builder.instant(
+            0, proc_row(event.proc), "election", "election",
+            to_trace_us(event.time),
+            {{"dep", json_string(graph.dependency(event.dep).name)},
+             {"rank", json_number(static_cast<std::int64_t>(event.rank))}});
+        break;
+      case TraceEvent::Kind::kFailure:
+        builder.instant(0, proc_row(event.proc), "failure", "failure",
+                        to_trace_us(event.time));
+        break;
+      case TraceEvent::Kind::kDrop: {
+        const int row = event.link.valid() ? link_row(arch, event.link)
+                                           : proc_row(event.proc);
+        ChromeTraceBuilder::Args args;
+        if (event.dep.valid()) {
+          args.push_back(
+              {"dep", json_string(graph.dependency(event.dep).name)});
+        }
+        builder.instant(0, row, "drop", "drop", to_trace_us(event.time),
+                        std::move(args));
+        break;
+      }
+    }
+  }
+
+  // Executions cut short by a crash: the start is real information (the
+  // replica was running when its processor died) even without an end.
+  for (const auto& [key, open] : open_ops) {
+    builder.instant(
+        0, static_cast<int>(key.second),
+        graph.operation(OperationId(static_cast<std::int32_t>(key.first)))
+            .name,
+        "op-cut", to_trace_us(open.start),
+        {{"rank", json_number(static_cast<std::int64_t>(open.rank))}});
+  }
+  for (const auto& [key, starts] : open_transfers) {
+    for (const Time start : starts) {
+      builder.instant(
+          0,
+          link_row(arch, LinkId(static_cast<std::int32_t>(key.second))),
+          graph.dependency(DependencyId(static_cast<std::int32_t>(key.first)))
+              .name,
+          "transfer-cut", to_trace_us(start));
+    }
+  }
+  return builder.to_json();
+}
+
+std::string chrome_trace_from_spans(const std::vector<SpanRecord>& spans) {
+  ChromeTraceBuilder builder;
+  builder.process_name(0, "profile");
+  std::int64_t base_ns = 0;
+  bool have_base = false;
+  std::uint32_t max_thread = 0;
+  for (const SpanRecord& span : spans) {
+    if (!have_base || span.start_ns < base_ns) base_ns = span.start_ns;
+    have_base = true;
+    max_thread = std::max(max_thread, span.thread);
+  }
+  for (std::uint32_t t = 0; have_base && t <= max_thread; ++t) {
+    builder.thread_name(0, static_cast<int>(t),
+                        "thread " + std::to_string(t));
+  }
+  for (const SpanRecord& span : spans) {
+    builder.complete(0, static_cast<int>(span.thread), span.name, "span",
+                     (span.start_ns - base_ns) / 1000,
+                     span.duration_ns() / 1000);
+  }
+  return builder.to_json();
+}
+
+}  // namespace ftsched::obs

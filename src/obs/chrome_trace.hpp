@@ -1,0 +1,99 @@
+// Chrome trace-event JSON export (the format chrome://tracing and Perfetto
+// load): renders the three timelines ftsched produces —
+//
+//  * a static schedule (sched::Gantt view): one timeline row per processor
+//    and per link, complete events for replica executions and per-hop
+//    transfer segments;
+//  * a simulated iteration (sim::Trace): the same rows, but showing what
+//    actually happened — including the timeout / election / failure / drop
+//    instants the fault-tolerance argument hinges on;
+//  * a profiling session (obs::SpanRecord): one row per worker thread.
+//
+// Schedule and simulation timestamps come from the paper's abstract time
+// units, scaled by kTraceUsPerTimeUnit — fully deterministic, no wall
+// clock, so exports golden-test byte-for-byte. Events render in a stable
+// order: metadata first, then payload events in insertion order.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "core/time.hpp"
+#include "obs/span.hpp"
+
+namespace ftsched {
+class AlgorithmGraph;
+class ArchitectureGraph;
+class Schedule;
+class Trace;
+}  // namespace ftsched
+
+namespace ftsched::obs {
+
+/// Trace microseconds per paper time unit: 1 unit renders as 1ms, so the
+/// paper's single-digit makespans are comfortably zoomable in Perfetto.
+inline constexpr std::int64_t kTraceUsPerTimeUnit = 1000;
+
+/// Schedule/simulator date -> trace timestamp. Requires finite `t`.
+[[nodiscard]] std::int64_t to_trace_us(Time t);
+
+/// Incremental builder over the trace-event JSON array format.
+/// `args` values must be pre-rendered JSON (use json_string/json_number).
+class ChromeTraceBuilder {
+ public:
+  using Args = std::vector<std::pair<std::string, std::string>>;
+
+  void process_name(int pid, const std::string& name);
+  void thread_name(int pid, int tid, const std::string& name);
+
+  /// "X" (complete) event covering [ts_us, ts_us + dur_us].
+  void complete(int pid, int tid, const std::string& name,
+                const std::string& cat, std::int64_t ts_us,
+                std::int64_t dur_us, Args args = {});
+
+  /// "i" (instant) event, thread-scoped.
+  void instant(int pid, int tid, const std::string& name,
+               const std::string& cat, std::int64_t ts_us, Args args = {});
+
+  /// {"traceEvents": [...], "displayTimeUnit": "ms"}
+  [[nodiscard]] std::string to_json() const;
+
+ private:
+  struct Event {
+    char ph = 'X';
+    int pid = 0;
+    int tid = 0;
+    std::int64_t ts_us = 0;
+    std::int64_t dur_us = 0;  // "X" only
+    std::string name;
+    std::string cat;  // empty for metadata
+    Args args;
+  };
+
+  std::vector<Event> metadata_;
+  std::vector<Event> events_;
+};
+
+/// Gantt view of a static schedule: rows P1..Pn then the links; replica
+/// executions (args: rank, main) and active transfer segments (args: from,
+/// to, sender_rank; liveness sends categorized "liveness"). Passive comms
+/// occupy no time and are omitted.
+[[nodiscard]] std::string chrome_trace_from_schedule(const Schedule& schedule);
+
+/// Timeline of one simulated iteration. Executions and transfers pair
+/// their start/end trace events into complete events; an execution cut
+/// short by a crash renders as an instant (cat "op-cut"). Timeouts,
+/// elections, failures, and dropped transfers render as instants on the
+/// acting resource's row.
+[[nodiscard]] std::string chrome_trace_from_sim_trace(
+    const Trace& trace, const AlgorithmGraph& graph,
+    const ArchitectureGraph& arch);
+
+/// Profiling session: one row per recorded thread; timestamps are
+/// nanosecond wall-clock readings rebased to the earliest span.
+[[nodiscard]] std::string chrome_trace_from_spans(
+    const std::vector<SpanRecord>& spans);
+
+}  // namespace ftsched::obs

@@ -1,0 +1,36 @@
+#include "sched/explain.hpp"
+
+#include "arch/architecture_graph.hpp"
+#include "core/text.hpp"
+#include "graph/algorithm_graph.hpp"
+
+namespace ftsched {
+
+std::string ExplainLog::to_text(const Problem& problem) const {
+  const AlgorithmGraph& graph = *problem.algorithm;
+  const ArchitectureGraph& arch = *problem.architecture;
+  std::string out =
+      "R (optimistic critical path) = " + time_to_string(critical_path) +
+      "\n";
+  for (const ExplainStep& step : steps) {
+    out += "\nstep " + std::to_string(step.step) + ": scheduled " +
+           graph.operation(step.chosen).name + " (urgency " +
+           time_to_string(step.urgency) + ")\n";
+    std::vector<std::vector<std::string>> rows;
+    rows.push_back({"candidate", "proc", "S", "delta", "E", "penalty",
+                    "sigma", "decision"});
+    for (const ExplainCandidate& c : step.candidates) {
+      std::string decision;
+      if (c.kept) decision = c.op == step.chosen ? "scheduled" : "kept";
+      rows.push_back({graph.operation(c.op).name,
+                      arch.processor(c.proc).name, time_to_string(c.start),
+                      time_to_string(c.duration), time_to_string(c.tail),
+                      time_to_string(c.penalty), time_to_string(c.sigma),
+                      decision});
+    }
+    out += render_table(rows);
+  }
+  return out;
+}
+
+}  // namespace ftsched

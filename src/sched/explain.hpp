@@ -1,0 +1,67 @@
+// Scheduler decision log: why the list scheduler placed what where.
+//
+// The paper's heuristic is opaque in exactly the place users need to audit
+// — each mSn step evaluates every candidate operation on every allowed
+// processor, keeps the K+1 lowest-pressure assignments per candidate, and
+// schedules the candidate whose kept set holds the *largest* pressure
+// (most urgent, §6.2). Ties are broken by the deterministic order
+// documented in heuristics.hpp. With SchedulerOptions::explain pointing at
+// an ExplainLog, the engine records, per step, every evaluated
+// (operation, processor) pair with the σ(o,p) = S + Δ + E − R components
+// plus the successor-placement penalty, which assignments were kept, and
+// which operation won — so pressure ties and tie-break order are auditable
+// (trace_tool explain renders this log).
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "arch/characteristics.hpp"
+#include "core/ids.hpp"
+#include "core/time.hpp"
+
+namespace ftsched {
+
+/// One tentative (operation, processor) evaluation of one mSn step.
+struct ExplainCandidate {
+  OperationId op;
+  ProcessorId proc;
+  /// S: earliest start given the committed partial schedule.
+  Time start = 0;
+  /// Δ: WCET of op on proc.
+  Time duration = 0;
+  /// E: optimistic tail from op's completion to the sinks.
+  Time tail = 0;
+  /// Successor-placement penalty (SchedulerOptions); 0 when disabled.
+  Time penalty = 0;
+  /// σ = S + Δ + E − R + penalty (R is ExplainLog::critical_path).
+  Time sigma = 0;
+  /// Among the K+1 lowest-pressure assignments of its operation.
+  bool kept = false;
+};
+
+/// One mSn step: the full candidate set and the decision.
+struct ExplainStep {
+  std::size_t step = 0;
+  OperationId chosen;
+  /// The chosen operation's urgency: the largest σ of its kept set (the
+  /// max–min rule of §6.2).
+  Time urgency = 0;
+  /// Every evaluation of this step, in candidate-then-processor order.
+  std::vector<ExplainCandidate> candidates;
+};
+
+/// Filled by the engine when SchedulerOptions::explain points here; one
+/// entry per scheduled operation, in scheduling order.
+struct ExplainLog {
+  /// R: the optimistic critical path the σ values are measured against.
+  Time critical_path = 0;
+  std::vector<ExplainStep> steps;
+
+  /// Per-step tables (op, proc, S, Δ, E, penalty, σ, kept/chosen), in the
+  /// problem's names.
+  [[nodiscard]] std::string to_text(const Problem& problem) const;
+};
+
+}  // namespace ftsched

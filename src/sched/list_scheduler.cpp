@@ -19,6 +19,8 @@
 #include "arch/routing.hpp"
 #include "core/text.hpp"
 #include "graph/dag_algorithms.hpp"
+#include "obs/span.hpp"
+#include "sched/explain.hpp"
 #include "sched/heuristics.hpp"
 #include "sched/pressure.hpp"
 
@@ -39,11 +41,15 @@ class Engine {
         schedule_(problem, kind) {}
 
   Expected<Schedule> run() {
+    FTSCHED_SPAN("sched.run");
     if (auto error = check_input()) return *error;
     for (const Dependency& dep : graph().dependencies()) {
       if (dep_active(dep.id)) schedule_.set_active_comms(dep.id);
     }
     timing_ = optimistic_timing(problem_);
+    if (options_.explain != nullptr) {
+      options_.explain->critical_path = timing_.critical_path;
+    }
     init_state();
     if (auto error = main_loop()) return *error;
     schedule_mem_inputs();
@@ -134,22 +140,36 @@ class Engine {
       OperationId best_op;
       std::vector<Assignment> best_kept;
       Time best_urgency = -kInfinite;
-      for (const Operation& op : graph().operations()) {
-        if (!is_candidate[op.id.index()] || done[op.id.index()]) continue;
-        std::vector<Assignment> kept = keep_best(op.id);
-        const Time urgency = kept.back().sigma;
-        if (time_gt(urgency, best_urgency)) {
-          best_urgency = urgency;
-          best_op = op.id;
-          best_kept = std::move(kept);
+      ExplainStep step;
+      {
+        FTSCHED_SPAN("sched.select");
+        for (const Operation& op : graph().operations()) {
+          if (!is_candidate[op.id.index()] || done[op.id.index()]) continue;
+          std::vector<Assignment> kept = keep_best(
+              op.id, options_.explain != nullptr ? &step : nullptr);
+          const Time urgency = kept.back().sigma;
+          if (time_gt(urgency, best_urgency)) {
+            best_urgency = urgency;
+            best_op = op.id;
+            best_kept = std::move(kept);
+          }
         }
       }
       FTSCHED_REQUIRE(best_op.valid(),
                       "candidate list empty before all operations scheduled "
                       "(cyclic precedence?)");
+      if (options_.explain != nullptr) {
+        step.step = scheduled;
+        step.chosen = best_op;
+        step.urgency = best_urgency;
+        options_.explain->steps.push_back(std::move(step));
+      }
 
       // mSn.3: implement the operation and the communications it implies.
-      commit(best_op, best_kept);
+      {
+        FTSCHED_SPAN("sched.commit");
+        commit(best_op, best_kept);
+      }
 
       // mSn.4: update the candidate list.
       done[best_op.index()] = true;
@@ -163,19 +183,41 @@ class Engine {
 
   /// The K+1 assignments of `op` minimizing sigma, ascending
   /// (sigma, completion, processor id). check_input() guarantees enough
-  /// allowed processors exist.
-  std::vector<Assignment> keep_best(OperationId op) {
+  /// allowed processors exist. With `explain`, every evaluation is
+  /// appended to the step's candidate list (kept = among the K+1 best).
+  std::vector<Assignment> keep_best(OperationId op, ExplainStep* explain) {
     std::vector<Assignment> all;
-    for (const Processor& proc : arch().processors()) {
-      if (!exec().allowed(op, proc.id)) continue;
-      all.push_back(evaluate(op, proc.id));
+    {
+      FTSCHED_SPAN("sched.pressure_eval");
+      for (const Processor& proc : arch().processors()) {
+        if (!exec().allowed(op, proc.id)) continue;
+        all.push_back(evaluate(op, proc.id));
+      }
     }
-    std::sort(all.begin(), all.end(), [](const Assignment& a,
-                                         const Assignment& b) {
-      if (!time_eq(a.sigma, b.sigma)) return a.sigma < b.sigma;
-      if (!time_eq(a.end, b.end)) return a.end < b.end;
-      return a.proc < b.proc;
-    });
+    {
+      FTSCHED_SPAN("sched.candidate_sort");
+      std::sort(all.begin(), all.end(), [](const Assignment& a,
+                                           const Assignment& b) {
+        if (!time_eq(a.sigma, b.sigma)) return a.sigma < b.sigma;
+        if (!time_eq(a.end, b.end)) return a.end < b.end;
+        return a.proc < b.proc;
+      });
+    }
+    if (explain != nullptr) {
+      for (std::size_t i = 0; i < all.size(); ++i) {
+        const Assignment& a = all[i];
+        ExplainCandidate candidate;
+        candidate.op = op;
+        candidate.proc = a.proc;
+        candidate.start = a.start;
+        candidate.duration = a.end - a.start;
+        candidate.tail = timing_.tail[op.index()];
+        candidate.penalty = successor_penalty(op, a.proc);
+        candidate.sigma = a.sigma;
+        candidate.kept = i < static_cast<std::size_t>(replicas_);
+        explain->candidates.push_back(candidate);
+      }
+    }
     all.resize(static_cast<std::size_t>(replicas_));
     return all;
   }

@@ -5,6 +5,8 @@
 
 namespace ftsched {
 
+struct ExplainLog;
+
 struct SchedulerOptions {
   /// Adds to sigma(o, p) the cheapest communication duration of every
   /// outgoing dependency whose destination operation cannot execute on p.
@@ -33,6 +35,13 @@ struct SchedulerOptions {
   /// empty vector means all-passive. schedule_hybrid() drives this knob
   /// automatically; expose it here for manual ablations.
   std::vector<bool> active_comm_deps;
+
+  /// Decision log: when non-null, the engine appends one ExplainStep per
+  /// list-scheduling step — every evaluated (candidate, processor) pair
+  /// with its σ components and the decision taken (sched/explain.hpp).
+  /// Owned by the caller; recording costs one extra pass over the
+  /// candidate evaluations, so leave null outside audits.
+  ExplainLog* explain = nullptr;
 };
 
 }  // namespace ftsched

@@ -4,6 +4,7 @@
 #include <queue>
 
 #include "graph/algorithm_graph.hpp"
+#include "obs/span.hpp"
 
 namespace ftsched {
 
@@ -580,6 +581,7 @@ Simulator::Simulator(const Schedule& schedule)
       timeouts_(schedule, routing_) {}
 
 IterationResult Simulator::run(const FailureScenario& scenario) const {
+  FTSCHED_SPAN("sim.run");
   return Run(*schedule_, routing_, timeouts_, scenario).execute();
 }
 

@@ -1,0 +1,125 @@
+// Chrome trace-event export: golden files for the deterministic exporters
+// (schedule Gantt, simulated iteration), structural JSON validity for all
+// three, and determinism under repeated export.
+//
+// To regenerate a golden after an intentional format change, run
+// trace_tool with -o pointing at the file:
+//   ./build/examples/trace_tool gantt --example1 --solution1
+//       -o tests/obs/golden/example1_solution1_gantt.trace.json
+//   ./build/examples/trace_tool sim --example1 --solution1 --fail P1@2
+//       -o tests/obs/golden/example1_solution1_fail_p1_at_2.trace.json
+#include "obs/chrome_trace.hpp"
+
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "json_check.hpp"
+#include "sched/heuristics.hpp"
+#include "sim/simulator.hpp"
+#include "workload/paper_examples.hpp"
+
+namespace ftsched::obs {
+namespace {
+
+std::string read_golden(const std::string& name) {
+  const std::string path =
+      std::string(FTSCHED_SOURCE_DIR) + "/tests/obs/golden/" + name;
+  std::ifstream file(path);
+  EXPECT_TRUE(file.is_open()) << "missing golden file: " << path;
+  std::stringstream buffer;
+  buffer << file.rdbuf();
+  return buffer.str();
+}
+
+TEST(ChromeTraceSchedule, MatchesGoldenByteForByte) {
+  // The export has no wall-clock dependence: timestamps are the paper's
+  // abstract dates scaled by kTraceUsPerTimeUnit. Any diff here is a real
+  // format or scheduler change.
+  const workload::OwnedProblem ex = workload::paper_example1();
+  const Schedule schedule = schedule_solution1(ex.problem).value();
+  EXPECT_EQ(chrome_trace_from_schedule(schedule),
+            read_golden("example1_solution1_gantt.trace.json"));
+}
+
+TEST(ChromeTraceSchedule, ExportIsDeterministic) {
+  const workload::OwnedProblem ex = workload::paper_example1();
+  const Schedule schedule = schedule_solution1(ex.problem).value();
+  EXPECT_EQ(chrome_trace_from_schedule(schedule),
+            chrome_trace_from_schedule(schedule));
+}
+
+TEST(ChromeTraceSchedule, IsValidJsonWithExpectedEnvelope) {
+  const workload::OwnedProblem ex = workload::paper_example1();
+  const Schedule schedule = schedule_solution1(ex.problem).value();
+  const std::string json = chrome_trace_from_schedule(schedule);
+  EXPECT_TRUE(testing::valid_json(json)) << json;
+  EXPECT_NE(json.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(json.find("\"displayTimeUnit\": \"ms\""), std::string::npos);
+  // One row per processor (P1..P3) and one for the bus.
+  EXPECT_NE(json.find("\"name\": \"P1\""), std::string::npos);
+  EXPECT_NE(json.find("\"name\": \"bus\""), std::string::npos);
+}
+
+TEST(ChromeTraceSim, FaultyIterationMatchesGolden) {
+  const workload::OwnedProblem ex = workload::paper_example1();
+  const Schedule schedule = schedule_solution1(ex.problem).value();
+  FailureScenario scenario;
+  scenario.events.push_back(
+      FailureEvent{ex.problem.architecture->find_processor("P1"), 2.0});
+  const Simulator simulator(schedule);
+  const IterationResult iteration = simulator.run(scenario);
+  ASSERT_TRUE(iteration.all_outputs_produced);
+
+  const std::string json = chrome_trace_from_sim_trace(
+      iteration.trace, *ex.problem.algorithm, *ex.problem.architecture);
+  EXPECT_TRUE(testing::valid_json(json)) << json;
+  EXPECT_EQ(json, read_golden("example1_solution1_fail_p1_at_2.trace.json"));
+}
+
+TEST(ChromeTraceSim, FaultFreeIterationIsValidJson) {
+  const workload::OwnedProblem ex = workload::paper_example1();
+  const Schedule schedule = schedule_solution1(ex.problem).value();
+  const Simulator simulator(schedule);
+  const IterationResult iteration = simulator.run(FailureScenario{});
+  const std::string json = chrome_trace_from_sim_trace(
+      iteration.trace, *ex.problem.algorithm, *ex.problem.architecture);
+  EXPECT_TRUE(testing::valid_json(json)) << json;
+  // No failures injected: no failure instants in the timeline.
+  EXPECT_EQ(json.find("\"cat\": \"failure\""), std::string::npos);
+}
+
+TEST(ChromeTraceSpans, SyntheticSpansRenderRebasedAndPerThread) {
+  // Hand-built records make the span exporter deterministic too: rebasing
+  // to the earliest start turns absolute clock readings into offsets.
+  std::vector<SpanRecord> spans;
+  spans.push_back(SpanRecord{"alpha", 0, 5'000'000, 7'500'000});
+  spans.push_back(SpanRecord{"beta", 1, 6'000'000, 6'250'000 + 750'000});
+  const std::string json = chrome_trace_from_spans(spans);
+  EXPECT_TRUE(testing::valid_json(json)) << json;
+  // alpha starts at the rebased origin; durations are ns / 1000.
+  EXPECT_NE(json.find("\"ts\": 0"), std::string::npos);
+  EXPECT_NE(json.find("\"dur\": 2500"), std::string::npos);
+  EXPECT_NE(json.find("\"name\": \"thread 0\""), std::string::npos);
+  EXPECT_NE(json.find("\"name\": \"thread 1\""), std::string::npos);
+  EXPECT_EQ(chrome_trace_from_spans(spans), json);
+}
+
+TEST(ChromeTraceSpans, EmptySpanListIsValidJson) {
+  const std::string json = chrome_trace_from_spans({});
+  EXPECT_TRUE(testing::valid_json(json)) << json;
+  EXPECT_NE(json.find("\"traceEvents\""), std::string::npos);
+}
+
+TEST(ChromeTraceTime, ScalesPaperUnitsToMicroseconds) {
+  EXPECT_EQ(to_trace_us(0.0), 0);
+  EXPECT_EQ(to_trace_us(1.0), 1000);
+  EXPECT_EQ(to_trace_us(9.4), 9400);
+  EXPECT_EQ(to_trace_us(0.0005), 1);  // rounds, never truncates
+}
+
+}  // namespace
+}  // namespace ftsched::obs

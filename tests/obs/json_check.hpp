@@ -1,0 +1,154 @@
+// Minimal recursive-descent JSON well-formedness checker for tests. The
+// exporters only ever *render* JSON, so the tests need a validator that
+// rejects malformed output without dragging in a parsing library.
+#pragma once
+
+#include <cctype>
+#include <cstddef>
+#include <string_view>
+
+namespace ftsched::testing {
+
+class JsonChecker {
+ public:
+  explicit JsonChecker(std::string_view text) : text_(text) {}
+
+  /// True iff the whole input is exactly one valid JSON value.
+  [[nodiscard]] bool valid() {
+    pos_ = 0;
+    const bool ok = value();
+    skip_ws();
+    return ok && pos_ == text_.size();
+  }
+
+ private:
+  void skip_ws() {
+    while (pos_ < text_.size() &&
+           std::isspace(static_cast<unsigned char>(text_[pos_])) != 0) {
+      ++pos_;
+    }
+  }
+
+  [[nodiscard]] bool eat(char c) {
+    skip_ws();
+    if (pos_ < text_.size() && text_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  [[nodiscard]] bool literal(std::string_view word) {
+    if (text_.substr(pos_, word.size()) != word) return false;
+    pos_ += word.size();
+    return true;
+  }
+
+  [[nodiscard]] bool string() {
+    if (!eat('"')) return false;
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_++];
+      if (c == '"') return true;
+      if (static_cast<unsigned char>(c) < 0x20) return false;  // raw control
+      if (c == '\\') {
+        if (pos_ >= text_.size()) return false;
+        const char esc = text_[pos_++];
+        if (esc == 'u') {
+          for (int i = 0; i < 4; ++i) {
+            if (pos_ >= text_.size() ||
+                std::isxdigit(static_cast<unsigned char>(text_[pos_])) == 0) {
+              return false;
+            }
+            ++pos_;
+          }
+        } else if (esc != '"' && esc != '\\' && esc != '/' && esc != 'b' &&
+                   esc != 'f' && esc != 'n' && esc != 'r' && esc != 't') {
+          return false;
+        }
+      }
+    }
+    return false;  // unterminated
+  }
+
+  [[nodiscard]] bool number() {
+    const std::size_t start = pos_;
+    if (pos_ < text_.size() && text_[pos_] == '-') ++pos_;
+    while (pos_ < text_.size() &&
+           std::isdigit(static_cast<unsigned char>(text_[pos_])) != 0) {
+      ++pos_;
+    }
+    if (pos_ == start || (text_[start] == '-' && pos_ == start + 1)) {
+      return false;
+    }
+    if (pos_ < text_.size() && text_[pos_] == '.') {
+      ++pos_;
+      if (pos_ >= text_.size() ||
+          std::isdigit(static_cast<unsigned char>(text_[pos_])) == 0) {
+        return false;
+      }
+      while (pos_ < text_.size() &&
+             std::isdigit(static_cast<unsigned char>(text_[pos_])) != 0) {
+        ++pos_;
+      }
+    }
+    if (pos_ < text_.size() && (text_[pos_] == 'e' || text_[pos_] == 'E')) {
+      ++pos_;
+      if (pos_ < text_.size() && (text_[pos_] == '+' || text_[pos_] == '-')) {
+        ++pos_;
+      }
+      if (pos_ >= text_.size() ||
+          std::isdigit(static_cast<unsigned char>(text_[pos_])) == 0) {
+        return false;
+      }
+      while (pos_ < text_.size() &&
+             std::isdigit(static_cast<unsigned char>(text_[pos_])) != 0) {
+        ++pos_;
+      }
+    }
+    return true;
+  }
+
+  [[nodiscard]] bool object() {
+    if (!eat('{')) return false;
+    if (eat('}')) return true;
+    do {
+      skip_ws();
+      if (!string()) return false;
+      if (!eat(':')) return false;
+      if (!value()) return false;
+    } while (eat(','));
+    return eat('}');
+  }
+
+  [[nodiscard]] bool array() {
+    if (!eat('[')) return false;
+    if (eat(']')) return true;
+    do {
+      if (!value()) return false;
+    } while (eat(','));
+    return eat(']');
+  }
+
+  [[nodiscard]] bool value() {
+    skip_ws();
+    if (pos_ >= text_.size()) return false;
+    switch (text_[pos_]) {
+      case '{': return object();
+      case '[': return array();
+      case '"': return string();
+      case 't': return literal("true");
+      case 'f': return literal("false");
+      case 'n': return literal("null");
+      default: return number();
+    }
+  }
+
+  std::string_view text_;
+  std::size_t pos_ = 0;
+};
+
+[[nodiscard]] inline bool valid_json(std::string_view text) {
+  return JsonChecker(text).valid();
+}
+
+}  // namespace ftsched::testing

@@ -1,0 +1,208 @@
+#include "obs/metrics.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+#include <vector>
+
+#include "json_check.hpp"
+#include "obs/json_util.hpp"
+
+namespace ftsched::obs {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Bucket boundaries — the "le" (x <= bound) contract, exactly.
+
+TEST(HistogramBucket, ValueOnBoundaryLandsInThatBucket) {
+  const std::vector<double> bounds = {1.0, 2.0, 4.0};
+  EXPECT_EQ(histogram_bucket(bounds, 1.0), 0u);
+  EXPECT_EQ(histogram_bucket(bounds, 2.0), 1u);
+  EXPECT_EQ(histogram_bucket(bounds, 4.0), 2u);
+}
+
+TEST(HistogramBucket, JustAboveBoundaryMovesToNextBucket) {
+  const std::vector<double> bounds = {1.0, 2.0, 4.0};
+  EXPECT_EQ(histogram_bucket(bounds, std::nextafter(1.0, 2.0)), 1u);
+  EXPECT_EQ(histogram_bucket(bounds, std::nextafter(4.0, 8.0)), 3u);
+}
+
+TEST(HistogramBucket, BelowFirstBoundIsBucketZero) {
+  const std::vector<double> bounds = {1.0, 2.0};
+  EXPECT_EQ(histogram_bucket(bounds, 0.5), 0u);
+  EXPECT_EQ(histogram_bucket(bounds, -100.0), 0u);
+  EXPECT_EQ(histogram_bucket(bounds, -std::numeric_limits<double>::infinity()),
+            0u);
+}
+
+TEST(HistogramBucket, AboveLastBoundIsOverflow) {
+  const std::vector<double> bounds = {1.0, 2.0};
+  EXPECT_EQ(histogram_bucket(bounds, 3.0), 2u);
+  EXPECT_EQ(histogram_bucket(bounds, std::numeric_limits<double>::infinity()),
+            2u);
+}
+
+TEST(HistogramBucket, NanLandsInOverflow) {
+  const std::vector<double> bounds = {1.0, 2.0};
+  EXPECT_EQ(histogram_bucket(bounds, std::nan("")), 2u);
+}
+
+TEST(HistogramBucket, EmptyBoundsMeansSingleOverflowBucket) {
+  EXPECT_EQ(histogram_bucket({}, 42.0), 0u);
+}
+
+TEST(Histogram, CountsTotalsAndSums) {
+  Histogram h({1.0, 10.0});
+  h.observe(0.5);
+  h.observe(1.0);   // boundary -> bucket 0
+  h.observe(5.0);
+  h.observe(100.0); // overflow
+  const std::vector<std::uint64_t> counts = h.counts();
+  ASSERT_EQ(counts.size(), 3u);
+  EXPECT_EQ(counts[0], 2u);
+  EXPECT_EQ(counts[1], 1u);
+  EXPECT_EQ(counts[2], 1u);
+  EXPECT_EQ(h.total(), 4u);
+  EXPECT_DOUBLE_EQ(h.sum(), 106.5);
+}
+
+// ---------------------------------------------------------------------------
+// Snapshot accumulation and merge.
+
+TEST(MetricsSnapshot, MergeAddsCountersAndBuckets) {
+  const std::vector<double> bounds = {1.0, 2.0};
+  MetricsSnapshot a;
+  a.add_counter("runs", 3);
+  a.observe("lat", bounds, 0.5);
+  MetricsSnapshot b;
+  b.add_counter("runs", 4);
+  b.add_counter("only_in_b");
+  b.observe("lat", bounds, 1.5);
+  b.observe("lat", bounds, 99.0);
+
+  a.merge(b);
+  EXPECT_EQ(a.counters.at("runs"), 7u);
+  EXPECT_EQ(a.counters.at("only_in_b"), 1u);
+  const HistogramSnapshot& lat = a.histograms.at("lat");
+  EXPECT_EQ(lat.counts, (std::vector<std::uint64_t>{1, 1, 1}));
+  EXPECT_EQ(lat.total, 3u);
+  EXPECT_DOUBLE_EQ(lat.sum, 101.0);
+}
+
+TEST(MetricsSnapshot, MergeKeepsMaxGauge) {
+  MetricsSnapshot a;
+  a.set_gauge("depth", 3.0);
+  MetricsSnapshot b;
+  b.set_gauge("depth", 7.0);
+  a.merge(b);
+  EXPECT_DOUBLE_EQ(a.gauges.at("depth"), 7.0);
+  b.merge(a);  // merging the smaller value back does not lower it
+  EXPECT_DOUBLE_EQ(b.gauges.at("depth"), 7.0);
+}
+
+TEST(MetricsSnapshot, MergeIsOrderIndependent) {
+  const std::vector<double> bounds = {2.0};
+  MetricsSnapshot parts[3];
+  parts[0].add_counter("n", 1);
+  parts[0].observe("h", bounds, 1.0);
+  parts[1].add_counter("n", 10);
+  parts[1].observe("h", bounds, 3.0);
+  parts[2].set_gauge("g", 5.0);
+
+  MetricsSnapshot forward;
+  for (const MetricsSnapshot& p : parts) forward.merge(p);
+  MetricsSnapshot backward;
+  backward.merge(parts[2]);
+  backward.merge(parts[1]);
+  backward.merge(parts[0]);
+  EXPECT_EQ(forward, backward);
+  EXPECT_EQ(forward.to_json(), backward.to_json());
+}
+
+TEST(MetricsSnapshot, ObserveReusesFirstBounds) {
+  MetricsSnapshot s;
+  s.observe("h", {1.0, 2.0}, 0.5);
+  // Later bounds are ignored; the observation still lands via the original.
+  s.observe("h", {100.0}, 1.5);
+  EXPECT_EQ(s.histograms.at("h").bounds, (std::vector<double>{1.0, 2.0}));
+  EXPECT_EQ(s.histograms.at("h").total, 2u);
+}
+
+TEST(MetricsSnapshot, JsonIsValidAndInsertionOrderIndependent) {
+  MetricsSnapshot a;
+  a.add_counter("zeta");
+  a.add_counter("alpha", 2);
+  a.set_gauge("mid", 1.5);
+  a.observe("lat", {1.0}, 0.5);
+
+  MetricsSnapshot b;  // same content, reversed insertion order
+  b.observe("lat", {1.0}, 0.5);
+  b.set_gauge("mid", 1.5);
+  b.add_counter("alpha", 2);
+  b.add_counter("zeta");
+
+  EXPECT_EQ(a.to_json(), b.to_json());
+  EXPECT_TRUE(testing::valid_json(a.to_json())) << a.to_json();
+  // Lexicographic key order makes the export diffable.
+  const std::string json = a.to_json();
+  EXPECT_LT(json.find("\"alpha\""), json.find("\"zeta\""));
+}
+
+TEST(MetricsSnapshot, EmptySnapshotRendersValidJson) {
+  EXPECT_TRUE(testing::valid_json(MetricsSnapshot{}.to_json()));
+}
+
+// ---------------------------------------------------------------------------
+// Registry.
+
+TEST(MetricsRegistry, FindOrCreateReturnsStableReferences) {
+  MetricsRegistry registry;
+  Counter& c1 = registry.counter("hits");
+  c1.add(2);
+  Counter& c2 = registry.counter("hits");
+  EXPECT_EQ(&c1, &c2);
+  EXPECT_EQ(c2.value(), 2u);
+
+  Histogram& h1 = registry.histogram("lat", {1.0, 2.0});
+  Histogram& h2 = registry.histogram("lat", {99.0});  // bounds ignored
+  EXPECT_EQ(&h1, &h2);
+  EXPECT_EQ(h2.bounds(), (std::vector<double>{1.0, 2.0}));
+}
+
+TEST(MetricsRegistry, SnapshotAndResetRoundTrip) {
+  MetricsRegistry registry;
+  registry.counter("hits").add(5);
+  registry.gauge("depth").set(2.5);
+  registry.histogram("lat", {1.0}).observe(0.5);
+
+  const MetricsSnapshot snap = registry.snapshot();
+  EXPECT_EQ(snap.counters.at("hits"), 5u);
+  EXPECT_DOUBLE_EQ(snap.gauges.at("depth"), 2.5);
+  EXPECT_EQ(snap.histograms.at("lat").total, 1u);
+  EXPECT_TRUE(testing::valid_json(snap.to_json()));
+
+  registry.reset();
+  EXPECT_TRUE(registry.snapshot().counters.empty());
+  EXPECT_TRUE(registry.snapshot().histograms.empty());
+}
+
+// ---------------------------------------------------------------------------
+// JSON helpers (shared by every exporter).
+
+TEST(JsonUtil, EscapesControlAndQuoteCharacters) {
+  EXPECT_EQ(json_escape("a\"b\\c\n"), "a\\\"b\\\\c\\n");
+  EXPECT_EQ(json_escape(std::string_view("\x01", 1)), "\\u0001");
+}
+
+TEST(JsonUtil, NumbersRenderIntegralWithoutFraction) {
+  EXPECT_EQ(json_number(3.0), "3");
+  EXPECT_EQ(json_number(-2.0), "-2");
+  EXPECT_EQ(json_number(1.5), "1.5");
+  EXPECT_EQ(json_number(std::numeric_limits<double>::infinity()), "null");
+  EXPECT_EQ(json_number(std::uint64_t{18446744073709551615ull}),
+            "18446744073709551615");
+}
+
+}  // namespace
+}  // namespace ftsched::obs

@@ -1,0 +1,122 @@
+// The scheduler decision log: with SchedulerOptions::explain set, the
+// engine records every (operation, processor) pressure evaluation per mSn
+// step, and the recorded numbers must reproduce the σ definition of §6.2.
+#include "sched/explain.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "sched/heuristics.hpp"
+#include "workload/paper_examples.hpp"
+
+namespace ftsched {
+namespace {
+
+TEST(ExplainLog, OneStepPerOperationInSchedulingOrder) {
+  const workload::OwnedProblem ex = workload::paper_example1();
+  ExplainLog log;
+  SchedulerOptions options;
+  options.explain = &log;
+  const Expected<Schedule> result =
+      schedule(ex.problem, HeuristicKind::kSolution1, options);
+  ASSERT_TRUE(result.has_value());
+
+  EXPECT_EQ(log.steps.size(), ex.problem.algorithm->operation_count());
+  for (std::size_t i = 0; i < log.steps.size(); ++i) {
+    EXPECT_EQ(log.steps[i].step, i);
+    EXPECT_TRUE(log.steps[i].chosen.valid());
+    EXPECT_FALSE(log.steps[i].candidates.empty());
+  }
+}
+
+TEST(ExplainLog, SigmaEqualsItsComponents) {
+  // σ = S + Δ + E − R (+ successor penalty, zero here by default).
+  const workload::OwnedProblem ex = workload::paper_example1();
+  ExplainLog log;
+  SchedulerOptions options;
+  options.explain = &log;
+  ASSERT_TRUE(
+      schedule(ex.problem, HeuristicKind::kSolution1, options).has_value());
+
+  ASSERT_GT(log.critical_path, 0);
+  for (const ExplainStep& step : log.steps) {
+    for (const ExplainCandidate& candidate : step.candidates) {
+      EXPECT_NEAR(candidate.sigma,
+                  candidate.start + candidate.duration + candidate.tail -
+                      log.critical_path + candidate.penalty,
+                  1e-9);
+    }
+  }
+}
+
+TEST(ExplainLog, KeepsKPlusOneAssignmentsOfEveryCandidate) {
+  const workload::OwnedProblem ex = workload::paper_example1();
+  ExplainLog log;
+  SchedulerOptions options;
+  options.explain = &log;
+  const Expected<Schedule> result =
+      schedule(ex.problem, HeuristicKind::kSolution1, options);
+  ASSERT_TRUE(result.has_value());
+  const std::size_t replicas =
+      static_cast<std::size_t>(result->failures_tolerated()) + 1;
+
+  for (const ExplainStep& step : log.steps) {
+    std::size_t chosen_kept = 0;
+    Time max_kept_sigma = -kInfinite;
+    for (const ExplainCandidate& candidate : step.candidates) {
+      if (candidate.op == step.chosen && candidate.kept) {
+        chosen_kept += 1;
+        max_kept_sigma = std::max(max_kept_sigma, candidate.sigma);
+      }
+    }
+    EXPECT_EQ(chosen_kept, replicas);
+    // The step's urgency is the largest σ of the winner's kept set.
+    EXPECT_NEAR(step.urgency, max_kept_sigma, 1e-9);
+  }
+}
+
+TEST(ExplainLog, BaseHeuristicKeepsSingleAssignments) {
+  const workload::OwnedProblem ex = workload::paper_example1();
+  ExplainLog log;
+  SchedulerOptions options;
+  options.explain = &log;
+  ASSERT_TRUE(
+      schedule(ex.problem, HeuristicKind::kBase, options).has_value());
+  for (const ExplainStep& step : log.steps) {
+    std::size_t chosen_kept = 0;
+    for (const ExplainCandidate& candidate : step.candidates) {
+      if (candidate.op == step.chosen && candidate.kept) chosen_kept += 1;
+    }
+    EXPECT_EQ(chosen_kept, 1u);
+  }
+}
+
+TEST(ExplainLog, TextRenderingNamesEveryScheduledOperation) {
+  const workload::OwnedProblem ex = workload::paper_example1();
+  ExplainLog log;
+  SchedulerOptions options;
+  options.explain = &log;
+  ASSERT_TRUE(
+      schedule(ex.problem, HeuristicKind::kSolution1, options).has_value());
+
+  const std::string text = log.to_text(ex.problem);
+  EXPECT_NE(text.find("critical path"), std::string::npos);
+  for (const Operation& op : ex.problem.algorithm->operations()) {
+    EXPECT_NE(text.find("scheduled " + op.name), std::string::npos)
+        << "missing decision line for " << op.name << " in:\n"
+        << text;
+  }
+}
+
+TEST(ExplainLog, DisabledByDefault) {
+  // The default options carry no log pointer; scheduling must not record.
+  const workload::OwnedProblem ex = workload::paper_example1();
+  SchedulerOptions options;
+  EXPECT_EQ(options.explain, nullptr);
+  ASSERT_TRUE(
+      schedule(ex.problem, HeuristicKind::kSolution1, options).has_value());
+}
+
+}  // namespace
+}  // namespace ftsched
