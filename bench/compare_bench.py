@@ -1,0 +1,77 @@
+#!/usr/bin/env python3
+"""Perf-regression gate over BENCH_*.json result files.
+
+Compares a fresh benchmark run against a committed baseline and fails
+(exit 1) when any configuration got more than THRESHOLD times slower in
+mean wall-clock per iteration. The default threshold of 2.5x is deliberately
+loose: shared CI runners are noisy, and the gate exists to catch structural
+regressions (an accidentally quadratic loop, a reintroduced per-evaluation
+allocation), not percent-level jitter. Faster-than-baseline results are
+reported but never fail; refresh the baseline deliberately when the
+scheduler gets faster (see bench/baseline/).
+
+Usage: compare_bench.py BASELINE.json CURRENT.json [--threshold 2.5]
+"""
+
+import argparse
+import json
+import sys
+
+
+def load(path):
+    with open(path) as f:
+        records = json.load(f)
+    table = {}
+    for r in records:
+        table[(r["name"], r["params"])] = float(r["wall_ms"])
+    return table
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("baseline")
+    parser.add_argument("current")
+    parser.add_argument("--threshold", type=float, default=2.5,
+                        help="fail when current/baseline exceeds this "
+                             "(default: 2.5)")
+    args = parser.parse_args()
+
+    baseline = load(args.baseline)
+    current = load(args.current)
+
+    failures = []
+    missing = []
+    print(f"{'benchmark':<42} {'baseline':>12} {'current':>12} {'ratio':>8}")
+    for key, base_ms in sorted(baseline.items()):
+        name = f"{key[0]}/{key[1]}"
+        if key not in current:
+            missing.append(name)
+            print(f"{name:<42} {base_ms:>10.4f}ms {'MISSING':>12}")
+            continue
+        cur_ms = current[key]
+        ratio = cur_ms / base_ms if base_ms > 0 else float("inf")
+        flag = " REGRESSION" if ratio > args.threshold else ""
+        print(f"{name:<42} {base_ms:>10.4f}ms {cur_ms:>10.4f}ms "
+              f"{ratio:>7.2f}x{flag}")
+        if ratio > args.threshold:
+            failures.append((name, ratio))
+
+    for key in sorted(current.keys() - baseline.keys()):
+        print(f"{key[0]}/{key[1]:<42} (new, no baseline)")
+
+    if missing:
+        print(f"\nFAIL: {len(missing)} baseline configuration(s) not "
+              f"measured: {', '.join(missing)}", file=sys.stderr)
+        return 1
+    if failures:
+        print(f"\nFAIL: {len(failures)} configuration(s) more than "
+              f"{args.threshold}x slower than baseline:", file=sys.stderr)
+        for name, ratio in failures:
+            print(f"  {name}: {ratio:.2f}x", file=sys.stderr)
+        return 1
+    print(f"\nOK: no configuration exceeded {args.threshold}x baseline")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

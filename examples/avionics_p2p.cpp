@@ -49,12 +49,17 @@ int main() {
   ArchitectureGraph arch;
   std::vector<ProcessorId> fcc;
   for (int i = 1; i <= 4; ++i) {
-    fcc.push_back(arch.add_processor("FCC" + std::to_string(i)));
+    std::string name = "FCC";
+    name += std::to_string(i);
+    fcc.push_back(arch.add_processor(name));
   }
   for (std::size_t i = 0; i < fcc.size(); ++i) {
     for (std::size_t j = i + 1; j < fcc.size(); ++j) {
-      arch.add_link("L" + std::to_string(i + 1) + "." + std::to_string(j + 1),
-                    fcc[i], fcc[j]);
+      std::string link = "L";
+      link += std::to_string(i + 1);
+      link += '.';
+      link += std::to_string(j + 1);
+      arch.add_link(link, fcc[i], fcc[j]);
     }
   }
 

@@ -33,8 +33,9 @@ int main() {
       algorithm.add_operation("joystick", OperationKind::kExtioIn);
   OperationId wheels[4];
   for (int i = 0; i < 4; ++i) {
-    wheels[i] = algorithm.add_operation("wheel" + std::to_string(i),
-                                        OperationKind::kExtioIn);
+    std::string name = "wheel";
+    name += std::to_string(i);
+    wheels[i] = algorithm.add_operation(name, OperationKind::kExtioIn);
   }
   const OperationId state =
       algorithm.add_operation("state", OperationKind::kMem);
@@ -64,7 +65,9 @@ int main() {
   ArchitectureGraph arch;
   std::vector<ProcessorId> ecus;
   for (int i = 1; i <= 5; ++i) {
-    ecus.push_back(arch.add_processor("ECU" + std::to_string(i)));
+    std::string name = "ECU";
+    name += std::to_string(i);
+    ecus.push_back(arch.add_processor(name));
   }
   arch.add_bus("can", ecus);
 

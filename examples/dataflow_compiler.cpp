@@ -65,7 +65,9 @@ int main(int argc, char** argv) {
   ArchitectureGraph arch;
   std::vector<ProcessorId> ecus;
   for (int i = 1; i <= 3; ++i) {
-    ecus.push_back(arch.add_processor("ECU" + std::to_string(i)));
+    std::string name = "ECU";
+    name += std::to_string(i);
+    ecus.push_back(arch.add_processor(name));
   }
   arch.add_bus("can", ecus);
 

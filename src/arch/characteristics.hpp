@@ -35,6 +35,17 @@ class ExecTable {
     return !is_infinite(duration(op, proc));
   }
 
+  /// Unchecked O(1) lookup for scheduler/simulator inner loops; the caller
+  /// guarantees both ids belong to the graphs this table was built from.
+  [[nodiscard]] Time duration_fast(OperationId op,
+                                   ProcessorId proc) const noexcept {
+    return wcet_[op.index() * procs_ + proc.index()];
+  }
+  [[nodiscard]] bool allowed_fast(OperationId op,
+                                  ProcessorId proc) const noexcept {
+    return !is_infinite(duration_fast(op, proc));
+  }
+
   /// Processors able to execute `op`, ascending id.
   [[nodiscard]] std::vector<ProcessorId> allowed_processors(
       OperationId op) const;
@@ -71,6 +82,14 @@ class CommTable {
 
   /// Duration of `dep` over a single `link`.
   [[nodiscard]] Time duration(DependencyId dep, LinkId link) const;
+
+  /// Unchecked O(1) lookup for the scheduler's transfer inner loop; the
+  /// caller guarantees both ids belong to the graphs this table was built
+  /// from.
+  [[nodiscard]] Time duration_fast(DependencyId dep,
+                                   LinkId link) const noexcept {
+    return cost_[dep.index() * links_ + link.index()];
+  }
 
   /// Store-and-forward duration of `dep` over `route` (sum over its links);
   /// zero for the intra-processor route.

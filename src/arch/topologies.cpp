@@ -14,13 +14,21 @@ std::vector<ProcessorId> add_processors(ArchitectureGraph& arch,
   std::vector<ProcessorId> procs;
   procs.reserve(n);
   for (std::size_t i = 1; i <= n; ++i) {
-    procs.push_back(arch.add_processor("P" + std::to_string(i)));
+    // Built via += (not operator+ on a string literal): GCC 12's -Wrestrict
+    // false-positives on `"P" + std::to_string(i)` at -O3.
+    std::string name = "P";
+    name += std::to_string(i);
+    procs.push_back(arch.add_processor(name));
   }
   return procs;
 }
 
 std::string link_name(std::size_t i, std::size_t j) {
-  return "L" + std::to_string(i + 1) + "." + std::to_string(j + 1);
+  std::string name = "L";
+  name += std::to_string(i + 1);
+  name += '.';
+  name += std::to_string(j + 1);
+  return name;
 }
 
 }  // namespace

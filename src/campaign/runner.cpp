@@ -248,10 +248,15 @@ CampaignReport run_campaign(const Schedule& schedule,
 
 std::string CampaignReport::to_text(const ArchitectureGraph& arch) const {
   std::string out;
-  out += "campaign: " + std::to_string(scenarios_run) + " scenarios, " +
-         std::to_string(within_contract) + " within claimed K=" +
-         std::to_string(claimed_tolerance) + ", " +
-         std::to_string(expected_losses) + " expected over-budget losses\n";
+  out += "campaign: ";
+  out += std::to_string(scenarios_run);
+  out += " scenarios, ";
+  out += std::to_string(within_contract);
+  out += " within claimed K=";
+  out += std::to_string(claimed_tolerance);
+  out += ", ";
+  out += std::to_string(expected_losses);
+  out += " expected over-budget losses\n";
   out += "verdict:  " +
          (total_violations == 0
               ? std::string("no oracle violations")
@@ -291,7 +296,12 @@ std::string CampaignReport::to_text(const ArchitectureGraph& arch) const {
                       static_cast<double>(kCrashTimeBuckets) * horizon;
     const double hi = static_cast<double>(b + 1) /
                       static_cast<double>(kCrashTimeBuckets) * horizon;
-    rows.push_back({"[" + time_to_string(lo) + ", " + time_to_string(hi) + ")",
+    std::string bucket = "[";
+    bucket += time_to_string(lo);
+    bucket += ", ";
+    bucket += time_to_string(hi);
+    bucket += ")";
+    rows.push_back({std::move(bucket),
                     std::to_string(coverage.crash_time_buckets[b])});
   }
   out += render_table(rows);

@@ -76,10 +76,14 @@ bool AlgorithmGraph::is_precedence(DependencyId dep) const {
 }
 
 std::vector<DependencyId> AlgorithmGraph::precedence_in(OperationId op) const {
-  std::vector<DependencyId> result;
-  if (operation(op).kind == OperationKind::kMem) return result;
-  result = in_[op.index()];
-  return result;
+  return precedence_in_ref(op);
+}
+
+const std::vector<DependencyId>& AlgorithmGraph::precedence_in_ref(
+    OperationId op) const {
+  static const std::vector<DependencyId> kNoDeps;
+  if (operation(op).kind == OperationKind::kMem) return kNoDeps;
+  return in_[op.index()];
 }
 
 std::vector<DependencyId> AlgorithmGraph::precedence_out(OperationId op) const {
@@ -129,7 +133,8 @@ std::vector<OperationId> AlgorithmGraph::sinks() const {
 std::vector<OperationId> AlgorithmGraph::topological_order() const {
   std::vector<int> in_degree(operations_.size(), 0);
   for (const Operation& op : operations_) {
-    in_degree[op.id.index()] = static_cast<int>(precedence_in(op.id).size());
+    in_degree[op.id.index()] =
+        static_cast<int>(precedence_in_ref(op.id).size());
   }
   // Min-heap on id for deterministic tie-breaking.
   std::priority_queue<OperationId, std::vector<OperationId>,
@@ -144,7 +149,8 @@ std::vector<OperationId> AlgorithmGraph::topological_order() const {
     const OperationId op = ready.top();
     ready.pop();
     order.push_back(op);
-    for (DependencyId dep : precedence_out(op)) {
+    for (DependencyId dep : out_dependencies(op)) {
+      if (!is_precedence(dep)) continue;
       const OperationId dst = dependencies_[dep.index()].dst;
       if (--in_degree[dst.index()] == 0) ready.push(dst);
     }

@@ -62,6 +62,12 @@ class AlgorithmGraph {
   [[nodiscard]] std::vector<DependencyId> precedence_in(OperationId op) const;
   [[nodiscard]] std::vector<DependencyId> precedence_out(OperationId op) const;
 
+  /// Allocation-free precedence_in: a reference into the adjacency (the
+  /// shared empty list for mem destinations). Same contents and order as
+  /// precedence_in(); for loops on scheduling hot paths.
+  [[nodiscard]] const std::vector<DependencyId>& precedence_in_ref(
+      OperationId op) const;
+
   /// Distinct operations preceding / following `op` in the precedence
   /// relation (deduplicated, ordered by id).
   [[nodiscard]] std::vector<OperationId> predecessors(OperationId op) const;

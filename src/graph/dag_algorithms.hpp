@@ -55,7 +55,7 @@ template <OperationDuration Dur, DependencyCost Comm>
   timing.tail.assign(graph.operation_count(), 0);
 
   for (OperationId op : order) {
-    for (DependencyId dep_id : graph.precedence_in(op)) {
+    for (DependencyId dep_id : graph.precedence_in_ref(op)) {
       const Dependency& dep = graph.dependency(dep_id);
       const Time candidate =
           timing.head[dep.src.index()] + dur(dep.src) + comm(dep_id);
@@ -66,7 +66,8 @@ template <OperationDuration Dur, DependencyCost Comm>
   }
   for (auto it = order.rbegin(); it != order.rend(); ++it) {
     const OperationId op = *it;
-    for (DependencyId dep_id : graph.precedence_out(op)) {
+    for (DependencyId dep_id : graph.out_dependencies(op)) {
+      if (!graph.is_precedence(dep_id)) continue;
       const Dependency& dep = graph.dependency(dep_id);
       const Time candidate =
           comm(dep_id) + dur(dep.dst) + timing.tail[dep.dst.index()];

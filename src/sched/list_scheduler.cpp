@@ -11,9 +11,29 @@
 // The engine is deterministic: all the paper's random tie-breaks are
 // replaced by ascending (pressure, completion date, processor id) and
 // ascending operation id.
+//
+// Performance architecture (see DESIGN.md "Scheduler performance"):
+// scheduling is this system's compile-time hot path — the campaign engine
+// and the hybrid tuner re-run it thousands of times per sweep — so the
+// select loop is incremental and allocation-free. Every tentative
+// (candidate, processor) evaluation is cached together with a
+// version-stamped read-set: the processor slot it starts on, the committed
+// delivery entries of its input dependencies, and the link timelines its
+// tentative transfers read (a folded 64-bit mask). A commit bumps one
+// monotonic serial and stamps exactly the resources it wrote; at the next
+// step a cached evaluation is reused iff nothing it read carries a newer
+// stamp. Reused values are bit-identical to what re-evaluation would
+// produce, so the schedule — and the explain log, which replays cached
+// entries — is byte-identical with the cache on or off (enforced by the
+// golden-hash sweep in tests/sched/golden_hash_test.cpp). Tentative
+// transfers run on an epoch-stamped scratch timeline instead of a copy of
+// the link array, and all per-step working sets live in members sized once
+// in init_state().
 #include <algorithm>
+#include <bit>
+#include <cstddef>
+#include <cstdint>
 #include <optional>
-#include <unordered_map>
 #include <vector>
 
 #include "arch/routing.hpp"
@@ -33,7 +53,7 @@ class Engine {
   Engine(const Problem& problem, HeuristicKind kind, SchedulerOptions options)
       : problem_(problem),
         kind_(kind),
-        options_(options),
+        options_(std::move(options)),
         replicas_(kind == HeuristicKind::kBase
                       ? 1
                       : problem.failures_to_tolerate + 1),
@@ -77,6 +97,50 @@ class Engine {
     Time sigma = 0;
   };
 
+  /// Cached tentative evaluation of one (operation, processor) pair.
+  /// `serial` is the commit serial the evaluation was computed at (0 =
+  /// never evaluated); `links_read` folds every link whose committed
+  /// timeline the evaluation read into bit (link % 64). The entry is
+  /// reusable iff no stamped write to its read-set is newer than `serial`.
+  struct EvalSlot {
+    Assignment a;
+    std::uint64_t serial = 0;
+    std::uint64_t links_read = 0;
+  };
+
+  /// Tentative link timeline for one evaluation: reads fall through to the
+  /// committed timeline (recording the link in the read-set mask) unless
+  /// this evaluation already wrote the slot in the current epoch. Starting
+  /// a new evaluation is one counter bump — no copy of the link array.
+  struct ScratchLinks {
+    Engine& e;
+
+    Time get(LinkId link) {
+      const std::size_t i = link.index();
+      if (e.scratch_epoch_[i] == e.epoch_) return e.scratch_links_[i];
+      e.links_read_ |= std::uint64_t{1} << (i & 63);
+      return e.link_ready_[i];
+    }
+    void set(LinkId link, Time t) {
+      const std::size_t i = link.index();
+      e.scratch_epoch_[i] = e.epoch_;
+      e.scratch_links_[i] = t;
+    }
+  };
+
+  /// Committed link timeline: writes go to the real array and stamp the
+  /// link with the current commit serial, invalidating cached evaluations
+  /// that read it.
+  struct CommitLinks {
+    Engine& e;
+
+    Time get(LinkId link) const { return e.link_ready_[link.index()]; }
+    void set(LinkId link, Time t) {
+      e.link_ready_[link.index()] = t;
+      e.link_fold_stamp_[link.index() & 63] = e.serial_;
+    }
+  };
+
   /// Does this dependency's value travel by actively replicated transfers?
   bool dep_active(DependencyId dep) const {
     if (kind_ == HeuristicKind::kSolution2) return true;
@@ -89,6 +153,12 @@ class Engine {
   const ArchitectureGraph& arch() const { return *problem_.architecture; }
   const ExecTable& exec() const { return *problem_.exec; }
   const CommTable& comm() const { return *problem_.comm; }
+
+  Time& avail(DependencyId dep, int rank, ProcessorId proc) {
+    return avail_[dep.index() * avail_dep_stride_ +
+                  static_cast<std::size_t>(rank) * proc_count_ +
+                  proc.index()];
+  }
 
   std::optional<Error> check_input() const {
     std::vector<std::string> issues = graph().check();
@@ -114,23 +184,115 @@ class Engine {
   }
 
   void init_state() {
-    proc_ready_.assign(arch().processor_count(), 0);
-    link_ready_.assign(arch().link_count(), 0);
-    avail_.assign(graph().dependency_count(),
-                  std::vector<std::vector<Time>>(
-                      static_cast<std::size_t>(replicas_),
-                      std::vector<Time>(arch().processor_count(), kInfinite)));
+    const std::size_t ops = graph().operation_count();
+    const std::size_t deps = graph().dependency_count();
+    proc_count_ = arch().processor_count();
+    const std::size_t links = arch().link_count();
+
+    proc_ready_.assign(proc_count_, 0);
+    link_ready_.assign(links, 0);
+    avail_dep_stride_ = static_cast<std::size_t>(replicas_) * proc_count_;
+    avail_.assign(deps * avail_dep_stride_, kInfinite);
+
+    scratch_links_.assign(links, 0);
+    scratch_epoch_.assign(links, 0);
+    epoch_ = 0;
+
+    serial_ = 1;
+    proc_stamp_.assign(proc_count_, 0);
+    dep_stamp_.assign(deps, 0);
+    link_fold_stamp_.assign(64, 0);
+
+    eval_cache_.assign(ops * proc_count_, EvalSlot{});
+    cand_serial_.assign(ops, 0);
+    cand_urgency_.assign(ops, 0);
+    kept_cache_.assign(ops * static_cast<std::size_t>(replicas_),
+                       Assignment{});
+    all_scratch_.reserve(proc_count_);
+    placements_.reserve(static_cast<std::size_t>(replicas_));
+
+    // Flattened precedence tables: precedence_in()/successors() build a
+    // fresh vector per call, which the select loop cannot afford — one CSR
+    // copy per run instead.
+    pred_offset_.assign(ops + 1, 0);
+    pred_deps_.clear();
+    succ_offset_.assign(ops + 1, 0);
+    succ_ops_.clear();
+    for (const Operation& op : graph().operations()) {
+      for (DependencyId dep : graph().precedence_in_ref(op.id)) {
+        pred_deps_.push_back(dep);
+      }
+      pred_offset_[op.id.index() + 1] = pred_deps_.size();
+      // successors(), deduplicated and sorted, without its per-call vector.
+      const std::size_t first = succ_ops_.size();
+      for (DependencyId dep : graph().out_dependencies(op.id)) {
+        if (graph().is_precedence(dep)) {
+          succ_ops_.push_back(graph().dependency(dep).dst);
+        }
+      }
+      std::sort(succ_ops_.begin() + static_cast<std::ptrdiff_t>(first),
+                succ_ops_.end());
+      succ_ops_.erase(
+          std::unique(succ_ops_.begin() + static_cast<std::ptrdiff_t>(first),
+                      succ_ops_.end()),
+          succ_ops_.end());
+      succ_offset_[op.id.index() + 1] = succ_ops_.size();
+    }
+
+    // Committed-replica completion dates, (op, proc)-indexed: the engine's
+    // O(1) stand-in for Schedule::replica_on in dependency_arrival.
+    local_end_.assign(ops * proc_count_, kInfinite);
+
+    // Satellite of the same hot loop: the cheapest transfer duration of
+    // each dependency over any link, precomputed once instead of re-scanning
+    // every link per (candidate, processor) evaluation, and from it the
+    // static successor-placement penalty of every (operation, processor)
+    // pair (successor_penalty reads only static data: the exec table and
+    // this table).
+    cheapest_comm_.assign(deps, kInfinite);
+    for (const Dependency& dep : graph().dependencies()) {
+      Time cheapest = kInfinite;
+      for (const Link& link : arch().links()) {
+        cheapest = std::min(cheapest, comm().duration_fast(dep.id, link.id));
+      }
+      cheapest_comm_[dep.id.index()] = cheapest;
+    }
+    penalty_.assign(ops * proc_count_, 0);
+    if (options_.successor_placement_penalty) {
+      for (const Operation& op : graph().operations()) {
+        for (const Processor& proc : arch().processors()) {
+          Time penalty = 0;
+          for (DependencyId dep : graph().precedence_out(op.id)) {
+            const OperationId dst = graph().dependency(dep).dst;
+            if (exec().allowed_fast(dst, proc.id)) continue;
+            const Time cheapest = cheapest_comm_[dep.index()];
+            if (!is_infinite(cheapest)) {
+              penalty = std::max(penalty, cheapest);
+            }
+          }
+          penalty_[op.id.index() * proc_count_ + proc.id.index()] = penalty;
+        }
+      }
+    }
+  }
+
+  /// Static lower bound on the communications forced by placing `op` on a
+  /// processor its successor cannot execute on (see SchedulerOptions).
+  /// Precomputed per (operation, processor) in init_state().
+  Time successor_penalty(OperationId op, ProcessorId proc) const {
+    return penalty_[op.index() * proc_count_ + proc.index()];
   }
 
   /// mSn loop of Figures 11/20.
   std::optional<Error> main_loop() {
-    std::vector<bool> is_candidate(graph().operation_count(), false);
-    std::vector<bool> done(graph().operation_count(), false);
+    // Candidate list kept sorted ascending by operation id — the
+    // deterministic evaluation (and explain) order.
+    std::vector<OperationId> candidates;
     std::vector<int> missing(graph().operation_count(), 0);
     for (const Operation& op : graph().operations()) {
       missing[op.id.index()] =
           static_cast<int>(graph().predecessors(op.id).size());
-      if (missing[op.id.index()] == 0) is_candidate[op.id.index()] = true;
+      if (missing[op.id.index()] == 0) candidates.push_back(op.id);
     }
 
     for (std::size_t scheduled = 0; scheduled < graph().operation_count();
@@ -138,20 +300,16 @@ class Engine {
       // mSn.1 + mSn.2: evaluate every candidate on its K+1 best processors
       // and select the candidate whose kept set holds the largest pressure.
       OperationId best_op;
-      std::vector<Assignment> best_kept;
       Time best_urgency = -kInfinite;
       ExplainStep step;
       {
         FTSCHED_SPAN("sched.select");
-        for (const Operation& op : graph().operations()) {
-          if (!is_candidate[op.id.index()] || done[op.id.index()]) continue;
-          std::vector<Assignment> kept = keep_best(
-              op.id, options_.explain != nullptr ? &step : nullptr);
-          const Time urgency = kept.back().sigma;
+        for (OperationId op : candidates) {
+          const Time urgency =
+              keep_best(op, options_.explain != nullptr ? &step : nullptr);
           if (time_gt(urgency, best_urgency)) {
             best_urgency = urgency;
-            best_op = op.id;
-            best_kept = std::move(kept);
+            best_op = op;
           }
         }
       }
@@ -168,44 +326,83 @@ class Engine {
       // mSn.3: implement the operation and the communications it implies.
       {
         FTSCHED_SPAN("sched.commit");
-        commit(best_op, best_kept);
+        commit(best_op);
       }
 
-      // mSn.4: update the candidate list.
-      done[best_op.index()] = true;
-      is_candidate[best_op.index()] = false;
-      for (OperationId succ : graph().successors(best_op)) {
-        if (--missing[succ.index()] == 0) is_candidate[succ.index()] = true;
+      // mSn.4: update the candidate list (kept sorted by id).
+      candidates.erase(
+          std::find(candidates.begin(), candidates.end(), best_op));
+      for (std::size_t s = succ_offset_[best_op.index()];
+           s < succ_offset_[best_op.index() + 1]; ++s) {
+        const OperationId succ = succ_ops_[s];
+        if (--missing[succ.index()] == 0) {
+          candidates.insert(
+              std::lower_bound(candidates.begin(), candidates.end(), succ),
+              succ);
+        }
       }
     }
     return std::nullopt;
   }
 
-  /// The K+1 assignments of `op` minimizing sigma, ascending
-  /// (sigma, completion, processor id). check_input() guarantees enough
-  /// allowed processors exist. With `explain`, every evaluation is
-  /// appended to the step's candidate list (kept = among the K+1 best).
-  std::vector<Assignment> keep_best(OperationId op, ExplainStep* explain) {
-    std::vector<Assignment> all;
-    {
-      FTSCHED_SPAN("sched.pressure_eval");
-      for (const Processor& proc : arch().processors()) {
-        if (!exec().allowed(op, proc.id)) continue;
-        all.push_back(evaluate(op, proc.id));
-      }
+  /// mSn.1 for one candidate: its K+1 assignments minimizing sigma,
+  /// ascending (sigma, completion, processor id), written to the
+  /// candidate's kept_cache_ row; returns the urgency (the kept set's
+  /// largest sigma). check_input() guarantees enough allowed processors
+  /// exist. Per-(op, proc) evaluations are cached and reused while their
+  /// version-stamped read-set is untouched; cached entries carry exactly
+  /// the values re-evaluation would produce, so reuse cannot change any
+  /// decision. With `explain`, every evaluation — cached entries replayed —
+  /// is appended to the step's candidate list (kept = among the K+1 best).
+  Time keep_best(OperationId op, ExplainStep* explain) {
+    FTSCHED_SPAN("sched.pressure_eval");
+    // Committed deliveries of any input dependency invalidate every
+    // processor's evaluation of this candidate at once.
+    std::uint64_t dep_change = 0;
+    for (DependencyId dep : pred_span(op)) {
+      dep_change = std::max(dep_change, dep_stamp_[dep.index()]);
     }
+
+    all_scratch_.clear();
+    bool all_cached = options_.incremental_select &&
+                      cand_serial_[op.index()] != 0 &&
+                      cand_serial_[op.index()] >= dep_change;
+    const std::size_t row = op.index() * proc_count_;
+    for (const Processor& proc : arch().processors()) {
+      if (!exec().allowed_fast(op, proc.id)) continue;
+      EvalSlot& slot = eval_cache_[row + proc.id.index()];
+      if (!options_.incremental_select || !slot_valid(slot, proc.id,
+                                                      dep_change)) {
+        slot.a = evaluate(op, proc.id);
+        slot.links_read = links_read_;
+        slot.serial = serial_;
+        all_cached = false;
+      }
+      all_scratch_.push_back(slot.a);
+    }
+    if (all_cached && explain == nullptr) return cand_urgency_[op.index()];
+
+    const auto by_pressure = [](const Assignment& a, const Assignment& b) {
+      if (!time_eq(a.sigma, b.sigma)) return a.sigma < b.sigma;
+      if (!time_eq(a.end, b.end)) return a.end < b.end;
+      return a.proc < b.proc;
+    };
     {
       FTSCHED_SPAN("sched.candidate_sort");
-      std::sort(all.begin(), all.end(), [](const Assignment& a,
-                                           const Assignment& b) {
-        if (!time_eq(a.sigma, b.sigma)) return a.sigma < b.sigma;
-        if (!time_eq(a.end, b.end)) return a.end < b.end;
-        return a.proc < b.proc;
-      });
+      const auto kept_end =
+          all_scratch_.begin() + static_cast<std::ptrdiff_t>(replicas_);
+      if (explain != nullptr) {
+        // The audit log lists the full table in pressure order, so sort it
+        // all; the fast path only needs the K+1 winners in order.
+        std::sort(all_scratch_.begin(), all_scratch_.end(), by_pressure);
+      } else {
+        std::partial_sort(all_scratch_.begin(), kept_end, all_scratch_.end(),
+                          by_pressure);
+      }
     }
     if (explain != nullptr) {
-      for (std::size_t i = 0; i < all.size(); ++i) {
-        const Assignment& a = all[i];
+      for (std::size_t i = 0; i < all_scratch_.size(); ++i) {
+        const Assignment& a = all_scratch_[i];
         ExplainCandidate candidate;
         candidate.op = op;
         candidate.proc = a.proc;
@@ -218,18 +415,50 @@ class Engine {
         explain->candidates.push_back(candidate);
       }
     }
-    all.resize(static_cast<std::size_t>(replicas_));
-    return all;
+    Assignment* kept = kept_row(op);
+    for (std::size_t i = 0; i < static_cast<std::size_t>(replicas_); ++i) {
+      kept[i] = all_scratch_[i];
+    }
+    cand_urgency_[op.index()] =
+        kept[static_cast<std::size_t>(replicas_) - 1].sigma;
+    cand_serial_[op.index()] = serial_;
+    return cand_urgency_[op.index()];
+  }
+
+  /// This candidate's K+1 kept assignments (kept_cache_ row), valid until a
+  /// commit invalidates one of its evaluations.
+  Assignment* kept_row(OperationId op) {
+    return kept_cache_.data() +
+           op.index() * static_cast<std::size_t>(replicas_);
+  }
+
+  bool slot_valid(const EvalSlot& slot, ProcessorId proc,
+                  std::uint64_t dep_change) const {
+    if (slot.serial == 0) return false;
+    if (slot.serial < dep_change) return false;
+    if (slot.serial < proc_stamp_[proc.index()]) return false;
+    std::uint64_t mask = slot.links_read;
+    while (mask != 0) {
+      const int bit = std::countr_zero(mask);
+      if (slot.serial < link_fold_stamp_[static_cast<std::size_t>(bit)]) {
+        return false;
+      }
+      mask &= mask - 1;
+    }
+    return true;
   }
 
   /// Tentative evaluation of (op, proc): earliest start given the committed
-  /// partial schedule, scheduling the implied communications on a scratch
-  /// copy of the link timelines.
+  /// partial schedule, scheduling the implied communications on the
+  /// epoch-stamped scratch link timeline. Records the links read into
+  /// links_read_ for the caller to stash in the evaluation's cache slot.
   Assignment evaluate(OperationId op, ProcessorId proc) {
-    std::vector<Time> links = link_ready_;
+    ++epoch_;
+    links_read_ = 0;
+    ScratchLinks links{*this};
     const Time data = data_ready(op, proc, links, nullptr);
     const Time start = std::max(data, proc_ready_[proc.index()]);
-    const Time duration = exec().duration(op, proc);
+    const Time duration = exec().duration_fast(op, proc);
     Assignment a;
     a.proc = proc;
     a.start = start;
@@ -239,46 +468,42 @@ class Engine {
     return a;
   }
 
-  /// Static lower bound on the communications forced by placing `op` on a
-  /// processor its successor cannot execute on (see SchedulerOptions).
-  Time successor_penalty(OperationId op, ProcessorId proc) const {
-    if (!options_.successor_placement_penalty) return 0;
-    Time penalty = 0;
-    for (DependencyId dep : graph().precedence_out(op)) {
-      const OperationId dst = graph().dependency(dep).dst;
-      if (exec().allowed(dst, proc)) continue;
-      Time cheapest = kInfinite;
-      for (const Link& link : arch().links()) {
-        cheapest = std::min(cheapest, comm().duration(dep, link.id));
-      }
-      if (!is_infinite(cheapest)) penalty = std::max(penalty, cheapest);
-    }
-    return penalty;
-  }
-
   /// Earliest date all of op's inputs are available on `proc`, scheduling
-  /// missing transfers on `links` (scratch copy when `out` is null,
-  /// the real timeline when committing, in which case created comms are
+  /// missing transfers on `links` (the scratch timeline when `out` is null,
+  /// the committed one when committing, in which case created comms are
   /// appended to the schedule and the availability table is updated).
-  Time data_ready(OperationId op, ProcessorId proc, std::vector<Time>& links,
+  template <class Links>
+  Time data_ready(OperationId op, ProcessorId proc, Links& links,
                   Schedule* out) {
     Time ready = 0;
-    for (DependencyId dep_id : graph().precedence_in(op)) {
+    for (DependencyId dep_id : pred_span(op)) {
       ready = std::max(ready, dependency_arrival(dep_id, proc, links, out));
     }
     return ready;
   }
 
+  /// Precedence-in dependencies of `op` from the flattened table.
+  struct DepSpan {
+    const DependencyId* first;
+    const DependencyId* last;
+    const DependencyId* begin() const { return first; }
+    const DependencyId* end() const { return last; }
+  };
+  DepSpan pred_span(OperationId op) const {
+    return {pred_deps_.data() + pred_offset_[op.index()],
+            pred_deps_.data() + pred_offset_[op.index() + 1]};
+  }
+
   /// Earliest date the value of `dep` is available on `proc`.
-  Time dependency_arrival(DependencyId dep_id, ProcessorId proc,
-                          std::vector<Time>& links, Schedule* out) {
+  template <class Links>
+  Time dependency_arrival(DependencyId dep_id, ProcessorId proc, Links& links,
+                          Schedule* out) {
     const Dependency& dep = graph().dependency(dep_id);
     // Intra-processor: a local replica of the producer makes the value
     // available at its completion; no transfer is created (§6.1, §7.1).
-    if (const ScheduledOperation* local =
-            schedule_.replica_on(dep.src, proc)) {
-      return local->end;
-    }
+    const Time local_end =
+        local_end_[dep.src.index() * proc_count_ + proc.index()];
+    if (!is_infinite(local_end)) return local_end;
     if (dep_active(dep_id)) {
       // Every producer replica sends; the consumer keeps the first arrival.
       // Under disjoint routing each transfer takes a route that avoids its
@@ -287,27 +512,27 @@ class Engine {
       // copy (§8 future work). When the bans disconnect a pair we fall back
       // to the shortest route (overlap accepted, reported by the
       // link-failure benchmarks).
-      std::vector<bool> banned_links;
-      std::vector<bool> banned_procs;
       if (options_.disjoint_comm_routes) {
-        banned_links.assign(arch().link_count(), false);
-        banned_procs.assign(arch().processor_count(), false);
-        for (const ScheduledOperation* host : schedule_.replicas(dep.src)) {
-          banned_procs[host->processor.index()] = true;
+        banned_links_.assign(arch().link_count(), false);
+        banned_procs_.assign(arch().processor_count(), false);
+        for (const ScheduledOperation* host :
+             schedule_.replicas_view(dep.src)) {
+          banned_procs_[host->processor.index()] = true;
         }
       }
       Time first = kInfinite;
-      for (const ScheduledOperation* sender : schedule_.replicas(dep.src)) {
-        Time arrival = avail_[dep_id.index()][sender->rank][proc.index()];
+      for (const ScheduledOperation* sender :
+           schedule_.replicas_view(dep.src)) {
+        Time arrival = avail(dep_id, sender->rank, proc);
         if (is_infinite(arrival)) {
           const Route* forced = nullptr;
           std::optional<Route> detour;
           if (options_.disjoint_comm_routes) {
             // The sender itself is of course allowed to originate.
-            banned_procs[sender->processor.index()] = false;
+            banned_procs_[sender->processor.index()] = false;
             detour = routing_.route_avoiding(sender->processor, proc,
-                                             banned_links, &banned_procs);
-            banned_procs[sender->processor.index()] = true;
+                                             banned_links_, &banned_procs_);
+            banned_procs_[sender->processor.index()] = true;
             if (detour.has_value()) forced = &*detour;
           }
           arrival = transfer(dep_id, *sender, proc, links, out, 0, false,
@@ -316,10 +541,12 @@ class Engine {
             const Route& used =
                 forced != nullptr ? *forced
                                   : routing_.route(sender->processor, proc);
-            for (LinkId link : used.links) banned_links[link.index()] = true;
+            for (LinkId link : used.links) {
+              banned_links_[link.index()] = true;
+            }
             for (ProcessorId hop : used.hops) {
               if (hop != sender->processor && hop != proc) {
-                banned_procs[hop.index()] = true;
+                banned_procs_[hop.index()] = true;
               }
             }
           }
@@ -330,7 +557,7 @@ class Engine {
     }
     // Base / solution 1: only the main replica sends; reuse any committed
     // delivery (bus broadcast or relay) observed by `proc`.
-    const Time seen = avail_[dep_id.index()][0][proc.index()];
+    const Time seen = avail(dep_id, 0, proc);
     if (!is_infinite(seen)) return seen;
     return transfer(dep_id, *schedule_.main(dep.src), proc, links, out);
   }
@@ -340,62 +567,84 @@ class Engine {
   /// the caller forces a detour (disjoint routing). With `out`, commits the
   /// transfer and marks every processor that observes the value (link
   /// endpoints: bus broadcast / relay hops) in the availability table.
+  template <class Links>
   Time transfer(DependencyId dep_id, const ScheduledOperation& sender,
-                ProcessorId proc, std::vector<Time>& links, Schedule* out,
+                ProcessorId proc, Links& links, Schedule* out,
                 Time not_before = 0, bool liveness = false,
                 const Route* forced_route = nullptr) {
     const Route& route = forced_route != nullptr
                              ? *forced_route
                              : routing_.route(sender.processor, proc);
+    Time at = std::max(sender.end, not_before);
+    if (out == nullptr) {
+      // Tentative: only the arrival date matters; build no comm record.
+      for (LinkId link : route.links) {
+        const Time start = std::max(links.get(link), at);
+        at = start + comm().duration_fast(dep_id, link);
+        links.set(link, at);
+      }
+      return at;
+    }
     ScheduledComm record;
     record.dep = dep_id;
     record.sender_rank = sender.rank;
     record.from = sender.processor;
     record.to = proc;
     record.liveness = liveness;
-    Time at = std::max(sender.end, not_before);
     for (LinkId link : route.links) {
-      const Time start = std::max(links[link.index()], at);
-      const Time end = start + comm().duration(dep_id, link);
-      links[link.index()] = end;
+      const Time start = std::max(links.get(link), at);
+      const Time end = start + comm().duration_fast(dep_id, link);
+      links.set(link, end);
       at = end;
-      if (out) record.segments.push_back(CommSegment{link, start, end});
+      record.segments.push_back(CommSegment{link, start, end});
     }
-    if (out) {
-      for (const CommSegment& seg : record.segments) {
-        for (ProcessorId endpoint : arch().link(seg.link).endpoints) {
-          Time& slot =
-              avail_[dep_id.index()][sender.rank][endpoint.index()];
-          slot = std::min(slot, seg.end);
+    if (!record.segments.empty()) dep_stamp_[dep_id.index()] = serial_;
+    for (const CommSegment& seg : record.segments) {
+      for (ProcessorId endpoint : arch().link(seg.link).endpoints) {
+        Time& slot = avail(dep_id, sender.rank, endpoint);
+        slot = std::min(slot, seg.end);
+        // Consecutive route segments share their relay endpoint (and on a
+        // bus every segment shares all endpoints): record each observer
+        // once, keeping first-delivery order.
+        if (std::find(record.delivered_to.begin(),
+                      record.delivered_to.end(),
+                      endpoint) == record.delivered_to.end()) {
           record.delivered_to.push_back(endpoint);
         }
       }
-      out->add_comm(std::move(record));
     }
+    out->add_comm(std::move(record));
     return at;
   }
 
   /// mSn.3: commits the chosen operation on its K+1 processors, main first.
   /// Ranks are re-derived from the actual completion dates, which can differ
   /// from the evaluated ones once the replicas' transfers interact on links.
-  void commit(OperationId op, const std::vector<Assignment>& kept) {
-    std::vector<ScheduledOperation> placements;
-    for (const Assignment& assignment : kept) {
-      const ProcessorId proc = assignment.proc;
-      const Time data = data_ready(op, proc, link_ready_, &schedule_);
+  /// Bumps the commit serial and stamps every resource written, so only the
+  /// cached evaluations that actually read them are re-evaluated next step.
+  void commit(OperationId op) {
+    ++serial_;
+    const Assignment* kept = kept_row(op);
+    CommitLinks links{*this};
+    placements_.clear();
+    for (std::size_t i = 0; i < static_cast<std::size_t>(replicas_); ++i) {
+      const ProcessorId proc = kept[i].proc;
+      const Time data = data_ready(op, proc, links, &schedule_);
       const Time start = std::max(data, proc_ready_[proc.index()]);
-      const Time end = start + exec().duration(op, proc);
+      const Time end = start + exec().duration_fast(op, proc);
       proc_ready_[proc.index()] = end;
-      placements.push_back(ScheduledOperation{op, 0, proc, start, end});
+      proc_stamp_[proc.index()] = serial_;
+      local_end_[op.index() * proc_count_ + proc.index()] = end;
+      placements_.push_back(ScheduledOperation{op, 0, proc, start, end});
     }
-    std::stable_sort(placements.begin(), placements.end(),
+    std::stable_sort(placements_.begin(), placements_.end(),
                      [](const ScheduledOperation& a,
                         const ScheduledOperation& b) {
                        return time_lt(a.end, b.end);
                      });
-    for (std::size_t rank = 0; rank < placements.size(); ++rank) {
-      placements[rank].rank = static_cast<int>(rank);
-      schedule_.add_operation(placements[rank]);
+    for (std::size_t rank = 0; rank < placements_.size(); ++rank) {
+      placements_[rank].rank = static_cast<int>(rank);
+      schedule_.add_operation(placements_[rank]);
     }
   }
 
@@ -403,11 +652,12 @@ class Engine {
   /// but their values must still reach every mem replica before the next
   /// iteration; transfer them once everything is placed (§4.2 item 2).
   void schedule_mem_inputs() {
+    CommitLinks links{*this};
     for (const Dependency& dep : graph().dependencies()) {
       if (graph().is_precedence(dep.id)) continue;
-      for (const ScheduledOperation* replica : schedule_.replicas(dep.dst)) {
-        dependency_arrival(dep.id, replica->processor, link_ready_,
-                           &schedule_);
+      for (const ScheduledOperation* replica :
+           schedule_.replicas_view(dep.dst)) {
+        dependency_arrival(dep.id, replica->processor, links, &schedule_);
       }
     }
   }
@@ -421,28 +671,43 @@ class Engine {
   /// added — this is precisely the extra cost that makes solution 1
   /// ill-suited to point-to-point architectures (§6.1 item 1).
   void schedule_liveness_comms() {
+    CommitLinks links{*this};
+    // The transfer that certifies each main finished distributing: the
+    // latest-ending consumer delivery of the dependency. One pass over the
+    // committed comms (comms_of would rescan the whole list per
+    // dependency), indexes not pointers — the appends below reallocate.
+    constexpr std::size_t kNone = static_cast<std::size_t>(-1);
+    std::vector<std::size_t> final_of(graph().dependency_count(), kNone);
+    for (std::size_t i = 0; i < schedule_.comms().size(); ++i) {
+      const ScheduledComm& comm = schedule_.comms()[i];
+      if (!comm.active || comm.liveness || comm.segments.empty()) continue;
+      std::size_t& slot = final_of[comm.dep.index()];
+      if (slot == kNone ||
+          time_ge(comm.segments.back().end,
+                  schedule_.comms()[slot].segments.back().end)) {
+        slot = i;
+      }
+    }
     for (const Dependency& dep : graph().dependencies()) {
       if (dep_active(dep.id)) continue;
       bool remote_consumer = false;
-      for (const ScheduledOperation* consumer : schedule_.replicas(dep.dst)) {
-        if (schedule_.replica_on(dep.src, consumer->processor) == nullptr) {
+      for (const ScheduledOperation* consumer :
+           schedule_.replicas_view(dep.dst)) {
+        if (is_infinite(local_end_[dep.src.index() * proc_count_ +
+                                   consumer->processor.index()])) {
           remote_consumer = true;
           break;
         }
       }
       if (!remote_consumer) continue;
-      // The transfer that certifies the main finished distributing: the
-      // latest-ending consumer delivery of this dependency.
-      Time final_end = 0;
-      const ScheduledComm* final_comm = nullptr;
-      for (const ScheduledComm* comm : schedule_.comms_of(dep.id)) {
-        if (comm->liveness || comm->segments.empty()) continue;
-        if (time_ge(comm->segments.back().end, final_end)) {
-          final_end = comm->segments.back().end;
-          final_comm = comm;
-        }
-      }
-      for (const ScheduledOperation* backup : schedule_.replicas(dep.src)) {
+      const ScheduledComm* final_comm =
+          final_of[dep.id.index()] == kNone
+              ? nullptr
+              : &schedule_.comms()[final_of[dep.id.index()]];
+      const Time final_end =
+          final_comm == nullptr ? 0 : final_comm->segments.back().end;
+      for (const ScheduledOperation* backup :
+           schedule_.replicas_view(dep.src)) {
         if (backup->is_main()) continue;
         // A backup that observes the final consumer delivery on one of its
         // own links (always the case on a bus) needs no extra signal.
@@ -457,7 +722,7 @@ class Engine {
         }
         if (observes_final) continue;
         transfer(dep.id, *schedule_.main(dep.src), backup->processor,
-                 link_ready_, &schedule_, /*not_before=*/final_end,
+                 links, &schedule_, /*not_before=*/final_end,
                  /*liveness=*/true);
       }
     }
@@ -470,13 +735,16 @@ class Engine {
     for (const Dependency& dep : graph().dependencies()) {
       if (dep_active(dep.id)) continue;
       std::vector<ProcessorId> consumers;
-      for (const ScheduledOperation* replica : schedule_.replicas(dep.dst)) {
-        if (schedule_.replica_on(dep.src, replica->processor) == nullptr) {
+      for (const ScheduledOperation* replica :
+           schedule_.replicas_view(dep.dst)) {
+        if (is_infinite(local_end_[dep.src.index() * proc_count_ +
+                                   replica->processor.index()])) {
           consumers.push_back(replica->processor);
         }
       }
       if (consumers.empty()) continue;
-      for (const ScheduledOperation* sender : schedule_.replicas(dep.src)) {
+      for (const ScheduledOperation* sender :
+           schedule_.replicas_view(dep.src)) {
         if (sender->is_main()) continue;
         ScheduledComm passive;
         passive.dep = dep.id;
@@ -497,38 +765,91 @@ class Engine {
   RoutingTable routing_;
   Schedule schedule_;
   DagTiming timing_;
+  std::size_t proc_count_ = 0;
+
   std::vector<Time> proc_ready_;
   std::vector<Time> link_ready_;
-  /// avail_[dep][sender rank][proc]: earliest committed availability of the
+  /// avail(dep, sender rank, proc): earliest committed availability of the
   /// dependency's value on the processor, kInfinite if never delivered.
-  std::vector<std::vector<std::vector<Time>>> avail_;
+  /// One contiguous array (dep-major, then rank, then processor) — the
+  /// previous vector<vector<vector<Time>>> cost two indirections per read
+  /// in the innermost dependency_arrival loop.
+  std::vector<Time> avail_;
+  std::size_t avail_dep_stride_ = 0;
+  /// Static precomputes (init_state): cheapest single-link transfer
+  /// duration per dependency, and the successor-placement penalty per
+  /// (operation, processor) derived from it.
+  std::vector<Time> cheapest_comm_;
+  std::vector<Time> penalty_;
+  /// Flattened precedence CSR tables (init_state) — avoid the per-call
+  /// vector the graph accessors build.
+  std::vector<std::size_t> pred_offset_;
+  std::vector<DependencyId> pred_deps_;
+  std::vector<std::size_t> succ_offset_;
+  std::vector<OperationId> succ_ops_;
+  /// Completion date of op's committed replica on proc, kInfinite if none:
+  /// the hot-path equivalent of Schedule::replica_on(op, proc)->end.
+  std::vector<Time> local_end_;
+
+  // --- incremental-select state (see class comment) ---
+  /// Monotonic commit counter; bumped at the start of every commit.
+  std::uint64_t serial_ = 1;
+  /// Per processor: serial of the last proc_ready_ write.
+  std::vector<std::uint64_t> proc_stamp_;
+  /// Per dependency: serial of the last committed delivery (avail_ write).
+  std::vector<std::uint64_t> dep_stamp_;
+  /// Per folded link index (link % 64): serial of the last timeline write.
+  /// Folding trades precision for a fixed-size mask — aliasing can only
+  /// cause extra re-evaluation, never a stale reuse.
+  std::vector<std::uint64_t> link_fold_stamp_;
+  /// Per (operation, processor): cached tentative evaluation.
+  std::vector<EvalSlot> eval_cache_;
+  /// Per operation: serial/urgency of the cached keep_best result, and its
+  /// kept K+1 assignments as one flat row-major array.
+  std::vector<std::uint64_t> cand_serial_;
+  std::vector<Time> cand_urgency_;
+  std::vector<Assignment> kept_cache_;
+
+  // --- per-evaluation scratch, sized once in init_state ---
+  /// Epoch-stamped tentative link timeline (ScratchLinks).
+  std::vector<Time> scratch_links_;
+  std::vector<std::uint64_t> scratch_epoch_;
+  std::uint64_t epoch_ = 0;
+  /// Folded mask of links the current evaluation read (ScratchLinks::get).
+  std::uint64_t links_read_ = 0;
+  /// keep_best working set and commit placement buffer.
+  std::vector<Assignment> all_scratch_;
+  std::vector<ScheduledOperation> placements_;
+  /// Disjoint-routing ban sets (only touched under disjoint_comm_routes).
+  std::vector<bool> banned_links_;
+  std::vector<bool> banned_procs_;
 };
 
 }  // namespace
 
 Expected<Schedule> schedule_base(const Problem& problem,
                                  SchedulerOptions options) {
-  return Engine(problem, HeuristicKind::kBase, options).run();
+  return Engine(problem, HeuristicKind::kBase, std::move(options)).run();
 }
 
 Expected<Schedule> schedule_solution1(const Problem& problem,
                                       SchedulerOptions options) {
-  return Engine(problem, HeuristicKind::kSolution1, options).run();
+  return Engine(problem, HeuristicKind::kSolution1, std::move(options)).run();
 }
 
 Expected<Schedule> schedule_solution2(const Problem& problem,
                                       SchedulerOptions options) {
-  return Engine(problem, HeuristicKind::kSolution2, options).run();
+  return Engine(problem, HeuristicKind::kSolution2, std::move(options)).run();
 }
 
 Expected<Schedule> schedule_hybrid_with_policy(const Problem& problem,
                                                SchedulerOptions options) {
-  return Engine(problem, HeuristicKind::kHybrid, options).run();
+  return Engine(problem, HeuristicKind::kHybrid, std::move(options)).run();
 }
 
 Expected<Schedule> schedule(const Problem& problem, HeuristicKind kind,
                             SchedulerOptions options) {
-  return Engine(problem, kind, options).run();
+  return Engine(problem, kind, std::move(options)).run();
 }
 
 }  // namespace ftsched

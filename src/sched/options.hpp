@@ -36,6 +36,17 @@ struct SchedulerOptions {
   /// automatically; expose it here for manual ablations.
   std::vector<bool> active_comm_deps;
 
+  /// Incremental candidate re-evaluation: cache every (candidate,
+  /// processor) evaluation together with its version-stamped read-set
+  /// (processor availability, link timelines, committed-delivery entries)
+  /// and, at each mSn step, re-evaluate only the candidates whose read-set
+  /// a commit actually invalidated. Schedules are byte-identical with the
+  /// cache on or off (see DESIGN.md "Scheduler performance" for the
+  /// determinism argument, and the golden-hash test sweep that enforces
+  /// it); OFF forces the pre-incremental full rescan every step — the
+  /// reference behaviour for equivalence tests and A/B benchmarks.
+  bool incremental_select = true;
+
   /// Decision log: when non-null, the engine appends one ExplainStep per
   /// list-scheduling step — every evaluated (candidate, processor) pair
   /// with its σ components and the decision taken (sched/explain.hpp).

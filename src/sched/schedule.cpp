@@ -1,6 +1,7 @@
 #include "sched/schedule.hpp"
 
 #include <algorithm>
+#include <bit>
 
 namespace ftsched {
 
@@ -24,7 +25,15 @@ Schedule::Schedule(const Problem& problem, HeuristicKind kind)
       k_(kind == HeuristicKind::kBase ? 0 : problem.failures_to_tolerate),
       replica_index_(problem.algorithm->operation_count()),
       active_comm_(problem.algorithm->dependency_count(),
-                   kind == HeuristicKind::kSolution2 ? 1 : 0) {}
+                   kind == HeuristicKind::kSolution2 ? 1 : 0) {
+  // Exact replica count and a comm estimate up front, so the engine's
+  // commit loop never reallocates ops_ (replicas_view hands out borrowed
+  // pointers into it between commits).
+  ops_.reserve(problem.algorithm->operation_count() *
+               static_cast<std::size_t>(k_ + 1));
+  comms_.reserve(problem.algorithm->dependency_count() *
+                 static_cast<std::size_t>(k_ + 1));
+}
 
 bool Schedule::uses_active_comms(DependencyId dep) const {
   FTSCHED_REQUIRE(dep.valid() && dep.index() < active_comm_.size(),
@@ -172,6 +181,62 @@ std::size_t Schedule::active_comm_count() const {
     if (comm.active) ++count;
   }
   return count;
+}
+
+namespace {
+
+struct Fnv1a {
+  std::uint64_t state = 14695981039346656037ull;
+
+  void mix(std::uint64_t v) {
+    for (int byte = 0; byte < 8; ++byte) {
+      state ^= (v >> (byte * 8)) & 0xff;
+      state *= 1099511628211ull;
+    }
+  }
+  void mix_time(Time t) { mix(std::bit_cast<std::uint64_t>(t)); }
+  template <class Tag>
+  void mix_id(Id<Tag> id) {
+    mix(static_cast<std::uint64_t>(
+        static_cast<std::int64_t>(id.value())));
+  }
+};
+
+}  // namespace
+
+std::uint64_t schedule_hash(const Schedule& schedule) {
+  Fnv1a h;
+  h.mix(static_cast<std::uint64_t>(schedule.kind()));
+  h.mix(static_cast<std::uint64_t>(schedule.failures_tolerated()));
+  for (const Dependency& dep : schedule.problem().algorithm->dependencies()) {
+    h.mix(schedule.uses_active_comms(dep.id) ? 1 : 0);
+  }
+  h.mix(schedule.operations().size());
+  for (const ScheduledOperation& op : schedule.operations()) {
+    h.mix_id(op.op);
+    h.mix(static_cast<std::uint64_t>(op.rank));
+    h.mix_id(op.processor);
+    h.mix_time(op.start);
+    h.mix_time(op.end);
+  }
+  h.mix(schedule.comms().size());
+  for (const ScheduledComm& comm : schedule.comms()) {
+    h.mix_id(comm.dep);
+    h.mix(static_cast<std::uint64_t>(comm.sender_rank));
+    h.mix_id(comm.from);
+    h.mix_id(comm.to);
+    h.mix(comm.delivered_to.size());
+    for (ProcessorId proc : comm.delivered_to) h.mix_id(proc);
+    h.mix(comm.segments.size());
+    for (const CommSegment& seg : comm.segments) {
+      h.mix_id(seg.link);
+      h.mix_time(seg.start);
+      h.mix_time(seg.end);
+    }
+    h.mix(comm.active ? 1 : 0);
+    h.mix(comm.liveness ? 1 : 0);
+  }
+  return h.state;
 }
 
 }  // namespace ftsched

@@ -18,6 +18,7 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <string>
 #include <vector>
 
@@ -96,6 +97,61 @@ struct ScheduledComm {
   }
 };
 
+/// Non-allocating view over the replicas of one operation, ascending rank.
+/// A borrowed range: valid until the next add_operation on the schedule.
+/// This is the hot-path alternative to Schedule::replicas(), which builds a
+/// std::vector of pointers per call — the scheduler's inner loop and the
+/// simulator's watcher machinery iterate replicas millions of times per
+/// campaign, so the query must not touch the heap.
+class ReplicaView {
+ public:
+  class iterator {
+   public:
+    using value_type = const ScheduledOperation*;
+    constexpr iterator(const std::size_t* at,
+                       const ScheduledOperation* ops) noexcept
+        : at_(at), ops_(ops) {}
+    const ScheduledOperation* operator*() const noexcept {
+      return &ops_[*at_];
+    }
+    iterator& operator++() noexcept {
+      ++at_;
+      return *this;
+    }
+    friend bool operator==(const iterator&, const iterator&) = default;
+
+   private:
+    const std::size_t* at_;
+    const ScheduledOperation* ops_;
+  };
+
+  constexpr ReplicaView() noexcept = default;
+  constexpr ReplicaView(const std::size_t* first, std::size_t count,
+                        const ScheduledOperation* ops) noexcept
+      : first_(first), count_(count), ops_(ops) {}
+
+  [[nodiscard]] iterator begin() const noexcept { return {first_, ops_}; }
+  [[nodiscard]] iterator end() const noexcept {
+    return {first_ + count_, ops_};
+  }
+  [[nodiscard]] std::size_t size() const noexcept { return count_; }
+  [[nodiscard]] bool empty() const noexcept { return count_ == 0; }
+  /// Rank-`i` replica. Precondition: i < size().
+  [[nodiscard]] const ScheduledOperation& operator[](
+      std::size_t i) const noexcept {
+    return ops_[first_[i]];
+  }
+  /// The main replica. Precondition: !empty().
+  [[nodiscard]] const ScheduledOperation& front() const noexcept {
+    return ops_[first_[0]];
+  }
+
+ private:
+  const std::size_t* first_ = nullptr;
+  std::size_t count_ = 0;
+  const ScheduledOperation* ops_ = nullptr;
+};
+
 class Schedule {
  public:
   Schedule(const Problem& problem, HeuristicKind kind);
@@ -132,8 +188,16 @@ class Schedule {
   }
 
   /// All replicas of `op`, ascending rank. Empty if not (yet) scheduled.
+  /// Allocates a pointer vector per call; hot paths use replicas_view().
   [[nodiscard]] std::vector<const ScheduledOperation*> replicas(
       OperationId op) const;
+
+  /// Allocation-free variant of replicas(): a borrowed view, invalidated by
+  /// the next add_operation.
+  [[nodiscard]] ReplicaView replicas_view(OperationId op) const {
+    const auto& index = replica_index_[op.index()];
+    return {index.data(), index.size(), ops_.data()};
+  }
 
   /// The main replica of `op`; nullptr if not scheduled.
   [[nodiscard]] const ScheduledOperation* main(OperationId op) const;
@@ -186,5 +250,13 @@ class Schedule {
   /// uses_active_comms).
   std::vector<char> active_comm_;
 };
+
+/// FNV-1a digest of every byte of scheduling output: kind, K, per-dependency
+/// comm policy, each replica placement (op, rank, processor, start, end) and
+/// each communication (dep, sender rank, endpoints, delivered_to, segments,
+/// flags), with times hashed by IEEE-754 bit pattern. Two schedules hash
+/// equal iff the engine made byte-identical decisions — the determinism
+/// contract the golden-hash test sweep pins across engine rewrites.
+[[nodiscard]] std::uint64_t schedule_hash(const Schedule& schedule);
 
 }  // namespace ftsched

@@ -75,27 +75,27 @@ TimeoutTable::TimeoutTable(const Schedule& schedule,
     // Actively replicated dependencies (solution 2 / hybrid) need no watch
     // chains: every replica sends and the first arrival wins.
     if (schedule.uses_active_comms(dep.id)) continue;
-    const auto senders = schedule.replicas(dep.src);
+    const auto senders = schedule.replicas_view(dep.src);
     if (senders.empty()) continue;
 
     // Send decision dates d_m, in election order.
     std::vector<Time>& d = send_dates_[dep.id.index()];
     d.resize(senders.size());
-    d[0] = senders[0]->end;
+    d[0] = senders[0].end;
     for (std::size_t m = 1; m < senders.size(); ++m) {
       // Backup m has watched ranks 0..m-1; its last deadline is for m-1:
       // the later of the naive bound and the statically scheduled
       // observation date on m's own links.
       Time watch_end =
           d[m - 1] + transfer_bound(schedule, routing, dep.id,
-                                    senders[m - 1]->processor,
-                                    senders[m]->processor);
+                                    senders[m - 1].processor,
+                                    senders[m].processor);
       if (m == 1) {
         const Time observed = certifying_observation(schedule, dep.id,
-                                                     senders[m]->processor);
+                                                     senders[m].processor);
         if (!is_infinite(observed)) watch_end = std::max(watch_end, observed);
       }
-      d[m] = std::max(senders[m]->end, watch_end);
+      d[m] = std::max(senders[m].end, watch_end);
     }
 
     // `backup` selects the watch semantics: a backup replica watches for
@@ -109,10 +109,10 @@ TimeoutTable::TimeoutTable(const Schedule& schedule,
       for (std::size_t m = 0; m < watched_ranks; ++m) {
         TimeoutEntry entry;
         entry.rank = static_cast<int>(m);
-        entry.sender = senders[m]->processor;
+        entry.sender = senders[m].processor;
         entry.send_date = d[m];
         entry.deadline = d[m] + transfer_bound(schedule, routing, dep.id,
-                                               senders[m]->processor,
+                                               senders[m].processor,
                                                receiver);
         if (m == 0) {
           const Time observed =
@@ -129,7 +129,8 @@ TimeoutTable::TimeoutTable(const Schedule& schedule,
 
     // Consumers without a local producer replica watch the full chain.
     std::vector<ProcessorId> consumers;
-    for (const ScheduledOperation* replica : schedule.replicas(dep.dst)) {
+    for (const ScheduledOperation* replica :
+         schedule.replicas_view(dep.dst)) {
       if (schedule.replica_on(dep.src, replica->processor) == nullptr) {
         consumers.push_back(replica->processor);
       }
@@ -142,7 +143,7 @@ TimeoutTable::TimeoutTable(const Schedule& schedule,
     // relay and no OpComm is generated).
     if (!consumers.empty()) {
       for (std::size_t m = 1; m < senders.size(); ++m) {
-        make_chain(senders[m]->processor, m, /*backup=*/true);
+        make_chain(senders[m].processor, m, /*backup=*/true);
       }
     }
   }

@@ -1,6 +1,7 @@
 #include "sim/simulator.hpp"
 
 #include <algorithm>
+#include <memory>
 #include <queue>
 
 #include "graph/algorithm_graph.hpp"
@@ -8,7 +9,130 @@
 
 namespace ftsched {
 
+namespace sim_detail {
+
+struct Transfer {
+  DependencyId dep;
+  int sender_rank = 0;
+  ProcessorId from;
+  ProcessorId to;
+  /// The actual route (static transfers: reconstructed from the schedule
+  /// segments, which may follow a disjoint detour; dynamic transfers: the
+  /// shortest route). hops[i] feeds links[i].
+  Route route;
+  std::size_t hop = 0;
+  /// Static transfers are time-triggered: hop i never starts before its
+  /// scheduled slot. This makes the failure-free run replay the static
+  /// schedule exactly (each link's static total order is enforced by the
+  /// slots themselves, §4.4); under failures a late value simply starts
+  /// its hop late. Empty for runtime-created (backup) transfers.
+  std::vector<Time> slots;
+  bool dynamic = false;
+  /// Liveness notification to a later backup (cancelled once the
+  /// destination has certified the dependency's distribution).
+  bool liveness = false;
+  /// Observing this transfer certifies the sender finished distributing
+  /// the value: dynamic (elected-backup) sends, static liveness sends,
+  /// and the final static consumer delivery.
+  bool certifies = false;
+  bool in_flight = false;
+  bool done = false;
+  bool cancelled = false;
+  std::size_t wake_scheduled_hop = static_cast<std::size_t>(-1);
+};
+
+struct Watcher {
+  const TimeoutChain* chain = nullptr;
+  std::size_t pos = 0;
+  /// Rank of the local backup replica of the producer; -1 for a pure
+  /// consumer watcher.
+  int backup_rank = -1;
+  bool elected = false;
+  bool sent = false;
+  std::size_t scheduled_pos = static_cast<std::size_t>(-1);
+};
+
+/// Everything about a run that does not depend on the failure scenario,
+/// derived from the schedule exactly once per Simulator. A campaign runs
+/// tens of thousands of scenarios against one schedule; rebuilding the
+/// per-processor programs (a scan + sort each), reconstructing every static
+/// transfer's route from its segments, and re-resolving watcher backup
+/// ranks per scenario dominated Run::init. Runs now point at the programs
+/// (read-only during execution) and copy the transfer/watcher templates,
+/// whose run-state fields start at their defaults.
+struct SimPlan {
+  std::vector<std::vector<const ScheduledOperation*>> programs;  // [proc]
+  std::vector<Transfer> transfers;
+  std::vector<Watcher> watchers;
+};
+
+std::unique_ptr<const SimPlan> build_plan(const Schedule& schedule,
+                                          const TimeoutTable& timeouts) {
+  const AlgorithmGraph& graph = *schedule.problem().algorithm;
+  const ArchitectureGraph& arch = *schedule.problem().architecture;
+  auto plan = std::make_unique<SimPlan>();
+
+  const std::size_t procs = arch.processor_count();
+  plan->programs.resize(procs);
+  for (std::size_t p = 0; p < procs; ++p) {
+    plan->programs[p] = schedule.operations_on(
+        ProcessorId{static_cast<ProcessorId::underlying_type>(p)});
+  }
+
+  // Static transfers, in schedule order (their creation order). The
+  // latest-ending consumer delivery of each dependency certifies the
+  // main's end of distribution (see ScheduledComm::liveness).
+  std::vector<Time> final_end(graph.dependency_count(), 0);
+  for (const ScheduledComm& comm : schedule.comms()) {
+    if (!comm.active || comm.liveness || comm.segments.empty()) continue;
+    final_end[comm.dep.index()] =
+        std::max(final_end[comm.dep.index()], comm.segments.back().end);
+  }
+  for (const ScheduledComm& comm : schedule.comms()) {
+    if (!comm.active) continue;
+    Transfer transfer;
+    transfer.dep = comm.dep;
+    transfer.sender_rank = comm.sender_rank;
+    transfer.from = comm.from;
+    transfer.to = comm.to;
+    transfer.liveness = comm.liveness;
+    transfer.certifies =
+        comm.liveness ||
+        (!comm.segments.empty() &&
+         time_ge(comm.segments.back().end, final_end[comm.dep.index()]));
+    transfer.route.hops = schedule.comm_hops(comm);
+    for (const CommSegment& segment : comm.segments) {
+      transfer.route.links.push_back(segment.link);
+      transfer.slots.push_back(segment.start);
+    }
+    plan->transfers.push_back(std::move(transfer));
+  }
+
+  // Watch chains (solution 1 and the hybrid's passive dependencies; the
+  // TimeoutTable already excludes actively replicated ones).
+  if (schedule.kind() == HeuristicKind::kSolution1 ||
+      schedule.kind() == HeuristicKind::kHybrid) {
+    for (const TimeoutChain& chain : timeouts.chains()) {
+      Watcher watcher;
+      watcher.chain = &chain;
+      const Dependency& dep = graph.dependency(chain.dep);
+      if (const ScheduledOperation* local =
+              schedule.replica_on(dep.src, chain.receiver)) {
+        watcher.backup_rank = local->rank;
+      }
+      plan->watchers.push_back(watcher);
+    }
+  }
+  return plan;
+}
+
+}  // namespace sim_detail
+
 namespace {
+
+using sim_detail::SimPlan;
+using sim_detail::Transfer;
+using sim_detail::Watcher;
 
 /// Event kinds, in same-instant processing order: deliveries first (a value
 /// arriving exactly at a deadline satisfies the watcher), then completions,
@@ -38,10 +162,10 @@ struct Event {
 class Run {
  public:
   Run(const Schedule& schedule, const RoutingTable& routing,
-      const TimeoutTable& timeouts, const FailureScenario& scenario)
+      const SimPlan& plan, const FailureScenario& scenario)
       : schedule_(schedule),
         routing_(routing),
-        timeouts_(timeouts),
+        plan_(plan),
         graph_(*schedule.problem().algorithm),
         arch_(*schedule.problem().architecture) {
     init(scenario);
@@ -67,7 +191,9 @@ class Run {
  private:
   struct Proc {
     bool alive = true;
-    std::vector<const ScheduledOperation*> program;
+    /// Static program of this processor, owned by the SimPlan (read-only
+    /// during execution; only `next` advances).
+    const std::vector<const ScheduledOperation*>* program = nullptr;
     std::size_t next = 0;
     bool busy = false;
     bool abort = false;  // the running operation died with the processor
@@ -79,107 +205,23 @@ class Run {
     bool alive = true;
   };
 
-  struct Transfer {
-    DependencyId dep;
-    int sender_rank = 0;
-    ProcessorId from;
-    ProcessorId to;
-    /// The actual route (static transfers: reconstructed from the schedule
-    /// segments, which may follow a disjoint detour; dynamic transfers: the
-    /// shortest route). hops[i] feeds links[i].
-    Route route;
-    std::size_t hop = 0;
-    /// Static transfers are time-triggered: hop i never starts before its
-    /// scheduled slot. This makes the failure-free run replay the static
-    /// schedule exactly (each link's static total order is enforced by the
-    /// slots themselves, §4.4); under failures a late value simply starts
-    /// its hop late. Empty for runtime-created (backup) transfers.
-    std::vector<Time> slots;
-    bool dynamic = false;
-    /// Liveness notification to a later backup (cancelled once the
-    /// destination has certified the dependency's distribution).
-    bool liveness = false;
-    /// Observing this transfer certifies the sender finished distributing
-    /// the value: dynamic (elected-backup) sends, static liveness sends,
-    /// and the final static consumer delivery.
-    bool certifies = false;
-    bool in_flight = false;
-    bool done = false;
-    bool cancelled = false;
-    std::size_t wake_scheduled_hop = static_cast<std::size_t>(-1);
-  };
-
-  struct Watcher {
-    const TimeoutChain* chain = nullptr;
-    std::size_t pos = 0;
-    /// Rank of the local backup replica of the producer; -1 for a pure
-    /// consumer watcher.
-    int backup_rank = -1;
-    bool elected = false;
-    bool sent = false;
-    std::size_t scheduled_pos = static_cast<std::size_t>(-1);
-  };
-
   void init(const FailureScenario& scenario) {
     const std::size_t procs = arch_.processor_count();
     procs_.resize(procs);
     for (std::size_t p = 0; p < procs; ++p) {
       procs_[p].flags.assign(procs, 0);
-      procs_[p].program = schedule_.operations_on(
-          ProcessorId{static_cast<ProcessorId::underlying_type>(p)});
+      procs_[p].program = &plan_.programs[p];
     }
     links_.resize(arch_.link_count());
-    has_value_.assign(procs,
-                      std::vector<char>(graph_.dependency_count(), 0));
-    observed_.assign(procs,
-                     std::vector<char>(graph_.dependency_count(), 0));
-    certified_.assign(procs,
-                      std::vector<char>(graph_.dependency_count(), 0));
+    deps_ = graph_.dependency_count();
+    has_value_.assign(procs * deps_, 0);
+    observed_.assign(procs * deps_, 0);
+    certified_.assign(procs * deps_, 0);
 
-    // Static transfers, in schedule order (their creation order). The
-    // latest-ending consumer delivery of each dependency certifies the
-    // main's end of distribution (see ScheduledComm::liveness).
-    std::vector<Time> final_end(graph_.dependency_count(), 0);
-    for (const ScheduledComm& comm : schedule_.comms()) {
-      if (!comm.active || comm.liveness || comm.segments.empty()) continue;
-      final_end[comm.dep.index()] =
-          std::max(final_end[comm.dep.index()], comm.segments.back().end);
-    }
-    for (const ScheduledComm& comm : schedule_.comms()) {
-      if (!comm.active) continue;
-      Transfer transfer;
-      transfer.dep = comm.dep;
-      transfer.sender_rank = comm.sender_rank;
-      transfer.from = comm.from;
-      transfer.to = comm.to;
-      transfer.liveness = comm.liveness;
-      transfer.certifies =
-          comm.liveness ||
-          (!comm.segments.empty() &&
-           time_ge(comm.segments.back().end, final_end[comm.dep.index()]));
-      transfer.route.hops = schedule_.comm_hops(comm);
-      for (const CommSegment& segment : comm.segments) {
-        transfer.route.links.push_back(segment.link);
-        transfer.slots.push_back(segment.start);
-      }
-      transfers_.push_back(transfer);
-    }
-
-    // Watch chains (solution 1 and the hybrid's passive dependencies; the
-    // TimeoutTable already excludes actively replicated ones).
-    if (schedule_.kind() == HeuristicKind::kSolution1 ||
-        schedule_.kind() == HeuristicKind::kHybrid) {
-      for (const TimeoutChain& chain : timeouts_.chains()) {
-        Watcher watcher;
-        watcher.chain = &chain;
-        const Dependency& dep = graph_.dependency(chain.dep);
-        if (const ScheduledOperation* local =
-                schedule_.replica_on(dep.src, chain.receiver)) {
-          watcher.backup_rank = local->rank;
-        }
-        watchers_.push_back(watcher);
-      }
-    }
+    // Transfer and watcher templates start with their run-state fields at
+    // the defaults; dynamic (backup) transfers are appended at runtime.
+    transfers_ = plan_.transfers;
+    watchers_ = plan_.watchers;
 
     // Failures known since a previous iteration: dead, and flagged by all.
     for (ProcessorId dead : scenario.failed_at_start) {
@@ -304,11 +346,11 @@ class Run {
       proc.abort = false;
       return;
     }
-    const ScheduledOperation* placement = proc.program[proc.next];
+    const ScheduledOperation* placement = (*proc.program)[proc.next];
     record({TraceEvent::Kind::kOpEnd, now, pid(p), {}, placement->op,
             placement->rank, {}, {}});
     for (DependencyId out : graph_.out_dependencies(placement->op)) {
-      has_value_[p][out.index()] = 1;
+      has_value_[p * deps_ + out.index()] = 1;
     }
     proc.busy = false;
     ++proc.next;
@@ -332,10 +374,10 @@ class Run {
     const ProcessorId feeding = transfer.route.hops[transfer.hop];
     for (ProcessorId endpoint : arch_.link(link).endpoints) {
       if (!procs_[endpoint.index()].alive) continue;
-      has_value_[endpoint.index()][transfer.dep.index()] = 1;
-      observed_[endpoint.index()][transfer.dep.index()] = 1;
+      has_value_[endpoint.index() * deps_ + transfer.dep.index()] = 1;
+      observed_[endpoint.index() * deps_ + transfer.dep.index()] = 1;
       if (transfer.certifies) {
-        certified_[endpoint.index()][transfer.dep.index()] = 1;
+        certified_[endpoint.index() * deps_ + transfer.dep.index()] = 1;
       }
       procs_[endpoint.index()].flags[feeding.index()] = 0;
     }
@@ -358,13 +400,13 @@ class Run {
     bool progress = false;
     for (std::size_t p = 0; p < procs_.size(); ++p) {
       Proc& proc = procs_[p];
-      if (!proc.alive || proc.busy || proc.next >= proc.program.size()) {
+      if (!proc.alive || proc.busy || proc.next >= proc.program->size()) {
         continue;
       }
-      const ScheduledOperation* placement = proc.program[proc.next];
+      const ScheduledOperation* placement = (*proc.program)[proc.next];
       bool ready = true;
-      for (DependencyId dep : graph_.precedence_in(placement->op)) {
-        if (!has_value_[p][dep.index()]) {
+      for (DependencyId dep : graph_.precedence_in_ref(placement->op)) {
+        if (!has_value_[p * deps_ + dep.index()]) {
           ready = false;
           break;
         }
@@ -388,7 +430,9 @@ class Run {
       const ProcessorId feeding = transfer.route.hops[transfer.hop];
       if (!procs_[feeding.index()].alive) continue;
       if (is_silent(feeding, now)) continue;  // retried at the window end
-      if (!has_value_[feeding.index()][transfer.dep.index()]) continue;
+      if (!has_value_[feeding.index() * deps_ + transfer.dep.index()]) {
+        continue;
+      }
       if (!transfer.slots.empty() &&
           time_lt(now, transfer.slots[transfer.hop])) {
         if (transfer.wake_scheduled_hop != transfer.hop) {
@@ -400,10 +444,9 @@ class Run {
       // Runtime-created transfers are pointless once the destination got or
       // observed the value through another path.
       if (transfer.dynamic) {
-        const auto& dest_seen = transfer.liveness
-                                    ? certified_[transfer.to.index()]
-                                    : has_value_[transfer.to.index()];
-        if (dest_seen[transfer.dep.index()]) {
+        const std::vector<char>& dest_seen =
+            transfer.liveness ? certified_ : has_value_;
+        if (dest_seen[transfer.to.index() * deps_ + transfer.dep.index()]) {
           transfer.cancelled = true;
           record({TraceEvent::Kind::kDrop, now, feeding, transfer.to, {}, -1,
                   transfer.dep, {}});
@@ -436,8 +479,8 @@ class Run {
 
       const bool satisfied =
           watcher.backup_rank >= 0
-              ? certified_[recv][chain.dep.index()] != 0
-              : has_value_[recv][chain.dep.index()] != 0;
+              ? certified_[recv * deps_ + chain.dep.index()] != 0
+              : has_value_[recv * deps_ + chain.dep.index()] != 0;
       if (satisfied) continue;
 
       while (watcher.pos < chain.entries.size()) {
@@ -474,7 +517,7 @@ class Run {
                   watcher.backup_rank, chain.dep, {}});
           progress = true;
         }
-        if (has_value_[recv][chain.dep.index()]) {
+        if (has_value_[recv * deps_ + chain.dep.index()]) {
           watcher.sent = true;
           create_backup_sends(now, watcher);
           progress = true;
@@ -512,13 +555,14 @@ class Run {
       transfers_.push_back(transfer);
     };
 
-    for (const ScheduledOperation* consumer : schedule_.replicas(dep.dst)) {
+    for (const ScheduledOperation* consumer :
+         schedule_.replicas_view(dep.dst)) {
       if (schedule_.replica_on(dep.src, consumer->processor) != nullptr) {
         continue;  // computes the producer locally
       }
       enqueue(consumer->processor, /*liveness=*/false);
     }
-    for (const ScheduledOperation* later : schedule_.replicas(dep.src)) {
+    for (const ScheduledOperation* later : schedule_.replicas_view(dep.src)) {
       if (later->rank <= watcher.backup_rank) continue;
       enqueue(later->processor, /*liveness=*/true);
     }
@@ -556,7 +600,7 @@ class Run {
 
   const Schedule& schedule_;
   const RoutingTable& routing_;
-  const TimeoutTable& timeouts_;
+  const SimPlan& plan_;
   const AlgorithmGraph& graph_;
   const ArchitectureGraph& arch_;
 
@@ -568,9 +612,10 @@ class Run {
   std::vector<Transfer> transfers_;
   std::vector<Watcher> watchers_;
   std::vector<SilentWindow> silent_windows_;
-  std::vector<std::vector<char>> has_value_;  // [proc][dep]
-  std::vector<std::vector<char>> observed_;   // [proc][dep]
-  std::vector<std::vector<char>> certified_;  // [proc][dep]
+  std::size_t deps_ = 0;          // stride of the [proc][dep] tables below
+  std::vector<char> has_value_;   // [proc * deps_ + dep]
+  std::vector<char> observed_;    // [proc * deps_ + dep]
+  std::vector<char> certified_;   // [proc * deps_ + dep]
 };
 
 }  // namespace
@@ -578,11 +623,14 @@ class Run {
 Simulator::Simulator(const Schedule& schedule)
     : schedule_(&schedule),
       routing_(*schedule.problem().architecture),
-      timeouts_(schedule, routing_) {}
+      timeouts_(schedule, routing_),
+      plan_(sim_detail::build_plan(schedule, timeouts_)) {}
+
+Simulator::~Simulator() = default;
 
 IterationResult Simulator::run(const FailureScenario& scenario) const {
   FTSCHED_SPAN("sim.run");
-  return Run(*schedule_, routing_, timeouts_, scenario).execute();
+  return Run(*schedule_, routing_, *plan_, scenario).execute();
 }
 
 }  // namespace ftsched

@@ -29,6 +29,7 @@
 // giving the "transient iteration".
 #pragma once
 
+#include <memory>
 #include <vector>
 
 #include "sched/schedule.hpp"
@@ -51,10 +52,15 @@ struct IterationResult {
   std::vector<ProcessorId> detected_failures;
 };
 
+namespace sim_detail {
+struct SimPlan;
+}  // namespace sim_detail
+
 class Simulator {
  public:
   /// The schedule must outlive the simulator.
   explicit Simulator(const Schedule& schedule);
+  ~Simulator();
 
   /// Simulates one iteration under `scenario`. Deterministic.
   [[nodiscard]] IterationResult run(const FailureScenario& scenario) const;
@@ -71,6 +77,10 @@ class Simulator {
   const Schedule* schedule_;
   RoutingTable routing_;
   TimeoutTable timeouts_;
+  /// Scenario-independent run state (per-processor programs, static
+  /// transfer templates, watcher templates), derived from the schedule once
+  /// so that each run() starts from a cheap copy instead of re-deriving it.
+  std::unique_ptr<const sim_detail::SimPlan> plan_;
 };
 
 }  // namespace ftsched

@@ -69,7 +69,10 @@ std::string Trace::to_text(const AlgorithmGraph& graph,
     out += time_to_string(e.time) + "  " + to_string(e.kind);
     if (e.op.valid()) {
       out += "  " + graph.operation(e.op).name;
-      if (e.rank >= 0) out += ":" + std::to_string(e.rank);
+      if (e.rank >= 0) {
+        out += ':';
+        out += std::to_string(e.rank);
+      }
     }
     if (e.dep.valid()) out += "  " + graph.dependency(e.dep).name;
     if (e.proc.valid()) out += "  on " + arch.processor(e.proc).name;

@@ -27,7 +27,9 @@ std::unique_ptr<AlgorithmGraph> random_dag(const RandomDagParams& params) {
         std::min(width_dist(rng), params.operations - created);
     std::vector<OperationId> layer;
     for (std::size_t i = 0; i < take; ++i) {
-      layer.push_back(graph->add_operation("n" + std::to_string(created++)));
+      std::string name = "n";
+      name += std::to_string(created++);
+      layer.push_back(graph->add_operation(name));
     }
     layers.push_back(std::move(layer));
   }

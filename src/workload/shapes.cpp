@@ -13,6 +13,16 @@ std::string numbered(const char* stem, std::size_t i) {
   return std::string(stem) + std::to_string(i);
 }
 
+// Two-index variant, built with += — GCC 12's -Wrestrict false-positives
+// on chained `"stem" + std::to_string(i) + "_" + ...` at -O3.
+std::string numbered2(const char* stem, std::size_t i, std::size_t j) {
+  std::string name = stem;
+  name += std::to_string(i);
+  name += '_';
+  name += std::to_string(j);
+  return name;
+}
+
 }  // namespace
 
 std::unique_ptr<AlgorithmGraph> fork_join(std::size_t width) {
@@ -57,7 +67,7 @@ std::unique_ptr<AlgorithmGraph> diamond(std::size_t stages,
     std::vector<OperationId> current;
     for (std::size_t w = 0; w < width; ++w) {
       const OperationId node = graph->add_operation(
-          "d" + std::to_string(s) + "_" + std::to_string(w));
+          numbered2("d", s, w));
       current.push_back(node);
       graph->add_dependency(prev[w], node);
       if (w > 0 && prev[w - 1] != in) {
@@ -89,7 +99,7 @@ std::unique_ptr<AlgorithmGraph> fft(std::size_t log2_size) {
     std::vector<OperationId> current;
     for (std::size_t i = 0; i < n; ++i) {
       const OperationId node = graph->add_operation(
-          "b" + std::to_string(stage) + "_" + std::to_string(i));
+          numbered2("b", stage, i));
       current.push_back(node);
       graph->add_dependency(prev[i], node);
       graph->add_dependency(prev[i ^ stride], node);
@@ -119,7 +129,7 @@ std::unique_ptr<AlgorithmGraph> gaussian_elimination(std::size_t n) {
     last_pivot = pivot;
     for (std::size_t j = k + 1; j < n; ++j) {
       const OperationId update = graph->add_operation(
-          "upd" + std::to_string(k) + "_" + std::to_string(j));
+          numbered2("upd", k, j));
       graph->add_dependency(pivot, update);
       graph->add_dependency(prev[j], update);
       prev[j] = update;

@@ -45,9 +45,10 @@ TEST(Topologies, Star) {
   const ArchitectureGraph arch = topologies::star(5);
   EXPECT_EQ(arch.link_count(), 4u);
   for (std::size_t i = 2; i <= 5; ++i) {
-    EXPECT_TRUE(arch.adjacent(
-        arch.find_processor("P1"),
-        arch.find_processor("P" + std::to_string(i))));
+    std::string name = "P";
+    name += std::to_string(i);
+    EXPECT_TRUE(arch.adjacent(arch.find_processor("P1"),
+                              arch.find_processor(name)));
   }
 }
 

@@ -22,7 +22,9 @@ workload::OwnedProblem cycab_like(int k) {
   auto arch = std::make_unique<ArchitectureGraph>();
   std::vector<ProcessorId> procs;
   for (int i = 1; i <= 5; ++i) {
-    procs.push_back(arch->add_processor("P" + std::to_string(i)));
+    std::string name = "P";
+    name += std::to_string(i);
+    procs.push_back(arch->add_processor(name));
   }
   arch->add_bus("can", procs);
 

@@ -1,0 +1,77 @@
+// delivered_to bookkeeping of committed transfers: every processor that
+// observes a value is recorded exactly once. Consecutive segments of a
+// relayed route share their relay processor (and on a bus every segment
+// shares all endpoints), which used to push duplicate entries — wrong
+// input for anything that counts deliveries or fans out per observer.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <memory>
+
+#include "sched/heuristics.hpp"
+#include "workload/paper_examples.hpp"
+
+namespace ftsched {
+namespace {
+
+/// A -> B with A pinned to P1 and B pinned to P3 on the chain P1 - P2 - P3:
+/// the single transfer must relay through P2 (two segments).
+workload::OwnedProblem relay_problem() {
+  auto algorithm = std::make_unique<AlgorithmGraph>();
+  const OperationId a = algorithm->add_operation("A");
+  const OperationId b = algorithm->add_operation("B");
+  algorithm->add_dependency(a, b, "A->B");
+
+  auto arch = std::make_unique<ArchitectureGraph>();
+  const ProcessorId p1 = arch->add_processor("P1");
+  const ProcessorId p2 = arch->add_processor("P2");
+  const ProcessorId p3 = arch->add_processor("P3");
+  arch->add_link("L1.2", p1, p2);
+  arch->add_link("L2.3", p2, p3);
+
+  auto exec = std::make_unique<ExecTable>(*algorithm, *arch);
+  exec->set(a, p1, 1.0);
+  exec->set(b, p3, 1.0);
+  auto comm = std::make_unique<CommTable>(*algorithm, *arch);
+  comm->set_uniform(algorithm->dependencies().front().id, 0.5);
+
+  return workload::assemble(std::move(algorithm), std::move(arch),
+                            std::move(exec), std::move(comm), /*k=*/0);
+}
+
+TEST(DeliveredTo, RelayedTransferRecordsEachObserverOnce) {
+  const workload::OwnedProblem ex = relay_problem();
+  const Expected<Schedule> result =
+      schedule(ex.problem, HeuristicKind::kBase);
+  ASSERT_TRUE(result.has_value());
+
+  const DependencyId dep = ex.problem.algorithm->dependencies().front().id;
+  const auto comms = result.value().comms_of(dep);
+  ASSERT_EQ(comms.size(), 1u);
+  const ScheduledComm& comm = *comms.front();
+  ASSERT_EQ(comm.segments.size(), 2u) << "expected a relayed route";
+
+  // P2 terminates segment 1 and originates segment 2; it must still appear
+  // once. All three chain processors observe the value.
+  std::vector<ProcessorId> sorted = comm.delivered_to;
+  std::sort(sorted.begin(), sorted.end());
+  EXPECT_EQ(std::adjacent_find(sorted.begin(), sorted.end()), sorted.end())
+      << "duplicate delivered_to entries";
+  EXPECT_EQ(comm.delivered_to.size(), 3u);
+}
+
+TEST(DeliveredTo, BusBroadcastRecordsEachEndpointOnce) {
+  const workload::OwnedProblem ex = workload::paper_example1();
+  const Expected<Schedule> result = schedule_solution1(ex.problem);
+  ASSERT_TRUE(result.has_value());
+  for (const ScheduledComm& comm : result.value().comms()) {
+    if (!comm.active || comm.segments.empty()) continue;
+    std::vector<ProcessorId> sorted = comm.delivered_to;
+    std::sort(sorted.begin(), sorted.end());
+    EXPECT_EQ(std::adjacent_find(sorted.begin(), sorted.end()), sorted.end())
+        << "duplicate delivered_to entries in a bus broadcast";
+  }
+}
+
+}  // namespace
+}  // namespace ftsched

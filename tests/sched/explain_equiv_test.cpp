@@ -1,0 +1,131 @@
+// Incremental-select equivalence: the version-stamped evaluation cache may
+// change how often candidates are re-evaluated, but never what any
+// evaluation yields. Scheduling with incremental_select on and off must
+// therefore produce (a) byte-identical schedules and (b) identical explain
+// logs — every step, every candidate row, every σ component — because the
+// explain path replays cached evaluations instead of skipping them.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sched/explain.hpp"
+#include "sched/heuristics.hpp"
+#include "workload/random_arch.hpp"
+
+namespace ftsched {
+namespace {
+
+struct EquivCase {
+  HeuristicKind kind;
+  workload::ArchKind arch;
+  int k;
+  std::uint64_t seed;
+};
+
+workload::OwnedProblem make_problem(const EquivCase& c) {
+  workload::RandomProblemParams params;
+  params.dag.operations = 25;
+  params.dag.width = 5;
+  params.arch_kind = c.arch;
+  params.processors = 4;
+  params.failures_to_tolerate = c.k;
+  params.ccr = 0.7;
+  params.seed = c.seed;
+  return workload::random_problem(params);
+}
+
+SchedulerOptions base_options(const EquivCase& c, const Problem& problem) {
+  SchedulerOptions options;
+  if (c.kind == HeuristicKind::kHybrid) {
+    options.active_comm_deps.assign(problem.algorithm->dependency_count(),
+                                    false);
+    for (std::size_t i = 0; i < options.active_comm_deps.size(); i += 2) {
+      options.active_comm_deps[i] = true;
+    }
+  }
+  return options;
+}
+
+void expect_logs_equal(const ExplainLog& a, const ExplainLog& b) {
+  EXPECT_EQ(a.critical_path, b.critical_path);
+  ASSERT_EQ(a.steps.size(), b.steps.size());
+  for (std::size_t s = 0; s < a.steps.size(); ++s) {
+    const ExplainStep& sa = a.steps[s];
+    const ExplainStep& sb = b.steps[s];
+    EXPECT_EQ(sa.step, sb.step) << "step " << s;
+    EXPECT_EQ(sa.chosen, sb.chosen) << "step " << s;
+    EXPECT_EQ(sa.urgency, sb.urgency) << "step " << s;
+    ASSERT_EQ(sa.candidates.size(), sb.candidates.size()) << "step " << s;
+    for (std::size_t c = 0; c < sa.candidates.size(); ++c) {
+      const ExplainCandidate& ca = sa.candidates[c];
+      const ExplainCandidate& cb = sb.candidates[c];
+      EXPECT_EQ(ca.op, cb.op) << "step " << s << " cand " << c;
+      EXPECT_EQ(ca.proc, cb.proc) << "step " << s << " cand " << c;
+      // Exact equality on purpose: a cached evaluation must be the same
+      // doubles re-evaluation would compute, not merely epsilon-close.
+      EXPECT_EQ(ca.start, cb.start) << "step " << s << " cand " << c;
+      EXPECT_EQ(ca.duration, cb.duration) << "step " << s << " cand " << c;
+      EXPECT_EQ(ca.tail, cb.tail) << "step " << s << " cand " << c;
+      EXPECT_EQ(ca.penalty, cb.penalty) << "step " << s << " cand " << c;
+      EXPECT_EQ(ca.sigma, cb.sigma) << "step " << s << " cand " << c;
+      EXPECT_EQ(ca.kept, cb.kept) << "step " << s << " cand " << c;
+    }
+  }
+}
+
+TEST(ExplainEquivalence, IncrementalOnOffIdenticalLogsAndSchedules) {
+  const std::vector<EquivCase> cases = {
+      {HeuristicKind::kBase, workload::ArchKind::kBus, 0, 7},
+      {HeuristicKind::kSolution1, workload::ArchKind::kBus, 1, 19},
+      {HeuristicKind::kSolution1, workload::ArchKind::kFullyConnected, 2, 19},
+      {HeuristicKind::kSolution2, workload::ArchKind::kBus, 1, 31},
+      {HeuristicKind::kSolution2, workload::ArchKind::kFullyConnected, 2, 31},
+      {HeuristicKind::kHybrid, workload::ArchKind::kFullyConnected, 1, 43},
+  };
+  for (const EquivCase& c : cases) {
+    const workload::OwnedProblem ex = make_problem(c);
+
+    ExplainLog log_inc;
+    SchedulerOptions inc = base_options(c, ex.problem);
+    inc.incremental_select = true;
+    inc.explain = &log_inc;
+    const Expected<Schedule> with_cache = schedule(ex.problem, c.kind, inc);
+    ASSERT_TRUE(with_cache.has_value());
+
+    ExplainLog log_ref;
+    SchedulerOptions ref = base_options(c, ex.problem);
+    ref.incremental_select = false;
+    ref.explain = &log_ref;
+    const Expected<Schedule> reference = schedule(ex.problem, c.kind, ref);
+    ASSERT_TRUE(reference.has_value());
+
+    EXPECT_EQ(schedule_hash(with_cache.value()),
+              schedule_hash(reference.value()))
+        << "kind=" << static_cast<int>(c.kind) << " seed=" << c.seed;
+    expect_logs_equal(log_inc, log_ref);
+  }
+}
+
+/// The cache must also be inert when explain is off: same schedule bytes
+/// with and without the log attached, cache on.
+TEST(ExplainEquivalence, ExplainRecordingDoesNotPerturbSchedule) {
+  const EquivCase c{HeuristicKind::kSolution2,
+                    workload::ArchKind::kFullyConnected, 2, 19};
+  const workload::OwnedProblem ex = make_problem(c);
+
+  SchedulerOptions quiet = base_options(c, ex.problem);
+  const Expected<Schedule> silent = schedule(ex.problem, c.kind, quiet);
+  ASSERT_TRUE(silent.has_value());
+
+  ExplainLog log;
+  SchedulerOptions loud = base_options(c, ex.problem);
+  loud.explain = &log;
+  const Expected<Schedule> logged = schedule(ex.problem, c.kind, loud);
+  ASSERT_TRUE(logged.has_value());
+
+  EXPECT_EQ(schedule_hash(silent.value()), schedule_hash(logged.value()));
+  EXPECT_FALSE(log.steps.empty());
+}
+
+}  // namespace
+}  // namespace ftsched

@@ -52,7 +52,9 @@ TEST(Mission, TwoStaggeredCrashesWithKTwo) {
   auto arch = std::make_unique<ArchitectureGraph>();
   std::vector<ProcessorId> procs;
   for (int i = 1; i <= 4; ++i) {
-    procs.push_back(arch->add_processor("P" + std::to_string(i)));
+    std::string name = "P";
+    name += std::to_string(i);
+    procs.push_back(arch->add_processor(name));
   }
   arch->add_bus("bus", procs);
   auto algorithm = workload::paper_algorithm();
