@@ -8,15 +8,24 @@
 //   ./campaign_tool --example1 --base --claim-k 1 --shrink    # has to fail
 //   ./campaign_tool problem.ft --solution2 --links --iterations 4
 //   ./campaign_tool --example1 --solution1 --replay repro.scenario
+//   ./campaign_tool --example1 --solution1 --certify --certify-out cert.json
 //
-// Exit status: 0 = campaign clean (or replay satisfied the oracle),
-// 1 = oracle violations, 2 = usage error.
+// --certify switches from random sampling to the exhaustive K-failure
+// certifier (campaign/certify.hpp): every dead-at-start subset and every
+// representative mid-run crash sequence of size <= K is simulated via
+// shared-prefix forking. Counterexamples are shrunk to a minimal
+// serialized reproducer automatically.
+//
+// Exit status: 0 = campaign clean (replay satisfied the oracle / schedule
+// certified), 1 = oracle violations (certification refuted), 2 = usage
+// error.
 #include <cstdio>
 #include <cstdlib>
 #include <fstream>
 #include <sstream>
 #include <string>
 
+#include "campaign/certify.hpp"
 #include "campaign/runner.hpp"
 #include "campaign/shrink.hpp"
 #include "io/problem_format.hpp"
@@ -40,8 +49,13 @@ int usage() {
       "                     [--claim-k K] [--iterations MAX]\n"
       "                     [--overbudget FRACTION] [--links] [--silence]\n"
       "                     [--suspects] [--shrink] [--replay FILE]\n"
+      "                     [--certify] [--certify-out FILE]\n"
       "                     [--metrics-out FILE] [--trace-out FILE]\n"
       "\n"
+      "--certify exhaustively certifies the schedule against every\n"
+      "failure pattern of size <= K (--claim-k, default the schedule's\n"
+      "own tolerance) and writes the machine-readable certificate or\n"
+      "refutation to --certify-out.\n"
       "--metrics-out writes the campaign's merged domain metrics as JSON\n"
       "(deterministic for a given seed, any thread count); --trace-out\n"
       "writes the run's profiling spans as Chrome trace-event JSON (open\n"
@@ -82,6 +96,8 @@ int main(int argc, char** argv) {
   bool example1 = false;
   bool example2 = false;
   bool do_shrink = false;
+  bool do_certify = false;
+  std::string certify_out;
   campaign::CampaignOptions options;
   // An interesting default mix: short missions, some over-budget attacks,
   // occasional benign silences and wrong suspicions. Link faults stay
@@ -132,6 +148,10 @@ int main(int argc, char** argv) {
       options.spec.suspect_probability = 0.25;
     } else if (arg == "--shrink") {
       do_shrink = true;
+    } else if (arg == "--certify") {
+      do_certify = true;
+    } else if (arg == "--certify-out" && i + 1 < argc) {
+      certify_out = argv[++i];
     } else if (arg == "--replay" && i + 1 < argc) {
       replay_file = argv[++i];
     } else if (arg == "--metrics-out" && i + 1 < argc) {
@@ -208,6 +228,50 @@ int main(int argc, char** argv) {
     }
     for (const std::string& violation : verdict.violations) {
       std::printf("replay violation: %s\n", violation.c_str());
+    }
+    return 1;
+  }
+
+  if (do_certify) {
+    campaign::CertifySpec spec;
+    spec.max_failures = options.oracle.claimed_tolerance;
+    spec.threads = options.threads;
+    if (!trace_out.empty()) obs::Profiler::global().enable(true);
+    const campaign::CertifyReport report = campaign::certify(sched, spec);
+    std::fputs(report.to_text(arch).c_str(), stdout);
+    if (!certify_out.empty() &&
+        !write_file(certify_out, report.to_json(arch))) {
+      return 2;
+    }
+    if (!metrics_out.empty() &&
+        !write_file(metrics_out, report.metrics.to_json())) {
+      return 2;
+    }
+    if (!trace_out.empty()) {
+      obs::Profiler::global().enable(false);
+      const std::string trace =
+          obs::chrome_trace_from_spans(obs::Profiler::global().drain());
+      if (!write_file(trace_out, trace)) return 2;
+    }
+    if (report.certified) return 0;
+
+    // Shrink the first counterexample to a minimal serialized reproducer
+    // (the certifier's branches are already canonical, but the shrinker
+    // often drops dead-at-start processors that were not load-bearing).
+    const MissionPlan plan =
+        campaign::counterexample_plan(report.counterexamples.front());
+    std::printf("\n# counterexample reproducer (%zu events)\n%s",
+                plan.event_count(), io::write_scenario(plan, arch).c_str());
+    const Simulator simulator(sched);
+    const campaign::Oracle oracle(sched, options.oracle);
+    const campaign::ShrinkResult shrunk =
+        campaign::shrink(simulator, oracle, plan);
+    std::printf(
+        "\n# shrunk reproducer (%zu -> %zu events, %zu re-simulations)\n%s",
+        shrunk.initial_events, shrunk.final_events, shrunk.simulations,
+        io::write_scenario(shrunk.plan, arch).c_str());
+    for (const std::string& violation : shrunk.violations) {
+      std::printf("# still fails: %s\n", violation.c_str());
     }
     return 1;
   }

@@ -1,0 +1,53 @@
+// Canonicalization of mission plans up to effective failure behaviour.
+//
+// Many syntactically different plans drive the simulator identically: fault
+// lists in a different order, a crash of a processor that is already dead at
+// start, a second crash of the same processor, a fail-silent window of zero
+// length or on a dead processor, a dead processor redundantly listed as
+// suspected. canonical_plan() rewrites a plan into a normal form such that
+// two plans with equal normal forms produce equal MissionResult summaries
+// (same per-iteration outputs/response/counters — trace event ORDER within
+// one instant may differ, which no summary observes), and
+// canonical_fingerprint() serializes that normal form into the exact string
+// key the campaign runner uses to count unique coverage and skip redundant
+// replays.
+//
+// Soundness argument, per rewrite:
+//  * sorting: scenario event lists only affect the simulator through
+//    same-instant event batches, whose per-kind handlers are commutative
+//    (each crash cancels its own processor's transfers; window lookup and
+//    start-state application are set-like);
+//  * dropping a crash of a processor dead at start, or any crash after the
+//    processor's earliest one: on_failure of a dead processor is a no-op —
+//    only the earliest instant matters;
+//  * dropping windows with to <= from: is_silent never matches them, and
+//    the extra wake-up they schedule lands on an already-reached fixpoint;
+//  * dropping silences of dead-at-start processors: is_silent is only
+//    consulted for a live feeding processor;
+//  * dropping a dead-at-start processor from suspected_at_start: the
+//    suspicion flags it would preset are a subset of those the death
+//    presets, and its own flag row dies with it (finish() and every read
+//    skip dead processors' rows).
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "sim/mission.hpp"
+
+namespace ftsched::campaign {
+
+/// The normal form described above: per-class lists sorted, exact
+/// duplicates and behaviourally inert entries removed.
+[[nodiscard]] MissionPlan canonical_plan(const MissionPlan& plan);
+
+/// Exact byte serialization of `canonical_plan(plan)` — equal fingerprints
+/// iff equal normal forms, so using it as a cache/uniqueness key can never
+/// alias two effectively different scenarios.
+[[nodiscard]] std::string canonical_fingerprint(const MissionPlan& plan);
+
+/// FNV-1a 64-bit hash of canonical_fingerprint(plan), for callers that
+/// want a compact key and can tolerate (negligible) collisions.
+[[nodiscard]] std::uint64_t plan_key(const MissionPlan& plan);
+
+}  // namespace ftsched::campaign

@@ -1,0 +1,495 @@
+#include "campaign/certify.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+
+#include "arch/architecture_graph.hpp"
+#include "campaign/work_pool.hpp"
+#include "core/time.hpp"
+#include "obs/json_util.hpp"
+#include "obs/span.hpp"
+#include "sched/timeouts.hpp"
+#include "sim/simulator.hpp"
+#include "tuning/transient_analysis.hpp"
+
+namespace ftsched::campaign {
+
+namespace {
+
+/// One task's contribution, merged in task-index order (determinism).
+struct Partial {
+  std::size_t branches = 0;
+  std::size_t forks = 0;
+  std::size_t instants_kept = 0;
+  std::size_t instants_merged = 0;
+  std::size_t total_counterexamples = 0;
+  Time worst_response = 0;
+  std::vector<CertifyBranch> counterexamples;
+  std::vector<CertifyBranch> collected;
+};
+
+/// Static watch-chain deadlines: instants a continuously shifting arrival
+/// can cross, flipping a receiver's timeout decision. Only the
+/// timeout-driven schedules have any.
+std::vector<Time> static_deadlines(const Schedule& schedule) {
+  if (schedule.kind() != HeuristicKind::kSolution1 &&
+      schedule.kind() != HeuristicKind::kHybrid) {
+    return {};
+  }
+  const RoutingTable routing(*schedule.problem().architecture);
+  const TimeoutTable timeouts(schedule, routing);
+  std::vector<Time> out;
+  for (const TimeoutChain& chain : timeouts.chains()) {
+    for (const TimeoutEntry& entry : chain.entries) {
+      out.push_back(entry.deadline);
+    }
+  }
+  return out;
+}
+
+/// Depth-first exploration of one task's subtree; every instant the parent
+/// prefix is forked, never replayed.
+class Explorer {
+ public:
+  Explorer(const Simulator& simulator, const CertifySpec& spec,
+           const std::vector<Time>& deadlines, std::size_t procs,
+           Partial& out)
+      : sim_(simulator),
+        spec_(spec),
+        deadlines_(deadlines),
+        procs_(procs),
+        out_(out) {}
+
+  /// Runs one task: the dead-at-start subset's own leaf when `first` is
+  /// invalid, otherwise the subtree of crash sequences starting with
+  /// `first`.
+  void run(const std::vector<ProcessorId>& dead, ProcessorId first,
+           int budget) {
+    FTSCHED_SPAN("certify.task");
+    dead_ = dead;
+    crashes_.clear();
+    FailureScenario scenario;
+    scenario.failed_at_start = dead;
+    Simulator::Branch root = sim_.begin(scenario);
+    ++out_.forks;
+    const IterationResult root_leaf = sim_.finish(root.fork());
+    if (!first.valid()) {
+      certify_leaf(root_leaf);
+      return;
+    }
+    explore_children(root, root_leaf, budget, first);
+  }
+
+ private:
+  [[nodiscard]] bool alive(ProcessorId p) const {
+    if (std::find(dead_.begin(), dead_.end(), p) != dead_.end()) {
+      return false;
+    }
+    return std::none_of(crashes_.begin(), crashes_.end(),
+                        [&](const FailureEvent& crash) {
+                          return crash.processor == p;
+                        });
+  }
+
+  void certify_leaf(const IterationResult& leaf) {
+    ++out_.branches;
+    const bool lost = !leaf.all_outputs_produced;
+    const bool late = !is_infinite(spec_.response_bound) && !lost &&
+                      time_gt(leaf.response_time, spec_.response_bound);
+    if (!lost) {
+      out_.worst_response = std::max(out_.worst_response, leaf.response_time);
+    }
+    CertifyBranch branch;
+    branch.dead_at_start = dead_;
+    branch.crashes = crashes_;
+    branch.outputs_lost = lost;
+    branch.response_time = leaf.response_time;
+    if (lost || late) {
+      ++out_.total_counterexamples;
+      if (out_.counterexamples.size() < spec_.max_counterexamples) {
+        out_.counterexamples.push_back(branch);
+      }
+    }
+    if (spec_.collect_branches) out_.collected.push_back(std::move(branch));
+  }
+
+  /// Candidate instants kept for `victim`, after the canonical-order
+  /// filter and (when enabled) the exact-equivalence merge described in
+  /// the header.
+  [[nodiscard]] std::vector<Time> kept_for(const Trace& leaf,
+                                           ProcessorId victim,
+                                           const std::vector<Time>& candidates,
+                                           Time t0) const {
+    // The victim's externally visible action dates and the in-flight
+    // windows of hops it feeds, from the leaf trace (the pre-crash prefix
+    // of every branch in this subtree is exactly the leaf's own prefix).
+    std::vector<Time> acts;
+    std::vector<Interval> windows;
+    std::vector<std::pair<LinkId, Time>> open;
+    for (const TraceEvent& event : leaf.events()) {
+      if (event.proc != victim) continue;
+      switch (event.kind) {
+        case TraceEvent::Kind::kOpEnd:
+          acts.push_back(event.time);
+          break;
+        case TraceEvent::Kind::kTransferStart:
+          acts.push_back(event.time);
+          open.emplace_back(event.link, event.time);
+          break;
+        case TraceEvent::Kind::kTransferEnd: {
+          acts.push_back(event.time);
+          const auto it = std::find_if(
+              open.rbegin(), open.rend(),
+              [&](const auto& o) { return o.first == event.link; });
+          if (it != open.rend()) {
+            windows.push_back(Interval{it->second, event.time});
+            open.erase(std::next(it).base());
+          }
+          break;
+        }
+        default:
+          break;
+      }
+    }
+    for (const auto& [link, start] : open) {
+      windows.push_back(Interval{start, kInfinite});
+    }
+    std::sort(acts.begin(), acts.end());
+
+    const ProcessorId last =
+        crashes_.empty() ? ProcessorId{} : crashes_.back().processor;
+    std::vector<Time> kept;
+    for (const Time c : candidates) {
+      // Canonical ordering: equal-instant crash pairs are explored once,
+      // with ascending processor ids.
+      if (last.valid() && time_eq(c, t0) && victim <= last) continue;
+      if (!spec_.dedup || kept.empty()) {
+        kept.push_back(c);
+        continue;
+      }
+      const Time k0 = kept.back();
+      const auto lo = std::upper_bound(acts.begin(), acts.end(),
+                                       k0 + kTimeEpsilon);
+      const bool acted =
+          lo != acts.end() && time_le(*lo, c);
+      const bool mid_transfer =
+          !acted && std::any_of(windows.begin(), windows.end(),
+                                [&](const Interval& w) {
+                                  return time_lt(w.start, c) &&
+                                         time_lt(c, w.end);
+                                });
+      if (acted || mid_transfer) {
+        kept.push_back(c);
+      } else {
+        ++out_.instants_merged;
+      }
+    }
+    out_.instants_kept += kept.size();
+    return kept;
+  }
+
+  void explore_children(const Simulator::Branch& node,
+                        const IterationResult& leaf, int budget,
+                        ProcessorId only) {
+    if (budget == 0) return;
+    const Time t0 = crashes_.empty() ? 0 : crashes_.back().time;
+    const std::vector<Time> candidates =
+        representative_instants(leaf.trace, t0, deadlines_);
+
+    std::vector<ProcessorId> victims;
+    std::vector<std::vector<Time>> kept;
+    for (std::size_t p = 0; p < procs_; ++p) {
+      const ProcessorId victim{static_cast<ProcessorId::underlying_type>(p)};
+      if (only.valid() && victim != only) continue;
+      if (!alive(victim)) continue;
+      std::vector<Time> instants =
+          kept_for(leaf.trace, victim, candidates, t0);
+      if (instants.empty()) continue;
+      victims.push_back(victim);
+      kept.push_back(std::move(instants));
+    }
+    if (victims.empty()) return;
+
+    // One cursor per node: the shared prefix is executed once per instant,
+    // each (victim, instant) branch forks it.
+    Simulator::Branch cursor = node.fork();
+    ++out_.forks;
+    std::vector<std::size_t> next(victims.size(), 0);
+    for (;;) {
+      // Earliest un-dispatched instant across the victims.
+      Time c = kInfinite;
+      for (std::size_t v = 0; v < victims.size(); ++v) {
+        if (next[v] < kept[v].size()) c = std::min(c, kept[v][next[v]]);
+      }
+      if (is_infinite(c)) break;
+      sim_.advance_until(cursor, c);
+      for (std::size_t v = 0; v < victims.size(); ++v) {
+        if (next[v] >= kept[v].size() || kept[v][next[v]] != c) continue;
+        ++next[v];
+        Simulator::Branch child = cursor.fork();
+        ++out_.forks;
+        sim_.inject(child, FailureEvent{victims[v], c});
+        crashes_.push_back(FailureEvent{victims[v], c});
+        ++out_.forks;
+        const IterationResult child_leaf = sim_.finish(child.fork());
+        certify_leaf(child_leaf);
+        explore_children(child, child_leaf, budget - 1, ProcessorId{});
+        crashes_.pop_back();
+      }
+    }
+  }
+
+  const Simulator& sim_;
+  const CertifySpec& spec_;
+  const std::vector<Time>& deadlines_;
+  const std::size_t procs_;
+  Partial& out_;
+  std::vector<ProcessorId> dead_;
+  std::vector<FailureEvent> crashes_;
+};
+
+/// Dead-at-start subsets of {0..procs-1} with size 0..max, sizes
+/// ascending, lexicographic within a size — the canonical task order.
+std::vector<std::vector<ProcessorId>> dead_subsets(std::size_t procs,
+                                                   int max) {
+  std::vector<std::vector<ProcessorId>> out;
+  for (int size = 0; size <= max; ++size) {
+    std::vector<ProcessorId> combo;
+    auto gen = [&](auto&& self, std::size_t from, int left) -> void {
+      if (left == 0) {
+        out.push_back(combo);
+        return;
+      }
+      for (std::size_t p = from; p + static_cast<std::size_t>(left) <= procs;
+           ++p) {
+        combo.push_back(
+            ProcessorId{static_cast<ProcessorId::underlying_type>(p)});
+        self(self, p + 1, left - 1);
+        combo.pop_back();
+      }
+    };
+    gen(gen, 0, size);
+  }
+  return out;
+}
+
+}  // namespace
+
+MissionPlan counterexample_plan(const CertifyBranch& branch) {
+  MissionPlan plan;
+  plan.iterations = 1;
+  plan.dead_at_start = branch.dead_at_start;
+  for (const FailureEvent& crash : branch.crashes) {
+    plan.failures.push_back(MissionFailure{0, crash});
+  }
+  return plan;
+}
+
+CertifyReport certify(const Schedule& schedule, const CertifySpec& spec) {
+  FTSCHED_SPAN("certify.run");
+  const auto wall_start = std::chrono::steady_clock::now();
+
+  const std::size_t procs =
+      schedule.problem().architecture->processor_count();
+  int max_failures = spec.max_failures < 0 ? schedule.failures_tolerated()
+                                           : spec.max_failures;
+  max_failures = std::clamp(max_failures, 0,
+                            static_cast<int>(procs) - 1);
+
+  const Simulator simulator(schedule);
+  const std::vector<Time> deadlines = static_deadlines(schedule);
+  const std::vector<std::vector<ProcessorId>> subsets =
+      dead_subsets(procs, max_failures);
+
+  // Tasks: each subset's own leaf, plus — when crash budget remains — one
+  // subtree per first crash victim, splitting the dominant small-subset
+  // subtrees across workers.
+  struct Task {
+    const std::vector<ProcessorId>* dead;
+    ProcessorId first;  // invalid = leaf-only
+    int budget;
+  };
+  std::vector<Task> tasks;
+  for (const std::vector<ProcessorId>& dead : subsets) {
+    const int budget = max_failures - static_cast<int>(dead.size());
+    tasks.push_back(Task{&dead, ProcessorId{}, 0});
+    if (budget == 0) continue;
+    for (std::size_t p = 0; p < procs; ++p) {
+      const ProcessorId victim{static_cast<ProcessorId::underlying_type>(p)};
+      if (std::find(dead.begin(), dead.end(), victim) != dead.end()) {
+        continue;
+      }
+      tasks.push_back(Task{&dead, victim, budget});
+    }
+  }
+
+  std::vector<Partial> partials(tasks.size());
+  const unsigned threads = resolve_threads(spec.threads);
+  auto run_task = [&](std::size_t t) {
+    Explorer explorer(simulator, spec, deadlines, procs, partials[t]);
+    explorer.run(*tasks[t].dead, tasks[t].first, tasks[t].budget);
+  };
+  if (threads == 1 || tasks.size() <= 1) {
+    for (std::size_t t = 0; t < tasks.size(); ++t) run_task(t);
+  } else {
+    WorkPool pool(threads);
+    for (std::size_t t = 0; t < tasks.size(); ++t) {
+      pool.submit([&, t] { run_task(t); });
+    }
+    pool.wait();
+  }
+
+  CertifyReport report;
+  report.max_failures = max_failures;
+  report.response_bound = spec.response_bound;
+  report.subsets = subsets.size();
+  report.threads_used = threads;
+  for (Partial& partial : partials) {
+    report.branches += partial.branches;
+    report.forks += partial.forks;
+    report.instants_kept += partial.instants_kept;
+    report.instants_merged += partial.instants_merged;
+    report.total_counterexamples += partial.total_counterexamples;
+    report.worst_response =
+        std::max(report.worst_response, partial.worst_response);
+    for (CertifyBranch& cex : partial.counterexamples) {
+      if (report.counterexamples.size() < spec.max_counterexamples) {
+        report.counterexamples.push_back(std::move(cex));
+      }
+    }
+    if (spec.collect_branches) {
+      for (CertifyBranch& branch : partial.collected) {
+        report.branches_list.push_back(std::move(branch));
+      }
+    }
+  }
+  report.certified = report.total_counterexamples == 0;
+  report.metrics.add_counter("certify.subsets", report.subsets);
+  report.metrics.add_counter("certify.branches", report.branches);
+  report.metrics.add_counter("certify.forks", report.forks);
+  report.metrics.add_counter("certify.instants_kept", report.instants_kept);
+  report.metrics.add_counter("certify.instants_merged",
+                             report.instants_merged);
+  report.metrics.add_counter("certify.counterexamples",
+                             report.total_counterexamples);
+  report.elapsed_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                    wall_start)
+          .count();
+  return report;
+}
+
+namespace {
+
+std::string branch_text(const CertifyBranch& branch,
+                        const ArchitectureGraph& arch) {
+  std::string out;
+  out += "dead at start: ";
+  if (branch.dead_at_start.empty()) out += "-";
+  for (std::size_t i = 0; i < branch.dead_at_start.size(); ++i) {
+    if (i > 0) out += ",";
+    out += arch.processor(branch.dead_at_start[i]).name;
+  }
+  out += "; crashes: ";
+  if (branch.crashes.empty()) out += "-";
+  for (std::size_t i = 0; i < branch.crashes.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += arch.processor(branch.crashes[i].processor).name;
+    out += "@";
+    out += time_to_string(branch.crashes[i].time);
+  }
+  out += branch.outputs_lost
+             ? "; OUTPUTS LOST"
+             : "; response " + time_to_string(branch.response_time);
+  return out;
+}
+
+std::string branch_json(const CertifyBranch& branch,
+                        const ArchitectureGraph& arch) {
+  std::string out = "{\"dead_at_start\": [";
+  for (std::size_t i = 0; i < branch.dead_at_start.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += obs::json_string(arch.processor(branch.dead_at_start[i]).name);
+  }
+  out += "], \"crashes\": [";
+  for (std::size_t i = 0; i < branch.crashes.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += "{\"processor\": " +
+           obs::json_string(arch.processor(branch.crashes[i].processor).name) +
+           ", \"time\": " + obs::json_number(branch.crashes[i].time) + "}";
+  }
+  out += "], \"outputs_lost\": ";
+  out += branch.outputs_lost ? "true" : "false";
+  out += ", \"response\": " + obs::json_number(branch.response_time) + "}";
+  return out;
+}
+
+}  // namespace
+
+std::string CertifyReport::to_text(const ArchitectureGraph& arch) const {
+  std::string out;
+  out += "certify:  K=" + std::to_string(max_failures) + " over " +
+         std::to_string(arch.processor_count()) + " processors, " +
+         std::to_string(subsets) + " dead-at-start subsets\n";
+  out += "branches: " + std::to_string(branches) + " certified branches, " +
+         std::to_string(forks) + " forks, " +
+         std::to_string(instants_kept) + " instants kept / " +
+         std::to_string(instants_merged) + " merged as equivalent\n";
+  out += "verdict:  ";
+  out += certified
+             ? "CERTIFIED — every branch served all outputs"
+             : std::to_string(total_counterexamples) + " COUNTEREXAMPLES";
+  out += "\n";
+  out += "response: worst " + time_to_string(worst_response);
+  if (!is_infinite(response_bound)) {
+    out += " (bound " + time_to_string(response_bound) + ")";
+  }
+  out += "\n";
+  char rate[64];
+  std::snprintf(rate, sizeof rate, "%.0f branches/s on %u thread%s\n",
+                branches_per_second(), threads_used,
+                threads_used == 1 ? "" : "s");
+  out += "rate:     ";
+  out += rate;
+  for (const CertifyBranch& cex : counterexamples) {
+    out += "  counterexample: " + branch_text(cex, arch) + "\n";
+  }
+  return out;
+}
+
+std::string CertifyReport::to_json(const ArchitectureGraph& arch) const {
+  // Deliberately excludes wall-clock and thread-count fields: the
+  // certificate is a pure function of (schedule, spec) and diffable.
+  std::string out = "{\n";
+  out += "  \"certified\": ";
+  out += certified ? "true" : "false";
+  out += ",\n  \"max_failures\": " +
+         obs::json_number(static_cast<std::int64_t>(max_failures));
+  out += ",\n  \"processors\": " + obs::json_number(static_cast<std::uint64_t>(
+                                       arch.processor_count()));
+  out += ",\n  \"subsets\": " +
+         obs::json_number(static_cast<std::uint64_t>(subsets));
+  out += ",\n  \"branches\": " +
+         obs::json_number(static_cast<std::uint64_t>(branches));
+  out += ",\n  \"forks\": " +
+         obs::json_number(static_cast<std::uint64_t>(forks));
+  out += ",\n  \"instants_kept\": " +
+         obs::json_number(static_cast<std::uint64_t>(instants_kept));
+  out += ",\n  \"instants_merged\": " +
+         obs::json_number(static_cast<std::uint64_t>(instants_merged));
+  out += ",\n  \"worst_response\": " + obs::json_number(worst_response);
+  out += ",\n  \"response_bound\": " + obs::json_number(response_bound);
+  out += ",\n  \"total_counterexamples\": " +
+         obs::json_number(static_cast<std::uint64_t>(total_counterexamples));
+  out += ",\n  \"counterexamples\": [";
+  for (std::size_t i = 0; i < counterexamples.size(); ++i) {
+    out += i > 0 ? ",\n    " : "\n    ";
+    out += branch_json(counterexamples[i], arch);
+  }
+  out += counterexamples.empty() ? "]\n" : "\n  ]\n";
+  out += "}\n";
+  return out;
+}
+
+}  // namespace ftsched::campaign

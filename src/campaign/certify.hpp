@@ -1,0 +1,143 @@
+// Exhaustive K-failure certification of a static schedule — the move from
+// sampling (campaign/runner.hpp) to analysis: instead of drawing random
+// scenarios, enumerate EVERY way at most K fail-stop processor failures can
+// strike one iteration and simulate each representative branch, emitting a
+// machine-readable certificate ("all C(P,<=K) x representative-time
+// branches served every output") or concrete counterexamples ready for the
+// ddmin shrinker.
+//
+// Branch tree. A node is a set of failures ordered canonically: first a
+// dead-at-start subset D (the settled regime of a previous detection,
+// paper §5.6), then mid-run crashes at nondecreasing instants (ties broken
+// by ascending processor id, so each unordered failure set is explored
+// exactly once). Each node's failure-free completion ("leaf run") is
+// simulated; if the budget allows another crash, candidate instants for
+// every still-alive victim are derived FROM THAT LEAF'S OWN TRACE and the
+// subtree recurses.
+//
+// Time quantization. A crash's effect is determined by which events
+// precede it, so only instants separated by an event can behave
+// differently: the leaf trace's event dates, the midpoints between
+// consecutive dates (one sample per open interval), and the static
+// watch-chain deadlines (absent from a failure-free trace, yet crossing
+// one flips a receiver's timeout decision) are exhaustive for the
+// branch's continuum of crash times — transient_analysis's argument,
+// applied recursively. One caveat is inherited from the event-dated model:
+// within an open interval where the victim feeds an in-flight hop, the
+// crash instant shifts the link-free time continuously; outcomes at the
+// samples bound, but do not enumerate, that continuum (see
+// DESIGN.md).
+//
+// Per-victim dedup. Candidate instant c is merged into the previously kept
+// instant k0 for victim p when crashing p at c is provably identical to
+// crashing p at k0: nothing p did in (k0, c] is externally visible — no
+// p-fed transfer started or completed (leaf-trace kTransferStart /
+// kTransferEnd with proc == p), no replica completed on p (kOpEnd), and c
+// does not lie strictly inside an in-flight window of a p-fed hop (where
+// the crash instant IS the link-release instant). Dedup is exact pruning,
+// not sampling: disable it with CertifySpec::dedup = false to get the
+// naive enumerator the bench uses as its from-scratch baseline.
+//
+// Sharing. Branches are never replayed from t=0: the engine forks the
+// paused parent prefix (Simulator::Branch) at each candidate instant, so
+// the cost of a node is its suffix, not its depth. Tasks — one per
+// (dead-at-start subset, first crash victim) — fan across the WorkPool and
+// merge in task-index order, making the report a pure function of
+// (schedule, spec), bit-identical for any thread count.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "obs/metrics.hpp"
+#include "sched/schedule.hpp"
+#include "sim/mission.hpp"
+
+namespace ftsched::campaign {
+
+struct CertifySpec {
+  /// Failure budget to certify; -1 derives the schedule's own
+  /// failures_tolerated().
+  int max_failures = -1;
+  /// Response envelope every branch must meet; kInfinite disables the
+  /// response check (the certificate is then about output survival only).
+  Time response_bound = kInfinite;
+  /// Worker threads; 0 = hardware concurrency.
+  unsigned threads = 0;
+  /// Counterexamples kept with full detail (all are counted).
+  std::size_t max_counterexamples = 16;
+  /// Exact-equivalence pruning of candidate crash instants (see header).
+  /// Off = the naive enumerator: every representative instant simulated.
+  bool dedup = true;
+  /// Record every certified branch's failure pattern in
+  /// CertifyReport::branches_list — the bench replays that list from
+  /// scratch as its baseline. Off by default (memory).
+  bool collect_branches = false;
+};
+
+/// One branch of the failure tree: the complete failure pattern of one
+/// certified (or violating) scenario.
+struct CertifyBranch {
+  std::vector<ProcessorId> dead_at_start;
+  /// Mid-run crashes, nondecreasing (time, processor id).
+  std::vector<FailureEvent> crashes;
+  bool outputs_lost = false;
+  Time response_time = kInfinite;
+};
+
+/// The branch as a single-iteration mission plan (shrinker / io input).
+[[nodiscard]] MissionPlan counterexample_plan(const CertifyBranch& branch);
+
+struct CertifyReport {
+  /// True iff no branch lost an output or exceeded the response bound.
+  bool certified = false;
+  int max_failures = 0;
+  Time response_bound = kInfinite;
+  /// Dead-at-start subsets enumerated (all sizes 0..K, the empty set
+  /// included).
+  std::size_t subsets = 0;
+  /// Failure branches certified — leaves of the explored tree; with dedup
+  /// off this is the full representative enumeration.
+  std::size_t branches = 0;
+  /// Branch forks performed (the work the prefix sharing buys).
+  std::size_t forks = 0;
+  /// Candidate (victim, instant) pairs simulated / pruned as provably
+  /// equivalent to a kept neighbour.
+  std::size_t instants_kept = 0;
+  std::size_t instants_merged = 0;
+  /// Violating branches, exploration order; detail capped at
+  /// spec.max_counterexamples, every one counted.
+  std::vector<CertifyBranch> counterexamples;
+  std::size_t total_counterexamples = 0;
+  /// Worst response over branches that produced all outputs.
+  Time worst_response = 0;
+  /// Every certified branch (only when spec.collect_branches).
+  std::vector<CertifyBranch> branches_list;
+  /// certify.* counters (branches, forks, instants, counterexamples),
+  /// merged deterministically like the campaign runner's metrics.
+  obs::MetricsSnapshot metrics;
+  unsigned threads_used = 1;
+  double elapsed_seconds = 0;
+
+  [[nodiscard]] double branches_per_second() const {
+    return elapsed_seconds > 0
+               ? static_cast<double>(branches) / elapsed_seconds
+               : 0.0;
+  }
+
+  /// Human-readable certificate / refutation summary.
+  [[nodiscard]] std::string to_text(const ArchitectureGraph& arch) const;
+
+  /// Machine-readable certificate (stable field order; counterexamples
+  /// included up to the recorded cap).
+  [[nodiscard]] std::string to_json(const ArchitectureGraph& arch) const;
+};
+
+/// Certifies `schedule` against every failure pattern of size <=
+/// spec.max_failures. Deterministic: the report is a pure function of
+/// (schedule, spec), independent of thread count.
+[[nodiscard]] CertifyReport certify(const Schedule& schedule,
+                                    const CertifySpec& spec = {});
+
+}  // namespace ftsched::campaign

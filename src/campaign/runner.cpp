@@ -3,7 +3,11 @@
 #include <algorithm>
 #include <chrono>
 #include <cstdio>
+#include <map>
+#include <set>
+#include <utility>
 
+#include "campaign/canonical.hpp"
 #include "campaign/work_pool.hpp"
 #include "core/text.hpp"
 #include "obs/span.hpp"
@@ -20,7 +24,12 @@ struct Partial {
   std::size_t within_contract = 0;
   std::size_t expected_losses = 0;
   std::size_t total_violations = 0;
+  std::size_t cached_replays = 0;
   std::vector<CampaignViolation> violations;
+  /// Canonical fingerprints of this chunk's scenarios; the global union
+  /// gives the unique-coverage count, independent of chunk-to-thread
+  /// assignment.
+  std::set<std::string> fingerprints;
   CampaignCoverage coverage;
   obs::MetricsSnapshot metrics;
 };
@@ -179,10 +188,27 @@ CampaignReport run_campaign(const Schedule& schedule,
   auto evaluate = [&](std::size_t begin, std::size_t end, Partial& partial) {
     FTSCHED_SPAN("campaign.chunk");
     partial.coverage = blank_coverage();
+    // Replay cache: a scenario whose canonical fault pattern already ran
+    // in this chunk reuses that MissionResult (the summaries are a
+    // function of the canonical pattern — see canonical.hpp) and is only
+    // re-judged against its own plan. Keys are exact fingerprints, so a
+    // hit can never alias a different scenario.
+    std::map<std::string, MissionResult> cache;
     for (std::size_t i = begin; i < end; ++i) {
       const CampaignScenario scenario = generator.scenario(i);
       count_coverage(scenario, generator.horizon(), partial.coverage);
-      const MissionResult result = run_mission(simulator, scenario.plan);
+      std::string key = canonical_fingerprint(scenario.plan);
+      const auto hit = cache.find(key);
+      MissionResult result;
+      if (hit != cache.end()) {
+        partial.cached_replays += 1;
+        partial.metrics.add_counter("campaign.cached_replays");
+        result = hit->second;
+      } else {
+        result = run_mission(simulator, scenario.plan);
+        cache.emplace(key, result);
+      }
+      partial.fingerprints.insert(std::move(key));
       const Verdict verdict = oracle.judge(scenario.plan, result);
       count_metrics(scenario, result, verdict, oracle.response_bound(),
                     partial.metrics);
@@ -220,10 +246,13 @@ CampaignReport run_campaign(const Schedule& schedule,
 
   // Merge in index order: identical report for any thread count.
   FTSCHED_SPAN("campaign.merge");
+  std::set<std::string> fingerprints;
   for (Partial& partial : partials) {
     report.within_contract += partial.within_contract;
     report.expected_losses += partial.expected_losses;
     report.total_violations += partial.total_violations;
+    report.cached_replays += partial.cached_replays;
+    fingerprints.merge(partial.fingerprints);
     report.coverage.merge(partial.coverage);
     report.metrics.merge(partial.metrics);
     for (CampaignViolation& violation : partial.violations) {
@@ -238,6 +267,11 @@ CampaignReport run_campaign(const Schedule& schedule,
       }
     }
   }
+
+  report.unique_scenarios = fingerprints.size();
+  report.duplicate_scenarios = report.scenarios_run - report.unique_scenarios;
+  report.metrics.add_counter("campaign.unique_scenarios",
+                             report.unique_scenarios);
 
   report.elapsed_seconds =
       std::chrono::duration<double>(std::chrono::steady_clock::now() -
@@ -264,6 +298,10 @@ std::string CampaignReport::to_text(const ArchitectureGraph& arch) const {
          "\n";
   out += "bound:    response <= " + time_to_string(response_bound) +
          ", crash horizon " + time_to_string(horizon) + "\n";
+  out += "coverage: " + std::to_string(unique_scenarios) +
+         " unique fault patterns (" + std::to_string(duplicate_scenarios) +
+         " duplicate draws, " + std::to_string(cached_replays) +
+         " cached replays)\n";
   char rate[64];
   std::snprintf(rate, sizeof rate, "%.0f scenarios/s on %u thread%s\n",
                 scenarios_per_second(), threads_used,

@@ -73,6 +73,18 @@ struct CampaignReport {
   /// survived the campaign.
   std::vector<CampaignViolation> violations;
   std::size_t total_violations = 0;
+  /// Distinct canonical fault patterns among the generated scenarios
+  /// (campaign/canonical.hpp): the campaign's real coverage, as opposed to
+  /// its raw draw count. Counted over exact canonical fingerprints, so it
+  /// is thread-count independent like every other field.
+  std::size_t unique_scenarios = 0;
+  /// Draws whose canonical pattern had already been generated.
+  std::size_t duplicate_scenarios = 0;
+  /// Simulations skipped by the per-chunk replay cache: a duplicate inside
+  /// one chunk reuses the cached MissionResult and is only re-judged
+  /// against its own (pre-canonicalization) plan. The count depends on the
+  /// fixed chunk partition, not on the thread count.
+  std::size_t cached_replays = 0;
   CampaignCoverage coverage;
   /// Domain metrics of the whole campaign (verdict counters, injected
   /// faults per class, per-iteration timeout/election/transfer counts,

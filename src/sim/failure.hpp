@@ -17,6 +17,8 @@ struct FailureEvent {
   ProcessorId processor;
   /// Instant the processor halts (within the simulated iteration).
   Time time = 0;
+
+  friend bool operator==(const FailureEvent&, const FailureEvent&) = default;
 };
 
 /// A communication link dying mid-iteration (the paper's §8 future work:
@@ -25,6 +27,9 @@ struct FailureEvent {
 struct LinkFailureEvent {
   LinkId link;
   Time time = 0;
+
+  friend bool operator==(const LinkFailureEvent&,
+                         const LinkFailureEvent&) = default;
 };
 
 /// Intermittent fail-silent episode (§6.1 item 3): during [from, to) the
@@ -35,6 +40,8 @@ struct SilentWindow {
   ProcessorId processor;
   Time from = 0;
   Time to = 0;
+
+  friend bool operator==(const SilentWindow&, const SilentWindow&) = default;
 };
 
 struct FailureScenario {
@@ -100,6 +107,12 @@ struct FailureScenario {
   [[nodiscard]] std::size_t total_fault_count() const {
     return failure_count() + link_failure_count();
   }
+
+  /// Structural (exact, order-sensitive) equality. The mission runner uses
+  /// it to skip re-simulating consecutive identical iterations; use
+  /// campaign/canonical.hpp to compare scenarios up to ordering.
+  friend bool operator==(const FailureScenario&,
+                         const FailureScenario&) = default;
 };
 
 /// All subsets of `processors` with size in [1, max_failures]; used by the

@@ -1,6 +1,7 @@
 #include "sim/mission.hpp"
 
 #include <algorithm>
+#include <optional>
 
 #include "arch/architecture_graph.hpp"
 #include "core/text.hpp"
@@ -26,15 +27,32 @@ MissionResult run_mission(const Simulator& simulator,
   FTSCHED_REQUIRE(plan.iterations > 0,
                   "a mission needs at least one iteration");
 
+  // The initial knowledge is a set; normalize its presentation (sorted,
+  // duplicate-free, suspicion subsumed by known death) so the iteration
+  // summaries depend on the fault pattern, not on input ordering — the
+  // invariant the campaign's canonical-fingerprint replay cache relies on.
+  auto as_set = [](std::vector<ProcessorId> procs) {
+    std::sort(procs.begin(), procs.end());
+    procs.erase(std::unique(procs.begin(), procs.end()), procs.end());
+    return procs;
+  };
   std::vector<ProcessorId> dead =
-      plan.dead_at_start;                  // genuinely dead, in any iteration
-  std::vector<ProcessorId> known =
-      plan.dead_at_start;                  // dead AND known by the survivors
+      as_set(plan.dead_at_start);          // genuinely dead, in any iteration
+  std::vector<ProcessorId> known = dead;   // dead AND known by the survivors
   std::vector<ProcessorId> suspected =
-      plan.suspected_at_start;             // alive but flagged
+      as_set(plan.suspected_at_start);     // alive but flagged
+  std::erase_if(suspected, [&](ProcessorId proc) {
+    return std::find(dead.begin(), dead.end(), proc) != dead.end();
+  });
   std::vector<LinkId> dead_links = plan.dead_links_at_start;
 
   MissionResult result;
+  // Once the survivors' knowledge settles (steady state of a
+  // failed-at-start-only mission), consecutive iterations face the exact
+  // same scenario; the simulation is deterministic, so the previous
+  // iteration's result is reused instead of re-simulated.
+  std::optional<FailureScenario> previous;
+  IterationResult cached;
   for (int i = 0; i < plan.iterations; ++i) {
     FailureScenario scenario;
     scenario.failed_at_start = known;
@@ -61,7 +79,11 @@ MissionResult run_mission(const Simulator& simulator,
       }
     }
 
-    const IterationResult run = simulator.run(scenario);
+    if (!previous.has_value() || !(scenario == *previous)) {
+      cached = simulator.run(scenario);
+      previous = scenario;
+    }
+    const IterationResult& run = cached;
 
     MissionIteration summary;
     summary.index = i;

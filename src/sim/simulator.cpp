@@ -1,9 +1,11 @@
 #include "sim/simulator.hpp"
 
 #include <algorithm>
+#include <cstdint>
 #include <memory>
 #include <queue>
 
+#include "core/error.hpp"
 #include "graph/algorithm_graph.hpp"
 #include "obs/span.hpp"
 
@@ -11,6 +13,10 @@ namespace ftsched {
 
 namespace sim_detail {
 
+/// Scenario-independent description of one transfer: the static ones are
+/// derived from the schedule once (SimPlan), the dynamic (elected-backup)
+/// ones are appended to SimState at runtime. Mutable run state lives in
+/// TransferState so that copying a run never copies routes.
 struct Transfer {
   DependencyId dep;
   int sender_rank = 0;
@@ -20,7 +26,6 @@ struct Transfer {
   /// segments, which may follow a disjoint detour; dynamic transfers: the
   /// shortest route). hops[i] feeds links[i].
   Route route;
-  std::size_t hop = 0;
   /// Static transfers are time-triggered: hop i never starts before its
   /// scheduled slot. This makes the failure-free run replay the static
   /// schedule exactly (each link's static total order is enforced by the
@@ -35,21 +40,42 @@ struct Transfer {
   /// the value: dynamic (elected-backup) sends, static liveness sends,
   /// and the final static consumer delivery.
   bool certifies = false;
+};
+
+inline constexpr std::uint32_t kNoWake = static_cast<std::uint32_t>(-1);
+
+struct TransferState {
+  std::uint32_t hop = 0;
+  std::uint32_t wake_scheduled_hop = kNoWake;
   bool in_flight = false;
   bool done = false;
   bool cancelled = false;
-  std::size_t wake_scheduled_hop = static_cast<std::size_t>(-1);
 };
 
 struct Watcher {
   const TimeoutChain* chain = nullptr;
-  std::size_t pos = 0;
   /// Rank of the local backup replica of the producer; -1 for a pure
   /// consumer watcher.
   int backup_rank = -1;
+};
+
+struct WatcherState {
+  std::uint32_t pos = 0;
+  std::uint32_t scheduled_pos = kNoWake;
   bool elected = false;
   bool sent = false;
-  std::size_t scheduled_pos = static_cast<std::size_t>(-1);
+};
+
+struct ProcState {
+  bool alive = true;
+  bool busy = false;
+  bool abort = false;  // the running operation died with the processor
+  std::uint32_t next = 0;
+};
+
+struct LinkState {
+  bool busy = false;
+  bool alive = true;
 };
 
 /// Everything about a run that does not depend on the failure scenario,
@@ -57,9 +83,8 @@ struct Watcher {
 /// tens of thousands of scenarios against one schedule; rebuilding the
 /// per-processor programs (a scan + sort each), reconstructing every static
 /// transfer's route from its segments, and re-resolving watcher backup
-/// ranks per scenario dominated Run::init. Runs now point at the programs
-/// (read-only during execution) and copy the transfer/watcher templates,
-/// whose run-state fields start at their defaults.
+/// ranks per scenario dominated run start-up. Runs point at the plan
+/// (read-only during execution) and keep only flat POD state.
 struct SimPlan {
   std::vector<std::vector<const ScheduledOperation*>> programs;  // [proc]
   std::vector<Transfer> transfers;
@@ -126,14 +151,6 @@ std::unique_ptr<const SimPlan> build_plan(const Schedule& schedule,
   return plan;
 }
 
-}  // namespace sim_detail
-
-namespace {
-
-using sim_detail::SimPlan;
-using sim_detail::Transfer;
-using sim_detail::Watcher;
-
 /// Event kinds, in same-instant processing order: deliveries first (a value
 /// arriving exactly at a deadline satisfies the watcher), then completions,
 /// then failures (an operation finishing at the failure instant counts),
@@ -159,83 +176,89 @@ struct Event {
   }
 };
 
-class Run {
+/// The complete per-run state of one simulated iteration, separated from
+/// the engine so a paused run can be snapshotted (Simulator::Branch) and
+/// forked per failure branch. Every member is a flat value — copying is a
+/// handful of vector copies (the trace prefix being the largest), never a
+/// re-simulation and never a per-transfer route copy.
+struct SimState {
+  bool prologue_done = false;
+  /// Instant of the last fully executed event batch; injected faults must
+  /// lie strictly after it.
+  Time executed_until = -kInfinite;
+  std::size_t seq = 0;
+  std::priority_queue<Event, std::vector<Event>, std::greater<Event>> queue;
+  Trace trace;
+  std::vector<ProcState> procs;
+  std::vector<char> flags;  // [p * procs + q]: p believes q failed
+  std::vector<LinkState> links;
+  /// Run state of plan transfers [0, plan.transfers.size()) followed by
+  /// dynamic transfers; templates of the latter live in `dynamic`.
+  std::vector<TransferState> tstate;
+  std::vector<Transfer> dynamic;
+  std::vector<WatcherState> wstate;
+  std::vector<SilentWindow> silent_windows;
+  std::size_t deps = 0;         // stride of the [proc][dep] tables below
+  std::vector<char> has_value;  // [proc * deps + dep]
+  std::vector<char> certified;  // [proc * deps + dep]
+};
+
+}  // namespace sim_detail
+
+namespace {
+
+using sim_detail::Event;
+using sim_detail::EventKind;
+using sim_detail::kNoWake;
+using sim_detail::LinkState;
+using sim_detail::ProcState;
+using sim_detail::SimPlan;
+using sim_detail::SimState;
+using sim_detail::Transfer;
+using sim_detail::TransferState;
+using sim_detail::Watcher;
+using sim_detail::WatcherState;
+
+/// Executes one iteration over an externally owned SimState. The engine
+/// itself is stateless between calls — Simulator::run drives a fresh state
+/// to completion, the Branch API drives a state in stop-and-go slices with
+/// faults injected between slices, and both orders produce bit-identical
+/// results (event order is a pure function of (time, kind, push order)).
+class Engine {
  public:
-  Run(const Schedule& schedule, const RoutingTable& routing,
-      const SimPlan& plan, const FailureScenario& scenario)
+  Engine(const Schedule& schedule, const RoutingTable& routing,
+         const SimPlan& plan, SimState& s)
       : schedule_(schedule),
         routing_(routing),
         plan_(plan),
         graph_(*schedule.problem().algorithm),
-        arch_(*schedule.problem().architecture) {
-    init(scenario);
-  }
-
-  IterationResult execute() {
-    advance(0);
-    while (!queue_.empty()) {
-      // Drain every event of this instant before re-evaluating the system,
-      // so that e.g. an operation completing at t and the link freeing at t
-      // are both visible when the arbiter picks the next transfer.
-      const Time now = queue_.top().time;
-      while (!queue_.empty() && queue_.top().time == now) {
-        const Event event = queue_.top();
-        queue_.pop();
-        dispatch(event);
-      }
-      advance(now);
-    }
-    return finish();
-  }
-
- private:
-  struct Proc {
-    bool alive = true;
-    /// Static program of this processor, owned by the SimPlan (read-only
-    /// during execution; only `next` advances).
-    const std::vector<const ScheduledOperation*>* program = nullptr;
-    std::size_t next = 0;
-    bool busy = false;
-    bool abort = false;  // the running operation died with the processor
-    std::vector<char> flags;  // flags[q]: believes processor q failed
-  };
-
-  struct LinkState {
-    bool busy = false;
-    bool alive = true;
-  };
+        arch_(*schedule.problem().architecture),
+        s_(s) {}
 
   void init(const FailureScenario& scenario) {
     const std::size_t procs = arch_.processor_count();
-    procs_.resize(procs);
-    for (std::size_t p = 0; p < procs; ++p) {
-      procs_[p].flags.assign(procs, 0);
-      procs_[p].program = &plan_.programs[p];
-    }
-    links_.resize(arch_.link_count());
-    deps_ = graph_.dependency_count();
-    has_value_.assign(procs * deps_, 0);
-    observed_.assign(procs * deps_, 0);
-    certified_.assign(procs * deps_, 0);
-
-    // Transfer and watcher templates start with their run-state fields at
-    // the defaults; dynamic (backup) transfers are appended at runtime.
-    transfers_ = plan_.transfers;
-    watchers_ = plan_.watchers;
+    s_.procs.assign(procs, ProcState{});
+    s_.flags.assign(procs * procs, 0);
+    s_.links.assign(arch_.link_count(), LinkState{});
+    s_.deps = graph_.dependency_count();
+    s_.has_value.assign(procs * s_.deps, 0);
+    s_.certified.assign(procs * s_.deps, 0);
+    s_.tstate.assign(plan_.transfers.size(), TransferState{});
+    s_.wstate.assign(plan_.watchers.size(), WatcherState{});
 
     // Failures known since a previous iteration: dead, and flagged by all.
     for (ProcessorId dead : scenario.failed_at_start) {
-      procs_[dead.index()].alive = false;
-      for (Proc& proc : procs_) {
-        proc.flags[dead.index()] = 1;
+      s_.procs[dead.index()].alive = false;
+      for (std::size_t p = 0; p < procs; ++p) {
+        s_.flags[p * procs + dead.index()] = 1;
       }
     }
     // Detection mistakes carried over: flagged by everyone, yet alive.
     for (ProcessorId suspect : scenario.suspected_at_start) {
-      for (Proc& proc : procs_) {
-        proc.flags[suspect.index()] = 1;
+      for (std::size_t p = 0; p < procs; ++p) {
+        s_.flags[p * procs + suspect.index()] = 1;
       }
-      procs_[suspect.index()].flags[suspect.index()] = 0;
+      s_.flags[suspect.index() * procs + suspect.index()] = 0;
     }
     // Mid-iteration crashes.
     for (const FailureEvent& failure : scenario.events) {
@@ -243,23 +266,113 @@ class Run {
     }
     // Link failures.
     for (LinkId link : scenario.failed_links_at_start) {
-      links_[link.index()].alive = false;
+      s_.links[link.index()].alive = false;
     }
     for (const LinkFailureEvent& failure : scenario.link_events) {
       push(failure.time, EventKind::kLinkFailure, failure.link.index());
     }
     // Fail-silent windows: blocked sends must be retried when each window
     // closes, so schedule a generic wake-up at every window end.
-    silent_windows_ = scenario.silent_windows;
-    for (const SilentWindow& window : silent_windows_) {
+    s_.silent_windows = scenario.silent_windows;
+    for (const SilentWindow& window : s_.silent_windows) {
       push(window.to, EventKind::kDeadline, 0);
     }
+  }
+
+  void inject(const FailureEvent& failure) {
+    FTSCHED_REQUIRE(failure.time > s_.executed_until,
+                    "injected fault predates the executed prefix");
+    push(failure.time, EventKind::kFailure, failure.processor.index());
+  }
+
+  void inject(const LinkFailureEvent& failure) {
+    FTSCHED_REQUIRE(failure.time > s_.executed_until,
+                    "injected fault predates the executed prefix");
+    push(failure.time, EventKind::kLinkFailure, failure.link.index());
+  }
+
+  /// Executes every pending instant strictly (epsilon-strict) before `t`.
+  void run_until(Time t) {
+    ensure_prologue();
+    while (!s_.queue.empty() && time_lt(s_.queue.top().time, t)) {
+      step_batch();
+    }
+  }
+
+  void run_all() {
+    ensure_prologue();
+    while (!s_.queue.empty()) step_batch();
+  }
+
+  [[nodiscard]] IterationResult finish() {
+    IterationResult result;
+    result.all_outputs_produced = true;
+    Time response = 0;
+    for (const Operation& op : graph_.operations()) {
+      if (op.kind != OperationKind::kExtioOut) continue;
+      const Time earliest = s_.trace.earliest_op_end(op.id);
+      if (is_infinite(earliest)) {
+        result.all_outputs_produced = false;
+      } else {
+        response = std::max(response, earliest);
+      }
+    }
+    result.response_time =
+        result.all_outputs_produced ? response : kInfinite;
+
+    const std::size_t procs = s_.procs.size();
+    std::vector<char> flagged(procs, 0);
+    for (std::size_t p = 0; p < procs; ++p) {
+      if (!s_.procs[p].alive) continue;
+      for (std::size_t q = 0; q < procs; ++q) {
+        if (s_.flags[p * procs + q]) flagged[q] = 1;
+      }
+    }
+    for (std::size_t q = 0; q < procs; ++q) {
+      if (flagged[q]) result.detected_failures.push_back(pid(q));
+    }
+    result.trace = std::move(s_.trace);
+    return result;
+  }
+
+ private:
+  /// Start everything startable at time 0 before the first event batch —
+  /// deliberately queue-independent, so running it before or after faults
+  /// are injected at t >= 0 cannot change the outcome.
+  void ensure_prologue() {
+    if (s_.prologue_done) return;
+    s_.prologue_done = true;
+    advance(0);
+  }
+
+  void step_batch() {
+    // Drain every event of this instant before re-evaluating the system,
+    // so that e.g. an operation completing at t and the link freeing at t
+    // are both visible when the arbiter picks the next transfer.
+    const Time now = s_.queue.top().time;
+    while (!s_.queue.empty() && s_.queue.top().time == now) {
+      const Event event = s_.queue.top();
+      s_.queue.pop();
+      dispatch(event);
+    }
+    advance(now);
+    s_.executed_until = now;
+  }
+
+  [[nodiscard]] std::size_t transfer_count() const {
+    return plan_.transfers.size() + s_.dynamic.size();
+  }
+
+  [[nodiscard]] const Transfer& tmpl(std::size_t t) const {
+    return t < plan_.transfers.size()
+               ? plan_.transfers[t]
+               : s_.dynamic[t - plan_.transfers.size()];
   }
 
   /// True while `proc`'s communication units are omitting sends
   /// (intermittent fail-silent episode, §6.1 item 3).
   bool is_silent(ProcessorId proc, Time now) const {
-    for (const SilentWindow& window : silent_windows_) {
+    for (const SilentWindow& window : s_.silent_windows) {
       if (window.processor == proc && time_le(window.from, now) &&
           time_lt(now, window.to)) {
         return true;
@@ -269,10 +382,10 @@ class Run {
   }
 
   void push(Time time, EventKind kind, std::size_t index) {
-    queue_.push(Event{time, kind, seq_++, index});
+    s_.queue.push(Event{time, kind, s_.seq++, index});
   }
 
-  void record(TraceEvent event) { trace_.record(std::move(event)); }
+  void record(TraceEvent event) { s_.trace.record(std::move(event)); }
 
   ProcessorId pid(std::size_t index) const {
     return ProcessorId{static_cast<ProcessorId::underlying_type>(index)};
@@ -298,22 +411,23 @@ class Run {
   }
 
   void on_failure(Time now, std::size_t p) {
-    Proc& proc = procs_[p];
+    ProcState& proc = s_.procs[p];
     if (!proc.alive) return;
     proc.alive = false;
     if (proc.busy) proc.abort = true;
     record({TraceEvent::Kind::kFailure, now, pid(p), {}, {}, -1, {}, {}});
     // In-flight transfers fed by the dead processor are lost; the medium
     // frees (a partial frame is discarded by the receivers).
-    for (std::size_t t = 0; t < transfers_.size(); ++t) {
-      Transfer& transfer = transfers_[t];
-      if (!transfer.in_flight) continue;
-      if (transfer.route.hops[transfer.hop].index() != p) continue;
-      transfer.in_flight = false;
-      transfer.cancelled = true;
-      links_[transfer.route.links[transfer.hop].index()].busy = false;
+    for (std::size_t t = 0; t < transfer_count(); ++t) {
+      TransferState& state = s_.tstate[t];
+      if (!state.in_flight) continue;
+      const Transfer& transfer = tmpl(t);
+      if (transfer.route.hops[state.hop].index() != p) continue;
+      state.in_flight = false;
+      state.cancelled = true;
+      s_.links[transfer.route.links[state.hop].index()].busy = false;
       record({TraceEvent::Kind::kDrop, now, pid(p), transfer.to, {}, -1,
-              transfer.dep, transfer.route.links[transfer.hop]});
+              transfer.dep, transfer.route.links[state.hop]});
     }
   }
 
@@ -322,48 +436,49 @@ class Run {
   /// processor failure already silences that processor's units, this models
   /// the medium itself dying).
   void on_link_failure(Time now, std::size_t l) {
-    LinkState& link = links_[l];
+    LinkState& link = s_.links[l];
     if (!link.alive) return;
     link.alive = false;
     link.busy = false;
     const LinkId link_id{static_cast<LinkId::underlying_type>(l)};
     record({TraceEvent::Kind::kFailure, now, {}, {}, {}, -1, {}, link_id});
-    for (std::size_t t = 0; t < transfers_.size(); ++t) {
-      Transfer& transfer = transfers_[t];
-      if (!transfer.in_flight) continue;
-      if (transfer.route.links[transfer.hop] != link_id) continue;
-      transfer.in_flight = false;
-      transfer.cancelled = true;
-      record({TraceEvent::Kind::kDrop, now,
-              transfer.route.hops[transfer.hop], transfer.to, {}, -1,
-              transfer.dep, link_id});
+    for (std::size_t t = 0; t < transfer_count(); ++t) {
+      TransferState& state = s_.tstate[t];
+      if (!state.in_flight) continue;
+      const Transfer& transfer = tmpl(t);
+      if (transfer.route.links[state.hop] != link_id) continue;
+      state.in_flight = false;
+      state.cancelled = true;
+      record({TraceEvent::Kind::kDrop, now, transfer.route.hops[state.hop],
+              transfer.to, {}, -1, transfer.dep, link_id});
     }
   }
 
   void on_op_done(Time now, std::size_t p) {
-    Proc& proc = procs_[p];
+    ProcState& proc = s_.procs[p];
     if (!proc.alive) {
       proc.abort = false;
       return;
     }
-    const ScheduledOperation* placement = (*proc.program)[proc.next];
+    const ScheduledOperation* placement = plan_.programs[p][proc.next];
     record({TraceEvent::Kind::kOpEnd, now, pid(p), {}, placement->op,
             placement->rank, {}, {}});
     for (DependencyId out : graph_.out_dependencies(placement->op)) {
-      has_value_[p * deps_ + out.index()] = 1;
+      s_.has_value[p * s_.deps + out.index()] = 1;
     }
     proc.busy = false;
     ++proc.next;
   }
 
   void on_hop_done(Time now, std::size_t t) {
-    Transfer& transfer = transfers_[t];
-    if (transfer.cancelled || !transfer.in_flight) return;
-    transfer.in_flight = false;
-    const LinkId link = transfer.route.links[transfer.hop];
-    links_[link.index()].busy = false;
+    TransferState& state = s_.tstate[t];
+    if (state.cancelled || !state.in_flight) return;
+    state.in_flight = false;
+    const Transfer& transfer = tmpl(t);
+    const LinkId link = transfer.route.links[state.hop];
+    s_.links[link.index()].busy = false;
     record({TraceEvent::Kind::kTransferEnd, now,
-            transfer.route.hops[transfer.hop], transfer.to, {}, -1,
+            transfer.route.hops[state.hop], transfer.to, {}, -1,
             transfer.dep, link});
     // Every live processor attached to the medium observes the value: a bus
     // delivers it to all endpoints (broadcast), a point-to-point link to the
@@ -371,18 +486,18 @@ class Run {
     // healthy processors keep scanning the medium and clear a fail flag that
     // turns out to be a detection mistake or an intermittent fail-silent
     // episode (§6.1 item 3).
-    const ProcessorId feeding = transfer.route.hops[transfer.hop];
+    const ProcessorId feeding = transfer.route.hops[state.hop];
+    const std::size_t procs = s_.procs.size();
     for (ProcessorId endpoint : arch_.link(link).endpoints) {
-      if (!procs_[endpoint.index()].alive) continue;
-      has_value_[endpoint.index() * deps_ + transfer.dep.index()] = 1;
-      observed_[endpoint.index() * deps_ + transfer.dep.index()] = 1;
+      if (!s_.procs[endpoint.index()].alive) continue;
+      s_.has_value[endpoint.index() * s_.deps + transfer.dep.index()] = 1;
       if (transfer.certifies) {
-        certified_[endpoint.index() * deps_ + transfer.dep.index()] = 1;
+        s_.certified[endpoint.index() * s_.deps + transfer.dep.index()] = 1;
       }
-      procs_[endpoint.index()].flags[feeding.index()] = 0;
+      s_.flags[endpoint.index() * procs + feeding.index()] = 0;
     }
-    ++transfer.hop;
-    if (transfer.hop == transfer.route.links.size()) transfer.done = true;
+    ++state.hop;
+    if (state.hop == transfer.route.links.size()) state.done = true;
   }
 
   /// Fixpoint: start everything that can start at `now`.
@@ -398,15 +513,17 @@ class Run {
 
   bool start_operations(Time now) {
     bool progress = false;
-    for (std::size_t p = 0; p < procs_.size(); ++p) {
-      Proc& proc = procs_[p];
-      if (!proc.alive || proc.busy || proc.next >= proc.program->size()) {
+    for (std::size_t p = 0; p < s_.procs.size(); ++p) {
+      ProcState& proc = s_.procs[p];
+      const std::vector<const ScheduledOperation*>& program =
+          plan_.programs[p];
+      if (!proc.alive || proc.busy || proc.next >= program.size()) {
         continue;
       }
-      const ScheduledOperation* placement = (*proc.program)[proc.next];
+      const ScheduledOperation* placement = program[proc.next];
       bool ready = true;
       for (DependencyId dep : graph_.precedence_in_ref(placement->op)) {
-        if (!has_value_[p * deps_ + dep.index()]) {
+        if (!s_.has_value[p * s_.deps + dep.index()]) {
           ready = false;
           break;
         }
@@ -424,20 +541,21 @@ class Run {
 
   bool start_transfers(Time now) {
     bool progress = false;
-    for (std::size_t t = 0; t < transfers_.size(); ++t) {
-      Transfer& transfer = transfers_[t];
-      if (transfer.done || transfer.cancelled || transfer.in_flight) continue;
-      const ProcessorId feeding = transfer.route.hops[transfer.hop];
-      if (!procs_[feeding.index()].alive) continue;
+    for (std::size_t t = 0; t < transfer_count(); ++t) {
+      TransferState& state = s_.tstate[t];
+      if (state.done || state.cancelled || state.in_flight) continue;
+      const Transfer& transfer = tmpl(t);
+      const ProcessorId feeding = transfer.route.hops[state.hop];
+      if (!s_.procs[feeding.index()].alive) continue;
       if (is_silent(feeding, now)) continue;  // retried at the window end
-      if (!has_value_[feeding.index() * deps_ + transfer.dep.index()]) {
+      if (!s_.has_value[feeding.index() * s_.deps + transfer.dep.index()]) {
         continue;
       }
       if (!transfer.slots.empty() &&
-          time_lt(now, transfer.slots[transfer.hop])) {
-        if (transfer.wake_scheduled_hop != transfer.hop) {
-          transfer.wake_scheduled_hop = transfer.hop;
-          push(transfer.slots[transfer.hop], EventKind::kDeadline, t);
+          time_lt(now, transfer.slots[state.hop])) {
+        if (state.wake_scheduled_hop != state.hop) {
+          state.wake_scheduled_hop = state.hop;
+          push(transfer.slots[state.hop], EventKind::kDeadline, t);
         }
         continue;
       }
@@ -445,20 +563,20 @@ class Run {
       // observed the value through another path.
       if (transfer.dynamic) {
         const std::vector<char>& dest_seen =
-            transfer.liveness ? certified_ : has_value_;
-        if (dest_seen[transfer.to.index() * deps_ + transfer.dep.index()]) {
-          transfer.cancelled = true;
+            transfer.liveness ? s_.certified : s_.has_value;
+        if (dest_seen[transfer.to.index() * s_.deps + transfer.dep.index()]) {
+          state.cancelled = true;
           record({TraceEvent::Kind::kDrop, now, feeding, transfer.to, {}, -1,
                   transfer.dep, {}});
           progress = true;
           continue;
         }
       }
-      LinkState& link = links_[transfer.route.links[transfer.hop].index()];
+      LinkState& link = s_.links[transfer.route.links[state.hop].index()];
       if (!link.alive || link.busy) continue;
       link.busy = true;
-      transfer.in_flight = true;
-      const LinkId link_id = transfer.route.links[transfer.hop];
+      state.in_flight = true;
+      const LinkId link_id = transfer.route.links[state.hop];
       record({TraceEvent::Kind::kTransferStart, now, feeding, transfer.to,
               {}, -1, transfer.dep, link_id});
       push(now + schedule_.problem().comm->duration(transfer.dep, link_id),
@@ -470,37 +588,38 @@ class Run {
 
   bool progress_watchers(Time now) {
     bool progress = false;
-    for (std::size_t w = 0; w < watchers_.size(); ++w) {
-      Watcher& watcher = watchers_[w];
+    const std::size_t procs = s_.procs.size();
+    for (std::size_t w = 0; w < s_.wstate.size(); ++w) {
+      const Watcher& watcher = plan_.watchers[w];
+      WatcherState& state = s_.wstate[w];
       const TimeoutChain& chain = *watcher.chain;
       const std::size_t recv = chain.receiver.index();
-      Proc& proc = procs_[recv];
-      if (!proc.alive) continue;
+      if (!s_.procs[recv].alive) continue;
 
       const bool satisfied =
           watcher.backup_rank >= 0
-              ? certified_[recv * deps_ + chain.dep.index()] != 0
-              : has_value_[recv * deps_ + chain.dep.index()] != 0;
+              ? s_.certified[recv * s_.deps + chain.dep.index()] != 0
+              : s_.has_value[recv * s_.deps + chain.dep.index()] != 0;
       if (satisfied) continue;
 
-      while (watcher.pos < chain.entries.size()) {
-        const TimeoutEntry& entry = chain.entries[watcher.pos];
-        if (proc.flags[entry.sender.index()]) {
+      while (state.pos < chain.entries.size()) {
+        const TimeoutEntry& entry = chain.entries[state.pos];
+        if (s_.flags[recv * procs + entry.sender.index()]) {
           // Already known faulty (Figure 12: skip without waiting).
-          ++watcher.pos;
+          ++state.pos;
           progress = true;
           continue;
         }
         if (time_ge(now, entry.deadline)) {
-          proc.flags[entry.sender.index()] = 1;
+          s_.flags[recv * procs + entry.sender.index()] = 1;
           record({TraceEvent::Kind::kTimeout, now, chain.receiver,
                   entry.sender, {}, entry.rank, chain.dep, {}});
-          ++watcher.pos;
+          ++state.pos;
           progress = true;
           continue;
         }
-        if (watcher.scheduled_pos != watcher.pos) {
-          watcher.scheduled_pos = watcher.pos;
+        if (state.scheduled_pos != state.pos) {
+          state.scheduled_pos = state.pos;
           push(entry.deadline, EventKind::kDeadline, w);
         }
         break;
@@ -509,17 +628,17 @@ class Run {
       // Watch chain exhausted: a backup replica takes over the send
       // (Figure 12's final `if m = i then send`); once it has computed the
       // value itself, it transmits to everyone still waiting.
-      if (watcher.pos == chain.entries.size() && watcher.backup_rank >= 0 &&
-          !watcher.sent) {
-        if (!watcher.elected) {
-          watcher.elected = true;
+      if (state.pos == chain.entries.size() && watcher.backup_rank >= 0 &&
+          !state.sent) {
+        if (!state.elected) {
+          state.elected = true;
           record({TraceEvent::Kind::kElection, now, chain.receiver, {}, {},
                   watcher.backup_rank, chain.dep, {}});
           progress = true;
         }
-        if (has_value_[recv * deps_ + chain.dep.index()]) {
-          watcher.sent = true;
-          create_backup_sends(now, watcher);
+        if (s_.has_value[recv * s_.deps + chain.dep.index()]) {
+          state.sent = true;
+          create_backup_sends(watcher);
           progress = true;
         }
       }
@@ -531,8 +650,7 @@ class Run {
   /// still needs it and a liveness notification to every later backup
   /// (§6.1: "send the result to the units of successors and remainder
   /// backup processors").
-  void create_backup_sends(Time now, const Watcher& watcher) {
-    (void)now;
+  void create_backup_sends(const Watcher& watcher) {
     const TimeoutChain& chain = *watcher.chain;
     const Dependency& dep = graph_.dependency(chain.dep);
 
@@ -552,7 +670,8 @@ class Run {
       transfer.dynamic = true;
       transfer.liveness = liveness;
       transfer.certifies = true;
-      transfers_.push_back(transfer);
+      s_.dynamic.push_back(std::move(transfer));
+      s_.tstate.push_back(TransferState{});
     };
 
     for (const ScheduledOperation* consumer :
@@ -568,57 +687,29 @@ class Run {
     }
   }
 
-  IterationResult finish() {
-    IterationResult result;
-    result.all_outputs_produced = true;
-    Time response = 0;
-    for (const Operation& op : graph_.operations()) {
-      if (op.kind != OperationKind::kExtioOut) continue;
-      const Time earliest = trace_.earliest_op_end(op.id);
-      if (is_infinite(earliest)) {
-        result.all_outputs_produced = false;
-      } else {
-        response = std::max(response, earliest);
-      }
-    }
-    result.response_time =
-        result.all_outputs_produced ? response : kInfinite;
-
-    std::vector<char> flagged(procs_.size(), 0);
-    for (const Proc& proc : procs_) {
-      if (!proc.alive) continue;
-      for (std::size_t q = 0; q < procs_.size(); ++q) {
-        if (proc.flags[q]) flagged[q] = 1;
-      }
-    }
-    for (std::size_t q = 0; q < procs_.size(); ++q) {
-      if (flagged[q]) result.detected_failures.push_back(pid(q));
-    }
-    result.trace = std::move(trace_);
-    return result;
-  }
-
   const Schedule& schedule_;
   const RoutingTable& routing_;
   const SimPlan& plan_;
   const AlgorithmGraph& graph_;
   const ArchitectureGraph& arch_;
-
-  std::priority_queue<Event, std::vector<Event>, std::greater<Event>> queue_;
-  std::size_t seq_ = 0;
-  Trace trace_;
-  std::vector<Proc> procs_;
-  std::vector<LinkState> links_;
-  std::vector<Transfer> transfers_;
-  std::vector<Watcher> watchers_;
-  std::vector<SilentWindow> silent_windows_;
-  std::size_t deps_ = 0;          // stride of the [proc][dep] tables below
-  std::vector<char> has_value_;   // [proc * deps_ + dep]
-  std::vector<char> observed_;    // [proc * deps_ + dep]
-  std::vector<char> certified_;   // [proc * deps_ + dep]
+  SimState& s_;
 };
 
 }  // namespace
+
+Simulator::Branch::Branch(std::unique_ptr<sim_detail::SimState> state)
+    : state_(std::move(state)) {}
+Simulator::Branch::Branch(Branch&&) noexcept = default;
+Simulator::Branch& Simulator::Branch::operator=(Branch&&) noexcept = default;
+Simulator::Branch::~Branch() = default;
+
+Simulator::Branch Simulator::Branch::fork() const {
+  return Branch(std::make_unique<sim_detail::SimState>(*state_));
+}
+
+Time Simulator::Branch::frontier() const {
+  return state_->queue.empty() ? kInfinite : state_->queue.top().time;
+}
 
 Simulator::Simulator(const Schedule& schedule)
     : schedule_(&schedule),
@@ -630,7 +721,37 @@ Simulator::~Simulator() = default;
 
 IterationResult Simulator::run(const FailureScenario& scenario) const {
   FTSCHED_SPAN("sim.run");
-  return Run(*schedule_, routing_, *plan_, scenario).execute();
+  sim_detail::SimState state;
+  Engine engine(*schedule_, routing_, *plan_, state);
+  engine.init(scenario);
+  engine.run_all();
+  return engine.finish();
+}
+
+Simulator::Branch Simulator::begin(const FailureScenario& scenario) const {
+  auto state = std::make_unique<sim_detail::SimState>();
+  Engine(*schedule_, routing_, *plan_, *state).init(scenario);
+  return Branch(std::move(state));
+}
+
+void Simulator::advance_until(Branch& branch, Time t) const {
+  Engine(*schedule_, routing_, *plan_, *branch.state_).run_until(t);
+}
+
+void Simulator::inject(Branch& branch, const FailureEvent& failure) const {
+  Engine(*schedule_, routing_, *plan_, *branch.state_).inject(failure);
+}
+
+void Simulator::inject(Branch& branch,
+                       const LinkFailureEvent& failure) const {
+  Engine(*schedule_, routing_, *plan_, *branch.state_).inject(failure);
+}
+
+IterationResult Simulator::finish(Branch branch) const {
+  FTSCHED_SPAN("sim.finish");
+  Engine engine(*schedule_, routing_, *plan_, *branch.state_);
+  engine.run_all();
+  return engine.finish();
 }
 
 }  // namespace ftsched

@@ -27,6 +27,14 @@
 // dead by everyone (fail flags pre-set), which is the paper's "subsequent
 // iteration" regime; processors in FailureScenario::events crash mid-run,
 // giving the "transient iteration".
+//
+// Forking: per-run state lives in a snapshotable sim_detail::SimState, so a
+// shared prefix (typically the failure-free run up to a crash instant) is
+// simulated once, then forked per failure branch — the engine behind the
+// exhaustive K-failure certifier (campaign/certify.hpp). A branch advanced
+// to t and given the remaining faults by inject() produces a bit-identical
+// IterationResult to a from-scratch run() of the whole scenario
+// (tests/sim/fork_equivalence_test.cpp pins this).
 #pragma once
 
 #include <memory>
@@ -54,6 +62,7 @@ struct IterationResult {
 
 namespace sim_detail {
 struct SimPlan;
+struct SimState;
 }  // namespace sim_detail
 
 class Simulator {
@@ -68,6 +77,48 @@ class Simulator {
   /// Convenience: failure-free run.
   [[nodiscard]] IterationResult run() const { return run({}); }
 
+  /// A paused, snapshotable simulation owned by the Simulator that created
+  /// it: the (partially failed) prefix of one iteration. fork() deep-copies
+  /// the run state — flat POD tables, no re-simulation — so a certifier
+  /// explores a tree of failure branches while paying for each shared
+  /// prefix once. Move-only; forked copies are independent.
+  class Branch {
+   public:
+    Branch(Branch&&) noexcept;
+    Branch& operator=(Branch&&) noexcept;
+    ~Branch();
+
+    /// Deep copy of the paused state. O(state size); no event is replayed.
+    [[nodiscard]] Branch fork() const;
+
+    /// Earliest pending event instant; kInfinite when the queue drained.
+    [[nodiscard]] Time frontier() const;
+
+   private:
+    friend class Simulator;
+    explicit Branch(std::unique_ptr<sim_detail::SimState> state);
+    std::unique_ptr<sim_detail::SimState> state_;
+  };
+
+  /// A paused run with `scenario`'s whole start state applied (dead / dead
+  /// links / suspects / silent windows / queued mid-run events) and nothing
+  /// executed yet.
+  [[nodiscard]] Branch begin(const FailureScenario& scenario = {}) const;
+
+  /// Executes every pending instant strictly before `t` (epsilon-strict, so
+  /// an event within kTimeEpsilon of `t` stays pending). After this, faults
+  /// at times >= t can still be injected.
+  void advance_until(Branch& branch, Time t) const;
+
+  /// Injects a mid-run fault into a paused branch. The fault instant must
+  /// lie strictly after the last executed instant (inject before
+  /// advance_until passes it); violating that throws std::invalid_argument.
+  void inject(Branch& branch, const FailureEvent& failure) const;
+  void inject(Branch& branch, const LinkFailureEvent& failure) const;
+
+  /// Runs the branch to completion, consuming it.
+  [[nodiscard]] IterationResult finish(Branch branch) const;
+
   /// The schedule this simulator executes.
   [[nodiscard]] const Schedule& schedule() const noexcept {
     return *schedule_;
@@ -78,8 +129,9 @@ class Simulator {
   RoutingTable routing_;
   TimeoutTable timeouts_;
   /// Scenario-independent run state (per-processor programs, static
-  /// transfer templates, watcher templates), derived from the schedule once
-  /// so that each run() starts from a cheap copy instead of re-deriving it.
+  /// transfer templates with their routes and slots, watcher templates),
+  /// derived from the schedule once so that each run() — and each fork — is
+  /// a cheap copy of flat runtime tables instead of a re-derivation.
   std::unique_ptr<const sim_detail::SimPlan> plan_;
 };
 

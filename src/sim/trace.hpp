@@ -37,6 +37,10 @@ struct TraceEvent {
   int rank = -1;      // replica rank for op/election events
   DependencyId dep;   // transfer/timeout/election events
   LinkId link;        // transfer events
+
+  /// Exact (bitwise on `time`) equality — the fork-equivalence tests compare
+  /// whole traces event by event.
+  friend bool operator==(const TraceEvent&, const TraceEvent&) = default;
 };
 
 [[nodiscard]] std::string to_string(TraceEvent::Kind kind);

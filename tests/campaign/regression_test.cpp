@@ -10,7 +10,9 @@
 #include <sstream>
 #include <string>
 
+#include "campaign/certify.hpp"
 #include "campaign/oracle.hpp"
+#include "campaign/shrink.hpp"
 #include "io/scenario_format.hpp"
 #include "sched/heuristics.hpp"
 #include "sim/mission.hpp"
@@ -49,6 +51,42 @@ TEST(CampaignRegressions, Example1BaseClaimK1LosesOutputs) {
       oracle.judge(plan.value(), run_mission(schedule, plan.value()));
   EXPECT_TRUE(verdict.within_contract);
   EXPECT_FALSE(verdict.ok());
+  EXPECT_TRUE(verdict.outputs_lost);
+}
+
+TEST(CampaignRegressions, CertifyCounterexampleShrinksToCheckedInScenario) {
+  // End-to-end certify -> shrink: the exhaustive certifier refutes the
+  // base schedule's K=1 claim, its first counterexample routes through
+  // ddmin, and the minimized plan is exactly the checked-in reproducer
+  // (one dead-at-start processor, no mid-run events).
+  const workload::OwnedProblem ex = workload::paper_example1();
+  const Schedule schedule = schedule_base(ex.problem).value();
+
+  CertifySpec spec;
+  spec.max_failures = 1;
+  spec.threads = 1;
+  const CertifyReport report = certify(schedule, spec);
+  ASSERT_FALSE(report.certified);
+  ASSERT_FALSE(report.counterexamples.empty());
+
+  const Simulator simulator(schedule);
+  const Oracle oracle(schedule, OracleSpec{.claimed_tolerance = 1});
+  const ShrinkResult shrunk = shrink(
+      simulator, oracle, counterexample_plan(report.counterexamples.front()));
+  EXPECT_FALSE(shrunk.violations.empty());
+  EXPECT_EQ(shrunk.final_events, 1u);
+
+  const Expected<MissionPlan> checked_in = io::read_scenario(
+      read_file("example1_base_certify_k1.scenario"),
+      *ex.problem.architecture);
+  ASSERT_TRUE(checked_in.has_value()) << checked_in.error().message;
+  EXPECT_EQ(io::write_scenario(shrunk.plan, *ex.problem.architecture),
+            io::write_scenario(checked_in.value(), *ex.problem.architecture));
+
+  // And the checked-in scenario keeps demonstrating the violation.
+  const Verdict verdict = oracle.judge(
+      checked_in.value(), run_mission(schedule, checked_in.value()));
+  EXPECT_TRUE(verdict.within_contract);
   EXPECT_TRUE(verdict.outputs_lost);
 }
 

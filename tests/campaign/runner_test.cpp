@@ -80,7 +80,36 @@ TEST(CampaignRunner, ReportIndependentOfThreadCount) {
     EXPECT_EQ(parallel.coverage.crash_time_buckets,
               serial.coverage.crash_time_buckets);
     EXPECT_EQ(parallel.coverage.crash_events, serial.coverage.crash_events);
+    // Dedup accounting is part of the determinism contract too: the
+    // fingerprint union and the chunk-local replay cache depend on the
+    // fixed partition, never on which thread ran a chunk.
+    EXPECT_EQ(parallel.unique_scenarios, serial.unique_scenarios);
+    EXPECT_EQ(parallel.duplicate_scenarios, serial.duplicate_scenarios);
+    EXPECT_EQ(parallel.cached_replays, serial.cached_replays);
+    EXPECT_TRUE(parallel.metrics == serial.metrics);
   }
+  EXPECT_GT(serial.unique_scenarios, 0u);
+  EXPECT_LE(serial.unique_scenarios, serial.scenarios_run);
+  EXPECT_EQ(serial.unique_scenarios + serial.duplicate_scenarios,
+            serial.scenarios_run);
+}
+
+TEST(CampaignRunner, ReplayCacheSkipsDuplicateScenarios) {
+  // Dead-at-start-only scenarios collide heavily on a 3-processor
+  // architecture: the canonical-fingerprint cache must collapse them
+  // without changing any verdict.
+  const workload::OwnedProblem ex = workload::paper_example1();
+  const Schedule schedule = schedule_solution1(ex.problem).value();
+  CampaignOptions options;
+  options.scenarios = 400;
+  options.seed = 7;
+  options.threads = 1;
+  options.spec.max_iterations = 1;
+  options.spec.dead_at_start_probability = 1.0;  // dead-at-start only
+  const CampaignReport report = run_campaign(schedule, options);
+  EXPECT_LT(report.unique_scenarios, report.scenarios_run);
+  EXPECT_GT(report.cached_replays, 0u);
+  EXPECT_EQ(report.total_violations, 0u);
 }
 
 TEST(CampaignRunner, UnderReplicatedClaimIsCaught) {
