@@ -15,6 +15,7 @@
 #include "campaign/certify.hpp"
 #include "sched/heuristics.hpp"
 #include "sim/simulator.hpp"
+#include "tuning/hybrid.hpp"
 #include "workload/paper_examples.hpp"
 #include "workload/random_arch.hpp"
 
@@ -105,6 +106,20 @@ int main() {
   configs.push_back(
       {"fig22_solution2", schedule_solution2(owned.back().problem).value(),
        true});
+  // The §5.3 hybrid sits between the two solutions (passive base, a few
+  // dependencies flipped active): its branch space differs from both, so
+  // it exercises the certifier on a schedule shape neither paper figure
+  // covers. It must certify its claimed K like any heuristic output.
+  {
+    const auto hybrid = schedule_hybrid(owned.back().problem);
+    if (!hybrid.has_value()) {
+      std::fprintf(stderr, "hybrid config failed to schedule: %s\n",
+                   hybrid.error().message.c_str());
+      return 1;
+    }
+    configs.push_back(
+        {"fig22_hybrid", std::move(hybrid).value().schedule, true});
+  }
   struct RandomCase {
     std::size_t operations;
     std::size_t processors;

@@ -9,12 +9,20 @@
 //   ./campaign_tool problem.ft --solution2 --links --iterations 4
 //   ./campaign_tool --example1 --solution1 --replay repro.scenario
 //   ./campaign_tool --example1 --solution1 --certify --certify-out cert.json
+//   ./campaign_tool --example1 --solution1 --certify --certify-links 1
+//   ./campaign_tool --example1 --solution1 --certify-silences 1
+//                   --response-bound 42.5
 //
-// --certify switches from random sampling to the exhaustive K-failure
-// certifier (campaign/certify.hpp): every dead-at-start subset and every
-// representative mid-run crash sequence of size <= K is simulated via
-// shared-prefix forking. Counterexamples are shrunk to a minimal
-// serialized reproducer automatically.
+// --certify switches from random sampling to the exhaustive certifier
+// (campaign/certify.hpp): every dead-at-start subset and every
+// representative mid-run fault sequence within the budgets is simulated
+// via shared-prefix forking. --certify-links L and --certify-silences S
+// (each implies --certify) extend the sweep beyond the paper's §5.1
+// processor contract with up to L link deaths and S fail-silent windows;
+// --response-bound tightens the response envelope the oracle and the
+// certifier check (a branch's envelope widens by the longest injected
+// silent window). Counterexamples are shrunk to a minimal serialized
+// reproducer automatically.
 //
 // Exit status: 0 = campaign clean (replay satisfied the oracle / schedule
 // certified), 1 = oracle violations (certification refuted), 2 = usage
@@ -50,12 +58,18 @@ int usage() {
       "                     [--overbudget FRACTION] [--links] [--silence]\n"
       "                     [--suspects] [--shrink] [--replay FILE]\n"
       "                     [--certify] [--certify-out FILE]\n"
+      "                     [--certify-links L] [--certify-silences S]\n"
+      "                     [--response-bound T]\n"
       "                     [--metrics-out FILE] [--trace-out FILE]\n"
       "\n"
       "--certify exhaustively certifies the schedule against every\n"
       "failure pattern of size <= K (--claim-k, default the schedule's\n"
       "own tolerance) and writes the machine-readable certificate or\n"
-      "refutation to --certify-out.\n"
+      "refutation to --certify-out. --certify-links L adds up to L link\n"
+      "deaths per branch (budgeted separately from K), --certify-silences\n"
+      "S adds up to S fail-silent windows; --response-bound T makes both\n"
+      "the certifier and the oracle enforce response <= T (+ the longest\n"
+      "injected silent window).\n"
       "--metrics-out writes the campaign's merged domain metrics as JSON\n"
       "(deterministic for a given seed, any thread count); --trace-out\n"
       "writes the run's profiling spans as Chrome trace-event JSON (open\n"
@@ -85,6 +99,12 @@ bool parse_fraction(const char* text, double& out) {
   return end != text && *end == '\0' && out >= 0.0 && out <= 1.0;
 }
 
+bool parse_time(const char* text, double& out) {
+  char* end = nullptr;
+  out = std::strtod(text, &end);
+  return end != text && *end == '\0' && out > 0.0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -97,6 +117,8 @@ int main(int argc, char** argv) {
   bool example2 = false;
   bool do_shrink = false;
   bool do_certify = false;
+  long certify_links = 0;
+  long certify_silences = 0;
   std::string certify_out;
   campaign::CampaignOptions options;
   // An interesting default mix: short missions, some over-budget attacks,
@@ -150,6 +172,17 @@ int main(int argc, char** argv) {
       do_shrink = true;
     } else if (arg == "--certify") {
       do_certify = true;
+    } else if (arg == "--certify-links" && i + 1 < argc &&
+               parse_number(argv[++i], number)) {
+      certify_links = number;
+      do_certify = true;
+    } else if (arg == "--certify-silences" && i + 1 < argc &&
+               parse_number(argv[++i], number)) {
+      certify_silences = number;
+      do_certify = true;
+    } else if (arg == "--response-bound" && i + 1 < argc &&
+               parse_time(argv[++i], fraction)) {
+      options.oracle.response_bound = fraction;
     } else if (arg == "--certify-out" && i + 1 < argc) {
       certify_out = argv[++i];
     } else if (arg == "--replay" && i + 1 < argc) {
@@ -235,7 +268,14 @@ int main(int argc, char** argv) {
   if (do_certify) {
     campaign::CertifySpec spec;
     spec.max_failures = options.oracle.claimed_tolerance;
+    spec.max_link_failures = static_cast<int>(certify_links);
+    spec.max_silences = static_cast<int>(certify_silences);
+    spec.response_bound = options.oracle.response_bound;
     spec.threads = options.threads;
+    // The shrink oracle must judge link faults within the certified budget
+    // as within-contract, or a link counterexample would satisfy it and
+    // the shrinker's precondition (oracle rejects the plan) would fail.
+    options.oracle.claimed_link_tolerance = static_cast<int>(certify_links);
     if (!trace_out.empty()) obs::Profiler::global().enable(true);
     const campaign::CertifyReport report = campaign::certify(sched, spec);
     std::fputs(report.to_text(arch).c_str(), stdout);

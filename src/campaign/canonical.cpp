@@ -95,11 +95,28 @@ MissionPlan canonical_plan(const MissionPlan& plan) {
     if (!repeat) out.link_failures.push_back(death);
   }
 
-  // Silences: drop inert ones, sort, drop exact duplicates.
+  // Silences: drop inert ones, sort, drop exact duplicates. A window on a
+  // processor whose (earliest) crash strictly precedes the opening edge in
+  // mission order is as inert as one on a dead-at-start processor: the
+  // event queue pops the exactly-earlier crash first, is_silent is only
+  // consulted for a live feeding processor, and the closing-edge wake-up
+  // is a no-op kDeadline. Same-instant crashes are kept — the crash
+  // dispatches after the instant's send attempts, which the window blocks.
   out.silences = plan.silences;
   std::erase_if(out.silences, [&](const MissionSilence& s) {
-    return s.window.to <= s.window.from ||
-           contains(out.dead_at_start, s.window.processor);
+    if (s.window.to <= s.window.from ||
+        contains(out.dead_at_start, s.window.processor)) {
+      return true;
+    }
+    return std::any_of(out.failures.begin(), out.failures.end(),
+                       [&](const MissionFailure& crash) {
+                         if (crash.event.processor != s.window.processor) {
+                           return false;
+                         }
+                         return crash.iteration < s.iteration ||
+                                (crash.iteration == s.iteration &&
+                                 crash.event.time < s.window.from);
+                       });
   });
   std::sort(out.silences.begin(), out.silences.end(),
             [](const MissionSilence& a, const MissionSilence& b) {

@@ -22,8 +22,10 @@
 //    only the earliest instant matters;
 //  * dropping windows with to <= from: is_silent never matches them, and
 //    the extra wake-up they schedule lands on an already-reached fixpoint;
-//  * dropping silences of dead-at-start processors: is_silent is only
-//    consulted for a live feeding processor;
+//  * dropping silences of dead-at-start processors — or of processors
+//    whose earliest crash strictly precedes the window's opening edge in
+//    mission order: is_silent is only consulted for a live feeding
+//    processor, and the dead processor never reaches one;
 //  * dropping a dead-at-start processor from suspected_at_start: the
 //    suspicion flags it would preset are a subset of those the death
 //    presets, and its own flag row dies with it (finish() and every read

@@ -48,29 +48,67 @@ std::vector<Time> static_deadlines(const Schedule& schedule) {
   return out;
 }
 
+/// Fault classes, in canonical same-instant order.
+enum : int { kClsCrash = 0, kClsLinkDeath = 1, kClsSilence = 2 };
+
+/// A typed mid-run fault victim. The canonical same-instant order is the
+/// key's lexicographic order — crashes, then link deaths, then silence
+/// openings, each by ascending id — so every unordered same-instant fault
+/// set is explored exactly once (same-instant injections commute: each
+/// only queues its own victim's event / window before the instant's batch
+/// is dispatched).
+struct FaultKey {
+  int cls = -1;
+  int id = -1;
+
+  [[nodiscard]] bool valid() const { return cls >= 0; }
+  friend bool operator==(const FaultKey&, const FaultKey&) = default;
+  friend bool operator<=(const FaultKey& a, const FaultKey& b) {
+    return a.cls < b.cls || (a.cls == b.cls && a.id <= b.id);
+  }
+};
+
+/// Remaining per-class fault budgets of a subtree.
+struct Budgets {
+  int crashes = 0;
+  int links = 0;
+  int silences = 0;
+
+  [[nodiscard]] bool exhausted() const {
+    return crashes <= 0 && links <= 0 && silences <= 0;
+  }
+};
+
 /// Depth-first exploration of one task's subtree; every instant the parent
 /// prefix is forked, never replayed.
 class Explorer {
  public:
   Explorer(const Simulator& simulator, const CertifySpec& spec,
            const std::vector<Time>& deadlines, std::size_t procs,
-           Partial& out)
+           std::size_t links, Partial& out)
       : sim_(simulator),
         spec_(spec),
         deadlines_(deadlines),
         procs_(procs),
+        links_(links),
+        beyond_tail_(simulator.schedule().makespan() + 1),
         out_(out) {}
 
-  /// Runs one task: the dead-at-start subset's own leaf when `first` is
-  /// invalid, otherwise the subtree of crash sequences starting with
-  /// `first`.
-  void run(const std::vector<ProcessorId>& dead, ProcessorId first,
-           int budget) {
+  /// Runs one task: the dead-at-start subsets' own leaf when `first` is
+  /// invalid, otherwise the subtree of fault sequences starting with a
+  /// fault of `first`'s class on `first`'s victim.
+  void run(const std::vector<ProcessorId>& dead,
+           const std::vector<LinkId>& dead_links, FaultKey first,
+           Budgets budgets) {
     FTSCHED_SPAN("certify.task");
     dead_ = dead;
+    dead_links_ = dead_links;
     crashes_.clear();
+    link_crashes_.clear();
+    silences_.clear();
     FailureScenario scenario;
     scenario.failed_at_start = dead;
+    scenario.failed_links_at_start = dead_links;
     Simulator::Branch root = sim_.begin(scenario);
     ++out_.forks;
     const IterationResult root_leaf = sim_.finish(root.fork());
@@ -78,11 +116,11 @@ class Explorer {
       certify_leaf(root_leaf);
       return;
     }
-    explore_children(root, root_leaf, budget, first);
+    explore_children(root, root_leaf, budgets, 0, FaultKey{}, first);
   }
 
  private:
-  [[nodiscard]] bool alive(ProcessorId p) const {
+  [[nodiscard]] bool proc_alive(ProcessorId p) const {
     if (std::find(dead_.begin(), dead_.end(), p) != dead_.end()) {
       return false;
     }
@@ -92,17 +130,44 @@ class Explorer {
                         });
   }
 
+  [[nodiscard]] bool link_alive(LinkId l) const {
+    if (std::find(dead_links_.begin(), dead_links_.end(), l) !=
+        dead_links_.end()) {
+      return false;
+    }
+    return std::none_of(link_crashes_.begin(), link_crashes_.end(),
+                        [&](const LinkFailureEvent& death) {
+                          return death.link == l;
+                        });
+  }
+
+  /// The branch's response-envelope widening — the same allowance the
+  /// campaign oracle grants: a send blocked at `from` resumes at `to`, so
+  /// a window stretches the response by at most its own length.
+  [[nodiscard]] Time silence_allowance() const {
+    Time allowance = 0;
+    for (const SilentWindow& window : silences_) {
+      allowance = std::max(allowance, window.to - window.from);
+    }
+    return allowance;
+  }
+
   void certify_leaf(const IterationResult& leaf) {
     ++out_.branches;
     const bool lost = !leaf.all_outputs_produced;
-    const bool late = !is_infinite(spec_.response_bound) && !lost &&
-                      time_gt(leaf.response_time, spec_.response_bound);
+    const bool late =
+        !is_infinite(spec_.response_bound) && !lost &&
+        time_gt(leaf.response_time,
+                spec_.response_bound + silence_allowance());
     if (!lost) {
       out_.worst_response = std::max(out_.worst_response, leaf.response_time);
     }
     CertifyBranch branch;
     branch.dead_at_start = dead_;
+    branch.dead_links_at_start = dead_links_;
     branch.crashes = crashes_;
+    branch.link_crashes = link_crashes_;
+    branch.silences = silences_;
     branch.outputs_lost = lost;
     branch.response_time = leaf.response_time;
     if (lost || late) {
@@ -114,36 +179,37 @@ class Explorer {
     if (spec_.collect_branches) out_.collected.push_back(std::move(branch));
   }
 
-  /// Candidate instants kept for `victim`, after the canonical-order
-  /// filter and (when enabled) the exact-equivalence merge described in
-  /// the header.
-  [[nodiscard]] std::vector<Time> kept_for(const Trace& leaf,
-                                           ProcessorId victim,
-                                           const std::vector<Time>& candidates,
-                                           Time t0) const {
-    // The victim's externally visible action dates and the in-flight
-    // windows of hops it feeds, from the leaf trace (the pre-crash prefix
-    // of every branch in this subtree is exactly the leaf's own prefix).
+  /// Externally visible action dates of one victim, plus the in-flight
+  /// windows whose interior keeps a candidate (the fault instant there IS
+  /// the link-release / frame-loss instant).
+  struct VictimActs {
     std::vector<Time> acts;
     std::vector<Interval> windows;
+  };
+
+  /// A processor's acts: replica completions and the start/end of every
+  /// hop it feeds; windows are the in-flight spans of those hops.
+  [[nodiscard]] VictimActs proc_acts(const Trace& leaf,
+                                     ProcessorId victim) const {
+    VictimActs out;
     std::vector<std::pair<LinkId, Time>> open;
     for (const TraceEvent& event : leaf.events()) {
       if (event.proc != victim) continue;
       switch (event.kind) {
         case TraceEvent::Kind::kOpEnd:
-          acts.push_back(event.time);
+          out.acts.push_back(event.time);
           break;
         case TraceEvent::Kind::kTransferStart:
-          acts.push_back(event.time);
+          out.acts.push_back(event.time);
           open.emplace_back(event.link, event.time);
           break;
         case TraceEvent::Kind::kTransferEnd: {
-          acts.push_back(event.time);
+          out.acts.push_back(event.time);
           const auto it = std::find_if(
               open.rbegin(), open.rend(),
               [&](const auto& o) { return o.first == event.link; });
           if (it != open.rend()) {
-            windows.push_back(Interval{it->second, event.time});
+            out.windows.push_back(Interval{it->second, event.time});
             open.erase(std::next(it).base());
           }
           break;
@@ -153,28 +219,77 @@ class Explorer {
       }
     }
     for (const auto& [link, start] : open) {
-      windows.push_back(Interval{start, kInfinite});
+      out.windows.push_back(Interval{start, kInfinite});
     }
-    std::sort(acts.begin(), acts.end());
+    std::sort(out.acts.begin(), out.acts.end());
+    return out;
+  }
 
-    const ProcessorId last =
-        crashes_.empty() ? ProcessorId{} : crashes_.back().processor;
+  /// A link's acts: every transfer start/end it carried. The in-flight
+  /// windows are kept too, conservatively: a link dead mid-frame loses
+  /// the frame at any interior instant, but keeping the interior samples
+  /// costs little and never merges two behaviours unsoundly.
+  [[nodiscard]] VictimActs link_acts(const Trace& leaf, LinkId victim) const {
+    VictimActs out;
+    Time open = kInfinite;
+    for (const TraceEvent& event : leaf.events()) {
+      if (event.link != victim) continue;
+      if (event.kind == TraceEvent::Kind::kTransferStart) {
+        out.acts.push_back(event.time);
+        open = event.time;
+      } else if (event.kind == TraceEvent::Kind::kTransferEnd) {
+        out.acts.push_back(event.time);
+        if (!is_infinite(open)) {
+          out.windows.push_back(Interval{open, event.time});
+          open = kInfinite;
+        }
+      }
+    }
+    if (!is_infinite(open)) {
+      out.windows.push_back(Interval{open, kInfinite});
+    }
+    std::sort(out.acts.begin(), out.acts.end());
+    return out;
+  }
+
+  /// Sorted dates the victim starts feeding a hop — the only instants a
+  /// silent window's edges can distinguish (is_silent is consulted at
+  /// send start; a window opening inside an in-flight hop blocks nothing
+  /// of it).
+  [[nodiscard]] std::vector<Time> send_starts(const Trace& leaf,
+                                              ProcessorId victim) const {
+    std::vector<Time> sends;
+    for (const TraceEvent& event : leaf.events()) {
+      if (event.proc == victim &&
+          event.kind == TraceEvent::Kind::kTransferStart) {
+        sends.push_back(event.time);
+      }
+    }
+    std::sort(sends.begin(), sends.end());
+    return sends;
+  }
+
+  /// Candidate instants kept for a crash-like fault (processor crash or
+  /// link death), after the canonical same-instant filter and (when
+  /// enabled) the exact-equivalence merge described in the header.
+  [[nodiscard]] std::vector<Time> kept_crash_instants(
+      const VictimActs& victim, const std::vector<Time>& candidates, Time t0,
+      FaultKey last, FaultKey self) {
     std::vector<Time> kept;
     for (const Time c : candidates) {
-      // Canonical ordering: equal-instant crash pairs are explored once,
-      // with ascending processor ids.
-      if (last.valid() && time_eq(c, t0) && victim <= last) continue;
+      // Canonical ordering: equal-instant fault pairs are explored once,
+      // in ascending (class, id) order.
+      if (last.valid() && time_eq(c, t0) && self <= last) continue;
       if (!spec_.dedup || kept.empty()) {
         kept.push_back(c);
         continue;
       }
       const Time k0 = kept.back();
-      const auto lo = std::upper_bound(acts.begin(), acts.end(),
-                                       k0 + kTimeEpsilon);
-      const bool acted =
-          lo != acts.end() && time_le(*lo, c);
+      const auto lo = std::upper_bound(victim.acts.begin(),
+                                       victim.acts.end(), k0 + kTimeEpsilon);
+      const bool acted = lo != victim.acts.end() && time_le(*lo, c);
       const bool mid_transfer =
-          !acted && std::any_of(windows.begin(), windows.end(),
+          !acted && std::any_of(victim.windows.begin(), victim.windows.end(),
                                 [&](const Interval& w) {
                                   return time_lt(w.start, c) &&
                                          time_lt(c, w.end);
@@ -189,25 +304,122 @@ class Explorer {
     return kept;
   }
 
+  /// Opening-edge candidates kept for a silent window on one victim.
+  /// Windows [k0, t) and [c, t) block the same sends iff the victim starts
+  /// no send in [k0, c) — the opening edge is inclusive, so the half-open
+  /// check differs from the crash merge's (k0, c]. Kept/merged pairs are
+  /// accounted per (from, to) combination in silence_tos().
+  [[nodiscard]] std::vector<Time> kept_silence_froms(
+      const std::vector<Time>& sends, const std::vector<Time>& candidates,
+      Time t0, FaultKey last, FaultKey self) {
+    std::vector<Time> kept;
+    for (const Time c : candidates) {
+      if (last.valid() && time_eq(c, t0) && self <= last) continue;
+      if (!spec_.dedup || kept.empty()) {
+        kept.push_back(c);
+        continue;
+      }
+      const Time k0 = kept.back();
+      const auto lo = std::lower_bound(sends.begin(), sends.end(),
+                                       k0 - kTimeEpsilon);
+      if (lo != sends.end() && time_lt(*lo, c)) {
+        kept.push_back(c);
+      } else {
+        ++out_.instants_merged;
+      }
+    }
+    return kept;
+  }
+
+  /// Closing-edge candidates for a window opening at `from`: every
+  /// representative instant beyond it plus one past-the-end date (silent
+  /// for the rest of the iteration). With dedup on, a window that blocks
+  /// none of the victim's sends is pruned — it is exactly the parent
+  /// leaf. Every surviving `to` is kept: the closing edge is where
+  /// blocked sends resume, so it shifts downstream behaviour continuously
+  /// (the continuum caveat in the header).
+  [[nodiscard]] std::vector<Time> silence_tos(
+      const std::vector<Time>& sends, const std::vector<Time>& candidates,
+      Time from, Time beyond) {
+    const auto first_blocked =
+        std::lower_bound(sends.begin(), sends.end(), from - kTimeEpsilon);
+    std::vector<Time> kept;
+    auto consider = [&](Time to) {
+      const bool blocks =
+          first_blocked != sends.end() && time_lt(*first_blocked, to);
+      if (spec_.dedup && !blocks) {
+        ++out_.instants_merged;
+        return;
+      }
+      kept.push_back(to);
+    };
+    for (const Time to : candidates) {
+      if (time_gt(to, from)) consider(to);
+    }
+    consider(beyond);
+    out_.instants_kept += kept.size();
+    return kept;
+  }
+
   void explore_children(const Simulator::Branch& node,
-                        const IterationResult& leaf, int budget,
-                        ProcessorId only) {
-    if (budget == 0) return;
-    const Time t0 = crashes_.empty() ? 0 : crashes_.back().time;
+                        const IterationResult& leaf, Budgets budgets,
+                        Time t0, FaultKey last, FaultKey only) {
+    if (budgets.exhausted()) return;
     const std::vector<Time> candidates =
         representative_instants(leaf.trace, t0, deadlines_);
+    if (candidates.empty()) return;
+    const Time beyond = candidates.back() + beyond_tail_;
 
-    std::vector<ProcessorId> victims;
-    std::vector<std::vector<Time>> kept;
-    for (std::size_t p = 0; p < procs_; ++p) {
-      const ProcessorId victim{static_cast<ProcessorId::underlying_type>(p)};
-      if (only.valid() && victim != only) continue;
-      if (!alive(victim)) continue;
-      std::vector<Time> instants =
-          kept_for(leaf.trace, victim, candidates, t0);
-      if (instants.empty()) continue;
-      victims.push_back(victim);
-      kept.push_back(std::move(instants));
+    struct VictimPlan {
+      FaultKey key;
+      std::vector<Time> instants;
+      std::vector<Time> sends;  // silence victims only
+    };
+    std::vector<VictimPlan> victims;
+    auto consider = [&](FaultKey key) {
+      if (only.valid() && !(key == only)) return;
+      VictimPlan plan;
+      plan.key = key;
+      if (key.cls == kClsCrash) {
+        const ProcessorId victim{
+            static_cast<ProcessorId::underlying_type>(key.id)};
+        plan.instants = kept_crash_instants(proc_acts(leaf.trace, victim),
+                                            candidates, t0, last, key);
+      } else if (key.cls == kClsLinkDeath) {
+        const LinkId victim{static_cast<LinkId::underlying_type>(key.id)};
+        plan.instants = kept_crash_instants(link_acts(leaf.trace, victim),
+                                            candidates, t0, last, key);
+      } else {
+        const ProcessorId victim{
+            static_cast<ProcessorId::underlying_type>(key.id)};
+        plan.sends = send_starts(leaf.trace, victim);
+        plan.instants =
+            kept_silence_froms(plan.sends, candidates, t0, last, key);
+      }
+      if (!plan.instants.empty()) victims.push_back(std::move(plan));
+    };
+    if (budgets.crashes > 0) {
+      for (std::size_t p = 0; p < procs_; ++p) {
+        const ProcessorId victim{
+            static_cast<ProcessorId::underlying_type>(p)};
+        if (!proc_alive(victim)) continue;
+        consider(FaultKey{kClsCrash, static_cast<int>(p)});
+      }
+    }
+    if (budgets.links > 0) {
+      for (std::size_t l = 0; l < links_; ++l) {
+        const LinkId victim{static_cast<LinkId::underlying_type>(l)};
+        if (!link_alive(victim)) continue;
+        consider(FaultKey{kClsLinkDeath, static_cast<int>(l)});
+      }
+    }
+    if (budgets.silences > 0) {
+      for (std::size_t p = 0; p < procs_; ++p) {
+        const ProcessorId victim{
+            static_cast<ProcessorId::underlying_type>(p)};
+        if (!proc_alive(victim)) continue;
+        consider(FaultKey{kClsSilence, static_cast<int>(p)});
+      }
     }
     if (victims.empty()) return;
 
@@ -220,22 +432,64 @@ class Explorer {
       // Earliest un-dispatched instant across the victims.
       Time c = kInfinite;
       for (std::size_t v = 0; v < victims.size(); ++v) {
-        if (next[v] < kept[v].size()) c = std::min(c, kept[v][next[v]]);
+        if (next[v] < victims[v].instants.size()) {
+          c = std::min(c, victims[v].instants[next[v]]);
+        }
       }
       if (is_infinite(c)) break;
       sim_.advance_until(cursor, c);
       for (std::size_t v = 0; v < victims.size(); ++v) {
-        if (next[v] >= kept[v].size() || kept[v][next[v]] != c) continue;
+        if (next[v] >= victims[v].instants.size() ||
+            victims[v].instants[next[v]] != c) {
+          continue;
+        }
         ++next[v];
-        Simulator::Branch child = cursor.fork();
-        ++out_.forks;
-        sim_.inject(child, FailureEvent{victims[v], c});
-        crashes_.push_back(FailureEvent{victims[v], c});
-        ++out_.forks;
-        const IterationResult child_leaf = sim_.finish(child.fork());
-        certify_leaf(child_leaf);
-        explore_children(child, child_leaf, budget - 1, ProcessorId{});
-        crashes_.pop_back();
+        const FaultKey key = victims[v].key;
+        if (key.cls == kClsCrash) {
+          const ProcessorId victim{
+              static_cast<ProcessorId::underlying_type>(key.id)};
+          Simulator::Branch child = cursor.fork();
+          ++out_.forks;
+          sim_.inject(child, FailureEvent{victim, c});
+          crashes_.push_back(FailureEvent{victim, c});
+          ++out_.forks;
+          const IterationResult child_leaf = sim_.finish(child.fork());
+          certify_leaf(child_leaf);
+          Budgets rest = budgets;
+          --rest.crashes;
+          explore_children(child, child_leaf, rest, c, key, FaultKey{});
+          crashes_.pop_back();
+        } else if (key.cls == kClsLinkDeath) {
+          const LinkId victim{static_cast<LinkId::underlying_type>(key.id)};
+          Simulator::Branch child = cursor.fork();
+          ++out_.forks;
+          sim_.inject(child, LinkFailureEvent{victim, c});
+          link_crashes_.push_back(LinkFailureEvent{victim, c});
+          ++out_.forks;
+          const IterationResult child_leaf = sim_.finish(child.fork());
+          certify_leaf(child_leaf);
+          Budgets rest = budgets;
+          --rest.links;
+          explore_children(child, child_leaf, rest, c, key, FaultKey{});
+          link_crashes_.pop_back();
+        } else {
+          const ProcessorId victim{
+              static_cast<ProcessorId::underlying_type>(key.id)};
+          for (const Time to :
+               silence_tos(victims[v].sends, candidates, c, beyond)) {
+            Simulator::Branch child = cursor.fork();
+            ++out_.forks;
+            sim_.inject(child, SilentWindow{victim, c, to});
+            silences_.push_back(SilentWindow{victim, c, to});
+            ++out_.forks;
+            const IterationResult child_leaf = sim_.finish(child.fork());
+            certify_leaf(child_leaf);
+            Budgets rest = budgets;
+            --rest.silences;
+            explore_children(child, child_leaf, rest, c, key, FaultKey{});
+            silences_.pop_back();
+          }
+        }
       }
     }
   }
@@ -244,32 +498,53 @@ class Explorer {
   const CertifySpec& spec_;
   const std::vector<Time>& deadlines_;
   const std::size_t procs_;
+  const std::size_t links_;
+  const Time beyond_tail_;
   Partial& out_;
   std::vector<ProcessorId> dead_;
+  std::vector<LinkId> dead_links_;
   std::vector<FailureEvent> crashes_;
+  std::vector<LinkFailureEvent> link_crashes_;
+  std::vector<SilentWindow> silences_;
 };
 
-/// Dead-at-start subsets of {0..procs-1} with size 0..max, sizes
-/// ascending, lexicographic within a size — the canonical task order.
-std::vector<std::vector<ProcessorId>> dead_subsets(std::size_t procs,
-                                                   int max) {
-  std::vector<std::vector<ProcessorId>> out;
+/// Subsets of {0..count-1} with size 0..max, sizes ascending,
+/// lexicographic within a size — the canonical task order.
+std::vector<std::vector<int>> id_subsets(std::size_t count, int max) {
+  std::vector<std::vector<int>> out;
   for (int size = 0; size <= max; ++size) {
-    std::vector<ProcessorId> combo;
+    std::vector<int> combo;
     auto gen = [&](auto&& self, std::size_t from, int left) -> void {
       if (left == 0) {
         out.push_back(combo);
         return;
       }
-      for (std::size_t p = from; p + static_cast<std::size_t>(left) <= procs;
+      for (std::size_t p = from; p + static_cast<std::size_t>(left) <= count;
            ++p) {
-        combo.push_back(
-            ProcessorId{static_cast<ProcessorId::underlying_type>(p)});
+        combo.push_back(static_cast<int>(p));
         self(self, p + 1, left - 1);
         combo.pop_back();
       }
     };
     gen(gen, 0, size);
+  }
+  return out;
+}
+
+std::vector<ProcessorId> to_proc_ids(const std::vector<int>& ids) {
+  std::vector<ProcessorId> out;
+  out.reserve(ids.size());
+  for (const int id : ids) {
+    out.push_back(ProcessorId{static_cast<ProcessorId::underlying_type>(id)});
+  }
+  return out;
+}
+
+std::vector<LinkId> to_link_ids(const std::vector<int>& ids) {
+  std::vector<LinkId> out;
+  out.reserve(ids.size());
+  for (const int id : ids) {
+    out.push_back(LinkId{static_cast<LinkId::underlying_type>(id)});
   }
   return out;
 }
@@ -280,8 +555,15 @@ MissionPlan counterexample_plan(const CertifyBranch& branch) {
   MissionPlan plan;
   plan.iterations = 1;
   plan.dead_at_start = branch.dead_at_start;
+  plan.dead_links_at_start = branch.dead_links_at_start;
   for (const FailureEvent& crash : branch.crashes) {
     plan.failures.push_back(MissionFailure{0, crash});
+  }
+  for (const LinkFailureEvent& death : branch.link_crashes) {
+    plan.link_failures.push_back(MissionLinkFailure{0, death});
+  }
+  for (const SilentWindow& window : branch.silences) {
+    plan.silences.push_back(MissionSilence{0, window});
   }
   return plan;
 }
@@ -292,43 +574,87 @@ CertifyReport certify(const Schedule& schedule, const CertifySpec& spec) {
 
   const std::size_t procs =
       schedule.problem().architecture->processor_count();
+  const std::size_t links = schedule.problem().architecture->link_count();
   int max_failures = spec.max_failures < 0 ? schedule.failures_tolerated()
                                            : spec.max_failures;
   max_failures = std::clamp(max_failures, 0,
                             static_cast<int>(procs) - 1);
+  const int max_links =
+      std::clamp(spec.max_link_failures, 0, static_cast<int>(links));
+  const int max_silences = std::max(spec.max_silences, 0);
 
   const Simulator simulator(schedule);
   const std::vector<Time> deadlines = static_deadlines(schedule);
-  const std::vector<std::vector<ProcessorId>> subsets =
-      dead_subsets(procs, max_failures);
+  std::vector<std::vector<ProcessorId>> subsets;
+  for (const std::vector<int>& ids : id_subsets(procs, max_failures)) {
+    subsets.push_back(to_proc_ids(ids));
+  }
+  std::vector<std::vector<LinkId>> link_subsets;
+  for (const std::vector<int>& ids : id_subsets(links, max_links)) {
+    link_subsets.push_back(to_link_ids(ids));
+  }
 
-  // Tasks: each subset's own leaf, plus — when crash budget remains — one
-  // subtree per first crash victim, splitting the dominant small-subset
+  // Tasks: each (processor subset, link subset) pair's own leaf, plus —
+  // when some mid-run budget remains — one subtree per first fault victim
+  // in canonical class order, splitting the dominant small-subset
   // subtrees across workers.
   struct Task {
     const std::vector<ProcessorId>* dead;
-    ProcessorId first;  // invalid = leaf-only
-    int budget;
+    const std::vector<LinkId>* dead_links;
+    FaultKey first;  // invalid = leaf-only
+    Budgets budgets;
   };
   std::vector<Task> tasks;
   for (const std::vector<ProcessorId>& dead : subsets) {
-    const int budget = max_failures - static_cast<int>(dead.size());
-    tasks.push_back(Task{&dead, ProcessorId{}, 0});
-    if (budget == 0) continue;
-    for (std::size_t p = 0; p < procs; ++p) {
-      const ProcessorId victim{static_cast<ProcessorId::underlying_type>(p)};
-      if (std::find(dead.begin(), dead.end(), victim) != dead.end()) {
-        continue;
+    for (const std::vector<LinkId>& dead_links : link_subsets) {
+      Budgets budgets;
+      budgets.crashes = max_failures - static_cast<int>(dead.size());
+      budgets.links = max_links - static_cast<int>(dead_links.size());
+      budgets.silences = max_silences;
+      tasks.push_back(Task{&dead, &dead_links, FaultKey{}, budgets});
+      if (budgets.exhausted()) continue;
+      auto add_first = [&](int cls, int id) {
+        tasks.push_back(Task{&dead, &dead_links, FaultKey{cls, id}, budgets});
+      };
+      if (budgets.crashes > 0) {
+        for (std::size_t p = 0; p < procs; ++p) {
+          const ProcessorId victim{
+              static_cast<ProcessorId::underlying_type>(p)};
+          if (std::find(dead.begin(), dead.end(), victim) != dead.end()) {
+            continue;
+          }
+          add_first(kClsCrash, static_cast<int>(p));
+        }
       }
-      tasks.push_back(Task{&dead, victim, budget});
+      if (budgets.links > 0) {
+        for (std::size_t l = 0; l < links; ++l) {
+          const LinkId victim{static_cast<LinkId::underlying_type>(l)};
+          if (std::find(dead_links.begin(), dead_links.end(), victim) !=
+              dead_links.end()) {
+            continue;
+          }
+          add_first(kClsLinkDeath, static_cast<int>(l));
+        }
+      }
+      if (budgets.silences > 0) {
+        for (std::size_t p = 0; p < procs; ++p) {
+          const ProcessorId victim{
+              static_cast<ProcessorId::underlying_type>(p)};
+          if (std::find(dead.begin(), dead.end(), victim) != dead.end()) {
+            continue;
+          }
+          add_first(kClsSilence, static_cast<int>(p));
+        }
+      }
     }
   }
 
   std::vector<Partial> partials(tasks.size());
   const unsigned threads = resolve_threads(spec.threads);
   auto run_task = [&](std::size_t t) {
-    Explorer explorer(simulator, spec, deadlines, procs, partials[t]);
-    explorer.run(*tasks[t].dead, tasks[t].first, tasks[t].budget);
+    Explorer explorer(simulator, spec, deadlines, procs, links, partials[t]);
+    explorer.run(*tasks[t].dead, *tasks[t].dead_links, tasks[t].first,
+                 tasks[t].budgets);
   };
   if (threads == 1 || tasks.size() <= 1) {
     for (std::size_t t = 0; t < tasks.size(); ++t) run_task(t);
@@ -342,8 +668,11 @@ CertifyReport certify(const Schedule& schedule, const CertifySpec& spec) {
 
   CertifyReport report;
   report.max_failures = max_failures;
+  report.max_link_failures = max_links;
+  report.max_silences = max_silences;
   report.response_bound = spec.response_bound;
   report.subsets = subsets.size();
+  report.link_subsets = link_subsets.size();
   report.threads_used = threads;
   for (Partial& partial : partials) {
     report.branches += partial.branches;
@@ -366,6 +695,7 @@ CertifyReport certify(const Schedule& schedule, const CertifySpec& spec) {
   }
   report.certified = report.total_counterexamples == 0;
   report.metrics.add_counter("certify.subsets", report.subsets);
+  report.metrics.add_counter("certify.link_subsets", report.link_subsets);
   report.metrics.add_counter("certify.branches", report.branches);
   report.metrics.add_counter("certify.forks", report.forks);
   report.metrics.add_counter("certify.instants_kept", report.instants_kept);
@@ -386,18 +716,42 @@ std::string branch_text(const CertifyBranch& branch,
                         const ArchitectureGraph& arch) {
   std::string out;
   out += "dead at start: ";
-  if (branch.dead_at_start.empty()) out += "-";
+  if (branch.dead_at_start.empty() && branch.dead_links_at_start.empty()) {
+    out += "-";
+  }
   for (std::size_t i = 0; i < branch.dead_at_start.size(); ++i) {
     if (i > 0) out += ",";
     out += arch.processor(branch.dead_at_start[i]).name;
   }
+  for (std::size_t i = 0; i < branch.dead_links_at_start.size(); ++i) {
+    if (i > 0 || !branch.dead_at_start.empty()) out += ",";
+    out += arch.link(branch.dead_links_at_start[i]).name;
+  }
   out += "; crashes: ";
-  if (branch.crashes.empty()) out += "-";
+  if (branch.crashes.empty() && branch.link_crashes.empty()) out += "-";
   for (std::size_t i = 0; i < branch.crashes.size(); ++i) {
     if (i > 0) out += ", ";
     out += arch.processor(branch.crashes[i].processor).name;
     out += "@";
     out += time_to_string(branch.crashes[i].time);
+  }
+  for (std::size_t i = 0; i < branch.link_crashes.size(); ++i) {
+    if (i > 0 || !branch.crashes.empty()) out += ", ";
+    out += arch.link(branch.link_crashes[i].link).name;
+    out += "@";
+    out += time_to_string(branch.link_crashes[i].time);
+  }
+  if (!branch.silences.empty()) {
+    out += "; silent: ";
+    for (std::size_t i = 0; i < branch.silences.size(); ++i) {
+      if (i > 0) out += ", ";
+      out += arch.processor(branch.silences[i].processor).name;
+      out += "@[";
+      out += time_to_string(branch.silences[i].from);
+      out += ",";
+      out += time_to_string(branch.silences[i].to);
+      out += ")";
+    }
   }
   out += branch.outputs_lost
              ? "; OUTPUTS LOST"
@@ -412,12 +766,33 @@ std::string branch_json(const CertifyBranch& branch,
     if (i > 0) out += ", ";
     out += obs::json_string(arch.processor(branch.dead_at_start[i]).name);
   }
+  out += "], \"dead_links_at_start\": [";
+  for (std::size_t i = 0; i < branch.dead_links_at_start.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += obs::json_string(arch.link(branch.dead_links_at_start[i]).name);
+  }
   out += "], \"crashes\": [";
   for (std::size_t i = 0; i < branch.crashes.size(); ++i) {
     if (i > 0) out += ", ";
     out += "{\"processor\": " +
            obs::json_string(arch.processor(branch.crashes[i].processor).name) +
            ", \"time\": " + obs::json_number(branch.crashes[i].time) + "}";
+  }
+  out += "], \"link_crashes\": [";
+  for (std::size_t i = 0; i < branch.link_crashes.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += "{\"link\": " +
+           obs::json_string(arch.link(branch.link_crashes[i].link).name) +
+           ", \"time\": " + obs::json_number(branch.link_crashes[i].time) +
+           "}";
+  }
+  out += "], \"silences\": [";
+  for (std::size_t i = 0; i < branch.silences.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += "{\"processor\": " +
+           obs::json_string(arch.processor(branch.silences[i].processor).name) +
+           ", \"from\": " + obs::json_number(branch.silences[i].from) +
+           ", \"to\": " + obs::json_number(branch.silences[i].to) + "}";
   }
   out += "], \"outputs_lost\": ";
   out += branch.outputs_lost ? "true" : "false";
@@ -431,7 +806,16 @@ std::string CertifyReport::to_text(const ArchitectureGraph& arch) const {
   std::string out;
   out += "certify:  K=" + std::to_string(max_failures) + " over " +
          std::to_string(arch.processor_count()) + " processors, " +
-         std::to_string(subsets) + " dead-at-start subsets\n";
+         std::to_string(subsets) + " dead-at-start subsets";
+  if (max_link_failures > 0) {
+    out += "; L=" + std::to_string(max_link_failures) + " over " +
+           std::to_string(arch.link_count()) + " links, " +
+           std::to_string(link_subsets) + " link subsets";
+  }
+  if (max_silences > 0) {
+    out += "; S=" + std::to_string(max_silences) + " silent windows";
+  }
+  out += "\n";
   out += "branches: " + std::to_string(branches) + " certified branches, " +
          std::to_string(forks) + " forks, " +
          std::to_string(instants_kept) + " instants kept / " +
@@ -466,10 +850,18 @@ std::string CertifyReport::to_json(const ArchitectureGraph& arch) const {
   out += certified ? "true" : "false";
   out += ",\n  \"max_failures\": " +
          obs::json_number(static_cast<std::int64_t>(max_failures));
+  out += ",\n  \"max_link_failures\": " +
+         obs::json_number(static_cast<std::int64_t>(max_link_failures));
+  out += ",\n  \"max_silences\": " +
+         obs::json_number(static_cast<std::int64_t>(max_silences));
   out += ",\n  \"processors\": " + obs::json_number(static_cast<std::uint64_t>(
                                        arch.processor_count()));
+  out += ",\n  \"links\": " +
+         obs::json_number(static_cast<std::uint64_t>(arch.link_count()));
   out += ",\n  \"subsets\": " +
          obs::json_number(static_cast<std::uint64_t>(subsets));
+  out += ",\n  \"link_subsets\": " +
+         obs::json_number(static_cast<std::uint64_t>(link_subsets));
   out += ",\n  \"branches\": " +
          obs::json_number(static_cast<std::uint64_t>(branches));
   out += ",\n  \"forks\": " +

@@ -1,48 +1,73 @@
-// Exhaustive K-failure certification of a static schedule — the move from
-// sampling (campaign/runner.hpp) to analysis: instead of drawing random
-// scenarios, enumerate EVERY way at most K fail-stop processor failures can
-// strike one iteration and simulate each representative branch, emitting a
-// machine-readable certificate ("all C(P,<=K) x representative-time
-// branches served every output") or concrete counterexamples ready for the
-// ddmin shrinker.
+// Exhaustive certification of a static schedule over the WHOLE implemented
+// fault model — the move from sampling (campaign/runner.hpp) to analysis:
+// instead of drawing random scenarios, enumerate EVERY way a budgeted fault
+// pattern can strike one iteration and simulate each representative branch,
+// emitting a machine-readable certificate or concrete counterexamples ready
+// for the ddmin shrinker.
 //
-// Branch tree. A node is a set of failures ordered canonically: first a
-// dead-at-start subset D (the settled regime of a previous detection,
-// paper §5.6), then mid-run crashes at nondecreasing instants (ties broken
-// by ascending processor id, so each unordered failure set is explored
-// exactly once). Each node's failure-free completion ("leaf run") is
-// simulated; if the budget allows another crash, candidate instants for
-// every still-alive victim are derived FROM THAT LEAF'S OWN TRACE and the
-// subtree recurses.
+// Fault model. Three budgeted classes:
+//  * processor crashes (the paper's §5.1 fail-stop hypothesis): a
+//    dead-at-start subset D plus mid-run crashes, at most K distinct
+//    victims in total;
+//  * link deaths (§8 future work, outside the §5.1 contract and therefore
+//    budgeted separately, FailureScenario::total_fault_count semantics): a
+//    dead-at-start subset DL plus mid-run link deaths, at most L distinct
+//    links;
+//  * fail-silent windows (§6.1 item 3): at most S windows [from, to), each
+//    blocking the victim's sends while it keeps computing and receiving.
 //
-// Time quantization. A crash's effect is determined by which events
+// Branch tree. A node is a set of faults ordered canonically: the
+// dead-at-start subsets first, then mid-run faults at nondecreasing
+// instants, same-instant ties broken by the typed key (class, id) with
+// crashes before link deaths before silence openings — same-instant
+// injections commute, so each unordered fault set is explored exactly
+// once. Each node's fault-free completion ("leaf run") is simulated; if
+// some budget allows another fault, candidate instants for every
+// still-alive victim of that class are derived FROM THAT LEAF'S OWN TRACE
+// and the subtree recurses.
+//
+// Time quantization. A fault's effect is determined by which events
 // precede it, so only instants separated by an event can behave
 // differently: the leaf trace's event dates, the midpoints between
 // consecutive dates (one sample per open interval), and the static
 // watch-chain deadlines (absent from a failure-free trace, yet crossing
 // one flips a receiver's timeout decision) are exhaustive for the
-// branch's continuum of crash times — transient_analysis's argument,
-// applied recursively. One caveat is inherited from the event-dated model:
-// within an open interval where the victim feeds an in-flight hop, the
-// crash instant shifts the link-free time continuously; outcomes at the
-// samples bound, but do not enumerate, that continuum (see
-// DESIGN.md).
+// branch's continuum of fault times — transient_analysis's argument,
+// applied recursively. A silent window's closing edge additionally gets
+// one past-the-end candidate (silent for the rest of the iteration). Two
+// caveats are inherited from the event-dated model: within an open
+// interval where the victim feeds an in-flight hop, the crash instant
+// shifts the link-free time continuously; and a window's closing edge is
+// where blocked sends resume, so it shifts downstream behaviour
+// continuously. Outcomes at the samples bound, but do not enumerate,
+// those continua (see DESIGN.md).
 //
 // Per-victim dedup. Candidate instant c is merged into the previously kept
-// instant k0 for victim p when crashing p at c is provably identical to
-// crashing p at k0: nothing p did in (k0, c] is externally visible — no
-// p-fed transfer started or completed (leaf-trace kTransferStart /
-// kTransferEnd with proc == p), no replica completed on p (kOpEnd), and c
-// does not lie strictly inside an in-flight window of a p-fed hop (where
-// the crash instant IS the link-release instant). Dedup is exact pruning,
-// not sampling: disable it with CertifySpec::dedup = false to get the
-// naive enumerator the bench uses as its from-scratch baseline.
+// instant k0 for a victim when the fault at c is provably identical to the
+// fault at k0:
+//  * crash of processor p — nothing p did in (k0, c] is externally visible
+//    (no p-fed transfer started or completed, no replica completed on p)
+//    and c is not strictly inside an in-flight window of a p-fed hop
+//    (where the crash instant IS the link-release instant);
+//  * death of link l — no transfer started or completed on l in (k0, c]
+//    (the in-flight-window condition is kept too, conservatively);
+//  * window opening on p — p starts no send in [k0, c), the opening edge
+//    being inclusive; and a whole window that blocks none of p's sends is
+//    exactly the parent leaf, so it is pruned outright.
+// Dedup is exact pruning, not sampling: disable it with
+// CertifySpec::dedup = false to get the naive enumerator the bench uses as
+// its from-scratch baseline.
+//
+// Response accounting. A branch with silent windows widens its response
+// envelope by the longest injected window — the same allowance the
+// campaign oracle grants (a send blocked at `from` resumes at `to`, so a
+// window stretches the response by at most its own length).
 //
 // Sharing. Branches are never replayed from t=0: the engine forks the
 // paused parent prefix (Simulator::Branch) at each candidate instant, so
 // the cost of a node is its suffix, not its depth. Tasks — one per
-// (dead-at-start subset, first crash victim) — fan across the WorkPool and
-// merge in task-index order, making the report a pure function of
+// (dead subsets, first fault victim) — fan across the WorkPool and merge
+// in task-index order, making the report a pure function of
 // (schedule, spec), bit-identical for any thread count.
 #pragma once
 
@@ -57,17 +82,26 @@
 namespace ftsched::campaign {
 
 struct CertifySpec {
-  /// Failure budget to certify; -1 derives the schedule's own
+  /// Processor-failure budget to certify; -1 derives the schedule's own
   /// failures_tolerated().
   int max_failures = -1;
-  /// Response envelope every branch must meet; kInfinite disables the
-  /// response check (the certificate is then about output survival only).
+  /// Link-death budget (dead-at-start + mid-run, distinct links). Link
+  /// faults sit outside the paper's §5.1 contract, so they are budgeted
+  /// separately from the processor K; 0 (the default) keeps the sweep
+  /// processor-only.
+  int max_link_failures = 0;
+  /// Fail-silent window budget: at most this many windows per branch.
+  int max_silences = 0;
+  /// Response envelope every branch must meet (widened per branch by the
+  /// longest injected silent window); kInfinite disables the response
+  /// check (the certificate is then about output survival only — silent
+  /// windows alone can never lose an output, only stretch the response).
   Time response_bound = kInfinite;
   /// Worker threads; 0 = hardware concurrency.
   unsigned threads = 0;
   /// Counterexamples kept with full detail (all are counted).
   std::size_t max_counterexamples = 16;
-  /// Exact-equivalence pruning of candidate crash instants (see header).
+  /// Exact-equivalence pruning of candidate fault instants (see header).
   /// Off = the naive enumerator: every representative instant simulated.
   bool dedup = true;
   /// Record every certified branch's failure pattern in
@@ -76,12 +110,17 @@ struct CertifySpec {
   bool collect_branches = false;
 };
 
-/// One branch of the failure tree: the complete failure pattern of one
+/// One branch of the fault tree: the complete fault pattern of one
 /// certified (or violating) scenario.
 struct CertifyBranch {
   std::vector<ProcessorId> dead_at_start;
+  std::vector<LinkId> dead_links_at_start;
   /// Mid-run crashes, nondecreasing (time, processor id).
   std::vector<FailureEvent> crashes;
+  /// Mid-run link deaths, nondecreasing (time, link id).
+  std::vector<LinkFailureEvent> link_crashes;
+  /// Fail-silent windows, nondecreasing (opening edge, processor id).
+  std::vector<SilentWindow> silences;
   bool outputs_lost = false;
   Time response_time = kInfinite;
 };
@@ -93,17 +132,24 @@ struct CertifyReport {
   /// True iff no branch lost an output or exceeded the response bound.
   bool certified = false;
   int max_failures = 0;
+  int max_link_failures = 0;
+  int max_silences = 0;
   Time response_bound = kInfinite;
-  /// Dead-at-start subsets enumerated (all sizes 0..K, the empty set
-  /// included).
+  /// Dead-at-start processor subsets enumerated (all sizes 0..K, the
+  /// empty set included).
   std::size_t subsets = 0;
-  /// Failure branches certified — leaves of the explored tree; with dedup
+  /// Dead-at-start link subsets enumerated (all sizes 0..L; 1 when the
+  /// link budget is 0 — just the empty set). Every (processor, link)
+  /// subset pair is explored.
+  std::size_t link_subsets = 0;
+  /// Fault branches certified — leaves of the explored tree; with dedup
   /// off this is the full representative enumeration.
   std::size_t branches = 0;
   /// Branch forks performed (the work the prefix sharing buys).
   std::size_t forks = 0;
   /// Candidate (victim, instant) pairs simulated / pruned as provably
-  /// equivalent to a kept neighbour.
+  /// equivalent to a kept neighbour (silent windows count one pair per
+  /// kept [from, to) combination).
   std::size_t instants_kept = 0;
   std::size_t instants_merged = 0;
   /// Violating branches, exploration order; detail capped at
@@ -134,9 +180,10 @@ struct CertifyReport {
   [[nodiscard]] std::string to_json(const ArchitectureGraph& arch) const;
 };
 
-/// Certifies `schedule` against every failure pattern of size <=
-/// spec.max_failures. Deterministic: the report is a pure function of
-/// (schedule, spec), independent of thread count.
+/// Certifies `schedule` against every fault pattern within the budgets of
+/// `spec` (<= max_failures processor faults, <= max_link_failures link
+/// deaths, <= max_silences fail-silent windows). Deterministic: the report
+/// is a pure function of (schedule, spec), independent of thread count.
 [[nodiscard]] CertifyReport certify(const Schedule& schedule,
                                     const CertifySpec& spec = {});
 

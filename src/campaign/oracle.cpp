@@ -76,6 +76,7 @@ Oracle::Oracle(const Schedule& schedule, OracleSpec spec)
     : schedule_(&schedule), spec_(spec) {
   claimed_ = spec.claimed_tolerance >= 0 ? spec.claimed_tolerance
                                          : schedule.failures_tolerated();
+  claimed_links_ = std::max(spec.claimed_link_tolerance, 0);
   bound_ = is_infinite(spec.response_bound) ? static_response_bound(schedule)
                                             : spec.response_bound;
   static_violations_ = validate(schedule);
@@ -90,7 +91,8 @@ Verdict Oracle::judge(const MissionPlan& plan,
   const std::size_t proc_faults = plan_processor_faults(plan);
   const std::size_t link_faults = plan_link_faults(plan);
   verdict.within_contract =
-      proc_faults <= static_cast<std::size_t>(claimed_) && link_faults == 0;
+      proc_faults <= static_cast<std::size_t>(claimed_) &&
+      link_faults <= static_cast<std::size_t>(claimed_links_);
 
   auto violation = [&](int iteration, std::string message) {
     if (verdict.first_violation_iteration < 0) {
@@ -108,6 +110,20 @@ Verdict Oracle::judge(const MissionPlan& plan,
     return verdict;
   }
 
+  // A silence aimed at an iteration the mission never runs is a malformed
+  // plan, not a benign no-op: silently dropping it would judge the plan as
+  // if the window had been injected. Flag it like the harness mismatch
+  // above (and like over-budget plans, carry no masking promise past it).
+  for (const MissionSilence& silence : plan.silences) {
+    if (silence.iteration < 0 || silence.iteration >= plan.iterations) {
+      violation(0, "harness: silence on a plan with " +
+                       std::to_string(plan.iterations) +
+                       " iteration(s) targets iteration " +
+                       std::to_string(silence.iteration));
+      return verdict;
+    }
+  }
+
   for (const MissionIteration& iteration : result.iterations) {
     if (!iteration.all_outputs_produced) verdict.outputs_lost = true;
   }
@@ -117,17 +133,19 @@ Verdict Oracle::judge(const MissionPlan& plan,
     return verdict;
   }
 
-  // A fail-silent window defers blocked sends to its closing edge, so the
-  // envelope of an iteration stretches by the latest window end (§6.1
-  // item 3 masks the window, it does not hide the delay).
+  // A fail-silent window defers blocked sends to its closing edge: a send
+  // blocked at `from` resumes at `to`, so the worst stretch a window can
+  // force directly is its *length* `to - from`, not its absolute end (§6.1
+  // item 3 masks the window, it does not hide the delay). Granting the
+  // absolute end would absolve genuine response violations in any mission
+  // carrying a late window.
   std::vector<Time> silence_allowance(
       static_cast<std::size_t>(plan.iterations), 0);
   for (const MissionSilence& silence : plan.silences) {
-    if (silence.iteration >= 0 && silence.iteration < plan.iterations) {
-      Time& allowance =
-          silence_allowance[static_cast<std::size_t>(silence.iteration)];
-      allowance = std::max(allowance, silence.window.to);
-    }
+    Time& allowance =
+        silence_allowance[static_cast<std::size_t>(silence.iteration)];
+    allowance =
+        std::max(allowance, silence.window.to - silence.window.from);
   }
 
   for (const MissionIteration& iteration : result.iterations) {

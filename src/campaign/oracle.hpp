@@ -45,6 +45,11 @@ struct OracleSpec {
   /// Fault budget the schedule is claimed to mask; -1 derives the
   /// schedule's own failures_tolerated().
   int claimed_tolerance = -1;
+  /// Link-fault budget the schedule is claimed to mask. Link faults sit
+  /// outside the paper's §5.1 failure hypothesis, so they are budgeted
+  /// separately from the processor K (FailureScenario::total_fault_count
+  /// semantics); the default 0 keeps any link fault outside the contract.
+  int claimed_link_tolerance = 0;
   /// Response envelope for within-contract iterations; kInfinite derives
   /// static_response_bound(schedule).
   Time response_bound = kInfinite;
@@ -53,8 +58,9 @@ struct OracleSpec {
 
 /// The oracle's judgement of one mission.
 struct Verdict {
-  /// True when the plan stays inside the claimed budget: distinct
-  /// processor faults <= claimed tolerance and no link faults.
+  /// True when the plan stays inside the claimed budgets: distinct
+  /// processor faults <= claimed tolerance and distinct link faults <=
+  /// claimed link tolerance (default 0: any link fault voids the contract).
   bool within_contract = false;
   /// Some iteration lost an extio output.
   bool outputs_lost = false;
@@ -90,12 +96,16 @@ class Oracle {
   }
 
   [[nodiscard]] int claimed_tolerance() const noexcept { return claimed_; }
+  [[nodiscard]] int claimed_link_tolerance() const noexcept {
+    return claimed_links_;
+  }
   [[nodiscard]] Time response_bound() const noexcept { return bound_; }
 
  private:
   const Schedule* schedule_;
   OracleSpec spec_;
   int claimed_ = 0;
+  int claimed_links_ = 0;
   Time bound_ = kInfinite;
   std::vector<std::string> static_violations_;
 };

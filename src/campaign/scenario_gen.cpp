@@ -49,6 +49,10 @@ double clamp_probability(double p) { return std::clamp(p, 0.0, 1.0); }
 
 }  // namespace
 
+Time repaired_window_end(Time from, Time horizon) {
+  return std::min(from + horizon / 16, horizon);
+}
+
 std::uint64_t mix_seed(std::uint64_t seed, std::uint64_t index) {
   // SplitMix64 finalizer over the combined state; full avalanche, so
   // consecutive indices yield unrelated mt19937_64 streams.
@@ -148,7 +152,7 @@ CampaignScenario ScenarioGenerator::scenario(std::size_t index) const {
     Time from = draw_instant();
     Time to = draw_instant();
     if (to < from) std::swap(from, to);
-    if (time_eq(from, to)) to = from + horizon_ / 16;
+    if (time_eq(from, to)) to = repaired_window_end(from, horizon_);
     plan.silences.push_back(
         MissionSilence{draw_iteration(), SilentWindow{proc, from, to}});
   }

@@ -69,6 +69,15 @@ struct CampaignScenario {
 /// per-scenario stream seed. Public so tests can pin the derivation.
 [[nodiscard]] std::uint64_t mix_seed(std::uint64_t seed, std::uint64_t index);
 
+/// Closing edge substituted when a silent-window draw degenerates to zero
+/// length (both edges drew the same instant): widen by a sliver of the
+/// horizon, clamped so the repaired window never escapes [0, horizon] —
+/// every non-degenerate draw lies inside it, and a past-horizon edge would
+/// be unreproducible by re-drawing. Public because the repair only fires
+/// on a draw collision, which sampled tests cannot reach; consumes no RNG
+/// draws, so seeded corpora reproduce unchanged.
+[[nodiscard]] Time repaired_window_end(Time from, Time horizon);
+
 class ScenarioGenerator {
  public:
   /// The schedule must outlive the generator. Spec fields are clamped to

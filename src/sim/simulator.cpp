@@ -291,6 +291,19 @@ class Engine {
     push(failure.time, EventKind::kLinkFailure, failure.link.index());
   }
 
+  void inject(const SilentWindow& window) {
+    FTSCHED_REQUIRE(window.from > s_.executed_until,
+                    "injected fault predates the executed prefix");
+    FTSCHED_REQUIRE(window.from < window.to,
+                    "silent window must have positive length");
+    // Mirrors init(): the window only influences is_silent() at instants in
+    // [from, to), all after the executed prefix, and the wake at the closing
+    // edge dispatches as a no-op kDeadline — so the injection is
+    // fork-equivalent to starting with the window in the scenario.
+    s_.silent_windows.push_back(window);
+    push(window.to, EventKind::kDeadline, 0);
+  }
+
   /// Executes every pending instant strictly (epsilon-strict) before `t`.
   void run_until(Time t) {
     ensure_prologue();
@@ -745,6 +758,10 @@ void Simulator::inject(Branch& branch, const FailureEvent& failure) const {
 void Simulator::inject(Branch& branch,
                        const LinkFailureEvent& failure) const {
   Engine(*schedule_, routing_, *plan_, *branch.state_).inject(failure);
+}
+
+void Simulator::inject(Branch& branch, const SilentWindow& window) const {
+  Engine(*schedule_, routing_, *plan_, *branch.state_).inject(window);
 }
 
 IterationResult Simulator::finish(Branch branch) const {

@@ -110,11 +110,15 @@ class Simulator {
   /// at times >= t can still be injected.
   void advance_until(Branch& branch, Time t) const;
 
-  /// Injects a mid-run fault into a paused branch. The fault instant must
-  /// lie strictly after the last executed instant (inject before
-  /// advance_until passes it); violating that throws std::invalid_argument.
+  /// Injects a mid-run fault into a paused branch. The fault instant (a
+  /// silent window's opening edge) must lie strictly after the last
+  /// executed instant (inject before advance_until passes it); violating
+  /// that throws std::invalid_argument. All three overloads carry the
+  /// fork-equivalence guarantee: advance + inject + finish is bit-identical
+  /// to a from-scratch run() with the fault in the scenario.
   void inject(Branch& branch, const FailureEvent& failure) const;
   void inject(Branch& branch, const LinkFailureEvent& failure) const;
+  void inject(Branch& branch, const SilentWindow& window) const;
 
   /// Runs the branch to completion, consuming it.
   [[nodiscard]] IterationResult finish(Branch branch) const;

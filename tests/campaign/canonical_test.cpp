@@ -71,6 +71,71 @@ TEST(CanonicalPlan, DistinctPatternsKeepDistinctFingerprints) {
   EXPECT_NE(canonical_fingerprint(a), canonical_fingerprint(c));
 }
 
+TEST(CanonicalPlan, SilenceAfterTheVictimsCrashIsInert) {
+  // A window opening strictly after the victim's earliest crash in the
+  // same iteration silences a corpse: the crash already stopped every
+  // send, so the window is dropped. A window opening AT the crash
+  // instant is kept — the event queue dispatches that instant's send
+  // attempts before the crash, so the window still blocks them.
+  const Time crash_at = 3.0;
+  MissionPlan plan;
+  plan.iterations = 2;
+  plan.failures.push_back(
+      MissionFailure{0, FailureEvent{ProcessorId{1}, crash_at}});
+  plan.silences.push_back(
+      MissionSilence{0, SilentWindow{ProcessorId{1}, crash_at + 1.0, 6.0}});
+
+  const MissionPlan canonical = canonical_plan(plan);
+  EXPECT_TRUE(canonical.silences.empty());
+  EXPECT_EQ(canonical.failures.size(), 1u);
+
+  // Same-instant window: kept.
+  MissionPlan boundary = plan;
+  boundary.silences[0].window.from = crash_at;
+  EXPECT_EQ(canonical_plan(boundary).silences.size(), 1u);
+  // Window before the crash: kept.
+  MissionPlan before = plan;
+  before.silences[0].window.from = crash_at - 1.0;
+  EXPECT_EQ(canonical_plan(before).silences.size(), 1u);
+  // A crash in a LATER iteration cannot reach back into this
+  // iteration's window: the silence still blocks sends here.
+  MissionPlan other_iteration = plan;
+  other_iteration.failures[0].iteration = 1;
+  EXPECT_EQ(canonical_plan(other_iteration).silences.size(), 1u);
+  // And the fingerprints agree with the rewrite: the inert form hashes
+  // like the crash alone.
+  MissionPlan crash_only = plan;
+  crash_only.silences.clear();
+  EXPECT_EQ(canonical_fingerprint(plan), canonical_fingerprint(crash_only));
+  EXPECT_NE(canonical_fingerprint(boundary),
+            canonical_fingerprint(crash_only));
+}
+
+TEST(CanonicalPlan, InertSilenceRewritePreservesMissionSummaries) {
+  // The soundness argument run for real: crashed-then-silenced plans
+  // and their canonical forms simulate identically.
+  const workload::OwnedProblem ex = workload::paper_example1();
+  const Schedule schedule = schedule_solution1(ex.problem).value();
+  const Time makespan = schedule.makespan();
+  MissionPlan plan;
+  plan.iterations = 1;
+  plan.failures.push_back(
+      MissionFailure{0, FailureEvent{ProcessorId{0}, makespan / 4}});
+  plan.silences.push_back(MissionSilence{
+      0, SilentWindow{ProcessorId{0}, makespan / 2, makespan}});
+  const MissionPlan canonical = canonical_plan(plan);
+  ASSERT_TRUE(canonical.silences.empty());
+  const MissionResult raw = run_mission(schedule, plan);
+  const MissionResult canon = run_mission(schedule, canonical);
+  ASSERT_EQ(raw.iterations.size(), canon.iterations.size());
+  for (std::size_t i = 0; i < raw.iterations.size(); ++i) {
+    EXPECT_EQ(raw.iterations[i].all_outputs_produced,
+              canon.iterations[i].all_outputs_produced);
+    EXPECT_EQ(raw.iterations[i].response_time,
+              canon.iterations[i].response_time);
+  }
+}
+
 TEST(CanonicalPlan, RewritePreservesMissionSummaries) {
   // The load-bearing claim behind the replay cache: a plan and its
   // canonical form produce identical iteration summaries.

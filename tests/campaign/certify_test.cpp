@@ -1,8 +1,10 @@
-// Exhaustive K-failure certification: the fault-tolerant paper schedules
-// must certify clean, the non-FT baseline must be refuted with concrete
-// counterexamples, the report must be bit-identical for any thread count,
-// and the exact-equivalence dedup must never change a verdict relative to
-// the naive enumerator it prunes.
+// Exhaustive budgeted-fault certification: the fault-tolerant paper
+// schedules must certify their processor claim clean, the non-FT baseline
+// and the link-fragile bus topology must be refuted with concrete
+// counterexamples, fail-silent windows must widen the response envelope
+// without breaking certification, the report must be bit-identical for
+// any thread count, and the exact-equivalence dedup must never change a
+// verdict relative to the naive enumerator it prunes — per fault class.
 #include <gtest/gtest.h>
 
 #include "campaign/certify.hpp"
@@ -22,7 +24,10 @@ using workload::OwnedProblem;
 void expect_same_report(const CertifyReport& a, const CertifyReport& b) {
   EXPECT_EQ(a.certified, b.certified);
   EXPECT_EQ(a.max_failures, b.max_failures);
+  EXPECT_EQ(a.max_link_failures, b.max_link_failures);
+  EXPECT_EQ(a.max_silences, b.max_silences);
   EXPECT_EQ(a.subsets, b.subsets);
+  EXPECT_EQ(a.link_subsets, b.link_subsets);
   EXPECT_EQ(a.branches, b.branches);
   EXPECT_EQ(a.forks, b.forks);
   EXPECT_EQ(a.instants_kept, b.instants_kept);
@@ -34,7 +39,12 @@ void expect_same_report(const CertifyReport& a, const CertifyReport& b) {
   for (std::size_t i = 0; i < a.counterexamples.size(); ++i) {
     EXPECT_EQ(a.counterexamples[i].dead_at_start,
               b.counterexamples[i].dead_at_start);
+    EXPECT_EQ(a.counterexamples[i].dead_links_at_start,
+              b.counterexamples[i].dead_links_at_start);
     EXPECT_EQ(a.counterexamples[i].crashes, b.counterexamples[i].crashes);
+    EXPECT_EQ(a.counterexamples[i].link_crashes,
+              b.counterexamples[i].link_crashes);
+    EXPECT_EQ(a.counterexamples[i].silences, b.counterexamples[i].silences);
     EXPECT_EQ(a.counterexamples[i].outputs_lost,
               b.counterexamples[i].outputs_lost);
   }
@@ -89,6 +99,87 @@ TEST(Certify, BaseScheduleClaimingK1IsRefuted) {
   EXPECT_FALSE(shrunk.violations.empty());
 }
 
+TEST(Certify, SingleLinkDeathRefutesPassiveCommRedundancy) {
+  // Solution 1 masks K=1 processor crashes but routes every replica over
+  // the one bus — a single link death loses outputs. The L budget must
+  // find that, and the counterexample must route through the oracle and
+  // the shrinker like any crash counterexample does.
+  const OwnedProblem ex = workload::paper_example1();
+  const Schedule schedule = schedule_solution1(ex.problem).value();
+  ASSERT_EQ(ex.problem.architecture->link_count(), 1u);
+
+  CertifySpec spec;
+  spec.max_failures = 1;
+  spec.max_link_failures = 1;
+  const CertifyReport report = certify(schedule, spec);
+  EXPECT_FALSE(report.certified);
+  EXPECT_EQ(report.max_link_failures, 1);
+  EXPECT_EQ(report.link_subsets, 2u);  // {}, {bus}
+  EXPECT_GT(report.total_counterexamples, 0u);
+  ASSERT_FALSE(report.counterexamples.empty());
+
+  // Every counterexample involves the bus: the crash-only slice of this
+  // sweep is the clean K=1 certificate.
+  OracleSpec claimed;
+  claimed.claimed_tolerance = 1;
+  claimed.claimed_link_tolerance = 1;
+  const Oracle oracle(schedule, claimed);
+  const Simulator simulator(schedule);
+  for (const CertifyBranch& cex : report.counterexamples) {
+    EXPECT_TRUE(!cex.dead_links_at_start.empty() ||
+                !cex.link_crashes.empty());
+    const MissionPlan plan = counterexample_plan(cex);
+    const Verdict verdict = oracle.judge(plan, run_mission(schedule, plan));
+    EXPECT_TRUE(verdict.within_contract);
+    EXPECT_FALSE(verdict.ok());
+  }
+  const ShrinkResult shrunk =
+      shrink(simulator, oracle, counterexample_plan(report.counterexamples[0]));
+  EXPECT_LE(shrunk.final_events, shrunk.initial_events);
+  EXPECT_FALSE(shrunk.violations.empty());
+
+  // Link faults are budgeted separately: the same schedule with the link
+  // budget back at zero still certifies its processor claim.
+  CertifySpec crash_only;
+  crash_only.max_failures = 1;
+  EXPECT_TRUE(certify(schedule, crash_only).certified);
+}
+
+TEST(Certify, SilenceBudgetCertifiesWithWidenedEnvelope) {
+  // A fail-silent window cannot lose outputs (sends resume at the closing
+  // edge), so example1 stays certified under S=1 — but the worst response
+  // grows beyond the crash-only certificate, and silence branches really
+  // are explored.
+  const OwnedProblem ex = workload::paper_example1();
+  const Schedule schedule = schedule_solution1(ex.problem).value();
+
+  const CertifyReport crash_only = certify(schedule);
+  ASSERT_TRUE(crash_only.certified);
+
+  CertifySpec spec;
+  spec.max_failures = 1;
+  spec.max_silences = 1;
+  spec.collect_branches = true;
+  const CertifyReport report = certify(schedule, spec);
+  EXPECT_TRUE(report.certified) << report.to_text(*ex.problem.architecture);
+  EXPECT_EQ(report.max_silences, 1);
+  EXPECT_TRUE(time_ge(report.worst_response, crash_only.worst_response));
+
+  std::size_t silence_branches = 0;
+  bool crash_plus_silence = false;
+  for (const CertifyBranch& branch : report.branches_list) {
+    silence_branches += branch.silences.empty() ? 0u : 1u;
+    for (const SilentWindow& window : branch.silences) {
+      EXPECT_TRUE(time_lt(window.from, window.to));
+    }
+    crash_plus_silence |=
+        !branch.silences.empty() &&
+        (!branch.crashes.empty() || !branch.dead_at_start.empty());
+  }
+  EXPECT_GT(silence_branches, 0u);
+  EXPECT_TRUE(crash_plus_silence);  // budgets compose, not either/or
+}
+
 TEST(Certify, ReportIsThreadCountInvariant) {
   const OwnedProblem ex = workload::paper_example1();
   const Schedule good = schedule_solution1(ex.problem).value();
@@ -105,6 +196,29 @@ TEST(Certify, ReportIsThreadCountInvariant) {
       EXPECT_EQ(one.to_json(*ex.problem.architecture),
                 many.to_json(*ex.problem.architecture));
     }
+  }
+}
+
+TEST(Certify, ReportIsThreadCountInvariantWithLinkAndSilenceBudgets) {
+  // The extended sweep fans out over (processor subset x link subset)
+  // pairs with typed first victims; partials still merge in task-index
+  // order, so the certificate must stay bit-identical for any thread
+  // count — link counterexamples, silence windows, and all.
+  const OwnedProblem ex = workload::paper_example1();
+  const Schedule schedule = schedule_solution1(ex.problem).value();
+  CertifySpec spec;
+  spec.max_failures = 1;
+  spec.max_link_failures = 1;
+  spec.max_silences = 1;
+  spec.threads = 1;
+  const CertifyReport one = certify(schedule, spec);
+  EXPECT_FALSE(one.certified);  // the bus death refutes it
+  for (const unsigned threads : {2u, 4u}) {
+    spec.threads = threads;
+    const CertifyReport many = certify(schedule, spec);
+    expect_same_report(one, many);
+    EXPECT_EQ(one.to_json(*ex.problem.architecture),
+              many.to_json(*ex.problem.architecture));
   }
 }
 
@@ -134,6 +248,52 @@ TEST(Certify, DedupNeverChangesTheVerdict) {
     EXPECT_EQ(deduped.instants_kept + deduped.instants_merged,
               full.instants_kept);
   }
+}
+
+TEST(Certify, DedupNeverChangesTheVerdictForLinkDeaths) {
+  // Same exactness contract as for crashes, one class over: at L=1 there
+  // is a single link-death level, so the pruned run's kept + merged
+  // instants must cover the naive run's candidate set exactly.
+  const OwnedProblem ex = workload::paper_example1();
+  const Schedule schedule = schedule_solution1(ex.problem).value();
+  CertifySpec naive;
+  naive.max_failures = 0;
+  naive.max_link_failures = 1;
+  naive.dedup = false;
+  CertifySpec pruned = naive;
+  pruned.dedup = true;
+  const CertifyReport full = certify(schedule, naive);
+  const CertifyReport deduped = certify(schedule, pruned);
+  EXPECT_EQ(full.certified, deduped.certified);
+  EXPECT_EQ(full.worst_response, deduped.worst_response);
+  EXPECT_EQ(full.total_counterexamples == 0,
+            deduped.total_counterexamples == 0);
+  EXPECT_LE(deduped.branches, full.branches);
+  EXPECT_EQ(deduped.instants_kept + deduped.instants_merged,
+            full.instants_kept);
+}
+
+TEST(Certify, DedupNeverChangesTheVerdictForSilences) {
+  // Silence candidates are (from, to) pairs, so the naive and pruned
+  // instant ledgers are not directly comparable — but the verdict, the
+  // worst response, and whether any counterexample exists must agree,
+  // and pruning can only shrink the branch count.
+  const OwnedProblem ex = workload::paper_example1();
+  const Schedule schedule = schedule_solution1(ex.problem).value();
+  CertifySpec naive;
+  naive.max_failures = 0;
+  naive.max_silences = 1;
+  naive.dedup = false;
+  CertifySpec pruned = naive;
+  pruned.dedup = true;
+  const CertifyReport full = certify(schedule, naive);
+  const CertifyReport deduped = certify(schedule, pruned);
+  EXPECT_EQ(full.certified, deduped.certified);
+  EXPECT_EQ(full.worst_response, deduped.worst_response);
+  EXPECT_EQ(full.total_counterexamples == 0,
+            deduped.total_counterexamples == 0);
+  EXPECT_LE(deduped.branches, full.branches);
+  EXPECT_GT(deduped.instants_merged, 0u);
 }
 
 TEST(Certify, RandomK2ProblemCertifiesToDepthTwo) {
@@ -187,13 +347,23 @@ TEST(Certify, ResponseBoundRefutesWhenTooTight) {
 TEST(Certify, CounterexamplePlanRoundTrips) {
   CertifyBranch branch;
   branch.dead_at_start = {ProcessorId{2}};
+  branch.dead_links_at_start = {LinkId{1}};
   branch.crashes = {FailureEvent{ProcessorId{0}, 3.5}};
+  branch.link_crashes = {LinkFailureEvent{LinkId{0}, 4.25}};
+  branch.silences = {SilentWindow{ProcessorId{1}, 2.0, 5.5}};
   const MissionPlan plan = counterexample_plan(branch);
   EXPECT_EQ(plan.iterations, 1);
   EXPECT_EQ(plan.dead_at_start, branch.dead_at_start);
+  EXPECT_EQ(plan.dead_links_at_start, branch.dead_links_at_start);
   ASSERT_EQ(plan.failures.size(), 1u);
   EXPECT_EQ(plan.failures[0].iteration, 0);
   EXPECT_TRUE(plan.failures[0].event == branch.crashes[0]);
+  ASSERT_EQ(plan.link_failures.size(), 1u);
+  EXPECT_EQ(plan.link_failures[0].iteration, 0);
+  EXPECT_TRUE(plan.link_failures[0].event == branch.link_crashes[0]);
+  ASSERT_EQ(plan.silences.size(), 1u);
+  EXPECT_EQ(plan.silences[0].iteration, 0);
+  EXPECT_TRUE(plan.silences[0].window == branch.silences[0]);
 }
 
 }  // namespace

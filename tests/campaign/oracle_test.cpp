@@ -1,0 +1,120 @@
+// The campaign oracle's accounting corners: fail-silent windows widen the
+// response envelope by their LENGTH (not their absolute end — the bug this
+// file pins), malformed silence placements flag the plan instead of being
+// silently dropped, and link faults are budgeted separately from the
+// paper's §5.1 processor contract.
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "campaign/oracle.hpp"
+#include "sched/heuristics.hpp"
+#include "sim/mission.hpp"
+#include "sim/simulator.hpp"
+#include "workload/paper_examples.hpp"
+
+namespace ftsched::campaign {
+namespace {
+
+using workload::OwnedProblem;
+
+TEST(Oracle, LateShortSilenceCannotMaskAResponseViolation) {
+  const OwnedProblem ex = workload::paper_example1();
+  const Schedule sched = schedule_solution1(ex.problem).value();
+  const Simulator simulator(sched);
+  const Time nominal = simulator.run().response_time;
+  ASSERT_FALSE(is_infinite(nominal));
+
+  // A short window placed late: the buggy accounting granted the window's
+  // absolute end (~nominal) on top of the bound, masking every violation
+  // this mission could produce; a send blocked at `from` resumes at `to`,
+  // so the window is worth at most its length, 0.25.
+  MissionPlan plan;
+  plan.iterations = 1;
+  plan.silences.push_back(MissionSilence{
+      0, SilentWindow{ProcessorId{0}, nominal - 0.25, nominal}});
+
+  const MissionResult result = run_mission(simulator, plan);
+  ASSERT_EQ(result.iterations.size(), 1u);
+  ASSERT_TRUE(result.iterations[0].all_outputs_produced);
+  const Time response = result.iterations[0].response_time;
+  ASSERT_TRUE(time_ge(response, nominal));
+
+  OracleSpec tight;
+  tight.response_bound = nominal - 0.5;
+  const Verdict verdict =
+      Oracle(sched, tight).judge(plan, result);
+  EXPECT_TRUE(verdict.within_contract);
+  EXPECT_TRUE(verdict.response_exceeded);
+  EXPECT_FALSE(verdict.ok());
+
+  // The allowance is exactly the window length: a bound that leaves the
+  // response 0.25 of headroom is satisfied...
+  OracleSpec exact;
+  exact.response_bound = response - 0.25;
+  EXPECT_TRUE(Oracle(sched, exact).judge(plan, result).ok());
+  // ...and one epsilon short of that is not.
+  OracleSpec short_by_a_hair;
+  short_by_a_hair.response_bound = response - 0.3;
+  EXPECT_FALSE(Oracle(sched, short_by_a_hair).judge(plan, result).ok());
+}
+
+TEST(Oracle, SilenceTargetingAMissingIterationFlagsThePlan) {
+  const OwnedProblem ex = workload::paper_example1();
+  const Schedule sched = schedule_solution1(ex.problem).value();
+  const Oracle oracle(sched);
+
+  for (const int bad_iteration : {-1, 2, 7}) {
+    MissionPlan plan;
+    plan.iterations = 2;
+    plan.silences.push_back(MissionSilence{
+        bad_iteration, SilentWindow{ProcessorId{0}, 1.0, 2.0}});
+    const MissionResult result = run_mission(sched, plan);
+    const Verdict verdict = oracle.judge(plan, result);
+    EXPECT_FALSE(verdict.ok()) << "iteration " << bad_iteration;
+    EXPECT_EQ(verdict.first_violation_iteration, 0);
+    ASSERT_FALSE(verdict.violations.empty());
+    EXPECT_NE(verdict.violations[0].find("silence"), std::string::npos)
+        << verdict.violations[0];
+  }
+
+  // The in-range placement stays judged on its merits.
+  MissionPlan fine;
+  fine.iterations = 2;
+  fine.silences.push_back(
+      MissionSilence{1, SilentWindow{ProcessorId{0}, 1.0, 2.0}});
+  EXPECT_TRUE(oracle.judge(fine, run_mission(sched, fine)).ok());
+}
+
+TEST(Oracle, LinkFaultsAreBudgetedSeparatelyFromTheProcessorContract) {
+  const OwnedProblem ex = workload::paper_example1();
+  const Schedule sched = schedule_solution1(ex.problem).value();
+  ASSERT_GT(ex.problem.architecture->link_count(), 0u);
+
+  MissionPlan plan;
+  plan.iterations = 1;
+  plan.dead_links_at_start.push_back(LinkId{0});
+  const MissionResult result = run_mission(sched, plan);
+
+  // Default link budget 0: any link fault voids the contract, so losing
+  // outputs there is the expected observation, not a violation.
+  OracleSpec blind;
+  blind.check_response = false;
+  const Verdict outside = Oracle(sched, blind).judge(plan, result);
+  EXPECT_FALSE(outside.within_contract);
+  EXPECT_TRUE(outside.ok());
+
+  // With a claimed link tolerance the same mission is within contract and
+  // must mask the fault — lost outputs become violations.
+  OracleSpec tolerant;
+  tolerant.check_response = false;
+  tolerant.claimed_link_tolerance = 1;
+  const Oracle oracle(sched, tolerant);
+  EXPECT_EQ(oracle.claimed_link_tolerance(), 1);
+  const Verdict inside = oracle.judge(plan, result);
+  EXPECT_TRUE(inside.within_contract);
+  EXPECT_EQ(inside.ok(), result.every_iteration_served());
+}
+
+}  // namespace
+}  // namespace ftsched::campaign

@@ -90,6 +90,29 @@ TEST(ScenarioGenerator, RespectsBudgetAndHorizon) {
     }
     for (const MissionSilence& silence : scenario.plan.silences) {
       EXPECT_LT(silence.window.from, silence.window.to);
+      EXPECT_LE(silence.window.to, gen.horizon());
+    }
+  }
+}
+
+TEST(ScenarioGenerator, ZeroLengthWindowRepairStaysInsideTheHorizon) {
+  // The repair that rescues a degenerate (from == to) draw must keep the
+  // window inside the horizon — the old `from + horizon/16` could spill
+  // past it when the collision landed near the end — and it must not
+  // consume RNG draws, so it is a pure function of (from, horizon).
+  EXPECT_EQ(repaired_window_end(0.0, 16.0), 1.0);
+  EXPECT_EQ(repaired_window_end(8.0, 16.0), 9.0);
+  EXPECT_EQ(repaired_window_end(15.5, 16.0), 16.0);  // clamped
+  EXPECT_EQ(repaired_window_end(16.0, 16.0), 16.0);  // degenerate edge
+  for (const Time horizon : {9.4, 16.0, 36.6409}) {
+    for (int step = 0; step <= 20; ++step) {
+      const Time from = horizon * step / 20.0;
+      const Time to = repaired_window_end(from, horizon);
+      EXPECT_LE(to, horizon);
+      EXPECT_GE(to, from);
+      if (from < horizon) {
+        EXPECT_GT(to, from);
+      }
     }
   }
 }

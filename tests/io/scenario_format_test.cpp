@@ -2,7 +2,11 @@
 // input parses, and malformed input fails with a line-numbered error.
 #include <gtest/gtest.h>
 
+#include <string>
+
+#include "campaign/scenario_gen.hpp"
 #include "io/scenario_format.hpp"
+#include "sched/heuristics.hpp"
 #include "workload/paper_examples.hpp"
 
 namespace ftsched::io {
@@ -23,6 +27,7 @@ MissionPlan full_plan() {
       MissionSilence{0, SilentWindow{ProcessorId(0), 2.0, 4.5}});
   plan.link_failures.push_back(
       MissionLinkFailure{2, LinkFailureEvent{LinkId(0), 3.0}});
+  plan.dead_links_at_start.push_back(LinkId(0));
   plan.suspected_at_start.push_back(ProcessorId(0));
   return plan;
 }
@@ -45,6 +50,8 @@ TEST(ScenarioFormat, RoundTripsEveryEventClass) {
   EXPECT_DOUBLE_EQ(parsed->silences[0].window.to, 4.5);
   ASSERT_EQ(parsed->link_failures.size(), 1u);
   EXPECT_EQ(parsed->link_failures[0].iteration, 2);
+  ASSERT_EQ(parsed->dead_links_at_start.size(), 1u);
+  EXPECT_EQ(parsed->dead_links_at_start[0], LinkId(0));
   ASSERT_EQ(parsed->suspected_at_start.size(), 1u);
   // Serialization is canonical: writing the parsed plan reproduces the
   // text bit-exactly.
@@ -108,6 +115,73 @@ TEST(ScenarioFormat, RejectsMalformedInput) {
   expect_error("scenario\n  iterations 0\n");         // no iterations
   expect_error("scenario\n  link-dead nosuch\n");     // unknown link
   expect_error("scenario\n  frobnicate P1\n");        // unknown directive
+}
+
+TEST(ScenarioFormat, PropertyRandomPlansOfEveryFaultClassRoundTrip) {
+  // Property: for any plan the campaign generator can draw — the same
+  // distribution whose shrunk counterexamples land in tests/ as
+  // reproducers — parse(emit(plan)) is lossless and emit is a canonical
+  // form (emit . parse . emit == emit). Times must survive bit-exactly:
+  // generator instants are full-precision doubles with no short decimal
+  // form, so this exercises the round-trip float encoding on every line
+  // class, not just the hand-picked values above.
+  static const workload::OwnedProblem ex = workload::paper_example1();
+  const ArchitectureGraph& arch = *ex.problem.architecture;
+  const Schedule schedule = schedule_solution1(ex.problem).value();
+
+  campaign::CampaignSpec spec;
+  spec.max_iterations = 4;
+  spec.over_budget_fraction = 0.25;
+  spec.silence_probability = 0.4;
+  spec.suspect_probability = 0.4;
+  spec.link_failure_probability = 0.4;
+  const campaign::ScenarioGenerator gen(schedule, spec, 2026);
+
+  std::size_t dead = 0, crashes = 0, silences = 0, link_dead = 0,
+              link_crashes = 0, suspects = 0;
+  for (std::size_t i = 0; i < 300; ++i) {
+    const MissionPlan plan = gen.scenario(i).plan;
+    dead += plan.dead_at_start.size();
+    crashes += plan.failures.size();
+    silences += plan.silences.size();
+    link_dead += plan.dead_links_at_start.size();
+    link_crashes += plan.link_failures.size();
+    suspects += plan.suspected_at_start.size();
+
+    const std::string text = write_scenario(plan, arch);
+    const Expected<MissionPlan> parsed = read_scenario(text, arch);
+    ASSERT_TRUE(parsed.has_value())
+        << "scenario " << i << ": " << parsed.error().message << "\n"
+        << text;
+    EXPECT_EQ(write_scenario(parsed.value(), arch), text) << "scenario " << i;
+
+    // The canonical text already proves structural equality; the exact
+    // (==, not near) time comparisons prove the encoding is bit-faithful.
+    ASSERT_EQ(parsed->failures.size(), plan.failures.size());
+    for (std::size_t f = 0; f < plan.failures.size(); ++f) {
+      EXPECT_EQ(parsed->failures[f].event.time, plan.failures[f].event.time);
+    }
+    ASSERT_EQ(parsed->silences.size(), plan.silences.size());
+    for (std::size_t s = 0; s < plan.silences.size(); ++s) {
+      EXPECT_EQ(parsed->silences[s].window.from, plan.silences[s].window.from);
+      EXPECT_EQ(parsed->silences[s].window.to, plan.silences[s].window.to);
+    }
+    ASSERT_EQ(parsed->link_failures.size(), plan.link_failures.size());
+    for (std::size_t l = 0; l < plan.link_failures.size(); ++l) {
+      EXPECT_EQ(parsed->link_failures[l].event.time,
+                plan.link_failures[l].event.time);
+    }
+    EXPECT_EQ(parsed->dead_at_start, plan.dead_at_start);
+    EXPECT_EQ(parsed->dead_links_at_start, plan.dead_links_at_start);
+    EXPECT_EQ(parsed->suspected_at_start, plan.suspected_at_start);
+  }
+  // The corpus really covered all six fault classes.
+  EXPECT_GT(dead, 0u);
+  EXPECT_GT(crashes, 0u);
+  EXPECT_GT(silences, 0u);
+  EXPECT_GT(link_dead, 0u);
+  EXPECT_GT(link_crashes, 0u);
+  EXPECT_GT(suspects, 0u);
 }
 
 TEST(ScenarioFormat, EmptyPlanRoundTrips) {

@@ -29,8 +29,9 @@ void expect_identical(const IterationResult& a, const IterationResult& b) {
   EXPECT_EQ(a.detected_failures, b.detected_failures);
 }
 
-/// The mid-run events of `scenario`, injected into a branch seeded with
-/// everything else; `advance` interleaves advance_until up to each
+/// The mid-run events of `scenario` — crashes, link deaths, and silent
+/// windows (keyed by their opening edge) — injected into a branch seeded
+/// with everything else; `advance` interleaves advance_until up to each
 /// injection instant (false = inject all upfront against the unexecuted
 /// prologue).
 IterationResult replay_forked(const Simulator& simulator,
@@ -38,19 +39,23 @@ IterationResult replay_forked(const Simulator& simulator,
   FailureScenario base = scenario;
   base.events.clear();
   base.link_events.clear();
+  base.silent_windows.clear();
   Simulator::Branch branch = simulator.begin(base);
 
   struct Injection {
     Time time = 0;
-    bool link = false;
+    int cls = 0;  // 0 = crash, 1 = link death, 2 = silent window
     std::size_t index = 0;
   };
   std::vector<Injection> order;
   for (std::size_t i = 0; i < scenario.events.size(); ++i) {
-    order.push_back({scenario.events[i].time, false, i});
+    order.push_back({scenario.events[i].time, 0, i});
   }
   for (std::size_t i = 0; i < scenario.link_events.size(); ++i) {
-    order.push_back({scenario.link_events[i].time, true, i});
+    order.push_back({scenario.link_events[i].time, 1, i});
+  }
+  for (std::size_t i = 0; i < scenario.silent_windows.size(); ++i) {
+    order.push_back({scenario.silent_windows[i].from, 2, i});
   }
   std::stable_sort(order.begin(), order.end(),
                    [](const Injection& a, const Injection& b) {
@@ -58,8 +63,10 @@ IterationResult replay_forked(const Simulator& simulator,
                    });
   for (const Injection& injection : order) {
     if (advance) simulator.advance_until(branch, injection.time);
-    if (injection.link) {
+    if (injection.cls == 1) {
       simulator.inject(branch, scenario.link_events[injection.index]);
+    } else if (injection.cls == 2) {
+      simulator.inject(branch, scenario.silent_windows[injection.index]);
     } else {
       simulator.inject(branch, scenario.events[injection.index]);
     }
@@ -97,6 +104,23 @@ std::vector<FailureScenario> interesting_scenarios(const Schedule& schedule) {
     scenario.events.push_back(FailureEvent{ProcessorId{1}, makespan / 2});
     scenario.link_events.push_back(
         LinkFailureEvent{LinkId{0}, makespan / 4});
+    scenarios.push_back(std::move(scenario));
+  }
+  {
+    // A silent window with no other fault: blocked sends resume at the
+    // closing edge, watch chains may fire meanwhile.
+    FailureScenario scenario;
+    scenario.silent_windows.push_back(
+        SilentWindow{ProcessorId{0}, makespan / 6, makespan / 2});
+    scenarios.push_back(std::move(scenario));
+  }
+  {
+    // Same-instant crash and window opening on distinct processors (the
+    // certifier explores these as one canonical same-instant pair).
+    FailureScenario scenario;
+    scenario.events.push_back(FailureEvent{ProcessorId{2}, makespan / 3});
+    scenario.silent_windows.push_back(
+        SilentWindow{ProcessorId{0}, makespan / 3, makespan});
     scenarios.push_back(std::move(scenario));
   }
   return scenarios;
@@ -185,6 +209,30 @@ TEST(ForkEquivalence, InjectIntoExecutedPrefixThrows) {
   simulator.advance_until(branch, schedule.makespan());
   EXPECT_THROW(simulator.inject(branch, FailureEvent{ProcessorId{0}, 0}),
                std::invalid_argument);
+}
+
+TEST(ForkEquivalence, InjectSilentWindowGuards) {
+  // The window's opening edge carries the same executed_until guard as a
+  // crash instant, and degenerate (non-positive-length) windows are
+  // rejected outright.
+  const OwnedProblem ex = workload::paper_example1();
+  const Schedule schedule = schedule_solution1(ex.problem).value();
+  const Simulator simulator(schedule);
+  const Time makespan = schedule.makespan();
+  Simulator::Branch branch = simulator.begin();
+  simulator.advance_until(branch, makespan / 2);
+  EXPECT_THROW(
+      simulator.inject(branch, SilentWindow{ProcessorId{0}, 0, makespan}),
+      std::invalid_argument);
+  EXPECT_THROW(
+      simulator.inject(branch,
+                       SilentWindow{ProcessorId{0}, makespan, makespan}),
+      std::invalid_argument);
+  // A well-formed future window is accepted and the branch still runs.
+  simulator.inject(branch,
+                   SilentWindow{ProcessorId{0}, makespan * 0.75, makespan});
+  const IterationResult result = simulator.finish(std::move(branch));
+  EXPECT_FALSE(result.trace.events().empty());
 }
 
 }  // namespace
