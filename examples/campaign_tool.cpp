@@ -12,6 +12,8 @@
 //   ./campaign_tool --example1 --solution1 --certify --certify-links 1
 //   ./campaign_tool --example1 --solution1 --certify-silences 1
 //                   --response-bound 42.5
+//   ./campaign_tool problem.ft --solution2 --claim-k 1 --certify-links 1
+//                   --repair --repair-out repair.json
 //
 // --certify switches from random sampling to the exhaustive certifier
 // (campaign/certify.hpp): every dead-at-start subset and every
@@ -24,16 +26,27 @@
 // silent window). Counterexamples are shrunk to a minimal serialized
 // reproducer automatically.
 //
+// --repair runs the counterexample-guided repair loop (campaign/repair.hpp)
+// instead of certifying once: refute, shrink, localize the root blocker,
+// apply one targeted scheduling-constraint move, re-certify incrementally
+// through the replay cache — until the schedule certifies or the move/round
+// budget runs out. The JSON repair log (--repair-out) records every move
+// and its re-certification verdict and is byte-identical for any --threads.
+//
 // Exit status: 0 = campaign clean (replay satisfied the oracle / schedule
-// certified), 1 = oracle violations (certification refuted), 2 = usage
-// error.
+// certified / repair converged), 1 = oracle violations (certification or
+// repair refuted), 2 = usage error, 3 = input file unreadable or malformed
+// (diagnostic names the file and the offending line).
 #include <cstdio>
 #include <cstdlib>
 #include <fstream>
 #include <sstream>
 #include <string>
 
+#include <exception>
+
 #include "campaign/certify.hpp"
+#include "campaign/repair.hpp"
 #include "campaign/runner.hpp"
 #include "campaign/shrink.hpp"
 #include "io/problem_format.hpp"
@@ -60,6 +73,8 @@ int usage() {
       "                     [--certify] [--certify-out FILE]\n"
       "                     [--certify-links L] [--certify-silences S]\n"
       "                     [--response-bound T]\n"
+      "                     [--repair] [--repair-rounds N]\n"
+      "                     [--repair-out FILE]\n"
       "                     [--metrics-out FILE] [--trace-out FILE]\n"
       "\n"
       "--certify exhaustively certifies the schedule against every\n"
@@ -70,10 +85,21 @@ int usage() {
       "S adds up to S fail-silent windows; --response-bound T makes both\n"
       "the certifier and the oracle enforce response <= T (+ the longest\n"
       "injected silent window).\n"
+      "--repair turns a refuted schedule into a certified one by\n"
+      "counterexample-guided repair under the same budgets: each round\n"
+      "shrinks a counterexample, applies one targeted move (re-place a\n"
+      "replica, re-route a send, widen a timeout chain) and re-certifies\n"
+      "incrementally through a replay cache. --repair-rounds caps the\n"
+      "accepted moves; --repair-out writes the JSON repair log\n"
+      "(byte-identical for any --threads).\n"
       "--metrics-out writes the campaign's merged domain metrics as JSON\n"
       "(deterministic for a given seed, any thread count); --trace-out\n"
       "writes the run's profiling spans as Chrome trace-event JSON (open\n"
-      "in chrome://tracing or https://ui.perfetto.dev).\n");
+      "in chrome://tracing or https://ui.perfetto.dev).\n"
+      "\n"
+      "exit status: 0 clean/certified/repaired, 1 refuted, 2 usage error,\n"
+      "3 input file unreadable or malformed (diagnostic names the file\n"
+      "and the offending line).\n");
   return 2;
 }
 
@@ -105,9 +131,34 @@ bool parse_time(const char* text, double& out) {
   return end != text && *end == '\0' && out > 0.0;
 }
 
+/// Input-file failure (unreadable or malformed): one line naming the file
+/// and — for parse errors — the offending line, distinct exit code 3 so
+/// scripts can tell "bad input" from "schedule refuted" (1) and "bad
+/// usage" (2).
+int input_error(const std::string& path, const std::string& message) {
+  std::fprintf(stderr, "campaign_tool: %s: %s\n", path.c_str(),
+               message.c_str());
+  return 3;
+}
+
+int run(int argc, char** argv);
+
 }  // namespace
 
 int main(int argc, char** argv) {
+  try {
+    return run(argc, argv);
+  } catch (const std::exception& error) {
+    // Belt and braces: anything a malformed input drives the library to
+    // throw still exits with the input-error code and a one-line reason.
+    std::fprintf(stderr, "campaign_tool: %s\n", error.what());
+    return 3;
+  }
+}
+
+namespace {
+
+int run(int argc, char** argv) {
   std::string input;
   std::string replay_file;
   std::string metrics_out;
@@ -117,9 +168,12 @@ int main(int argc, char** argv) {
   bool example2 = false;
   bool do_shrink = false;
   bool do_certify = false;
+  bool do_repair = false;
   long certify_links = 0;
   long certify_silences = 0;
+  long repair_rounds = campaign::RepairSpec{}.max_rounds;
   std::string certify_out;
+  std::string repair_out;
   campaign::CampaignOptions options;
   // An interesting default mix: short missions, some over-budget attacks,
   // occasional benign silences and wrong suspicions. Link faults stay
@@ -185,6 +239,15 @@ int main(int argc, char** argv) {
       options.oracle.response_bound = fraction;
     } else if (arg == "--certify-out" && i + 1 < argc) {
       certify_out = argv[++i];
+    } else if (arg == "--repair") {
+      do_repair = true;
+    } else if (arg == "--repair-rounds" && i + 1 < argc &&
+               parse_number(argv[++i], number)) {
+      repair_rounds = number;
+      do_repair = true;
+    } else if (arg == "--repair-out" && i + 1 < argc) {
+      repair_out = argv[++i];
+      do_repair = true;
     } else if (arg == "--replay" && i + 1 < argc) {
       replay_file = argv[++i];
     } else if (arg == "--metrics-out" && i + 1 < argc) {
@@ -206,16 +269,13 @@ int main(int argc, char** argv) {
   } else if (!input.empty()) {
     std::ifstream file(input);
     if (!file) {
-      std::fprintf(stderr, "cannot open %s\n", input.c_str());
-      return 2;
+      return input_error(input, "cannot open file");
     }
     std::stringstream buffer;
     buffer << file.rdbuf();
     Expected<workload::OwnedProblem> parsed = io::read_problem(buffer.str());
     if (!parsed) {
-      std::fprintf(stderr, "%s: %s\n", input.c_str(),
-                   parsed.error().message.c_str());
-      return 2;
+      return input_error(input, parsed.error().message);
     }
     owned = std::move(parsed).value();
   } else {
@@ -238,17 +298,14 @@ int main(int argc, char** argv) {
   if (!replay_file.empty()) {
     std::ifstream file(replay_file);
     if (!file) {
-      std::fprintf(stderr, "cannot open %s\n", replay_file.c_str());
-      return 2;
+      return input_error(replay_file, "cannot open file");
     }
     std::stringstream buffer;
     buffer << file.rdbuf();
     const Expected<MissionPlan> plan =
         io::read_scenario(buffer.str(), arch);
     if (!plan) {
-      std::fprintf(stderr, "%s: %s\n", replay_file.c_str(),
-                   plan.error().message.c_str());
-      return 2;
+      return input_error(replay_file, plan.error().message);
     }
     const campaign::Oracle oracle(sched, options.oracle);
     const MissionResult mission = run_mission(sched, plan.value());
@@ -261,6 +318,43 @@ int main(int argc, char** argv) {
     }
     for (const std::string& violation : verdict.violations) {
       std::printf("replay violation: %s\n", violation.c_str());
+    }
+    return 1;
+  }
+
+  if (do_repair) {
+    campaign::RepairSpec rspec;
+    rspec.certify.max_failures = options.oracle.claimed_tolerance;
+    rspec.certify.max_link_failures = static_cast<int>(certify_links);
+    rspec.certify.max_silences = static_cast<int>(certify_silences);
+    rspec.certify.response_bound = options.oracle.response_bound;
+    rspec.certify.threads = options.threads;
+    rspec.max_rounds = static_cast<int>(repair_rounds);
+    if (!trace_out.empty()) obs::Profiler::global().enable(true);
+    const campaign::RepairReport report =
+        campaign::repair(owned.problem, kind, rspec);
+    const AlgorithmGraph& graph = *owned.problem.algorithm;
+    std::fputs(report.to_text(graph, arch).c_str(), stdout);
+    if (!repair_out.empty() &&
+        !write_file(repair_out, report.to_json(graph, arch))) {
+      return 2;
+    }
+    if (!metrics_out.empty() &&
+        !write_file(metrics_out, report.metrics.to_json())) {
+      return 2;
+    }
+    if (!trace_out.empty()) {
+      obs::Profiler::global().enable(false);
+      const std::string trace =
+          obs::chrome_trace_from_spans(obs::Profiler::global().drain());
+      if (!write_file(trace_out, trace)) return 2;
+    }
+    if (report.certified) return 0;
+    if (!report.rounds.empty() && !report.rounds.back().certified) {
+      const MissionPlan& final_plan = report.rounds.back().counterexample;
+      std::printf("\n# final counterexample (%zu events)\n%s",
+                  final_plan.event_count(),
+                  io::write_scenario(final_plan, arch).c_str());
     }
     return 1;
   }
@@ -358,3 +452,5 @@ int main(int argc, char** argv) {
   }
   return 1;
 }
+
+}  // namespace

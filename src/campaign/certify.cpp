@@ -5,6 +5,7 @@
 #include <cstdio>
 
 #include "arch/architecture_graph.hpp"
+#include "campaign/canonical.hpp"
 #include "campaign/work_pool.hpp"
 #include "core/time.hpp"
 #include "obs/json_util.hpp"
@@ -21,6 +22,8 @@ namespace {
 struct Partial {
   std::size_t branches = 0;
   std::size_t forks = 0;
+  std::size_t leaves_reused = 0;
+  std::size_t events_simulated = 0;
   std::size_t instants_kept = 0;
   std::size_t instants_merged = 0;
   std::size_t total_counterexamples = 0;
@@ -85,13 +88,15 @@ class Explorer {
  public:
   Explorer(const Simulator& simulator, const CertifySpec& spec,
            const std::vector<Time>& deadlines, std::size_t procs,
-           std::size_t links, Partial& out)
+           std::size_t links, std::uint64_t schedule_key, Partial& out)
       : sim_(simulator),
         spec_(spec),
         deadlines_(deadlines),
         procs_(procs),
         links_(links),
         beyond_tail_(simulator.schedule().makespan() + 1),
+        cache_(spec.cache),
+        schedule_key_(schedule_key),
         out_(out) {}
 
   /// Runs one task: the dead-at-start subsets' own leaf when `first` is
@@ -109,13 +114,33 @@ class Explorer {
     FailureScenario scenario;
     scenario.failed_at_start = dead;
     scenario.failed_links_at_start = dead_links;
-    Simulator::Branch root = sim_.begin(scenario);
-    ++out_.forks;
-    const IterationResult root_leaf = sim_.finish(root.fork());
     if (!first.valid()) {
+      // The dead-at-start-only leaf: cacheable like any exhausted leaf —
+      // each (dead, dead_links) pair owns exactly one leaf-only task, so
+      // its key is unique within a sweep.
+      std::uint64_t key = 0;
+      if (cache_ != nullptr) {
+        key = pattern_key();
+        if (const auto hit = cache_->lookup(schedule_key_, key)) {
+          ++out_.leaves_reused;
+          record_leaf(hit->outputs_lost, hit->response_time);
+          return;
+        }
+      }
+      Simulator::Branch root = sim_.begin(scenario);
+      ++out_.forks;
+      const IterationResult root_leaf = sim_.finish(root.fork());
+      if (cache_ != nullptr) {
+        cache_->insert(schedule_key_, key,
+                       CertifyCache::Entry{!root_leaf.all_outputs_produced,
+                                           root_leaf.response_time});
+      }
       certify_leaf(root_leaf);
       return;
     }
+    Simulator::Branch root = sim_.begin(scenario);
+    ++out_.forks;
+    const IterationResult root_leaf = sim_.finish(root.fork());
     explore_children(root, root_leaf, budgets, 0, FaultKey{}, first);
   }
 
@@ -152,15 +177,15 @@ class Explorer {
     return allowance;
   }
 
-  void certify_leaf(const IterationResult& leaf) {
+  /// Records one leaf verdict (simulated or cache-served) against the
+  /// current fault pattern.
+  void record_leaf(bool lost, Time response) {
     ++out_.branches;
-    const bool lost = !leaf.all_outputs_produced;
     const bool late =
         !is_infinite(spec_.response_bound) && !lost &&
-        time_gt(leaf.response_time,
-                spec_.response_bound + silence_allowance());
+        time_gt(response, spec_.response_bound + silence_allowance());
     if (!lost) {
-      out_.worst_response = std::max(out_.worst_response, leaf.response_time);
+      out_.worst_response = std::max(out_.worst_response, response);
     }
     CertifyBranch branch;
     branch.dead_at_start = dead_;
@@ -169,7 +194,7 @@ class Explorer {
     branch.link_crashes = link_crashes_;
     branch.silences = silences_;
     branch.outputs_lost = lost;
-    branch.response_time = leaf.response_time;
+    branch.response_time = response;
     if (lost || late) {
       ++out_.total_counterexamples;
       if (out_.counterexamples.size() < spec_.max_counterexamples) {
@@ -177,6 +202,55 @@ class Explorer {
       }
     }
     if (spec_.collect_branches) out_.collected.push_back(std::move(branch));
+  }
+
+  void certify_leaf(const IterationResult& leaf) {
+    out_.events_simulated += leaf.events_executed;
+    record_leaf(!leaf.all_outputs_produced, leaf.response_time);
+  }
+
+  /// plan_key of the CURRENT fault pattern (dead_/crashes_/... stacks) —
+  /// the replay-cache key half identifying what was injected; the other
+  /// half is schedule_hash identifying what it was injected into.
+  [[nodiscard]] std::uint64_t pattern_key() const {
+    CertifyBranch branch;
+    branch.dead_at_start = dead_;
+    branch.dead_links_at_start = dead_links_;
+    branch.crashes = crashes_;
+    branch.link_crashes = link_crashes_;
+    branch.silences = silences_;
+    return plan_key(counterexample_plan(branch));
+  }
+
+  /// Serves a budget-exhausted child from the replay cache when possible.
+  /// A hit records the cached verdict (no fork, no simulation) and returns
+  /// true; a miss remembers the key for store_leaf and returns false, as
+  /// does any non-cacheable child (cache off, or budgets remaining — an
+  /// interior child's trace is needed to seed its own children, so it is
+  /// always simulated). The current fault pattern must already include the
+  /// child's fault.
+  bool serve_cached_leaf(const Budgets& rest) {
+    have_pending_key_ = false;
+    if (cache_ == nullptr || !rest.exhausted()) return false;
+    const std::uint64_t key = pattern_key();
+    if (const auto hit = cache_->lookup(schedule_key_, key)) {
+      ++out_.leaves_reused;
+      record_leaf(hit->outputs_lost, hit->response_time);
+      return true;
+    }
+    pending_key_ = key;
+    have_pending_key_ = true;
+    return false;
+  }
+
+  /// Publishes a freshly simulated leaf under the key the preceding
+  /// serve_cached_leaf miss computed.
+  void store_leaf(const IterationResult& leaf) {
+    if (!have_pending_key_) return;
+    cache_->insert(schedule_key_, pending_key_,
+                   CertifyCache::Entry{!leaf.all_outputs_produced,
+                                       leaf.response_time});
+    have_pending_key_ = false;
   }
 
   /// Externally visible action dates of one victim, plus the in-flight
@@ -448,45 +522,54 @@ class Explorer {
         if (key.cls == kClsCrash) {
           const ProcessorId victim{
               static_cast<ProcessorId::underlying_type>(key.id)};
-          Simulator::Branch child = cursor.fork();
-          ++out_.forks;
-          sim_.inject(child, FailureEvent{victim, c});
           crashes_.push_back(FailureEvent{victim, c});
-          ++out_.forks;
-          const IterationResult child_leaf = sim_.finish(child.fork());
-          certify_leaf(child_leaf);
           Budgets rest = budgets;
           --rest.crashes;
-          explore_children(child, child_leaf, rest, c, key, FaultKey{});
+          if (!serve_cached_leaf(rest)) {
+            Simulator::Branch child = cursor.fork();
+            ++out_.forks;
+            sim_.inject(child, FailureEvent{victim, c});
+            ++out_.forks;
+            const IterationResult child_leaf = sim_.finish(child.fork());
+            certify_leaf(child_leaf);
+            store_leaf(child_leaf);
+            explore_children(child, child_leaf, rest, c, key, FaultKey{});
+          }
           crashes_.pop_back();
         } else if (key.cls == kClsLinkDeath) {
           const LinkId victim{static_cast<LinkId::underlying_type>(key.id)};
-          Simulator::Branch child = cursor.fork();
-          ++out_.forks;
-          sim_.inject(child, LinkFailureEvent{victim, c});
           link_crashes_.push_back(LinkFailureEvent{victim, c});
-          ++out_.forks;
-          const IterationResult child_leaf = sim_.finish(child.fork());
-          certify_leaf(child_leaf);
           Budgets rest = budgets;
           --rest.links;
-          explore_children(child, child_leaf, rest, c, key, FaultKey{});
+          if (!serve_cached_leaf(rest)) {
+            Simulator::Branch child = cursor.fork();
+            ++out_.forks;
+            sim_.inject(child, LinkFailureEvent{victim, c});
+            ++out_.forks;
+            const IterationResult child_leaf = sim_.finish(child.fork());
+            certify_leaf(child_leaf);
+            store_leaf(child_leaf);
+            explore_children(child, child_leaf, rest, c, key, FaultKey{});
+          }
           link_crashes_.pop_back();
         } else {
           const ProcessorId victim{
               static_cast<ProcessorId::underlying_type>(key.id)};
           for (const Time to :
                silence_tos(victims[v].sends, candidates, c, beyond)) {
-            Simulator::Branch child = cursor.fork();
-            ++out_.forks;
-            sim_.inject(child, SilentWindow{victim, c, to});
             silences_.push_back(SilentWindow{victim, c, to});
-            ++out_.forks;
-            const IterationResult child_leaf = sim_.finish(child.fork());
-            certify_leaf(child_leaf);
             Budgets rest = budgets;
             --rest.silences;
-            explore_children(child, child_leaf, rest, c, key, FaultKey{});
+            if (!serve_cached_leaf(rest)) {
+              Simulator::Branch child = cursor.fork();
+              ++out_.forks;
+              sim_.inject(child, SilentWindow{victim, c, to});
+              ++out_.forks;
+              const IterationResult child_leaf = sim_.finish(child.fork());
+              certify_leaf(child_leaf);
+              store_leaf(child_leaf);
+              explore_children(child, child_leaf, rest, c, key, FaultKey{});
+            }
             silences_.pop_back();
           }
         }
@@ -500,6 +583,10 @@ class Explorer {
   const std::size_t procs_;
   const std::size_t links_;
   const Time beyond_tail_;
+  CertifyCache* const cache_;
+  const std::uint64_t schedule_key_;
+  std::uint64_t pending_key_ = 0;
+  bool have_pending_key_ = false;
   Partial& out_;
   std::vector<ProcessorId> dead_;
   std::vector<LinkId> dead_links_;
@@ -651,8 +738,11 @@ CertifyReport certify(const Schedule& schedule, const CertifySpec& spec) {
 
   std::vector<Partial> partials(tasks.size());
   const unsigned threads = resolve_threads(spec.threads);
+  const std::uint64_t schedule_key =
+      spec.cache != nullptr ? schedule_hash(schedule) : 0;
   auto run_task = [&](std::size_t t) {
-    Explorer explorer(simulator, spec, deadlines, procs, links, partials[t]);
+    Explorer explorer(simulator, spec, deadlines, procs, links, schedule_key,
+                      partials[t]);
     explorer.run(*tasks[t].dead, *tasks[t].dead_links, tasks[t].first,
                  tasks[t].budgets);
   };
@@ -677,6 +767,8 @@ CertifyReport certify(const Schedule& schedule, const CertifySpec& spec) {
   for (Partial& partial : partials) {
     report.branches += partial.branches;
     report.forks += partial.forks;
+    report.leaves_reused += partial.leaves_reused;
+    report.events_simulated += partial.events_simulated;
     report.instants_kept += partial.instants_kept;
     report.instants_merged += partial.instants_merged;
     report.total_counterexamples += partial.total_counterexamples;
@@ -694,10 +786,15 @@ CertifyReport certify(const Schedule& schedule, const CertifySpec& spec) {
     }
   }
   report.certified = report.total_counterexamples == 0;
+  report.leaves_fresh = report.branches - report.leaves_reused;
   report.metrics.add_counter("certify.subsets", report.subsets);
   report.metrics.add_counter("certify.link_subsets", report.link_subsets);
   report.metrics.add_counter("certify.branches", report.branches);
   report.metrics.add_counter("certify.forks", report.forks);
+  report.metrics.add_counter("certify.leaves_reused", report.leaves_reused);
+  report.metrics.add_counter("certify.leaves_fresh", report.leaves_fresh);
+  report.metrics.add_counter("certify.events_simulated",
+                             report.events_simulated);
   report.metrics.add_counter("certify.instants_kept", report.instants_kept);
   report.metrics.add_counter("certify.instants_merged",
                              report.instants_merged);

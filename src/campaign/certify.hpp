@@ -72,7 +72,11 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
+#include <mutex>
+#include <optional>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "obs/metrics.hpp"
@@ -80,6 +84,62 @@
 #include "sim/mission.hpp"
 
 namespace ftsched::campaign {
+
+/// Replay cache for incremental re-certification: the outcome of every
+/// budget-exhausted leaf, keyed by (schedule_hash, plan_key of the leaf's
+/// canonical fault pattern). The repair loop re-certifies a schedule after
+/// each move; leaves whose fault pattern was already simulated against the
+/// SAME schedule bytes are served from here without forking or finishing a
+/// simulator branch (interior nodes are always re-simulated — their traces
+/// seed the child instants). Thread-safe; reuse counts are thread-count
+/// deterministic because the canonical enumeration visits each unordered
+/// fault set exactly once per sweep, so a lookup can never race a
+/// same-sweep insertion of its own key.
+class CertifyCache {
+ public:
+  struct Entry {
+    bool outputs_lost = false;
+    Time response_time = kInfinite;
+  };
+
+  [[nodiscard]] std::optional<Entry> lookup(std::uint64_t schedule_key,
+                                            std::uint64_t branch_key) const {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    const auto it = entries_.find(Key{schedule_key, branch_key});
+    if (it == entries_.end()) return std::nullopt;
+    return it->second;
+  }
+
+  void insert(std::uint64_t schedule_key, std::uint64_t branch_key,
+              const Entry& entry) {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    entries_.emplace(Key{schedule_key, branch_key}, entry);
+  }
+
+  [[nodiscard]] std::size_t size() const {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    return entries_.size();
+  }
+
+ private:
+  struct Key {
+    std::uint64_t schedule = 0;
+    std::uint64_t branch = 0;
+    friend bool operator==(const Key&, const Key&) = default;
+  };
+  struct KeyHash {
+    std::size_t operator()(const Key& key) const noexcept {
+      std::uint64_t x = key.branch + 0x9e3779b97f4a7c15ULL +
+                        (key.schedule << 6) + (key.schedule >> 2);
+      x ^= key.schedule;
+      x *= 0xff51afd7ed558ccdULL;
+      x ^= x >> 33;
+      return static_cast<std::size_t>(x);
+    }
+  };
+  mutable std::mutex mutex_;
+  std::unordered_map<Key, Entry, KeyHash> entries_;
+};
 
 struct CertifySpec {
   /// Processor-failure budget to certify; -1 derives the schedule's own
@@ -108,6 +168,14 @@ struct CertifySpec {
   /// CertifyReport::branches_list — the bench replays that list from
   /// scratch as its baseline. Off by default (memory).
   bool collect_branches = false;
+  /// Replay cache for incremental re-certification (null = off). Owned by
+  /// the caller and shared across sweeps: budget-exhausted leaves (and the
+  /// dead-at-start-only root leaves) whose (schedule, fault pattern) pair
+  /// was already simulated are served from it without forking. The verdict
+  /// is unchanged — only CertifyReport::forks / leaves_* / events_simulated
+  /// reflect the saved work. A COLD cache changes nothing at all: every
+  /// lookup misses and the report is byte-identical to cache-off.
+  CertifyCache* cache = nullptr;
 };
 
 /// One branch of the fault tree: the complete fault pattern of one
@@ -147,6 +215,16 @@ struct CertifyReport {
   std::size_t branches = 0;
   /// Branch forks performed (the work the prefix sharing buys).
   std::size_t forks = 0;
+  /// Leaves served from spec.cache without simulation / leaves actually
+  /// simulated (leaves_fresh + leaves_reused == branches). Thread-count
+  /// deterministic (see CertifyCache); zero reused when cache is null or
+  /// cold.
+  std::size_t leaves_reused = 0;
+  std::size_t leaves_fresh = 0;
+  /// Events dispatched by the certified leaves' own suffix runs — the
+  /// marginal simulation work after prefix sharing and cache reuse
+  /// (IterationResult::events_executed summed over simulated leaves).
+  std::size_t events_simulated = 0;
   /// Candidate (victim, instant) pairs simulated / pruned as provably
   /// equivalent to a kept neighbour (silent windows count one pair per
   /// kept [from, to) combination).

@@ -122,6 +122,19 @@ Verdict Oracle::judge(const MissionPlan& plan,
                        std::to_string(silence.iteration));
       return verdict;
     }
+    // A zero-length (or inverted) window blocks nothing — the simulator
+    // rejects it outright — so a plan carrying one is malformed the same
+    // way: flag it instead of judging the plan as if a window had been
+    // injected. time_le makes sub-epsilon windows malformed too; the
+    // shrinker's bisection never commits one.
+    if (time_le(silence.window.to, silence.window.from)) {
+      violation(0, "harness: silence window [" +
+                       time_to_string(silence.window.from) + ", " +
+                       time_to_string(silence.window.to) +
+                       ") on iteration " + std::to_string(silence.iteration) +
+                       " has no positive length");
+      return verdict;
+    }
   }
 
   for (const MissionIteration& iteration : result.iterations) {

@@ -105,8 +105,9 @@ MissionPlan rebuild(int iterations, const std::vector<PlanEvent>& events) {
 
 class Shrinker {
  public:
-  Shrinker(const Simulator& simulator, const Oracle& oracle)
-      : simulator_(&simulator), oracle_(&oracle) {}
+  Shrinker(const Simulator& simulator, const Oracle& oracle,
+           const ShrinkOptions& options)
+      : simulator_(&simulator), oracle_(&oracle), options_(options) {}
 
   ShrinkResult run(MissionPlan plan) {
     ShrinkResult result;
@@ -132,6 +133,7 @@ class Shrinker {
     result.violations = judge(result.plan).violations;
     result.final_events = events_.size();
     result.simulations = simulations_;
+    result.budget_exhausted = exhausted_;
     return result;
   }
 
@@ -141,7 +143,20 @@ class Shrinker {
     return oracle_->judge(plan, run_mission(*simulator_, plan));
   }
 
+  [[nodiscard]] bool budget_left() const {
+    return options_.max_simulations == 0 ||
+           simulations_ < options_.max_simulations;
+  }
+
+  /// Probes one variant against the budget: out of budget, the variant is
+  /// conservatively reported as passing, so every pass keeps the current
+  /// (verified-failing) event list and winds down without further
+  /// simulations.
   bool fails(const std::vector<PlanEvent>& events, int iterations) {
+    if (!budget_left()) {
+      exhausted_ = true;
+      return false;
+    }
     return !judge(rebuild(iterations, events)).ok();
   }
 
@@ -196,6 +211,10 @@ class Shrinker {
   /// Cut the mission right after the first violating iteration, dropping
   /// the events of the amputated tail.
   void truncate_iterations() {
+    if (!budget_left()) {
+      exhausted_ = true;
+      return;
+    }
     const Verdict verdict = judge(rebuild(iterations_, events_));
     const int cut = verdict.first_violation_iteration + 1;
     if (verdict.first_violation_iteration < 0 || cut >= iterations_) return;
@@ -259,15 +278,21 @@ class Shrinker {
       if (events_[i].kind != PlanEvent::Kind::kSilence) continue;
       for (int round = 0; round < 16; ++round) {
         const SilentWindow window = events_[i].window;
-        if (time_le(window.to - window.from, 0)) break;
+        const Time mid = (window.from + window.to) / 2;
+        // Stop before a half becomes epsilon-zero: the oracle flags
+        // no-positive-length windows as malformed plans, so the bisection
+        // must never probe (let alone commit) one.
+        if (time_le(window.to - mid, 0) || time_le(mid - window.from, 0)) {
+          break;
+        }
         std::vector<PlanEvent> variant = events_;
-        variant[i].window.from = (window.from + window.to) / 2;
+        variant[i].window.from = mid;
         if (fails(variant, iterations_)) {
           events_ = std::move(variant);
           continue;
         }
         variant = events_;
-        variant[i].window.to = (window.from + window.to) / 2;
+        variant[i].window.to = mid;
         if (fails(variant, iterations_)) {
           events_ = std::move(variant);
           continue;
@@ -279,16 +304,23 @@ class Shrinker {
 
   const Simulator* simulator_;
   const Oracle* oracle_;
+  ShrinkOptions options_;
   int iterations_ = 1;
   std::vector<PlanEvent> events_;
   std::size_t simulations_ = 0;
+  bool exhausted_ = false;
 };
 
 }  // namespace
 
 ShrinkResult shrink(const Simulator& simulator, const Oracle& oracle,
+                    MissionPlan plan, const ShrinkOptions& options) {
+  return Shrinker(simulator, oracle, options).run(std::move(plan));
+}
+
+ShrinkResult shrink(const Simulator& simulator, const Oracle& oracle,
                     MissionPlan plan) {
-  return Shrinker(simulator, oracle).run(std::move(plan));
+  return shrink(simulator, oracle, std::move(plan), ShrinkOptions{});
 }
 
 }  // namespace ftsched::campaign

@@ -32,8 +32,20 @@
 
 namespace ftsched::campaign {
 
+struct ShrinkOptions {
+  /// Cap on mission simulations spent shrinking; 0 = unbounded. When the
+  /// cap is hit mid-pass, no further variants are probed and the best
+  /// verified-failing plan found so far is returned with budget_exhausted
+  /// set — every intermediate plan the shrinker commits to has itself been
+  /// judged failing, so the result is a valid (just possibly non-minimal)
+  /// reproducer. The precondition judge and the final violation re-judge
+  /// are counted against (and may exceed by one) the cap.
+  std::size_t max_simulations = 0;
+};
+
 struct ShrinkResult {
-  /// The minimized plan; still violating, 1-minimal w.r.t. event removal.
+  /// The minimized plan; still violating, 1-minimal w.r.t. event removal
+  /// unless budget_exhausted is set (then merely best-so-far).
   MissionPlan plan;
   /// Oracle violations of the minimized plan.
   std::vector<std::string> violations;
@@ -41,11 +53,17 @@ struct ShrinkResult {
   std::size_t final_events = 0;
   /// Mission simulations spent shrinking.
   std::size_t simulations = 0;
+  /// True when ShrinkOptions::max_simulations stopped the minimization
+  /// before the passes converged.
+  bool budget_exhausted = false;
 };
 
 /// Minimizes `plan`. Precondition: the oracle rejects `plan` (judge over a
 /// fresh run_mission is not ok); throws std::invalid_argument otherwise.
 /// `simulator` must execute the same schedule the oracle judges.
+[[nodiscard]] ShrinkResult shrink(const Simulator& simulator,
+                                  const Oracle& oracle, MissionPlan plan,
+                                  const ShrinkOptions& options);
 [[nodiscard]] ShrinkResult shrink(const Simulator& simulator,
                                   const Oracle& oracle, MissionPlan plan);
 

@@ -180,6 +180,94 @@ class Engine {
       return Error{Error::Code::kInsufficientRedundancy,
                    join(redundancy, "; ")};
     }
+    if (!options_.constraints.empty()) {
+      if (auto error = check_constraints()) return error;
+    }
+    return std::nullopt;
+  }
+
+  /// Validates the caller's SchedulingConstraints against the problem:
+  /// every referenced id must exist, pins must land on allowed and
+  /// non-forbidden processors, and each operation must keep at least K+1
+  /// placeable processors after the forbids. A constraint set that leaves
+  /// no feasible placement is an input error, not a silent relaxation —
+  /// the repair engine relies on this to discard impossible moves.
+  std::optional<Error> check_constraints() const {
+    const SchedulingConstraints& c = options_.constraints;
+    const std::size_t ops = graph().operation_count();
+    const std::size_t procs = arch().processor_count();
+    const std::size_t deps = graph().dependency_count();
+    const std::size_t links = arch().link_count();
+    auto invalid = [](std::string message) {
+      return Error{Error::Code::kInvalidInput, std::move(message)};
+    };
+    for (const SchedulingConstraints::Pin& pin : c.pinned) {
+      if (pin.op.index() >= ops || pin.proc.index() >= procs) {
+        return invalid("constraint pins an unknown operation or processor");
+      }
+      if (!exec().allowed_fast(pin.op, pin.proc)) {
+        return invalid("operation " + graph().operation(pin.op).name +
+                       " cannot execute on pinned processor " +
+                       arch().processor(pin.proc).name);
+      }
+    }
+    for (const SchedulingConstraints::Forbid& forbid : c.forbidden) {
+      if (forbid.op.index() >= ops || forbid.proc.index() >= procs) {
+        return invalid("constraint forbids an unknown operation or processor");
+      }
+    }
+    for (const SchedulingConstraints::ForbidLink& fl : c.forbidden_links) {
+      if (fl.dep.index() >= deps || fl.link.index() >= links) {
+        return invalid("constraint forbids an unknown dependency or link");
+      }
+    }
+    for (const Operation& op : graph().operations()) {
+      std::size_t pins = 0;
+      for (const SchedulingConstraints::Pin& pin : c.pinned) {
+        if (pin.op != op.id) continue;
+        bool duplicate = false;
+        for (const SchedulingConstraints::Pin& other : c.pinned) {
+          if (&other == &pin) break;
+          duplicate = duplicate || (other.op == op.id &&
+                                    other.proc == pin.proc);
+        }
+        if (duplicate) continue;
+        for (const SchedulingConstraints::Forbid& forbid : c.forbidden) {
+          if (forbid.op == op.id && forbid.proc == pin.proc) {
+            return invalid("operation " + op.name + " is both pinned to and "
+                           "forbidden on " +
+                           arch().processor(pin.proc).name);
+          }
+        }
+        ++pins;
+      }
+      if (pins > static_cast<std::size_t>(replicas_)) {
+        return Error{Error::Code::kInsufficientRedundancy,
+                     "operation " + op.name + " pins " +
+                         std::to_string(pins) + " processors but only " +
+                         std::to_string(replicas_) + " replicas exist"};
+      }
+      std::size_t placeable = 0;
+      for (const Processor& proc : arch().processors()) {
+        if (!exec().allowed_fast(op.id, proc.id)) continue;
+        bool banned = false;
+        for (const SchedulingConstraints::Forbid& forbid : c.forbidden) {
+          if (forbid.op == op.id && forbid.proc == proc.id) {
+            banned = true;
+            break;
+          }
+        }
+        if (!banned) ++placeable;
+      }
+      if (placeable < static_cast<std::size_t>(replicas_)) {
+        return Error{Error::Code::kInsufficientRedundancy,
+                     "operation " + op.name + " keeps " +
+                         std::to_string(placeable) +
+                         " placeable processor(s) under the constraints; " +
+                         std::to_string(replicas_) +
+                         " replicas are required"};
+      }
+    }
     return std::nullopt;
   }
 
@@ -274,6 +362,81 @@ class Engine {
         }
       }
     }
+
+    // Constraint tables — built only when constraints exist, so the
+    // unconstrained hot paths stay allocation-free and byte-identical.
+    has_place_constraints_ = !options_.constraints.pinned.empty() ||
+                             !options_.constraints.forbidden.empty();
+    has_link_constraints_ = !options_.constraints.forbidden_links.empty();
+    if (has_place_constraints_) {
+      forbidden_.assign(ops * proc_count_, 0);
+      for (const SchedulingConstraints::Forbid& forbid :
+           options_.constraints.forbidden) {
+        forbidden_[forbid.op.index() * proc_count_ + forbid.proc.index()] = 1;
+      }
+      pinned_on_.assign(ops, {});
+      for (const SchedulingConstraints::Pin& pin :
+           options_.constraints.pinned) {
+        std::vector<ProcessorId>& list = pinned_on_[pin.op.index()];
+        if (std::find(list.begin(), list.end(), pin.proc) == list.end()) {
+          list.push_back(pin.proc);
+        }
+      }
+      pin_selected_.reserve(proc_count_);
+    }
+    if (has_link_constraints_) {
+      // Per constrained dependency: the banned-link mask and the full
+      // (from, to) avoid-route matrix, computed once. A ban that
+      // disconnects a pair falls back to the unconstrained shortest route
+      // (same contract as disjoint routing's fallback).
+      dep_route_slot_.assign(deps, -1);
+      dep_banned_links_.clear();
+      dep_routes_.clear();
+      for (const SchedulingConstraints::ForbidLink& fl :
+           options_.constraints.forbidden_links) {
+        std::int32_t& slot = dep_route_slot_[fl.dep.index()];
+        if (slot < 0) {
+          slot = static_cast<std::int32_t>(dep_banned_links_.size());
+          dep_banned_links_.emplace_back(links, false);
+          dep_routes_.emplace_back();
+        }
+        dep_banned_links_[static_cast<std::size_t>(slot)][fl.link.index()] =
+            true;
+      }
+      for (std::size_t s = 0; s < dep_routes_.size(); ++s) {
+        dep_routes_[s].resize(proc_count_ * proc_count_);
+        for (std::size_t from = 0; from < proc_count_; ++from) {
+          for (std::size_t to = 0; to < proc_count_; ++to) {
+            const ProcessorId src{
+                static_cast<ProcessorId::underlying_type>(from)};
+            const ProcessorId dst{
+                static_cast<ProcessorId::underlying_type>(to)};
+            std::optional<Route> detour =
+                from == to ? std::nullopt
+                           : routing_.route_avoiding(src, dst,
+                                                     dep_banned_links_[s]);
+            dep_routes_[s][from * proc_count_ + to] =
+                detour.has_value() ? std::move(*detour)
+                                   : routing_.route(src, dst);
+          }
+        }
+      }
+    }
+  }
+
+  /// The static route every transfer of `dep` from `from` to `to` takes:
+  /// the constraint-avoiding route when the dependency carries a
+  /// ForbidLink, the plain shortest route otherwise.
+  const Route& static_route(DependencyId dep, ProcessorId from,
+                            ProcessorId to) const {
+    if (has_link_constraints_) {
+      const std::int32_t slot = dep_route_slot_[dep.index()];
+      if (slot >= 0) {
+        return dep_routes_[static_cast<std::size_t>(slot)]
+                          [from.index() * proc_count_ + to.index()];
+      }
+    }
+    return routing_.route(from, to);
   }
 
   /// Static lower bound on the communications forced by placing `op` on a
@@ -370,6 +533,9 @@ class Engine {
     const std::size_t row = op.index() * proc_count_;
     for (const Processor& proc : arch().processors()) {
       if (!exec().allowed_fast(op, proc.id)) continue;
+      if (has_place_constraints_ && forbidden_[row + proc.id.index()] != 0) {
+        continue;
+      }
       EvalSlot& slot = eval_cache_[row + proc.id.index()];
       if (!options_.incremental_select || !slot_valid(slot, proc.id,
                                                       dep_change)) {
@@ -387,37 +553,85 @@ class Engine {
       if (!time_eq(a.end, b.end)) return a.end < b.end;
       return a.proc < b.proc;
     };
+    // Pins force their processors into the kept set; the remaining slots
+    // fill in pressure order (check_input guarantees every pinned
+    // processor was evaluated and at most K+1 processors are pinned).
+    const std::vector<ProcessorId>* pins =
+        has_place_constraints_ && !pinned_on_[op.index()].empty()
+            ? &pinned_on_[op.index()]
+            : nullptr;
     {
       FTSCHED_SPAN("sched.candidate_sort");
       const auto kept_end =
           all_scratch_.begin() + static_cast<std::ptrdiff_t>(replicas_);
-      if (explain != nullptr) {
-        // The audit log lists the full table in pressure order, so sort it
-        // all; the fast path only needs the K+1 winners in order.
+      if (explain != nullptr || pins != nullptr) {
+        // The audit log lists the full table in pressure order (and pinned
+        // selection scans all of it), so sort it all; the fast path only
+        // needs the K+1 winners in order.
         std::sort(all_scratch_.begin(), all_scratch_.end(), by_pressure);
       } else {
         std::partial_sort(all_scratch_.begin(), kept_end, all_scratch_.end(),
                           by_pressure);
       }
     }
-    if (explain != nullptr) {
-      for (std::size_t i = 0; i < all_scratch_.size(); ++i) {
-        const Assignment& a = all_scratch_[i];
-        ExplainCandidate candidate;
-        candidate.op = op;
-        candidate.proc = a.proc;
-        candidate.start = a.start;
-        candidate.duration = a.end - a.start;
-        candidate.tail = timing_.tail[op.index()];
-        candidate.penalty = successor_penalty(op, a.proc);
-        candidate.sigma = a.sigma;
-        candidate.kept = i < static_cast<std::size_t>(replicas_);
-        explain->candidates.push_back(candidate);
-      }
-    }
     Assignment* kept = kept_row(op);
-    for (std::size_t i = 0; i < static_cast<std::size_t>(replicas_); ++i) {
-      kept[i] = all_scratch_[i];
+    if (pins == nullptr) {
+      if (explain != nullptr) {
+        for (std::size_t i = 0; i < all_scratch_.size(); ++i) {
+          const Assignment& a = all_scratch_[i];
+          ExplainCandidate candidate;
+          candidate.op = op;
+          candidate.proc = a.proc;
+          candidate.start = a.start;
+          candidate.duration = a.end - a.start;
+          candidate.tail = timing_.tail[op.index()];
+          candidate.penalty = successor_penalty(op, a.proc);
+          candidate.sigma = a.sigma;
+          candidate.kept = i < static_cast<std::size_t>(replicas_);
+          explain->candidates.push_back(candidate);
+        }
+      }
+      for (std::size_t i = 0; i < static_cast<std::size_t>(replicas_); ++i) {
+        kept[i] = all_scratch_[i];
+      }
+    } else {
+      pin_selected_.assign(all_scratch_.size(), 0);
+      std::size_t taken = 0;
+      for (std::size_t i = 0; i < all_scratch_.size(); ++i) {
+        if (std::find(pins->begin(), pins->end(), all_scratch_[i].proc) !=
+            pins->end()) {
+          pin_selected_[i] = 1;
+          ++taken;
+        }
+      }
+      for (std::size_t i = 0;
+           i < all_scratch_.size() &&
+           taken < static_cast<std::size_t>(replicas_);
+           ++i) {
+        if (pin_selected_[i] == 0) {
+          pin_selected_[i] = 1;
+          ++taken;
+        }
+      }
+      if (explain != nullptr) {
+        for (std::size_t i = 0; i < all_scratch_.size(); ++i) {
+          const Assignment& a = all_scratch_[i];
+          ExplainCandidate candidate;
+          candidate.op = op;
+          candidate.proc = a.proc;
+          candidate.start = a.start;
+          candidate.duration = a.end - a.start;
+          candidate.tail = timing_.tail[op.index()];
+          candidate.penalty = successor_penalty(op, a.proc);
+          candidate.sigma = a.sigma;
+          candidate.kept = pin_selected_[i] != 0;
+          explain->candidates.push_back(candidate);
+        }
+      }
+      std::size_t k = 0;
+      for (std::size_t i = 0; i < all_scratch_.size(); ++i) {
+        if (pin_selected_[i] != 0) kept[k++] = all_scratch_[i];
+      }
     }
     cand_urgency_[op.index()] =
         kept[static_cast<std::size_t>(replicas_) - 1].sigma;
@@ -514,6 +728,12 @@ class Engine {
       // link-failure benchmarks).
       if (options_.disjoint_comm_routes) {
         banned_links_.assign(arch().link_count(), false);
+        if (has_link_constraints_ && dep_route_slot_[dep_id.index()] >= 0) {
+          // Constraint bans seed the disjoint search: no replica's route
+          // may cross a forbidden link either.
+          banned_links_ = dep_banned_links_[static_cast<std::size_t>(
+              dep_route_slot_[dep_id.index()])];
+        }
         banned_procs_.assign(arch().processor_count(), false);
         for (const ScheduledOperation* host :
              schedule_.replicas_view(dep.src)) {
@@ -539,8 +759,9 @@ class Engine {
                              forced);
           if (options_.disjoint_comm_routes) {
             const Route& used =
-                forced != nullptr ? *forced
-                                  : routing_.route(sender->processor, proc);
+                forced != nullptr
+                    ? *forced
+                    : static_route(dep_id, sender->processor, proc);
             for (LinkId link : used.links) {
               banned_links_[link.index()] = true;
             }
@@ -574,7 +795,7 @@ class Engine {
                 const Route* forced_route = nullptr) {
     const Route& route = forced_route != nullptr
                              ? *forced_route
-                             : routing_.route(sender.processor, proc);
+                             : static_route(dep_id, sender.processor, proc);
     Time at = std::max(sender.end, not_before);
     if (out == nullptr) {
       // Tentative: only the arrival date matters; build no comm record.
@@ -823,6 +1044,22 @@ class Engine {
   /// Disjoint-routing ban sets (only touched under disjoint_comm_routes).
   std::vector<bool> banned_links_;
   std::vector<bool> banned_procs_;
+
+  // --- scheduling constraints (empty set: every table stays empty and the
+  // hot paths test one boolean) ---
+  bool has_place_constraints_ = false;
+  bool has_link_constraints_ = false;
+  /// Per (operation, processor): 1 = placement forbidden.
+  std::vector<char> forbidden_;
+  /// Per operation: processors its kept set must contain.
+  std::vector<std::vector<ProcessorId>> pinned_on_;
+  /// Per dependency: index into dep_banned_links_/dep_routes_, -1 = none.
+  std::vector<std::int32_t> dep_route_slot_;
+  std::vector<std::vector<bool>> dep_banned_links_;
+  /// Per slot: procs x procs avoid-route matrix (see static_route).
+  std::vector<std::vector<Route>> dep_routes_;
+  /// keep_best pinned-selection scratch.
+  std::vector<char> pin_selected_;
 };
 
 }  // namespace

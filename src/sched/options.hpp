@@ -3,9 +3,55 @@
 
 #include <vector>
 
+#include "core/ids.hpp"
+
 namespace ftsched {
 
 struct ExplainLog;
+
+/// Hard scheduling constraints threaded through the list scheduler — the
+/// vocabulary the counterexample-guided repair engine (campaign/repair.hpp)
+/// speaks. Each accepted repair move becomes one entry here; re-running the
+/// scheduler under the accumulated set replays the same deterministic
+/// algorithm inside a restricted decision space, so a repaired schedule is
+/// an ordinary Schedule, certifiable and simulatable like any other.
+///
+/// Semantics:
+///  * Pin — the kept K+1 placement set of `op` must contain `proc`
+///    (check_input rejects pins on disallowed processors and more pins
+///    than replicas). The remaining slots are filled by pressure order as
+///    usual, so a pin perturbs only what it names.
+///  * Forbid — `op` is never placed on `proc` (the complement move;
+///    check_input re-verifies K+1 allowed processors remain).
+///  * ForbidLink — every transfer of `dep` is routed over the shortest
+///    route that avoids `link` (computed once per (from, to) pair at
+///    init). When the ban disconnects a pair, the unconstrained shortest
+///    route is used — same fallback contract as disjoint_comm_routes.
+struct SchedulingConstraints {
+  struct Pin {
+    OperationId op;
+    ProcessorId proc;
+    friend bool operator==(const Pin&, const Pin&) = default;
+  };
+  struct Forbid {
+    OperationId op;
+    ProcessorId proc;
+    friend bool operator==(const Forbid&, const Forbid&) = default;
+  };
+  struct ForbidLink {
+    DependencyId dep;
+    LinkId link;
+    friend bool operator==(const ForbidLink&, const ForbidLink&) = default;
+  };
+
+  std::vector<Pin> pinned;
+  std::vector<Forbid> forbidden;
+  std::vector<ForbidLink> forbidden_links;
+
+  [[nodiscard]] bool empty() const noexcept {
+    return pinned.empty() && forbidden.empty() && forbidden_links.empty();
+  }
+};
 
 struct SchedulerOptions {
   /// Adds to sigma(o, p) the cheapest communication duration of every
@@ -46,6 +92,12 @@ struct SchedulerOptions {
   /// it); OFF forces the pre-incremental full rescan every step — the
   /// reference behaviour for equivalence tests and A/B benchmarks.
   bool incremental_select = true;
+
+  /// Hard placement / routing constraints (see SchedulingConstraints).
+  /// Empty (the default) costs nothing: the engine's hot paths test one
+  /// boolean and take the unconstrained branch, byte-identical to the
+  /// pre-constraint engine (golden-hash and allocation tests enforce it).
+  SchedulingConstraints constraints;
 
   /// Decision log: when non-null, the engine appends one ExplainStep per
   /// list-scheduling step — every evaluated (candidate, processor) pair

@@ -183,6 +183,10 @@ struct Event {
 /// re-simulation and never a per-transfer route copy.
 struct SimState {
   bool prologue_done = false;
+  /// Events dispatched by THIS state since it was begun or forked (fork
+  /// resets the copy's counter): the marginal simulation work of a branch,
+  /// excluding the shared prefix it inherited.
+  std::size_t events_dispatched = 0;
   /// Instant of the last fully executed event batch; injected faults must
   /// lie strictly after it.
   Time executed_until = -kInfinite;
@@ -319,6 +323,7 @@ class Engine {
 
   [[nodiscard]] IterationResult finish() {
     IterationResult result;
+    result.events_executed = s_.events_dispatched;
     result.all_outputs_produced = true;
     Time response = 0;
     for (const Operation& op : graph_.operations()) {
@@ -366,6 +371,7 @@ class Engine {
     while (!s_.queue.empty() && s_.queue.top().time == now) {
       const Event event = s_.queue.top();
       s_.queue.pop();
+      ++s_.events_dispatched;
       dispatch(event);
     }
     advance(now);
@@ -717,11 +723,19 @@ Simulator::Branch& Simulator::Branch::operator=(Branch&&) noexcept = default;
 Simulator::Branch::~Branch() = default;
 
 Simulator::Branch Simulator::Branch::fork() const {
-  return Branch(std::make_unique<sim_detail::SimState>(*state_));
+  auto copy = std::make_unique<sim_detail::SimState>(*state_);
+  // Fork-local accounting: the copy inherits the prefix's behaviour but
+  // not its cost — events it dispatches from here on are its own.
+  copy->events_dispatched = 0;
+  return Branch(std::move(copy));
 }
 
 Time Simulator::Branch::frontier() const {
   return state_->queue.empty() ? kInfinite : state_->queue.top().time;
+}
+
+std::size_t Simulator::Branch::executed_events() const {
+  return state_->events_dispatched;
 }
 
 Simulator::Simulator(const Schedule& schedule)

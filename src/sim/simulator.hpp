@@ -49,6 +49,13 @@ namespace ftsched {
 
 struct IterationResult {
   Trace trace;
+  /// Events the producing run dispatched itself — NOT counting the shared
+  /// prefix it was forked from (Branch::fork resets the counter). For a
+  /// from-scratch run() this is the whole iteration's event count; for a
+  /// forked branch it is the marginal simulation work the branch cost,
+  /// which is exactly what prefix sharing (and the certifier's replay
+  /// cache) saves.
+  std::size_t events_executed = 0;
   /// True when every extio output of the algorithm was executed by at least
   /// one processor alive at the end of the iteration.
   bool all_outputs_produced = false;
@@ -89,10 +96,16 @@ class Simulator {
     ~Branch();
 
     /// Deep copy of the paused state. O(state size); no event is replayed.
+    /// The copy's event counter restarts at zero: work executed after the
+    /// fork is attributed to the fork, the shared prefix to its parent
+    /// (branch-reuse accounting; see IterationResult::events_executed).
     [[nodiscard]] Branch fork() const;
 
     /// Earliest pending event instant; kInfinite when the queue drained.
     [[nodiscard]] Time frontier() const;
+
+    /// Events this branch dispatched itself since it was begun or forked.
+    [[nodiscard]] std::size_t executed_events() const;
 
    private:
     friend class Simulator;

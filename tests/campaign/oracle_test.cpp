@@ -86,6 +86,94 @@ TEST(Oracle, SilenceTargetingAMissingIterationFlagsThePlan) {
   EXPECT_TRUE(oracle.judge(fine, run_mission(sched, fine)).ok());
 }
 
+// The three OracleSpec shapes the certifier entry points build: --certify
+// (processor claim only), --certify-links (adds a link budget), and
+// --certify-silences / --response-bound (response envelope enforced).
+std::vector<OracleSpec> certifier_entry_point_specs() {
+  OracleSpec plain;
+  plain.claimed_tolerance = 1;
+  plain.check_response = false;
+  OracleSpec links = plain;
+  links.claimed_link_tolerance = 1;
+  OracleSpec silences = plain;
+  silences.response_bound = 100.0;
+  silences.check_response = true;
+  return {plain, links, silences};
+}
+
+TEST(Oracle, OutOfRangeSilenceIterationFlagsEveryEntryPoint) {
+  const OwnedProblem ex = workload::paper_example1();
+  const Schedule sched = schedule_solution1(ex.problem).value();
+
+  for (const OracleSpec& spec : certifier_entry_point_specs()) {
+    const Oracle oracle(sched, spec);
+    for (const int bad_iteration : {-3, 3, 42}) {
+      MissionPlan plan;
+      plan.iterations = 3;
+      plan.silences.push_back(MissionSilence{
+          bad_iteration, SilentWindow{ProcessorId{0}, 0.5, 1.5}});
+      // run_mission never injects an out-of-range silence — exactly the
+      // harness drop the oracle must refuse to paper over.
+      const Verdict verdict = oracle.judge(plan, run_mission(sched, plan));
+      EXPECT_FALSE(verdict.ok()) << "iteration " << bad_iteration;
+      EXPECT_EQ(verdict.first_violation_iteration, 0);
+      ASSERT_FALSE(verdict.violations.empty());
+      EXPECT_NE(verdict.violations[0].find("harness"), std::string::npos)
+          << verdict.violations[0];
+      EXPECT_NE(verdict.violations[0].find("targets iteration"),
+                std::string::npos)
+          << verdict.violations[0];
+    }
+  }
+}
+
+TEST(Oracle, ZeroLengthSilenceWindowFlagsEveryEntryPoint) {
+  const OwnedProblem ex = workload::paper_example1();
+  const Schedule sched = schedule_solution1(ex.problem).value();
+
+  // An in-range zero-length window never reaches the simulator (inject
+  // rejects it), so a mission "result" for such a plan can only come from
+  // a harness that dropped the event. Reproduce that drop — simulate the
+  // plan WITHOUT the malformed silence — and require the oracle to flag
+  // the plan rather than trust the otherwise-clean result.
+  for (const OracleSpec& spec : certifier_entry_point_specs()) {
+    const Oracle oracle(sched, spec);
+    for (const Time instant : {0.0, 1.0, 2.5}) {
+      MissionPlan plan;
+      plan.iterations = 2;
+      plan.silences.push_back(MissionSilence{
+          1, SilentWindow{ProcessorId{1}, instant, instant}});
+      MissionPlan dropped = plan;
+      dropped.silences.clear();
+      const Verdict verdict =
+          oracle.judge(plan, run_mission(sched, dropped));
+      EXPECT_FALSE(verdict.ok()) << "window at " << instant;
+      EXPECT_EQ(verdict.first_violation_iteration, 0);
+      ASSERT_FALSE(verdict.violations.empty());
+      EXPECT_NE(verdict.violations[0].find("harness"), std::string::npos)
+          << verdict.violations[0];
+      EXPECT_NE(verdict.violations[0].find("no positive length"),
+                std::string::npos)
+          << verdict.violations[0];
+    }
+
+    // Inverted windows (from > to) are equally length-free.
+    MissionPlan inverted;
+    inverted.iterations = 2;
+    inverted.silences.push_back(
+        MissionSilence{0, SilentWindow{ProcessorId{0}, 2.0, 1.0}});
+    MissionPlan dropped = inverted;
+    dropped.silences.clear();
+    const Verdict verdict =
+        oracle.judge(inverted, run_mission(sched, dropped));
+    EXPECT_FALSE(verdict.ok());
+    ASSERT_FALSE(verdict.violations.empty());
+    EXPECT_NE(verdict.violations[0].find("no positive length"),
+              std::string::npos)
+        << verdict.violations[0];
+  }
+}
+
 TEST(Oracle, LinkFaultsAreBudgetedSeparatelyFromTheProcessorContract) {
   const OwnedProblem ex = workload::paper_example1();
   const Schedule sched = schedule_solution1(ex.problem).value();

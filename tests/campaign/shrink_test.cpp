@@ -187,6 +187,51 @@ TEST(Shrink, CampaignViolationShrinks) {
   expect_one_minimal(attacked, result.plan);
 }
 
+TEST(Shrink, SimulationBudgetCapsWorkAndReportsExhaustion) {
+  const Attacked attacked;
+  const MissionPlan plan = noisy_violating_plan(attacked);
+
+  // A budget far below what full minimization needs: the shrinker must
+  // stop, flag exhaustion, and still hand back a FAILING best-so-far plan.
+  ShrinkOptions capped;
+  capped.max_simulations = 3;
+  const ShrinkResult result =
+      shrink(attacked.simulator, attacked.oracle, plan, capped);
+  EXPECT_TRUE(result.budget_exhausted);
+  // The precondition judge counts, and the final re-judge of the
+  // best-so-far plan may overshoot the cap by at most one.
+  EXPECT_LE(result.simulations, capped.max_simulations + 1);
+  EXPECT_LE(result.final_events, result.initial_events);
+  const Verdict verdict = attacked.oracle.judge(
+      result.plan, run_mission(attacked.simulator, result.plan));
+  EXPECT_FALSE(verdict.ok());
+  EXPECT_EQ(result.violations, verdict.violations);
+}
+
+TEST(Shrink, UnlimitedBudgetMatchesTheUncappedOverload) {
+  const Attacked attacked;
+  const MissionPlan plan = noisy_violating_plan(attacked);
+  const ShrinkResult uncapped =
+      shrink(attacked.simulator, attacked.oracle, plan);
+  const ShrinkResult unlimited =
+      shrink(attacked.simulator, attacked.oracle, plan, ShrinkOptions{});
+  EXPECT_FALSE(uncapped.budget_exhausted);
+  EXPECT_FALSE(unlimited.budget_exhausted);
+  EXPECT_EQ(uncapped.simulations, unlimited.simulations);
+  const ArchitectureGraph& arch = *attacked.ex.problem.architecture;
+  EXPECT_EQ(io::write_scenario(uncapped.plan, arch),
+            io::write_scenario(unlimited.plan, arch));
+
+  // A budget at least as large as the uncapped run's cost changes nothing.
+  ShrinkOptions ample;
+  ample.max_simulations = uncapped.simulations;
+  const ShrinkResult roomy =
+      shrink(attacked.simulator, attacked.oracle, plan, ample);
+  EXPECT_FALSE(roomy.budget_exhausted);
+  EXPECT_EQ(io::write_scenario(roomy.plan, arch),
+            io::write_scenario(uncapped.plan, arch));
+}
+
 TEST(Shrink, RejectsPassingPlan) {
   const workload::OwnedProblem ex = workload::paper_example1();
   const Schedule schedule = schedule_solution1(ex.problem).value();
