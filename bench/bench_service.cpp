@@ -1,0 +1,159 @@
+// certifyd service throughput: requests/sec through the line protocol for
+// cold submissions (full certification per request) versus warm
+// submissions answered from the plan-key result cache, plus the raw
+// shard-stream + merge path. Emits BENCH_service.json for the CI trend
+// archive. Exit status 1 if the cache does not answer warm requests or a
+// served certificate diverges from offline certify().
+#include <chrono>
+#include <cstdio>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "bench/common.hpp"
+#include "campaign/certify.hpp"
+#include "io/problem_format.hpp"
+#include "obs/json_util.hpp"
+#include "sched/heuristics.hpp"
+#include "service/server.hpp"
+#include "service/shard.hpp"
+#include "service/stream.hpp"
+#include "workload/paper_examples.hpp"
+#include "workload/random_arch.hpp"
+
+using namespace ftsched;
+
+namespace {
+
+double seconds_since(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       start)
+      .count();
+}
+
+/// data/certify_k2.ft equivalent: 10-op DAG, 4 processors, K=2.
+workload::OwnedProblem k2_problem() {
+  workload::RandomProblemParams params;
+  params.dag.operations = 10;
+  params.processors = 4;
+  params.failures_to_tolerate = 2;
+  params.seed = 11;
+  return workload::random_problem(params);
+}
+
+std::string submit_line(const std::string& id, const std::string& problem) {
+  return "{\"type\":\"submit\",\"id\":" + obs::json_string(id) +
+         ",\"problem_inline\":" + obs::json_string(problem) + "}";
+}
+
+/// Requests/sec of `count` submissions of the same plan through a fresh
+/// or warmed service. Returns 0 on protocol failure.
+double measure_requests(service::CertifyService& service,
+                        const std::string& problem, int count,
+                        const char* tag, bool& ok) {
+  const auto start = std::chrono::steady_clock::now();
+  for (int i = 0; i < count; ++i) {
+    service::StringSink sink;
+    const std::string id = std::string(tag) + std::to_string(i);
+    if (!service.handle_line(submit_line(id, problem), sink)) {
+      ok = false;
+      return 0;
+    }
+    if (sink.text().find("\"type\":\"result\"") == std::string::npos) {
+      std::fprintf(stderr, "no result record for %s\n", id.c_str());
+      ok = false;
+      return 0;
+    }
+  }
+  return count / seconds_since(start);
+}
+
+}  // namespace
+
+int main() {
+  bench::header("SERVICE", "certifyd line-protocol throughput");
+  bool ok = true;
+  std::vector<bench::BenchRecord> records;
+
+  const workload::OwnedProblem ex = k2_problem();
+  const std::string problem = io::write_problem(ex.problem);
+  const Schedule schedule = schedule_solution2(ex.problem).value();
+  const campaign::CertifySpec spec;
+
+  // Cold: every request is a distinct plan (cache capacity 0 disables the
+  // cache so each submission certifies from scratch).
+  bench::section("cold submissions (cache disabled)");
+  {
+    service::ServeOptions options;
+    options.cache_capacity = 0;
+    options.progress = false;
+    service::CertifyService cold(options);
+    constexpr int kCold = 20;
+    const auto start = std::chrono::steady_clock::now();
+    const double rps = measure_requests(cold, problem, kCold, "c", ok);
+    bench::value("requests/sec", std::to_string(rps));
+    records.push_back({"service_cold", "requests=20;cache=0",
+                       seconds_since(start) / kCold * 1e3,
+                       static_cast<std::uint64_t>(kCold)});
+    if (cold.stats().cache_hits != 0) {
+      std::fprintf(stderr, "disabled cache reported hits\n");
+      ok = false;
+    }
+  }
+
+  // Warm: one miss then cache hits — the steady state of a long-lived
+  // daemon re-certifying isomorphic plans.
+  bench::section("warm submissions (plan-key cache)");
+  {
+    service::ServeOptions options;
+    options.progress = false;
+    service::CertifyService warm(options);
+    constexpr int kWarm = 200;
+    const auto start = std::chrono::steady_clock::now();
+    const double rps = measure_requests(warm, problem, kWarm, "w", ok);
+    bench::value("requests/sec", std::to_string(rps));
+    records.push_back({"service_warm", "requests=200;cache=64",
+                       seconds_since(start) / kWarm * 1e3,
+                       static_cast<std::uint64_t>(kWarm)});
+    if (warm.stats().cache_hits != kWarm - 1) {
+      std::fprintf(stderr, "expected %d cache hits, saw %llu\n", kWarm - 1,
+                   static_cast<unsigned long long>(warm.stats().cache_hits));
+      ok = false;
+    }
+  }
+
+  // Shard + merge: the distributed path — stream 4 worker shards, merge,
+  // and byte-check against the single-process certificate.
+  bench::section("4-way shard stream + merge");
+  {
+    const auto start = std::chrono::steady_clock::now();
+    std::vector<std::string> streams;
+    for (std::size_t i = 0; i < 4; ++i) {
+      service::StringSink sink;
+      const service::StreamShardResult result = service::certify_stream(
+          schedule, spec, campaign::CertifyShardSpec{i, 4}, sink);
+      if (!result.completed) ok = false;
+      streams.push_back(sink.text());
+    }
+    const auto merged = service::merge_streams(schedule, spec, streams);
+    const double elapsed = seconds_since(start);
+    if (!merged.has_value()) {
+      std::fprintf(stderr, "merge failed: %s\n",
+                   merged.error().message.c_str());
+      ok = false;
+    } else {
+      const campaign::CertifyReport offline = campaign::certify(schedule, spec);
+      const ArchitectureGraph& arch = *ex.problem.architecture;
+      if (merged.value().to_json(arch) != offline.to_json(arch)) {
+        std::fprintf(stderr, "sharded certificate diverges from offline\n");
+        ok = false;
+      }
+      bench::value("wall_ms", std::to_string(elapsed * 1e3));
+      bench::value("branches", std::to_string(merged.value().branches));
+    }
+    records.push_back({"service_shard_merge", "shards=4", elapsed * 1e3, 1});
+  }
+
+  if (!bench::write_bench_json("BENCH_service.json", records)) ok = false;
+  return ok ? 0 : 1;
+}

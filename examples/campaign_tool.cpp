@@ -26,6 +26,27 @@
 // silent window). Counterexamples are shrunk to a minimal serialized
 // reproducer automatically.
 //
+// Certification as a service (src/service):
+//
+//   ./campaign_tool problem.ft --solution2 --plan-key
+//   ./campaign_tool problem.ft --solution2 --certify-shard 0/2
+//                   --stream-out shard0.ndjson
+//   ./campaign_tool problem.ft --solution2 --merge-stream shard0.ndjson
+//                   --merge-stream shard1.ndjson --certify-out cert.json
+//   ./campaign_tool --serve --cache-size 64            # stdin/stdout pipe
+//   ./campaign_tool --serve-socket /tmp/certifyd.sock  # certifyd daemon
+//
+// --plan-key prints the canonical plan fingerprint — the cache identity a
+// certifyd server would use for this (schedule, budgets) pair — so users
+// can check cache identity offline. --certify-shard I/N runs only the
+// tasks with index % N == I and streams partial-certificate NDJSON
+// records; --merge-stream folds complete worker streams back into a
+// certificate byte-identical to single-process --certify. --serve /
+// --serve-socket run the long-lived certifyd loop: line-delimited JSON
+// requests (submit/status/shutdown), streamed progress/counterexample/
+// result records, LRU plan-key result cache, per-request deadlines, and
+// graceful SIGINT drain.
+//
 // --repair runs the counterexample-guided repair loop (campaign/repair.hpp)
 // instead of certifying once: refute, shrink, localize the root blocker,
 // apply one targeted scheduling-constraint move, re-certify incrementally
@@ -37,11 +58,15 @@
 // certified / repair converged), 1 = oracle violations (certification or
 // repair refuted), 2 = usage error, 3 = input file unreadable or malformed
 // (diagnostic names the file and the offending line).
+#include <atomic>
+#include <csignal>
 #include <cstdio>
 #include <cstdlib>
 #include <fstream>
+#include <iostream>
 #include <sstream>
 #include <string>
+#include <vector>
 
 #include <exception>
 
@@ -54,6 +79,10 @@
 #include "obs/chrome_trace.hpp"
 #include "obs/span.hpp"
 #include "sched/heuristics.hpp"
+#include "service/cache.hpp"
+#include "service/server.hpp"
+#include "service/shard.hpp"
+#include "service/stream.hpp"
 #include "sim/mission.hpp"
 #include "sim/simulator.hpp"
 
@@ -76,6 +105,10 @@ int usage() {
       "                     [--repair] [--repair-rounds N]\n"
       "                     [--repair-out FILE]\n"
       "                     [--metrics-out FILE] [--trace-out FILE]\n"
+      "                     [--plan-key] [--certify-shard I/N]\n"
+      "                     [--stream-out FILE] [--merge-stream FILE]...\n"
+      "                     [--serve | --serve-socket PATH]\n"
+      "                     [--cache-size N]\n"
       "\n"
       "--certify exhaustively certifies the schedule against every\n"
       "failure pattern of size <= K (--claim-k, default the schedule's\n"
@@ -92,6 +125,19 @@ int usage() {
       "incrementally through a replay cache. --repair-rounds caps the\n"
       "accepted moves; --repair-out writes the JSON repair log\n"
       "(byte-identical for any --threads).\n"
+      "--plan-key prints the canonical plan fingerprint for the certify\n"
+      "budgets in effect (--claim-k/--certify-links/--certify-silences/\n"
+      "--response-bound) — the key certifyd's result cache uses, so two\n"
+      "problems printing the same key are isomorphic plans that share a\n"
+      "cache entry. --certify-shard I/N certifies only task indices\n"
+      "congruent to I mod N and streams NDJSON partial-certificate\n"
+      "records to --stream-out (default stdout); --merge-stream (repeat\n"
+      "per worker stream) validates and merges complete shard streams\n"
+      "into a certificate byte-identical to single-process --certify.\n"
+      "--serve reads line-delimited JSON requests from stdin (CI pipe\n"
+      "mode); --serve-socket listens on a Unix-domain socket; both keep\n"
+      "an LRU result cache of --cache-size plans (0 disables) and drain\n"
+      "gracefully on SIGINT.\n"
       "--metrics-out writes the campaign's merged domain metrics as JSON\n"
       "(deterministic for a given seed, any thread count); --trace-out\n"
       "writes the run's profiling spans as Chrome trace-event JSON (open\n"
@@ -129,6 +175,36 @@ bool parse_time(const char* text, double& out) {
   char* end = nullptr;
   out = std::strtod(text, &end);
   return end != text && *end == '\0' && out > 0.0;
+}
+
+/// Parses a "--certify-shard I/N" operand.
+bool parse_shard(const char* text, campaign::CertifyShardSpec& out) {
+  char* end = nullptr;
+  const long index = std::strtol(text, &end, 10);
+  if (end == text || *end != '/' || index < 0) return false;
+  const char* rest = end + 1;
+  const long total = std::strtol(rest, &end, 10);
+  if (end == rest || *end != '\0' || total <= 0 || index >= total) {
+    return false;
+  }
+  out.shard_index = static_cast<std::size_t>(index);
+  out.shard_count = static_cast<std::size_t>(total);
+  return true;
+}
+
+/// SIGINT sets the flag; certifyd drains the in-flight request and exits.
+/// Installed WITHOUT SA_RESTART so blocking reads return EINTR and the
+/// serve loops re-check the flag.
+std::atomic<bool> g_stop{false};
+
+extern "C" void handle_sigint(int) { g_stop.store(true); }
+
+void install_sigint_drain() {
+  struct sigaction action {};
+  action.sa_handler = handle_sigint;
+  sigemptyset(&action.sa_mask);
+  action.sa_flags = 0;
+  sigaction(SIGINT, &action, nullptr);
 }
 
 /// Input-file failure (unreadable or malformed): one line naming the file
@@ -174,6 +250,14 @@ int run(int argc, char** argv) {
   long repair_rounds = campaign::RepairSpec{}.max_rounds;
   std::string certify_out;
   std::string repair_out;
+  bool do_plan_key = false;
+  bool do_shard = false;
+  bool do_serve = false;
+  campaign::CertifyShardSpec shard;
+  std::string stream_out;
+  std::vector<std::string> merge_streams;
+  std::string serve_socket_path;
+  long cache_size = 64;
   campaign::CampaignOptions options;
   // An interesting default mix: short missions, some over-budget attacks,
   // occasional benign silences and wrong suspicions. Link faults stay
@@ -248,6 +332,23 @@ int run(int argc, char** argv) {
     } else if (arg == "--repair-out" && i + 1 < argc) {
       repair_out = argv[++i];
       do_repair = true;
+    } else if (arg == "--plan-key") {
+      do_plan_key = true;
+    } else if (arg == "--certify-shard" && i + 1 < argc &&
+               parse_shard(argv[++i], shard)) {
+      do_shard = true;
+    } else if (arg == "--stream-out" && i + 1 < argc) {
+      stream_out = argv[++i];
+    } else if (arg == "--merge-stream" && i + 1 < argc) {
+      merge_streams.emplace_back(argv[++i]);
+    } else if (arg == "--serve") {
+      do_serve = true;
+    } else if (arg == "--serve-socket" && i + 1 < argc) {
+      serve_socket_path = argv[++i];
+      do_serve = true;
+    } else if (arg == "--cache-size" && i + 1 < argc &&
+               parse_number(argv[++i], number)) {
+      cache_size = number;
     } else if (arg == "--replay" && i + 1 < argc) {
       replay_file = argv[++i];
     } else if (arg == "--metrics-out" && i + 1 < argc) {
@@ -259,6 +360,18 @@ int run(int argc, char** argv) {
     } else {
       return usage();
     }
+  }
+
+  if (do_serve) {
+    service::ServeOptions serve_options;
+    serve_options.cache_capacity = static_cast<std::size_t>(cache_size);
+    serve_options.threads = options.threads;
+    serve_options.stop = &g_stop;
+    install_sigint_drain();
+    if (!serve_socket_path.empty()) {
+      return service::serve_socket(serve_socket_path, serve_options);
+    }
+    return service::serve_lines(std::cin, std::cout, serve_options);
   }
 
   workload::OwnedProblem owned;
@@ -291,9 +404,75 @@ int run(int argc, char** argv) {
   }
   const Schedule& sched = result.value();
   const ArchitectureGraph& arch = *owned.problem.architecture;
-  std::printf("schedule: %s, K=%d, makespan %s\n",
-              to_string(sched.kind()).c_str(), sched.failures_tolerated(),
-              time_to_string(sched.makespan()).c_str());
+
+  // The certification budgets the service modes key/shard/merge against —
+  // identical to what --certify below builds, so --plan-key prints exactly
+  // the key a certifyd submission with these flags would look up.
+  campaign::CertifySpec service_spec;
+  service_spec.max_failures = options.oracle.claimed_tolerance;
+  service_spec.max_link_failures = static_cast<int>(certify_links);
+  service_spec.max_silences = static_cast<int>(certify_silences);
+  service_spec.response_bound = options.oracle.response_bound;
+  service_spec.threads = options.threads;
+
+  if (do_plan_key) {
+    // Bare key on stdout: scripts compare two problems' cache identity.
+    std::printf("%s\n", service::plan_key_string(sched, service_spec).c_str());
+    return 0;
+  }
+
+  if (!do_shard) {
+    // Shard mode keeps stdout clean: with no --stream-out the NDJSON
+    // records themselves go there.
+    std::printf("schedule: %s, K=%d, makespan %s\n",
+                to_string(sched.kind()).c_str(), sched.failures_tolerated(),
+                time_to_string(sched.makespan()).c_str());
+  }
+
+  if (do_shard) {
+    std::ofstream file;
+    std::ostream* out = &std::cout;
+    if (!stream_out.empty()) {
+      file.open(stream_out);
+      if (!file) {
+        std::fprintf(stderr, "cannot write %s\n", stream_out.c_str());
+        return 2;
+      }
+      out = &file;
+    }
+    service::OstreamSink sink(*out);
+    const service::StreamShardResult shard_result =
+        service::certify_stream(sched, service_spec, shard, sink);
+    std::fprintf(stderr, "shard %zu/%zu: %zu tasks streamed\n",
+                 shard.shard_index, shard.shard_count,
+                 shard_result.tasks_emitted);
+    return shard_result.completed ? 0 : 1;
+  }
+
+  if (!merge_streams.empty()) {
+    std::vector<std::string> streams;
+    for (const std::string& path : merge_streams) {
+      std::ifstream file(path);
+      if (!file) {
+        return input_error(path, "cannot open file");
+      }
+      std::stringstream buffer;
+      buffer << file.rdbuf();
+      streams.push_back(buffer.str());
+    }
+    const Expected<campaign::CertifyReport> merged =
+        service::merge_streams(sched, service_spec, streams);
+    if (!merged) {
+      return input_error(merge_streams.front(), merged.error().message);
+    }
+    const campaign::CertifyReport& report = merged.value();
+    std::fputs(report.to_text(arch).c_str(), stdout);
+    if (!certify_out.empty() &&
+        !write_file(certify_out, report.to_json(arch))) {
+      return 2;
+    }
+    return report.certified ? 0 : 1;
+  }
 
   if (!replay_file.empty()) {
     std::ifstream file(replay_file);

@@ -7,6 +7,7 @@
 #include "arch/architecture_graph.hpp"
 #include "campaign/canonical.hpp"
 #include "campaign/work_pool.hpp"
+#include "core/error.hpp"
 #include "core/time.hpp"
 #include "obs/json_util.hpp"
 #include "obs/span.hpp"
@@ -17,20 +18,6 @@
 namespace ftsched::campaign {
 
 namespace {
-
-/// One task's contribution, merged in task-index order (determinism).
-struct Partial {
-  std::size_t branches = 0;
-  std::size_t forks = 0;
-  std::size_t leaves_reused = 0;
-  std::size_t events_simulated = 0;
-  std::size_t instants_kept = 0;
-  std::size_t instants_merged = 0;
-  std::size_t total_counterexamples = 0;
-  Time worst_response = 0;
-  std::vector<CertifyBranch> counterexamples;
-  std::vector<CertifyBranch> collected;
-};
 
 /// Static watch-chain deadlines: instants a continuously shifting arrival
 /// can cross, flipping a receiver's timeout decision. Only the
@@ -88,7 +75,8 @@ class Explorer {
  public:
   Explorer(const Simulator& simulator, const CertifySpec& spec,
            const std::vector<Time>& deadlines, std::size_t procs,
-           std::size_t links, std::uint64_t schedule_key, Partial& out)
+           std::size_t links, std::uint64_t schedule_key,
+           CertifyTaskPartial& out)
       : sim_(simulator),
         spec_(spec),
         deadlines_(deadlines),
@@ -587,7 +575,7 @@ class Explorer {
   const std::uint64_t schedule_key_;
   std::uint64_t pending_key_ = 0;
   bool have_pending_key_ = false;
-  Partial& out_;
+  CertifyTaskPartial& out_;
   std::vector<ProcessorId> dead_;
   std::vector<LinkId> dead_links_;
   std::vector<FailureEvent> crashes_;
@@ -655,36 +643,17 @@ MissionPlan counterexample_plan(const CertifyBranch& branch) {
   return plan;
 }
 
-CertifyReport certify(const Schedule& schedule, const CertifySpec& spec) {
-  FTSCHED_SPAN("certify.run");
-  const auto wall_start = std::chrono::steady_clock::now();
+namespace {
 
-  const std::size_t procs =
-      schedule.problem().architecture->processor_count();
-  const std::size_t links = schedule.problem().architecture->link_count();
-  int max_failures = spec.max_failures < 0 ? schedule.failures_tolerated()
-                                           : spec.max_failures;
-  max_failures = std::clamp(max_failures, 0,
-                            static_cast<int>(procs) - 1);
-  const int max_links =
-      std::clamp(spec.max_link_failures, 0, static_cast<int>(links));
-  const int max_silences = std::max(spec.max_silences, 0);
-
-  const Simulator simulator(schedule);
-  const std::vector<Time> deadlines = static_deadlines(schedule);
+/// The fully resolved sweep: budgets clamped, subsets materialized, tasks
+/// enumerated in the canonical global order every shard agrees on. A pure
+/// function of (schedule, spec).
+struct SweepPlan {
+  int max_failures = 0;
+  int max_links = 0;
+  int max_silences = 0;
   std::vector<std::vector<ProcessorId>> subsets;
-  for (const std::vector<int>& ids : id_subsets(procs, max_failures)) {
-    subsets.push_back(to_proc_ids(ids));
-  }
   std::vector<std::vector<LinkId>> link_subsets;
-  for (const std::vector<int>& ids : id_subsets(links, max_links)) {
-    link_subsets.push_back(to_link_ids(ids));
-  }
-
-  // Tasks: each (processor subset, link subset) pair's own leaf, plus —
-  // when some mid-run budget remains — one subtree per first fault victim
-  // in canonical class order, splitting the dominant small-subset
-  // subtrees across workers.
   struct Task {
     const std::vector<ProcessorId>* dead;
     const std::vector<LinkId>* dead_links;
@@ -692,16 +661,44 @@ CertifyReport certify(const Schedule& schedule, const CertifySpec& spec) {
     Budgets budgets;
   };
   std::vector<Task> tasks;
-  for (const std::vector<ProcessorId>& dead : subsets) {
-    for (const std::vector<LinkId>& dead_links : link_subsets) {
+};
+
+SweepPlan build_sweep_plan(const Schedule& schedule, const CertifySpec& spec) {
+  const std::size_t procs =
+      schedule.problem().architecture->processor_count();
+  const std::size_t links = schedule.problem().architecture->link_count();
+  SweepPlan plan;
+  int max_failures = spec.max_failures < 0 ? schedule.failures_tolerated()
+                                           : spec.max_failures;
+  plan.max_failures = std::clamp(max_failures, 0,
+                                 static_cast<int>(procs) - 1);
+  plan.max_links =
+      std::clamp(spec.max_link_failures, 0, static_cast<int>(links));
+  plan.max_silences = std::max(spec.max_silences, 0);
+
+  for (const std::vector<int>& ids : id_subsets(procs, plan.max_failures)) {
+    plan.subsets.push_back(to_proc_ids(ids));
+  }
+  for (const std::vector<int>& ids : id_subsets(links, plan.max_links)) {
+    plan.link_subsets.push_back(to_link_ids(ids));
+  }
+
+  // Tasks: each (processor subset, link subset) pair's own leaf, plus —
+  // when some mid-run budget remains — one subtree per first fault victim
+  // in canonical class order, splitting the dominant small-subset
+  // subtrees across workers.
+  for (const std::vector<ProcessorId>& dead : plan.subsets) {
+    for (const std::vector<LinkId>& dead_links : plan.link_subsets) {
       Budgets budgets;
-      budgets.crashes = max_failures - static_cast<int>(dead.size());
-      budgets.links = max_links - static_cast<int>(dead_links.size());
-      budgets.silences = max_silences;
-      tasks.push_back(Task{&dead, &dead_links, FaultKey{}, budgets});
+      budgets.crashes = plan.max_failures - static_cast<int>(dead.size());
+      budgets.links = plan.max_links - static_cast<int>(dead_links.size());
+      budgets.silences = plan.max_silences;
+      plan.tasks.push_back(
+          SweepPlan::Task{&dead, &dead_links, FaultKey{}, budgets});
       if (budgets.exhausted()) continue;
       auto add_first = [&](int cls, int id) {
-        tasks.push_back(Task{&dead, &dead_links, FaultKey{cls, id}, budgets});
+        plan.tasks.push_back(
+            SweepPlan::Task{&dead, &dead_links, FaultKey{cls, id}, budgets});
       };
       if (budgets.crashes > 0) {
         for (std::size_t p = 0; p < procs; ++p) {
@@ -735,71 +732,175 @@ CertifyReport certify(const Schedule& schedule, const CertifySpec& spec) {
       }
     }
   }
+  return plan;
+}
 
-  std::vector<Partial> partials(tasks.size());
-  const unsigned threads = resolve_threads(spec.threads);
+CertifySweep sweep_of(const SweepPlan& plan, const CertifySpec& spec) {
+  CertifySweep sweep;
+  sweep.max_failures = plan.max_failures;
+  sweep.max_link_failures = plan.max_links;
+  sweep.max_silences = plan.max_silences;
+  sweep.response_bound = spec.response_bound;
+  sweep.subsets = plan.subsets.size();
+  sweep.link_subsets = plan.link_subsets.size();
+  sweep.tasks = plan.tasks.size();
+  return sweep;
+}
+
+}  // namespace
+
+CertifySweep certify_sweep(const Schedule& schedule,
+                           const CertifySpec& spec) {
+  return sweep_of(build_sweep_plan(schedule, spec), spec);
+}
+
+CertifyMerger::CertifyMerger(const CertifySweep& sweep,
+                             const CertifySpec& spec)
+    : max_counterexamples_(spec.max_counterexamples),
+      collect_branches_(spec.collect_branches) {
+  report_.max_failures = sweep.max_failures;
+  report_.max_link_failures = sweep.max_link_failures;
+  report_.max_silences = sweep.max_silences;
+  report_.response_bound = sweep.response_bound;
+  report_.subsets = sweep.subsets;
+  report_.link_subsets = sweep.link_subsets;
+}
+
+void CertifyMerger::add(CertifyTaskPartial&& partial) {
+  FTSCHED_REQUIRE(!any_added_ || partial.task_index > last_index_,
+                  "CertifyMerger::add requires ascending task indices");
+  any_added_ = true;
+  last_index_ = partial.task_index;
+  report_.branches += partial.branches;
+  report_.forks += partial.forks;
+  report_.leaves_reused += partial.leaves_reused;
+  report_.events_simulated += partial.events_simulated;
+  report_.instants_kept += partial.instants_kept;
+  report_.instants_merged += partial.instants_merged;
+  report_.total_counterexamples += partial.total_counterexamples;
+  report_.worst_response =
+      std::max(report_.worst_response, partial.worst_response);
+  for (CertifyBranch& cex : partial.counterexamples) {
+    if (report_.counterexamples.size() < max_counterexamples_) {
+      report_.counterexamples.push_back(std::move(cex));
+    }
+  }
+  if (collect_branches_) {
+    for (CertifyBranch& branch : partial.collected) {
+      report_.branches_list.push_back(std::move(branch));
+    }
+  }
+}
+
+CertifyReport CertifyMerger::finish() {
+  report_.certified = report_.total_counterexamples == 0;
+  report_.leaves_fresh = report_.branches - report_.leaves_reused;
+  report_.metrics.add_counter("certify.subsets", report_.subsets);
+  report_.metrics.add_counter("certify.link_subsets", report_.link_subsets);
+  report_.metrics.add_counter("certify.branches", report_.branches);
+  report_.metrics.add_counter("certify.forks", report_.forks);
+  report_.metrics.add_counter("certify.leaves_reused",
+                              report_.leaves_reused);
+  report_.metrics.add_counter("certify.leaves_fresh", report_.leaves_fresh);
+  report_.metrics.add_counter("certify.events_simulated",
+                              report_.events_simulated);
+  report_.metrics.add_counter("certify.instants_kept",
+                              report_.instants_kept);
+  report_.metrics.add_counter("certify.instants_merged",
+                              report_.instants_merged);
+  report_.metrics.add_counter("certify.counterexamples",
+                              report_.total_counterexamples);
+  return std::move(report_);
+}
+
+bool certify_shard(const Schedule& schedule, const CertifySpec& spec,
+                   const CertifyShardSpec& shard,
+                   const std::function<void(CertifyTaskPartial&&)>& emit,
+                   const std::function<bool()>& cancelled) {
+  FTSCHED_SPAN("certify.shard");
+  FTSCHED_REQUIRE(shard.shard_count >= 1 &&
+                      shard.shard_index < shard.shard_count,
+                  "certify_shard: shard_index must be < shard_count");
+  const SweepPlan plan = build_sweep_plan(schedule, spec);
+  const std::size_t procs =
+      schedule.problem().architecture->processor_count();
+  const std::size_t links = schedule.problem().architecture->link_count();
+  const Simulator simulator(schedule);
+  const std::vector<Time> deadlines = static_deadlines(schedule);
   const std::uint64_t schedule_key =
       spec.cache != nullptr ? schedule_hash(schedule) : 0;
-  auto run_task = [&](std::size_t t) {
-    Explorer explorer(simulator, spec, deadlines, procs, links, schedule_key,
-                      partials[t]);
-    explorer.run(*tasks[t].dead, *tasks[t].dead_links, tasks[t].first,
-                 tasks[t].budgets);
-  };
-  if (threads == 1 || tasks.size() <= 1) {
-    for (std::size_t t = 0; t < tasks.size(); ++t) run_task(t);
-  } else {
-    WorkPool pool(threads);
-    for (std::size_t t = 0; t < tasks.size(); ++t) {
-      pool.submit([&, t] { run_task(t); });
-    }
-    pool.wait();
+
+  std::vector<std::size_t> owned;
+  for (std::size_t t = 0; t < plan.tasks.size(); ++t) {
+    if (shard.owns(t)) owned.push_back(t);
   }
 
-  CertifyReport report;
-  report.max_failures = max_failures;
-  report.max_link_failures = max_links;
-  report.max_silences = max_silences;
-  report.response_bound = spec.response_bound;
-  report.subsets = subsets.size();
-  report.link_subsets = link_subsets.size();
-  report.threads_used = threads;
-  for (Partial& partial : partials) {
-    report.branches += partial.branches;
-    report.forks += partial.forks;
-    report.leaves_reused += partial.leaves_reused;
-    report.events_simulated += partial.events_simulated;
-    report.instants_kept += partial.instants_kept;
-    report.instants_merged += partial.instants_merged;
-    report.total_counterexamples += partial.total_counterexamples;
-    report.worst_response =
-        std::max(report.worst_response, partial.worst_response);
-    for (CertifyBranch& cex : partial.counterexamples) {
-      if (report.counterexamples.size() < spec.max_counterexamples) {
-        report.counterexamples.push_back(std::move(cex));
-      }
+  auto run_task = [&](std::size_t t) {
+    CertifyTaskPartial partial;
+    partial.task_index = t;
+    Explorer explorer(simulator, spec, deadlines, procs, links, schedule_key,
+                      partial);
+    explorer.run(*plan.tasks[t].dead, *plan.tasks[t].dead_links,
+                 plan.tasks[t].first, plan.tasks[t].budgets);
+    return partial;
+  };
+
+  const unsigned threads = resolve_threads(spec.threads);
+  if (threads == 1 || owned.size() <= 1) {
+    for (const std::size_t t : owned) {
+      if (cancelled && cancelled()) return false;
+      emit(run_task(t));
     }
-    if (spec.collect_branches) {
-      for (CertifyBranch& branch : partial.collected) {
-        report.branches_list.push_back(std::move(branch));
-      }
-    }
+    return true;
   }
-  report.certified = report.total_counterexamples == 0;
-  report.leaves_fresh = report.branches - report.leaves_reused;
-  report.metrics.add_counter("certify.subsets", report.subsets);
-  report.metrics.add_counter("certify.link_subsets", report.link_subsets);
-  report.metrics.add_counter("certify.branches", report.branches);
-  report.metrics.add_counter("certify.forks", report.forks);
-  report.metrics.add_counter("certify.leaves_reused", report.leaves_reused);
-  report.metrics.add_counter("certify.leaves_fresh", report.leaves_fresh);
-  report.metrics.add_counter("certify.events_simulated",
-                             report.events_simulated);
-  report.metrics.add_counter("certify.instants_kept", report.instants_kept);
-  report.metrics.add_counter("certify.instants_merged",
-                             report.instants_merged);
-  report.metrics.add_counter("certify.counterexamples",
-                             report.total_counterexamples);
+
+  // Parallel path: workers finish out of order; completed partials park in
+  // a cursor-ordered buffer and are flushed to `emit` in ascending task
+  // order, so the consumer sees exactly the single-threaded stream. The
+  // buffer is bounded by the out-of-order window (at most the number of
+  // in-flight tasks), not the task count.
+  std::mutex emit_mutex;
+  std::unordered_map<std::size_t, CertifyTaskPartial> ready;
+  std::size_t next_pos = 0;
+  bool was_cancelled = false;
+  WorkPool pool(threads);
+  for (std::size_t pos = 0; pos < owned.size(); ++pos) {
+    pool.submit([&, pos] {
+      {
+        const std::lock_guard<std::mutex> lock(emit_mutex);
+        if (was_cancelled) return;
+        if (cancelled && cancelled()) {
+          was_cancelled = true;
+          return;
+        }
+      }
+      CertifyTaskPartial partial = run_task(owned[pos]);
+      const std::lock_guard<std::mutex> lock(emit_mutex);
+      ready.emplace(pos, std::move(partial));
+      while (true) {
+        const auto it = ready.find(next_pos);
+        if (it == ready.end()) break;
+        emit(std::move(it->second));
+        ready.erase(it);
+        ++next_pos;
+      }
+    });
+  }
+  pool.wait();
+  return !was_cancelled;
+}
+
+CertifyReport certify(const Schedule& schedule, const CertifySpec& spec) {
+  FTSCHED_SPAN("certify.run");
+  const auto wall_start = std::chrono::steady_clock::now();
+
+  CertifyMerger merger(certify_sweep(schedule, spec), spec);
+  certify_shard(schedule, spec, CertifyShardSpec{},
+                [&](CertifyTaskPartial&& partial) {
+                  merger.add(std::move(partial));
+                });
+  CertifyReport report = merger.finish();
+  report.threads_used = resolve_threads(spec.threads);
   report.elapsed_seconds =
       std::chrono::duration<double>(std::chrono::steady_clock::now() -
                                     wall_start)

@@ -73,6 +73,7 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <functional>
 #include <mutex>
 #include <optional>
 #include <string>
@@ -264,5 +265,98 @@ struct CertifyReport {
 /// is a pure function of (schedule, spec), independent of thread count.
 [[nodiscard]] CertifyReport certify(const Schedule& schedule,
                                     const CertifySpec& spec = {});
+
+// ---------------------------------------------------------------------------
+// Sharded execution (certification as a service, src/service).
+//
+// The sweep's task fan-out — one task per (dead processor subset, dead link
+// subset, typed first victim) — is a deterministic, globally indexed list,
+// so N workers on N machines can split it by task index and a merge of
+// their per-task partials in ascending task order reproduces the
+// single-process certificate byte for byte.
+
+/// Deterministic task-range assignment: shard i of n owns every task t
+/// with t % shard_count == shard_index.
+struct CertifyShardSpec {
+  std::size_t shard_index = 0;
+  std::size_t shard_count = 1;
+
+  [[nodiscard]] bool owns(std::size_t task_index) const {
+    return task_index % shard_count == shard_index;
+  }
+};
+
+/// The resolved shape of one sweep — identical on every shard because it is
+/// a pure function of (schedule, spec): budgets clamped, subsets counted,
+/// tasks enumerated.
+struct CertifySweep {
+  int max_failures = 0;
+  int max_link_failures = 0;
+  int max_silences = 0;
+  Time response_bound = kInfinite;
+  std::size_t subsets = 0;
+  std::size_t link_subsets = 0;
+  /// Global task count; shard task indices are 0..tasks-1.
+  std::size_t tasks = 0;
+};
+
+[[nodiscard]] CertifySweep certify_sweep(const Schedule& schedule,
+                                         const CertifySpec& spec);
+
+/// One task's contribution to the certificate. Counterexample detail is
+/// capped at spec.max_counterexamples per task (every one is counted in
+/// total_counterexamples) — exactly the prefix a task-order merge keeps,
+/// so the per-task cap never loses a record the merged certificate needs.
+struct CertifyTaskPartial {
+  std::size_t task_index = 0;
+  std::size_t branches = 0;
+  std::size_t forks = 0;
+  std::size_t leaves_reused = 0;
+  std::size_t events_simulated = 0;
+  std::size_t instants_kept = 0;
+  std::size_t instants_merged = 0;
+  std::size_t total_counterexamples = 0;
+  Time worst_response = 0;
+  std::vector<CertifyBranch> counterexamples;
+  /// Certified branches (spec.collect_branches only; never streamed).
+  std::vector<CertifyBranch> collected;
+};
+
+/// Folds task partials — presented in ascending task-index order, each
+/// task exactly once — into the final report. Memory is O(max_
+/// counterexamples), independent of branch count, which is the streaming
+/// path's bounded-memory guarantee. certify() itself merges through this
+/// class, so any complete shard split merges byte-identically to the
+/// single-process certificate.
+class CertifyMerger {
+ public:
+  CertifyMerger(const CertifySweep& sweep, const CertifySpec& spec);
+
+  /// Requires partial.task_index strictly greater than the previous add's.
+  void add(CertifyTaskPartial&& partial);
+
+  /// Finalizes verdict, derived counters, and certify.* metrics. The
+  /// merger is spent afterwards.
+  [[nodiscard]] CertifyReport finish();
+
+ private:
+  std::size_t max_counterexamples_;
+  bool collect_branches_;
+  bool any_added_ = false;
+  std::size_t last_index_ = 0;
+  CertifyReport report_;
+};
+
+/// Runs the shard's slice of the sweep and hands each finished task's
+/// partial to `emit` in ascending global task-index order (emit is never
+/// called concurrently). `cancelled`, when provided, is polled between
+/// tasks: once it returns true, remaining tasks are abandoned and the
+/// function returns false (the per-request deadline hook of the certifyd
+/// server); a null/false-forever hook always returns true. Deterministic
+/// for any thread count, like certify().
+bool certify_shard(const Schedule& schedule, const CertifySpec& spec,
+                   const CertifyShardSpec& shard,
+                   const std::function<void(CertifyTaskPartial&&)>& emit,
+                   const std::function<bool()>& cancelled = {});
 
 }  // namespace ftsched::campaign

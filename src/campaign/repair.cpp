@@ -485,6 +485,18 @@ std::string to_string(RepairMove::Kind kind) {
   return "?";
 }
 
+std::size_t preferred_candidate(const std::vector<Time>& makespans) {
+  FTSCHED_REQUIRE(!makespans.empty(),
+                  "preferred_candidate needs at least one candidate");
+  std::size_t best = 0;
+  for (std::size_t i = 1; i < makespans.size(); ++i) {
+    // Strict comparison: equal makespans keep the earlier proposal, so
+    // the tie-break is the deterministic move-proposal order.
+    if (makespans[i] < makespans[best]) best = i;
+  }
+  return best;
+}
+
 RepairReport repair(const Problem& problem, HeuristicKind kind,
                     const RepairSpec& spec) {
   FTSCHED_SPAN("repair.run");
@@ -512,6 +524,7 @@ RepairReport repair(const Problem& problem, HeuristicKind kind,
   bool pending_has_move = false;
   RepairMove pending_move;
   std::size_t pending_tried = 0;
+  std::size_t pending_surviving = 0;
 
   for (int round = 0;; ++round) {
     const CertifyReport cert = certify(cur.value(), cspec);
@@ -520,7 +533,9 @@ RepairReport repair(const Problem& problem, HeuristicKind kind,
     r.has_move = pending_has_move;
     r.move = pending_move;
     r.candidates_tried = pending_tried;
+    r.candidates_surviving = pending_surviving;
     r.schedule_key = schedule_hash(cur.value());
+    r.makespan = cur.value().makespan();
     r.certified = cert.certified;
     r.branches = cert.branches;
     r.total_counterexamples = cert.total_counterexamples;
@@ -529,6 +544,7 @@ RepairReport repair(const Problem& problem, HeuristicKind kind,
     r.events_simulated = cert.events_simulated;
     pending_has_move = false;
     pending_tried = 0;
+    pending_surviving = 0;
 
     if (cert.certified) {
       rep.rounds.push_back(std::move(r));
@@ -579,7 +595,19 @@ RepairReport repair(const Problem& problem, HeuristicKind kind,
     const std::vector<RepairMove> moves =
         propose_moves(problem, cur_kind, cur.value(), bank.back(), opts,
                       spec.max_candidates);
-    bool accepted = false;
+    // Screen EVERY proposed move, then accept the surviving candidate
+    // with the lowest repaired makespan (ties: earliest proposal) — the
+    // first-found survivor could lock in a needlessly slow schedule that
+    // later rounds can only constrain further, never relax.
+    struct Candidate {
+      RepairMove move;
+      Schedule schedule;
+      HeuristicKind kind;
+      SchedulerOptions opts;
+    };
+    std::vector<Candidate> survivors;
+    std::vector<Time> survivor_makespans;
+    std::unordered_set<std::uint64_t> survivor_keys;
     for (const RepairMove& move : moves) {
       ++pending_tried;
       ++moves_tried;
@@ -591,18 +619,32 @@ RepairReport repair(const Problem& problem, HeuristicKind kind,
       if (!cand) continue;
       // A candidate that re-derives an already-visited schedule is a
       // cycle; one that breaks any banked reproducer is a regression.
-      if (!seen.insert(schedule_hash(cand.value())).second) continue;
-      if (!fixes_bank(cand.value(), bank, screen)) continue;
-      cur = std::move(cand);
-      cur_kind = next_kind;
-      opts = std::move(next_opts);
-      pending_has_move = true;
-      pending_move = move;
-      ++moves_accepted;
-      accepted = true;
-      break;
+      // The bank only grows, so a regression now is a regression in every
+      // later round too — mark it visited. Unchosen survivors stay
+      // unmarked: a different future bank state never makes them worse,
+      // and a later round may legitimately re-derive one.
+      const std::uint64_t key = schedule_hash(cand.value());
+      if (seen.contains(key) || survivor_keys.contains(key)) continue;
+      if (!fixes_bank(cand.value(), bank, screen)) {
+        seen.insert(key);
+        continue;
+      }
+      survivor_keys.insert(key);
+      survivor_makespans.push_back(cand.value().makespan());
+      survivors.push_back(Candidate{move, std::move(cand).value(),
+                                    next_kind, std::move(next_opts)});
     }
-    if (!accepted) {
+    pending_surviving = survivors.size();
+    if (!survivors.empty()) {
+      Candidate& chosen = survivors[preferred_candidate(survivor_makespans)];
+      seen.insert(schedule_hash(chosen.schedule));
+      cur = std::move(chosen.schedule);
+      cur_kind = chosen.kind;
+      opts = std::move(chosen.opts);
+      pending_has_move = true;
+      pending_move = chosen.move;
+      ++moves_accepted;
+    } else {
       rep.moves_exhausted = true;
       rep.certificate = cert;
       rep.failure =
@@ -821,7 +863,11 @@ std::string RepairReport::to_json(const AlgorithmGraph& graph,
     out += r.has_move ? move_json(r.move, graph, arch) : std::string("null");
     out += ", \"candidates_tried\": " +
            obs::json_number(static_cast<std::uint64_t>(r.candidates_tried));
+    out += ", \"candidates_surviving\": " +
+           obs::json_number(
+               static_cast<std::uint64_t>(r.candidates_surviving));
     out += ", \"schedule_key\": " + obs::json_string(hex_key(r.schedule_key));
+    out += ", \"makespan\": " + obs::json_number(r.makespan);
     out += ", \"certified\": ";
     out += r.certified ? "true" : "false";
     out += ", \"branches\": " +

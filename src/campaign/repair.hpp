@@ -109,7 +109,13 @@ struct RepairRound {
   /// Candidates re-scheduled and screened before this round's move was
   /// accepted (counted on the round the move produced).
   std::size_t candidates_tried = 0;
+  /// Candidates that survived the screen (schedulable, unvisited, fix the
+  /// whole bank) — the pool the makespan ordering chose from.
+  std::size_t candidates_surviving = 0;
   std::uint64_t schedule_key = 0;
+  /// Makespan of this round's schedule (the repair cost the move ordering
+  /// minimizes).
+  Time makespan = 0;
   bool certified = false;
   std::size_t branches = 0;
   std::size_t total_counterexamples = 0;
@@ -161,6 +167,14 @@ struct RepairReport {
   [[nodiscard]] std::string to_json(const AlgorithmGraph& graph,
                                     const ArchitectureGraph& arch) const;
 };
+
+/// Cost-aware move ordering: index of the surviving candidate the round
+/// accepts — the lowest repaired makespan, ties broken by the earliest
+/// proposal (the deterministic move-proposal order), so a cheaper repair
+/// is never passed over for an earlier-proposed costlier one. Requires a
+/// non-empty list.
+[[nodiscard]] std::size_t preferred_candidate(
+    const std::vector<Time>& makespans);
 
 /// Runs the repair loop on `problem` starting from `kind`'s schedule.
 /// Deterministic: the report is a pure function of (problem, kind, spec).

@@ -1,0 +1,70 @@
+#include "service/cache.hpp"
+
+#include <cmath>
+#include <cstdio>
+
+namespace ftsched::service {
+
+std::string plan_key_string(const Schedule& schedule,
+                            const campaign::CertifySpec& spec) {
+  const campaign::CertifySweep sweep = campaign::certify_sweep(schedule, spec);
+  char buf[160];
+  char bound[40];
+  if (std::isfinite(sweep.response_bound)) {
+    std::snprintf(bound, sizeof bound, "%.17g", sweep.response_bound);
+  } else {
+    std::snprintf(bound, sizeof bound, "inf");
+  }
+  std::snprintf(buf, sizeof buf, "pk-%016llx-k%d-l%d-s%d-r%s-d%d-c%zu",
+                static_cast<unsigned long long>(schedule_hash(schedule)),
+                sweep.max_failures, sweep.max_link_failures,
+                sweep.max_silences, bound, spec.dedup ? 1 : 0,
+                spec.max_counterexamples);
+  return buf;
+}
+
+std::optional<CachedResult> ResultCache::get(const std::string& key) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = index_.find(key);
+  if (it == index_.end()) {
+    ++misses_;
+    return std::nullopt;
+  }
+  ++hits_;
+  order_.splice(order_.begin(), order_, it->second);
+  return it->second->result;
+}
+
+void ResultCache::put(const std::string& key, CachedResult value) {
+  if (capacity_ == 0) return;
+  const std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = index_.find(key);
+  if (it != index_.end()) {
+    it->second->result = std::move(value);
+    order_.splice(order_.begin(), order_, it->second);
+    return;
+  }
+  order_.push_front(Entry{key, std::move(value)});
+  index_.emplace(key, order_.begin());
+  while (index_.size() > capacity_) {
+    index_.erase(order_.back().key);
+    order_.pop_back();
+  }
+}
+
+std::size_t ResultCache::size() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return index_.size();
+}
+
+std::uint64_t ResultCache::hits() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return hits_;
+}
+
+std::uint64_t ResultCache::misses() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return misses_;
+}
+
+}  // namespace ftsched::service

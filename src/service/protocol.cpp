@@ -1,0 +1,70 @@
+#include "service/protocol.hpp"
+
+#include "service/json.hpp"
+
+namespace ftsched::service {
+
+Expected<Request> parse_request(std::string_view line) {
+  auto parsed = parse_json(line);
+  if (!parsed.has_value()) {
+    return Error{Error::Code::kInvalidInput,
+                 "request: " + parsed.error().message};
+  }
+  const JsonValue& object = parsed.value();
+  if (!object.is_object()) {
+    return Error{Error::Code::kInvalidInput,
+                 "request: not a JSON object"};
+  }
+  const std::string type = object.string_or("type", "");
+  Request request;
+  request.id = object.string_or("id", "");
+  if (type == "status") {
+    request.kind = Request::Kind::kStatus;
+    return request;
+  }
+  if (type == "shutdown") {
+    request.kind = Request::Kind::kShutdown;
+    return request;
+  }
+  if (type == "submit") {
+    request.kind = Request::Kind::kSubmit;
+    SubmitRequest& submit = request.submit;
+    submit.id = request.id;
+    submit.problem_path = object.string_or("problem", "");
+    submit.problem_inline = object.string_or("problem_inline", "");
+    if (submit.problem_path.empty() && submit.problem_inline.empty()) {
+      return Error{Error::Code::kInvalidInput,
+                   "request: submit needs \"problem\" or \"problem_inline\""};
+    }
+    if (!submit.problem_path.empty() && !submit.problem_inline.empty()) {
+      return Error{
+          Error::Code::kInvalidInput,
+          "request: \"problem\" and \"problem_inline\" are exclusive"};
+    }
+    submit.heuristic = object.string_or("heuristic", "solution1");
+    submit.claim_k = static_cast<int>(object.number_or("claim_k", -1));
+    submit.links = static_cast<int>(object.number_or("links", 0));
+    submit.silences = static_cast<int>(object.number_or("silences", 0));
+    if (const JsonValue* bound = object.find("response_bound")) {
+      if (bound->is_number() && bound->number > 0) {
+        submit.response_bound = bound->number;
+      } else if (!bound->is_null()) {
+        return Error{Error::Code::kInvalidInput,
+                     "request: response_bound must be a positive number"};
+      }
+    }
+    submit.threads =
+        static_cast<unsigned>(object.number_or("threads", 0));
+    submit.deadline_ms = object.number_or("deadline_ms", 0);
+    if (submit.deadline_ms < 0) {
+      return Error{Error::Code::kInvalidInput,
+                   "request: deadline_ms must be >= 0"};
+    }
+    submit.certificate_out = object.string_or("certificate_out", "");
+    return request;
+  }
+  return Error{Error::Code::kInvalidInput,
+               "request: unknown type \"" + type + "\""};
+}
+
+}  // namespace ftsched::service

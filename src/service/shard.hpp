@@ -1,0 +1,48 @@
+// Shard/merge protocol: one certification spanning N workers.
+//
+// Shard i of n owns every global task t with t % n == i
+// (CertifyShardSpec::owns). certify_stream runs that slice and writes
+// meta/task/end records to a sink as tasks finish — bounded memory: at no
+// point does a full CertifyReport exist on the worker. merge_streams
+// re-canonicalizes any complete set of worker streams — records may arrive
+// interleaved or out of order within a stream — back into the ascending
+// global task order and folds them through the same CertifyMerger that
+// certify() itself uses, so the merged certificate is byte-identical to
+// the single-process one.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "campaign/certify.hpp"
+#include "core/error.hpp"
+#include "service/stream.hpp"
+
+namespace ftsched::service {
+
+struct StreamShardResult {
+  /// False when the cancel hook fired; the stream's end record then says
+  /// cancelled and merge_streams will refuse it.
+  bool completed = true;
+  std::size_t tasks_emitted = 0;
+};
+
+/// Runs shard `shard` of the sweep and streams its records into `sink`.
+[[nodiscard]] StreamShardResult certify_stream(
+    const Schedule& schedule, const campaign::CertifySpec& spec,
+    const campaign::CertifyShardSpec& shard, RecordSink& sink,
+    const std::function<bool()>& cancelled = {});
+
+/// Merges complete worker streams (one string per worker, NDJSON) into the
+/// certificate report. Validates before trusting: every stream carries a
+/// meta matching `schedule` + `spec` (same plan key, same sweep shape),
+/// shard assignments are consistent, every stream ends uncancelled with
+/// the advertised task count, and the union of task records covers each
+/// global task index exactly once.
+[[nodiscard]] Expected<campaign::CertifyReport> merge_streams(
+    const Schedule& schedule, const campaign::CertifySpec& spec,
+    const std::vector<std::string>& streams);
+
+}  // namespace ftsched::service

@@ -1,0 +1,278 @@
+#include "service/stream.hpp"
+
+#include <cmath>
+#include <cstdio>
+#include <limits>
+#include <ostream>
+
+#include "obs/json_util.hpp"
+#include "service/json.hpp"
+
+namespace ftsched::service {
+namespace {
+
+/// Exact double round-trip: 17 significant digits guarantee
+/// strtod(%.17g(x)) == x, so a time survives worker → stream → merger
+/// bit-for-bit and the merged certificate renders the same %.12g text as
+/// the single-process one. kInfinite (and anything non-finite) is null.
+std::string wire_time(Time t) {
+  if (!std::isfinite(t)) return "null";
+  char buf[40];
+  std::snprintf(buf, sizeof buf, "%.17g", t);
+  return buf;
+}
+
+Time read_time(const JsonValue& object, std::string_view key, Time def) {
+  const JsonValue* member = object.find(key);
+  if (member == nullptr) return def;
+  if (member->is_null()) return kInfinite;
+  if (member->is_number()) return member->number;
+  return def;
+}
+
+std::size_t read_size(const JsonValue& object, std::string_view key) {
+  return static_cast<std::size_t>(object.number_or(key, 0));
+}
+
+bool append_ids(const JsonValue* array, auto& out) {
+  if (array == nullptr) return true;  // absent = empty
+  if (!array->is_array()) return false;
+  for (const JsonValue& item : array->items) {
+    if (!item.is_number()) return false;
+    out.emplace_back(static_cast<std::int32_t>(item.number));
+  }
+  return true;
+}
+
+}  // namespace
+
+void OstreamSink::write(std::string_view line) {
+  out_ << line << '\n';
+  out_.flush();
+}
+
+std::string write_branch(const campaign::CertifyBranch& branch) {
+  std::string out = "{\"dead\":[";
+  for (std::size_t i = 0; i < branch.dead_at_start.size(); ++i) {
+    if (i > 0) out += ',';
+    out += std::to_string(branch.dead_at_start[i].value());
+  }
+  out += "],\"dead_links\":[";
+  for (std::size_t i = 0; i < branch.dead_links_at_start.size(); ++i) {
+    if (i > 0) out += ',';
+    out += std::to_string(branch.dead_links_at_start[i].value());
+  }
+  out += "],\"crashes\":[";
+  for (std::size_t i = 0; i < branch.crashes.size(); ++i) {
+    if (i > 0) out += ',';
+    out += "{\"p\":" + std::to_string(branch.crashes[i].processor.value()) +
+           ",\"t\":" + wire_time(branch.crashes[i].time) + "}";
+  }
+  out += "],\"link_crashes\":[";
+  for (std::size_t i = 0; i < branch.link_crashes.size(); ++i) {
+    if (i > 0) out += ',';
+    out += "{\"l\":" + std::to_string(branch.link_crashes[i].link.value()) +
+           ",\"t\":" + wire_time(branch.link_crashes[i].time) + "}";
+  }
+  out += "],\"silences\":[";
+  for (std::size_t i = 0; i < branch.silences.size(); ++i) {
+    if (i > 0) out += ',';
+    out += "{\"p\":" + std::to_string(branch.silences[i].processor.value()) +
+           ",\"from\":" + wire_time(branch.silences[i].from) +
+           ",\"to\":" + wire_time(branch.silences[i].to) + "}";
+  }
+  out += "],\"lost\":";
+  out += branch.outputs_lost ? "true" : "false";
+  out += ",\"response\":" + wire_time(branch.response_time) + "}";
+  return out;
+}
+
+std::string write_meta_record(const StreamMeta& meta) {
+  std::string out = "{\"type\":\"meta\",\"format\":" +
+                    std::to_string(meta.format) +
+                    ",\"plan_key\":" + obs::json_string(meta.plan_key);
+  out += ",\"max_failures\":" + std::to_string(meta.max_failures);
+  out += ",\"max_link_failures\":" + std::to_string(meta.max_link_failures);
+  out += ",\"max_silences\":" + std::to_string(meta.max_silences);
+  out += ",\"response_bound\":" + wire_time(meta.response_bound);
+  out += ",\"subsets\":" + std::to_string(meta.subsets);
+  out += ",\"link_subsets\":" + std::to_string(meta.link_subsets);
+  out += ",\"tasks\":" + std::to_string(meta.tasks);
+  out += ",\"shard_index\":" + std::to_string(meta.shard_index);
+  out += ",\"shard_count\":" + std::to_string(meta.shard_count);
+  out += ",\"max_counterexamples\":" +
+         std::to_string(meta.max_counterexamples);
+  out += ",\"dedup\":";
+  out += meta.dedup ? "true" : "false";
+  out += "}";
+  return out;
+}
+
+std::string write_task_record(const campaign::CertifyTaskPartial& task) {
+  std::string out =
+      "{\"type\":\"task\",\"task\":" + std::to_string(task.task_index);
+  out += ",\"branches\":" + std::to_string(task.branches);
+  out += ",\"forks\":" + std::to_string(task.forks);
+  out += ",\"leaves_reused\":" + std::to_string(task.leaves_reused);
+  out += ",\"events_simulated\":" + std::to_string(task.events_simulated);
+  out += ",\"instants_kept\":" + std::to_string(task.instants_kept);
+  out += ",\"instants_merged\":" + std::to_string(task.instants_merged);
+  out += ",\"total_counterexamples\":" +
+         std::to_string(task.total_counterexamples);
+  out += ",\"worst_response\":" + wire_time(task.worst_response);
+  out += ",\"counterexamples\":[";
+  for (std::size_t i = 0; i < task.counterexamples.size(); ++i) {
+    if (i > 0) out += ',';
+    out += write_branch(task.counterexamples[i]);
+  }
+  out += "]}";
+  return out;
+}
+
+std::string write_end_record(const StreamEnd& end) {
+  std::string out =
+      "{\"type\":\"end\",\"shard_index\":" + std::to_string(end.shard_index);
+  out += ",\"tasks_emitted\":" + std::to_string(end.tasks_emitted);
+  out += ",\"cancelled\":";
+  out += end.cancelled ? "true" : "false";
+  out += "}";
+  return out;
+}
+
+namespace {
+
+Expected<campaign::CertifyBranch> parse_branch(const JsonValue& object) {
+  const auto bad = [](const std::string& what) {
+    return Error{Error::Code::kInvalidInput, "stream: bad branch: " + what};
+  };
+  if (!object.is_object()) return bad("not an object");
+  campaign::CertifyBranch branch;
+  if (!append_ids(object.find("dead"), branch.dead_at_start)) {
+    return bad("dead must be an array of ids");
+  }
+  if (!append_ids(object.find("dead_links"), branch.dead_links_at_start)) {
+    return bad("dead_links must be an array of ids");
+  }
+  if (const JsonValue* crashes = object.find("crashes")) {
+    if (!crashes->is_array()) return bad("crashes must be an array");
+    for (const JsonValue& item : crashes->items) {
+      if (!item.is_object()) return bad("crash must be an object");
+      FailureEvent event;
+      event.processor =
+          ProcessorId(static_cast<std::int32_t>(item.number_or("p", -1)));
+      event.time = read_time(item, "t", 0);
+      branch.crashes.push_back(event);
+    }
+  }
+  if (const JsonValue* deaths = object.find("link_crashes")) {
+    if (!deaths->is_array()) return bad("link_crashes must be an array");
+    for (const JsonValue& item : deaths->items) {
+      if (!item.is_object()) return bad("link crash must be an object");
+      LinkFailureEvent event;
+      event.link = LinkId(static_cast<std::int32_t>(item.number_or("l", -1)));
+      event.time = read_time(item, "t", 0);
+      branch.link_crashes.push_back(event);
+    }
+  }
+  if (const JsonValue* silences = object.find("silences")) {
+    if (!silences->is_array()) return bad("silences must be an array");
+    for (const JsonValue& item : silences->items) {
+      if (!item.is_object()) return bad("silence must be an object");
+      SilentWindow window;
+      window.processor =
+          ProcessorId(static_cast<std::int32_t>(item.number_or("p", -1)));
+      window.from = read_time(item, "from", 0);
+      window.to = read_time(item, "to", 0);
+      branch.silences.push_back(window);
+    }
+  }
+  branch.outputs_lost = object.bool_or("lost", false);
+  branch.response_time = read_time(object, "response", kInfinite);
+  return branch;
+}
+
+}  // namespace
+
+Expected<StreamRecord> parse_record(std::string_view line) {
+  auto parsed = parse_json(line);
+  if (!parsed.has_value()) {
+    return Error{Error::Code::kInvalidInput,
+                 "stream: malformed record: " + parsed.error().message};
+  }
+  const JsonValue& object = parsed.value();
+  if (!object.is_object()) {
+    return Error{Error::Code::kInvalidInput,
+                 "stream: record is not a JSON object"};
+  }
+  const std::string type = object.string_or("type", "");
+  StreamRecord record;
+  if (type == "meta") {
+    record.kind = StreamRecord::Kind::kMeta;
+    StreamMeta& meta = record.meta;
+    meta.format = static_cast<int>(object.number_or("format", 0));
+    if (meta.format != 1) {
+      return Error{Error::Code::kInvalidInput,
+                   "stream: unsupported format " +
+                       std::to_string(meta.format)};
+    }
+    meta.plan_key = object.string_or("plan_key", "");
+    meta.max_failures = static_cast<int>(object.number_or("max_failures", 0));
+    meta.max_link_failures =
+        static_cast<int>(object.number_or("max_link_failures", 0));
+    meta.max_silences = static_cast<int>(object.number_or("max_silences", 0));
+    meta.response_bound = read_time(object, "response_bound", kInfinite);
+    meta.subsets = read_size(object, "subsets");
+    meta.link_subsets = read_size(object, "link_subsets");
+    meta.tasks = read_size(object, "tasks");
+    meta.shard_index = read_size(object, "shard_index");
+    meta.shard_count = read_size(object, "shard_count");
+    meta.max_counterexamples = read_size(object, "max_counterexamples");
+    meta.dedup = object.bool_or("dedup", true);
+    if (meta.shard_count == 0 || meta.shard_index >= meta.shard_count) {
+      return Error{Error::Code::kInvalidInput,
+                   "stream: meta has invalid shard assignment"};
+    }
+    return record;
+  }
+  if (type == "task") {
+    record.kind = StreamRecord::Kind::kTask;
+    campaign::CertifyTaskPartial& task = record.task;
+    const JsonValue* index = object.find("task");
+    if (index == nullptr || !index->is_number()) {
+      return Error{Error::Code::kInvalidInput,
+                   "stream: task record missing task index"};
+    }
+    task.task_index = static_cast<std::size_t>(index->number);
+    task.branches = read_size(object, "branches");
+    task.forks = read_size(object, "forks");
+    task.leaves_reused = read_size(object, "leaves_reused");
+    task.events_simulated = read_size(object, "events_simulated");
+    task.instants_kept = read_size(object, "instants_kept");
+    task.instants_merged = read_size(object, "instants_merged");
+    task.total_counterexamples = read_size(object, "total_counterexamples");
+    task.worst_response = read_time(object, "worst_response", 0);
+    if (const JsonValue* list = object.find("counterexamples")) {
+      if (!list->is_array()) {
+        return Error{Error::Code::kInvalidInput,
+                     "stream: counterexamples must be an array"};
+      }
+      for (const JsonValue& item : list->items) {
+        auto branch = parse_branch(item);
+        if (!branch.has_value()) return branch.error();
+        task.counterexamples.push_back(std::move(branch.value()));
+      }
+    }
+    return record;
+  }
+  if (type == "end") {
+    record.kind = StreamRecord::Kind::kEnd;
+    record.end.shard_index = read_size(object, "shard_index");
+    record.end.tasks_emitted = read_size(object, "tasks_emitted");
+    record.end.cancelled = object.bool_or("cancelled", false);
+    return record;
+  }
+  return Error{Error::Code::kInvalidInput,
+               "stream: unknown record type \"" + type + "\""};
+}
+
+}  // namespace ftsched::service

@@ -1,0 +1,111 @@
+// Streaming certificate protocol: newline-delimited JSON records.
+//
+// A shard worker emits exactly one `meta` record (the resolved sweep shape
+// plus the shard assignment — everything a merger must check before
+// trusting task records), then its owned `task` records in ascending
+// global task-index order, then one `end` record (a truncated stream is
+// detectable: no end, or tasks_emitted mismatch). Records are
+// self-delimiting lines, so a stream can be written to a pipe, a file, or
+// a socket and consumed incrementally with O(1) buffered lines.
+//
+// Wire fidelity. Times are serialized with %.17g — enough digits that
+// strtod returns the identical double — and kInfinite maps to JSON null;
+// ids travel as raw integers (names are an architecture concern: the
+// merged CertifyReport re-renders them via to_json(arch)). This is what
+// makes the merge byte-identical to the single-process certificate: the
+// merger rebuilds the exact CertifyTaskPartial values the worker's
+// CertifyMerger would have consumed locally.
+#pragma once
+
+#include <cstddef>
+#include <iosfwd>
+#include <string>
+#include <string_view>
+
+#include "campaign/certify.hpp"
+#include "core/error.hpp"
+#include "core/time.hpp"
+
+namespace ftsched::service {
+
+/// Destination for protocol records. Implementations append ONE newline
+/// per write; `line` itself never contains one.
+class RecordSink {
+ public:
+  virtual ~RecordSink() = default;
+  virtual void write(std::string_view line) = 0;
+};
+
+/// Collects records into a string (tests, merge fixtures).
+class StringSink : public RecordSink {
+ public:
+  void write(std::string_view line) override {
+    text_.append(line);
+    text_.push_back('\n');
+  }
+  [[nodiscard]] const std::string& text() const { return text_; }
+
+ private:
+  std::string text_;
+};
+
+/// Writes records to an ostream, one line each, flushed per record so a
+/// peer reading us through a pipe sees them as they happen.
+class OstreamSink : public RecordSink {
+ public:
+  explicit OstreamSink(std::ostream& out) : out_(out) {}
+  void write(std::string_view line) override;
+
+ private:
+  std::ostream& out_;
+};
+
+/// Stream header: the resolved sweep shape (budgets after clamping,
+/// enumeration sizes) plus this worker's shard assignment and the spec
+/// knobs that change certificate bytes (max_counterexamples, dedup).
+struct StreamMeta {
+  int format = 1;
+  std::string plan_key;
+  int max_failures = 0;
+  int max_link_failures = 0;
+  int max_silences = 0;
+  Time response_bound = kInfinite;
+  std::size_t subsets = 0;
+  std::size_t link_subsets = 0;
+  std::size_t tasks = 0;
+  std::size_t shard_index = 0;
+  std::size_t shard_count = 1;
+  std::size_t max_counterexamples = 0;
+  bool dedup = true;
+};
+
+/// Stream trailer; tasks_emitted lets the merger detect truncation and
+/// `cancelled` marks a deadline-abandoned shard as unusable.
+struct StreamEnd {
+  std::size_t shard_index = 0;
+  std::size_t tasks_emitted = 0;
+  bool cancelled = false;
+};
+
+struct StreamRecord {
+  enum class Kind { kMeta, kTask, kEnd };
+  Kind kind = Kind::kMeta;
+  StreamMeta meta;
+  campaign::CertifyTaskPartial task;
+  StreamEnd end;
+};
+
+[[nodiscard]] std::string write_meta_record(const StreamMeta& meta);
+[[nodiscard]] std::string write_task_record(
+    const campaign::CertifyTaskPartial& task);
+[[nodiscard]] std::string write_end_record(const StreamEnd& end);
+
+/// Branch serialization shared with the server's live counterexample
+/// records (numeric ids, %.17g times).
+[[nodiscard]] std::string write_branch(const campaign::CertifyBranch& branch);
+
+/// Parses one NDJSON protocol line. Malformed input — truncated JSON,
+/// unknown record type, wrong field kinds — yields a clean Error.
+[[nodiscard]] Expected<StreamRecord> parse_record(std::string_view line);
+
+}  // namespace ftsched::service

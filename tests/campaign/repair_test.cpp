@@ -7,6 +7,7 @@
 // reports exhaustion instead of looping.
 #include <gtest/gtest.h>
 
+#include <stdexcept>
 #include <string>
 
 #include "campaign/certify.hpp"
@@ -158,6 +159,32 @@ TEST(Repair, ImpossibleClaimReportsExhaustionNotALoop) {
   EXPECT_FALSE(report.rounds.back().certified);
   // The final counterexample is carried in the last round.
   EXPECT_GT(report.rounds.back().counterexample.event_count(), 0u);
+}
+
+TEST(Repair, PreferredCandidatePicksLowestMakespanEarliestTie) {
+  // Move ordering: among surviving candidates the repaired schedule with
+  // the lowest makespan wins; equal makespans keep the earliest proposal
+  // so the choice stays deterministic across proposal enumeration.
+  EXPECT_EQ(preferred_candidate({5.0, 3.0, 3.0, 4.0}), 1u);
+  EXPECT_EQ(preferred_candidate({7.5}), 0u);
+  EXPECT_EQ(preferred_candidate({2.0, 2.0, 2.0}), 0u);
+  EXPECT_EQ(preferred_candidate({9.0, 1.0}), 1u);
+  EXPECT_THROW((void)preferred_candidate({}), std::invalid_argument);
+}
+
+TEST(Repair, RoundsRecordSurvivorsAndMakespan) {
+  const OwnedProblem ex = k2_bus_problem();
+  const RepairReport report =
+      repair(ex.problem, HeuristicKind::kSolution2, k1_l1_spec());
+  ASSERT_TRUE(report.certified);
+  ASSERT_GE(report.rounds.size(), 2u);
+  for (const RepairRound& round : report.rounds) {
+    EXPECT_GT(round.makespan, 0.0);
+    if (round.has_move) {
+      // An accepted move implies at least one surviving candidate.
+      EXPECT_GE(round.candidates_surviving, 1u);
+    }
+  }
 }
 
 TEST(Repair, PaperExample1Solution1CertifiesInRoundZero) {

@@ -1,0 +1,253 @@
+// certifyd round trips: pipe-mode submit/status/shutdown, the plan-key
+// cache answering a repeated isomorphic submission, streamed
+// counterexample records, per-request deadlines, error handling on
+// malformed requests, and the Unix-domain socket transport.
+#include <gtest/gtest.h>
+
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <cstring>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "io/problem_format.hpp"
+#include "obs/json_util.hpp"
+#include "obs/metrics.hpp"
+#include "service/json.hpp"
+#include "service/server.hpp"
+#include "workload/paper_examples.hpp"
+
+namespace ftsched::service {
+namespace {
+
+/// paper_example1 as an inline problem payload, JSON-escaped.
+std::string inline_problem() {
+  const workload::OwnedProblem ex = workload::paper_example1();
+  return obs::json_string(io::write_problem(ex.problem));
+}
+
+std::vector<JsonValue> parse_records(const std::string& text) {
+  std::vector<JsonValue> records;
+  std::stringstream lines(text);
+  std::string line;
+  while (std::getline(lines, line)) {
+    if (line.empty()) continue;
+    auto value = parse_json(line);
+    EXPECT_TRUE(value.has_value()) << line;
+    if (value.has_value()) records.push_back(std::move(value.value()));
+  }
+  return records;
+}
+
+const JsonValue* find_record(const std::vector<JsonValue>& records,
+                             const std::string& type,
+                             const std::string& id) {
+  for (const JsonValue& record : records) {
+    if (record.string_or("type", "") == type &&
+        record.string_or("id", "") == id) {
+      return &record;
+    }
+  }
+  return nullptr;
+}
+
+TEST(CertifyService, SubmitMissThenIsomorphicHit) {
+  const std::uint64_t hits_before =
+      obs::MetricsRegistry::global().counter("service.cache_hits").value();
+
+  CertifyService service(ServeOptions{});
+  StringSink sink;
+  const std::string problem = inline_problem();
+  // Two textually identical submissions — the second must be served from
+  // the plan-key cache.
+  const std::string submit1 =
+      R"({"type":"submit","id":"r1","problem_inline":)" + problem + "}";
+  const std::string submit2 =
+      R"({"type":"submit","id":"r2","problem_inline":)" + problem + "}";
+  EXPECT_TRUE(service.handle_line(submit1, sink));
+  EXPECT_TRUE(service.handle_line(submit2, sink));
+
+  const auto records = parse_records(sink.text());
+  const JsonValue* first = find_record(records, "result", "r1");
+  const JsonValue* second = find_record(records, "result", "r2");
+  ASSERT_NE(first, nullptr);
+  ASSERT_NE(second, nullptr);
+  EXPECT_EQ(first->string_or("cache", ""), "miss");
+  EXPECT_EQ(second->string_or("cache", ""), "hit");
+  EXPECT_TRUE(first->bool_or("certified", false));
+  EXPECT_TRUE(second->bool_or("certified", false));
+  EXPECT_EQ(first->string_or("plan_key", "a"),
+            second->string_or("plan_key", "b"));
+  EXPECT_EQ(first->number_or("branches", -1),
+            second->number_or("branches", -2));
+
+  EXPECT_EQ(service.stats().cache_misses, 1u);
+  EXPECT_EQ(service.stats().cache_hits, 1u);
+  // The cache hit is visible in the service.* metrics of the obs registry.
+  EXPECT_EQ(
+      obs::MetricsRegistry::global().counter("service.cache_hits").value(),
+      hits_before + 1);
+}
+
+TEST(CertifyService, RefutedSubmissionStreamsCounterexamples) {
+  CertifyService service(ServeOptions{});
+  StringSink sink;
+  // The non-FT baseline against a K=1 claim: must refute with streamed
+  // counterexample records preceding the result.
+  const std::string submit =
+      R"({"type":"submit","id":"x","heuristic":"base","claim_k":1,)"
+      R"("problem_inline":)" +
+      inline_problem() + "}";
+  EXPECT_TRUE(service.handle_line(submit, sink));
+
+  const auto records = parse_records(sink.text());
+  const JsonValue* result = find_record(records, "result", "x");
+  ASSERT_NE(result, nullptr);
+  EXPECT_FALSE(result->bool_or("certified", true));
+  EXPECT_GT(result->number_or("counterexamples", 0), 0);
+  const JsonValue* counterexample = find_record(records, "counterexample", "x");
+  ASSERT_NE(counterexample, nullptr);
+  const JsonValue* branch = counterexample->find("branch");
+  ASSERT_NE(branch, nullptr);
+  EXPECT_TRUE(branch->is_object());
+  // Progress records streamed during certification.
+  EXPECT_NE(find_record(records, "progress", "x"), nullptr);
+}
+
+TEST(CertifyService, MalformedAndFailingRequestsAnswerErrors) {
+  CertifyService service(ServeOptions{});
+  StringSink sink;
+  EXPECT_TRUE(service.handle_line("this is not json", sink));
+  EXPECT_TRUE(service.handle_line(R"({"type":"conjure"})", sink));
+  EXPECT_TRUE(service.handle_line(R"({"type":"submit","id":"a"})", sink));
+  EXPECT_TRUE(service.handle_line(
+      R"({"type":"submit","id":"b","problem":"/nonexistent.ft"})", sink));
+  EXPECT_TRUE(service.handle_line(
+      R"({"type":"submit","id":"c","heuristic":"quantum",)"
+      R"("problem_inline":)" +
+          inline_problem() + "}",
+      sink));
+  const auto records = parse_records(sink.text());
+  std::size_t errors = 0;
+  for (const JsonValue& record : records) {
+    if (record.string_or("type", "") == "error") ++errors;
+  }
+  EXPECT_EQ(errors, 5u);
+  EXPECT_EQ(service.stats().errors, 5u);
+  // The service keeps serving after errors.
+  EXPECT_TRUE(service.handle_line(R"({"type":"status","id":"s"})", sink));
+}
+
+TEST(CertifyService, DeadlineCancelsAndSkipsCache) {
+  CertifyService service(ServeOptions{});
+  StringSink sink;
+  // deadline_ms tiny but nonzero: the expiry hook fires before the first
+  // task (steady_clock has already advanced by scheduling time).
+  const std::string submit =
+      R"({"type":"submit","id":"d","deadline_ms":1e-9,"problem_inline":)" +
+      inline_problem() + "}";
+  EXPECT_TRUE(service.handle_line(submit, sink));
+  const auto records = parse_records(sink.text());
+  const JsonValue* error = find_record(records, "error", "d");
+  ASSERT_NE(error, nullptr);
+  EXPECT_NE(error->string_or("message", "").find("deadline"),
+            std::string::npos);
+  EXPECT_EQ(find_record(records, "result", "d"), nullptr);
+  EXPECT_EQ(service.stats().deadline_exceeded, 1u);
+  // An abandoned run must not poison the cache: a re-submit without the
+  // deadline is a miss, then completes.
+  StringSink retry;
+  const std::string resubmit =
+      R"({"type":"submit","id":"d2","problem_inline":)" + inline_problem() +
+      "}";
+  EXPECT_TRUE(service.handle_line(resubmit, retry));
+  const auto retry_records = parse_records(retry.text());
+  const JsonValue* result = find_record(retry_records, "result", "d2");
+  ASSERT_NE(result, nullptr);
+  EXPECT_EQ(result->string_or("cache", ""), "miss");
+}
+
+TEST(ServeLines, PipeModeRoundTrip) {
+  std::stringstream in;
+  in << R"({"type":"submit","id":"p1","problem_inline":)" << inline_problem()
+     << "}\n"
+     << R"({"type":"status","id":"p2"})" << "\n"
+     << R"({"type":"shutdown","id":"p3"})" << "\n"
+     << R"({"type":"status","id":"never"})" << "\n";
+  std::stringstream out;
+  EXPECT_EQ(serve_lines(in, out, ServeOptions{}), 0);
+  const auto records = parse_records(out.str());
+  EXPECT_NE(find_record(records, "result", "p1"), nullptr);
+  const JsonValue* status = find_record(records, "status", "p2");
+  ASSERT_NE(status, nullptr);
+  EXPECT_EQ(status->number_or("submits", -1), 1);
+  EXPECT_NE(find_record(records, "bye", "p3"), nullptr);
+  // Shutdown stops the loop: the trailing status is never answered.
+  EXPECT_EQ(find_record(records, "status", "never"), nullptr);
+}
+
+TEST(ServeLines, StopFlagDrainsBeforeNextRequest) {
+  // With the stop flag already set (SIGINT arrived), the loop exits
+  // before reading a request.
+  std::atomic<bool> stop{true};
+  ServeOptions options;
+  options.stop = &stop;
+  std::stringstream in(R"({"type":"status","id":"s"})" "\n");
+  std::stringstream out;
+  EXPECT_EQ(serve_lines(in, out, options), 0);
+  EXPECT_TRUE(out.str().empty());
+}
+
+TEST(ServeSocket, UnixDomainSocketRoundTrip) {
+  const std::string path =
+      "/tmp/ftsched_certifyd_test_" + std::to_string(::getpid()) + ".sock";
+  ServeOptions options;
+  std::thread server([&] { serve_socket(path, options); });
+
+  // Connect (retry while the listener comes up).
+  int fd = -1;
+  for (int attempt = 0; attempt < 200; ++attempt) {
+    fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    ASSERT_GE(fd, 0);
+    sockaddr_un addr{};
+    addr.sun_family = AF_UNIX;
+    std::memcpy(addr.sun_path, path.c_str(), path.size() + 1);
+    if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr),
+                  sizeof addr) == 0) {
+      break;
+    }
+    ::close(fd);
+    fd = -1;
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+  ASSERT_GE(fd, 0) << "could not connect to " << path;
+
+  const std::string request =
+      R"({"type":"submit","id":"u1","problem_inline":)" + inline_problem() +
+      "}\n" + R"({"type":"shutdown","id":"u2"})" + "\n";
+  ASSERT_EQ(::write(fd, request.data(), request.size()),
+            static_cast<ssize_t>(request.size()));
+
+  std::string response;
+  char chunk[4096];
+  ssize_t n;
+  while ((n = ::read(fd, chunk, sizeof chunk)) > 0) {
+    response.append(chunk, static_cast<std::size_t>(n));
+  }
+  ::close(fd);
+  server.join();
+
+  const auto records = parse_records(response);
+  const JsonValue* result = find_record(records, "result", "u1");
+  ASSERT_NE(result, nullptr);
+  EXPECT_TRUE(result->bool_or("certified", false));
+  EXPECT_NE(find_record(records, "bye", "u2"), nullptr);
+}
+
+}  // namespace
+}  // namespace ftsched::service
