@@ -1,10 +1,16 @@
 // Campaign engine throughput: scenarios/sec of the parallel fault-injection
 // runner over the paper's example-1 solution-1 schedule, swept across
 // thread counts — the scaling evidence for the work-stealing pool. Also
-// cross-checks that every thread count reproduces the single-thread
-// verdict and coverage bit-exactly (the determinism contract). Results are
-// additionally written to BENCH_campaign.json (override with
-// $FTSCHED_BENCH_OUT) for CI archiving.
+// cross-checks that every thread count and every repetition reproduces the
+// single-thread verdict and coverage bit-exactly (the determinism
+// contract). Each configuration is measured as the best of several warm
+// repetitions: the campaign is a pure function of (schedule, options), so
+// warmup and rep count cannot change any result, only steady the clock on
+// noisy shared runners. Results are additionally written to
+// BENCH_campaign.json (override with $FTSCHED_BENCH_OUT) for CI archiving;
+// each record carries derived scenarios_per_s / scaling_vs_1t /
+// hardware_threads fields so compare_bench.py can gate throughput and
+// thread scaling directly.
 #include <cstdio>
 #include <thread>
 #include <vector>
@@ -30,38 +36,59 @@ int main() {
   options.spec.silence_probability = 0.10;
   options.spec.suspect_probability = 0.10;
 
-  bench::value("hardware threads",
-               std::to_string(std::thread::hardware_concurrency()));
+  const unsigned hardware = std::thread::hardware_concurrency();
+  bench::value("hardware threads", std::to_string(hardware));
   bench::value("scenarios", std::to_string(options.scenarios));
 
-  bench::section("scenarios/sec by thread count");
+  // Warmup: page in code, size allocator arenas. Discarded.
+  options.threads = 1;
+  (void)campaign::run_campaign(schedule, options);
+
+  bench::section("scenarios/sec by thread count (best of 3 warm reps)");
+  constexpr int kReps = 3;
   double base_rate = 0;
   std::size_t reference_violations = 0;
   std::size_t reference_contract = 0;
+  bool first_config = true;
   bool deterministic = true;
   std::vector<bench::BenchRecord> records;
   for (const unsigned threads : {1u, 2u, 4u, 8u}) {
     options.threads = threads;
-    const campaign::CampaignReport report =
-        campaign::run_campaign(schedule, options);
-    if (threads == 1) {
-      base_rate = report.scenarios_per_second();
-      reference_violations = report.total_violations;
-      reference_contract = report.within_contract;
+    double best_seconds = 0;
+    std::size_t violations = 0;
+    for (int rep = 0; rep < kReps; ++rep) {
+      const campaign::CampaignReport report =
+          campaign::run_campaign(schedule, options);
+      if (first_config) {
+        reference_violations = report.total_violations;
+        reference_contract = report.within_contract;
+        first_config = false;
+      }
+      deterministic = deterministic &&
+                      report.total_violations == reference_violations &&
+                      report.within_contract == reference_contract;
+      if (rep == 0 || report.elapsed_seconds < best_seconds) {
+        best_seconds = report.elapsed_seconds;
+      }
+      violations = report.total_violations;
     }
-    deterministic = deterministic &&
-                    report.total_violations == reference_violations &&
-                    report.within_contract == reference_contract;
-    std::printf("threads=%u %10.0f scenarios/s  speedup %.2fx  violations %zu\n",
-                threads, report.scenarios_per_second(),
-                base_rate > 0 ? report.scenarios_per_second() / base_rate : 0.0,
-                report.total_violations);
+    const double rate =
+        best_seconds > 0 ? options.scenarios / best_seconds : 0;
+    if (threads == 1) base_rate = rate;
+    const double scaling = base_rate > 0 ? rate / base_rate : 0;
+    std::printf(
+        "threads=%u %10.0f scenarios/s  speedup %.2fx  violations %zu\n",
+        threads, rate, scaling, violations);
     bench::BenchRecord record;
     record.name = "campaign_throughput";
     record.params = "threads=" + std::to_string(threads) +
                     ";scenarios=" + std::to_string(options.scenarios);
-    record.wall_ms = report.elapsed_seconds * 1e3;
+    record.wall_ms = best_seconds * 1e3;
     record.iters = options.scenarios;
+    record.derived.emplace_back("scenarios_per_s", rate);
+    record.derived.emplace_back("hardware_threads",
+                                static_cast<double>(hardware));
+    if (threads > 1) record.derived.emplace_back("scaling_vs_1t", scaling);
     records.push_back(std::move(record));
   }
   bench::value("thread-count deterministic", deterministic ? "yes" : "NO");

@@ -179,12 +179,15 @@ int main() {
     replay.params = "config=" + config.name + ";mode=replay";
     replay.wall_ms = m.replay_seconds * 1e3;
     replay.iters = m.replay_branches;
+    replay.derived.emplace_back("branches_per_s", replay_rate);
     records.push_back(std::move(replay));
     bench::BenchRecord fork;
     fork.name = "certify";
     fork.params = "config=" + config.name + ";mode=fork";
     fork.wall_ms = m.fork_seconds * 1e3;
     fork.iters = m.fork_branches;
+    fork.derived.emplace_back("branches_per_s", fork_rate);
+    fork.derived.emplace_back("speedup_vs_replay", speedup);
     records.push_back(std::move(fork));
   }
 

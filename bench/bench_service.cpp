@@ -94,7 +94,7 @@ int main() {
     bench::value("requests/sec", std::to_string(rps));
     records.push_back({"service_cold", "requests=20;cache=0",
                        seconds_since(start) / kCold * 1e3,
-                       static_cast<std::uint64_t>(kCold)});
+                       static_cast<std::uint64_t>(kCold), {}});
     if (cold.stats().cache_hits != 0) {
       std::fprintf(stderr, "disabled cache reported hits\n");
       ok = false;
@@ -114,7 +114,7 @@ int main() {
     bench::value("requests/sec", std::to_string(rps));
     records.push_back({"service_warm", "requests=200;cache=64",
                        seconds_since(start) / kWarm * 1e3,
-                       static_cast<std::uint64_t>(kWarm)});
+                       static_cast<std::uint64_t>(kWarm), {}});
     if (warm.stats().cache_hits != kWarm - 1) {
       std::fprintf(stderr, "expected %d cache hits, saw %llu\n", kWarm - 1,
                    static_cast<unsigned long long>(warm.stats().cache_hits));
@@ -151,7 +151,7 @@ int main() {
       bench::value("wall_ms", std::to_string(elapsed * 1e3));
       bench::value("branches", std::to_string(merged.value().branches));
     }
-    records.push_back({"service_shard_merge", "shards=4", elapsed * 1e3, 1});
+    records.push_back({"service_shard_merge", "shards=4", elapsed * 1e3, 1, {}});
   }
 
   if (!bench::write_bench_json("BENCH_service.json", records)) ok = false;

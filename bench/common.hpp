@@ -40,12 +40,16 @@ inline void value(const std::string& what, const std::string& v) {
 /// One measured configuration of a performance benchmark. `params` is a
 /// free-form "key=value;key=value" string (kept flat so downstream tooling
 /// can diff files without schema knowledge); `wall_ms` is the mean
-/// wall-clock time of one iteration.
+/// wall-clock time of one iteration. `derived` holds additional numeric
+/// fields emitted verbatim into the JSON object (throughput rates, scaling
+/// ratios, hardware_threads) so compare_bench.py can gate on rates
+/// directly instead of re-deriving them.
 struct BenchRecord {
   std::string name;
   std::string params;
   double wall_ms = 0.0;
   std::uint64_t iters = 0;
+  std::vector<std::pair<std::string, double>> derived;
 };
 
 [[nodiscard]] inline std::string bench_json(
@@ -56,7 +60,11 @@ struct BenchRecord {
     out += "  {\"name\": " + obs::json_string(r.name) +
            ", \"params\": " + obs::json_string(r.params) +
            ", \"wall_ms\": " + obs::json_number(r.wall_ms) +
-           ", \"iters\": " + obs::json_number(r.iters) + "}";
+           ", \"iters\": " + obs::json_number(r.iters);
+    for (const auto& [key, val] : r.derived) {
+      out += ", " + obs::json_string(key) + ": " + obs::json_number(val);
+    }
+    out += "}";
     out += i + 1 < records.size() ? ",\n" : "\n";
   }
   out += "]\n";

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cstring>
+#include <utility>
 
 namespace ftsched::campaign {
 
@@ -34,11 +35,12 @@ void put_time(std::string& out, Time t) {
   put_i64(out, bits);
 }
 
-}  // namespace
-
-MissionPlan canonical_plan(const MissionPlan& plan) {
-  MissionPlan out;
+/// canonical_plan into scratch.plan, reusing every list's storage.
+void canonicalize(const MissionPlan& plan, CanonicalScratch& scratch) {
+  MissionPlan& out = scratch.plan;
   out.iterations = plan.iterations;
+  out.failures.clear();
+  out.link_failures.clear();
 
   out.dead_at_start = plan.dead_at_start;
   sort_unique(out.dead_at_start);
@@ -52,7 +54,8 @@ MissionPlan canonical_plan(const MissionPlan& plan) {
   });
 
   // Crashes: earliest per processor; processors dead at start never crash.
-  std::vector<MissionFailure> crashes = plan.failures;
+  std::vector<MissionFailure>& crashes = scratch.crashes;
+  crashes = plan.failures;
   std::sort(crashes.begin(), crashes.end(),
             [](const MissionFailure& a, const MissionFailure& b) {
               if (a.iteration != b.iteration) return a.iteration < b.iteration;
@@ -72,7 +75,8 @@ MissionPlan canonical_plan(const MissionPlan& plan) {
   }
 
   // Link deaths: earliest per link; links dead at start never die again.
-  std::vector<MissionLinkFailure> link_deaths = plan.link_failures;
+  std::vector<MissionLinkFailure>& link_deaths = scratch.link_deaths;
+  link_deaths = plan.link_failures;
   std::sort(link_deaths.begin(), link_deaths.end(),
             [](const MissionLinkFailure& a, const MissionLinkFailure& b) {
               if (a.iteration != b.iteration) return a.iteration < b.iteration;
@@ -136,12 +140,21 @@ MissionPlan canonical_plan(const MissionPlan& plan) {
                            a.window == b.window;
                   }),
       out.silences.end());
-  return out;
 }
 
-std::string canonical_fingerprint(const MissionPlan& plan) {
-  const MissionPlan c = canonical_plan(plan);
-  std::string out;
+}  // namespace
+
+MissionPlan canonical_plan(const MissionPlan& plan) {
+  CanonicalScratch scratch;
+  canonicalize(plan, scratch);
+  return std::move(scratch.plan);
+}
+
+void canonical_fingerprint_into(const MissionPlan& plan,
+                                CanonicalScratch& scratch, std::string& out) {
+  canonicalize(plan, scratch);
+  const MissionPlan& c = scratch.plan;
+  out.clear();
   out.reserve(64 + 16 * c.event_count());
   put_i64(out, c.iterations);
   put_i64(out, static_cast<std::int64_t>(c.dead_at_start.size()));
@@ -169,6 +182,12 @@ std::string canonical_fingerprint(const MissionPlan& plan) {
     put_time(out, s.window.from);
     put_time(out, s.window.to);
   }
+}
+
+std::string canonical_fingerprint(const MissionPlan& plan) {
+  CanonicalScratch scratch;
+  std::string out;
+  canonical_fingerprint_into(plan, scratch, out);
   return out;
 }
 

@@ -48,6 +48,20 @@ namespace ftsched::campaign {
 /// alias two effectively different scenarios.
 [[nodiscard]] std::string canonical_fingerprint(const MissionPlan& plan);
 
+/// Reusable buffers for the batched fingerprint path: the campaign runner
+/// canonicalizes thousands of plans per chunk, and one scratch per worker
+/// amortizes the normal form's list copies. Treat as opaque.
+struct CanonicalScratch {
+  MissionPlan plan;
+  std::vector<MissionFailure> crashes;
+  std::vector<MissionLinkFailure> link_deaths;
+};
+
+/// canonical_fingerprint into a caller-owned string (cleared first),
+/// reusing `scratch`; byte-identical to canonical_fingerprint(plan).
+void canonical_fingerprint_into(const MissionPlan& plan,
+                                CanonicalScratch& scratch, std::string& out);
+
 /// FNV-1a 64-bit hash of canonical_fingerprint(plan), for callers that
 /// want a compact key and can tolerate (negligible) collisions.
 [[nodiscard]] std::uint64_t plan_key(const MissionPlan& plan);

@@ -71,6 +71,8 @@
 // (schedule, spec), bit-identical for any thread count.
 #pragma once
 
+#include <array>
+#include <atomic>
 #include <cstddef>
 #include <cstdint>
 #include <functional>
@@ -96,6 +98,17 @@ namespace ftsched::campaign {
 /// deterministic because the canonical enumeration visits each unordered
 /// fault set exactly once per sweep, so a lookup can never race a
 /// same-sweep insertion of its own key.
+///
+/// Layout: the key hash picks one of kShards independent shards, each a
+/// fixed open-addressing table of atomically published slots (tag CAS to
+/// claim, release-store to publish, never overwritten — the same protocol
+/// as the campaign's ReplayCache) plus a mutex-guarded overflow map. The
+/// fast path — the common case, since the table is sized for typical
+/// sweeps — takes no lock in either direction. Unlike the ReplayCache an
+/// insert is NEVER dropped: a full probe window falls back to the overflow
+/// map, because a silently dropped entry would make the next sweep's
+/// leaves_reused depend on probe-window luck instead of being a pure
+/// function of the sweep sequence.
 class CertifyCache {
  public:
   struct Entry {
@@ -103,26 +116,83 @@ class CertifyCache {
     Time response_time = kInfinite;
   };
 
+  CertifyCache() = default;
+  CertifyCache(const CertifyCache&) = delete;
+  CertifyCache& operator=(const CertifyCache&) = delete;
+
   [[nodiscard]] std::optional<Entry> lookup(std::uint64_t schedule_key,
                                             std::uint64_t branch_key) const {
-    const std::lock_guard<std::mutex> lock(mutex_);
-    const auto it = entries_.find(Key{schedule_key, branch_key});
-    if (it == entries_.end()) return std::nullopt;
+    const std::uint64_t hash = mix(schedule_key, branch_key);
+    const Shard& shard = shards_[shard_index(hash)];
+    const std::uint64_t want = mark(hash);
+    for (std::size_t probe = 0; probe < kProbeWindow; ++probe) {
+      const Slot& slot = shard.slots[(hash + probe) & kSlotMask];
+      const std::uint64_t tag = slot.tag.load(std::memory_order_acquire);
+      if (tag == kEmpty) {
+        // Published slots never empty out, so an insert of this key would
+        // have claimed this or an earlier slot — and it only overflows
+        // when the whole window is full, which this empty slot refutes.
+        return std::nullopt;
+      }
+      if (tag == want && slot.schedule == schedule_key &&
+          slot.branch == branch_key) {
+        return slot.entry;
+      }
+    }
+    const std::lock_guard<std::mutex> lock(shard.mutex);
+    const auto it = shard.overflow.find(Key{schedule_key, branch_key});
+    if (it == shard.overflow.end()) return std::nullopt;
     return it->second;
   }
 
   void insert(std::uint64_t schedule_key, std::uint64_t branch_key,
               const Entry& entry) {
-    const std::lock_guard<std::mutex> lock(mutex_);
-    entries_.emplace(Key{schedule_key, branch_key}, entry);
+    const std::uint64_t hash = mix(schedule_key, branch_key);
+    Shard& shard = shards_[shard_index(hash)];
+    const std::uint64_t want = mark(hash);
+    for (std::size_t probe = 0; probe < kProbeWindow; ++probe) {
+      Slot& slot = shard.slots[(hash + probe) & kSlotMask];
+      std::uint64_t tag = slot.tag.load(std::memory_order_acquire);
+      if (tag == want && slot.schedule == schedule_key &&
+          slot.branch == branch_key) {
+        return;  // first insert wins, like unordered_map::emplace
+      }
+      if (tag != kEmpty) continue;
+      if (!slot.tag.compare_exchange_strong(tag, kBusy,
+                                            std::memory_order_acq_rel)) {
+        if (tag == want && slot.schedule == schedule_key &&
+            slot.branch == branch_key) {
+          return;
+        }
+        continue;  // lost the claim to a different key; keep probing
+      }
+      slot.schedule = schedule_key;
+      slot.branch = branch_key;
+      slot.entry = entry;
+      slot.tag.store(want, std::memory_order_release);
+      count_.fetch_add(1, std::memory_order_relaxed);
+      return;
+    }
+    // Window full: never drop — spill to the shard's overflow map.
+    const std::lock_guard<std::mutex> lock(shard.mutex);
+    if (shard.overflow.emplace(Key{schedule_key, branch_key}, entry).second) {
+      count_.fetch_add(1, std::memory_order_relaxed);
+    }
   }
 
+  /// Number of distinct keys ever inserted.
   [[nodiscard]] std::size_t size() const {
-    const std::lock_guard<std::mutex> lock(mutex_);
-    return entries_.size();
+    return count_.load(std::memory_order_relaxed);
   }
 
  private:
+  static constexpr std::size_t kShards = 16;
+  static constexpr std::size_t kSlotsPerShard = 1024;  // power of two
+  static constexpr std::size_t kSlotMask = kSlotsPerShard - 1;
+  static constexpr std::size_t kProbeWindow = 8;
+  static constexpr std::uint64_t kEmpty = 0;
+  static constexpr std::uint64_t kBusy = 1;
+
   struct Key {
     std::uint64_t schedule = 0;
     std::uint64_t branch = 0;
@@ -130,16 +200,42 @@ class CertifyCache {
   };
   struct KeyHash {
     std::size_t operator()(const Key& key) const noexcept {
-      std::uint64_t x = key.branch + 0x9e3779b97f4a7c15ULL +
-                        (key.schedule << 6) + (key.schedule >> 2);
-      x ^= key.schedule;
-      x *= 0xff51afd7ed558ccdULL;
-      x ^= x >> 33;
-      return static_cast<std::size_t>(x);
+      return static_cast<std::size_t>(mix(key.schedule, key.branch));
     }
   };
-  mutable std::mutex mutex_;
-  std::unordered_map<Key, Entry, KeyHash> entries_;
+
+  [[nodiscard]] static std::uint64_t mix(std::uint64_t schedule,
+                                         std::uint64_t branch) noexcept {
+    std::uint64_t x = branch + 0x9e3779b97f4a7c15ULL + (schedule << 6) +
+                      (schedule >> 2);
+    x ^= schedule;
+    x *= 0xff51afd7ed558ccdULL;
+    x ^= x >> 33;
+    return x;
+  }
+  /// The slot's published tag for a key hash: never kEmpty/kBusy.
+  [[nodiscard]] static std::uint64_t mark(std::uint64_t hash) noexcept {
+    return hash | 2;
+  }
+  [[nodiscard]] static std::size_t shard_index(std::uint64_t hash) noexcept {
+    return (hash >> 56) & (kShards - 1);
+  }
+
+  struct Slot {
+    std::atomic<std::uint64_t> tag{kEmpty};
+    std::uint64_t schedule = 0;
+    std::uint64_t branch = 0;
+    Entry entry;
+  };
+
+  struct Shard {
+    std::vector<Slot> slots{kSlotsPerShard};
+    mutable std::mutex mutex;
+    std::unordered_map<Key, Entry, KeyHash> overflow;
+  };
+
+  std::array<Shard, kShards> shards_;
+  std::atomic<std::size_t> count_{0};
 };
 
 struct CertifySpec {

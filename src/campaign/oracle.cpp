@@ -10,34 +10,43 @@ namespace ftsched::campaign {
 
 namespace {
 
-std::size_t distinct_count(std::vector<int> values) {
-  std::sort(values.begin(), values.end());
-  values.erase(std::unique(values.begin(), values.end()), values.end());
-  return values.size();
+// Fault sets are a handful of entries, so counting distinct values with a
+// quadratic scan over a logical concatenation of the two source vectors
+// beats materializing, sorting, and uniquing a heap-allocated copy — this
+// runs once per scenario on the campaign hot path.
+template <typename Value>
+std::size_t distinct_count(Value value_at, std::size_t n) {
+  std::size_t distinct = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    bool seen = false;
+    for (std::size_t j = 0; j < i && !seen; ++j) {
+      seen = value_at(j) == value_at(i);
+    }
+    if (!seen) ++distinct;
+  }
+  return distinct;
 }
 
 }  // namespace
 
 std::size_t plan_processor_faults(const MissionPlan& plan) {
-  std::vector<int> procs;
-  for (const ProcessorId proc : plan.dead_at_start) {
-    procs.push_back(proc.value());
-  }
-  for (const MissionFailure& failure : plan.failures) {
-    procs.push_back(failure.event.processor.value());
-  }
-  return distinct_count(std::move(procs));
+  const std::size_t starts = plan.dead_at_start.size();
+  return distinct_count(
+      [&](std::size_t i) {
+        return i < starts ? plan.dead_at_start[i].value()
+                          : plan.failures[i - starts].event.processor.value();
+      },
+      starts + plan.failures.size());
 }
 
 std::size_t plan_link_faults(const MissionPlan& plan) {
-  std::vector<int> links;
-  for (const LinkId link : plan.dead_links_at_start) {
-    links.push_back(link.value());
-  }
-  for (const MissionLinkFailure& failure : plan.link_failures) {
-    links.push_back(failure.event.link.value());
-  }
-  return distinct_count(std::move(links));
+  const std::size_t starts = plan.dead_links_at_start.size();
+  return distinct_count(
+      [&](std::size_t i) {
+        return i < starts ? plan.dead_links_at_start[i].value()
+                          : plan.link_failures[i - starts].event.link.value();
+      },
+      starts + plan.link_failures.size());
 }
 
 Time static_response_bound(const Schedule& schedule) {

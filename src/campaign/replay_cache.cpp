@@ -1,0 +1,68 @@
+#include "campaign/replay_cache.hpp"
+
+#include <utility>
+
+namespace ftsched::campaign {
+
+namespace {
+
+std::size_t next_pow2(std::size_t n) {
+  std::size_t p = 1;
+  while (p < n) p <<= 1;
+  return p;
+}
+
+}  // namespace
+
+ReplayCache::ReplayCache(std::size_t expected_keys) : shards_(kShards) {
+  // 2x headroom over the expected distinct keys keeps open-addressing
+  // probe windows short near the end of a campaign.
+  const std::size_t per_shard =
+      next_pow2(std::max<std::size_t>(2 * expected_keys / kShards, 1));
+  for (Shard& shard : shards_) {
+    shard.slots = std::vector<Slot>(per_shard);
+    shard.mask = per_shard - 1;
+  }
+}
+
+const MissionResult* ReplayCache::find(std::uint64_t hash,
+                                       const std::string& key) const {
+  const Shard& shard = shard_for(hash);
+  const std::uint64_t want = mark(hash);
+  for (std::size_t probe = 0; probe < kProbeWindow; ++probe) {
+    const Slot& slot = shard.slots[(hash + probe) & shard.mask];
+    const std::uint64_t tag = slot.tag.load(std::memory_order_acquire);
+    // An empty slot ends the probe chain: inserts claim the first empty
+    // slot in this same probe order, so the key cannot live further on.
+    if (tag == kEmpty) return nullptr;
+    if (tag == want && slot.key == key) return slot.result.get();
+  }
+  return nullptr;
+}
+
+void ReplayCache::insert(std::uint64_t hash, const std::string& key,
+                         std::shared_ptr<const MissionResult> result) {
+  Shard& shard = shard_for(hash);
+  const std::uint64_t want = mark(hash);
+  for (std::size_t probe = 0; probe < kProbeWindow; ++probe) {
+    Slot& slot = shard.slots[(hash + probe) & shard.mask];
+    std::uint64_t tag = slot.tag.load(std::memory_order_acquire);
+    if (tag == want && slot.key == key) return;  // already published
+    if (tag != kEmpty) continue;
+    if (!slot.tag.compare_exchange_strong(tag, kBusy,
+                                          std::memory_order_acq_rel)) {
+      // Lost the claim race; if the winner published our key we are done,
+      // otherwise keep probing.
+      if (tag == want && slot.key == key) return;
+      continue;
+    }
+    slot.key = key;
+    slot.result = std::move(result);
+    slot.tag.store(want, std::memory_order_release);
+    return;
+  }
+  // Probe window full: drop. A future lookup re-simulates and gets the
+  // identical result.
+}
+
+}  // namespace ftsched::campaign

@@ -1,13 +1,15 @@
 #include "campaign/runner.hpp"
 
 #include <algorithm>
+#include <array>
 #include <chrono>
 #include <cstdio>
-#include <map>
-#include <set>
+#include <memory>
+#include <string_view>
 #include <utility>
 
 #include "campaign/canonical.hpp"
+#include "campaign/replay_cache.hpp"
 #include "campaign/work_pool.hpp"
 #include "core/text.hpp"
 #include "obs/span.hpp"
@@ -17,6 +19,59 @@
 namespace ftsched::campaign {
 
 namespace {
+
+/// Exact string set specialized for canonical fingerprints: keys live in an
+/// append-only arena and the caller supplies the FNV-1a hash it already
+/// computed for the replay cache, so an insert costs one open-addressing
+/// probe plus an arena append — no per-key node allocation, no re-hash.
+/// Equality still compares full key bytes, so the unique count is exact.
+class FingerprintSet {
+ public:
+  /// True when `key` was new. `hash` must be fingerprint_hash(key).
+  bool insert(std::uint64_t hash, std::string_view key) {
+    if ((size() + 1) * 2 > index_.size()) grow();
+    std::size_t probe = hash & mask_;
+    while (true) {
+      const std::uint32_t slot = index_[probe];
+      if (slot == 0) {
+        index_[probe] = static_cast<std::uint32_t>(size() + 1);
+        hashes_.push_back(hash);
+        arena_.append(key);
+        ends_.push_back(static_cast<std::uint32_t>(arena_.size()));
+        return true;
+      }
+      if (hashes_[slot - 1] == hash && key_at(slot - 1) == key) return false;
+      probe = (probe + 1) & mask_;
+    }
+  }
+
+  [[nodiscard]] std::size_t size() const { return hashes_.size(); }
+  [[nodiscard]] std::uint64_t hash_at(std::size_t i) const {
+    return hashes_[i];
+  }
+  [[nodiscard]] std::string_view key_at(std::size_t i) const {
+    const std::uint32_t begin = i == 0 ? 0 : ends_[i - 1];
+    return std::string_view(arena_).substr(begin, ends_[i] - begin);
+  }
+
+ private:
+  void grow() {
+    const std::size_t capacity = index_.empty() ? 128 : index_.size() * 2;
+    index_.assign(capacity, 0);
+    mask_ = capacity - 1;
+    for (std::size_t i = 0; i < hashes_.size(); ++i) {
+      std::size_t probe = hashes_[i] & mask_;
+      while (index_[probe] != 0) probe = (probe + 1) & mask_;
+      index_[probe] = static_cast<std::uint32_t>(i + 1);
+    }
+  }
+
+  std::string arena_;                  // concatenated keys
+  std::vector<std::uint32_t> ends_;    // arena end offset of each key
+  std::vector<std::uint64_t> hashes_;  // caller-supplied FNV-1a per key
+  std::vector<std::uint32_t> index_;   // open addressing: entry index + 1
+  std::size_t mask_ = 0;
+};
 
 /// Everything one chunk of scenario indices contributes; merged in index
 /// order so the report is independent of which thread ran which chunk.
@@ -29,7 +84,7 @@ struct Partial {
   /// Canonical fingerprints of this chunk's scenarios; the global union
   /// gives the unique-coverage count, independent of chunk-to-thread
   /// assignment.
-  std::set<std::string> fingerprints;
+  FingerprintSet fingerprints;
   CampaignCoverage coverage;
   obs::MetricsSnapshot metrics;
 };
@@ -48,39 +103,127 @@ const std::vector<double>& plan_event_bounds() {
   return bounds;
 }
 
+/// Plain-integer per-chunk metric accumulator. The domain metrics used to
+/// be counted straight into the partial's MetricsSnapshot — ~15 string-map
+/// lookups per scenario, a sizeable slice of the per-scenario budget. The
+/// tally keeps the hot loop lookup-free and is flushed into the snapshot
+/// once per chunk; every chunk's histogram sums accumulate in the same
+/// scenario order as before and chunks still merge in index order, so the
+/// flushed snapshot is bit-identical to per-scenario counting (conditional
+/// keys are only created when their tally is nonzero, matching the old
+/// path's create-on-first-touch).
+struct ChunkTally {
+  std::uint64_t scenarios = 0;
+  std::uint64_t within_contract = 0;
+  std::uint64_t expected_losses = 0;
+  std::uint64_t violations = 0;
+  std::uint64_t cached_replays = 0;
+  std::uint64_t faults_crashes = 0;
+  std::uint64_t faults_dead_at_start = 0;
+  std::uint64_t faults_links = 0;
+  std::uint64_t faults_silences = 0;
+  std::uint64_t faults_suspects = 0;
+  std::uint64_t iterations = 0;
+  std::uint64_t timeouts = 0;
+  std::uint64_t elections = 0;
+  std::uint64_t transfers = 0;
+  std::uint64_t iterations_outputs_lost = 0;
+  /// response_ratio_bounds() buckets + overflow.
+  std::array<std::uint64_t, 8> response_ratio{};
+  std::uint64_t response_ratio_total = 0;
+  double response_ratio_sum = 0;
+  /// plan_event_bounds() buckets + overflow.
+  std::array<std::uint64_t, 7> plan_events{};
+  std::uint64_t plan_events_total = 0;
+  double plan_events_sum = 0;
+};
+
 void count_metrics(const CampaignScenario& scenario,
                    const MissionResult& result, const Verdict& verdict,
-                   Time response_bound, obs::MetricsSnapshot& metrics) {
+                   Time response_bound, ChunkTally& tally) {
   const MissionPlan& plan = scenario.plan;
-  metrics.add_counter("campaign.scenarios");
-  if (verdict.within_contract) metrics.add_counter("campaign.within_contract");
+  tally.scenarios += 1;
+  if (verdict.within_contract) tally.within_contract += 1;
   if (!verdict.within_contract && verdict.outputs_lost) {
-    metrics.add_counter("campaign.expected_losses");
+    tally.expected_losses += 1;
   }
-  if (!verdict.ok()) metrics.add_counter("campaign.violations");
-  metrics.add_counter("campaign.faults.crashes", plan.failures.size());
-  metrics.add_counter("campaign.faults.dead_at_start",
-                      plan.dead_at_start.size());
-  metrics.add_counter("campaign.faults.links",
-                      plan.link_failures.size() +
-                          plan.dead_links_at_start.size());
-  metrics.add_counter("campaign.faults.silences", plan.silences.size());
-  metrics.add_counter("campaign.faults.suspects",
-                      plan.suspected_at_start.size());
-  metrics.add_counter("campaign.iterations", result.iterations.size());
+  if (!verdict.ok()) tally.violations += 1;
+  tally.faults_crashes += plan.failures.size();
+  tally.faults_dead_at_start += plan.dead_at_start.size();
+  tally.faults_links +=
+      plan.link_failures.size() + plan.dead_links_at_start.size();
+  tally.faults_silences += plan.silences.size();
+  tally.faults_suspects += plan.suspected_at_start.size();
+  tally.iterations += result.iterations.size();
   for (const MissionIteration& iteration : result.iterations) {
-    metrics.add_counter("campaign.timeouts", iteration.timeouts);
-    metrics.add_counter("campaign.elections", iteration.elections);
-    metrics.add_counter("campaign.transfers", iteration.transfers);
+    tally.timeouts += iteration.timeouts;
+    tally.elections += iteration.elections;
+    tally.transfers += iteration.transfers;
     if (is_infinite(iteration.response_time)) {
-      metrics.add_counter("campaign.iterations_outputs_lost");
+      tally.iterations_outputs_lost += 1;
     } else if (response_bound > 0) {
-      metrics.observe("campaign.response_ratio", response_ratio_bounds(),
-                      iteration.response_time / response_bound);
+      const double ratio = iteration.response_time / response_bound;
+      tally.response_ratio[obs::histogram_bucket(response_ratio_bounds(),
+                                                 ratio)] += 1;
+      tally.response_ratio_total += 1;
+      tally.response_ratio_sum += ratio;
     }
   }
-  metrics.observe("campaign.plan_events", plan_event_bounds(),
-                  static_cast<double>(plan.event_count()));
+  const double events = static_cast<double>(plan.event_count());
+  tally.plan_events[obs::histogram_bucket(plan_event_bounds(), events)] += 1;
+  tally.plan_events_total += 1;
+  tally.plan_events_sum += events;
+}
+
+void flush_histogram(obs::MetricsSnapshot& metrics, const std::string& name,
+                     const std::vector<double>& bounds,
+                     const std::uint64_t* counts, std::size_t n_counts,
+                     std::uint64_t total, double sum) {
+  obs::HistogramSnapshot histogram;
+  histogram.bounds = bounds;
+  histogram.counts.assign(counts, counts + n_counts);
+  histogram.total = total;
+  histogram.sum = sum;
+  metrics.histograms.emplace(name, std::move(histogram));
+}
+
+void flush_tally(const ChunkTally& tally, obs::MetricsSnapshot& metrics) {
+  metrics.add_counter("campaign.scenarios", tally.scenarios);
+  if (tally.within_contract > 0) {
+    metrics.add_counter("campaign.within_contract", tally.within_contract);
+  }
+  if (tally.expected_losses > 0) {
+    metrics.add_counter("campaign.expected_losses", tally.expected_losses);
+  }
+  if (tally.violations > 0) {
+    metrics.add_counter("campaign.violations", tally.violations);
+  }
+  if (tally.cached_replays > 0) {
+    metrics.add_counter("campaign.cached_replays", tally.cached_replays);
+  }
+  metrics.add_counter("campaign.faults.crashes", tally.faults_crashes);
+  metrics.add_counter("campaign.faults.dead_at_start",
+                      tally.faults_dead_at_start);
+  metrics.add_counter("campaign.faults.links", tally.faults_links);
+  metrics.add_counter("campaign.faults.silences", tally.faults_silences);
+  metrics.add_counter("campaign.faults.suspects", tally.faults_suspects);
+  metrics.add_counter("campaign.iterations", tally.iterations);
+  metrics.add_counter("campaign.timeouts", tally.timeouts);
+  metrics.add_counter("campaign.elections", tally.elections);
+  metrics.add_counter("campaign.transfers", tally.transfers);
+  if (tally.iterations_outputs_lost > 0) {
+    metrics.add_counter("campaign.iterations_outputs_lost",
+                        tally.iterations_outputs_lost);
+  }
+  if (tally.response_ratio_total > 0) {
+    flush_histogram(metrics, "campaign.response_ratio",
+                    response_ratio_bounds(), tally.response_ratio.data(),
+                    tally.response_ratio.size(), tally.response_ratio_total,
+                    tally.response_ratio_sum);
+  }
+  flush_histogram(metrics, "campaign.plan_events", plan_event_bounds(),
+                  tally.plan_events.data(), tally.plan_events.size(),
+                  tally.plan_events_total, tally.plan_events_sum);
 }
 
 void count_coverage(const CampaignScenario& scenario, Time horizon,
@@ -110,6 +253,48 @@ void count_coverage(const CampaignScenario& scenario, Time horizon,
   coverage.suspect_events += plan.suspected_at_start.size();
   if (plan.iterations > 1) coverage.multi_iteration_missions += 1;
 }
+
+/// One chunk's working set: sampler/fingerprint/mission buffers that every
+/// scenario of a chunk reuses (the amortization that took the per-scenario
+/// cost from malloc-bound to simulation-bound).
+struct ChunkScratch {
+  CampaignScenario scenario;
+  ScenarioScratch gen;
+  CanonicalScratch canon;
+  MissionScratch mission;
+  std::string key;
+};
+
+/// Hands chunk tasks a recycled ChunkScratch instead of a fresh one, so the
+/// buffers — and, more importantly, the mission scratch's settled-iteration
+/// memo — survive from chunk to chunk. The memo is a pure-function cache
+/// (scenario -> IterationSummary), so which scratch a chunk happens to draw
+/// cannot change any result; it only changes how many simulations are
+/// skipped. At 1 thread the single recycled scratch makes the memo
+/// campaign-global.
+class ScratchPool {
+ public:
+  [[nodiscard]] std::unique_ptr<ChunkScratch> acquire() {
+    {
+      const std::lock_guard<std::mutex> lock(mutex_);
+      if (!free_.empty()) {
+        std::unique_ptr<ChunkScratch> scratch = std::move(free_.back());
+        free_.pop_back();
+        return scratch;
+      }
+    }
+    return std::make_unique<ChunkScratch>();
+  }
+
+  void release(std::unique_ptr<ChunkScratch> scratch) {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    free_.push_back(std::move(scratch));
+  }
+
+ private:
+  std::mutex mutex_;
+  std::vector<std::unique_ptr<ChunkScratch>> free_;
+};
 
 }  // namespace
 
@@ -185,33 +370,52 @@ CampaignReport run_campaign(const Schedule& schedule,
   const std::size_t chunks = (options.scenarios + chunk - 1) / chunk;
   std::vector<Partial> partials(chunks);
 
-  auto evaluate = [&](std::size_t begin, std::size_t end, Partial& partial) {
+  // Cross-chunk replay cache: a MissionResult is a pure function of the
+  // plan's canonical fault pattern, so any chunk (any thread) can reuse a
+  // pattern another chunk already simulated — a hit produces the exact
+  // result a fresh simulation would, leaving every reported field
+  // untouched. Best-effort by design (replay_cache.hpp).
+  ReplayCache cache(options.scenarios);
+  ScratchPool scratch_pool;
+
+  auto evaluate = [&](std::size_t begin, std::size_t end, Partial& into) {
     FTSCHED_SPAN("campaign.chunk");
+    // Accumulate locally and move into the preassigned slot at the end:
+    // neighbouring chunks' partials can share a cache line, and writing
+    // them per scenario from different workers would false-share it.
+    Partial partial;
     partial.coverage = blank_coverage();
-    // Replay cache: a scenario whose canonical fault pattern already ran
-    // in this chunk reuses that MissionResult (the summaries are a
-    // function of the canonical pattern — see canonical.hpp) and is only
-    // re-judged against its own plan. Keys are exact fingerprints, so a
-    // hit can never alias a different scenario.
-    std::map<std::string, MissionResult> cache;
+    ChunkTally tally;
+    std::unique_ptr<ChunkScratch> chunk_scratch = scratch_pool.acquire();
+    CampaignScenario& scenario = chunk_scratch->scenario;
+    ScenarioScratch& gen_scratch = chunk_scratch->gen;
+    CanonicalScratch& canon_scratch = chunk_scratch->canon;
+    MissionScratch& mission_scratch = chunk_scratch->mission;
+    std::string& key = chunk_scratch->key;
     for (std::size_t i = begin; i < end; ++i) {
-      const CampaignScenario scenario = generator.scenario(i);
+      generator.scenario_into(i, scenario, gen_scratch);
       count_coverage(scenario, generator.horizon(), partial.coverage);
-      std::string key = canonical_fingerprint(scenario.plan);
-      const auto hit = cache.find(key);
-      MissionResult result;
-      if (hit != cache.end()) {
+      canonical_fingerprint_into(scenario.plan, canon_scratch, key);
+      const std::uint64_t hash = fingerprint_hash(key);
+      // cached_replays counts within-chunk duplicate draws — the fixed
+      // partition makes the count thread-count independent, unlike the
+      // shared cache's hit count (which depends on cross-chunk timing and
+      // is therefore deliberately not a report field).
+      if (!partial.fingerprints.insert(hash, key)) {
         partial.cached_replays += 1;
-        partial.metrics.add_counter("campaign.cached_replays");
-        result = hit->second;
-      } else {
-        result = run_mission(simulator, scenario.plan);
-        cache.emplace(key, result);
+        tally.cached_replays += 1;
       }
-      partial.fingerprints.insert(std::move(key));
+      const MissionResult* shared = cache.find(hash, key);
+      std::shared_ptr<const MissionResult> fresh;
+      if (shared == nullptr) {
+        fresh = std::make_shared<MissionResult>(
+            run_mission(simulator, scenario.plan, mission_scratch));
+        cache.insert(hash, key, fresh);
+      }
+      const MissionResult& result = shared != nullptr ? *shared : *fresh;
       const Verdict verdict = oracle.judge(scenario.plan, result);
       count_metrics(scenario, result, verdict, oracle.response_bound(),
-                    partial.metrics);
+                    tally);
       if (verdict.within_contract) partial.within_contract += 1;
       if (!verdict.within_contract && verdict.outputs_lost) {
         partial.expected_losses += 1;
@@ -226,6 +430,9 @@ CampaignReport run_campaign(const Schedule& schedule,
         partial.violations.push_back(std::move(violation));
       }
     }
+    flush_tally(tally, partial.metrics);
+    scratch_pool.release(std::move(chunk_scratch));
+    into = std::move(partial);
   };
 
   if (threads == 1) {
@@ -246,13 +453,16 @@ CampaignReport run_campaign(const Schedule& schedule,
 
   // Merge in index order: identical report for any thread count.
   FTSCHED_SPAN("campaign.merge");
-  std::set<std::string> fingerprints;
+  FingerprintSet fingerprints;
   for (Partial& partial : partials) {
     report.within_contract += partial.within_contract;
     report.expected_losses += partial.expected_losses;
     report.total_violations += partial.total_violations;
     report.cached_replays += partial.cached_replays;
-    fingerprints.merge(partial.fingerprints);
+    for (std::size_t i = 0; i < partial.fingerprints.size(); ++i) {
+      fingerprints.insert(partial.fingerprints.hash_at(i),
+                          partial.fingerprints.key_at(i));
+    }
     report.coverage.merge(partial.coverage);
     report.metrics.merge(partial.metrics);
     for (CampaignViolation& violation : partial.violations) {

@@ -80,10 +80,13 @@ struct CampaignReport {
   std::size_t unique_scenarios = 0;
   /// Draws whose canonical pattern had already been generated.
   std::size_t duplicate_scenarios = 0;
-  /// Simulations skipped by the per-chunk replay cache: a duplicate inside
-  /// one chunk reuses the cached MissionResult and is only re-judged
-  /// against its own (pre-canonicalization) plan. The count depends on the
-  /// fixed chunk partition, not on the thread count.
+  /// Duplicate draws inside one chunk (canonical fingerprint already seen
+  /// by the same chunk) — the replays the original per-chunk cache
+  /// skipped. The count depends on the fixed chunk partition, not on the
+  /// thread count. The shared cross-chunk replay cache typically skips
+  /// MORE simulations than this; its exact hit count depends on cross-
+  /// chunk timing and is therefore not reported (a hit returns the exact
+  /// result a fresh simulation would, so no reported field can see it).
   std::size_t cached_replays = 0;
   CampaignCoverage coverage;
   /// Domain metrics of the whole campaign (verdict counters, injected

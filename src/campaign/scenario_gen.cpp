@@ -1,10 +1,10 @@
 #include "campaign/scenario_gen.hpp"
 
 #include <algorithm>
-#include <random>
 
 #include "arch/architecture_graph.hpp"
 #include "core/error.hpp"
+#include "core/mt64.hpp"
 
 namespace ftsched::campaign {
 
@@ -14,7 +14,7 @@ namespace {
 /// (multiply-shift, Lemire); std::uniform_int_distribution is
 /// implementation-defined and would break the cross-platform determinism
 /// contract.
-std::uint64_t draw_below(std::mt19937_64& rng, std::uint64_t bound) {
+std::uint64_t draw_below(LazyMt64& rng, std::uint64_t bound) {
   if (bound <= 1) return 0;
   const unsigned __int128 wide =
       static_cast<unsigned __int128>(rng()) * bound;
@@ -22,27 +22,27 @@ std::uint64_t draw_below(std::mt19937_64& rng, std::uint64_t bound) {
 }
 
 /// Uniform in [0, 1) with 53 significant bits.
-double draw_unit(std::mt19937_64& rng) {
+double draw_unit(LazyMt64& rng) {
   return static_cast<double>(rng() >> 11) * 0x1.0p-53;
 }
 
-bool draw_chance(std::mt19937_64& rng, double probability) {
+bool draw_chance(LazyMt64& rng, double probability) {
   return draw_unit(rng) < probability;
 }
 
 /// First `count` entries of a deterministic Fisher-Yates shuffle of
-/// 0..size-1 — a uniform random subset in random order.
-std::vector<std::size_t> draw_subset(std::mt19937_64& rng, std::size_t size,
-                                     std::size_t count) {
-  std::vector<std::size_t> indices(size);
-  for (std::size_t i = 0; i < size; ++i) indices[i] = i;
+/// 0..size-1 — a uniform random subset in random order, built in `out`
+/// (storage reused across calls).
+void draw_subset(LazyMt64& rng, std::size_t size, std::size_t count,
+                 std::vector<std::size_t>& out) {
+  out.resize(size);
+  for (std::size_t i = 0; i < size; ++i) out[i] = i;
   count = std::min(count, size);
   for (std::size_t i = 0; i < count; ++i) {
     const std::size_t j = i + draw_below(rng, size - i);
-    std::swap(indices[i], indices[j]);
+    std::swap(out[i], out[j]);
   }
-  indices.resize(count);
-  return indices;
+  out.resize(count);
 }
 
 double clamp_probability(double p) { return std::clamp(p, 0.0, 1.0); }
@@ -93,15 +93,31 @@ ScenarioGenerator::ScenarioGenerator(const Schedule& schedule,
 }
 
 CampaignScenario ScenarioGenerator::scenario(std::size_t index) const {
+  CampaignScenario out;
+  ScenarioScratch scratch;
+  scenario_into(index, out, scratch);
+  return out;
+}
+
+void ScenarioGenerator::scenario_into(std::size_t index, CampaignScenario& out,
+                                      ScenarioScratch& scratch) const {
   const ArchitectureGraph& arch = *schedule_->problem().architecture;
   const std::size_t procs = arch.processor_count();
 
-  CampaignScenario out;
   out.index = index;
   out.seed = mix_seed(seed_, index);
-  std::mt19937_64 rng(out.seed);
+  // The sampler draws ~10-20 words per scenario from a freshly seeded
+  // engine; LazyMt64 produces the exact std::mt19937_64 stream while only
+  // seeding the state prefix those draws reach.
+  LazyMt64 rng(out.seed);
 
   MissionPlan& plan = out.plan;
+  plan.failures.clear();
+  plan.silences.clear();
+  plan.link_failures.clear();
+  plan.dead_at_start.clear();
+  plan.dead_links_at_start.clear();
+  plan.suspected_at_start.clear();
   plan.iterations =
       spec_.min_iterations +
       static_cast<int>(draw_below(
@@ -124,8 +140,8 @@ CampaignScenario ScenarioGenerator::scenario(std::size_t index) const {
                  rng, static_cast<std::uint64_t>(spec_.over_budget_extra)));
     faults = std::min(faults, static_cast<int>(procs) - 1);
   }
-  const std::vector<std::size_t> victims =
-      draw_subset(rng, procs, static_cast<std::size_t>(faults));
+  std::vector<std::size_t>& victims = scratch.victims;
+  draw_subset(rng, procs, static_cast<std::size_t>(faults), victims);
   for (const std::size_t victim : victims) {
     const ProcessorId proc(static_cast<ProcessorId::underlying_type>(victim));
     if (draw_chance(rng, spec_.dead_at_start_probability)) {
@@ -141,7 +157,8 @@ CampaignScenario ScenarioGenerator::scenario(std::size_t index) const {
   if (draw_chance(rng, spec_.silence_probability) &&
       victims.size() < procs) {
     std::size_t healthy = draw_below(rng, procs - victims.size());
-    std::vector<std::size_t> alive;
+    std::vector<std::size_t>& alive = scratch.pool;
+    alive.clear();
     for (std::size_t p = 0; p < procs; ++p) {
       if (std::find(victims.begin(), victims.end(), p) == victims.end()) {
         alive.push_back(p);
@@ -160,7 +177,8 @@ CampaignScenario ScenarioGenerator::scenario(std::size_t index) const {
   // One carried-over detection mistake: a processor not dead at mission
   // start that everyone wrongly flags.
   if (draw_chance(rng, spec_.suspect_probability)) {
-    std::vector<std::size_t> candidates;
+    std::vector<std::size_t>& candidates = scratch.pool;
+    candidates.clear();
     for (std::size_t p = 0; p < procs; ++p) {
       const ProcessorId proc(static_cast<ProcessorId::underlying_type>(p));
       if (std::find(plan.dead_at_start.begin(), plan.dead_at_start.end(),
@@ -187,8 +205,6 @@ CampaignScenario ScenarioGenerator::scenario(std::size_t index) const {
           draw_iteration(), LinkFailureEvent{link, draw_instant()}});
     }
   }
-
-  return out;
 }
 
 }  // namespace ftsched::campaign

@@ -69,6 +69,14 @@ struct CampaignScenario {
 /// per-scenario stream seed. Public so tests can pin the derivation.
 [[nodiscard]] std::uint64_t mix_seed(std::uint64_t seed, std::uint64_t index);
 
+/// Reusable draw buffers for the batched sampling path (scenario_into):
+/// one per worker amortizes the sampler's temporary allocations across a
+/// whole chunk of scenarios. Treat as opaque.
+struct ScenarioScratch {
+  std::vector<std::size_t> victims;
+  std::vector<std::size_t> pool;
+};
+
 /// Closing edge substituted when a silent-window draw degenerates to zero
 /// length (both edges drew the same instant): widen by a sliver of the
 /// horizon, clamped so the repaired window never escapes [0, horizon] —
@@ -89,6 +97,12 @@ class ScenarioGenerator {
   /// The index-th scenario of the stream. Pure: any index, any order, any
   /// thread, same result.
   [[nodiscard]] CampaignScenario scenario(std::size_t index) const;
+
+  /// Batched variant: builds the index-th scenario into `out`, reusing
+  /// `out`'s plan vectors and `scratch`'s draw buffers. Produces exactly
+  /// scenario(index) — the campaign runner's hot path.
+  void scenario_into(std::size_t index, CampaignScenario& out,
+                     ScenarioScratch& scratch) const;
 
   [[nodiscard]] const CampaignSpec& spec() const noexcept { return spec_; }
   [[nodiscard]] std::uint64_t seed() const noexcept { return seed_; }

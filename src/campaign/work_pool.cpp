@@ -43,6 +43,13 @@ void WorkPool::submit(std::function<void()> task) {
     const std::lock_guard<std::mutex> lock(slots_[slot]->mutex);
     slots_[slot]->tasks.push_back(std::move(task));
   }
+  {
+    // The queued_ increment must happen under state_mutex_ (after the task
+    // is visible in its deque) or a worker could check the wait predicate,
+    // miss the count, and sleep through the notify.
+    const std::lock_guard<std::mutex> lock(state_mutex_);
+    queued_.fetch_add(1, std::memory_order_relaxed);
+  }
   work_ready_.notify_one();
 }
 
@@ -54,6 +61,7 @@ std::function<void()> WorkPool::take(std::size_t self) {
     if (!mine.tasks.empty()) {
       std::function<void()> task = std::move(mine.tasks.back());
       mine.tasks.pop_back();
+      queued_.fetch_sub(1, std::memory_order_relaxed);
       return task;
     }
   }
@@ -64,6 +72,7 @@ std::function<void()> WorkPool::take(std::size_t self) {
     if (!victim.tasks.empty()) {
       std::function<void()> task = std::move(victim.tasks.front());
       victim.tasks.pop_front();
+      queued_.fetch_sub(1, std::memory_order_relaxed);
       return task;
     }
   }
@@ -76,15 +85,14 @@ void WorkPool::worker_loop(std::size_t self) {
     if (!task) {
       std::unique_lock<std::mutex> lock(state_mutex_);
       if (stopping_) return;
-      // pending_ counts unfinished tasks; if none remain there is nothing
-      // to steal, so sleep until new work or shutdown.
-      work_ready_.wait(lock, [this, self] {
-        if (stopping_) return true;
-        for (const std::unique_ptr<Slot>& slot : slots_) {
-          const std::lock_guard<std::mutex> guard(slot->mutex);
-          if (!slot->tasks.empty()) return true;
-        }
-        return false;
+      // Sleep until a task is queued somewhere or the pool shuts down. A
+      // stale positive queued_ (another worker grabbed the task between
+      // our take() and this check) just loops through one more empty
+      // take(); a sleep with queued_ == 0 is safe because submit() bumps
+      // the count under this same mutex before notifying.
+      work_ready_.wait(lock, [this] {
+        return stopping_ ||
+               queued_.load(std::memory_order_relaxed) > 0;
       });
       if (stopping_) return;
       continue;

@@ -16,6 +16,7 @@
 // the first task exception. Destruction joins all workers.
 #pragma once
 
+#include <atomic>
 #include <condition_variable>
 #include <cstddef>
 #include <deque>
@@ -68,6 +69,13 @@ class WorkPool {
   std::condition_variable work_ready_;
   std::condition_variable all_done_;
   std::size_t pending_ = 0;   // submitted, not yet finished
+  /// Tasks sitting in some deque, not yet taken. Incremented under
+  /// state_mutex_ (the condition-variable handshake needs that), read by
+  /// the idle-worker wait predicate, decremented by take() — so an idle
+  /// worker's wakeup check is one atomic load instead of locking every
+  /// deque mutex in turn, which serialized the workers of large pools
+  /// exactly when tasks were being dealt.
+  std::atomic<std::size_t> queued_{0};
   std::size_t next_slot_ = 0;
   bool stopping_ = false;
   std::exception_ptr first_error_;

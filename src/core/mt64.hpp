@@ -1,0 +1,108 @@
+// Lazily-seeded MT19937-64 — bit-identical to std::mt19937_64, built for
+// workloads that seed a fresh engine per item and then draw only a handful
+// of words (the campaign's scenario sampler: one engine per scenario,
+// ~10-20 draws). std::mt19937_64's constructor initializes all 312 state
+// words and the first draw twists all 312 again; for k draws with
+// k < 156 only state words 0..k+156 ever matter, so this engine seeds and
+// twists on demand (~3x fewer multiplies for typical scenario draws) and
+// falls back to the standard full-twist machinery if a caller drains past
+// the lazy window.
+//
+// Determinism contract: for every seed and every draw count, the output
+// stream equals std::mt19937_64's exactly (pinned by
+// tests/core/mt64_test.cpp) — swapping this engine in can never change a
+// seeded corpus.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+namespace ftsched {
+
+class LazyMt64 {
+ public:
+  using result_type = std::uint64_t;
+
+  explicit LazyMt64(std::uint64_t seed) { reseed(seed); }
+
+  /// Re-arms the engine on a new seed, reusing the state storage.
+  void reseed(std::uint64_t seed) noexcept {
+    x_[0] = seed;
+    seeded_ = 1;
+    next_ = 0;
+    full_ = false;
+  }
+
+  [[nodiscard]] static constexpr result_type min() noexcept { return 0; }
+  [[nodiscard]] static constexpr result_type max() noexcept {
+    return ~std::uint64_t{0};
+  }
+
+  result_type operator()() noexcept {
+    if (!full_) {
+      if (next_ < kHalf) {
+        // Twisted word i depends on seeded words i, i+1, and i+156 only —
+        // seed exactly that far and twist one word in place.
+        seed_to(next_ + kHalf);
+        const std::uint64_t y =
+            (x_[next_] & kUpperMask) | (x_[next_ + 1] & kLowerMask);
+        x_[next_] = x_[next_ + kHalf] ^ (y >> 1) ^ ((y & 1) ? kMatrixA : 0);
+        return temper(x_[next_++]);
+      }
+      // Drained past the lazy window (draw 156+): finish the first twist —
+      // words 0..155 already hold their twisted values — and switch to the
+      // standard full-block behaviour for good.
+      for (std::size_t i = kHalf; i + 1 < kN; ++i) {
+        const std::uint64_t y =
+            (x_[i] & kUpperMask) | (x_[i + 1] & kLowerMask);
+        x_[i] = x_[i - kHalf] ^ (y >> 1) ^ ((y & 1) ? kMatrixA : 0);
+      }
+      const std::uint64_t y = (x_[kN - 1] & kUpperMask) | (x_[0] & kLowerMask);
+      x_[kN - 1] = x_[kHalf - 1] ^ (y >> 1) ^ ((y & 1) ? kMatrixA : 0);
+      full_ = true;
+    }
+    if (next_ == kN) {
+      twist();
+      next_ = 0;
+    }
+    return temper(x_[next_++]);
+  }
+
+ private:
+  static constexpr std::size_t kN = 312;
+  static constexpr std::size_t kHalf = 156;  // the reference's MM
+  static constexpr std::uint64_t kMatrixA = 0xB5026F5AA96619E9ULL;
+  static constexpr std::uint64_t kUpperMask = 0xFFFFFFFF80000000ULL;
+  static constexpr std::uint64_t kLowerMask = 0x000000007FFFFFFFULL;
+  static constexpr std::uint64_t kInitMult = 6364136223846793005ULL;
+
+  void seed_to(std::size_t last) noexcept {
+    for (; seeded_ <= last; ++seeded_) {
+      x_[seeded_] = kInitMult * (x_[seeded_ - 1] ^ (x_[seeded_ - 1] >> 62)) +
+                    seeded_;
+    }
+  }
+
+  void twist() noexcept {
+    for (std::size_t i = 0; i < kN; ++i) {
+      const std::uint64_t y =
+          (x_[i] & kUpperMask) | (x_[(i + 1) % kN] & kLowerMask);
+      x_[i] = x_[(i + kHalf) % kN] ^ (y >> 1) ^ ((y & 1) ? kMatrixA : 0);
+    }
+  }
+
+  [[nodiscard]] static std::uint64_t temper(std::uint64_t z) noexcept {
+    z ^= (z >> 29) & 0x5555555555555555ULL;
+    z ^= (z << 17) & 0x71D67FFFEDA60000ULL;
+    z ^= (z << 37) & 0xFFF7EEE000000000ULL;
+    z ^= z >> 43;
+    return z;
+  }
+
+  std::array<std::uint64_t, kN> x_;
+  std::size_t seeded_ = 0;  // seeded words (prefix length), pre-full only
+  std::size_t next_ = 0;    // next output index within the current block
+  bool full_ = false;       // left the lazy window; x_ is a twisted block
+};
+
+}  // namespace ftsched

@@ -1,0 +1,64 @@
+#include "sim/event_queue.hpp"
+
+namespace ftsched::sim_detail {
+
+namespace {
+
+/// Below this many expected events a heap's O(log n) with tiny n beats the
+/// calendar's bucket bookkeeping; above it the calendar's O(1) push and
+/// short bucket scans win.
+constexpr std::size_t kCalendarThreshold = 64;
+
+}  // namespace
+
+void EventQueue::configure(EventSchedulerKind kind, Time horizon,
+                           std::size_t expected_events) {
+  if (kind == EventSchedulerKind::kAuto) {
+    kind = (expected_events >= kCalendarThreshold && horizon > 0)
+               ? EventSchedulerKind::kCalendar
+               : EventSchedulerKind::kBinaryHeap;
+  }
+  calendar_ = kind == EventSchedulerKind::kCalendar && horizon > 0;
+  size_ = 0;
+  heap_.clear();
+  if (!calendar_) return;
+
+  // Aim for ~2 events per bucket across the horizon; events beyond the
+  // horizon (late backup sends, injected faults past the makespan) all land
+  // in the last bucket, which degrades to a linear scan but stays correct.
+  std::uint32_t buckets = 16;
+  while (buckets < 1024 && static_cast<std::size_t>(buckets) * 2 <
+                               expected_events) {
+    buckets *= 2;
+  }
+  nbuckets_ = buckets;
+  limit_ = horizon;
+  inv_width_ = static_cast<double>(nbuckets_) / horizon;
+  head_.assign(nbuckets_, kNil);
+  slots_.clear();
+  next_.clear();
+  free_ = kNil;
+  cursor_ = 0;
+  have_min_ = false;
+}
+
+void EventQueue::find_min() {
+  while (head_[cursor_] == kNil) ++cursor_;  // size_ > 0 guarantees a hit
+  std::uint32_t prev = kNil;
+  std::uint32_t best = head_[cursor_];
+  std::uint32_t best_prev = kNil;
+  for (std::uint32_t i = head_[cursor_]; i != kNil;) {
+    if (i != best && event_before(slots_[i], slots_[best])) {
+      best = i;
+      best_prev = prev;
+    }
+    prev = i;
+    i = next_[i];
+  }
+  min_bucket_ = cursor_;
+  min_slot_ = best;
+  min_prev_ = best_prev;
+  have_min_ = true;
+}
+
+}  // namespace ftsched::sim_detail

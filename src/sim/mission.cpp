@@ -1,7 +1,7 @@
 #include "sim/mission.hpp"
 
 #include <algorithm>
-#include <optional>
+#include <cstring>
 
 #include "arch/architecture_graph.hpp"
 #include "core/text.hpp"
@@ -24,6 +24,12 @@ MissionResult run_mission(const Schedule& schedule, const MissionPlan& plan) {
 
 MissionResult run_mission(const Simulator& simulator,
                           const MissionPlan& plan) {
+  MissionScratch scratch;
+  return run_mission(simulator, plan, scratch);
+}
+
+MissionResult run_mission(const Simulator& simulator, const MissionPlan& plan,
+                          MissionScratch& x) {
   FTSCHED_REQUIRE(plan.iterations > 0,
                   "a mission needs at least one iteration");
 
@@ -31,30 +37,37 @@ MissionResult run_mission(const Simulator& simulator,
   // duplicate-free, suspicion subsumed by known death) so the iteration
   // summaries depend on the fault pattern, not on input ordering — the
   // invariant the campaign's canonical-fingerprint replay cache relies on.
-  auto as_set = [](std::vector<ProcessorId> procs) {
+  auto as_set = [](std::vector<ProcessorId>& procs) {
     std::sort(procs.begin(), procs.end());
     procs.erase(std::unique(procs.begin(), procs.end()), procs.end());
-    return procs;
   };
-  std::vector<ProcessorId> dead =
-      as_set(plan.dead_at_start);          // genuinely dead, in any iteration
-  std::vector<ProcessorId> known = dead;   // dead AND known by the survivors
-  std::vector<ProcessorId> suspected =
-      as_set(plan.suspected_at_start);     // alive but flagged
+  std::vector<ProcessorId>& dead = x.dead;  // genuinely dead, any iteration
+  dead = plan.dead_at_start;
+  as_set(dead);
+  std::vector<ProcessorId>& known = x.known;  // dead AND known by survivors
+  known = dead;
+  std::vector<ProcessorId>& suspected = x.suspected;  // alive but flagged
+  suspected = plan.suspected_at_start;
+  as_set(suspected);
   std::erase_if(suspected, [&](ProcessorId proc) {
     return std::find(dead.begin(), dead.end(), proc) != dead.end();
   });
-  std::vector<LinkId> dead_links = plan.dead_links_at_start;
+  std::vector<LinkId>& dead_links = x.dead_links;
+  dead_links = plan.dead_links_at_start;
 
   MissionResult result;
+  result.iterations.reserve(static_cast<std::size_t>(plan.iterations));
   // Once the survivors' knowledge settles (steady state of a
   // failed-at-start-only mission), consecutive iterations face the exact
   // same scenario; the simulation is deterministic, so the previous
   // iteration's result is reused instead of re-simulated.
-  std::optional<FailureScenario> previous;
-  IterationResult cached;
+  x.has_previous = false;
+  IterationSummary& cached = x.summary;
   for (int i = 0; i < plan.iterations; ++i) {
-    FailureScenario scenario;
+    FailureScenario& scenario = x.scenario;
+    scenario.events.clear();
+    scenario.silent_windows.clear();
+    scenario.link_events.clear();
     scenario.failed_at_start = known;
     scenario.suspected_at_start = suspected;
     scenario.failed_links_at_start = dead_links;
@@ -79,19 +92,49 @@ MissionResult run_mission(const Simulator& simulator,
       }
     }
 
-    if (!previous.has_value() || !(scenario == *previous)) {
-      cached = simulator.run(scenario);
-      previous = scenario;
+    if (!x.has_previous || !(scenario == x.previous)) {
+      // Settled iterations (pure start state, nothing mid-run) recur
+      // across missions; serve them from the scratch's memo when possible
+      // (see MissionScratch::settled).
+      const bool settled = scenario.events.empty() &&
+                           scenario.silent_windows.empty() &&
+                           scenario.link_events.empty();
+      bool simulated = true;
+      if (settled) {
+        std::string& key = x.settled_key;
+        key.clear();
+        auto put = [&key](std::int64_t v) {
+          char bytes[sizeof v];
+          std::memcpy(bytes, &v, sizeof v);
+          key.append(bytes, sizeof v);
+        };
+        put(static_cast<std::int64_t>(scenario.failed_at_start.size()));
+        for (ProcessorId p : scenario.failed_at_start) put(p.value());
+        put(static_cast<std::int64_t>(scenario.suspected_at_start.size()));
+        for (ProcessorId p : scenario.suspected_at_start) put(p.value());
+        for (LinkId l : scenario.failed_links_at_start) put(l.value());
+        const auto hit = x.settled.find(key);
+        if (hit != x.settled.end()) {
+          cached = hit->second;
+          simulated = false;
+        }
+      }
+      if (simulated) {
+        simulator.run_summary(scenario, x.sim, cached);
+        if (settled) x.settled.emplace(x.settled_key, cached);
+      }
+      x.previous = scenario;
+      x.has_previous = true;
     }
-    const IterationResult& run = cached;
+    const IterationSummary& run = cached;
 
     MissionIteration summary;
     summary.index = i;
     summary.all_outputs_produced = run.all_outputs_produced;
     summary.response_time = run.response_time;
-    summary.timeouts = run.trace.count(TraceEvent::Kind::kTimeout);
-    summary.elections = run.trace.count(TraceEvent::Kind::kElection);
-    summary.transfers = run.trace.count(TraceEvent::Kind::kTransferStart);
+    summary.timeouts = run.timeouts;
+    summary.elections = run.elections;
+    summary.transfers = run.transfer_starts;
     summary.known_failed = known;
     summary.suspected = suspected;
     result.iterations.push_back(std::move(summary));

@@ -8,6 +8,7 @@
 
 #include <cstddef>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "sim/simulator.hpp"
@@ -100,11 +101,45 @@ struct MissionResult {
     const std::vector<MissionFailure>& failures,
     const std::vector<MissionSilence>& silences = {});
 
+/// Reusable buffers for the batched mission path: one per worker amortizes
+/// every per-mission allocation (the simulator's run state, the per
+/// iteration scenario and its steady-state comparison copy, the knowledge
+/// vectors) across a whole chunk of missions. Treat as opaque; contents
+/// are reset by run_mission.
+struct MissionScratch {
+  Simulator::Scratch sim;
+  IterationSummary summary;
+  FailureScenario scenario;
+  FailureScenario previous;
+  bool has_previous = false;
+  std::vector<ProcessorId> dead;
+  std::vector<ProcessorId> known;
+  std::vector<ProcessorId> suspected;
+  std::vector<LinkId> dead_links;
+  /// Settled-iteration memo: iterations whose scenario is a pure start
+  /// state (no mid-run events, no silent windows) are keyed by that state
+  /// and reused across missions sharing this scratch. Mid-run instants are
+  /// continuous draws that essentially never repeat, but the settled
+  /// iterations that follow them collapse onto a handful of known-dead
+  /// patterns, so a campaign chunk simulates each pattern once. Purely an
+  /// optimization: IterationSummary is a function of the scenario, so a
+  /// hit returns exactly what the skipped simulation would.
+  std::unordered_map<std::string, IterationSummary> settled;
+  std::string settled_key;
+};
+
 /// Full-plan variant: link failures and a non-empty initial state in
 /// addition to crashes and silences. The simulator overload lets callers
 /// that replay thousands of plans against one schedule (the campaign
 /// runner, the shrinker) reuse one Simulator — construction builds routing
-/// and timeout tables, Simulator::run is const and reentrant.
+/// and timeout tables, Simulator::run is const and reentrant. The scratch
+/// overload additionally reuses one set of run buffers across calls; all
+/// overloads produce identical MissionResults (the mission digest is
+/// derived through Simulator::run_summary, whose summary equivalence to
+/// run() is pinned by tests/sim/summary_equiv_test.cpp).
+[[nodiscard]] MissionResult run_mission(const Simulator& simulator,
+                                        const MissionPlan& plan,
+                                        MissionScratch& scratch);
 [[nodiscard]] MissionResult run_mission(const Simulator& simulator,
                                         const MissionPlan& plan);
 [[nodiscard]] MissionResult run_mission(const Schedule& schedule,

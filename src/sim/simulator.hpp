@@ -42,10 +42,21 @@
 
 #include "sched/schedule.hpp"
 #include "sched/timeouts.hpp"
+#include "sim/event_queue.hpp"
 #include "sim/failure.hpp"
 #include "sim/trace.hpp"
 
 namespace ftsched {
+
+/// Run-independent simulator knobs.
+struct SimOptions {
+  /// Event-queue implementation. kAuto selects the calendar queue for
+  /// plans dense enough (expected events over the schedule horizon) for
+  /// bucketing to pay off, else the binary heap. Every kind produces
+  /// bit-identical results — events are totally ordered by
+  /// (time, kind, push order), so the pop sequence is unique.
+  EventSchedulerKind scheduler = EventSchedulerKind::kAuto;
+};
 
 struct IterationResult {
   Trace trace;
@@ -67,6 +78,23 @@ struct IterationResult {
   std::vector<ProcessorId> detected_failures;
 };
 
+/// The trace-free digest of one iteration: everything the mission runner
+/// (and through it the campaign oracle) consumes, without materializing a
+/// Trace. Produced by Simulator::run_summary; field for field equal to
+/// what the same scenario's IterationResult derives
+/// (tests/sim/summary_equiv_test.cpp pins this).
+struct IterationSummary {
+  bool all_outputs_produced = false;
+  Time response_time = kInfinite;
+  std::size_t events_executed = 0;
+  /// Trace-event counts: kTimeout / kElection / kTransferStart.
+  std::size_t timeouts = 0;
+  std::size_t elections = 0;
+  std::size_t transfer_starts = 0;
+  /// See IterationResult::detected_failures.
+  std::vector<ProcessorId> detected_failures;
+};
+
 namespace sim_detail {
 struct SimPlan;
 struct SimState;
@@ -75,7 +103,7 @@ struct SimState;
 class Simulator {
  public:
   /// The schedule must outlive the simulator.
-  explicit Simulator(const Schedule& schedule);
+  explicit Simulator(const Schedule& schedule, SimOptions options = {});
   ~Simulator();
 
   /// Simulates one iteration under `scenario`. Deterministic.
@@ -83,6 +111,30 @@ class Simulator {
 
   /// Convenience: failure-free run.
   [[nodiscard]] IterationResult run() const { return run({}); }
+
+  /// Reusable run state for the batched summary path: one Scratch per
+  /// worker amortizes every per-run allocation (state tables, event queue,
+  /// scenario buffers) across a whole campaign chunk — run_summary resets
+  /// the arena without releasing its storage. Default-constructed empty;
+  /// lazily sized on first use. Move-only, cheap to hold.
+  class Scratch {
+   public:
+    Scratch();
+    Scratch(Scratch&&) noexcept;
+    Scratch& operator=(Scratch&&) noexcept;
+    ~Scratch();
+
+   private:
+    friend class Simulator;
+    std::unique_ptr<sim_detail::SimState> state_;
+  };
+
+  /// Simulates one iteration under `scenario` without recording a trace,
+  /// accumulating the digest directly into `out` (cleared first). Reuses
+  /// `scratch`'s storage. Deterministic, and summary-equivalent to run():
+  /// same event sequence, same digest values.
+  void run_summary(const FailureScenario& scenario, Scratch& scratch,
+                   IterationSummary& out) const;
 
   /// A paused, snapshotable simulation owned by the Simulator that created
   /// it: the (partially failed) prefix of one iteration. fork() deep-copies
@@ -143,6 +195,7 @@ class Simulator {
 
  private:
   const Schedule* schedule_;
+  SimOptions options_;
   RoutingTable routing_;
   TimeoutTable timeouts_;
   /// Scenario-independent run state (per-processor programs, static

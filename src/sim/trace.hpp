@@ -49,6 +49,9 @@ class Trace {
  public:
   void record(TraceEvent event) { events_.push_back(std::move(event)); }
 
+  /// Forgets every event, keeping the storage (scratch reuse across runs).
+  void clear() noexcept { events_.clear(); }
+
   [[nodiscard]] const std::vector<TraceEvent>& events() const noexcept {
     return events_;
   }

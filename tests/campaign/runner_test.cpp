@@ -3,6 +3,9 @@
 // randomized campaign agrees with exhaustive subset injection.
 #include <gtest/gtest.h>
 
+#include <string>
+
+#include "campaign/certify.hpp"
 #include "campaign/runner.hpp"
 #include "sched/heuristics.hpp"
 #include "sim/simulator.hpp"
@@ -197,6 +200,41 @@ TEST(CampaignRunner, AgreesWithExhaustiveSubsetInjection) {
   const CampaignReport report = run_campaign(schedule, options);
   EXPECT_EQ(report.scenarios_run, report.within_contract);
   EXPECT_EQ(report.total_violations, 0u);
+}
+
+TEST(CampaignRunner, GoldenArtifactsByteIdenticalAcrossThreadCounts) {
+  // The strongest form of the determinism contract: not field-by-field
+  // equality but byte identity of every serialized artifact the engines
+  // emit — the campaign metrics JSON and the certification certificate —
+  // across 1, 2, and 8 worker threads (8 oversubscribes most CI runners,
+  // exercising arbitrary chunk interleavings). The batched executor, the
+  // per-worker scratch arenas, and the sharded replay cache must all be
+  // invisible in the output bytes.
+  const workload::OwnedProblem ex = workload::paper_example1();
+  const Schedule schedule = schedule_solution1(ex.problem).value();
+  CampaignOptions options = rich_options(500, 42);
+  options.spec.silence_probability = 0.10;
+  options.spec.suspect_probability = 0.10;
+
+  options.threads = 1;
+  const std::string golden_metrics =
+      run_campaign(schedule, options).metrics.to_json();
+  CertifySpec certify_spec;
+  certify_spec.threads = 1;
+  const std::string golden_certificate =
+      certify(schedule, certify_spec).to_json(*ex.problem.architecture);
+
+  for (const unsigned threads : {2u, 8u}) {
+    options.threads = threads;
+    EXPECT_EQ(run_campaign(schedule, options).metrics.to_json(),
+              golden_metrics)
+        << "campaign metrics diverge at " << threads << " threads";
+    certify_spec.threads = threads;
+    EXPECT_EQ(certify(schedule, certify_spec).to_json(
+                  *ex.problem.architecture),
+              golden_certificate)
+        << "certificate diverges at " << threads << " threads";
+  }
 }
 
 }  // namespace

@@ -1,0 +1,220 @@
+// Three contracts of the rebuilt event core, pinned over scenario sweeps:
+//
+//  1. Summary equivalence — Simulator::run_summary produces, field for
+//     field, the digest a full Simulator::run would derive from its trace
+//     (the batched campaign path simulates without materializing traces).
+//  2. Cross-scheduler byte identity — the binary-heap and calendar event
+//     queues yield bit-identical traces, digests, and detections for the
+//     same scenario. Events are totally ordered by (time, kind, push
+//     order); no implementation may break ties differently.
+//  3. Verdict invariance under equal-time ties — scenarios engineered so
+//     many events share exact instants (crashes and window edges placed on
+//     schedule completion times) produce the same mission results and the
+//     same oracle verdicts whichever queue implementation served them.
+//     Equal-time reordering freedom inside the queue cannot leak into a
+//     verdict.
+#include <gtest/gtest.h>
+
+#include <random>
+#include <vector>
+
+#include "campaign/oracle.hpp"
+#include "sched/heuristics.hpp"
+#include "sim/mission.hpp"
+#include "sim/simulator.hpp"
+#include "workload/paper_examples.hpp"
+#include "workload/random_arch.hpp"
+
+namespace ftsched {
+namespace {
+
+using workload::OwnedProblem;
+
+/// The digest run() implies: trace-event counts plus the result fields.
+IterationSummary digest_of(const IterationResult& result) {
+  IterationSummary digest;
+  digest.all_outputs_produced = result.all_outputs_produced;
+  digest.response_time = result.response_time;
+  digest.events_executed = result.events_executed;
+  digest.detected_failures = result.detected_failures;
+  for (const TraceEvent& event : result.trace.events()) {
+    switch (event.kind) {
+      case TraceEvent::Kind::kTimeout: ++digest.timeouts; break;
+      case TraceEvent::Kind::kElection: ++digest.elections; break;
+      case TraceEvent::Kind::kTransferStart: ++digest.transfer_starts; break;
+      default: break;
+    }
+  }
+  return digest;
+}
+
+void expect_equal(const IterationSummary& a, const IterationSummary& b) {
+  EXPECT_EQ(a.all_outputs_produced, b.all_outputs_produced);
+  EXPECT_EQ(a.response_time, b.response_time);  // exact, not epsilon
+  EXPECT_EQ(a.events_executed, b.events_executed);
+  EXPECT_EQ(a.timeouts, b.timeouts);
+  EXPECT_EQ(a.elections, b.elections);
+  EXPECT_EQ(a.transfer_starts, b.transfer_starts);
+  EXPECT_EQ(a.detected_failures, b.detected_failures);
+}
+
+/// Randomized scenarios with deliberately colliding instants: every fault
+/// time is quantized to 1/8ths of the makespan, so crashes, window edges,
+/// link deaths, and static schedule events pile onto the same instants.
+std::vector<FailureScenario> tie_heavy_scenarios(const Schedule& schedule,
+                                                 std::uint64_t seed,
+                                                 int count) {
+  const Time makespan = schedule.makespan();
+  const auto nprocs = static_cast<std::uint64_t>(
+      schedule.problem().architecture->processor_count());
+  std::mt19937_64 rng(seed);
+  const auto instant = [&] {
+    return makespan * static_cast<Time>(rng() % 9) / 8.0;
+  };
+  const auto proc = [&] {
+    return ProcessorId{static_cast<std::int32_t>(rng() % nprocs)};
+  };
+  std::vector<FailureScenario> scenarios;
+  scenarios.push_back({});  // failure-free floor
+  for (int i = 0; i < count; ++i) {
+    FailureScenario scenario;
+    if (rng() % 2 != 0) {
+      scenario.failed_at_start.push_back(proc());
+    }
+    if (rng() % 2 != 0) {
+      scenario.events.push_back(FailureEvent{proc(), instant()});
+    }
+    if (rng() % 3 == 0) {
+      const Time open = instant();
+      scenario.silent_windows.push_back(
+          SilentWindow{proc(), open, open + makespan / 8.0});
+    }
+    if (rng() % 4 == 0) {
+      scenario.link_events.push_back(LinkFailureEvent{LinkId{0}, instant()});
+    }
+    scenarios.push_back(std::move(scenario));
+  }
+  return scenarios;
+}
+
+void check_schedule(const Schedule& schedule, std::uint64_t seed) {
+  const Simulator heap(schedule, {EventSchedulerKind::kBinaryHeap});
+  const Simulator calendar(schedule, {EventSchedulerKind::kCalendar});
+  Simulator::Scratch heap_scratch;
+  Simulator::Scratch calendar_scratch;
+  IterationSummary heap_summary;
+  IterationSummary calendar_summary;
+
+  for (const FailureScenario& scenario :
+       tie_heavy_scenarios(schedule, seed, 24)) {
+    const IterationResult via_heap = heap.run(scenario);
+    const IterationResult via_calendar = calendar.run(scenario);
+
+    // Contract 2: byte-identical traces across queue implementations.
+    ASSERT_EQ(via_heap.trace.events().size(),
+              via_calendar.trace.events().size());
+    for (std::size_t i = 0; i < via_heap.trace.events().size(); ++i) {
+      ASSERT_TRUE(via_heap.trace.events()[i] == via_calendar.trace.events()[i])
+          << "trace diverges at event " << i;
+    }
+    EXPECT_EQ(via_heap.events_executed, via_calendar.events_executed);
+
+    // Contract 1: the trace-free digest equals the trace-derived one, for
+    // both schedulers.
+    heap.run_summary(scenario, heap_scratch, heap_summary);
+    expect_equal(heap_summary, digest_of(via_heap));
+    calendar.run_summary(scenario, calendar_scratch, calendar_summary);
+    expect_equal(calendar_summary, digest_of(via_calendar));
+    expect_equal(heap_summary, calendar_summary);
+  }
+}
+
+TEST(SummaryEquivalence, PaperExample1Solution1) {
+  const OwnedProblem ex = workload::paper_example1();
+  check_schedule(schedule_solution1(ex.problem).value(), 11);
+}
+
+TEST(SummaryEquivalence, PaperExample2Solution2) {
+  const OwnedProblem ex = workload::paper_example2();
+  check_schedule(schedule_solution2(ex.problem).value(), 12);
+}
+
+TEST(SummaryEquivalence, RandomProblems) {
+  for (const std::uint64_t seed : {3u, 21u}) {
+    workload::RandomProblemParams params;
+    params.dag.operations = 14;
+    params.processors = 4;
+    params.failures_to_tolerate = 1;
+    params.seed = seed;
+    const OwnedProblem ex = workload::random_problem(params);
+    for (const HeuristicKind kind :
+         {HeuristicKind::kSolution1, HeuristicKind::kSolution2}) {
+      const auto result = schedule(ex.problem, kind);
+      ASSERT_TRUE(result.has_value()) << result.error().message;
+      SCOPED_TRACE(to_string(kind) + " seed " + std::to_string(seed));
+      check_schedule(result.value(), seed);
+    }
+  }
+}
+
+TEST(SummaryEquivalence, OracleVerdictsInvariantUnderQueueTies) {
+  // Contract 3 at the oracle level: multi-iteration missions whose fault
+  // instants collide with schedule completion times are judged identically
+  // whichever queue implementation ran them — equal-time processing order
+  // is fixed by (kind, push order), not by the queue's internals.
+  const OwnedProblem ex = workload::paper_example1();
+  const Schedule schedule = schedule_solution1(ex.problem).value();
+  const Simulator heap(schedule, {EventSchedulerKind::kBinaryHeap});
+  const Simulator calendar(schedule, {EventSchedulerKind::kCalendar});
+  const campaign::Oracle oracle(schedule);
+  const Time makespan = schedule.makespan();
+  const auto nprocs = static_cast<std::int32_t>(
+      schedule.problem().architecture->processor_count());
+
+  std::mt19937_64 rng(4242);
+  int judged = 0;
+  for (int round = 0; round < 40; ++round) {
+    MissionPlan plan;
+    plan.iterations = 1 + static_cast<int>(rng() % 3);
+    const Time instant = makespan * static_cast<Time>(rng() % 9) / 8.0;
+    const ProcessorId victim{static_cast<std::int32_t>(
+        rng() % static_cast<std::uint64_t>(nprocs))};
+    plan.failures.push_back(
+        {static_cast<int>(rng() % static_cast<std::uint64_t>(plan.iterations)),
+         FailureEvent{victim, instant}});
+    if (rng() % 2 != 0) {
+      // A window opening at the exact same instant on another processor.
+      plan.silences.push_back(
+          {plan.failures[0].iteration,
+           SilentWindow{ProcessorId{(victim.value() + 1) % nprocs}, instant,
+                        instant + makespan / 8.0}});
+    }
+
+    const MissionResult via_heap = run_mission(heap, plan);
+    const MissionResult via_calendar = run_mission(calendar, plan);
+    ASSERT_EQ(via_heap.iterations.size(), via_calendar.iterations.size());
+    for (std::size_t i = 0; i < via_heap.iterations.size(); ++i) {
+      EXPECT_EQ(via_heap.iterations[i].all_outputs_produced,
+                via_calendar.iterations[i].all_outputs_produced);
+      EXPECT_EQ(via_heap.iterations[i].response_time,
+                via_calendar.iterations[i].response_time);
+      EXPECT_EQ(via_heap.iterations[i].known_failed,
+                via_calendar.iterations[i].known_failed);
+      EXPECT_EQ(via_heap.iterations[i].suspected,
+                via_calendar.iterations[i].suspected);
+    }
+
+    const campaign::Verdict a = oracle.judge(plan, via_heap);
+    const campaign::Verdict b = oracle.judge(plan, via_calendar);
+    EXPECT_EQ(a.within_contract, b.within_contract);
+    EXPECT_EQ(a.outputs_lost, b.outputs_lost);
+    EXPECT_EQ(a.response_exceeded, b.response_exceeded);
+    EXPECT_EQ(a.first_violation_iteration, b.first_violation_iteration);
+    EXPECT_EQ(a.violations, b.violations);
+    ++judged;
+  }
+  EXPECT_EQ(judged, 40);
+}
+
+}  // namespace
+}  // namespace ftsched
