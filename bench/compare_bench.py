@@ -18,6 +18,14 @@ Two additional, optional gates introduced with the event-core rebuild:
     pre-rebuild measurement (BENCH_campaign.prerebuild.json) to pin the
     rebuild's throughput win so it cannot silently erode.
 
+--min-reduction Z [--reduction-name certify_deep]
+    Every record of the named benchmark that carries a derived
+    branch_reduction field (the deep-certification bench emits one on its
+    pruned gate config: brute-force branches over pruned simulated
+    branches) must report at least Z. Pins the pruning layer's win — a
+    memo or slack regression shows up as a reduction collapse long before
+    it shows up as a wall-clock regression on fast runners.
+
 --min-scaling Y [--scaling-name campaign_throughput]
     The named benchmark's threads=8 record must deliver at least Y times
     the threads=1 rate (records carry derived scenarios_per_s and
@@ -140,6 +148,27 @@ def check_scaling(current, name, min_scaling):
     return []
 
 
+def check_reduction(current, name, min_reduction):
+    """Every branch_reduction the named bench reports must clear the gate."""
+    failures = []
+    found = False
+    print(f"\n{'branch reduction':<42} {'reduction':>12} {'required':>12}")
+    for (bench_name, params), record in sorted(current.items()):
+        if bench_name != name or "branch_reduction" not in record:
+            continue
+        found = True
+        reduction = float(record["branch_reduction"])
+        verdict = "" if reduction >= min_reduction else " TOO LOW"
+        print(f"{bench_name}/{params:<42} {reduction:>11.2f}x "
+              f"{min_reduction:>11.2f}x{verdict}")
+        if reduction < min_reduction:
+            failures.append((f"{bench_name}/{params}", reduction))
+    if not found:
+        print(f"no {name} record carries branch_reduction")
+        failures.append((f"{name} branch_reduction records", 0.0))
+    return failures
+
+
 def main():
     parser = argparse.ArgumentParser(
         description=__doc__,
@@ -160,6 +189,11 @@ def main():
                              "multiple of the 1-thread rate (hardware-aware)")
     parser.add_argument("--scaling-name", default="campaign_throughput",
                         help="benchmark name the scaling gate inspects")
+    parser.add_argument("--min-reduction", type=float, default=0.0,
+                        help="fail when any branch_reduction the reduction "
+                             "benchmark reports is below this")
+    parser.add_argument("--reduction-name", default="certify_deep",
+                        help="benchmark name the reduction gate inspects")
     args = parser.parse_args()
 
     baseline = load(args.baseline)
@@ -176,6 +210,11 @@ def main():
     if args.min_scaling > 0:
         scaling_failures = check_scaling(current, args.scaling_name,
                                          args.min_scaling)
+
+    reduction_failures = []
+    if args.min_reduction > 0:
+        reduction_failures = check_reduction(current, args.reduction_name,
+                                             args.min_reduction)
 
     status = 0
     if missing:
@@ -199,12 +238,20 @@ def main():
         for name, actual in scaling_failures:
             print(f"  {name}: {actual:.2f}x", file=sys.stderr)
         status = 1
+    if reduction_failures:
+        print(f"\nFAIL: branch reduction below {args.min_reduction}x:",
+              file=sys.stderr)
+        for name, actual in reduction_failures:
+            print(f"  {name}: {actual:.2f}x", file=sys.stderr)
+        status = 1
     if status == 0:
         print(f"\nOK: all gates passed (threshold {args.threshold}x"
               + (f", min-speedup {args.min_speedup}x" if args.min_speedup
                  else "")
               + (f", min-scaling {args.min_scaling}x" if args.min_scaling
-                 else "") + ")")
+                 else "")
+              + (f", min-reduction {args.min_reduction}x"
+                 if args.min_reduction else "") + ")")
     return status
 
 

@@ -108,7 +108,8 @@ int usage() {
       "                     [--plan-key] [--certify-shard I/N]\n"
       "                     [--stream-out FILE] [--merge-stream FILE]...\n"
       "                     [--serve | --serve-socket PATH]\n"
-      "                     [--cache-size N]\n"
+      "                     [--cache-size N] [--serve-threads N]\n"
+      "                     [--prune=on|off]\n"
       "\n"
       "--certify exhaustively certifies the schedule against every\n"
       "failure pattern of size <= K (--claim-k, default the schedule's\n"
@@ -117,7 +118,10 @@ int usage() {
       "deaths per branch (budgeted separately from K), --certify-silences\n"
       "S adds up to S fail-silent windows; --response-bound T makes both\n"
       "the certifier and the oracle enforce response <= T (+ the longest\n"
-      "injected silent window).\n"
+      "injected silent window). --prune=off disables the certifier's\n"
+      "subtree memoization and slack cuts (--prune=on, the default,\n"
+      "produces a byte-identical certificate — the switch exists for\n"
+      "A/B timing and for auditing exactly that identity).\n"
       "--repair turns a refuted schedule into a certified one by\n"
       "counterexample-guided repair under the same budgets: each round\n"
       "shrinks a counterexample, applies one targeted move (re-place a\n"
@@ -137,7 +141,10 @@ int usage() {
       "--serve reads line-delimited JSON requests from stdin (CI pipe\n"
       "mode); --serve-socket listens on a Unix-domain socket; both keep\n"
       "an LRU result cache of --cache-size plans (0 disables) and drain\n"
-      "gracefully on SIGINT.\n"
+      "gracefully on SIGINT. --serve-threads N serves up to N socket\n"
+      "connections concurrently (default 1, sequential) against the one\n"
+      "shared cache; service.* metrics merge per request, so totals are\n"
+      "independent of how connections interleave.\n"
       "--metrics-out writes the campaign's merged domain metrics as JSON\n"
       "(deterministic for a given seed, any thread count); --trace-out\n"
       "writes the run's profiling spans as Chrome trace-event JSON (open\n"
@@ -258,6 +265,8 @@ int run(int argc, char** argv) {
   std::vector<std::string> merge_streams;
   std::string serve_socket_path;
   long cache_size = 64;
+  long serve_threads = 1;
+  bool prune = true;
   campaign::CampaignOptions options;
   // An interesting default mix: short missions, some over-budget attacks,
   // occasional benign silences and wrong suspicions. Link faults stay
@@ -349,6 +358,13 @@ int run(int argc, char** argv) {
     } else if (arg == "--cache-size" && i + 1 < argc &&
                parse_number(argv[++i], number)) {
       cache_size = number;
+    } else if (arg == "--serve-threads" && i + 1 < argc &&
+               parse_number(argv[++i], number) && number >= 1) {
+      serve_threads = number;
+    } else if (arg == "--prune=on") {
+      prune = true;
+    } else if (arg == "--prune=off") {
+      prune = false;
     } else if (arg == "--replay" && i + 1 < argc) {
       replay_file = argv[++i];
     } else if (arg == "--metrics-out" && i + 1 < argc) {
@@ -366,6 +382,7 @@ int run(int argc, char** argv) {
     service::ServeOptions serve_options;
     serve_options.cache_capacity = static_cast<std::size_t>(cache_size);
     serve_options.threads = options.threads;
+    serve_options.serve_threads = static_cast<unsigned>(serve_threads);
     serve_options.stop = &g_stop;
     install_sigint_drain();
     if (!serve_socket_path.empty()) {
@@ -414,6 +431,7 @@ int run(int argc, char** argv) {
   service_spec.max_silences = static_cast<int>(certify_silences);
   service_spec.response_bound = options.oracle.response_bound;
   service_spec.threads = options.threads;
+  service_spec.prune = prune;
 
   if (do_plan_key) {
     // Bare key on stdout: scripts compare two problems' cache identity.
@@ -508,6 +526,7 @@ int run(int argc, char** argv) {
     rspec.certify.max_silences = static_cast<int>(certify_silences);
     rspec.certify.response_bound = options.oracle.response_bound;
     rspec.certify.threads = options.threads;
+    rspec.certify.prune = prune;
     rspec.max_rounds = static_cast<int>(repair_rounds);
     if (!trace_out.empty()) obs::Profiler::global().enable(true);
     const campaign::RepairReport report =
@@ -545,6 +564,7 @@ int run(int argc, char** argv) {
     spec.max_silences = static_cast<int>(certify_silences);
     spec.response_bound = options.oracle.response_bound;
     spec.threads = options.threads;
+    spec.prune = prune;
     // The shrink oracle must judge link faults within the certified budget
     // as within-contract, or a link counterexample would satisfy it and
     // the shrinker's precondition (oracle rejects the plan) would fail.

@@ -156,20 +156,14 @@ Verdict Oracle::judge(const MissionPlan& plan,
   }
 
   // A fail-silent window defers blocked sends to its closing edge: a send
-  // blocked at `from` resumes at `to`, so the worst stretch a window can
-  // force directly is its *length* `to - from`, not its absolute end (§6.1
-  // item 3 masks the window, it does not hide the delay). Granting the
-  // absolute end would absolve genuine response violations in any mission
-  // carrying a late window.
-  std::vector<Time> silence_allowance(
-      static_cast<std::size_t>(plan.iterations), 0);
-  for (const MissionSilence& silence : plan.silences) {
-    Time& allowance =
-        silence_allowance[static_cast<std::size_t>(silence.iteration)];
-    allowance =
-        std::max(allowance, silence.window.to - silence.window.from);
-  }
-
+  // blocked at instant b resumes at `to`, so the worst stretch a window
+  // actually forced is `to - b` for the earliest attempt it blocked — the
+  // simulator reports that as the iteration's silence_deferral (§6.1 item 3
+  // masks the window, it does not hide the delay). This is the tight
+  // per-window bound: at most the window's length (the historical uniform
+  // allowance, granted even to windows that blocked nothing), and 0 for a
+  // window no send ever ran into, so every verdict is at least as strict
+  // as under the length rule.
   for (const MissionIteration& iteration : result.iterations) {
     if (!iteration.all_outputs_produced) {
       violation(iteration.index,
@@ -179,8 +173,7 @@ Verdict Oracle::judge(const MissionPlan& plan,
                     ")");
       continue;
     }
-    const Time allowed =
-        bound_ + silence_allowance[static_cast<std::size_t>(iteration.index)];
+    const Time allowed = bound_ + iteration.silence_deferral;
     if (spec_.check_response && time_gt(iteration.response_time, allowed)) {
       verdict.response_exceeded = true;
       violation(iteration.index,

@@ -1,0 +1,189 @@
+#include "campaign/slack.hpp"
+
+#include <algorithm>
+#include <map>
+
+#include "arch/architecture_graph.hpp"
+#include "arch/characteristics.hpp"
+#include "graph/algorithm_graph.hpp"
+
+namespace ftsched::campaign {
+
+std::vector<std::vector<std::uint32_t>> automorphism_classes(
+    const Schedule& schedule) {
+  // Solution 1 / hybrid watchers and election-triggered dynamic sends
+  // address processors by identity; no processor is a pure spectator.
+  if (schedule.kind() == HeuristicKind::kSolution1 ||
+      schedule.kind() == HeuristicKind::kHybrid) {
+    return {};
+  }
+  const ArchitectureGraph& arch = *schedule.problem().architecture;
+  const std::size_t procs = arch.processor_count();
+
+  std::vector<char> participant(procs, 0);
+  for (const ScheduledOperation& op : schedule.operations()) {
+    participant[op.processor.index()] = 1;
+  }
+  for (const ScheduledComm& comm : schedule.comms()) {
+    if (comm.from.valid()) participant[comm.from.index()] = 1;
+    if (comm.to.valid()) participant[comm.to.index()] = 1;
+    if (comm.active && !comm.segments.empty()) {
+      // Relay hops feed segments mid-route; a relay is no spectator.
+      for (ProcessorId hop : schedule.comm_hops(comm)) {
+        participant[hop.index()] = 1;
+      }
+    }
+  }
+
+  // Spectators with identical adjacent-link sets are interchangeable: a
+  // swap fixes every link (each adjacent link touches both members), every
+  // replica placement, and every transfer endpoint — the simulator's state
+  // evolution is equivariant under it, which is exactly what the digest's
+  // canonical relabeling needs.
+  std::map<std::vector<std::int32_t>, std::vector<std::uint32_t>> groups;
+  for (std::size_t p = 0; p < procs; ++p) {
+    if (participant[p]) continue;
+    std::vector<std::int32_t> key;
+    for (LinkId link : arch.links_of(ProcessorId(
+             static_cast<std::int32_t>(p)))) {
+      key.push_back(link.value());
+    }
+    groups[std::move(key)].push_back(static_cast<std::uint32_t>(p));
+  }
+
+  std::vector<std::vector<std::uint32_t>> classes;
+  for (auto& [key, members] : groups) {
+    if (members.size() >= 2) classes.push_back(std::move(members));
+  }
+  std::sort(classes.begin(), classes.end(),
+            [](const std::vector<std::uint32_t>& a,
+               const std::vector<std::uint32_t>& b) {
+              return a.front() < b.front();
+            });
+  return classes;
+}
+
+SlackTable SlackTable::build(const Schedule& schedule) {
+  SlackTable table;
+  if (schedule.kind() == HeuristicKind::kSolution1 ||
+      schedule.kind() == HeuristicKind::kHybrid) {
+    return table;
+  }
+  const Problem& problem = schedule.problem();
+  const AlgorithmGraph& algo = *problem.algorithm;
+
+  for (const Dependency& dep : algo.dependencies()) {
+    // Exactly one active transfer carries the value: a second sender could
+    // deliver it around the deferred hop, voiding the bound.
+    const std::vector<const ScheduledComm*> carriers =
+        schedule.comms_of(dep.id);
+    if (carriers.size() != 1) continue;
+    const ScheduledComm& comm = *carriers.front();
+    if (comm.liveness || comm.segments.empty()) continue;
+
+    const ProcessorId dest = comm.to;
+    if (!dest.valid()) continue;
+    // A local replica of the producer makes the transfer redundant at the
+    // destination.
+    if (schedule.replica_on(dep.src, dest) != nullptr) continue;
+
+    // The consumer must genuinely wait for the value: a memory op's input
+    // arrives after its output (inter-iteration register), so deferring
+    // the delivery delays nothing this iteration.
+    const Operation& dst_op = algo.operation(dep.dst);
+    if (dst_op.kind == OperationKind::kMem ||
+        dst_op.kind == OperationKind::kExtioIn) {
+      continue;
+    }
+    const ScheduledOperation* consumer = schedule.replica_on(dep.dst, dest);
+    if (consumer == nullptr) continue;
+
+    // Serial chain on the destination: replicas execute in scheduled order,
+    // so the first external output AFTER the consumer (the consumer itself,
+    // if it is one) cannot complete before the consumer's inputs arrive
+    // plus every chain member's execution time. The output must be the
+    // operation's ONLY replica, or another processor could produce it on
+    // time.
+    const std::vector<const ScheduledOperation*> chain =
+        schedule.operations_on(dest);
+    std::size_t at = chain.size();
+    for (std::size_t i = 0; i < chain.size(); ++i) {
+      if (chain[i] == consumer) {
+        at = i;
+        break;
+      }
+    }
+    if (at == chain.size()) continue;
+    Time chain_time = 0;
+    const ScheduledOperation* output = nullptr;
+    for (std::size_t i = at; i < chain.size(); ++i) {
+      const Time wcet = problem.exec->duration(chain[i]->op, dest);
+      if (is_infinite(wcet)) {
+        output = nullptr;
+        break;
+      }
+      chain_time += wcet;
+      if (algo.operation(chain[i]->op).kind == OperationKind::kExtioOut) {
+        output = chain[i];
+        break;
+      }
+    }
+    if (output == nullptr) continue;
+    if (schedule.replicas_view(output->op).size() != 1) continue;
+
+    // One entry per hop: deferring hop i defers delivery by at least the
+    // remaining hop durations.
+    const std::vector<ProcessorId> hops = schedule.comm_hops(comm);
+    bool durations_ok = true;
+    std::vector<Time> hop_cost(comm.segments.size(), 0);
+    for (std::size_t i = 0; i < comm.segments.size(); ++i) {
+      hop_cost[i] = problem.comm->duration(dep.id, comm.segments[i].link);
+      if (is_infinite(hop_cost[i])) durations_ok = false;
+    }
+    if (!durations_ok) continue;
+    Time remaining = chain_time;
+    for (std::size_t i = comm.segments.size(); i-- > 0;) {
+      remaining += hop_cost[i];
+      table.entries_.push_back(
+          Entry{hops[i], dep.id, comm.segments[i].link, remaining});
+    }
+  }
+
+  std::sort(table.entries_.begin(), table.entries_.end(),
+            [](const Entry& a, const Entry& b) {
+              if (a.proc != b.proc) return a.proc < b.proc;
+              if (a.dep != b.dep) return a.dep < b.dep;
+              if (a.link != b.link) return a.link < b.link;
+              return a.tail < b.tail;
+            });
+  // Duplicate (proc, dep, link) keys keep the smallest tail (weakest, thus
+  // sound, bound); comms_of yields one comm per dep here, so duplicates
+  // only arise from a route crossing the same (feeder, link) twice.
+  table.entries_.erase(
+      std::unique(table.entries_.begin(), table.entries_.end(),
+                  [](const Entry& a, const Entry& b) {
+                    return a.proc == b.proc && a.dep == b.dep &&
+                           a.link == b.link;
+                  }),
+      table.entries_.end());
+  return table;
+}
+
+Time SlackTable::critical_tail(ProcessorId proc, DependencyId dep,
+                               LinkId link) const {
+  const auto it = std::lower_bound(
+      entries_.begin(), entries_.end(), std::tuple(proc, dep, link),
+      [](const Entry& e, const std::tuple<ProcessorId, DependencyId, LinkId>&
+                             key) {
+        if (e.proc != std::get<0>(key)) return e.proc < std::get<0>(key);
+        if (e.dep != std::get<1>(key)) return e.dep < std::get<1>(key);
+        return e.link < std::get<2>(key);
+      });
+  if (it == entries_.end() || it->proc != proc || it->dep != dep ||
+      it->link != link) {
+    return kInfinite;
+  }
+  return it->tail;
+}
+
+}  // namespace ftsched::campaign

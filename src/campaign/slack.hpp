@@ -1,0 +1,71 @@
+// Static pre-analysis feeding the certifier's pruning (certify.hpp):
+//
+//  * automorphism_classes — interchangeable-processor classes of the
+//    architecture RELATIVE to a schedule: processors that host no replica
+//    and feed no transfer, grouped by identical adjacent-link sets. Two
+//    members of a class are perfect spectators the simulator treats
+//    symmetrically, so Simulator::branch_digest canonicalizes victim
+//    identity within each class and isomorphic fault branches (crash
+//    spectator A vs. crash spectator B) digest equal.
+//
+//  * SlackTable — per-send deferral tolerance: for a transfer hop fed by
+//    processor `proc` carrying dependency `dep` over `link`, the critical
+//    tail is a static lower bound on how much response time MUST still
+//    elapse after the hop starts (remaining hop durations, then the
+//    destination's serial operation chain from the value's consumer to its
+//    first single-replica external output). A silence window that defers
+//    such a send to a closing edge `to` forces response >= to + tail; when
+//    that provably overshoots the bound plus any earnable allowance, the
+//    certifier counts the branch late without simulating it (the slack
+//    cut). Entries exist only where the bound is airtight: the dependency
+//    travels by exactly one active transfer, the destination holds no
+//    local replica of the producer, the consumer actually waits for the
+//    value (not a memory op), and the output has a single replica
+//    schedule-wide.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/ids.hpp"
+#include "core/time.hpp"
+#include "sched/schedule.hpp"
+
+namespace ftsched::campaign {
+
+/// Interchangeable-processor classes for `schedule` (see header comment):
+/// each inner vector lists the processor indices of one class, ascending,
+/// classes ordered by first member; only classes with >= 2 members are
+/// returned. Empty under solution 1 / hybrid — their watcher chains and
+/// election-triggered sends address processors by identity, so no
+/// processor is a true spectator.
+[[nodiscard]] std::vector<std::vector<std::uint32_t>> automorphism_classes(
+    const Schedule& schedule);
+
+/// Static critical-tail table for the slack cut (see header comment).
+class SlackTable {
+ public:
+  /// Builds the table for `schedule`. Solution 1 / hybrid schedules get an
+  /// empty table (their election machinery can re-route a value around a
+  /// deferred send, so no static tail is a sound lower bound).
+  [[nodiscard]] static SlackTable build(const Schedule& schedule);
+
+  /// Lower bound on the response time still to elapse once `proc` starts
+  /// sending `dep` over `link`; kInfinite when the table holds no airtight
+  /// bound for that hop.
+  [[nodiscard]] Time critical_tail(ProcessorId proc, DependencyId dep,
+                                   LinkId link) const;
+
+  [[nodiscard]] bool empty() const noexcept { return entries_.empty(); }
+
+ private:
+  struct Entry {
+    ProcessorId proc;
+    DependencyId dep;
+    LinkId link;
+    Time tail = 0;
+  };
+  std::vector<Entry> entries_;  // sorted by (proc, dep, link)
+};
+
+}  // namespace ftsched::campaign

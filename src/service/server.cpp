@@ -1,15 +1,20 @@
 #include "service/server.hpp"
 
 #include <cerrno>
+#include <condition_variable>
 #include <cstdio>
 #include <chrono>
 #include <cstring>
+#include <deque>
 #include <fstream>
 #include <istream>
 #include <ostream>
 #include <sstream>
+#include <thread>
 #include <utility>
+#include <vector>
 
+#include <poll.h>
 #include <sys/socket.h>
 #include <sys/un.h>
 #include <unistd.h>
@@ -83,16 +88,47 @@ class FdSink : public RecordSink {
 CertifyService::CertifyService(const ServeOptions& options)
     : options_(options), cache_(options.cache_capacity) {}
 
+ServiceStats CertifyService::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stats_;
+}
+
+/// Merges one finished request's counter delta into the shared totals and
+/// mirrors it into the obs registry. One lock, whole delta: the global
+/// counters only ever advance by complete per-request contributions.
+void CertifyService::merge(const ServiceStats& delta) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stats_.requests += delta.requests;
+    stats_.submits += delta.submits;
+    stats_.cache_hits += delta.cache_hits;
+    stats_.cache_misses += delta.cache_misses;
+    stats_.deadline_exceeded += delta.deadline_exceeded;
+    stats_.errors += delta.errors;
+  }
+  if (delta.requests != 0) count("service.requests", delta.requests);
+  if (delta.submits != 0) count("service.submits", delta.submits);
+  if (delta.cache_hits != 0) count("service.cache_hits", delta.cache_hits);
+  if (delta.cache_misses != 0) {
+    count("service.cache_misses", delta.cache_misses);
+  }
+  if (delta.deadline_exceeded != 0) {
+    count("service.deadline_exceeded", delta.deadline_exceeded);
+  }
+  if (delta.errors != 0) count("service.errors", delta.errors);
+}
+
 void CertifyService::emit_error(RecordSink& sink, const std::string& id,
-                                const std::string& message) {
-  ++stats_.errors;
-  count("service.errors");
+                                const std::string& message,
+                                ServiceStats& delta) {
+  ++delta.errors;
   sink.write("{\"type\":\"error\",\"id\":" + json_string(id) +
              ",\"message\":" + json_string(message) + "}");
 }
 
 void CertifyService::write_status(RecordSink& sink,
                                   const std::string& id) const {
+  std::lock_guard<std::mutex> lock(mu_);
   std::string out = "{\"type\":\"status\",\"id\":" + json_string(id);
   out += ",\"requests\":" + std::to_string(stats_.requests);
   out += ",\"submits\":" + std::to_string(stats_.submits);
@@ -108,39 +144,41 @@ void CertifyService::write_status(RecordSink& sink,
 }
 
 bool CertifyService::handle_line(std::string_view line, RecordSink& sink) {
-  ++stats_.requests;
-  count("service.requests");
+  ServiceStats delta;
+  ++delta.requests;
+  bool serving = true;
   auto request = parse_request(line);
   if (!request.has_value()) {
-    emit_error(sink, "", request.error().message);
-    return true;
+    emit_error(sink, "", request.error().message, delta);
+  } else {
+    switch (request.value().kind) {
+      case Request::Kind::kShutdown:
+        sink.write("{\"type\":\"bye\",\"id\":" +
+                   json_string(request.value().id) + "}");
+        serving = false;
+        break;
+      case Request::Kind::kStatus:
+        write_status(sink, request.value().id);
+        break;
+      case Request::Kind::kSubmit:
+        handle_submit(request.value().submit, sink, delta);
+        break;
+    }
   }
-  switch (request.value().kind) {
-    case Request::Kind::kShutdown:
-      sink.write("{\"type\":\"bye\",\"id\":" +
-                 json_string(request.value().id) + "}");
-      return false;
-    case Request::Kind::kStatus:
-      write_status(sink, request.value().id);
-      return true;
-    case Request::Kind::kSubmit:
-      handle_submit(request.value().submit, sink);
-      return true;
-  }
-  return true;
+  merge(delta);
+  return serving;
 }
 
 void CertifyService::handle_submit(const SubmitRequest& submit,
-                                   RecordSink& sink) {
-  ++stats_.submits;
-  count("service.submits");
+                                   RecordSink& sink, ServiceStats& delta) {
+  ++delta.submits;
 
   std::string text = submit.problem_inline;
   if (!submit.problem_path.empty()) {
     std::ifstream file(submit.problem_path);
     if (!file) {
       emit_error(sink, submit.id,
-                 "cannot open problem file " + submit.problem_path);
+                 "cannot open problem file " + submit.problem_path, delta);
       return;
     }
     std::stringstream buffer;
@@ -149,7 +187,7 @@ void CertifyService::handle_submit(const SubmitRequest& submit,
   }
   Expected<workload::OwnedProblem> parsed = io::read_problem(text);
   if (!parsed.has_value()) {
-    emit_error(sink, submit.id, "problem: " + parsed.error().message);
+    emit_error(sink, submit.id, "problem: " + parsed.error().message, delta);
     return;
   }
   const workload::OwnedProblem owned = std::move(parsed).value();
@@ -158,13 +196,14 @@ void CertifyService::handle_submit(const SubmitRequest& submit,
   if (!parse_heuristic(submit.heuristic, kind)) {
     emit_error(sink, submit.id,
                "unknown heuristic \"" + submit.heuristic +
-                   "\" (base | solution1 | solution2)");
+                   "\" (base | solution1 | solution2)",
+               delta);
     return;
   }
   const Expected<Schedule> scheduled = schedule(owned.problem, kind);
   if (!scheduled.has_value()) {
     emit_error(sink, submit.id,
-               "scheduling failed: " + scheduled.error().message);
+               "scheduling failed: " + scheduled.error().message, delta);
     return;
   }
   const Schedule& sched = scheduled.value();
@@ -205,22 +244,25 @@ void CertifyService::handle_submit(const SubmitRequest& submit,
     std::ofstream file(submit.certificate_out);
     if (!file) {
       emit_error(sink, submit.id,
-                 "cannot write " + submit.certificate_out);
+                 "cannot write " + submit.certificate_out, delta);
       return false;
     }
     file << result.certificate_json;
     return true;
   };
 
-  if (std::optional<CachedResult> hit = cache_.get(key)) {
-    ++stats_.cache_hits;
-    count("service.cache_hits");
+  std::optional<CachedResult> hit;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    hit = cache_.get(key);
+  }
+  if (hit.has_value()) {
+    ++delta.cache_hits;
     if (!write_certificate(*hit)) return;
     result_record(*hit, "hit");
     return;
   }
-  ++stats_.cache_misses;
-  count("service.cache_misses");
+  ++delta.cache_misses;
 
   const auto start = std::chrono::steady_clock::now();
   const auto expired = [&] {
@@ -267,11 +309,11 @@ void CertifyService::handle_submit(const SubmitRequest& submit,
       .observe(elapsed.count());
 
   if (!completed) {
-    ++stats_.deadline_exceeded;
-    count("service.deadline_exceeded");
+    ++delta.deadline_exceeded;
     emit_error(sink, submit.id,
                "deadline of " + std::to_string(submit.deadline_ms) +
-                   " ms exceeded; certification abandoned");
+                   " ms exceeded; certification abandoned",
+               delta);
     return;
   }
 
@@ -282,7 +324,10 @@ void CertifyService::handle_submit(const SubmitRequest& submit,
   result.total_counterexamples = report.total_counterexamples;
   result.worst_response = report.worst_response;
   result.certificate_json = report.to_json(arch);
-  cache_.put(key, result);
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    cache_.put(key, result);
+  }
   if (!write_certificate(result)) return;
   result_record(result, "miss");
 }
@@ -298,6 +343,43 @@ int serve_lines(std::istream& in, std::ostream& out,
   }
   return 0;
 }
+
+namespace {
+
+/// Serves one accepted connection until EOF, a shutdown request, or the
+/// server-wide shutdown/stop flags. Reads poll with a timeout so a worker
+/// holding an idle connection notices a shutdown initiated elsewhere and
+/// releases itself — without that, joining the pool could hang forever on
+/// a silent client.
+void serve_connection(CertifyService& service, int conn,
+                      std::atomic<bool>& shutdown,
+                      const ServeOptions& options) {
+  FdSink sink(conn);
+  std::string buffer;
+  char chunk[4096];
+  while (!shutdown.load(std::memory_order_relaxed) && !stopped(options)) {
+    pollfd pfd{conn, POLLIN, 0};
+    const int ready = ::poll(&pfd, 1, 100);
+    if (ready < 0 && errno != EINTR) break;
+    if (ready <= 0) continue;  // timeout or EINTR: re-check the flags
+    const ssize_t n = ::read(conn, chunk, sizeof chunk);
+    if (n < 0 && errno == EINTR) continue;
+    if (n <= 0) break;
+    buffer.append(chunk, static_cast<std::size_t>(n));
+    std::size_t nl;
+    while ((nl = buffer.find('\n')) != std::string::npos) {
+      const std::string line = buffer.substr(0, nl);
+      buffer.erase(0, nl + 1);
+      if (line.empty()) continue;
+      if (!service.handle_line(line, sink)) {
+        shutdown.store(true, std::memory_order_relaxed);
+        return;
+      }
+    }
+  }
+}
+
+}  // namespace
 
 int serve_socket(const std::string& path, const ServeOptions& options) {
   const int listener = ::socket(AF_UNIX, SOCK_STREAM, 0);
@@ -324,37 +406,67 @@ int serve_socket(const std::string& path, const ServeOptions& options) {
   }
 
   // One service for the whole server lifetime: the plan-key cache is
-  // shared across connections, which is the point of the daemon.
+  // shared across all connections and workers, which is the point of the
+  // daemon. Workers pull accepted connections from a queue; with the
+  // default single worker this is the classic sequential accept loop.
   CertifyService service(options);
-  bool shutdown = false;
-  while (!shutdown && !stopped(options)) {
+  std::atomic<bool> shutdown{false};
+  std::mutex queue_mu;
+  std::condition_variable queue_cv;
+  std::deque<int> queued;
+  bool accepting = true;
+
+  const unsigned pool = options.serve_threads != 0 ? options.serve_threads : 1;
+  std::vector<std::thread> workers;
+  workers.reserve(pool);
+  for (unsigned w = 0; w < pool; ++w) {
+    workers.emplace_back([&] {
+      for (;;) {
+        int conn = -1;
+        {
+          std::unique_lock<std::mutex> lock(queue_mu);
+          queue_cv.wait(lock,
+                        [&] { return !accepting || !queued.empty(); });
+          if (queued.empty()) return;
+          conn = queued.front();
+          queued.pop_front();
+        }
+        serve_connection(service, conn, shutdown, options);
+        ::close(conn);
+      }
+    });
+  }
+
+  while (!shutdown.load(std::memory_order_relaxed) && !stopped(options)) {
+    // Poll with a timeout so a shutdown served on a worker thread (or
+    // SIGINT) stops the accept loop even when no new client arrives.
+    pollfd pfd{listener, POLLIN, 0};
+    const int ready = ::poll(&pfd, 1, 100);
+    if (ready < 0 && errno != EINTR) {
+      std::perror("certifyd: poll");
+      break;
+    }
+    if (ready <= 0) continue;
     const int conn = ::accept(listener, nullptr, nullptr);
     if (conn < 0) {
       if (errno == EINTR) continue;  // SIGINT: loop re-checks the flag
       std::perror("certifyd: accept");
       break;
     }
-    FdSink sink(conn);
-    std::string buffer;
-    char chunk[4096];
-    while (!shutdown) {
-      const ssize_t n = ::read(conn, chunk, sizeof chunk);
-      if (n < 0 && errno == EINTR) {
-        if (stopped(options)) break;
-        continue;
-      }
-      if (n <= 0) break;
-      buffer.append(chunk, static_cast<std::size_t>(n));
-      std::size_t nl;
-      while (!shutdown && (nl = buffer.find('\n')) != std::string::npos) {
-        const std::string line = buffer.substr(0, nl);
-        buffer.erase(0, nl + 1);
-        if (line.empty()) continue;
-        if (!service.handle_line(line, sink)) shutdown = true;
-      }
+    {
+      std::lock_guard<std::mutex> lock(queue_mu);
+      queued.push_back(conn);
     }
-    ::close(conn);
+    queue_cv.notify_one();
   }
+
+  {
+    std::lock_guard<std::mutex> lock(queue_mu);
+    accepting = false;
+  }
+  queue_cv.notify_all();
+  for (std::thread& worker : workers) worker.join();
+
   ::close(listener);
   ::unlink(path.c_str());
   return 0;

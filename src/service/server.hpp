@@ -18,6 +18,7 @@
 #include <cstddef>
 #include <cstdint>
 #include <iosfwd>
+#include <mutex>
 #include <string>
 #include <string_view>
 
@@ -37,6 +38,10 @@ struct ServeOptions {
   const std::atomic<bool>* stop = nullptr;
   /// Emit a progress record per finished certification task.
   bool progress = true;
+  /// Socket-mode connection workers. 1 (the default) serves connections
+  /// sequentially in accept order; N > 1 lets N clients certify
+  /// concurrently against the one shared service + plan-key cache.
+  unsigned serve_threads = 1;
 };
 
 /// Deterministic service counters (mirrored into the global obs registry
@@ -60,18 +65,29 @@ class CertifyService {
   /// Returns false when the request was a shutdown (a bye record has been
   /// written); every other outcome — including malformed requests, which
   /// answer with an error record — returns true and keeps serving.
+  ///
+  /// Thread-safe: concurrent callers (the socket worker pool) certify in
+  /// parallel; each request accumulates its service.* counters privately
+  /// and merges the whole delta under one lock when it finishes, so the
+  /// totals any later status request observes are a sum of completed
+  /// requests — independent of worker interleaving.
   bool handle_line(std::string_view line, RecordSink& sink);
 
-  [[nodiscard]] const ServiceStats& stats() const { return stats_; }
+  /// Snapshot of the merged counters (by value: the struct is shared with
+  /// the worker pool).
+  [[nodiscard]] ServiceStats stats() const;
   [[nodiscard]] ResultCache& cache() { return cache_; }
 
  private:
-  void handle_submit(const SubmitRequest& submit, RecordSink& sink);
+  void handle_submit(const SubmitRequest& submit, RecordSink& sink,
+                     ServiceStats& delta);
   void emit_error(RecordSink& sink, const std::string& id,
-                  const std::string& message);
+                  const std::string& message, ServiceStats& delta);
   void write_status(RecordSink& sink, const std::string& id) const;
+  void merge(const ServiceStats& delta);
 
   ServeOptions options_;
+  mutable std::mutex mu_;  // guards cache_ and stats_
   ResultCache cache_;
   ServiceStats stats_;
 };

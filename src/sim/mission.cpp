@@ -135,6 +135,7 @@ MissionResult run_mission(const Simulator& simulator, const MissionPlan& plan,
     summary.timeouts = run.timeouts;
     summary.elections = run.elections;
     summary.transfers = run.transfer_starts;
+    summary.silence_deferral = run.silence_deferral;
     summary.known_failed = known;
     summary.suspected = suspected;
     result.iterations.push_back(std::move(summary));

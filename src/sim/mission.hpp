@@ -70,6 +70,9 @@ struct MissionIteration {
   std::size_t timeouts = 0;
   std::size_t elections = 0;
   std::size_t transfers = 0;
+  /// See IterationResult::silence_deferral: the tight response allowance
+  /// this iteration's silent windows earned (0 when none deferred a send).
+  Time silence_deferral = 0;
   /// Genuinely dead processors known when the iteration started.
   std::vector<ProcessorId> known_failed;
   /// Healthy processors wrongly suspected when the iteration started.

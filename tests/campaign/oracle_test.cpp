@@ -1,8 +1,9 @@
 // The campaign oracle's accounting corners: fail-silent windows widen the
-// response envelope by their LENGTH (not their absolute end — the bug this
-// file pins), malformed silence placements flag the plan instead of being
-// silently dropped, and link faults are budgeted separately from the
-// paper's §5.1 processor contract.
+// response envelope by their measured deferral — closing edge minus first
+// actually-blocked send, never more than the window length and never its
+// absolute end (the bug this file pins) — malformed silence placements
+// flag the plan instead of being silently dropped, and link faults are
+// budgeted separately from the paper's §5.1 processor contract.
 #include <gtest/gtest.h>
 
 #include <string>
@@ -48,14 +49,21 @@ TEST(Oracle, LateShortSilenceCannotMaskAResponseViolation) {
   EXPECT_TRUE(verdict.response_exceeded);
   EXPECT_FALSE(verdict.ok());
 
-  // The allowance is exactly the window length: a bound that leaves the
-  // response 0.25 of headroom is satisfied...
+  // The allowance is the window's measured deferral — closing edge minus
+  // the first send it actually blocked — which can never exceed the
+  // window's length.
+  const Time deferral = result.iterations[0].silence_deferral;
+  ASSERT_TRUE(time_ge(deferral, 0));
+  ASSERT_TRUE(time_le(deferral, 0.25));
+
+  // A bound that leaves exactly the measured deferral of headroom is
+  // satisfied...
   OracleSpec exact;
-  exact.response_bound = response - 0.25;
+  exact.response_bound = response - deferral;
   EXPECT_TRUE(Oracle(sched, exact).judge(plan, result).ok());
-  // ...and one epsilon short of that is not.
+  // ...and noticeably less headroom than that is not.
   OracleSpec short_by_a_hair;
-  short_by_a_hair.response_bound = response - 0.3;
+  short_by_a_hair.response_bound = response - deferral - 0.05;
   EXPECT_FALSE(Oracle(sched, short_by_a_hair).judge(plan, result).ok());
 }
 

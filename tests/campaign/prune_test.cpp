@@ -1,0 +1,180 @@
+// Subtree memoization + slack cuts must be invisible in the certificate:
+// prune on/off produce byte-identical to_json at every budget mix, the
+// pruned sweep is bit-identical across thread counts, the memo genuinely
+// replays subtrees on the deep sweeps it exists for, and a sweep whose
+// resolved budgets admit no fault is marked "empty" instead of passing as
+// an exhaustive certificate.
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "campaign/certify.hpp"
+#include "campaign/slack.hpp"
+#include "sched/heuristics.hpp"
+#include "workload/paper_examples.hpp"
+
+namespace ftsched::campaign {
+namespace {
+
+using workload::OwnedProblem;
+
+CertifyReport run(const Schedule& schedule, CertifySpec spec, bool prune,
+                  unsigned threads = 1) {
+  spec.prune = prune;
+  spec.threads = threads;
+  return certify(schedule, spec);
+}
+
+void expect_same_certificate(const Schedule& schedule,
+                             const CertifySpec& spec) {
+  const CertifyReport off = run(schedule, spec, false);
+  const CertifyReport on = run(schedule, spec, true);
+  const ArchitectureGraph& arch = *schedule.problem().architecture;
+  EXPECT_EQ(off.to_json(arch), on.to_json(arch));
+  EXPECT_EQ(off.certified, on.certified);
+  EXPECT_EQ(off.branches, on.branches);
+  EXPECT_EQ(off.forks, on.forks);
+  EXPECT_EQ(off.instants_kept, on.instants_kept);
+  EXPECT_EQ(off.instants_merged, on.instants_merged);
+  EXPECT_EQ(off.total_counterexamples, on.total_counterexamples);
+  EXPECT_EQ(off.worst_response, on.worst_response);  // exact
+  EXPECT_FALSE(off.prune);
+  EXPECT_TRUE(on.prune);
+}
+
+TEST(CertifyPrune, ByteIdenticalCertificateExample1AllKinds) {
+  const OwnedProblem ex = workload::paper_example1();
+  for (const Schedule& schedule :
+       {schedule_base(ex.problem).value(),
+        schedule_solution1(ex.problem).value(),
+        schedule_solution2(ex.problem).value()}) {
+    CertifySpec spec;
+    spec.max_failures = 2;
+    spec.max_silences = 1;
+    expect_same_certificate(schedule, spec);
+  }
+}
+
+TEST(CertifyPrune, ByteIdenticalCertificateExample2WithLinksAndBound) {
+  const OwnedProblem ex = workload::paper_example2();
+  const Schedule schedule = schedule_solution2(ex.problem).value();
+  CertifySpec spec;
+  spec.max_failures = 2;
+  spec.max_link_failures = 1;
+  spec.max_silences = 1;
+  expect_same_certificate(schedule, spec);
+  // A finite response bound exercises the allowance-aware digest and the
+  // slack machinery; late branches must come out identical too.
+  spec.response_bound = schedule.makespan() * 1.5;
+  expect_same_certificate(schedule, spec);
+  // A bound so tight everything is late floods the counterexample cap —
+  // the slack cut's arming condition — without changing the certificate.
+  spec.response_bound = schedule.makespan() * 0.5;
+  spec.max_counterexamples = 2;
+  expect_same_certificate(schedule, spec);
+}
+
+TEST(CertifyPrune, PrunedReportIsThreadCountInvariant) {
+  const OwnedProblem ex = workload::paper_example2();
+  const Schedule schedule = schedule_solution2(ex.problem).value();
+  const ArchitectureGraph& arch = *schedule.problem().architecture;
+  CertifySpec spec;
+  spec.max_failures = 2;
+  spec.max_silences = 1;
+  const std::string one = run(schedule, spec, true, 1).to_json(arch);
+  for (const unsigned threads : {2u, 8u}) {
+    EXPECT_EQ(one, run(schedule, spec, true, threads).to_json(arch))
+        << threads << " threads";
+  }
+}
+
+TEST(CertifyPrune, MemoReplaysSubtreesOnDeepSweeps) {
+  const OwnedProblem ex = workload::paper_example2();
+  const Schedule schedule = schedule_solution2(ex.problem).value();
+  CertifySpec spec;
+  spec.max_failures = 2;
+  spec.max_silences = 1;
+  const CertifyReport report = run(schedule, spec, true);
+  EXPECT_TRUE(report.prune);
+  EXPECT_GT(report.memo_probes, 0u);
+  EXPECT_GT(report.memo_hits, 0u);
+  EXPECT_GT(report.memo_branches_replayed, 0u);
+  // Replay reports the events the subtree WOULD have executed (the
+  // certificate counters stay a pure function of the sweep); the genuine
+  // saving is the replayed branch count, which the deep bench turns into
+  // branches_simulated = branches - memo_branches_replayed - slack_cuts.
+  const CertifyReport off = run(schedule, spec, false);
+  EXPECT_EQ(off.branches, report.branches);
+  EXPECT_EQ(off.events_simulated, report.events_simulated);
+  EXPECT_LT(report.memo_branches_replayed, report.branches);
+}
+
+TEST(CertifyPrune, PruneGatedOffUnderCollectBranchesAndCache) {
+  const OwnedProblem ex = workload::paper_example1();
+  const Schedule schedule = schedule_solution1(ex.problem).value();
+  CertifySpec spec;
+  spec.max_failures = 1;
+  spec.collect_branches = true;
+  const CertifyReport collected = certify(schedule, spec);
+  EXPECT_FALSE(collected.prune);
+  EXPECT_EQ(collected.memo_probes, 0u);
+
+  CertifySpec cached;
+  cached.max_failures = 1;
+  CertifyCache cache;
+  cached.cache = &cache;
+  const CertifyReport with_cache = certify(schedule, cached);
+  EXPECT_FALSE(with_cache.prune);
+  EXPECT_EQ(with_cache.memo_probes, 0u);
+}
+
+TEST(CertifyPrune, EmptySweepIsMarkedNotExhaustive) {
+  const OwnedProblem ex = workload::paper_example1();
+  const Schedule schedule = schedule_solution1(ex.problem).value();
+  const ArchitectureGraph& arch = *schedule.problem().architecture;
+  CertifySpec spec;
+  spec.max_failures = 0;
+  spec.max_link_failures = 0;
+  spec.max_silences = 0;
+  const CertifyReport report = certify(schedule, spec);
+  // Zero resolved budgets certify exactly one branch: the fault-free run.
+  EXPECT_TRUE(report.certified);
+  EXPECT_EQ(report.branches, 1u);
+  EXPECT_NE(report.to_json(arch).find("\"sweep\": \"empty\""),
+            std::string::npos);
+
+  CertifySpec real;
+  real.max_failures = 1;
+  EXPECT_NE(certify(schedule, real).to_json(arch).find(
+                "\"sweep\": \"exhaustive\""),
+            std::string::npos);
+}
+
+TEST(CertifyPrune, SlackCutFiresOnTightBoundSilenceSweep) {
+  // The cut's arming conditions: a non-empty slack table (base schedule —
+  // single replicas, no election machinery), a finite bound tight enough
+  // that deferred sends provably overshoot, a leaf silence budget, and an
+  // already-full counterexample cap. 79 of 1954 branches are counted late
+  // without simulation on this mix, certificate still byte-identical.
+  const OwnedProblem ex = workload::paper_example1();
+  const Schedule schedule = schedule_base(ex.problem).value();
+  ASSERT_FALSE(SlackTable::build(schedule).empty());
+  CertifySpec spec;
+  spec.max_failures = 0;
+  spec.max_silences = 2;
+  spec.response_bound = schedule.makespan() * 0.5;
+  spec.max_counterexamples = 2;
+  expect_same_certificate(schedule, spec);
+  EXPECT_GT(run(schedule, spec, true).slack_cuts, 0u);
+}
+
+TEST(CertifyPrune, SlackTableIsEmptyForElectionSchedules) {
+  const OwnedProblem ex = workload::paper_example1();
+  EXPECT_TRUE(
+      SlackTable::build(schedule_solution1(ex.problem).value()).empty());
+  EXPECT_TRUE(automorphism_classes(schedule_solution1(ex.problem).value())
+                  .empty());
+}
+
+}  // namespace
+}  // namespace ftsched::campaign

@@ -203,28 +203,58 @@ TEST(ServeLines, StopFlagDrainsBeforeNextRequest) {
   EXPECT_TRUE(out.str().empty());
 }
 
+/// Connects to a Unix socket, retrying while the listener comes up.
+/// Returns -1 after ~2 s of refusals.
+int connect_with_retry(const std::string& path) {
+  for (int attempt = 0; attempt < 200; ++attempt) {
+    const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    if (fd < 0) return -1;
+    sockaddr_un addr{};
+    addr.sun_family = AF_UNIX;
+    std::memcpy(addr.sun_path, path.c_str(), path.size() + 1);
+    if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr),
+                  sizeof addr) == 0) {
+      return fd;
+    }
+    ::close(fd);
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+  return -1;
+}
+
+/// Reads records from an open connection until one of `type` with `id`
+/// arrives (the connection stays open, so EOF is not the frame boundary).
+JsonValue read_record(int fd, const std::string& type,
+                      const std::string& id) {
+  std::string buffer;
+  char chunk[4096];
+  for (;;) {
+    std::size_t nl;
+    while ((nl = buffer.find('\n')) != std::string::npos) {
+      const std::string line = buffer.substr(0, nl);
+      buffer.erase(0, nl + 1);
+      if (line.empty()) continue;
+      auto value = parse_json(line);
+      EXPECT_TRUE(value.has_value()) << line;
+      if (value.has_value() && value.value().string_or("type", "") == type &&
+          value.value().string_or("id", "") == id) {
+        return std::move(value.value());
+      }
+    }
+    const ssize_t n = ::read(fd, chunk, sizeof chunk);
+    if (n <= 0) break;
+    buffer.append(chunk, static_cast<std::size_t>(n));
+  }
+  return JsonValue{};
+}
+
 TEST(ServeSocket, UnixDomainSocketRoundTrip) {
   const std::string path =
       "/tmp/ftsched_certifyd_test_" + std::to_string(::getpid()) + ".sock";
   ServeOptions options;
   std::thread server([&] { serve_socket(path, options); });
 
-  // Connect (retry while the listener comes up).
-  int fd = -1;
-  for (int attempt = 0; attempt < 200; ++attempt) {
-    fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
-    ASSERT_GE(fd, 0);
-    sockaddr_un addr{};
-    addr.sun_family = AF_UNIX;
-    std::memcpy(addr.sun_path, path.c_str(), path.size() + 1);
-    if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr),
-                  sizeof addr) == 0) {
-      break;
-    }
-    ::close(fd);
-    fd = -1;
-    std::this_thread::sleep_for(std::chrono::milliseconds(10));
-  }
+  const int fd = connect_with_retry(path);
   ASSERT_GE(fd, 0) << "could not connect to " << path;
 
   const std::string request =
@@ -247,6 +277,80 @@ TEST(ServeSocket, UnixDomainSocketRoundTrip) {
   ASSERT_NE(result, nullptr);
   EXPECT_TRUE(result->bool_or("certified", false));
   EXPECT_NE(find_record(records, "bye", "u2"), nullptr);
+}
+
+TEST(ServeSocket, WorkerPoolServesConcurrentConnections) {
+  const std::string path =
+      "/tmp/ftsched_certifyd_pool_" + std::to_string(::getpid()) + ".sock";
+  ServeOptions options;
+  options.serve_threads = 3;
+  std::thread server([&] { serve_socket(path, options); });
+
+  // Three clients hold their connections open simultaneously — with a
+  // single sequential worker this would deadlock below, because every
+  // client only sends its submit once all three are connected.
+  int fds[3];
+  for (int& fd : fds) {
+    fd = connect_with_retry(path);
+    ASSERT_GE(fd, 0) << "could not connect to " << path;
+  }
+
+  // Three distinct plan keys, so the cache outcome is deterministic no
+  // matter how the workers interleave: base differs by schedule, and the
+  // third differs by response bound (part of the key) even if the two
+  // solution heuristics happened to produce identical schedules.
+  const std::string problem = inline_problem();
+  const char* extras[3] = {R"("heuristic":"base")",
+                           R"("heuristic":"solution1")",
+                           R"("heuristic":"solution2","response_bound":1000)"};
+  for (int c = 0; c < 3; ++c) {
+    const std::string submit =
+        std::string(R"({"type":"submit","id":"c)") + std::to_string(c) +
+        R"(","claim_k":1,)" + extras[c] +
+        R"(,"problem_inline":)" + problem + "}\n";
+    ASSERT_EQ(::write(fds[c], submit.data(), submit.size()),
+              static_cast<ssize_t>(submit.size()));
+  }
+  for (int c = 0; c < 3; ++c) {
+    const JsonValue result =
+        read_record(fds[c], "result", std::string("c") + std::to_string(c));
+    ASSERT_TRUE(result.is_object()) << "client " << c;
+    // base cannot mask K=1; both solutions certify.
+    EXPECT_EQ(result.bool_or("certified", c == 0), c != 0);
+    EXPECT_EQ(result.string_or("cache", ""), "miss");
+    ::close(fds[c]);
+  }
+
+  // Counter deltas merge per completed request; results can be read a
+  // moment before the writer's merge lands, so poll the status until all
+  // three submits are visible. Totals must come out exact — merged
+  // deltas, not interleaved per-field updates.
+  const int fd = connect_with_retry(path);
+  ASSERT_GE(fd, 0);
+  JsonValue status;
+  for (int attempt = 0; attempt < 200; ++attempt) {
+    const std::string ask_id = std::string("s") + std::to_string(attempt);
+    const std::string ask =
+        std::string(R"({"type":"status","id":")") + ask_id + "\"}\n";
+    ASSERT_EQ(::write(fd, ask.data(), ask.size()),
+              static_cast<ssize_t>(ask.size()));
+    status = read_record(fd, "status", ask_id);
+    ASSERT_TRUE(status.is_object());
+    if (status.number_or("submits", 0) == 3) break;
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+  EXPECT_EQ(status.number_or("submits", -1), 3);
+  EXPECT_EQ(status.number_or("cache_misses", -1), 3);
+  EXPECT_EQ(status.number_or("cache_hits", -1), 0);
+  EXPECT_EQ(status.number_or("errors", -1), 0);
+  EXPECT_EQ(status.number_or("cache_entries", -1), 3);
+
+  const std::string bye = R"({"type":"shutdown","id":"z"})" "\n";
+  ASSERT_EQ(::write(fd, bye.data(), bye.size()),
+            static_cast<ssize_t>(bye.size()));
+  EXPECT_TRUE(read_record(fd, "bye", "z").is_object());
+  ::close(fd);
+  server.join();
 }
 
 }  // namespace

@@ -1,0 +1,303 @@
+// Pins the Simulator::branch_digest contract the certifier's memo table
+// rests on (see the digest_state comment in sim/simulator.cpp):
+//  * construction-invariance — the digest is a function of the paused
+//    state, not of how it was built: scheduler kind (heap vs calendar),
+//    fork() copies, and upfront-vs-interleaved injection all agree;
+//  * soundness on a large corpus — two states with equal digests have
+//    identical futures (post-pause trace, verdict, response), i.e. ~0
+//    collisions over 10k+ distinct paused states;
+//  * relabeling — with automorphism classes supplied, crashing one
+//    spectator digests equal to crashing another in its class (flagged
+//    `relabeled`), while distinct non-spectator victims stay distinct.
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "campaign/slack.hpp"
+#include "sched/heuristics.hpp"
+#include "sim/simulator.hpp"
+#include "workload/paper_examples.hpp"
+#include "workload/random_arch.hpp"
+
+namespace ftsched {
+namespace {
+
+using workload::OwnedProblem;
+
+std::uint64_t time_bits(Time t) {
+  std::uint64_t bits;
+  static_assert(sizeof(bits) == sizeof(Time));
+  std::memcpy(&bits, &t, sizeof(bits));
+  return bits;
+}
+
+/// FNV-1a over the behaviour a paused state still owes: every trace event
+/// at or after the pause instant, plus the finished verdict. Equal digests
+/// must imply equal signatures — that IS the memo table's soundness.
+struct FutureSignature {
+  std::uint64_t hash = 1469598103934665603ULL;
+  void absorb(std::uint64_t x) {
+    for (int byte = 0; byte < 8; ++byte) {
+      hash ^= (x >> (8 * byte)) & 0xFF;
+      hash *= 1099511628211ULL;
+    }
+  }
+  friend bool operator==(const FutureSignature&,
+                         const FutureSignature&) = default;
+};
+
+FutureSignature future_signature(const IterationResult& result, Time pause) {
+  FutureSignature sig;
+  for (const TraceEvent& event : result.trace.events()) {
+    // advance_until is epsilon-strict: everything executed before the
+    // pause lies strictly below pause - epsilon, so time_ge selects
+    // exactly the events the paused state still owed.
+    if (!time_ge(event.time, pause)) continue;
+    sig.absorb(static_cast<std::uint64_t>(event.kind));
+    sig.absorb(time_bits(event.time));
+    sig.absorb(static_cast<std::uint64_t>(event.proc.value()));
+    sig.absorb(static_cast<std::uint64_t>(event.peer.value()));
+    sig.absorb(static_cast<std::uint64_t>(event.op.value()));
+    sig.absorb(static_cast<std::uint64_t>(event.rank));
+    sig.absorb(static_cast<std::uint64_t>(event.dep.value()));
+    sig.absorb(static_cast<std::uint64_t>(event.link.value()));
+  }
+  sig.absorb(result.all_outputs_produced ? 1 : 0);
+  sig.absorb(time_bits(result.response_time));
+  sig.absorb(time_bits(result.silence_deferral));
+  for (const ProcessorId proc : result.detected_failures) {
+    sig.absorb(static_cast<std::uint64_t>(proc.value()));
+  }
+  return sig;
+}
+
+/// Seeds a branch with the scenario's start state, injects every mid-run
+/// fault upfront, and pauses at `pause`.
+Simulator::Branch paused_branch(const Simulator& simulator,
+                                const FailureScenario& scenario, Time pause) {
+  FailureScenario base = scenario;
+  base.events.clear();
+  base.link_events.clear();
+  base.silent_windows.clear();
+  Simulator::Branch branch = simulator.begin(base);
+  for (const FailureEvent& event : scenario.events) {
+    simulator.inject(branch, event);
+  }
+  for (const LinkFailureEvent& event : scenario.link_events) {
+    simulator.inject(branch, event);
+  }
+  for (const SilentWindow& window : scenario.silent_windows) {
+    simulator.inject(branch, window);
+  }
+  simulator.advance_until(branch, pause);
+  return branch;
+}
+
+TEST(StateDigest, StableAcrossSchedulerKindsAndForkConstruction) {
+  const OwnedProblem ex = workload::paper_example1();
+  for (const Schedule& schedule : {schedule_solution1(ex.problem).value(),
+                                   schedule_solution2(ex.problem).value()}) {
+    const Simulator heap(schedule, {EventSchedulerKind::kBinaryHeap});
+    const Simulator calendar(schedule, {EventSchedulerKind::kCalendar});
+    const Time makespan = schedule.makespan();
+
+    FailureScenario scenario;
+    scenario.events.push_back(FailureEvent{ProcessorId{1}, makespan / 4});
+    scenario.silent_windows.push_back(
+        SilentWindow{ProcessorId{0}, makespan / 3, makespan * 2 / 3});
+
+    for (int step = 1; step <= 6; ++step) {
+      const Time pause = makespan * step / 6;
+      const Simulator::Branch a = paused_branch(heap, scenario, pause);
+      const StateDigest reference = heap.branch_digest(a);
+      EXPECT_FALSE(reference.relabeled);
+
+      // Same state under the calendar queue.
+      const Simulator::Branch b = paused_branch(calendar, scenario, pause);
+      EXPECT_EQ(calendar.branch_digest(b), reference) << "pause " << pause;
+
+      // Interleaved construction: advance to each fault, inject, go on.
+      Simulator::Branch c = heap.begin();
+      heap.advance_until(c, scenario.events[0].time);
+      heap.inject(c, scenario.events[0]);
+      if (time_lt(scenario.events[0].time, pause)) {
+        heap.advance_until(c, scenario.silent_windows[0].from);
+        heap.inject(c, scenario.silent_windows[0]);
+        heap.advance_until(c, pause);
+        EXPECT_EQ(heap.branch_digest(c), reference) << "pause " << pause;
+      }
+
+      // fork() is a deep copy: digest identical, and hashing one copy
+      // must not disturb the other.
+      const Simulator::Branch d = a.fork();
+      EXPECT_EQ(heap.branch_digest(d), reference) << "pause " << pause;
+      EXPECT_EQ(heap.branch_digest(a), reference) << "pause " << pause;
+    }
+  }
+}
+
+TEST(StateDigest, AllowanceOptionOnlyAffectsSilentWindowStates) {
+  const OwnedProblem ex = workload::paper_example1();
+  const Schedule schedule = schedule_solution1(ex.problem).value();
+  const Simulator simulator(schedule);
+  const Time makespan = schedule.makespan();
+
+  // No silent window anywhere: the allowance term has nothing to hash and
+  // both option settings agree.
+  FailureScenario crash = FailureScenario::crash(ProcessorId{1}, makespan / 3);
+  const Simulator::Branch a = paused_branch(simulator, crash, makespan / 2);
+  DigestOptions with;
+  DigestOptions without;
+  without.with_allowance = false;
+  EXPECT_EQ(simulator.branch_digest(a, with),
+            simulator.branch_digest(a, without));
+
+  // A live window that already deferred state is visible to the allowance
+  // term: the two settings may differ, but each stays self-consistent
+  // across construction.
+  FailureScenario silent;
+  silent.silent_windows.push_back(
+      SilentWindow{ProcessorId{0}, makespan / 6, makespan});
+  const Simulator::Branch b = paused_branch(simulator, silent, makespan / 2);
+  const Simulator::Branch c = paused_branch(simulator, silent, makespan / 2);
+  EXPECT_EQ(simulator.branch_digest(b, with), simulator.branch_digest(c, with));
+  EXPECT_EQ(simulator.branch_digest(b, without),
+            simulator.branch_digest(c, without));
+}
+
+TEST(StateDigest, NoCollisionsOnTenThousandStateCorpus) {
+  // Every (schedule, scenario, pause) tuple below yields one paused state;
+  // states sharing a digest must share their whole remaining behaviour.
+  std::unordered_map<std::uint64_t, std::pair<std::uint64_t, FutureSignature>>
+      seen;  // digest.hi -> (digest.lo, future)
+  std::size_t corpus = 0;
+  std::size_t collisions = 0;
+
+  const auto visit = [&](const Simulator& simulator,
+                         const FailureScenario& scenario, Time pause) {
+    Simulator::Branch branch = paused_branch(simulator, scenario, pause);
+    const StateDigest digest = simulator.branch_digest(branch);
+    const FutureSignature future =
+        future_signature(simulator.finish(std::move(branch)), pause);
+    ++corpus;
+    const auto [it, inserted] =
+        seen.try_emplace(digest.hi, digest.lo, future);
+    if (inserted) return;
+    // hi matched: a full match must agree on the future; a half-match
+    // (hi equal, lo different) is a distinct digest, not a collision.
+    if (it->second.first == digest.lo && !(it->second.second == future)) {
+      ++collisions;
+    }
+  };
+
+  const auto sweep_schedule = [&](const Schedule& schedule) {
+    const Simulator simulator(schedule);
+    const Time makespan = schedule.makespan();
+    const std::size_t procs =
+        schedule.problem().architecture->processor_count();
+    const auto pauses = [&](Time after, const auto& fn) {
+      for (int j = 1; j <= 9; ++j) {
+        fn(after + (makespan - after) * j / 10);
+      }
+    };
+    for (std::size_t v = 0; v < procs; ++v) {
+      for (int i = 1; i <= 80; ++i) {
+        const Time at = makespan * i / 81;
+        pauses(at, [&](Time pause) {
+          visit(simulator,
+                FailureScenario::crash(ProcessorId{static_cast<std::int32_t>(v)}, at), pause);
+        });
+      }
+      for (int i = 1; i <= 30; ++i) {
+        const Time from = makespan * i / 31;
+        FailureScenario scenario;
+        scenario.silent_windows.push_back(SilentWindow{
+            ProcessorId{static_cast<std::int32_t>(v)}, from, from + makespan / 4});
+        pauses(from, [&](Time pause) { visit(simulator, scenario, pause); });
+      }
+      // A crash and a window on distinct processors.
+      for (int i = 1; i <= 15; ++i) {
+        const Time at = makespan * i / 16;
+        FailureScenario scenario;
+        scenario.events.push_back(
+            FailureEvent{ProcessorId{static_cast<std::int32_t>(v)}, at});
+        scenario.silent_windows.push_back(SilentWindow{
+            ProcessorId{static_cast<std::int32_t>((v + 1) % procs)}, at, at + makespan / 3});
+        pauses(at, [&](Time pause) { visit(simulator, scenario, pause); });
+      }
+    }
+    pauses(0, [&](Time pause) { visit(simulator, {}, pause); });
+  };
+
+  const OwnedProblem ex1 = workload::paper_example1();
+  sweep_schedule(schedule_base(ex1.problem).value());
+  sweep_schedule(schedule_solution1(ex1.problem).value());
+  sweep_schedule(schedule_solution2(ex1.problem).value());
+
+  EXPECT_GE(corpus, 10000u);
+  EXPECT_EQ(collisions, 0u);
+  // The corpus is genuinely diverse — the digest separates far more than
+  // a handful of states (distinct pause instants with no event in between
+  // legitimately coincide, so full distinctness is not expected).
+  EXPECT_GT(seen.size(), corpus / 20);
+}
+
+TEST(StateDigest, VictimRelabelingWithinAutomorphismClass) {
+  // Seed 2 on a 6-processor bus leaves three perfect spectators — found by
+  // campaign::automorphism_classes, asserted below so a heuristic change
+  // that erodes the class fails loudly instead of vacuously passing.
+  workload::RandomProblemParams params;
+  params.dag.operations = 4;
+  params.processors = 6;
+  params.failures_to_tolerate = 1;
+  params.seed = 2;
+  const OwnedProblem ex = workload::random_problem(params);
+  const Schedule schedule = schedule_solution2(ex.problem).value();
+  const auto classes = campaign::automorphism_classes(schedule);
+  ASSERT_EQ(classes.size(), 1u);
+  ASSERT_GE(classes[0].size(), 2u);
+
+  const Simulator simulator(schedule);
+  const Time makespan = schedule.makespan();
+  const Time at = makespan / 3;
+  const Time pause = makespan / 2;
+  DigestOptions canon;
+  canon.proc_classes = &classes;
+
+  const auto digest_crash = [&](std::int32_t victim,
+                                const DigestOptions& opt) {
+    const Simulator::Branch branch = paused_branch(
+        simulator, FailureScenario::crash(ProcessorId{victim}, at), pause);
+    return simulator.branch_digest(branch, opt);
+  };
+
+  // All spectator crashes collapse to one canonical digest, and at least
+  // one of them needed a genuine (non-identity) relabeling to get there.
+  const StateDigest first = digest_crash(classes[0][0], canon);
+  bool any_relabeled = first.relabeled;
+  for (std::size_t m = 1; m < classes[0].size(); ++m) {
+    const StateDigest other = digest_crash(classes[0][m], canon);
+    EXPECT_EQ(other, first) << "class member " << classes[0][m];
+    any_relabeled = any_relabeled || other.relabeled;
+  }
+  EXPECT_TRUE(any_relabeled);
+
+  // Without the classes the same crashes stay distinct.
+  EXPECT_FALSE(digest_crash(classes[0][0], {}) ==
+               digest_crash(classes[0][1], {}));
+
+  // A non-spectator victim is outside every class: distinct even with the
+  // classes supplied.
+  std::vector<bool> spectator(6, false);
+  for (const std::uint32_t p : classes[0]) spectator[p] = true;
+  for (unsigned victim = 0; victim < 6; ++victim) {
+    if (spectator[victim]) continue;
+    EXPECT_FALSE(digest_crash(victim, canon) == first) << victim;
+  }
+}
+
+}  // namespace
+}  // namespace ftsched
