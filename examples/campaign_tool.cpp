@@ -63,6 +63,7 @@
 #include <cstdio>
 #include <cstdlib>
 #include <fstream>
+#include <stdexcept>
 #include <iostream>
 #include <sstream>
 #include <string>
@@ -71,9 +72,11 @@
 #include <exception>
 
 #include "campaign/certify.hpp"
+#include "campaign/frontier.hpp"
 #include "campaign/repair.hpp"
 #include "campaign/runner.hpp"
 #include "campaign/shrink.hpp"
+#include "io/cli_util.hpp"
 #include "io/problem_format.hpp"
 #include "io/scenario_format.hpp"
 #include "obs/chrome_trace.hpp"
@@ -102,6 +105,10 @@ int usage() {
       "                     [--certify] [--certify-out FILE]\n"
       "                     [--certify-links L] [--certify-silences S]\n"
       "                     [--response-bound T]\n"
+      "                     [--latency NAME:SRC:SINK:BOUND]...\n"
+      "                     [--frontier] [--frontier-k K]\n"
+      "                     [--frontier-links L] [--frontier-silences S]\n"
+      "                     [--frontier-out FILE]\n"
       "                     [--repair] [--repair-rounds N]\n"
       "                     [--repair-out FILE]\n"
       "                     [--metrics-out FILE] [--trace-out FILE]\n"
@@ -122,6 +129,19 @@ int usage() {
       "subtree memoization and slack cuts (--prune=on, the default,\n"
       "produces a byte-identical certificate — the switch exists for\n"
       "A/B timing and for auditing exactly that identity).\n"
+      "--latency NAME:SRC:SINK:BOUND (repeatable) adds a named chain\n"
+      "constraint — every surviving replica path from SRC's operation to\n"
+      "SINK's must complete within BOUND — checked by the oracle, the\n"
+      "certifier, the shrinker, repair and certifyd alongside the global\n"
+      "response bound; refuting branches name the violated constraints.\n"
+      "--frontier sweeps the (K, L, S) budget lattice outward from\n"
+      "(0,0,0) up to --frontier-k/--frontier-links/--frontier-silences\n"
+      "(defaults: the schedule's own tolerance + 1, 1, 1), certifying\n"
+      "each point (reusing one memo across the walk) and reporting the\n"
+      "maximal certifiable surface, the first refuting counterexample at\n"
+      "each boundary point and the Goemans-Lynch-Saias upper bounds;\n"
+      "--frontier-out writes the JSON report (byte-identical for any\n"
+      "--threads and either --prune setting).\n"
       "--repair turns a refuted schedule into a certified one by\n"
       "counterexample-guided repair under the same budgets: each round\n"
       "shrinks a counterexample, applies one targeted move (re-place a\n"
@@ -156,46 +176,78 @@ int usage() {
   return 2;
 }
 
-bool write_file(const std::string& path, const std::string& content) {
-  std::ofstream file(path);
-  if (!file) {
-    std::fprintf(stderr, "cannot write %s\n", path.c_str());
-    return false;
+using io::write_file;
+
+/// Out-of-range operands ride the tool's existing exit-3 diagnostic path:
+/// main() catches, prints "campaign_tool: <reason>" and returns 3 — the
+/// same treatment a malformed input file gets, because the operand LOOKED
+/// numeric and silently saturating it is the bug these wrappers fix.
+[[noreturn]] void out_of_range(const char* flag, const char* text) {
+  throw std::invalid_argument(std::string(flag) + " operand \"" + text +
+                              "\" is out of range");
+}
+
+bool parse_number(const char* flag, const char* text, long& out) {
+  switch (io::parse_number(text, out)) {
+    case io::ParseStatus::kOk: return true;
+    case io::ParseStatus::kOutOfRange: out_of_range(flag, text);
+    case io::ParseStatus::kMalformed: break;
   }
-  file << content;
-  return true;
+  return false;
 }
 
-bool parse_number(const char* text, long& out) {
-  char* end = nullptr;
-  out = std::strtol(text, &end, 10);
-  return end != text && *end == '\0' && out >= 0;
+bool parse_fraction(const char* flag, const char* text, double& out) {
+  switch (io::parse_fraction(text, out)) {
+    case io::ParseStatus::kOk: return true;
+    case io::ParseStatus::kOutOfRange: out_of_range(flag, text);
+    case io::ParseStatus::kMalformed: break;
+  }
+  return false;
 }
 
-bool parse_fraction(const char* text, double& out) {
-  char* end = nullptr;
-  out = std::strtod(text, &end);
-  return end != text && *end == '\0' && out >= 0.0 && out <= 1.0;
-}
-
-bool parse_time(const char* text, double& out) {
-  char* end = nullptr;
-  out = std::strtod(text, &end);
-  return end != text && *end == '\0' && out > 0.0;
+bool parse_time(const char* flag, const char* text, double& out) {
+  switch (io::parse_time(text, out)) {
+    case io::ParseStatus::kOk: return true;
+    case io::ParseStatus::kOutOfRange: out_of_range(flag, text);
+    case io::ParseStatus::kMalformed: break;
+  }
+  return false;
 }
 
 /// Parses a "--certify-shard I/N" operand.
 bool parse_shard(const char* text, campaign::CertifyShardSpec& out) {
-  char* end = nullptr;
-  const long index = std::strtol(text, &end, 10);
-  if (end == text || *end != '/' || index < 0) return false;
-  const char* rest = end + 1;
-  const long total = std::strtol(rest, &end, 10);
-  if (end == rest || *end != '\0' || total <= 0 || index >= total) {
+  std::size_t index = 0;
+  std::size_t count = 1;
+  switch (io::parse_shard(text, index, count)) {
+    case io::ParseStatus::kOk:
+      out.shard_index = index;
+      out.shard_count = count;
+      return true;
+    case io::ParseStatus::kOutOfRange: out_of_range("--certify-shard", text);
+    case io::ParseStatus::kMalformed: break;
+  }
+  return false;
+}
+
+/// Parses a "--latency NAME:SRC:SINK:BOUND" operand (names resolve against
+/// the schedule's algorithm graph later, like every certifier entry point).
+bool parse_latency(const char* text, campaign::LatencyConstraint& out) {
+  const std::string s = text;
+  const std::size_t a = s.find(':');
+  if (a == std::string::npos) return false;
+  const std::size_t b = s.find(':', a + 1);
+  if (b == std::string::npos) return false;
+  const std::size_t c = s.find(':', b + 1);
+  if (c == std::string::npos) return false;
+  out.name = s.substr(0, a);
+  out.source_op = s.substr(a + 1, b - a - 1);
+  out.sink_op = s.substr(b + 1, c - b - 1);
+  if (out.name.empty() || out.source_op.empty() || out.sink_op.empty()) {
     return false;
   }
-  out.shard_index = static_cast<std::size_t>(index);
-  out.shard_count = static_cast<std::size_t>(total);
+  double bound = 0;
+  if (!parse_time("--latency", s.c_str() + c + 1, bound)) return false;
+  out.bound = bound;
   return true;
 }
 
@@ -257,6 +309,13 @@ int run(int argc, char** argv) {
   long repair_rounds = campaign::RepairSpec{}.max_rounds;
   std::string certify_out;
   std::string repair_out;
+  bool do_frontier = false;
+  long frontier_k = -1;
+  long frontier_links = campaign::FrontierSpec{}.max_link_failures;
+  long frontier_silences = campaign::FrontierSpec{}.max_silences;
+  std::string frontier_out;
+  campaign::LatencyConstraint latency;
+  std::vector<campaign::LatencyConstraint> latency_constraints;
   bool do_plan_key = false;
   bool do_shard = false;
   bool do_serve = false;
@@ -291,23 +350,24 @@ int run(int argc, char** argv) {
     } else if (arg == "--solution2") {
       kind = HeuristicKind::kSolution2;
     } else if (arg == "--seed" && i + 1 < argc &&
-               parse_number(argv[++i], number)) {
+               parse_number("--seed", argv[++i], number)) {
       options.seed = static_cast<std::uint64_t>(number);
     } else if (arg == "--scenarios" && i + 1 < argc &&
-               parse_number(argv[++i], number)) {
+               parse_number("--scenarios", argv[++i], number)) {
       options.scenarios = static_cast<std::size_t>(number);
     } else if (arg == "--threads" && i + 1 < argc &&
-               parse_number(argv[++i], number)) {
+               parse_number("--threads", argv[++i], number)) {
       options.threads = static_cast<unsigned>(number);
     } else if (arg == "--claim-k" && i + 1 < argc &&
-               parse_number(argv[++i], number)) {
+               parse_number("--claim-k", argv[++i], number)) {
       options.oracle.claimed_tolerance = static_cast<int>(number);
       options.spec.max_processor_failures = static_cast<int>(number);
     } else if (arg == "--iterations" && i + 1 < argc &&
-               parse_number(argv[++i], number) && number >= 1) {
+               parse_number("--iterations", argv[++i], number) &&
+               number >= 1) {
       options.spec.max_iterations = static_cast<int>(number);
     } else if (arg == "--overbudget" && i + 1 < argc &&
-               parse_fraction(argv[++i], fraction)) {
+               parse_fraction("--overbudget", argv[++i], fraction)) {
       options.spec.over_budget_fraction = fraction;
     } else if (arg == "--links") {
       options.spec.link_failure_probability = 0.25;
@@ -320,27 +380,47 @@ int run(int argc, char** argv) {
     } else if (arg == "--certify") {
       do_certify = true;
     } else if (arg == "--certify-links" && i + 1 < argc &&
-               parse_number(argv[++i], number)) {
+               parse_number("--certify-links", argv[++i], number)) {
       certify_links = number;
       do_certify = true;
     } else if (arg == "--certify-silences" && i + 1 < argc &&
-               parse_number(argv[++i], number)) {
+               parse_number("--certify-silences", argv[++i], number)) {
       certify_silences = number;
       do_certify = true;
     } else if (arg == "--response-bound" && i + 1 < argc &&
-               parse_time(argv[++i], fraction)) {
+               parse_time("--response-bound", argv[++i], fraction)) {
       options.oracle.response_bound = fraction;
+    } else if (arg == "--latency" && i + 1 < argc &&
+               parse_latency(argv[++i], latency)) {
+      latency_constraints.push_back(latency);
     } else if (arg == "--certify-out" && i + 1 < argc) {
       certify_out = argv[++i];
     } else if (arg == "--repair") {
       do_repair = true;
     } else if (arg == "--repair-rounds" && i + 1 < argc &&
-               parse_number(argv[++i], number)) {
+               parse_number("--repair-rounds", argv[++i], number)) {
       repair_rounds = number;
       do_repair = true;
     } else if (arg == "--repair-out" && i + 1 < argc) {
       repair_out = argv[++i];
       do_repair = true;
+    } else if (arg == "--frontier") {
+      do_frontier = true;
+    } else if (arg == "--frontier-k" && i + 1 < argc &&
+               parse_number("--frontier-k", argv[++i], number)) {
+      frontier_k = number;
+      do_frontier = true;
+    } else if (arg == "--frontier-links" && i + 1 < argc &&
+               parse_number("--frontier-links", argv[++i], number)) {
+      frontier_links = number;
+      do_frontier = true;
+    } else if (arg == "--frontier-silences" && i + 1 < argc &&
+               parse_number("--frontier-silences", argv[++i], number)) {
+      frontier_silences = number;
+      do_frontier = true;
+    } else if (arg == "--frontier-out" && i + 1 < argc) {
+      frontier_out = argv[++i];
+      do_frontier = true;
     } else if (arg == "--plan-key") {
       do_plan_key = true;
     } else if (arg == "--certify-shard" && i + 1 < argc &&
@@ -356,10 +436,11 @@ int run(int argc, char** argv) {
       serve_socket_path = argv[++i];
       do_serve = true;
     } else if (arg == "--cache-size" && i + 1 < argc &&
-               parse_number(argv[++i], number)) {
+               parse_number("--cache-size", argv[++i], number)) {
       cache_size = number;
     } else if (arg == "--serve-threads" && i + 1 < argc &&
-               parse_number(argv[++i], number) && number >= 1) {
+               parse_number("--serve-threads", argv[++i], number) &&
+               number >= 1) {
       serve_threads = number;
     } else if (arg == "--prune=on") {
       prune = true;
@@ -422,6 +503,10 @@ int run(int argc, char** argv) {
   const Schedule& sched = result.value();
   const ArchitectureGraph& arch = *owned.problem.architecture;
 
+  // Chain constraints apply everywhere a verdict is formed: the replay /
+  // shrink oracle, certification, repair screening, and the service modes.
+  options.oracle.latency_constraints = latency_constraints;
+
   // The certification budgets the service modes key/shard/merge against —
   // identical to what --certify below builds, so --plan-key prints exactly
   // the key a certifyd submission with these flags would look up.
@@ -430,6 +515,7 @@ int run(int argc, char** argv) {
   service_spec.max_link_failures = static_cast<int>(certify_links);
   service_spec.max_silences = static_cast<int>(certify_silences);
   service_spec.response_bound = options.oracle.response_bound;
+  service_spec.latency_constraints = latency_constraints;
   service_spec.threads = options.threads;
   service_spec.prune = prune;
 
@@ -492,6 +578,27 @@ int run(int argc, char** argv) {
     return report.certified ? 0 : 1;
   }
 
+  if (do_frontier) {
+    campaign::FrontierSpec fspec;
+    fspec.max_failures = static_cast<int>(frontier_k);
+    fspec.max_link_failures = static_cast<int>(frontier_links);
+    fspec.max_silences = static_cast<int>(frontier_silences);
+    fspec.response_bound = options.oracle.response_bound;
+    fspec.latency_constraints = latency_constraints;
+    fspec.threads = options.threads;
+    fspec.prune = prune;
+    const campaign::FrontierReport report =
+        campaign::frontier_sweep(sched, fspec);
+    std::fputs(report.to_text(arch).c_str(), stdout);
+    if (!frontier_out.empty() &&
+        !write_file(frontier_out, report.to_json(arch))) {
+      return 2;
+    }
+    // The frontier is a capability map, not a pass/fail gate; the exit
+    // code reports only whether the fault-free baseline (0, 0, 0) holds.
+    return !report.points.empty() && report.points.front().certified ? 0 : 1;
+  }
+
   if (!replay_file.empty()) {
     std::ifstream file(replay_file);
     if (!file) {
@@ -525,6 +632,7 @@ int run(int argc, char** argv) {
     rspec.certify.max_link_failures = static_cast<int>(certify_links);
     rspec.certify.max_silences = static_cast<int>(certify_silences);
     rspec.certify.response_bound = options.oracle.response_bound;
+    rspec.certify.latency_constraints = latency_constraints;
     rspec.certify.threads = options.threads;
     rspec.certify.prune = prune;
     rspec.max_rounds = static_cast<int>(repair_rounds);
@@ -563,6 +671,7 @@ int run(int argc, char** argv) {
     spec.max_link_failures = static_cast<int>(certify_links);
     spec.max_silences = static_cast<int>(certify_silences);
     spec.response_bound = options.oracle.response_bound;
+    spec.latency_constraints = latency_constraints;
     spec.threads = options.threads;
     spec.prune = prune;
     // The shrink oracle must judge link faults within the certified budget

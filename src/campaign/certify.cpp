@@ -88,14 +88,18 @@ class Explorer {
   Explorer(const Simulator& simulator, const CertifySpec& spec,
            const std::vector<Time>& deadlines, std::size_t procs,
            std::size_t links, std::uint64_t schedule_key,
-           const PruneContext& prune, CertifyTaskPartial& out)
+           const PruneContext& prune,
+           const std::vector<LatencyProbe>& probes, CertifyTaskPartial& out)
       : sim_(simulator),
         spec_(spec),
         deadlines_(deadlines),
         procs_(procs),
         links_(links),
         beyond_tail_(simulator.schedule().makespan() + 1),
-        cache_(spec.cache),
+        // The replay cache stores the scalar leaf verdict only, so it is
+        // gated off under chain constraints (like the memo; see
+        // CertifySpec::latency_constraints).
+        cache_(probes.empty() ? spec.cache : nullptr),
         schedule_key_(schedule_key),
         memo_(prune.memo),
         slack_(prune.slack),
@@ -103,7 +107,10 @@ class Explorer {
         slack_active_(prune.memo != nullptr && prune.slack != nullptr &&
                       !prune.slack->empty() &&
                       !is_infinite(spec.response_bound) && spec.dedup),
-        out_(out) {}
+        probes_(probes),
+        out_(out) {
+    out_.worst_chain_latency.assign(probes_.size(), 0);
+  }
 
   /// Runs one task: the dead-at-start subsets' own leaf when `first` is
   /// invalid, otherwise the subtree of fault sequences starting with a
@@ -130,7 +137,7 @@ class Explorer {
         if (const auto hit = cache_->lookup(schedule_key_, key)) {
           ++out_.leaves_reused;
           record_leaf(hit->outputs_lost, hit->response_time,
-                      hit->silence_deferral);
+                      hit->silence_deferral, {});
           return;
         }
       }
@@ -180,12 +187,36 @@ class Explorer {
   /// silence_deferral — the tight response allowance its windows earned
   /// (0 when no window deferred a send); the same per-window bound the
   /// campaign oracle applies, always <= the historical longest-window
-  /// allowance, so every verdict is at least as strict.
-  void record_leaf(bool lost, Time response, Time deferral) {
+  /// allowance, so every verdict is at least as strict. `op_completions`
+  /// is the leaf run's per-op completion table the chain constraints are
+  /// judged from (unused — pass empty — when the spec carries none; the
+  /// cache-served paths may do so because the cache is gated off under
+  /// constraints).
+  void record_leaf(bool lost, Time response, Time deferral,
+                   const std::vector<Time>& op_completions) {
     ++out_.branches;
     const bool late =
         !is_infinite(spec_.response_bound) && !lost &&
         time_gt(response, spec_.response_bound + deferral);
+    // Chain constraints are judged per dimension, like the scalar
+    // envelope: a branch that lost outputs is already the worst verdict
+    // (and its completion table describes a truncated run), so chains are
+    // only consulted on output-complete leaves. A never-completed sink
+    // reads as kInfinite latency — always a violation.
+    chain_violated_.clear();
+    if (!lost) {
+      for (std::size_t i = 0; i < probes_.size(); ++i) {
+        const Time latency = chain_latency(op_completions, probes_[i]);
+        if (time_gt(latency,
+                    spec_.latency_constraints[i].bound + deferral)) {
+          chain_violated_.push_back(spec_.latency_constraints[i].name);
+        } else {
+          out_.worst_chain_latency[i] =
+              std::max(out_.worst_chain_latency[i], latency);
+        }
+      }
+    }
+    const bool chain_late = !chain_violated_.empty();
     if (!lost && !late) {
       // Late branches are counterexamples, not the certified envelope;
       // keeping them out of worst_response lets the slack cut skip
@@ -203,7 +234,8 @@ class Explorer {
     branch.silences = silences_;
     branch.outputs_lost = lost;
     branch.response_time = response;
-    if (lost || late) {
+    branch.violated_constraints = chain_violated_;
+    if (lost || late || chain_late) {
       ++out_.total_counterexamples;
       if (out_.counterexamples.size() < spec_.max_counterexamples) {
         out_.counterexamples.push_back(branch);
@@ -215,7 +247,7 @@ class Explorer {
   void certify_leaf(const IterationResult& leaf) {
     out_.events_simulated += leaf.events_executed;
     record_leaf(!leaf.all_outputs_produced, leaf.response_time,
-                leaf.silence_deferral);
+                leaf.silence_deferral, leaf.op_completions);
   }
 
   /// plan_key of the CURRENT fault pattern (dead_/crashes_/... stacks) —
@@ -245,7 +277,7 @@ class Explorer {
     if (const auto hit = cache_->lookup(schedule_key_, key)) {
       ++out_.leaves_reused;
       record_leaf(hit->outputs_lost, hit->response_time,
-                  hit->silence_deferral);
+                  hit->silence_deferral, {});
       return true;
     }
     pending_key_ = key;
@@ -1009,6 +1041,10 @@ class Explorer {
   const SlackTable* const slack_;  // null or empty = slack cut off
   const DigestOptions digest_options_;
   const bool slack_active_;
+  /// Resolved chain probes, spec order (empty = scalar-only sweep).
+  const std::vector<LatencyProbe>& probes_;
+  /// Scratch: names the current leaf violates (record_leaf only).
+  std::vector<std::string> chain_violated_;
   CertifyTaskPartial& out_;
   std::vector<ProcessorId> dead_;
   std::vector<LinkId> dead_links_;
@@ -1195,8 +1231,10 @@ CertifyMerger::CertifyMerger(const CertifySweep& sweep,
                              const CertifySpec& spec)
     : max_counterexamples_(spec.max_counterexamples),
       collect_branches_(spec.collect_branches) {
-  report_.prune =
-      spec.prune && !spec.collect_branches && spec.cache == nullptr;
+  report_.prune = spec.prune && !spec.collect_branches &&
+                  spec.cache == nullptr && spec.latency_constraints.empty();
+  report_.latency_constraints = spec.latency_constraints;
+  report_.worst_chain_latency.assign(spec.latency_constraints.size(), 0);
   report_.max_failures = sweep.max_failures;
   report_.max_link_failures = sweep.max_link_failures;
   report_.max_silences = sweep.max_silences;
@@ -1223,6 +1261,12 @@ void CertifyMerger::add(CertifyTaskPartial&& partial) {
   report_.slack_cuts += partial.slack_cuts;
   report_.worst_response =
       std::max(report_.worst_response, partial.worst_response);
+  for (std::size_t i = 0; i < report_.worst_chain_latency.size() &&
+                          i < partial.worst_chain_latency.size();
+       ++i) {
+    report_.worst_chain_latency[i] = std::max(
+        report_.worst_chain_latency[i], partial.worst_chain_latency[i]);
+  }
   for (CertifyBranch& cex : partial.counterexamples) {
     if (report_.counterexamples.size() < max_counterexamples_) {
       report_.counterexamples.push_back(std::move(cex));
@@ -1253,6 +1297,12 @@ CertifyReport CertifyMerger::finish() {
                               report_.instants_merged);
   report_.metrics.add_counter("certify.counterexamples",
                               report_.total_counterexamples);
+  if (!report_.latency_constraints.empty()) {
+    // Scalar sweeps keep their historical metric set byte for byte; the
+    // counter exists only when the spec carries chain constraints.
+    report_.metrics.add_counter("certify.latency_constraints",
+                                report_.latency_constraints.size());
+  }
   return std::move(report_);
 }
 
@@ -1272,13 +1322,19 @@ bool certify_shard(const Schedule& schedule, const CertifySpec& spec,
   const std::vector<Time> deadlines = static_deadlines(schedule);
   const std::uint64_t schedule_key =
       spec.cache != nullptr ? schedule_hash(schedule) : 0;
+  // Validates the spec's chain constraints (throws std::invalid_argument
+  // on a malformed one) and resolves them to op-index probes once for the
+  // whole shard.
+  const std::vector<LatencyProbe> probes =
+      resolve_latency_constraints(schedule, spec.latency_constraints);
 
   // Pruning is gated off under collect_branches (every branch must be
-  // materialized, replaying a memo subtree would skip its enumeration) and
+  // materialized, replaying a memo subtree would skip its enumeration),
   // under a replay cache (the cache is keyed by exact fault pattern; memo
-  // replay would starve it nondeterministically).
+  // replay would starve it nondeterministically), and under chain
+  // constraints (memo entries carry only the scalar leaf verdict).
   const bool prune_enabled = spec.prune && !spec.collect_branches &&
-                             spec.cache == nullptr;
+                             spec.cache == nullptr && probes.empty();
   PruneContext prune;
   CertifyMemo memo;
   const std::vector<std::vector<std::uint32_t>> classes =
@@ -1287,7 +1343,9 @@ bool certify_shard(const Schedule& schedule, const CertifySpec& spec,
   const SlackTable slack =
       prune_enabled ? SlackTable::build(schedule) : SlackTable{};
   if (prune_enabled) {
-    prune.memo = &memo;
+    // spec.memo lets a caller share one memo across sweeps (the frontier
+    // walk); otherwise this shard owns a private one.
+    prune.memo = spec.memo != nullptr ? spec.memo : &memo;
     prune.slack = &slack;
     prune.digest_options.with_allowance = !is_infinite(spec.response_bound);
     prune.digest_options.proc_classes = classes.empty() ? nullptr : &classes;
@@ -1302,7 +1360,7 @@ bool certify_shard(const Schedule& schedule, const CertifySpec& spec,
     CertifyTaskPartial partial;
     partial.task_index = t;
     Explorer explorer(simulator, spec, deadlines, procs, links, schedule_key,
-                      prune, partial);
+                      prune, probes, partial);
     explorer.run(*plan.tasks[t].dead, *plan.tasks[t].dead_links,
                  plan.tasks[t].first, plan.tasks[t].budgets);
     return partial;
@@ -1417,6 +1475,10 @@ std::string branch_text(const CertifyBranch& branch,
   out += branch.outputs_lost
              ? "; OUTPUTS LOST"
              : "; response " + time_to_string(branch.response_time);
+  for (std::size_t i = 0; i < branch.violated_constraints.size(); ++i) {
+    out += i == 0 ? "; violates chain " : ", ";
+    out += "\"" + branch.violated_constraints[i] + "\"";
+  }
   return out;
 }
 
@@ -1457,11 +1519,26 @@ std::string branch_json(const CertifyBranch& branch,
   }
   out += "], \"outputs_lost\": ";
   out += branch.outputs_lost ? "true" : "false";
-  out += ", \"response\": " + obs::json_number(branch.response_time) + "}";
+  out += ", \"response\": " + obs::json_number(branch.response_time);
+  // Emitted only when non-empty: scalar certificates stay byte-identical.
+  if (!branch.violated_constraints.empty()) {
+    out += ", \"violated_constraints\": [";
+    for (std::size_t i = 0; i < branch.violated_constraints.size(); ++i) {
+      if (i > 0) out += ", ";
+      out += obs::json_string(branch.violated_constraints[i]);
+    }
+    out += "]";
+  }
+  out += "}";
   return out;
 }
 
 }  // namespace
+
+std::string certify_branch_json(const CertifyBranch& branch,
+                                const ArchitectureGraph& arch) {
+  return branch_json(branch, arch);
+}
 
 std::string CertifyReport::to_text(const ArchitectureGraph& arch) const {
   std::string out;
@@ -1491,6 +1568,15 @@ std::string CertifyReport::to_text(const ArchitectureGraph& arch) const {
     out += " (bound " + time_to_string(response_bound) + ")";
   }
   out += "\n";
+  for (std::size_t i = 0; i < latency_constraints.size(); ++i) {
+    const LatencyConstraint& c = latency_constraints[i];
+    out += "chain:    \"" + c.name + "\" (" + c.source_op + " -> " +
+           c.sink_op + ") worst " +
+           time_to_string(i < worst_chain_latency.size()
+                              ? worst_chain_latency[i]
+                              : 0) +
+           " (bound " + time_to_string(c.bound) + ")\n";
+  }
   char rate[64];
   std::snprintf(rate, sizeof rate, "%.0f branches/s on %u thread%s\n",
                 branches_per_second(), threads_used,
@@ -1548,6 +1634,25 @@ std::string CertifyReport::to_json(const ArchitectureGraph& arch) const {
          obs::json_number(static_cast<std::uint64_t>(instants_merged));
   out += ",\n  \"worst_response\": " + obs::json_number(worst_response);
   out += ",\n  \"response_bound\": " + obs::json_number(response_bound);
+  // Scalar certificates must stay byte-identical, so the chain block only
+  // exists when the spec carried constraints.
+  if (!latency_constraints.empty()) {
+    out += ",\n  \"latency_constraints\": [";
+    for (std::size_t i = 0; i < latency_constraints.size(); ++i) {
+      const LatencyConstraint& c = latency_constraints[i];
+      out += i > 0 ? ",\n    " : "\n    ";
+      out += "{\"name\": " + obs::json_string(c.name) +
+             ", \"source\": " + obs::json_string(c.source_op) +
+             ", \"sink\": " + obs::json_string(c.sink_op) +
+             ", \"bound\": " + obs::json_number(c.bound) +
+             ", \"worst\": " +
+             obs::json_number(i < worst_chain_latency.size()
+                                  ? worst_chain_latency[i]
+                                  : 0) +
+             "}";
+    }
+    out += "\n  ]";
+  }
   out += ",\n  \"total_counterexamples\": " +
          obs::json_number(static_cast<std::uint64_t>(total_counterexamples));
   out += ",\n  \"counterexamples\": [";

@@ -101,6 +101,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "campaign/oracle.hpp"
 #include "obs/metrics.hpp"
 #include "sched/schedule.hpp"
 #include "sim/mission.hpp"
@@ -357,8 +358,9 @@ struct CertifySpec {
   /// exact and certificate-byte-exact, so on by default; the naive-bench
   /// and A/B paths turn it off. Silently disabled when it cannot apply:
   /// with collect_branches (the memo stores counterexample suffixes only,
-  /// not certified-branch lists) or with a replay cache (the cache's
-  /// leaves_reused accounting assumes every leaf is individually visited).
+  /// not certified-branch lists), with a replay cache (the cache's
+  /// leaves_reused accounting assumes every leaf is individually visited),
+  /// or with latency constraints (memo entries carry no per-chain data).
   bool prune = true;
   /// Replay cache for incremental re-certification (null = off). Owned by
   /// the caller and shared across sweeps: budget-exhausted leaves (and the
@@ -368,6 +370,25 @@ struct CertifySpec {
   /// reflect the saved work. A COLD cache changes nothing at all: every
   /// lookup misses and the report is byte-identical to cache-off.
   CertifyCache* cache = nullptr;
+  /// Named end-to-end chain constraints (see campaign/oracle.hpp), checked
+  /// on every branch alongside the scalar response envelope: a branch whose
+  /// leaf run violates any chain is a counterexample naming the violated
+  /// constraints. Validated and resolved once per sweep through
+  /// resolve_latency_constraints — malformed specs throw
+  /// std::invalid_argument, like every other certifier entry point.
+  /// Non-empty constraints gate the subtree memo AND the replay cache off:
+  /// their entries carry only the scalar leaf verdict, not the per-op
+  /// completion table the chains are judged from. Empty (the default)
+  /// keeps the certificate byte-identical to the scalar certifier.
+  std::vector<LatencyConstraint> latency_constraints = {};
+  /// Caller-owned subtree memo shared ACROSS sweeps (null = the sweep owns
+  /// a private one). Sound whenever schedule, response_bound, dedup, and
+  /// max_counterexamples stay fixed between the sweeps sharing it: entries
+  /// are keyed by (state digest, remaining budgets ⊕ subtree-root instant),
+  /// which is independent of the top-level budget caps — the frontier walk
+  /// reuses one memo across every (K, L, S) lattice point this way.
+  /// Ignored whenever pruning is (or is gated) off.
+  CertifyMemo* memo = nullptr;
 };
 
 /// One branch of the fault tree: the complete fault pattern of one
@@ -383,13 +404,25 @@ struct CertifyBranch {
   std::vector<SilentWindow> silences;
   bool outputs_lost = false;
   Time response_time = kInfinite;
+  /// Names of the chain constraints this branch's leaf run violated, spec
+  /// order. Empty for certified branches, scalar-only violations, and any
+  /// sweep without latency constraints.
+  std::vector<std::string> violated_constraints;
 };
 
 /// The branch as a single-iteration mission plan (shrinker / io input).
 [[nodiscard]] MissionPlan counterexample_plan(const CertifyBranch& branch);
 
+/// The branch rendered exactly as CertifyReport::to_json renders its
+/// counterexamples (names via `arch`, stable field order) — shared with the
+/// frontier report so a boundary point's refuting branch prints the same
+/// bytes in either artifact.
+[[nodiscard]] std::string certify_branch_json(const CertifyBranch& branch,
+                                              const ArchitectureGraph& arch);
+
 struct CertifyReport {
-  /// True iff no branch lost an output or exceeded the response bound.
+  /// True iff no branch lost an output, exceeded the response bound, or
+  /// violated a chain constraint.
   bool certified = false;
   int max_failures = 0;
   int max_link_failures = 0;
@@ -441,6 +474,14 @@ struct CertifyReport {
   std::size_t total_counterexamples = 0;
   /// Worst response over branches that produced all outputs.
   Time worst_response = 0;
+  /// The spec's chain constraints (empty = scalar-only certificate; the
+  /// to_json/to_text constraint blocks are emitted only when non-empty, so
+  /// scalar certificates stay byte-identical).
+  std::vector<LatencyConstraint> latency_constraints;
+  /// Per constraint, spec order: worst chain latency over branches that
+  /// produced all outputs and met THAT constraint — the certified chain
+  /// envelope, mirroring worst_response's same-dimension accounting.
+  std::vector<Time> worst_chain_latency;
   /// Every certified branch (only when spec.collect_branches).
   std::vector<CertifyBranch> branches_list;
   /// certify.* counters (branches, forks, instants, counterexamples),
@@ -521,6 +562,9 @@ struct CertifyTaskPartial {
   std::size_t instants_merged = 0;
   std::size_t total_counterexamples = 0;
   Time worst_response = 0;
+  /// Per spec constraint: worst satisfied chain latency (sized like the
+  /// spec's latency_constraints; empty for scalar sweeps).
+  std::vector<Time> worst_chain_latency;
   /// Pruning telemetry (not thread-count deterministic; see CertifyReport).
   std::size_t memo_probes = 0;
   std::size_t memo_hits = 0;

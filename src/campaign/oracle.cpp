@@ -1,8 +1,11 @@
 #include "campaign/oracle.hpp"
 
 #include <algorithm>
+#include <utility>
 
 #include "arch/routing.hpp"
+#include "core/error.hpp"
+#include "graph/algorithm_graph.hpp"
 #include "sched/timeouts.hpp"
 #include "sched/validate.hpp"
 
@@ -81,13 +84,68 @@ Time static_response_bound(const Schedule& schedule) {
   return last_trigger + tail;
 }
 
+std::vector<LatencyProbe> resolve_latency_constraints(
+    const Schedule& schedule,
+    const std::vector<LatencyConstraint>& constraints) {
+  const AlgorithmGraph& graph = *schedule.problem().algorithm;
+  std::vector<LatencyProbe> probes;
+  probes.reserve(constraints.size());
+  for (std::size_t i = 0; i < constraints.size(); ++i) {
+    const LatencyConstraint& c = constraints[i];
+    FTSCHED_REQUIRE(!c.name.empty(),
+                    "latency constraint #" + std::to_string(i) +
+                        " has an empty name");
+    for (std::size_t j = 0; j < i; ++j) {
+      FTSCHED_REQUIRE(constraints[j].name != c.name,
+                      "duplicate latency constraint name \"" + c.name +
+                          "\"");
+    }
+    FTSCHED_REQUIRE(!is_infinite(c.bound) && time_gt(c.bound, 0),
+                    "latency constraint \"" + c.name +
+                        "\" needs a finite, strictly positive bound");
+    auto resolve = [&](const char* role, const std::string& op_name) {
+      const OperationId op = graph.find_operation(op_name);
+      FTSCHED_REQUIRE(op.valid(), "latency constraint \"" + c.name +
+                                      "\": " + std::string(role) +
+                                      " operation \"" + op_name +
+                                      "\" is not in the graph");
+      FTSCHED_REQUIRE(!schedule.replicas(op).empty(),
+                      "latency constraint \"" + c.name + "\": " +
+                          std::string(role) + " operation \"" + op_name +
+                          "\" has no scheduled replica");
+      return static_cast<std::uint32_t>(op.index());
+    };
+    LatencyProbe probe;
+    probe.source = resolve("source", c.source_op);
+    probe.sink = resolve("sink", c.sink_op);
+    probes.push_back(probe);
+  }
+  return probes;
+}
+
+Time chain_latency(const std::vector<Time>& op_completions,
+                   const LatencyProbe& probe) {
+  const Time sink = probe.sink < op_completions.size()
+                        ? op_completions[probe.sink]
+                        : kInfinite;
+  if (is_infinite(sink)) return kInfinite;
+  const Time source = probe.source < op_completions.size()
+                          ? op_completions[probe.source]
+                          : kInfinite;
+  // A chain whose source never ran is anchored at mission start: the sink
+  // was served without the source, so the whole elapsed time counts.
+  return is_infinite(source) ? sink : sink - source;
+}
+
 Oracle::Oracle(const Schedule& schedule, OracleSpec spec)
-    : schedule_(&schedule), spec_(spec) {
-  claimed_ = spec.claimed_tolerance >= 0 ? spec.claimed_tolerance
-                                         : schedule.failures_tolerated();
-  claimed_links_ = std::max(spec.claimed_link_tolerance, 0);
-  bound_ = is_infinite(spec.response_bound) ? static_response_bound(schedule)
-                                            : spec.response_bound;
+    : schedule_(&schedule), spec_(std::move(spec)) {
+  claimed_ = spec_.claimed_tolerance >= 0 ? spec_.claimed_tolerance
+                                          : schedule.failures_tolerated();
+  claimed_links_ = std::max(spec_.claimed_link_tolerance, 0);
+  bound_ = is_infinite(spec_.response_bound)
+               ? static_response_bound(schedule)
+               : spec_.response_bound;
+  probes_ = resolve_latency_constraints(schedule, spec_.latency_constraints);
   static_violations_ = validate(schedule);
   for (std::string& issue : static_violations_) {
     issue.insert(0, "static validator: ");
@@ -180,6 +238,34 @@ Verdict Oracle::judge(const MissionPlan& plan,
                 "iteration " + std::to_string(iteration.index) +
                     ": response " + time_to_string(iteration.response_time) +
                     " exceeds static bound " + time_to_string(allowed));
+    }
+    if (probes_.empty()) continue;
+    // Chain constraints need the per-op completion table; a mission result
+    // without one came from an out-of-date harness, which is a malformed
+    // input like the iteration-count mismatch above, not a latency verdict.
+    if (iteration.op_completions.empty()) {
+      violation(iteration.index,
+                "harness: iteration " + std::to_string(iteration.index) +
+                    " carries no operation completions for the latency "
+                    "constraints");
+      continue;
+    }
+    for (std::size_t i = 0; i < probes_.size(); ++i) {
+      const LatencyConstraint& c = spec_.latency_constraints[i];
+      const Time latency = chain_latency(iteration.op_completions, probes_[i]);
+      const Time chain_allowed = c.bound + iteration.silence_deferral;
+      if (!time_gt(latency, chain_allowed)) continue;
+      verdict.latency_exceeded = true;
+      if (std::find(verdict.violated_constraints.begin(),
+                    verdict.violated_constraints.end(),
+                    c.name) == verdict.violated_constraints.end()) {
+        verdict.violated_constraints.push_back(c.name);
+      }
+      violation(iteration.index,
+                "iteration " + std::to_string(iteration.index) + ": chain \"" +
+                    c.name + "\" (" + c.source_op + " -> " + c.sink_op +
+                    ") latency " + time_to_string(latency) +
+                    " exceeds bound " + time_to_string(chain_allowed));
     }
   }
   return verdict;

@@ -12,6 +12,7 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <string>
 #include <vector>
 
@@ -41,6 +42,49 @@ namespace ftsched::campaign {
 /// to re-derive the paper's tight per-solution bounds.
 [[nodiscard]] Time static_response_bound(const Schedule& schedule);
 
+/// One named end-to-end latency constraint over a dependence chain
+/// (PAPERS.md: Kermia, *Schedulability Analysis under Dependence and
+/// Several Latency Constraints*): the earliest completion of `sink_op`
+/// must follow the earliest completion of `source_op` by at most `bound`
+/// (widened per iteration by the measured silence deferral, like the
+/// whole-mission response envelope). The scalar response_bound stays the
+/// degenerate whole-mission chain — mission start to the last extio
+/// output — so specs without constraints are judged exactly as before.
+struct LatencyConstraint {
+  /// Unique label; appears in violations, certificates, and stream records.
+  std::string name;
+  /// Operation names resolved against the schedule's algorithm graph.
+  std::string source_op;
+  std::string sink_op;
+  /// Finite, strictly positive envelope for the chain.
+  Time bound = kInfinite;
+};
+
+/// A constraint resolved to graph indices (into IterationResult /
+/// MissionIteration op_completions).
+struct LatencyProbe {
+  std::uint32_t source = 0;
+  std::uint32_t sink = 0;
+};
+
+/// Validates `constraints` against `schedule` and resolves each to a
+/// LatencyProbe. Malformed specs — empty or duplicate names, an endpoint
+/// absent from the algorithm graph, a non-finite / non-positive / inverted
+/// bound, an endpoint with no scheduled replica — throw
+/// std::invalid_argument naming the offending constraint. Every certifier
+/// entry point (Oracle construction, certify, certify_shard, the frontier
+/// sweep, certifyd submits) funnels through this resolver.
+[[nodiscard]] std::vector<LatencyProbe> resolve_latency_constraints(
+    const Schedule& schedule,
+    const std::vector<LatencyConstraint>& constraints);
+
+/// Latency of one resolved chain given a run's per-op earliest completions:
+/// completion(sink) - completion(source); a never-completed sink yields
+/// kInfinite (the chain was not served), a never-completed source anchors
+/// the chain at mission start (time 0).
+[[nodiscard]] Time chain_latency(const std::vector<Time>& op_completions,
+                                 const LatencyProbe& probe);
+
 struct OracleSpec {
   /// Fault budget the schedule is claimed to mask; -1 derives the
   /// schedule's own failures_tolerated().
@@ -54,6 +98,10 @@ struct OracleSpec {
   /// static_response_bound(schedule).
   Time response_bound = kInfinite;
   bool check_response = true;
+  /// Named chain constraints, all checked simultaneously on every
+  /// within-contract iteration. Empty (the default) preserves the
+  /// single-envelope oracle byte for byte.
+  std::vector<LatencyConstraint> latency_constraints = {};
 };
 
 /// The oracle's judgement of one mission.
@@ -66,8 +114,13 @@ struct Verdict {
   bool outputs_lost = false;
   /// Some within-contract iteration exceeded the response envelope.
   bool response_exceeded = false;
+  /// Some within-contract iteration exceeded a named chain constraint.
+  bool latency_exceeded = false;
   /// First iteration a violation was observed in; -1 when none.
   int first_violation_iteration = -1;
+  /// Names of the latency constraints violated, first-violation order,
+  /// each listed once. Empty for scalar-only (or clean) verdicts.
+  std::vector<std::string> violated_constraints;
   /// Human-readable violations; empty == the mission satisfied the oracle.
   std::vector<std::string> violations;
 
@@ -100,6 +153,12 @@ class Oracle {
     return claimed_links_;
   }
   [[nodiscard]] Time response_bound() const noexcept { return bound_; }
+  /// The spec's chain constraints (resolved at construction; empty when
+  /// none were given).
+  [[nodiscard]] const std::vector<LatencyConstraint>& latency_constraints()
+      const noexcept {
+    return spec_.latency_constraints;
+  }
 
  private:
   const Schedule* schedule_;
@@ -107,6 +166,7 @@ class Oracle {
   int claimed_ = 0;
   int claimed_links_ = 0;
   Time bound_ = kInfinite;
+  std::vector<LatencyProbe> probes_;
   std::vector<std::string> static_violations_;
 };
 

@@ -172,6 +172,14 @@ class Localizer {
     return false;
   }
 
+  /// The whole precedence ancestry of one chain sink (including itself),
+  /// BFS order from the sink — the op set a violated latency constraint is
+  /// localized to.
+  [[nodiscard]] std::vector<OperationId> chain_ancestry(
+      OperationId sink) const {
+    return ancestry({sink});
+  }
+
   /// The deepest ancestor of `op` whose value never reached `p`: descend
   /// through missing-value ancestors that DO have a replica on p (they were
   /// starved, not absent) until an ancestor with no replica on p (the
@@ -240,6 +248,7 @@ OracleSpec screening_spec(const CertifyReport& cert) {
   spec.claimed_link_tolerance = cert.max_link_failures;
   spec.response_bound = cert.response_bound;
   spec.check_response = !is_infinite(cert.response_bound);
+  spec.latency_constraints = cert.latency_constraints;
   return spec;
 }
 
@@ -289,12 +298,11 @@ void apply_move(const RepairMove& move, const Problem& problem,
 /// order: route repairs off dead links (cheapest — nothing moves),
 /// widening passive chains into active transfers, pinning the blocker onto
 /// the starved host, and evicting the blocker from the killed processors.
-std::vector<RepairMove> propose_moves(const Problem& problem,
-                                      HeuristicKind kind,
-                                      const Schedule& sched,
-                                      const MissionPlan& plan,
-                                      const SchedulerOptions& opts,
-                                      std::size_t cap) {
+std::vector<RepairMove> propose_moves(
+    const Problem& problem, HeuristicKind kind, const Schedule& sched,
+    const MissionPlan& plan,
+    const std::vector<LatencyConstraint>& violated_chains,
+    const SchedulerOptions& opts, std::size_t cap) {
   const AlgorithmGraph& graph = *problem.algorithm;
   const ArchitectureGraph& arch = *problem.architecture;
   const Localizer loc(problem, sched, final_iteration_scenario(plan));
@@ -452,8 +460,50 @@ std::vector<RepairMove> propose_moves(const Problem& problem,
       push_force(move);
     }
   }
-  if (lost.empty() && has_timeouts) {
-    // Pure response violation: the only lever that shortens recovery is
+  // A chain-latency violation serves every output, so there is no starved
+  // host to localize through root blockers; the levers live on the violated
+  // chain itself. Per violated constraint, in order: widen the passive
+  // timeout/election chains feeding the sink's ancestry into active
+  // transfers (recovery latency is dominated by timeout waits), then
+  // co-locate the sink with a surviving replica of the chain's source
+  // (removing the cross-processor hops between the chain's endpoints).
+  if (lost.empty() && !violated_chains.empty()) {
+    for (const LatencyConstraint& c : violated_chains) {
+      const OperationId sink = graph.find_operation(c.sink_op);
+      const OperationId source = graph.find_operation(c.source_op);
+      if (!sink.valid()) continue;
+      if (has_timeouts) {
+        for (const OperationId op : loc.chain_ancestry(sink)) {
+          for (const DependencyId d : graph.precedence_in_ref(op)) {
+            if (!sched.uses_active_comms(d)) {
+              RepairMove move;
+              move.kind = RepairMove::Kind::kActivateComm;
+              move.dep = d;
+              push(move);
+            }
+          }
+        }
+      }
+      if (!source.valid()) continue;
+      for (const ScheduledOperation* replica : sched.replicas_view(source)) {
+        const ProcessorId host = replica->processor;
+        if (loc.proc_dead(host)) continue;
+        if (problem.exec->allowed(sink, host) &&
+            sched.replica_on(sink, host) == nullptr &&
+            !pinned(sink, host) && !forbidden(sink, host) &&
+            pin_count(sink) < replicas) {
+          RepairMove move;
+          move.kind = RepairMove::Kind::kPinReplica;
+          move.op = sink;
+          move.proc = host;
+          push(move);
+        }
+      }
+    }
+  }
+  if (lost.empty() && out.empty() && has_timeouts) {
+    // Pure response violation (and the fallback when no chain-local move
+    // was available): the only remaining lever that shortens recovery is
     // trading timeout chains for active transfers.
     for (const Dependency& dep : graph.dependencies()) {
       if (!sched.uses_active_comms(dep.id)) {
@@ -561,6 +611,7 @@ RepairReport repair(const Problem& problem, HeuristicKind kind,
     // Minimize and bank the first counterexample; every later move must
     // keep the whole bank fixed.
     const OracleSpec screen = screening_spec(cert);
+    std::vector<LatencyConstraint> violated_chains;
     {
       const Simulator sim(cur.value());
       const Oracle oracle(cur.value(), screen);
@@ -581,6 +632,18 @@ RepairReport repair(const Problem& problem, HeuristicKind kind,
             counterexample_plan(cert.counterexamples.front());
       }
       bank.push_back(r.counterexample);
+      // Which chain constraints the banked reproducer violates — the
+      // localization propose_moves targets instead of the global
+      // activate-everything fallback.
+      if (!screen.latency_constraints.empty()) {
+        const Verdict verdict = oracle.judge(
+            r.counterexample, run_mission(sim, r.counterexample));
+        for (const std::string& name : verdict.violated_constraints) {
+          for (const LatencyConstraint& c : screen.latency_constraints) {
+            if (c.name == name) violated_chains.push_back(c);
+          }
+        }
+      }
     }
     rep.rounds.push_back(std::move(r));
 
@@ -593,8 +656,8 @@ RepairReport repair(const Problem& problem, HeuristicKind kind,
     }
 
     const std::vector<RepairMove> moves =
-        propose_moves(problem, cur_kind, cur.value(), bank.back(), opts,
-                      spec.max_candidates);
+        propose_moves(problem, cur_kind, cur.value(), bank.back(),
+                      violated_chains, opts, spec.max_candidates);
     // Screen EVERY proposed move, then accept the surviving candidate
     // with the lowest repaired makespan (ties: earliest proposal) — the
     // first-found survivor could lock in a needlessly slow schedule that

@@ -53,6 +53,35 @@ Expected<Request> parse_request(std::string_view line) {
                      "request: response_bound must be a positive number"};
       }
     }
+    if (const JsonValue* list = object.find("latency_constraints")) {
+      if (!list->is_array()) {
+        return Error{Error::Code::kInvalidInput,
+                     "request: latency_constraints must be an array"};
+      }
+      for (const JsonValue& item : list->items) {
+        if (!item.is_object()) {
+          return Error{Error::Code::kInvalidInput,
+                       "request: latency constraint must be an object"};
+        }
+        campaign::LatencyConstraint c;
+        c.name = item.string_or("name", "");
+        c.source_op = item.string_or("source", "");
+        c.sink_op = item.string_or("sink", "");
+        if (c.name.empty() || c.source_op.empty() || c.sink_op.empty()) {
+          return Error{Error::Code::kInvalidInput,
+                       "request: latency constraint needs \"name\", "
+                       "\"source\", and \"sink\""};
+        }
+        const JsonValue* bound = item.find("bound");
+        if (bound == nullptr || !bound->is_number() || !(bound->number > 0)) {
+          return Error{Error::Code::kInvalidInput,
+                       "request: latency constraint \"" + c.name +
+                           "\" needs a positive \"bound\""};
+        }
+        c.bound = bound->number;
+        submit.latency_constraints.push_back(std::move(c));
+      }
+    }
     submit.threads =
         static_cast<unsigned>(object.number_or("threads", 0));
     submit.deadline_ms = object.number_or("deadline_ms", 0);

@@ -5,6 +5,7 @@
 //   {"type":"submit","id":"r1","problem":"data/x.ft",      — or
 //    "problem_inline":"algorithm\n...","heuristic":"solution1",
 //    "claim_k":-1,"links":0,"silences":0,"response_bound":12.5,
+//    "latency_constraints":[{"name":"c","source":"A","sink":"B","bound":5}],
 //    "threads":0,"deadline_ms":0,"certificate_out":"cert.json"}
 //   {"type":"status","id":"s1"}
 //   {"type":"shutdown"}
@@ -21,7 +22,9 @@
 #include <cstddef>
 #include <string>
 #include <string_view>
+#include <vector>
 
+#include "campaign/oracle.hpp"
 #include "core/error.hpp"
 #include "core/time.hpp"
 
@@ -39,6 +42,12 @@ struct SubmitRequest {
   int links = 0;
   int silences = 0;
   Time response_bound = kInfinite;
+  /// Named chain constraints to certify alongside the scalar envelope:
+  /// "latency_constraints":[{"name":…,"source":…,"sink":…,"bound":…}].
+  /// Structural validity (well-formed JSON, positive bound) is checked at
+  /// parse time; resolution against the schedule happens at submit, where
+  /// a malformed spec answers with an error record.
+  std::vector<campaign::LatencyConstraint> latency_constraints = {};
   unsigned threads = 0;
   /// Per-request deadline; 0 = none. An expired deadline cancels the
   /// remaining certification tasks and answers with an error record.

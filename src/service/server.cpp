@@ -10,6 +10,7 @@
 #include <istream>
 #include <ostream>
 #include <sstream>
+#include <stdexcept>
 #include <thread>
 #include <utility>
 #include <vector>
@@ -214,7 +215,21 @@ void CertifyService::handle_submit(const SubmitRequest& submit,
   spec.max_link_failures = submit.links;
   spec.max_silences = submit.silences;
   spec.response_bound = submit.response_bound;
+  spec.latency_constraints = submit.latency_constraints;
   spec.threads = submit.threads != 0 ? submit.threads : options_.threads;
+
+  // Resolve chain constraints against the schedule before acking: a
+  // malformed spec (endpoint not in the graph, replica-less op, bad
+  // bound) is a client error record, not a mid-certification throw.
+  if (!spec.latency_constraints.empty()) {
+    try {
+      (void)campaign::resolve_latency_constraints(sched,
+                                                  spec.latency_constraints);
+    } catch (const std::invalid_argument& error) {
+      emit_error(sink, submit.id, error.what(), delta);
+      return;
+    }
+  }
 
   const std::string key = plan_key_string(sched, spec);
   const campaign::CertifySweep sweep = campaign::certify_sweep(sched, spec);

@@ -26,7 +26,20 @@ StreamMeta make_meta(const Schedule& schedule,
   meta.shard_count = shard.shard_count;
   meta.max_counterexamples = spec.max_counterexamples;
   meta.dedup = spec.dedup;
+  meta.constraints = spec.latency_constraints;
   return meta;
+}
+
+bool same_constraints(const std::vector<campaign::LatencyConstraint>& a,
+                      const std::vector<campaign::LatencyConstraint>& b) {
+  if (a.size() != b.size()) return false;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    if (a[i].name != b[i].name || a[i].source_op != b[i].source_op ||
+        a[i].sink_op != b[i].sink_op || !time_eq(a[i].bound, b[i].bound)) {
+      return false;
+    }
+  }
+  return true;
 }
 
 Error merge_error(const std::string& what) {
@@ -116,6 +129,12 @@ Expected<campaign::CertifyReport> merge_streams(
               meta.link_subsets != sweep.link_subsets ||
               meta.tasks != sweep.tasks) {
             return merge_error(where + ": sweep shape disagrees");
+          }
+          // The plan key only mixes constraints when present; compare the
+          // lists themselves so a shard certified against different chains
+          // (or none) can never contribute task records to this merge.
+          if (!same_constraints(meta.constraints, spec.latency_constraints)) {
+            return merge_error(where + ": latency constraints disagree");
           }
           shard.shard_index = meta.shard_index;
           shard.shard_count = meta.shard_count;

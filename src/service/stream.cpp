@@ -83,7 +83,18 @@ std::string write_branch(const campaign::CertifyBranch& branch) {
   }
   out += "],\"lost\":";
   out += branch.outputs_lost ? "true" : "false";
-  out += ",\"response\":" + wire_time(branch.response_time) + "}";
+  out += ",\"response\":" + wire_time(branch.response_time);
+  // Constraint names appear only when violated, keeping scalar-only
+  // branches byte-identical to the pre-constraint wire format.
+  if (!branch.violated_constraints.empty()) {
+    out += ",\"violated\":[";
+    for (std::size_t i = 0; i < branch.violated_constraints.size(); ++i) {
+      if (i > 0) out += ',';
+      out += obs::json_string(branch.violated_constraints[i]);
+    }
+    out += "]";
+  }
+  out += "}";
   return out;
 }
 
@@ -104,6 +115,18 @@ std::string write_meta_record(const StreamMeta& meta) {
          std::to_string(meta.max_counterexamples);
   out += ",\"dedup\":";
   out += meta.dedup ? "true" : "false";
+  if (!meta.constraints.empty()) {
+    out += ",\"latency_constraints\":[";
+    for (std::size_t i = 0; i < meta.constraints.size(); ++i) {
+      const campaign::LatencyConstraint& c = meta.constraints[i];
+      if (i > 0) out += ',';
+      out += "{\"name\":" + obs::json_string(c.name);
+      out += ",\"source\":" + obs::json_string(c.source_op);
+      out += ",\"sink\":" + obs::json_string(c.sink_op);
+      out += ",\"bound\":" + wire_time(c.bound) + "}";
+    }
+    out += "]";
+  }
   out += "}";
   return out;
 }
@@ -120,6 +143,14 @@ std::string write_task_record(const campaign::CertifyTaskPartial& task) {
   out += ",\"total_counterexamples\":" +
          std::to_string(task.total_counterexamples);
   out += ",\"worst_response\":" + wire_time(task.worst_response);
+  if (!task.worst_chain_latency.empty()) {
+    out += ",\"worst_chain_latency\":[";
+    for (std::size_t i = 0; i < task.worst_chain_latency.size(); ++i) {
+      if (i > 0) out += ',';
+      out += wire_time(task.worst_chain_latency[i]);
+    }
+    out += "]";
+  }
   out += ",\"counterexamples\":[";
   for (std::size_t i = 0; i < task.counterexamples.size(); ++i) {
     if (i > 0) out += ',';
@@ -188,6 +219,13 @@ Expected<campaign::CertifyBranch> parse_branch(const JsonValue& object) {
   }
   branch.outputs_lost = object.bool_or("lost", false);
   branch.response_time = read_time(object, "response", kInfinite);
+  if (const JsonValue* violated = object.find("violated")) {
+    if (!violated->is_array()) return bad("violated must be an array");
+    for (const JsonValue& item : violated->items) {
+      if (!item.is_string()) return bad("violated entries must be strings");
+      branch.violated_constraints.push_back(item.string);
+    }
+  }
   return branch;
 }
 
@@ -228,6 +266,24 @@ Expected<StreamRecord> parse_record(std::string_view line) {
     meta.shard_count = read_size(object, "shard_count");
     meta.max_counterexamples = read_size(object, "max_counterexamples");
     meta.dedup = object.bool_or("dedup", true);
+    if (const JsonValue* list = object.find("latency_constraints")) {
+      if (!list->is_array()) {
+        return Error{Error::Code::kInvalidInput,
+                     "stream: latency_constraints must be an array"};
+      }
+      for (const JsonValue& item : list->items) {
+        if (!item.is_object()) {
+          return Error{Error::Code::kInvalidInput,
+                       "stream: latency constraint must be an object"};
+        }
+        campaign::LatencyConstraint c;
+        c.name = item.string_or("name", "");
+        c.source_op = item.string_or("source", "");
+        c.sink_op = item.string_or("sink", "");
+        c.bound = read_time(item, "bound", kInfinite);
+        meta.constraints.push_back(std::move(c));
+      }
+    }
     if (meta.shard_count == 0 || meta.shard_index >= meta.shard_count) {
       return Error{Error::Code::kInvalidInput,
                    "stream: meta has invalid shard assignment"};
@@ -251,6 +307,22 @@ Expected<StreamRecord> parse_record(std::string_view line) {
     task.instants_merged = read_size(object, "instants_merged");
     task.total_counterexamples = read_size(object, "total_counterexamples");
     task.worst_response = read_time(object, "worst_response", 0);
+    if (const JsonValue* worsts = object.find("worst_chain_latency")) {
+      if (!worsts->is_array()) {
+        return Error{Error::Code::kInvalidInput,
+                     "stream: worst_chain_latency must be an array"};
+      }
+      for (const JsonValue& item : worsts->items) {
+        if (item.is_null()) {
+          task.worst_chain_latency.push_back(kInfinite);
+        } else if (item.is_number()) {
+          task.worst_chain_latency.push_back(item.number);
+        } else {
+          return Error{Error::Code::kInvalidInput,
+                       "stream: worst_chain_latency entries must be numbers"};
+        }
+      }
+    }
     if (const JsonValue* list = object.find("counterexamples")) {
       if (!list->is_array()) {
         return Error{Error::Code::kInvalidInput,

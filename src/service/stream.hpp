@@ -21,6 +21,7 @@
 #include <iosfwd>
 #include <string>
 #include <string_view>
+#include <vector>
 
 #include "campaign/certify.hpp"
 #include "core/error.hpp"
@@ -77,6 +78,10 @@ struct StreamMeta {
   std::size_t shard_count = 1;
   std::size_t max_counterexamples = 0;
   bool dedup = true;
+  /// Named chain constraints the shard certified against. On the wire only
+  /// when non-empty, so scalar-bound streams are byte-identical to format 1
+  /// streams written before constraints existed.
+  std::vector<campaign::LatencyConstraint> constraints = {};
 };
 
 /// Stream trailer; tasks_emitted lets the merger detect truncation and

@@ -136,6 +136,7 @@ MissionResult run_mission(const Simulator& simulator, const MissionPlan& plan,
     summary.elections = run.elections;
     summary.transfers = run.transfer_starts;
     summary.silence_deferral = run.silence_deferral;
+    summary.op_completions = run.op_completions;
     summary.known_failed = known;
     summary.suspected = suspected;
     result.iterations.push_back(std::move(summary));

@@ -77,6 +77,9 @@ struct MissionIteration {
   std::vector<ProcessorId> known_failed;
   /// Healthy processors wrongly suspected when the iteration started.
   std::vector<ProcessorId> suspected;
+  /// See IterationResult::op_completions: earliest completion per graph
+  /// operation, kInfinite where none — the chain-latency oracle's input.
+  std::vector<Time> op_completions;
 };
 
 struct MissionResult {

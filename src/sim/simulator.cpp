@@ -513,6 +513,7 @@ class Engine {
     result.response_time =
         result.all_outputs_produced ? response : kInfinite;
     result.silence_deferral = silence_deferral();
+    result.op_completions = s_.op_end;
     collect_detected(result.detected_failures);
     result.trace = std::move(s_.trace);
     return result;
@@ -536,6 +537,7 @@ class Engine {
     }
     out.response_time = out.all_outputs_produced ? response : kInfinite;
     out.silence_deferral = silence_deferral();
+    out.op_completions.assign(s_.op_end.begin(), s_.op_end.end());
     out.detected_failures.clear();
     collect_detected(out.detected_failures);
   }

@@ -118,6 +118,12 @@ struct IterationResult {
   /// Always <= the window length, so bounds checked against it are at
   /// least as strict as the historical uniform length allowance.
   Time silence_deferral = 0;
+  /// Earliest kOpEnd instant per graph operation (indexed by
+  /// OperationId::index), kInfinite for an operation no live processor
+  /// completed. The per-chain latency oracle (campaign/oracle.hpp) derives
+  /// every LatencyConstraint verdict from this table; response_time is its
+  /// extio-output projection.
+  std::vector<Time> op_completions;
 };
 
 /// The trace-free digest of one iteration: everything the mission runner
@@ -137,6 +143,8 @@ struct IterationSummary {
   std::vector<ProcessorId> detected_failures;
   /// See IterationResult::silence_deferral.
   Time silence_deferral = 0;
+  /// See IterationResult::op_completions.
+  std::vector<Time> op_completions;
 };
 
 namespace sim_detail {

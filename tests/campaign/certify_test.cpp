@@ -7,6 +7,10 @@
 // verdict relative to the naive enumerator it prunes — per fault class.
 #include <gtest/gtest.h>
 
+#include <stdexcept>
+#include <string>
+#include <vector>
+
 #include "campaign/certify.hpp"
 #include "campaign/oracle.hpp"
 #include "campaign/shrink.hpp"
@@ -440,6 +444,129 @@ TEST(Certify, CounterexamplePlanRoundTrips) {
   ASSERT_EQ(plan.silences.size(), 1u);
   EXPECT_EQ(plan.silences[0].iteration, 0);
   EXPECT_TRUE(plan.silences[0].window == branch.silences[0]);
+}
+
+TEST(Certify, ChainRefutationNamesTheViolatedConstraint) {
+  const OwnedProblem ex = workload::paper_example1();
+  const Schedule schedule = schedule_solution1(ex.problem).value();
+  const CertifyReport scalar = certify(schedule);
+  ASSERT_TRUE(scalar.certified);
+
+  // A generous chain beside an impossibly tight one: every branch serves
+  // its outputs, so every counterexample is a pure chain violation naming
+  // exactly the tight constraint.
+  CertifySpec spec;
+  spec.latency_constraints.push_back(
+      LatencyConstraint{"roomy", "I", "O", 100.0});
+  spec.latency_constraints.push_back(
+      LatencyConstraint{"tight", "A", "E", 0.01});
+  const CertifyReport report = certify(schedule, spec);
+  EXPECT_FALSE(report.certified);
+  ASSERT_EQ(report.latency_constraints.size(), 2u);
+  ASSERT_EQ(report.worst_chain_latency.size(), 2u);
+  ASSERT_FALSE(report.counterexamples.empty());
+  for (const CertifyBranch& cex : report.counterexamples) {
+    EXPECT_FALSE(cex.outputs_lost);
+    ASSERT_EQ(cex.violated_constraints.size(), 1u);
+    EXPECT_EQ(cex.violated_constraints[0], "tight");
+  }
+
+  // The certify -> oracle -> shrink route a labeled counterexample rides:
+  // the branch re-judged through an oracle carrying the same constraints
+  // violates them, and the shrunk reproducer still names the chain.
+  OracleSpec ospec;
+  ospec.latency_constraints = spec.latency_constraints;
+  const Oracle oracle(schedule, ospec);
+  const MissionPlan plan = counterexample_plan(report.counterexamples[0]);
+  const Verdict verdict = oracle.judge(plan, run_mission(schedule, plan));
+  ASSERT_FALSE(verdict.ok());
+  EXPECT_TRUE(verdict.latency_exceeded);
+  ASSERT_EQ(verdict.violated_constraints.size(), 1u);
+  EXPECT_EQ(verdict.violated_constraints[0], "tight");
+
+  const Simulator simulator(schedule);
+  const ShrinkResult shrunk = shrink(simulator, oracle, plan);
+  ASSERT_FALSE(shrunk.violations.empty());
+  bool names_chain = false;
+  for (const std::string& violation : shrunk.violations) {
+    if (violation.find("\"tight\"") != std::string::npos) names_chain = true;
+  }
+  EXPECT_TRUE(names_chain) << shrunk.violations[0];
+
+  // Chain-constrained reports are thread-count deterministic like scalar
+  // ones, including the per-branch violated lists and the chain envelopes.
+  CertifySpec threaded = spec;
+  threaded.threads = 4;
+  const CertifyReport other = certify(schedule, threaded);
+  expect_same_report(report, other);
+  ASSERT_EQ(other.worst_chain_latency.size(), 2u);
+  for (std::size_t i = 0; i < 2; ++i) {
+    EXPECT_EQ(report.worst_chain_latency[i], other.worst_chain_latency[i]);
+  }
+  ASSERT_EQ(report.counterexamples.size(), other.counterexamples.size());
+  for (std::size_t i = 0; i < report.counterexamples.size(); ++i) {
+    EXPECT_EQ(report.counterexamples[i].violated_constraints,
+              other.counterexamples[i].violated_constraints);
+  }
+
+  // Generous bounds on both chains certify clean and record a finite
+  // per-chain envelope bounded by each chain's own constraint.
+  CertifySpec roomy;
+  roomy.latency_constraints.push_back(
+      LatencyConstraint{"spine", "A", "E", 100.0});
+  const CertifyReport clean = certify(schedule, roomy);
+  EXPECT_TRUE(clean.certified)
+      << clean.to_text(*ex.problem.architecture);
+  ASSERT_EQ(clean.worst_chain_latency.size(), 1u);
+  EXPECT_FALSE(is_infinite(clean.worst_chain_latency[0]));
+  EXPECT_TRUE(time_le(clean.worst_chain_latency[0], 100.0));
+  // Adding a satisfied chain never changes the scalar verdict surface.
+  EXPECT_EQ(clean.branches, scalar.branches);
+  EXPECT_EQ(clean.worst_response, scalar.worst_response);
+}
+
+TEST(Certify, MalformedChainSpecsThrowThroughEveryEntryPoint) {
+  const OwnedProblem ex = workload::paper_example1();
+  const Schedule schedule = schedule_solution1(ex.problem).value();
+
+  const auto bad_specs = [] {
+    std::vector<std::vector<LatencyConstraint>> specs;
+    // Endpoint absent from the graph.
+    specs.push_back({LatencyConstraint{"c", "Zeta", "E", 5.0}});
+    specs.push_back({LatencyConstraint{"c", "A", "Zeta", 5.0}});
+    // Duplicate names.
+    specs.push_back({LatencyConstraint{"c", "A", "E", 5.0},
+                     LatencyConstraint{"c", "I", "O", 9.0}});
+    // Zero / negative / non-finite bound.
+    specs.push_back({LatencyConstraint{"c", "A", "E", 0.0}});
+    specs.push_back({LatencyConstraint{"c", "A", "E", -1.0}});
+    specs.push_back({LatencyConstraint{"c", "A", "E", kInfinite}});
+    return specs;
+  }();
+
+  for (const std::vector<LatencyConstraint>& constraints : bad_specs) {
+    CertifySpec spec;
+    spec.latency_constraints = constraints;
+    EXPECT_THROW((void)certify(schedule, spec), std::invalid_argument);
+
+    const CertifyShardSpec shard{0, 1};
+    EXPECT_THROW((void)certify_shard(schedule, spec, shard,
+                                     [](CertifyTaskPartial&&) {},
+                                     [] { return false; }),
+                 std::invalid_argument);
+
+    OracleSpec ospec;
+    ospec.latency_constraints = constraints;
+    EXPECT_THROW(Oracle(schedule, ospec), std::invalid_argument);
+  }
+
+  // A replica-less endpoint throws the same way from certify (a bare
+  // schedule places nothing, so every operation lacks replicas).
+  const Schedule empty(ex.problem, HeuristicKind::kBase);
+  CertifySpec unplaced;
+  unplaced.latency_constraints.push_back(
+      LatencyConstraint{"c", "A", "E", 5.0});
+  EXPECT_THROW((void)certify(empty, unplaced), std::invalid_argument);
 }
 
 }  // namespace

@@ -6,6 +6,7 @@
 // budgeted separately from the paper's §5.1 processor contract.
 #include <gtest/gtest.h>
 
+#include <stdexcept>
 #include <string>
 
 #include "campaign/oracle.hpp"
@@ -210,6 +211,103 @@ TEST(Oracle, LinkFaultsAreBudgetedSeparatelyFromTheProcessorContract) {
   const Verdict inside = oracle.judge(plan, result);
   EXPECT_TRUE(inside.within_contract);
   EXPECT_EQ(inside.ok(), result.every_iteration_served());
+}
+
+TEST(Oracle, ChainVerdictNamesOnlyTheViolatedConstraints) {
+  const OwnedProblem ex = workload::paper_example1();
+  const Schedule sched = schedule_solution1(ex.problem).value();
+
+  MissionPlan plan;
+  plan.iterations = 1;
+  const MissionResult result = run_mission(sched, plan);
+  ASSERT_TRUE(result.every_iteration_served());
+
+  // One generous chain and one impossibly tight one, judged together: the
+  // verdict must name exactly the tight chain, keep the scalar flags
+  // untouched, and the violation text must carry the chain's label.
+  OracleSpec spec;
+  spec.check_response = false;
+  spec.latency_constraints.push_back(
+      LatencyConstraint{"roomy", "A", "E", 100.0});
+  spec.latency_constraints.push_back(
+      LatencyConstraint{"tight", "A", "E", 0.01});
+  const Oracle oracle(sched, spec);
+  ASSERT_EQ(oracle.latency_constraints().size(), 2u);
+
+  const Verdict verdict = oracle.judge(plan, result);
+  EXPECT_TRUE(verdict.within_contract);
+  EXPECT_TRUE(verdict.latency_exceeded);
+  EXPECT_FALSE(verdict.response_exceeded);
+  EXPECT_FALSE(verdict.outputs_lost);
+  ASSERT_EQ(verdict.violated_constraints.size(), 1u);
+  EXPECT_EQ(verdict.violated_constraints[0], "tight");
+  ASSERT_FALSE(verdict.violations.empty());
+  EXPECT_NE(verdict.violations[0].find("\"tight\""), std::string::npos)
+      << verdict.violations[0];
+
+  // Both chains generous: the same mission is clean and the verdict names
+  // nothing — the multi-constraint oracle must not invent violations.
+  OracleSpec roomy;
+  roomy.check_response = false;
+  roomy.latency_constraints.push_back(
+      LatencyConstraint{"spine", "A", "E", 100.0});
+  roomy.latency_constraints.push_back(
+      LatencyConstraint{"mission", "I", "O", 100.0});
+  const Verdict clean = Oracle(sched, roomy).judge(plan, result);
+  EXPECT_TRUE(clean.ok());
+  EXPECT_FALSE(clean.latency_exceeded);
+  EXPECT_TRUE(clean.violated_constraints.empty());
+}
+
+TEST(Oracle, MalformedChainSpecsThrowAtConstruction) {
+  const OwnedProblem ex = workload::paper_example1();
+  const Schedule sched = schedule_solution1(ex.problem).value();
+
+  const auto expect_throws = [&](const LatencyConstraint& c,
+                                 const char* needle) {
+    OracleSpec spec;
+    spec.latency_constraints.push_back(c);
+    try {
+      const Oracle oracle(sched, spec);
+      FAIL() << "constraint \"" << c.name << "\" should have thrown";
+    } catch (const std::invalid_argument& error) {
+      EXPECT_NE(std::string(error.what()).find(needle), std::string::npos)
+          << error.what();
+    }
+  };
+
+  expect_throws(LatencyConstraint{"", "A", "E", 5.0}, "empty name");
+  expect_throws(LatencyConstraint{"c", "Zeta", "E", 5.0},
+                "\"Zeta\" is not in the graph");
+  expect_throws(LatencyConstraint{"c", "A", "Zeta", 5.0},
+                "\"Zeta\" is not in the graph");
+  expect_throws(LatencyConstraint{"c", "A", "E", 0.0},
+                "strictly positive bound");
+  expect_throws(LatencyConstraint{"c", "A", "E", -3.0},
+                "strictly positive bound");
+  expect_throws(LatencyConstraint{"c", "A", "E", kInfinite},
+                "strictly positive bound");
+
+  // Duplicate names need two constraints in one spec.
+  OracleSpec dup;
+  dup.latency_constraints.push_back(LatencyConstraint{"c", "A", "E", 5.0});
+  dup.latency_constraints.push_back(LatencyConstraint{"c", "I", "O", 9.0});
+  EXPECT_THROW(Oracle(sched, dup), std::invalid_argument);
+
+  // An endpoint present in the graph but never scheduled: a bare schedule
+  // with no placements at all makes every operation replica-less.
+  const Schedule empty(ex.problem, HeuristicKind::kBase);
+  OracleSpec unplaced;
+  unplaced.latency_constraints.push_back(
+      LatencyConstraint{"c", "A", "E", 5.0});
+  try {
+    const Oracle oracle(empty, unplaced);
+    FAIL() << "replica-less endpoint should have thrown";
+  } catch (const std::invalid_argument& error) {
+    EXPECT_NE(std::string(error.what()).find("no scheduled replica"),
+              std::string::npos)
+        << error.what();
+  }
 }
 
 }  // namespace

@@ -143,6 +143,87 @@ TEST(CertifyService, MalformedAndFailingRequestsAnswerErrors) {
   EXPECT_TRUE(service.handle_line(R"({"type":"status","id":"s"})", sink));
 }
 
+TEST(CertifyService, ChainConstrainedSubmitLabelsItsCounterexamples) {
+  CertifyService service(ServeOptions{});
+  StringSink sink;
+  // An impossibly tight chain on the certified solution: refuted, and
+  // every streamed counterexample names the violated constraint.
+  const std::string submit =
+      R"({"type":"submit","id":"q","latency_constraints":)"
+      R"([{"name":"tight","source":"A","sink":"E","bound":0.01}],)"
+      R"("problem_inline":)" +
+      inline_problem() + "}";
+  EXPECT_TRUE(service.handle_line(submit, sink));
+
+  const auto records = parse_records(sink.text());
+  const JsonValue* result = find_record(records, "result", "q");
+  ASSERT_NE(result, nullptr);
+  EXPECT_FALSE(result->bool_or("certified", true));
+  const JsonValue* counterexample = find_record(records, "counterexample", "q");
+  ASSERT_NE(counterexample, nullptr);
+  const JsonValue* branch = counterexample->find("branch");
+  ASSERT_NE(branch, nullptr);
+  const JsonValue* violated = branch->find("violated");
+  ASSERT_NE(violated, nullptr);
+  ASSERT_TRUE(violated->is_array());
+  ASSERT_EQ(violated->items.size(), 1u);
+  EXPECT_EQ(violated->items[0].string, "tight");
+
+  // The constraints are part of the plan: the same problem without them
+  // is a different plan key, not a cache hit against the refutation.
+  StringSink plain_sink;
+  const std::string plain =
+      R"({"type":"submit","id":"p","problem_inline":)" + inline_problem() +
+      "}";
+  EXPECT_TRUE(service.handle_line(plain, plain_sink));
+  const auto plain_records = parse_records(plain_sink.text());
+  const JsonValue* plain_result = find_record(plain_records, "result", "p");
+  ASSERT_NE(plain_result, nullptr);
+  EXPECT_EQ(plain_result->string_or("cache", ""), "miss");
+  EXPECT_TRUE(plain_result->bool_or("certified", false));
+  EXPECT_NE(plain_result->string_or("plan_key", ""),
+            result->string_or("plan_key", ""));
+}
+
+TEST(CertifyService, MalformedChainConstraintSubmitsAnswerErrors) {
+  CertifyService service(ServeOptions{});
+  StringSink sink;
+  const std::string problem = inline_problem();
+  const auto submit = [&](const char* id, const std::string& constraints) {
+    EXPECT_TRUE(service.handle_line(
+        std::string(R"({"type":"submit","id":")") + id +
+            R"(","latency_constraints":)" + constraints +
+            R"(,"problem_inline":)" + problem + "}",
+        sink));
+  };
+  // Shape errors caught by the protocol parser...
+  submit("a", R"([{"source":"A","sink":"E","bound":5}])");
+  submit("b", R"([{"name":"c","source":"A","sink":"E"}])");
+  submit("c", R"([{"name":"c","source":"A","sink":"E","bound":0}])");
+  submit("d", R"(["not an object"])");
+  // ...and semantic errors caught by the resolver against the schedule.
+  submit("e", R"([{"name":"c","source":"Zeta","sink":"E","bound":5}])");
+  submit("f", R"([{"name":"c","source":"A","sink":"E","bound":5},)"
+              R"({"name":"c","source":"I","sink":"O","bound":9}])");
+
+  const auto records = parse_records(sink.text());
+  // Shape errors are refused by the request parser (no id yet); the
+  // resolver's semantic errors answer under the request's own id. Either
+  // way: an error record, never a result.
+  std::size_t errors = 0;
+  for (const JsonValue& record : records) {
+    if (record.string_or("type", "") == "error") ++errors;
+    EXPECT_NE(record.string_or("type", ""), "result");
+  }
+  EXPECT_EQ(errors, 6u);
+  for (const char* id : {"e", "f"}) {
+    EXPECT_NE(find_record(records, "error", id), nullptr) << id;
+  }
+  EXPECT_EQ(service.stats().errors, 6u);
+  // The service keeps serving after every refusal.
+  EXPECT_TRUE(service.handle_line(R"({"type":"status","id":"s"})", sink));
+}
+
 TEST(CertifyService, DeadlineCancelsAndSkipsCache) {
   CertifyService service(ServeOptions{});
   StringSink sink;

@@ -234,6 +234,54 @@ TEST(StreamMerge, RefusesTamperedStreams) {
   expect_refused(garbled, "malformed record");
 }
 
+TEST(StreamMerge, ChainConstrainedStreamsMergeByteIdentical) {
+  // Chain constraints ride the wire: the meta record carries the spec, the
+  // branch records carry the violated names, the task records carry the
+  // per-chain envelopes — and every partition still merges byte-identical
+  // to single-process certify().
+  Fixture fixture = Fixture::certified();
+  fixture.spec.latency_constraints.push_back(
+      campaign::LatencyConstraint{"roomy", "I", "O", 100.0});
+  fixture.spec.latency_constraints.push_back(
+      campaign::LatencyConstraint{"tight", "A", "E", 0.01});
+  expect_partitions_merge(fixture);
+
+  const auto merged = merge_streams(fixture.schedule, fixture.spec,
+                                    fixture.shard_streams(3));
+  ASSERT_TRUE(merged.has_value()) << merged.error().message;
+  const campaign::CertifyReport& report = merged.value();
+  EXPECT_FALSE(report.certified);
+  ASSERT_EQ(report.latency_constraints.size(), 2u);
+  ASSERT_EQ(report.worst_chain_latency.size(), 2u);
+  ASSERT_FALSE(report.counterexamples.empty());
+  for (const campaign::CertifyBranch& cex : report.counterexamples) {
+    ASSERT_EQ(cex.violated_constraints.size(), 1u);
+    EXPECT_EQ(cex.violated_constraints[0], "tight");
+  }
+}
+
+TEST(StreamMerge, RefusesStreamsWhoseChainConstraintsDisagree) {
+  Fixture fixture = Fixture::certified();
+  fixture.spec.latency_constraints.push_back(
+      campaign::LatencyConstraint{"roomy", "I", "O", 100.0});
+  auto streams = fixture.shard_streams(1);
+
+  // A merge without the constraints sees a different plan key outright.
+  const Fixture plain = Fixture::certified();
+  EXPECT_FALSE(
+      merge_streams(plain.schedule, plain.spec, streams).has_value());
+
+  // A tampered meta record that keeps the plan key but renames the chain
+  // trips the explicit constraint comparison — the key alone (a hash)
+  // must not be the last line of defense.
+  auto tampered = streams;
+  const std::size_t pos = tampered[0].find("\"roomy\"");
+  ASSERT_NE(pos, std::string::npos);
+  tampered[0].replace(pos, 7, "\"spoof\"");
+  EXPECT_FALSE(
+      merge_streams(fixture.schedule, fixture.spec, tampered).has_value());
+}
+
 TEST(StreamMerge, BoundedCounterexampleDetail) {
   // The merged certificate keeps at most spec.max_counterexamples branches
   // in detail while counting all of them — the bounded-memory contract.
